@@ -1,0 +1,115 @@
+//! Engine micro-benchmarks: plan + execute across the operator zoo, and
+//! the clustered-index ablation (DESIGN.md decision 1): the default
+//! clustered index turns leading-column predicates into seeks — compare
+//! against the same predicate on a non-leading column (scan).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlshare_engine::{DataType, Engine, Schema, Table, Value};
+
+fn engine(rows: usize) -> Engine {
+    let mut e = Engine::new();
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            vec![
+                Value::Int((i % 500) as i64),
+                Value::Float((i % 97) as f64 * 1.5),
+                Value::Int((i % 7) as i64),
+                Value::Text(format!("site_{}", i % 23)),
+            ]
+        })
+        .collect();
+    e.create_table(Table::new(
+        "m",
+        Schema::from_pairs([
+            ("key", DataType::Int),
+            ("value", DataType::Float),
+            ("grp", DataType::Int),
+            ("site", DataType::Text),
+        ]),
+        data,
+    ))
+    .unwrap();
+    let dim: Vec<Vec<Value>> = (0..500)
+        .map(|i| vec![Value::Int(i as i64), Value::Text(format!("name{i}"))])
+        .collect();
+    e.create_table(Table::new(
+        "d",
+        Schema::from_pairs([("key", DataType::Int), ("name", DataType::Text)]),
+        dim,
+    ))
+    .unwrap();
+    e
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let e = engine(10_000);
+
+    // Ablation: seek on the clustered leading column vs scan on a
+    // non-leading column, same selectivity.
+    let mut group = c.benchmark_group("engine/access_path");
+    group.bench_function("clustered_seek", |b| {
+        b.iter(|| e.run("SELECT * FROM m WHERE key = 250").unwrap())
+    });
+    group.bench_function("scan_with_predicate", |b| {
+        b.iter(|| e.run("SELECT * FROM m WHERE grp = 3 AND site = 'site_9'").unwrap())
+    });
+    group.finish();
+
+    let queries = [
+        ("project", "SELECT key, value * 2 FROM m"),
+        (
+            "aggregate",
+            "SELECT grp, COUNT(*), AVG(value) FROM m GROUP BY grp",
+        ),
+        (
+            "hash_join",
+            "SELECT m.key, d.name FROM m JOIN d ON m.grp = d.key",
+        ),
+        (
+            "merge_join",
+            "SELECT m.key, d.name FROM m JOIN d ON m.key = d.key",
+        ),
+        ("sort_top", "SELECT TOP 100 * FROM m ORDER BY value DESC"),
+        (
+            "window",
+            "SELECT key, value, RANK() OVER (PARTITION BY grp ORDER BY value) FROM m",
+        ),
+        (
+            "union_distinct",
+            "SELECT grp FROM m UNION SELECT key FROM d",
+        ),
+        (
+            "subquery",
+            "SELECT COUNT(*) FROM m WHERE value > (SELECT AVG(value) FROM m)",
+        ),
+    ];
+    let mut group = c.benchmark_group("engine/operators_10k_rows");
+    for (name, sql) in queries {
+        group.bench_function(name, |b| b.iter(|| e.run(sql).unwrap()));
+    }
+    group.finish();
+
+    // Scaling: same aggregate over growing tables.
+    let mut group = c.benchmark_group("engine/aggregate_scaling");
+    for rows in [1_000usize, 10_000, 50_000] {
+        let e = engine(rows);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| {
+                e.run("SELECT grp, SUM(value) FROM m GROUP BY grp").unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // Planning alone (EXPLAIN), no execution beyond subquery-free plans.
+    let e = engine(10_000);
+    c.bench_function("engine/explain_only", |b| {
+        b.iter(|| {
+            e.explain("SELECT grp, COUNT(*) FROM m WHERE key > 100 GROUP BY grp ORDER BY grp")
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ingest micro-benchmarks (§3.1): delimiter inference, type inference,
+//! and full staged ingest for clean and messy files, plus the
+//! inference-prefix ablation (DESIGN.md decision 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqlshare_ingest::{delimiter, ingest_text, types, HeaderMode, IngestOptions};
+use sqlshare_wlgen::tables::{generate_csv, Dirtiness};
+
+fn clean_csv(rows: usize, cols: usize) -> String {
+    let mut out = String::new();
+    for c in 0..cols {
+        if c > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("col{c}"));
+    }
+    out.push('\n');
+    for r in 0..rows {
+        for c in 0..cols {
+            if c > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}", (r * 31 + c * 7) % 1000));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn messy_csv(rows: usize, cols: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(7);
+    generate_csv(
+        &mut rng,
+        cols,
+        rows,
+        &Dirtiness {
+            headerless: 1.0,
+            ragged: 1.0,
+            sentinel: 0.1,
+            mixed_type: 0.5,
+        },
+    )
+    .content
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let clean = clean_csv(1000, 8);
+    let messy = messy_csv(1000, 8);
+
+    let mut group = c.benchmark_group("ingest/full");
+    group.throughput(Throughput::Bytes(clean.len() as u64));
+    group.bench_function("clean_1000x8", |b| {
+        b.iter(|| ingest_text("t", &clean, &IngestOptions::default()).unwrap())
+    });
+    group.throughput(Throughput::Bytes(messy.len() as u64));
+    group.bench_function("messy_1000x8", |b| {
+        b.iter(|| ingest_text("t", &messy, &IngestOptions::default()).unwrap())
+    });
+    group.finish();
+
+    c.bench_function("ingest/delimiter_inference", |b| {
+        b.iter(|| delimiter::infer_delimiter(&messy, 100).unwrap())
+    });
+
+    // Ablation: sensitivity of type inference to the prefix size N —
+    // larger prefixes cost more but revert fewer columns later.
+    let records = sqlshare_ingest::parser::parse_delimited(&messy, ',');
+    let mut group = c.benchmark_group("ingest/type_inference_prefix");
+    for prefix in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(prefix), &prefix, |b, &n| {
+            b.iter(|| types::infer_types(&records, n))
+        });
+    }
+    group.finish();
+
+    // Header modes: Auto pays for detection.
+    let mut group = c.benchmark_group("ingest/header_mode");
+    for (name, mode) in [("auto", HeaderMode::Auto), ("absent", HeaderMode::Absent)] {
+        group.bench_function(name, |b| {
+            let opts = IngestOptions {
+                header: mode,
+                ..Default::default()
+            };
+            b.iter(|| ingest_text("t", &messy, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Preview-cache ablation (§3.3 / DESIGN.md decision 2): "we can assume
+//! that the result of [a] query wouldn't change over time. This allows us
+//! to save the preview results for each dataset and serve them instead of
+//! running the query every time the dataset is accessed."
+//!
+//! Compares serving the cached preview against re-running the dataset's
+//! defining query (what browsing would cost without the cache), for a
+//! cheap wrapper view and an expensive aggregate view.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlshare_core::{DatasetName, Metadata, SqlShare};
+use sqlshare_ingest::IngestOptions;
+
+fn service() -> SqlShare {
+    let mut s = SqlShare::new();
+    s.register_user("ada", "a@uw.edu").unwrap();
+    let mut csv = String::from("k,v,g\n");
+    for i in 0..20_000 {
+        csv.push_str(&format!("{i},{},{}\n", (i * 13) % 997, i % 50));
+    }
+    s.upload("ada", "big", &csv, &IngestOptions::default()).unwrap();
+    s.save_dataset(
+        "ada",
+        "big_summary",
+        "SELECT g, COUNT(*) AS n, AVG(v) AS mean_v FROM big GROUP BY g",
+        Metadata::default(),
+    )
+    .unwrap();
+    s
+}
+
+fn bench_preview(c: &mut Criterion) {
+    let mut s = service();
+    let wrapper = DatasetName::new("ada", "big");
+    let summary = DatasetName::new("ada", "big_summary");
+
+    let mut group = c.benchmark_group("preview/wrapper_view");
+    group.bench_function("cached", |b| {
+        b.iter(|| s.preview("ada", &wrapper).unwrap().rows.len())
+    });
+    group.bench_function("rerun_query", |b| {
+        b.iter(|| {
+            s.run_query("ada", "SELECT * FROM ada.big")
+                .unwrap()
+                .rows
+                .len()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("preview/aggregate_view");
+    group.sample_size(30);
+    group.bench_function("cached", |b| {
+        b.iter(|| s.preview("ada", &summary).unwrap().rows.len())
+    });
+    group.bench_function("rerun_query", |b| {
+        b.iter(|| {
+            s.run_query("ada", "SELECT * FROM ada.big_summary")
+                .unwrap()
+                .rows
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_preview);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! SQL front-end micro-benchmarks: lexing, parsing, rendering, feature
+//! detection, and idiom detection by query-complexity class (§6.1's
+//! complexity spectrum).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sqlshare_sql::features::QueryFeatures;
+use sqlshare_sql::idioms::SchematizationIdioms;
+use sqlshare_sql::lexer::tokenize;
+use sqlshare_sql::parser::parse_query;
+
+const SHORT: &str = "SELECT * FROM incomes WHERE income > 500000";
+
+const MEDIUM: &str = "SELECT station, COUNT(*) AS n, AVG(nitrate) AS mean_n \
+     FROM samples WHERE depth BETWEEN 0 AND 50 AND flag = 'ok' \
+     GROUP BY station HAVING COUNT(*) > 3 ORDER BY mean_n DESC";
+
+const COMPLEX: &str = "SELECT TOP 20 x.station, y.name, \
+     ROW_NUMBER() OVER (PARTITION BY x.station ORDER BY x.nitrate DESC) AS rn, \
+     CASE WHEN x.nitrate = -999 THEN NULL ELSE x.nitrate END AS nitrate_clean \
+     FROM (SELECT station, nitrate, depth FROM samples WHERE depth < 100) AS x \
+     LEFT OUTER JOIN stations AS y ON x.station = y.id \
+     WHERE x.station IN (SELECT id FROM stations WHERE region LIKE 'coastal%') \
+     ORDER BY x.station";
+
+/// A synthetic 2000+ character wide-filter query (Fig. 7's long tail).
+fn very_long() -> String {
+    let conditions: Vec<String> = (0..60)
+        .map(|i| format!("(col{i} IS NOT NULL AND col{i} <> -999)"))
+        .collect();
+    format!("SELECT * FROM wide WHERE {}", conditions.join(" AND "))
+}
+
+fn bench_sqlfront(c: &mut Criterion) {
+    let long = very_long();
+    let cases = [
+        ("short", SHORT.to_string()),
+        ("medium", MEDIUM.to_string()),
+        ("complex", COMPLEX.to_string()),
+        ("long_wide_filter", long),
+    ];
+
+    let mut group = c.benchmark_group("sqlfront/lex");
+    for (name, sql) in &cases {
+        group.throughput(Throughput::Bytes(sql.len() as u64));
+        group.bench_function(*name, |b| b.iter(|| tokenize(sql).unwrap()));
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sqlfront/parse");
+    for (name, sql) in &cases {
+        group.throughput(Throughput::Bytes(sql.len() as u64));
+        group.bench_function(*name, |b| b.iter(|| parse_query(sql).unwrap()));
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sqlfront/render");
+    for (name, sql) in &cases {
+        let ast = parse_query(sql).unwrap();
+        group.bench_function(*name, |b| b.iter(|| ast.to_string()));
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sqlfront/analyze");
+    let complex_ast = parse_query(COMPLEX).unwrap();
+    group.bench_function("features", |b| {
+        b.iter(|| QueryFeatures::detect(&complex_ast))
+    });
+    let cleaning = parse_query(
+        "SELECT column0 AS station, \
+         TRY_CAST(CASE WHEN v = '-999' THEN NULL ELSE v END AS FLOAT) AS v \
+         FROM raw UNION ALL SELECT column0, TRY_CAST(v AS FLOAT) FROM raw2",
+    )
+    .unwrap();
+    group.bench_function("idioms", |b| {
+        b.iter(|| SchematizationIdioms::detect(&cleaning))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sqlfront);
+criterion_main!(benches);

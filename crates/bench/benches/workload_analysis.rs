@@ -1,0 +1,83 @@
+//! Analysis-pipeline benchmarks: Phase-1/2 extraction throughput,
+//! template normalization, entropy, and the reuse matcher — plus the
+//! equivalence-metric ablation (DESIGN.md decision 4: string vs column
+//! vs template equivalence cost).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sqlshare_bench::Workbench;
+use sqlshare_wlgen::GeneratorConfig;
+use sqlshare_workload::entropy::entropy;
+use sqlshare_workload::extract::extract_corpus;
+use sqlshare_workload::metrics::{operator_frequency, query_means};
+use sqlshare_workload::reuse::reuse_analysis;
+use sqlshare_workload::template::{equivalence_keys, template_hash};
+use std::collections::HashSet;
+
+fn bench_analysis(c: &mut Criterion) {
+    let wb = Workbench::build(GeneratorConfig {
+        seed: 11,
+        scale: 0.02,
+    });
+    let entries = wb.sqlshare.service.log().entries();
+    let corpus = &wb.sqlshare_queries;
+    let n = corpus.len() as u64;
+
+    let mut group = c.benchmark_group("analysis/extract");
+    group.throughput(Throughput::Elements(entries.len() as u64));
+    group.bench_function("phase1_phase2", |b| {
+        b.iter(|| extract_corpus(entries))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("analysis/equivalence");
+    group.throughput(Throughput::Elements(n));
+    // Ablation: the three Table-3 equivalence keys, cheapest to richest.
+    group.bench_function("string_distinct", |b| {
+        b.iter(|| {
+            corpus
+                .iter()
+                .map(|q| q.sql.as_str())
+                .collect::<HashSet<_>>()
+                .len()
+        })
+    });
+    group.bench_function("column_distinct", |b| {
+        b.iter(|| {
+            corpus
+                .iter()
+                .map(|q| equivalence_keys(q).column_key)
+                .collect::<HashSet<_>>()
+                .len()
+        })
+    });
+    group.bench_function("template_distinct", |b| {
+        b.iter(|| {
+            corpus
+                .iter()
+                .map(template_hash)
+                .collect::<HashSet<_>>()
+                .len()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("analysis/aggregates");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("entropy_table3", |b| b.iter(|| entropy(corpus)));
+    group.bench_function("query_means_table2b", |b| b.iter(|| query_means(corpus)));
+    group.bench_function("operator_frequency_fig9", |b| {
+        b.iter(|| operator_frequency(corpus, &["Clustered Index Scan"]))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("analysis/reuse");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(20);
+    group.bench_function("subtree_matcher_sec62", |b| {
+        b.iter(|| reuse_analysis(corpus))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

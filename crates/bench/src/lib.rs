@@ -1,0 +1,38 @@
+//! Report generation: every table and figure of the paper's evaluation,
+//! regenerated from synthetic corpora and printed as paper-vs-measured.
+//!
+//! Used by the `sqlshare-report` binary and by the integration tests that
+//! assert the reproduced *shapes* (who wins, by roughly what factor).
+
+pub mod experiments;
+pub mod reports;
+
+use sqlshare_wlgen::sqlshare::GeneratedCorpus;
+use sqlshare_wlgen::GeneratorConfig;
+use sqlshare_workload::extract::{extract_corpus, ExtractedQuery};
+
+/// Both corpora plus their extracted query catalogs.
+pub struct Workbench {
+    pub sqlshare: GeneratedCorpus,
+    pub sqlshare_queries: Vec<ExtractedQuery>,
+    pub sdss: GeneratedCorpus,
+    pub sdss_queries: Vec<ExtractedQuery>,
+    pub config: GeneratorConfig,
+}
+
+impl Workbench {
+    /// Generate both corpora and run Phase-1/2 extraction.
+    pub fn build(config: GeneratorConfig) -> Workbench {
+        let sqlshare = sqlshare_wlgen::sqlshare::generate(&config);
+        let sqlshare_queries = extract_corpus(sqlshare.service.log().entries());
+        let sdss = sqlshare_wlgen::sdss::generate(&config);
+        let sdss_queries = extract_corpus(sdss.service.log().entries());
+        Workbench {
+            sqlshare,
+            sqlshare_queries,
+            sdss,
+            sdss_queries,
+            config,
+        }
+    }
+}

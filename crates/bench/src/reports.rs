@@ -1,0 +1,49 @@
+//! Experiment registry: names → report functions.
+
+use crate::{experiments, Workbench};
+
+/// All experiment ids, in paper order.
+pub const ALL: &[&str] = &[
+    "summary", "table2", "fig4", "sec51", "sec52", "sec53", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "table3", "table4", "reuse", "fig11", "fig12", "fig13", "diversity",
+];
+
+/// Run one experiment by id.
+pub fn run(id: &str, wb: &Workbench) -> Option<String> {
+    Some(match id {
+        "summary" => experiments::summary(wb),
+        "table2" => experiments::table2(wb),
+        "fig4" => experiments::fig4(wb),
+        "fig6" => experiments::fig6(wb),
+        "fig7" => experiments::fig7(wb),
+        "fig8" => experiments::fig8(wb),
+        "fig9" => experiments::fig9(wb),
+        "fig10" => experiments::fig10(wb),
+        "table3" => experiments::table3(wb),
+        "table4" => experiments::table4(wb),
+        "fig11" => experiments::fig11(wb),
+        "fig12" => experiments::fig12(wb),
+        "fig13" => experiments::fig13(wb),
+        "sec51" => experiments::sec51(wb),
+        "sec52" => experiments::sec52(wb),
+        "sec53" => experiments::sec53(wb),
+        "reuse" => experiments::reuse(wb),
+        "diversity" => experiments::diversity(wb),
+        _ => return None,
+    })
+}
+
+/// Run every experiment and concatenate the report.
+pub fn run_all(wb: &Workbench) -> String {
+    let mut out = String::from(
+        "# SQLShare reproduction — regenerated tables and figures\n",
+    );
+    out.push_str(&format!(
+        "\nGenerated with seed {} at scale {:.3} (1.0 = paper scale).\n",
+        wb.config.seed, wb.config.scale
+    ));
+    for id in ALL {
+        out.push_str(&run(id, wb).expect("registered experiment"));
+    }
+    out
+}

@@ -1,0 +1,99 @@
+//! Stable 64-bit hashing.
+//!
+//! Query-plan-template fingerprints (§6.2 of the paper) must be stable
+//! across processes and runs so that entropy numbers are reproducible;
+//! `std`'s `DefaultHasher` is randomly seeded per process, so we use
+//! FNV-1a, which is tiny, deterministic, and good enough for fingerprints
+//! over short structured strings.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+}
+
+impl Fnv64 {
+    /// Create a hasher with the standard FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mix a byte slice into the state.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Mix a string (as UTF-8 bytes) into the state.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write(s.as_bytes())
+    }
+
+    /// Mix a u64 (little-endian bytes) into the state.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Final hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Hash a byte slice in one call.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Hash a string in one call.
+pub fn fnv64_str(s: &str) -> u64 {
+    fnv64(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Fnv64::new();
+        h.write_str("SELECT * ").write_str("FROM t");
+        assert_eq!(h.finish(), fnv64_str("SELECT * FROM t"));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        assert_ne!(fnv64_str("SELECT a FROM t"), fnv64_str("SELECT b FROM t"));
+    }
+
+    #[test]
+    fn u64_mixing_changes_state() {
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        let mut b = Fnv64::new();
+        b.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

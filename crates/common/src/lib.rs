@@ -1,0 +1,22 @@
+//! Shared substrate for the SQLShare reproduction.
+//!
+//! This crate contains the pieces every other crate leans on and that the
+//! paper's pipeline takes for granted:
+//!
+//! * [`Error`] — the unified error type (`SqlShareError` in prose).
+//! * [`json`] — a from-scratch JSON value, parser, and serializer. The
+//!   paper's extraction pipeline (§4, Fig. 5) converts execution plans to
+//!   JSON documents stored alongside the query log; we reproduce that
+//!   format exactly, so we need JSON without reaching for crates outside
+//!   the approved set (`serde` alone cannot emit JSON).
+//! * [`hash`] — stable 64-bit FNV-1a hashing used for query-plan-template
+//!   fingerprints (§6.2), which must be deterministic across runs.
+//! * [`text`] — ASCII table and histogram rendering used by the report
+//!   harness that regenerates every table and figure.
+
+pub mod error;
+pub mod hash;
+pub mod json;
+pub mod text;
+
+pub use error::{Error, Result};

@@ -1,0 +1,189 @@
+//! ASCII rendering for the report harness.
+//!
+//! Every table and figure in the paper is regenerated as text: tables as
+//! aligned ASCII grids, histograms/bar charts as `#`-bars. The report
+//! binary composes these primitives, so they live in the shared crate.
+
+/// An aligned ASCII table.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Rows shorter than the header are right-padded.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        while row.len() < self.header.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with `|`-separated, width-aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, row: &[String]| {
+            out.push('|');
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                out.push(' ');
+                out.push_str(cell);
+                for _ in cell.chars().count()..*w {
+                    out.push(' ');
+                }
+                out.push_str(" |");
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        out.push('|');
+        for w in &widths {
+            for _ in 0..w + 2 {
+                out.push('-');
+            }
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Render a labelled horizontal bar chart (used for the paper's histogram
+/// figures). `max_width` bounds the longest bar.
+pub fn bar_chart(items: &[(String, f64)], max_width: usize) -> String {
+    let label_w = items
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let max_v = items.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+    let mut out = String::new();
+    for (label, value) in items {
+        out.push_str(label);
+        for _ in label.chars().count()..label_w {
+            out.push(' ');
+        }
+        out.push_str(" | ");
+        let bar = if max_v > 0.0 {
+            ((value / max_v) * max_width as f64).round() as usize
+        } else {
+            0
+        };
+        for _ in 0..bar {
+            out.push('#');
+        }
+        out.push_str(&format!(" {value:.2}\n"));
+    }
+    out
+}
+
+/// Format a ratio as a percentage string like `45.35%`.
+pub fn pct(numerator: usize, denominator: usize) -> String {
+    if denominator == 0 {
+        return "0.00%".to_string();
+    }
+    format!("{:.2}%", 100.0 * numerator as f64 / denominator as f64)
+}
+
+/// Format a count with thousands separators (`24275` -> `24,275`).
+pub fn thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut with_sep = String::new();
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            with_sep.push(',');
+        }
+        with_sep.push(c);
+    }
+    with_sep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["metric", "value"]);
+        t.row(["Users", "591"]);
+        t.row(["Queries", "24275"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("metric"));
+        assert!(lines[2].contains("591"));
+        // All lines same width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["only"]);
+        assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max_width() {
+        let items = vec![("a".to_string(), 10.0), ("bb".to_string(), 5.0)];
+        let s = bar_chart(&items, 20);
+        let first = s.lines().next().unwrap();
+        assert_eq!(first.matches('#').count(), 20);
+        let second = s.lines().nth(1).unwrap();
+        assert_eq!(second.matches('#').count(), 10);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(45, 100), "45.00%");
+        assert_eq!(pct(0, 0), "0.00%");
+        assert_eq!(pct(10928, 24096), "45.35%");
+    }
+
+    #[test]
+    fn thousands_formats() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1000), "1,000");
+        assert_eq!(thousands(24275), "24,275");
+        assert_eq!(thousands(7000000), "7,000,000");
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for the from-scratch JSON implementation: arbitrary
+//! documents round-trip through both the compact and pretty serializers.
+
+use proptest::prelude::*;
+use sqlshare_common::json::{parse, Json, JsonObject};
+
+fn json_strategy() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (-1.0e12f64..1.0e12).prop_map(Json::Number),
+        any::<i32>().prop_map(|i| Json::Number(i as f64)),
+        "\\PC{0,16}".prop_map(Json::String),
+    ];
+    leaf.prop_recursive(4, 48, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::vec(("[a-zA-Z0-9_ .$-]{1,10}", inner), 0..6).prop_map(|pairs| {
+                let mut obj = JsonObject::new();
+                for (k, v) in pairs {
+                    obj.insert(k, v);
+                }
+                Json::Object(obj)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compact_round_trip(doc in json_strategy()) {
+        let text = doc.to_string();
+        let back = parse(&text).unwrap_or_else(|e| panic!("{e}: {text}"));
+        prop_assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn pretty_round_trip(doc in json_strategy()) {
+        let text = doc.to_pretty_string();
+        let back = parse(&text).unwrap_or_else(|e| panic!("{e}: {text}"));
+        prop_assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn serialization_is_deterministic(doc in json_strategy()) {
+        prop_assert_eq!(doc.to_string(), parse(&doc.to_string()).unwrap().to_string());
+    }
+
+    /// The parser never panics on arbitrary input — it returns a result.
+    #[test]
+    fn parser_is_total(input in "\\PC{0,64}") {
+        let _ = parse(&input);
+    }
+}

@@ -1,0 +1,97 @@
+//! User accounts and quotas.
+//!
+//! SQLShare is multi-tenant SaaS: 591 users over four years, 260 of them
+//! from universities (identified by `.edu` addresses, §4). Quotas bound
+//! per-user dataset counts and stored bytes.
+
+use sqlshare_common::{Error, Result};
+
+/// A registered user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct User {
+    pub username: String,
+    pub email: String,
+}
+
+impl User {
+    /// Paper §4 splits users by `.edu` affiliation.
+    pub fn is_academic(&self) -> bool {
+        self.email.to_ascii_lowercase().ends_with(".edu")
+    }
+}
+
+/// Per-user resource quotas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quota {
+    pub max_datasets: usize,
+    pub max_bytes: usize,
+}
+
+impl Default for Quota {
+    fn default() -> Self {
+        // Generous defaults; the deployment held 143 GB across everyone,
+        // so per-user gigabyte-scale quotas never bound in practice.
+        Quota {
+            max_datasets: 10_000,
+            max_bytes: 2 * 1024 * 1024 * 1024,
+        }
+    }
+}
+
+/// Validate a username at registration time.
+pub fn validate_username(name: &str) -> Result<()> {
+    if name.is_empty() || name.len() > 64 {
+        return Err(Error::Request(
+            "username must be 1-64 characters".into(),
+        ));
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(Error::Request(format!(
+            "username '{name}' contains invalid characters"
+        )));
+    }
+    if name.contains('.') {
+        return Err(Error::Request(
+            "usernames cannot contain '.' (reserved for dataset qualification)".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn academic_detection() {
+        let u = User {
+            username: "ada".into(),
+            email: "ada@uw.edu".into(),
+        };
+        assert!(u.is_academic());
+        let u = User {
+            username: "bob".into(),
+            email: "bob@example.com".into(),
+        };
+        assert!(!u.is_academic());
+    }
+
+    #[test]
+    fn username_validation() {
+        assert!(validate_username("shrainik").is_ok());
+        assert!(validate_username("d-moritz_2").is_ok());
+        assert!(validate_username("").is_err());
+        assert!(validate_username("has space").is_err());
+        assert!(validate_username("dotted.name").is_err());
+        assert!(validate_username(&"x".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn default_quota_is_generous() {
+        let q = Quota::default();
+        assert!(q.max_datasets >= 1000);
+    }
+}

@@ -1,0 +1,124 @@
+//! Simulated time.
+//!
+//! The paper's corpus spans 2011–2015; lifetime (§6.3) and coverage
+//! (Fig. 12) analyses need timestamps across years. The service carries a
+//! [`SimClock`] so synthetic corpora are deterministic and fast to
+//! generate: wall-clock is only used to *measure* query runtimes, never
+//! to timestamp events.
+
+use sqlshare_engine::value::{date_from_ymd, format_date};
+
+/// A simulated clock with day resolution plus an intra-day sequence
+/// number for stable event ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimClock {
+    /// Days since 1970-01-01.
+    pub day: i32,
+    /// Monotonic within-day counter.
+    pub sequence: u64,
+}
+
+impl SimClock {
+    /// Start of the SQLShare deployment: 2011-01-03.
+    pub fn deployment_start() -> Self {
+        SimClock {
+            day: date_from_ymd(2011, 1, 3).expect("valid date"),
+            sequence: 0,
+        }
+    }
+
+    /// A clock at an arbitrary date.
+    pub fn at(year: i32, month: u32, day: u32) -> Option<Self> {
+        Some(SimClock {
+            day: date_from_ymd(year, month, day)?,
+            sequence: 0,
+        })
+    }
+
+    /// Advance by whole days, resetting the intra-day sequence.
+    pub fn advance_days(&mut self, days: i32) {
+        self.day += days;
+        self.sequence = 0;
+    }
+
+    /// Produce the next event timestamp within the current day.
+    pub fn tick(&mut self) -> SimInstant {
+        let instant = SimInstant {
+            day: self.day,
+            sequence: self.sequence,
+        };
+        self.sequence += 1;
+        instant
+    }
+
+    /// Current date formatted as `YYYY-MM-DD`.
+    pub fn date_string(&self) -> String {
+        format_date(self.day)
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        Self::deployment_start()
+    }
+}
+
+/// A point on the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SimInstant {
+    pub day: i32,
+    pub sequence: u64,
+}
+
+impl SimInstant {
+    /// Days between two instants (can be negative).
+    pub fn days_between(self, later: SimInstant) -> i32 {
+        later.day - self.day
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_start_is_2011() {
+        let c = SimClock::deployment_start();
+        assert_eq!(c.date_string(), "2011-01-03");
+    }
+
+    #[test]
+    fn ticks_are_ordered_within_a_day() {
+        let mut c = SimClock::default();
+        let a = c.tick();
+        let b = c.tick();
+        assert!(a < b);
+        assert_eq!(a.day, b.day);
+    }
+
+    #[test]
+    fn advancing_resets_sequence() {
+        let mut c = SimClock::default();
+        c.tick();
+        c.advance_days(3);
+        let t = c.tick();
+        assert_eq!(t.sequence, 0);
+        assert_eq!(t.day, SimClock::default().day + 3);
+    }
+
+    #[test]
+    fn days_between() {
+        let mut c = SimClock::default();
+        let a = c.tick();
+        c.advance_days(10);
+        let b = c.tick();
+        assert_eq!(a.days_between(b), 10);
+        assert_eq!(b.days_between(a), -10);
+    }
+
+    #[test]
+    fn at_validates() {
+        assert!(SimClock::at(2013, 2, 29).is_none());
+        assert!(SimClock::at(2012, 2, 29).is_some());
+    }
+}

@@ -1,0 +1,137 @@
+//! Datasets: the unified table/view abstraction (§3.2, Fig. 2).
+//!
+//! "Each dataset in SQLShare is a 3-tuple (sql, metadata, preview)".
+//! Uploads create a physical base table plus a trivial wrapper view;
+//! derived datasets are views over other datasets; materialized snapshots
+//! are base tables captured from a view's current result. All of them are
+//! just *datasets* to the user.
+
+use crate::clock::SimInstant;
+use sqlshare_engine::{Row, Schema};
+
+/// A dataset's qualified name: `owner.name`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetName {
+    pub owner: String,
+    pub name: String,
+}
+
+impl DatasetName {
+    pub fn new(owner: impl Into<String>, name: impl Into<String>) -> Self {
+        DatasetName {
+            owner: owner.into(),
+            name: name.into(),
+        }
+    }
+
+    /// The flat `owner.name` form used as a catalog key.
+    pub fn flat(&self) -> String {
+        format!("{}.{}", self.owner, self.name)
+    }
+
+    /// Case-insensitive map key.
+    pub fn key(&self) -> String {
+        self.flat().to_lowercase()
+    }
+
+    /// Render as bracketed SQL usable in FROM clauses.
+    pub fn sql_ref(&self) -> String {
+        format!(
+            "{}.{}",
+            sqlshare_sql::ast::render_ident(&self.owner),
+            sqlshare_sql::ast::render_ident(&self.name)
+        )
+    }
+}
+
+impl std::fmt::Display for DatasetName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.flat())
+    }
+}
+
+/// Descriptive metadata: short name is the dataset name itself; the rest
+/// is free-form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metadata {
+    pub description: String,
+    pub tags: Vec<String>,
+}
+
+/// The cached preview: "the first 100 rows of the dataset" (§3.2), stored
+/// so that browsing datasets does not re-run their queries (§3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Preview {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+    /// Whether the underlying result had more rows than the preview.
+    pub truncated: bool,
+}
+
+/// Maximum preview rows cached per dataset.
+pub const PREVIEW_ROWS: usize = 100;
+
+/// How the dataset came to exist; drives the Table-2a accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Trivial wrapper view over an uploaded base table.
+    Uploaded,
+    /// User-authored view over other datasets (a "non-trivial view").
+    Derived,
+    /// Materialized snapshot of another dataset's result (§3.2).
+    Snapshot,
+}
+
+/// A dataset record.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub name: DatasetName,
+    /// Canonical SQL of the defining view.
+    pub sql: String,
+    pub metadata: Metadata,
+    pub preview: Option<Preview>,
+    pub kind: DatasetKind,
+    /// Catalog key of the physical base table (Uploaded and Snapshot).
+    pub base_table: Option<String>,
+    pub created: SimInstant,
+}
+
+impl Dataset {
+    /// Non-trivial (user-authored) views, the 4535 of Table 2a.
+    pub fn is_derived(&self) -> bool {
+        self.kind == DatasetKind::Derived
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_keys() {
+        let n = DatasetName::new("Ada", "Coastal Samples");
+        assert_eq!(n.flat(), "Ada.Coastal Samples");
+        assert_eq!(n.key(), "ada.coastal samples");
+        assert_eq!(n.sql_ref(), "Ada.[Coastal Samples]");
+    }
+
+    #[test]
+    fn plain_names_render_unbracketed() {
+        let n = DatasetName::new("ada", "tides");
+        assert_eq!(n.sql_ref(), "ada.tides");
+    }
+
+    #[test]
+    fn kind_accounting() {
+        let d = Dataset {
+            name: DatasetName::new("a", "b"),
+            sql: "SELECT 1".into(),
+            metadata: Metadata::default(),
+            preview: None,
+            kind: DatasetKind::Derived,
+            base_table: None,
+            created: SimInstant { day: 0, sequence: 0 },
+        };
+        assert!(d.is_derived());
+    }
+}

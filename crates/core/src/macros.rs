@@ -1,0 +1,354 @@
+//! Query macros and column-pattern expansion — the two convenience
+//! features the paper proposes after observing users emulate them by
+//! copy-paste:
+//!
+//! * **Parameterized query macros** (§5.2): "Other users would use views
+//!   as query templates: they would apply the same query to multiple
+//!   source datasets, copying and pasting the view definition and only
+//!   changing the name of a table in the FROM clause. ... we intend to
+//!   lift parameterized query macros into the interface as a convenience
+//!   function. A query macro would be different than a conventional
+//!   parameterized query, since it allows parameters in the FROM clause."
+//!   [`expand_macro`] substitutes `$name` placeholders anywhere in the
+//!   query — table positions included.
+//!
+//! * **Column-pattern expansion** (§5.3): "The expression
+//!   `SELECT CAST(var* AS float) as $v FROM data` could indicate 'replace
+//!   each column with a prefix of var with an expression that casts it as
+//!   a number and renames the expression appropriately.'"
+//!   [`expand_column_patterns`] rewrites `prefix*` column references in a
+//!   SELECT list into one expression per matching column, with `$v`
+//!   becoming the matched column's name.
+
+use sqlshare_common::{Error, Result};
+use std::collections::BTreeMap;
+
+/// Bindings for a query macro: `$param` → replacement text.
+pub type MacroBindings = BTreeMap<String, String>;
+
+/// Expand `$name` placeholders in a macro body. Placeholders may appear
+/// anywhere — including the FROM clause — which is exactly what makes
+/// this a *macro* rather than a conventional parameterized query.
+/// Placeholders inside string literals are left untouched.
+pub fn expand_macro(body: &str, bindings: &MacroBindings) -> Result<String> {
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if c == '\'' {
+                // '' escape stays inside the literal.
+                if chars.peek() == Some(&'\'') {
+                    out.push(chars.next().unwrap());
+                } else {
+                    in_string = false;
+                }
+            }
+            continue;
+        }
+        match c {
+            '\'' => {
+                in_string = true;
+                out.push(c);
+            }
+            '$' => {
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        name.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(Error::Request(
+                        "bare '$' in macro body; escape inside a string literal".into(),
+                    ));
+                }
+                match bindings.get(&name) {
+                    Some(value) => out.push_str(value),
+                    None => {
+                        return Err(Error::Request(format!(
+                            "macro parameter '${name}' has no binding"
+                        )))
+                    }
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    if in_string {
+        return Err(Error::Request("unterminated string literal in macro".into()));
+    }
+    Ok(out)
+}
+
+/// Placeholders referenced by a macro body (for UI listing).
+pub fn macro_parameters(body: &str) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut chars = body.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            if c == '\'' && chars.peek() != Some(&'\'') {
+                in_string = false;
+            } else if c == '\'' {
+                chars.next();
+            }
+            continue;
+        }
+        match c {
+            '\'' => in_string = true,
+            '$' => {
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        name.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if !name.is_empty() && !params.contains(&name) {
+                    params.push(name);
+                }
+            }
+            _ => {}
+        }
+    }
+    params
+}
+
+/// Expand `prefix*` column patterns in a SELECT list against the actual
+/// column names of the queried dataset. The template's `$v` expands to
+/// each matched column name:
+///
+/// ```text
+/// SELECT CAST(var* AS FLOAT) AS $v FROM data
+///   -- with columns var_a, var_b, other -->
+/// SELECT CAST(var_a AS FLOAT) AS var_a, CAST(var_b AS FLOAT) AS var_b FROM data
+/// ```
+///
+/// This is a *textual* preprocessor, as the paper sketches it: each
+/// comma-separated SELECT item containing a `prefix*` token is replicated
+/// per matching column. Items without a pattern pass through unchanged.
+pub fn expand_column_patterns(sql: &str, columns: &[String]) -> Result<String> {
+    let upper = sql.to_uppercase();
+    let select_pos = upper
+        .find("SELECT")
+        .ok_or_else(|| Error::Request("column patterns require a SELECT query".into()))?;
+    let list_start = select_pos + "SELECT".len();
+    let from_pos = find_top_level_from(&upper, list_start)
+        .ok_or_else(|| Error::Request("column patterns require a FROM clause".into()))?;
+    let head = &sql[..list_start];
+    let list = &sql[list_start..from_pos];
+    let tail = &sql[from_pos..];
+
+    let mut out_items: Vec<String> = Vec::new();
+    for item in split_top_level_commas(list) {
+        match find_pattern(&item) {
+            None => out_items.push(item.trim().to_string()),
+            Some(prefix) => {
+                let matched: Vec<&String> = columns
+                    .iter()
+                    .filter(|c| {
+                        c.to_lowercase().starts_with(&prefix.to_lowercase())
+                            && !c.contains('*')
+                    })
+                    .collect();
+                if matched.is_empty() {
+                    return Err(Error::Request(format!(
+                        "column pattern '{prefix}*' matches no columns"
+                    )));
+                }
+                for col in matched {
+                    let quoted = sqlshare_sql::ast::render_ident(col);
+                    let expanded = item
+                        .replace(&format!("{prefix}*"), &quoted)
+                        .replace("$v", &quoted);
+                    out_items.push(expanded.trim().to_string());
+                }
+            }
+        }
+    }
+    Ok(format!("{head} {} {tail}", out_items.join(", ")))
+}
+
+/// Find the top-level FROM keyword position (not inside parentheses).
+fn find_top_level_from(upper: &str, start: usize) -> Option<usize> {
+    let bytes = upper.as_bytes();
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => depth -= 1,
+            b'F' if depth == 0
+                && upper[i..].starts_with("FROM")
+                && (i == 0 || !bytes[i - 1].is_ascii_alphanumeric())
+                && !bytes
+                    .get(i + 4)
+                    .map(|b| b.is_ascii_alphanumeric())
+                    .unwrap_or(false) =>
+            {
+                return Some(i);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn split_top_level_commas(list: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in list.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if depth == 0 => out.push(std::mem::take(&mut current)),
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// A `prefix*` token in a SELECT item (identifier chars immediately
+/// followed by `*`); a bare `*` or `t.*` is not a pattern.
+fn find_pattern(item: &str) -> Option<String> {
+    let chars: Vec<char> = item.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '*' && i > 0 {
+            let mut j = i;
+            while j > 0 && (chars[j - 1].is_alphanumeric() || chars[j - 1] == '_') {
+                j -= 1;
+            }
+            if j < i {
+                // Exclude qualified wildcards like `t.*`.
+                if j > 0 && chars[j - 1] == '.' {
+                    continue;
+                }
+                return Some(chars[j..i].iter().collect());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bindings(pairs: &[(&str, &str)]) -> MacroBindings {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn macro_substitutes_table_names() {
+        let body = "SELECT station, AVG(v) FROM $source WHERE station = $id GROUP BY station";
+        let out = expand_macro(
+            body,
+            &bindings(&[("source", "ada.cruise_june"), ("id", "7")]),
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            "SELECT station, AVG(v) FROM ada.cruise_june WHERE station = 7 GROUP BY station"
+        );
+    }
+
+    #[test]
+    fn macro_missing_binding_errors() {
+        let err = expand_macro("SELECT * FROM $t", &bindings(&[])).unwrap_err();
+        assert!(err.to_string().contains("$t"));
+    }
+
+    #[test]
+    fn macro_ignores_placeholders_in_strings() {
+        let out = expand_macro(
+            "SELECT * FROM $t WHERE note = 'costs $100'",
+            &bindings(&[("t", "x")]),
+        )
+        .unwrap();
+        assert_eq!(out, "SELECT * FROM x WHERE note = 'costs $100'");
+    }
+
+    #[test]
+    fn macro_parameters_listed_in_order() {
+        assert_eq!(
+            macro_parameters("SELECT $a FROM $b WHERE $a > 1 AND c = '$not'"),
+            vec!["a", "b"]
+        );
+    }
+
+    #[test]
+    fn column_pattern_expands_with_rename() {
+        let cols: Vec<String> = ["var_a", "var_b", "other"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = expand_column_patterns(
+            "SELECT CAST(var* AS FLOAT) AS $v FROM data",
+            &cols,
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            "SELECT CAST(var_a AS FLOAT) AS var_a, CAST(var_b AS FLOAT) AS var_b FROM data"
+        );
+    }
+
+    #[test]
+    fn column_pattern_mixes_with_plain_items() {
+        let cols: Vec<String> = ["temp_1", "temp_2", "site"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out =
+            expand_column_patterns("SELECT site, temp* FROM d WHERE site > 1", &cols).unwrap();
+        assert_eq!(out, "SELECT site, temp_1, temp_2 FROM d WHERE site > 1");
+    }
+
+    #[test]
+    fn bare_and_qualified_wildcards_pass_through() {
+        let cols = vec!["a".to_string()];
+        let out = expand_column_patterns("SELECT * FROM d", &cols).unwrap();
+        assert_eq!(out, "SELECT * FROM d");
+        let out = expand_column_patterns("SELECT t.* FROM d AS t", &cols).unwrap();
+        assert_eq!(out, "SELECT t.* FROM d AS t");
+    }
+
+    #[test]
+    fn unmatched_pattern_errors() {
+        let cols = vec!["a".to_string()];
+        assert!(expand_column_patterns("SELECT zz* FROM d", &cols).is_err());
+    }
+
+    #[test]
+    fn nested_from_does_not_confuse() {
+        let cols: Vec<String> = vec!["v1".into(), "v2".into()];
+        let out = expand_column_patterns(
+            "SELECT v*, (SELECT MAX(x) FROM other) AS mx FROM d",
+            &cols,
+        )
+        .unwrap();
+        assert!(out.contains("v1, v2"));
+        assert!(out.ends_with("FROM d"));
+    }
+}

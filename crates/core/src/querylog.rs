@@ -1,0 +1,129 @@
+//! The query log — the paper's research instrument (§4).
+//!
+//! Every executed query is recorded with its author, simulated timestamp,
+//! SQL text, measured runtime, the Listing-1 JSON plan, and the datasets
+//! and base tables it touched. The `sqlshare-workload` crate consumes
+//! this log exactly as the paper's pipeline consumed the released corpus.
+
+use crate::clock::SimInstant;
+use sqlshare_common::json::Json;
+
+/// Outcome of a logged query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    Success {
+        rows: usize,
+        runtime_micros: u64,
+    },
+    /// The error kind string (`parse`, `binding`, `permission`, ...).
+    Error(String),
+}
+
+impl Outcome {
+    pub fn is_success(&self) -> bool {
+        matches!(self, Outcome::Success { .. })
+    }
+}
+
+/// One entry in the query log.
+#[derive(Debug, Clone)]
+pub struct QueryLogEntry {
+    pub id: u64,
+    pub user: String,
+    pub at: SimInstant,
+    pub sql: String,
+    pub outcome: Outcome,
+    /// The cleaned JSON plan (Phase 1 output, Fig. 5a). Present only for
+    /// successful queries.
+    pub plan_json: Option<Json>,
+    /// Base tables touched (catalog keys).
+    pub tables: Vec<String>,
+    /// Dataset names (owner.name keys) referenced, including views.
+    pub datasets: Vec<String>,
+    /// True when the query touches a dataset the author does not own
+    /// (§5.2 reports >10% of queries do).
+    pub touches_foreign_data: bool,
+}
+
+/// Append-only query log.
+#[derive(Debug, Default, Clone)]
+pub struct QueryLog {
+    entries: Vec<QueryLogEntry>,
+}
+
+impl QueryLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, entry: QueryLogEntry) {
+        self.entries.push(entry);
+    }
+
+    pub fn entries(&self) -> &[QueryLogEntry] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Successful entries only.
+    pub fn successes(&self) -> impl Iterator<Item = &QueryLogEntry> {
+        self.entries.iter().filter(|e| e.outcome.is_success())
+    }
+
+    /// Entries by a given user.
+    pub fn by_user<'a>(&'a self, user: &'a str) -> impl Iterator<Item = &'a QueryLogEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.user.eq_ignore_ascii_case(user))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, user: &str, ok: bool) -> QueryLogEntry {
+        QueryLogEntry {
+            id,
+            user: user.into(),
+            at: SimInstant { day: 0, sequence: id },
+            sql: format!("SELECT {id}"),
+            outcome: if ok {
+                Outcome::Success {
+                    rows: 1,
+                    runtime_micros: 10,
+                }
+            } else {
+                Outcome::Error("binding".into())
+            },
+            plan_json: None,
+            tables: vec![],
+            datasets: vec![],
+            touches_foreign_data: false,
+        }
+    }
+
+    #[test]
+    fn log_accumulates_and_filters() {
+        let mut log = QueryLog::new();
+        log.push(entry(1, "ada", true));
+        log.push(entry(2, "ada", false));
+        log.push(entry(3, "bob", true));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.successes().count(), 2);
+        assert_eq!(log.by_user("ADA").count(), 2);
+    }
+
+    #[test]
+    fn outcome_kinds() {
+        assert!(Outcome::Success { rows: 0, runtime_micros: 0 }.is_success());
+        assert!(!Outcome::Error("x".into()).is_success());
+    }
+}

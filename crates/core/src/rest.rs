@@ -1,0 +1,443 @@
+//! The REST interface (§3.3, §3.4).
+//!
+//! "The front-end UI is in no way a privileged application; it operates
+//! the REST interface like any other client." This module implements
+//! that interface as typed request dispatch over JSON bodies, so any
+//! transport can host it — `examples/rest_server.rs` serves it over a
+//! dependency-free HTTP listener, and tests drive it directly.
+//!
+//! | Method & path                              | Action |
+//! |--------------------------------------------|--------|
+//! | `POST /api/users`                          | register user |
+//! | `POST /api/datasets`                       | upload (staged ingest) |
+//! | `GET  /api/datasets`                       | list datasets |
+//! | `GET  /api/datasets/{owner}/{name}`        | metadata + cached preview |
+//! | `GET  /api/datasets/{owner}/{name}/download` | full CSV (runs query) |
+//! | `DELETE /api/datasets/{owner}/{name}`      | delete |
+//! | `POST /api/views`                          | save a derived dataset |
+//! | `POST /api/datasets/{owner}/{name}/append` | UNION-append another dataset |
+//! | `POST /api/datasets/{owner}/{name}/permissions` | set visibility |
+//! | `POST /api/queries`                        | submit query, returns id |
+//! | `GET  /api/queries/{id}`                   | poll status |
+//! | `GET  /api/queries/{id}/results`           | fetch results |
+
+use crate::dataset::{DatasetName, Metadata};
+use crate::permissions::Visibility;
+use crate::service::{JobStatus, SqlShare};
+use sqlshare_common::json::{Json, JsonObject};
+use sqlshare_common::Error;
+use sqlshare_ingest::{HeaderMode, IngestOptions};
+use sqlshare_sql::rewrite::AppendMode;
+
+/// HTTP-ish method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    Get,
+    Post,
+    Put,
+    Delete,
+}
+
+impl Method {
+    /// Parse an HTTP method token.
+    pub fn parse(s: &str) -> Option<Method> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            "PUT" => Method::Put,
+            "DELETE" => Method::Delete,
+            _ => return None,
+        })
+    }
+}
+
+/// A request to the REST layer.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: Method,
+    /// Path, optionally with a `?user=<name>` query string.
+    pub path: String,
+    pub body: Json,
+}
+
+impl Request {
+    pub fn get(path: impl Into<String>) -> Self {
+        Request {
+            method: Method::Get,
+            path: path.into(),
+            body: Json::Null,
+        }
+    }
+
+    pub fn post(path: impl Into<String>, body: Json) -> Self {
+        Request {
+            method: Method::Post,
+            path: path.into(),
+            body,
+        }
+    }
+
+    pub fn delete(path: impl Into<String>, body: Json) -> Self {
+        Request {
+            method: Method::Delete,
+            path: path.into(),
+            body,
+        }
+    }
+}
+
+/// A response from the REST layer.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub body: Json,
+}
+
+impl Response {
+    fn ok(body: Json) -> Self {
+        Response { status: 200, body }
+    }
+
+    fn created(body: Json) -> Self {
+        Response { status: 201, body }
+    }
+
+    fn error(status: u16, message: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: Json::object([("error", Json::str(message.into()))]),
+        }
+    }
+
+    fn from_err(err: &Error) -> Self {
+        let status = match err.kind() {
+            "parse" | "binding" | "request" | "ingest" | "json" | "plan" => 400,
+            "permission" => 403,
+            "catalog" => 404,
+            "quota" => 429,
+            _ => 500,
+        };
+        Response {
+            status,
+            body: Json::object([
+                ("error", Json::str(err.message().to_string())),
+                ("kind", Json::str(err.kind())),
+            ]),
+        }
+    }
+}
+
+/// Dispatch a request against the service.
+pub fn dispatch(service: &mut SqlShare, request: &Request) -> Response {
+    let (path, query_user) = split_query(&request.path);
+    let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
+    match (request.method, segments.as_slice()) {
+        (Method::Post, ["api", "users"]) => {
+            let (Some(username), Some(email)) = (
+                str_field(&request.body, "username"),
+                str_field(&request.body, "email"),
+            ) else {
+                return Response::error(400, "username and email are required");
+            };
+            match service.register_user(&username, &email) {
+                Ok(()) => Response::created(Json::object([("username", Json::str(username))])),
+                Err(e) => Response::from_err(&e),
+            }
+        }
+        (Method::Post, ["api", "datasets"]) => {
+            let (Some(user), Some(name), Some(content)) = (
+                str_field(&request.body, "user"),
+                str_field(&request.body, "name"),
+                str_field(&request.body, "content"),
+            ) else {
+                return Response::error(400, "user, name, and content are required");
+            };
+            let header = match str_field(&request.body, "header").as_deref() {
+                Some("present") => HeaderMode::Present,
+                Some("absent") => HeaderMode::Absent,
+                _ => HeaderMode::Auto,
+            };
+            let options = IngestOptions {
+                header,
+                ..Default::default()
+            };
+            match service.upload(&user, &name, &content, &options) {
+                Ok((dataset, report)) => Response::created(Json::object([
+                    ("dataset", Json::str(dataset.flat())),
+                    ("rows", Json::num(report.rows as f64)),
+                    ("columns", Json::num(report.columns as f64)),
+                    ("headerUsed", Json::Bool(report.header_used)),
+                    (
+                        "defaultNamesAssigned",
+                        Json::num(report.default_names_assigned as f64),
+                    ),
+                    ("paddedRows", Json::num(report.padded_rows as f64)),
+                ])),
+                Err(e) => Response::from_err(&e),
+            }
+        }
+        (Method::Get, ["api", "datasets"]) => {
+            let list: Vec<Json> = service
+                .datasets()
+                .map(|d| {
+                    Json::object([
+                        ("name", Json::str(d.name.flat())),
+                        ("owner", Json::str(d.name.owner.clone())),
+                        ("derived", Json::Bool(d.is_derived())),
+                    ])
+                })
+                .collect();
+            Response::ok(Json::Array(list))
+        }
+        (Method::Get, ["api", "datasets", owner, name]) => {
+            let Some(user) = query_user else {
+                return Response::error(400, "a ?user= query parameter is required");
+            };
+            let dn = DatasetName::new(*owner, *name);
+            match service.preview(&user, &dn) {
+                Ok(preview) => {
+                    let ds = service.dataset(&dn).expect("preview implies dataset");
+                    let columns: Vec<Json> = preview
+                        .schema
+                        .columns
+                        .iter()
+                        .map(|c| {
+                            Json::object([
+                                ("name", Json::str(c.name.clone())),
+                                ("type", Json::str(c.ty.sql_name())),
+                            ])
+                        })
+                        .collect();
+                    let rows: Vec<Json> = preview
+                        .rows
+                        .iter()
+                        .map(|r| {
+                            Json::Array(r.iter().map(|v| Json::str(v.to_text())).collect())
+                        })
+                        .collect();
+                    Response::ok(Json::object([
+                        ("name", Json::str(dn.flat())),
+                        ("sql", Json::str(ds.sql.clone())),
+                        ("description", Json::str(ds.metadata.description.clone())),
+                        (
+                            "tags",
+                            Json::Array(
+                                ds.metadata.tags.iter().map(|t| Json::str(t.clone())).collect(),
+                            ),
+                        ),
+                        ("columns", Json::Array(columns)),
+                        ("preview", Json::Array(rows)),
+                        ("truncated", Json::Bool(preview.truncated)),
+                    ]))
+                }
+                Err(e) => Response::from_err(&e),
+            }
+        }
+        (Method::Get, ["api", "datasets", owner, name, "download"]) => {
+            let Some(user) = query_user else {
+                return Response::error(400, "a ?user= query parameter is required");
+            };
+            let dn = DatasetName::new(*owner, *name);
+            match service.download(&user, &dn) {
+                Ok(csv) => Response::ok(Json::object([("csv", Json::str(csv))])),
+                Err(e) => Response::from_err(&e),
+            }
+        }
+        (Method::Delete, ["api", "datasets", owner, name]) => {
+            let Some(user) = str_field(&request.body, "user") else {
+                return Response::error(400, "user is required");
+            };
+            let dn = DatasetName::new(*owner, *name);
+            match service.delete_dataset(&user, &dn) {
+                Ok(()) => Response::ok(Json::object([("deleted", Json::Bool(true))])),
+                Err(e) => Response::from_err(&e),
+            }
+        }
+        (Method::Post, ["api", "views"]) => {
+            let (Some(user), Some(name), Some(sql)) = (
+                str_field(&request.body, "user"),
+                str_field(&request.body, "name"),
+                str_field(&request.body, "sql"),
+            ) else {
+                return Response::error(400, "user, name, and sql are required");
+            };
+            let metadata = Metadata {
+                description: str_field(&request.body, "description").unwrap_or_default(),
+                tags: request
+                    .body
+                    .get("tags")
+                    .and_then(Json::as_array)
+                    .map(|a| {
+                        a.iter()
+                            .filter_map(Json::as_str)
+                            .map(str::to_string)
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            };
+            match service.save_dataset(&user, &name, &sql, metadata) {
+                Ok(dn) => Response::created(Json::object([("dataset", Json::str(dn.flat()))])),
+                Err(e) => Response::from_err(&e),
+            }
+        }
+        (Method::Post, ["api", "datasets", owner, name, "append"]) => {
+            let (Some(user), Some(src_owner), Some(src_name)) = (
+                str_field(&request.body, "user"),
+                str_field(&request.body, "sourceOwner"),
+                str_field(&request.body, "sourceName"),
+            ) else {
+                return Response::error(400, "user, sourceOwner, and sourceName are required");
+            };
+            let existing = DatasetName::new(*owner, *name);
+            let new = DatasetName::new(src_owner, src_name);
+            match service.append(&user, &existing, &new, AppendMode::UnionAll) {
+                Ok(()) => Response::ok(Json::object([("appended", Json::Bool(true))])),
+                Err(e) => Response::from_err(&e),
+            }
+        }
+        (Method::Post, ["api", "datasets", owner, name, "permissions"]) => {
+            let Some(user) = str_field(&request.body, "user") else {
+                return Response::error(400, "user is required");
+            };
+            let visibility = match request.body.get("visibility") {
+                Some(Json::String(s)) if s == "public" => Visibility::Public,
+                Some(Json::String(s)) if s == "private" => Visibility::Private,
+                Some(Json::Array(users)) => Visibility::Shared(
+                    users
+                        .iter()
+                        .filter_map(Json::as_str)
+                        .map(str::to_string)
+                        .collect(),
+                ),
+                _ => {
+                    return Response::error(
+                        400,
+                        "visibility must be \"public\", \"private\", or a user list",
+                    )
+                }
+            };
+            let dn = DatasetName::new(*owner, *name);
+            match service.set_visibility(&user, &dn, visibility) {
+                Ok(()) => Response::ok(Json::object([("updated", Json::Bool(true))])),
+                Err(e) => Response::from_err(&e),
+            }
+        }
+        (Method::Post, ["api", "queries"]) => {
+            let (Some(user), Some(sql)) = (
+                str_field(&request.body, "user"),
+                str_field(&request.body, "sql"),
+            ) else {
+                return Response::error(400, "user and sql are required");
+            };
+            match service.submit_query(&user, &sql) {
+                Ok(id) => Response::created(Json::object([("id", Json::num(id as f64))])),
+                Err(e) => Response::from_err(&e),
+            }
+        }
+        (Method::Get, ["api", "queries", id]) => match id.parse::<u64>() {
+            Ok(id) => match service.query_status(id) {
+                Ok(JobStatus::Complete) => {
+                    Response::ok(Json::object([("status", Json::str("complete"))]))
+                }
+                Ok(JobStatus::Failed(msg)) => Response::ok(Json::object([
+                    ("status", Json::str("failed")),
+                    ("error", Json::str(msg.clone())),
+                ])),
+                Err(e) => Response::from_err(&e),
+            },
+            Err(_) => Response::error(400, "query id must be an integer"),
+        },
+        (Method::Get, ["api", "queries", id, "results"]) => match id.parse::<u64>() {
+            Ok(id) => match service.query_results(id) {
+                Ok(result) => {
+                    let columns: Vec<Json> = result
+                        .schema
+                        .columns
+                        .iter()
+                        .map(|c| Json::str(c.name.clone()))
+                        .collect();
+                    let rows: Vec<Json> = result
+                        .rows
+                        .iter()
+                        .map(|r| {
+                            Json::Array(r.iter().map(|v| Json::str(v.to_text())).collect())
+                        })
+                        .collect();
+                    Response::ok(Json::object([
+                        ("columns", Json::Array(columns)),
+                        ("rows", Json::Array(rows)),
+                        (
+                            "runtimeMicros",
+                            Json::num(result.runtime_micros as f64),
+                        ),
+                        ("plan", result.plan_json.clone()),
+                    ]))
+                }
+                Err(e) => Response::from_err(&e),
+            },
+            Err(_) => Response::error(400, "query id must be an integer"),
+        },
+        _ => Response::error(404, format!("no route for {:?} {}", request.method, path)),
+    }
+}
+
+fn split_query(path: &str) -> (&str, Option<String>) {
+    match path.split_once('?') {
+        None => (path, None),
+        Some((p, qs)) => {
+            let user = qs.split('&').find_map(|pair| {
+                pair.strip_prefix("user=").map(|v| v.to_string())
+            });
+            (p, user)
+        }
+    }
+}
+
+fn str_field(body: &Json, field: &str) -> Option<String> {
+    body.get(field).and_then(Json::as_str).map(str::to_string)
+}
+
+/// Build a `JsonObject`-backed body from string pairs (test/client helper).
+pub fn body(pairs: &[(&str, &str)]) -> Json {
+    let mut obj = JsonObject::new();
+    for (k, v) in pairs {
+        obj.insert(k.to_string(), Json::str(v.to_string()));
+    }
+    Json::Object(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_parsing() {
+        assert_eq!(Method::parse("get"), Some(Method::Get));
+        assert_eq!(Method::parse("POST"), Some(Method::Post));
+        assert_eq!(Method::parse("PATCH"), None);
+    }
+
+    #[test]
+    fn split_query_extracts_user() {
+        let (p, u) = split_query("/api/datasets/a/b?user=ada");
+        assert_eq!(p, "/api/datasets/a/b");
+        assert_eq!(u.as_deref(), Some("ada"));
+        let (p, u) = split_query("/api/datasets");
+        assert_eq!(p, "/api/datasets");
+        assert!(u.is_none());
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let mut s = SqlShare::new();
+        let r = dispatch(&mut s, &Request::get("/api/nope"));
+        assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn missing_fields_are_400() {
+        let mut s = SqlShare::new();
+        let r = dispatch(&mut s, &Request::post("/api/users", Json::Null));
+        assert_eq!(r.status, 400);
+    }
+}

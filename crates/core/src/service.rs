@@ -1,0 +1,888 @@
+//! The SQLShare service: the whole platform behind the REST interface.
+//!
+//! Implements the minimal workflow the paper advocates — *upload data,
+//! write queries, share the results* — with everything that entails:
+//! staged ingest with schema inference (§3.1), the unified dataset model
+//! with wrapper views, UNION appends and snapshots (§3.2), asynchronous
+//! query handles and preview caching (§3.3), ownership-chain permissions
+//! (§3.2), quotas, a simulated clock, and the query log that is the
+//! paper's research corpus (§4).
+
+use crate::accounts::{validate_username, Quota, User};
+use crate::clock::SimClock;
+use crate::dataset::{Dataset, DatasetKind, DatasetName, Metadata, Preview, PREVIEW_ROWS};
+use crate::permissions::{check_access, DatasetGraph, Visibility};
+use crate::querylog::{Outcome, QueryLog, QueryLogEntry};
+use sqlshare_common::json::Json;
+use sqlshare_common::{Error, Result};
+use sqlshare_engine::{Engine, Row, Schema, Table};
+use sqlshare_ingest::staging::Staging;
+use sqlshare_ingest::{IngestOptions, IngestReport};
+use sqlshare_sql::ast::{ObjectName, Query, TableRef};
+use sqlshare_sql::parser::parse_query;
+use sqlshare_sql::rewrite::{append_union, strip_order_by_for_view, wrapper_view, AppendMode};
+use std::collections::{BTreeMap, HashMap};
+
+/// Result rows plus execution metadata returned to clients.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+    pub runtime_micros: u64,
+    pub plan_json: Json,
+}
+
+/// Status of an asynchronous query job (§3.3: the REST server returns an
+/// identifier immediately; clients poll for status and results).
+#[derive(Debug, Clone)]
+pub enum JobStatus {
+    Complete,
+    Failed(String),
+}
+
+/// A submitted query job.
+#[derive(Debug, Clone)]
+pub struct QueryJob {
+    pub id: u64,
+    pub user: String,
+    pub sql: String,
+    pub status: JobStatus,
+    result: Option<QueryResult>,
+}
+
+/// The SQLShare platform.
+#[derive(Debug, Default)]
+pub struct SqlShare {
+    engine: Engine,
+    datasets: BTreeMap<String, Dataset>,
+    visibility: HashMap<String, Visibility>,
+    users: BTreeMap<String, User>,
+    staging: Staging,
+    log: QueryLog,
+    clock: SimClock,
+    quota: Quota,
+    jobs: HashMap<u64, QueryJob>,
+    next_job_id: u64,
+}
+
+impl SqlShare {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- users and time -------------------------------------------------
+
+    /// Register a user account.
+    pub fn register_user(&mut self, username: &str, email: &str) -> Result<()> {
+        validate_username(username)?;
+        let key = username.to_lowercase();
+        if self.users.contains_key(&key) {
+            return Err(Error::Request(format!(
+                "username '{username}' is already taken"
+            )));
+        }
+        self.users.insert(
+            key,
+            User {
+                username: username.to_string(),
+                email: email.to_string(),
+            },
+        );
+        Ok(())
+    }
+
+    pub fn user(&self, username: &str) -> Option<&User> {
+        self.users.get(&username.to_lowercase())
+    }
+
+    pub fn users(&self) -> impl Iterator<Item = &User> {
+        self.users.values()
+    }
+
+    /// Advance the simulated clock.
+    pub fn advance_days(&mut self, days: i32) {
+        self.clock.advance_days(days);
+    }
+
+    /// Current simulated day.
+    pub fn today(&self) -> i32 {
+        self.clock.day
+    }
+
+    fn require_user(&self, username: &str) -> Result<()> {
+        if self.user(username).is_none() {
+            return Err(Error::Request(format!("unknown user '{username}'")));
+        }
+        Ok(())
+    }
+
+    // ---- datasets --------------------------------------------------------
+
+    /// Upload a delimited file as a new dataset: stages it, infers the
+    /// schema, creates the base table and its trivial wrapper view, and
+    /// caches a preview.
+    pub fn upload(
+        &mut self,
+        user: &str,
+        dataset: &str,
+        content: &str,
+        options: &IngestOptions,
+    ) -> Result<(DatasetName, IngestReport)> {
+        self.require_user(user)?;
+        let name = DatasetName::new(user, dataset);
+        self.check_name_free(&name)?;
+        self.check_quota(user, content.len())?;
+
+        let stage_id = self.staging.stage(format!("{dataset}.csv"), content);
+        let base_key = base_table_key(&name);
+        let (table, report) = self.staging.ingest(stage_id, &base_key, options)?;
+        self.engine.create_table(table)?;
+
+        let wrapper = wrapper_view(&ObjectName(vec![
+            name.owner.clone(),
+            base_name_part(&name.name),
+        ]));
+        let sql = wrapper.to_string();
+        self.engine.create_view(&name.flat(), &sql)?;
+
+        let preview = self.compute_preview(&sql)?;
+        let created = self.clock.tick();
+        self.datasets.insert(
+            name.key(),
+            Dataset {
+                name: name.clone(),
+                sql,
+                metadata: Metadata::default(),
+                preview: Some(preview),
+                kind: DatasetKind::Uploaded,
+                base_table: Some(base_key),
+                created,
+            },
+        );
+        self.visibility.insert(name.key(), Visibility::Private);
+        Ok((name, report))
+    }
+
+    /// Save a query as a new derived dataset (a view). ORDER BY is
+    /// stripped per §3.5 unless TOP makes it meaningful.
+    pub fn save_dataset(
+        &mut self,
+        user: &str,
+        dataset: &str,
+        sql: &str,
+        metadata: Metadata,
+    ) -> Result<DatasetName> {
+        self.require_user(user)?;
+        let name = DatasetName::new(user, dataset);
+        self.check_name_free(&name)?;
+        self.check_quota(user, 0)?;
+
+        let parsed = parse_query(sql)?;
+        let qualified = self.qualify(&parsed, user)?;
+        let (stripped, _removed) = strip_order_by_for_view(&qualified);
+        // The author must be able to read everything the view touches.
+        for key in self.referenced_dataset_keys(&stripped) {
+            check_access(&GraphView { service: self }, user, &key)?;
+        }
+        let canonical = stripped.to_string();
+        self.engine.create_view(&name.flat(), &canonical)?;
+        // A view over a failing query is still creatable; the preview
+        // stays empty (matches the real system's lazy errors).
+        let preview = self.compute_preview(&canonical).ok();
+        let created = self.clock.tick();
+        self.datasets.insert(
+            name.key(),
+            Dataset {
+                name: name.clone(),
+                sql: canonical,
+                metadata,
+                preview,
+                kind: DatasetKind::Derived,
+                base_table: None,
+                created,
+            },
+        );
+        self.visibility.insert(name.key(), Visibility::Private);
+        Ok(name)
+    }
+
+    /// Append the rows of dataset `new` to dataset `existing` by view
+    /// rewrite (§3.2): `(existing) UNION ALL (new)`. Downstream views see
+    /// the new data with no changes.
+    pub fn append(
+        &mut self,
+        user: &str,
+        existing: &DatasetName,
+        new: &DatasetName,
+        mode: AppendMode,
+    ) -> Result<()> {
+        self.require_user(user)?;
+        let existing_ds = self.dataset_required(existing)?;
+        if !existing_ds.name.owner.eq_ignore_ascii_case(user) {
+            return Err(Error::Permission(format!(
+                "only the owner may append to '{existing}'"
+            )));
+        }
+        check_access(&GraphView { service: self }, user, &new.key())?;
+
+        // Schema compatibility: same arity, unifiable types.
+        let old_schema = self.engine.check(&self.dataset_required(existing)?.sql)?;
+        let new_schema = self
+            .engine
+            .check(&format!("SELECT * FROM {}", new.sql_ref()))?;
+        if old_schema.len() != new_schema.len() {
+            return Err(Error::Request(format!(
+                "append schema mismatch: '{existing}' has {} columns, '{new}' has {}",
+                old_schema.len(),
+                new_schema.len()
+            )));
+        }
+
+        let old_sql = self.dataset_required(existing)?.sql.clone();
+        let rewritten = append_union(
+            &old_sql,
+            &ObjectName(vec![new.owner.clone(), new.name.clone()]),
+            mode,
+        )?
+        .to_string();
+        self.engine.create_view(&existing.flat(), &rewritten)?;
+        let preview = self.compute_preview(&rewritten)?;
+        let ds = self
+            .datasets
+            .get_mut(&existing.key())
+            .expect("checked above");
+        ds.sql = rewritten;
+        ds.preview = Some(preview);
+        Ok(())
+    }
+
+    /// Materialize a dataset into a snapshot "distinct from the original
+    /// view definition" (§3.2): later changes to the source do not affect
+    /// the snapshot.
+    pub fn materialize(
+        &mut self,
+        user: &str,
+        source: &DatasetName,
+        snapshot: &str,
+    ) -> Result<DatasetName> {
+        self.require_user(user)?;
+        check_access(&GraphView { service: self }, user, &source.key())?;
+        let name = DatasetName::new(user, snapshot);
+        self.check_name_free(&name)?;
+        self.check_quota(user, 0)?;
+
+        let source_sql = self.dataset_required(source)?.sql.clone();
+        let output = self.engine.run(&source_sql)?;
+        let base_key = base_table_key(&name);
+        let table = Table::new(&base_key, output.schema.clone(), output.rows);
+        self.engine.create_table(table)?;
+        let wrapper = wrapper_view(&ObjectName(vec![
+            name.owner.clone(),
+            base_name_part(&name.name),
+        ]));
+        let sql = wrapper.to_string();
+        self.engine.create_view(&name.flat(), &sql)?;
+        let preview = self.compute_preview(&sql)?;
+        let created = self.clock.tick();
+        self.datasets.insert(
+            name.key(),
+            Dataset {
+                name: name.clone(),
+                sql,
+                metadata: Metadata {
+                    description: format!("snapshot of {source}"),
+                    tags: vec![],
+                },
+                preview: Some(preview),
+                kind: DatasetKind::Snapshot,
+                base_table: Some(base_key),
+                created,
+            },
+        );
+        self.visibility.insert(name.key(), Visibility::Private);
+        Ok(name)
+    }
+
+    /// Delete a dataset (owner only). Views deriving from it keep their
+    /// definitions and fail at query time, as in the real system.
+    pub fn delete_dataset(&mut self, user: &str, name: &DatasetName) -> Result<()> {
+        self.require_user(user)?;
+        let ds = self.dataset_required(name)?;
+        if !ds.name.owner.eq_ignore_ascii_case(user) {
+            return Err(Error::Permission(format!(
+                "only the owner may delete '{name}'"
+            )));
+        }
+        let base = ds.base_table.clone();
+        self.engine.catalog_mut().remove(&name.flat());
+        if let Some(b) = base {
+            self.engine.catalog_mut().remove(&b);
+        }
+        self.datasets.remove(&name.key());
+        self.visibility.remove(&name.key());
+        Ok(())
+    }
+
+    /// Set a dataset's visibility (owner only).
+    pub fn set_visibility(
+        &mut self,
+        user: &str,
+        name: &DatasetName,
+        visibility: Visibility,
+    ) -> Result<()> {
+        self.require_user(user)?;
+        let ds = self.dataset_required(name)?;
+        if !ds.name.owner.eq_ignore_ascii_case(user) {
+            return Err(Error::Permission(format!(
+                "only the owner may share '{name}'"
+            )));
+        }
+        self.visibility.insert(name.key(), visibility);
+        Ok(())
+    }
+
+    /// Update a dataset's description and tags (owner only).
+    pub fn set_metadata(
+        &mut self,
+        user: &str,
+        name: &DatasetName,
+        metadata: Metadata,
+    ) -> Result<()> {
+        self.require_user(user)?;
+        let key = name.key();
+        let ds = self
+            .datasets
+            .get_mut(&key)
+            .ok_or_else(|| Error::Catalog(format!("unknown dataset '{name}'")))?;
+        if !ds.name.owner.eq_ignore_ascii_case(user) {
+            return Err(Error::Permission(format!(
+                "only the owner may edit '{name}'"
+            )));
+        }
+        ds.metadata = metadata;
+        Ok(())
+    }
+
+    /// Serve the cached preview (§3.3: previews are served without
+    /// re-running the query).
+    pub fn preview(&self, user: &str, name: &DatasetName) -> Result<&Preview> {
+        self.require_user(user)?;
+        check_access(&GraphView { service: self }, user, &name.key())?;
+        self.dataset_required(name)?
+            .preview
+            .as_ref()
+            .ok_or_else(|| Error::Catalog(format!("no preview cached for '{name}'")))
+    }
+
+    /// Download a dataset's full contents as CSV — this *does* run the
+    /// query (§3.3).
+    pub fn download(&mut self, user: &str, name: &DatasetName) -> Result<String> {
+        let sql = format!("SELECT * FROM {}", name.sql_ref());
+        let result = self.run_query(user, &sql)?;
+        let mut out = String::new();
+        out.push_str(
+            &result
+                .schema
+                .columns
+                .iter()
+                .map(|c| csv_escape(&c.name))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &result.rows {
+            out.push_str(
+                &row.iter()
+                    .map(|v| csv_escape(&v.to_text()))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    // ---- queries -----------------------------------------------------
+
+    /// Run a query synchronously, enforcing permissions and logging the
+    /// attempt (success or failure) to the research corpus.
+    pub fn run_query(&mut self, user: &str, sql: &str) -> Result<QueryResult> {
+        self.require_user(user)?;
+        let at = self.clock.tick();
+        let id = self.log.len() as u64 + 1;
+        match self.run_query_inner(user, sql) {
+            Ok((result, datasets, tables)) => {
+                let foreign = datasets.iter().any(|k| {
+                    self.datasets
+                        .get(k)
+                        .map(|d| !d.name.owner.eq_ignore_ascii_case(user))
+                        .unwrap_or(false)
+                });
+                self.log.push(QueryLogEntry {
+                    id,
+                    user: user.to_string(),
+                    at,
+                    sql: sql.to_string(),
+                    outcome: Outcome::Success {
+                        rows: result.rows.len(),
+                        runtime_micros: result.runtime_micros,
+                    },
+                    plan_json: Some(result.plan_json.clone()),
+                    tables,
+                    datasets,
+                    touches_foreign_data: foreign,
+                });
+                Ok(result)
+            }
+            Err(err) => {
+                self.log.push(QueryLogEntry {
+                    id,
+                    user: user.to_string(),
+                    at,
+                    sql: sql.to_string(),
+                    outcome: Outcome::Error(err.kind().to_string()),
+                    plan_json: None,
+                    tables: vec![],
+                    datasets: vec![],
+                    touches_foreign_data: false,
+                });
+                Err(err)
+            }
+        }
+    }
+
+    fn run_query_inner(
+        &mut self,
+        user: &str,
+        sql: &str,
+    ) -> Result<(QueryResult, Vec<String>, Vec<String>)> {
+        let parsed = parse_query(sql)?;
+        let qualified = self.qualify(&parsed, user)?;
+        let dataset_keys = self.referenced_dataset_keys(&qualified);
+        for key in &dataset_keys {
+            check_access(&GraphView { service: self }, user, key)?;
+        }
+        let canonical = qualified.to_string();
+        let output = self.engine.run(&canonical)?;
+        let tables = output.plan.base_tables();
+        let plan_json = output.plan_json(sql);
+        Ok((
+            QueryResult {
+                schema: output.schema,
+                rows: output.rows,
+                runtime_micros: output.elapsed_micros,
+                plan_json,
+            },
+            dataset_keys,
+            tables,
+        ))
+    }
+
+    /// Submit a query for asynchronous execution; returns an identifier
+    /// the client can poll (§3.3).
+    pub fn submit_query(&mut self, user: &str, sql: &str) -> Result<u64> {
+        self.require_user(user)?;
+        self.next_job_id += 1;
+        let id = self.next_job_id;
+        let (status, result) = match self.run_query(user, sql) {
+            Ok(r) => (JobStatus::Complete, Some(r)),
+            Err(e) => (JobStatus::Failed(e.to_string()), None),
+        };
+        self.jobs.insert(
+            id,
+            QueryJob {
+                id,
+                user: user.to_string(),
+                sql: sql.to_string(),
+                status,
+                result,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Poll a submitted query's status.
+    pub fn query_status(&self, id: u64) -> Result<&JobStatus> {
+        self.jobs
+            .get(&id)
+            .map(|j| &j.status)
+            .ok_or_else(|| Error::Request(format!("unknown query id {id}")))
+    }
+
+    /// Fetch a completed query's results.
+    pub fn query_results(&self, id: u64) -> Result<&QueryResult> {
+        let job = self
+            .jobs
+            .get(&id)
+            .ok_or_else(|| Error::Request(format!("unknown query id {id}")))?;
+        match (&job.status, &job.result) {
+            (JobStatus::Complete, Some(r)) => Ok(r),
+            (JobStatus::Failed(msg), _) => Err(Error::Execution(msg.clone())),
+            _ => Err(Error::Request("results not available".into())),
+        }
+    }
+
+    /// Run a parameterized query macro (§5.2's proposed convenience):
+    /// `$name` placeholders — table positions included — are substituted
+    /// from `bindings` before normal execution and logging.
+    pub fn run_macro(
+        &mut self,
+        user: &str,
+        body: &str,
+        bindings: &crate::macros::MacroBindings,
+    ) -> Result<QueryResult> {
+        let sql = crate::macros::expand_macro(body, bindings)?;
+        self.run_query(user, &sql)
+    }
+
+    /// Run a query whose SELECT list may contain `prefix*` column
+    /// patterns (§5.3's proposed syntax), expanded against `dataset`'s
+    /// current schema.
+    pub fn run_with_column_patterns(
+        &mut self,
+        user: &str,
+        sql: &str,
+        dataset: &DatasetName,
+    ) -> Result<QueryResult> {
+        let columns: Vec<String> = self
+            .dataset_required(dataset)?
+            .preview
+            .as_ref()
+            .map(|p| p.schema.columns.iter().map(|c| c.name.clone()).collect())
+            .unwrap_or_default();
+        let expanded = crate::macros::expand_column_patterns(sql, &columns)?;
+        self.run_query(user, &expanded)
+    }
+
+    /// Mint a DOI for a dataset (§5.2: "One user minted DOIs for datasets
+    /// in SQLShare; we are adding DOI minting into the interface as a
+    /// feature in the next release"). Requires the dataset to be public
+    /// (a resolvable identifier must resolve for everyone), is idempotent,
+    /// and records the DOI as a dataset tag.
+    pub fn mint_doi(&mut self, user: &str, name: &DatasetName) -> Result<String> {
+        self.require_user(user)?;
+        let ds = self.dataset_required(name)?;
+        if !ds.name.owner.eq_ignore_ascii_case(user) {
+            return Err(Error::Permission(format!(
+                "only the owner may mint a DOI for '{name}'"
+            )));
+        }
+        if !matches!(self.visibility(name), Visibility::Public) {
+            return Err(Error::Request(format!(
+                "'{name}' must be public before a DOI can be minted"
+            )));
+        }
+        let key = name.key();
+        let existing = self
+            .datasets
+            .get(&key)
+            .and_then(|d| {
+                d.metadata
+                    .tags
+                    .iter()
+                    .find(|t| t.starts_with("doi:"))
+                    .cloned()
+            });
+        if let Some(doi) = existing {
+            return Ok(doi.trim_start_matches("doi:").to_string());
+        }
+        // Deterministic registry-style identifier: prefix/dataset-hash.
+        let h = sqlshare_common::hash::fnv64_str(&key);
+        let doi = format!("10.5072/sqlshare.{h:016x}");
+        if let Some(d) = self.datasets.get_mut(&key) {
+            d.metadata.tags.push(format!("doi:{doi}"));
+        }
+        Ok(doi)
+    }
+
+    /// Register a user-defined function name with the backing engine
+    /// (UDF bodies are synthetic; see `sqlshare-engine`). The SDSS
+    /// comparison workload is UDF-heavy (Table 4b of the paper).
+    pub fn register_udf(&mut self, name: &str) {
+        self.engine.catalog_mut().register_udf(name);
+    }
+
+    // ---- accessors for analysis ---------------------------------------
+
+    pub fn log(&self) -> &QueryLog {
+        &self.log
+    }
+
+    pub fn datasets(&self) -> impl Iterator<Item = &Dataset> {
+        self.datasets.values()
+    }
+
+    pub fn dataset(&self, name: &DatasetName) -> Option<&Dataset> {
+        self.datasets.get(&name.key())
+    }
+
+    pub fn visibility(&self, name: &DatasetName) -> Visibility {
+        self.visibility
+            .get(&name.key())
+            .cloned()
+            .unwrap_or(Visibility::Private)
+    }
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Total bytes stored in base tables (the paper reports 143.02 GB for
+    /// the production deployment).
+    pub fn stored_bytes(&self) -> usize {
+        self.engine.catalog().estimated_bytes()
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    fn dataset_required(&self, name: &DatasetName) -> Result<&Dataset> {
+        self.datasets
+            .get(&name.key())
+            .ok_or_else(|| Error::Catalog(format!("unknown dataset '{name}'")))
+    }
+
+    fn check_name_free(&self, name: &DatasetName) -> Result<()> {
+        if self.datasets.contains_key(&name.key()) {
+            return Err(Error::Catalog(format!(
+                "dataset '{name}' already exists"
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_quota(&self, user: &str, incoming_bytes: usize) -> Result<()> {
+        let owned: Vec<&Dataset> = self
+            .datasets
+            .values()
+            .filter(|d| d.name.owner.eq_ignore_ascii_case(user))
+            .collect();
+        if owned.len() >= self.quota.max_datasets {
+            return Err(Error::Quota(format!(
+                "user '{user}' has reached the {} dataset quota",
+                self.quota.max_datasets
+            )));
+        }
+        let bytes: usize = owned
+            .iter()
+            .filter_map(|d| d.base_table.as_ref())
+            .filter_map(|b| self.engine.catalog().table(b).ok())
+            .map(|t| t.estimated_bytes())
+            .sum();
+        if bytes + incoming_bytes > self.quota.max_bytes {
+            return Err(Error::Quota(format!(
+                "user '{user}' would exceed the storage quota"
+            )));
+        }
+        Ok(())
+    }
+
+    fn compute_preview(&self, sql: &str) -> Result<Preview> {
+        let output = self.engine.run(sql)?;
+        let truncated = output.rows.len() > PREVIEW_ROWS;
+        let mut rows = output.rows;
+        rows.truncate(PREVIEW_ROWS);
+        Ok(Preview {
+            schema: output.schema,
+            rows,
+            truncated,
+        })
+    }
+
+    /// Qualify single-part dataset references with the requesting user's
+    /// name when that dataset exists, so `FROM tides` works for the owner.
+    fn qualify(&self, query: &Query, user: &str) -> Result<Query> {
+        let mut q = query.clone();
+        qualify_query(&mut q, &|name: &ObjectName| {
+            if name.0.len() == 1 {
+                let candidate = format!("{}.{}", user.to_lowercase(), name.0[0].to_lowercase());
+                if self.datasets.contains_key(&candidate) {
+                    return Some(ObjectName(vec![
+                        user.to_string(),
+                        name.0[0].clone(),
+                    ]));
+                }
+            }
+            None
+        });
+        Ok(q)
+    }
+
+    /// Dataset keys directly referenced by a query (base-table internals
+    /// excluded).
+    fn referenced_dataset_keys(&self, query: &Query) -> Vec<String> {
+        let mut keys: Vec<String> = query
+            .referenced_tables()
+            .iter()
+            .map(|n| n.flat().to_lowercase())
+            .filter(|k| self.datasets.contains_key(k))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+}
+
+/// The base table behind a dataset: `owner.<name>$base`.
+fn base_table_key(name: &DatasetName) -> String {
+    format!("{}.{}", name.owner, base_name_part(&name.name))
+}
+
+fn base_name_part(dataset: &str) -> String {
+    format!("{dataset}$base")
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Rewrite table names in a query via `f` (returning `Some` replaces).
+fn qualify_query(query: &mut Query, f: &dyn Fn(&ObjectName) -> Option<ObjectName>) {
+    fn walk_set(e: &mut sqlshare_sql::ast::SetExpr, f: &dyn Fn(&ObjectName) -> Option<ObjectName>) {
+        match e {
+            sqlshare_sql::ast::SetExpr::Select(s) => {
+                for t in &mut s.from {
+                    walk_table(t, f);
+                }
+                // Subqueries in expressions:
+                rewrite_exprs_in_select(s, f);
+            }
+            sqlshare_sql::ast::SetExpr::SetOp { left, right, .. } => {
+                walk_set(left, f);
+                walk_set(right, f);
+            }
+        }
+    }
+    fn walk_table(t: &mut TableRef, f: &dyn Fn(&ObjectName) -> Option<ObjectName>) {
+        match t {
+            TableRef::Named { name, alias } => {
+                if let Some(new_name) = f(name) {
+                    // Keep the original short name visible as an alias so
+                    // column qualifiers keep resolving.
+                    if alias.is_none() {
+                        *alias = Some(name.base().to_string());
+                    }
+                    *name = new_name;
+                }
+            }
+            TableRef::Derived { subquery, .. } => qualify_query(subquery, f),
+            TableRef::Join { left, right, .. } => {
+                walk_table(left, f);
+                walk_table(right, f);
+            }
+        }
+    }
+    fn rewrite_exprs_in_select(
+        s: &mut sqlshare_sql::ast::Select,
+        f: &dyn Fn(&ObjectName) -> Option<ObjectName>,
+    ) {
+        use sqlshare_sql::ast::{Expr, SelectItem};
+        fn walk_expr(e: &mut Expr, f: &dyn Fn(&ObjectName) -> Option<ObjectName>) {
+            match e {
+                Expr::ScalarSubquery(q) => qualify_query(q, f),
+                Expr::InSubquery { subquery, expr, .. } => {
+                    qualify_query(subquery, f);
+                    walk_expr(expr, f);
+                }
+                Expr::Exists { subquery, .. } => qualify_query(subquery, f),
+                Expr::Unary { expr, .. } => walk_expr(expr, f),
+                Expr::Binary { left, right, .. } => {
+                    walk_expr(left, f);
+                    walk_expr(right, f);
+                }
+                Expr::Function(call) => {
+                    for a in &mut call.args {
+                        walk_expr(a, f);
+                    }
+                }
+                Expr::Case {
+                    operand,
+                    branches,
+                    else_result,
+                } => {
+                    if let Some(o) = operand {
+                        walk_expr(o, f);
+                    }
+                    for (c, v) in branches {
+                        walk_expr(c, f);
+                        walk_expr(v, f);
+                    }
+                    if let Some(el) = else_result {
+                        walk_expr(el, f);
+                    }
+                }
+                Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => walk_expr(expr, f),
+                Expr::InList { expr, list, .. } => {
+                    walk_expr(expr, f);
+                    for e in list {
+                        walk_expr(e, f);
+                    }
+                }
+                Expr::Between {
+                    expr, low, high, ..
+                } => {
+                    walk_expr(expr, f);
+                    walk_expr(low, f);
+                    walk_expr(high, f);
+                }
+                Expr::Like { expr, pattern, .. } => {
+                    walk_expr(expr, f);
+                    walk_expr(pattern, f);
+                }
+                _ => {}
+            }
+        }
+        for item in &mut s.projection {
+            if let SelectItem::Expr { expr, .. } = item {
+                walk_expr(expr, f);
+            }
+        }
+        if let Some(w) = &mut s.selection {
+            walk_expr(w, f);
+        }
+        for g in &mut s.group_by {
+            walk_expr(g, f);
+        }
+        if let Some(h) = &mut s.having {
+            walk_expr(h, f);
+        }
+    }
+    walk_set(&mut query.body, f);
+    let _ = &query.order_by; // ORDER BY cannot reference tables.
+}
+
+/// Adapter exposing the service's dataset graph to the permission walker.
+struct GraphView<'a> {
+    service: &'a SqlShare,
+}
+
+impl DatasetGraph for GraphView<'_> {
+    fn owner_of(&self, dataset_key: &str) -> Option<String> {
+        self.service
+            .datasets
+            .get(dataset_key)
+            .map(|d| d.name.owner.clone())
+    }
+
+    fn visibility_of(&self, dataset_key: &str) -> Option<Visibility> {
+        self.service.visibility.get(dataset_key).cloned()
+    }
+
+    fn references_of(&self, dataset_key: &str) -> Vec<String> {
+        let Some(ds) = self.service.datasets.get(dataset_key) else {
+            return vec![];
+        };
+        let Ok(parsed) = parse_query(&ds.sql) else {
+            return vec![];
+        };
+        parsed
+            .referenced_tables()
+            .iter()
+            .map(|n| n.flat().to_lowercase())
+            .filter(|k| self.service.datasets.contains_key(k))
+            .collect()
+    }
+}

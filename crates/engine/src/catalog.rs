@@ -1,0 +1,226 @@
+//! The engine catalog: base tables and view definitions.
+//!
+//! SQLShare's catalog is flat and per-service ("Sea of Tables", §3):
+//! datasets are named, sometimes with an owner prefix, and views are
+//! stored as SQL text. Lookups are case-insensitive. The binder resolves
+//! `ObjectName`s here and inlines views (view-on-view chains are the
+//! paper's provenance hierarchies, Fig. 6).
+
+use crate::table::Table;
+use sqlshare_common::{Error, Result};
+use sqlshare_sql::ast::ObjectName;
+use std::collections::HashMap;
+
+/// A stored view definition.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    pub name: String,
+    /// Canonical SQL text of the defining query.
+    pub sql: String,
+}
+
+/// Catalog of tables and views.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+    views: HashMap<String, ViewDef>,
+    /// Registered user-defined functions (name, case-insensitive). UDF
+    /// bodies are synthetic in this reproduction; see `BoundExpr::Udf`.
+    udfs: HashMap<String, String>,
+}
+
+/// Resolution result for a name.
+pub enum Relation<'a> {
+    Table(&'a Table),
+    View(&'a ViewDef),
+}
+
+fn key(name: &str) -> String {
+    name.to_lowercase()
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a base table. Fails if any relation already has the name.
+    pub fn add_table(&mut self, table: Table) -> Result<()> {
+        let k = key(&table.name);
+        if self.tables.contains_key(&k) || self.views.contains_key(&k) {
+            return Err(Error::Catalog(format!(
+                "a dataset named '{}' already exists",
+                table.name
+            )));
+        }
+        self.tables.insert(k, table);
+        Ok(())
+    }
+
+    /// Register (or replace) a view definition.
+    pub fn set_view(&mut self, name: impl Into<String>, sql: impl Into<String>) -> Result<()> {
+        let name = name.into();
+        let k = key(&name);
+        if self.tables.contains_key(&k) {
+            return Err(Error::Catalog(format!(
+                "'{name}' is a base table; views cannot shadow tables"
+            )));
+        }
+        self.views.insert(
+            k,
+            ViewDef {
+                name,
+                sql: sql.into(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Remove a relation by name; true if something was removed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let k = key(name);
+        self.tables.remove(&k).is_some() | self.views.remove(&k).is_some()
+    }
+
+    /// Resolve an `ObjectName`, trying the fully-qualified flat form first
+    /// and then the base name.
+    pub fn resolve(&self, name: &ObjectName) -> Result<Relation<'_>> {
+        for candidate in [key(&name.flat()), key(name.base())] {
+            if let Some(t) = self.tables.get(&candidate) {
+                return Ok(Relation::Table(t));
+            }
+            if let Some(v) = self.views.get(&candidate) {
+                return Ok(Relation::View(v));
+            }
+        }
+        Err(Error::Binding(format!("unknown table or view '{name}'")))
+    }
+
+    /// Look up a base table by its catalog key.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&key(name))
+            .ok_or_else(|| Error::Binding(format!("unknown table '{name}'")))
+    }
+
+    /// Look up a view by name.
+    pub fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.views.get(&key(name))
+    }
+
+    /// Register a user-defined function name (synthetic body).
+    pub fn register_udf(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        self.udfs.insert(key(&name), name);
+    }
+
+    /// Look up a registered UDF, returning its canonical name.
+    pub fn udf(&self, name: &str) -> Option<&str> {
+        self.udfs.get(&key(name)).map(String::as_str)
+    }
+
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Iterate all base tables.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Iterate all views.
+    pub fn views(&self) -> impl Iterator<Item = &ViewDef> {
+        self.views.values()
+    }
+
+    /// Total estimated stored bytes across base tables.
+    pub fn estimated_bytes(&self) -> usize {
+        self.tables.values().map(Table::estimated_bytes).sum()
+    }
+
+    /// Total column count across base tables (Table 2a's "Columns").
+    pub fn total_columns(&self) -> usize {
+        self.tables.values().map(|t| t.schema.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn t(name: &str) -> Table {
+        Table::new(name, Schema::from_pairs([("x", DataType::Int)]), vec![])
+    }
+
+    #[test]
+    fn add_and_resolve_case_insensitive() {
+        let mut c = Catalog::new();
+        c.add_table(t("MyTable")).unwrap();
+        assert!(matches!(
+            c.resolve(&ObjectName::simple("mytable")).unwrap(),
+            Relation::Table(_)
+        ));
+        assert!(c.table("MYTABLE").is_ok());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = Catalog::new();
+        c.add_table(t("a")).unwrap();
+        assert!(c.add_table(t("A")).is_err());
+        c.set_view("v", "SELECT 1").unwrap();
+        assert!(c.add_table(t("v")).is_err());
+        assert!(c.set_view("a", "SELECT 1").is_err());
+    }
+
+    #[test]
+    fn views_can_be_replaced() {
+        let mut c = Catalog::new();
+        c.set_view("v", "SELECT 1").unwrap();
+        c.set_view("v", "SELECT 2").unwrap();
+        assert_eq!(c.view("V").unwrap().sql, "SELECT 2");
+    }
+
+    #[test]
+    fn qualified_resolution_prefers_flat_name() {
+        let mut c = Catalog::new();
+        c.add_table(t("alice.data")).unwrap();
+        c.add_table(t("data")).unwrap();
+        let n = ObjectName(vec!["alice".into(), "data".into()]);
+        match c.resolve(&n).unwrap() {
+            Relation::Table(tab) => assert_eq!(tab.name, "alice.data"),
+            _ => panic!(),
+        }
+        // Unqualified falls back to the bare name.
+        match c.resolve(&ObjectName::simple("data")).unwrap() {
+            Relation::Table(tab) => assert_eq!(tab.name, "data"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut c = Catalog::new();
+        c.add_table(t("a")).unwrap();
+        assert!(c.remove("A"));
+        assert!(!c.remove("a"));
+        assert!(c.resolve(&ObjectName::simple("a")).is_err());
+    }
+
+    #[test]
+    fn counters() {
+        let mut c = Catalog::new();
+        c.add_table(t("a")).unwrap();
+        c.add_table(t("b")).unwrap();
+        c.set_view("v", "SELECT 1").unwrap();
+        assert_eq!(c.table_count(), 2);
+        assert_eq!(c.view_count(), 1);
+        assert_eq!(c.total_columns(), 2);
+    }
+}

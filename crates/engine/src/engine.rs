@@ -1,0 +1,120 @@
+//! The engine facade: parse → bind → plan → execute.
+
+use crate::binder::Binder;
+use crate::optimizer::optimize;
+use crate::catalog::Catalog;
+use crate::exec;
+use crate::explain::plan_to_json;
+use crate::functions::EvalContext;
+use crate::physical::{plan_physical, PhysicalPlan};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Row;
+use sqlshare_common::json::Json;
+use sqlshare_common::{Error, Result};
+use sqlshare_sql::ast::Statement;
+use sqlshare_sql::parser::{parse_query, parse_statement};
+use std::time::Instant;
+
+/// Result of running one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+    pub plan: PhysicalPlan,
+    /// Wall-clock execution time (parse + bind + plan + execute).
+    pub elapsed_micros: u64,
+}
+
+impl QueryOutput {
+    /// The Listing-1 JSON plan for this execution.
+    pub fn plan_json(&self, query: &str) -> Json {
+        plan_to_json(query, &self.plan)
+    }
+}
+
+/// An in-process relational engine over a [`Catalog`].
+#[derive(Debug, Default, Clone)]
+pub struct Engine {
+    catalog: Catalog,
+    ctx: EvalContext,
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Engine {
+            catalog: Catalog::new(),
+            ctx: EvalContext::default(),
+        }
+    }
+
+    /// Access the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Set the simulated "today" used by GETDATE().
+    pub fn set_current_date(&mut self, days_since_epoch: i32) {
+        self.ctx.current_date = days_since_epoch;
+    }
+
+    /// Register a base table.
+    pub fn create_table(&mut self, table: Table) -> Result<()> {
+        self.catalog.add_table(table)
+    }
+
+    /// Register a view after validating that its definition parses and
+    /// binds against the current catalog.
+    pub fn create_view(&mut self, name: &str, sql: &str) -> Result<()> {
+        let query = parse_query(sql)?;
+        Binder::new(&self.catalog).bind_query(&query)?;
+        self.catalog.set_view(name, sql)
+    }
+
+    /// Validate a query without executing it; returns its output schema.
+    pub fn check(&self, sql: &str) -> Result<Schema> {
+        let query = parse_query(sql)?;
+        let plan = Binder::new(&self.catalog).bind_query(&query)?;
+        Ok(plan.schema().clone())
+    }
+
+    /// Produce the physical plan (EXPLAIN). Uncorrelated subqueries are
+    /// executed during planning, as in the real system's plan generation.
+    pub fn explain(&self, sql: &str) -> Result<PhysicalPlan> {
+        let query = parse_query(sql)?;
+        let logical = Binder::new(&self.catalog).bind_query(&query)?;
+        let logical = optimize(logical);
+        plan_physical(&logical, &self.catalog, &self.ctx)
+    }
+
+    /// Run a query end to end.
+    pub fn run(&self, sql: &str) -> Result<QueryOutput> {
+        let started = Instant::now();
+        let statement = parse_statement(sql)?;
+        let query = match statement {
+            Statement::Select(q) => q,
+            Statement::Unsupported(kind) => {
+                return Err(Error::Permission(format!(
+                    "{kind} statements are not allowed: SQLShare datasets are \
+                     read-only; create a new dataset (view) instead"
+                )))
+            }
+        };
+        let logical = Binder::new(&self.catalog).bind_query(&query)?;
+        let schema = logical.schema().clone();
+        let logical = optimize(logical);
+        let plan = plan_physical(&logical, &self.catalog, &self.ctx)?;
+        let rows = exec::execute(&plan, &self.catalog, &self.ctx)?;
+        Ok(QueryOutput {
+            schema,
+            rows,
+            plan,
+            elapsed_micros: started.elapsed().as_micros() as u64,
+        })
+    }
+}

@@ -1,0 +1,427 @@
+//! The executor: materialized, recursive evaluation of physical plans.
+//!
+//! SQLShare datasets are modest ("The SQLShare system is not intended for
+//! large datasets; ... 143 GB total", §4 — and per-table sizes are small),
+//! so a materialized executor is the right tradeoff: every operator
+//! consumes and produces `Vec<Row>`.
+
+use crate::aggregate::Accumulator;
+use crate::catalog::Catalog;
+use crate::expr::{eval_predicate, BoundExpr};
+use crate::functions::EvalContext;
+use crate::logical::SortKey;
+use crate::physical::{PhysOp, PhysicalPlan};
+use crate::table::cmp_rows;
+use crate::value::{Row, Value};
+use crate::window::compute_windows;
+use sqlshare_common::{Error, Result};
+use sqlshare_sql::ast::{JoinKind, SetOp};
+use std::collections::HashMap;
+
+/// Execute a physical plan to completion.
+pub fn execute(plan: &PhysicalPlan, catalog: &Catalog, ctx: &EvalContext) -> Result<Vec<Row>> {
+    match &plan.op {
+        PhysOp::ConstantScan => Ok(vec![Vec::new()]),
+        PhysOp::Scan { table } => Ok(catalog.table(table)?.rows().to_vec()),
+        PhysOp::Seek {
+            table,
+            lower,
+            upper,
+            residual,
+        } => {
+            let t = catalog.table(table)?;
+            let hits = t.seek_leading(as_ref_bound(lower), as_ref_bound(upper));
+            match residual {
+                None => Ok(hits.to_vec()),
+                Some(pred) => {
+                    let mut out = Vec::new();
+                    for row in hits {
+                        if eval_predicate(pred, row, ctx)? {
+                            out.push(row.clone());
+                        }
+                    }
+                    Ok(out)
+                }
+            }
+        }
+        PhysOp::Filter { predicate } => {
+            let input = execute(data_child(plan)?, catalog, ctx)?;
+            let mut out = Vec::with_capacity(input.len() / 2);
+            for row in input {
+                if eval_predicate(predicate, &row, ctx)? {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PhysOp::Compute { exprs } => {
+            let input = execute(data_child(plan)?, catalog, ctx)?;
+            let mut out = Vec::with_capacity(input.len());
+            for row in input {
+                let mut new_row = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    new_row.push(e.eval(&row, ctx)?);
+                }
+                out.push(new_row);
+            }
+            Ok(out)
+        }
+        PhysOp::NestedLoops {
+            kind,
+            on,
+            left_width,
+            right_width,
+        } => {
+            let (l, r) = two_children(plan, catalog, ctx)?;
+            nested_loops(l, r, *kind, on.as_ref(), *left_width, *right_width, ctx)
+        }
+        PhysOp::HashJoin {
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            left_width,
+            right_width,
+        } => {
+            let (l, r) = two_children(plan, catalog, ctx)?;
+            hash_join(
+                l,
+                r,
+                *kind,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                *left_width,
+                *right_width,
+                ctx,
+            )
+        }
+        PhysOp::MergeJoin {
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            // Executed as an inner hash join; the operator *name* is what
+            // matters for plan statistics, the result is identical.
+            let (l, r) = two_children(plan, catalog, ctx)?;
+            let lw = l.first().map(Row::len).unwrap_or(0);
+            let rw = r.first().map(Row::len).unwrap_or(0);
+            hash_join(
+                l,
+                r,
+                JoinKind::Inner,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                lw,
+                rw,
+                ctx,
+            )
+        }
+        PhysOp::Aggregate { group, aggs, .. } => {
+            let input = execute(data_child(plan)?, catalog, ctx)?;
+            aggregate(input, group, aggs, ctx)
+        }
+        PhysOp::Sort { keys } => {
+            let input = execute(data_child(plan)?, catalog, ctx)?;
+            sort_rows(input, keys, ctx)
+        }
+        PhysOp::Top { quantity, percent } => {
+            let mut input = execute(data_child(plan)?, catalog, ctx)?;
+            let n = if *percent {
+                ((input.len() as f64) * (*quantity as f64) / 100.0).ceil() as usize
+            } else {
+                *quantity as usize
+            };
+            input.truncate(n);
+            Ok(input)
+        }
+        PhysOp::DistinctSort => {
+            let mut input = execute(data_child(plan)?, catalog, ctx)?;
+            input.sort_by(cmp_rows);
+            input.dedup_by(|a, b| cmp_rows(a, b).is_eq());
+            Ok(input)
+        }
+        PhysOp::Concatenation => {
+            let (mut l, r) = two_children(plan, catalog, ctx)?;
+            l.extend(r);
+            Ok(l)
+        }
+        PhysOp::HashSetOp { op } => {
+            let (l, r) = two_children(plan, catalog, ctx)?;
+            let mut right_set: Vec<Row> = r;
+            right_set.sort_by(cmp_rows);
+            let contains = |row: &Row| {
+                right_set
+                    .binary_search_by(|probe| cmp_rows(probe, row))
+                    .is_ok()
+            };
+            let mut left: Vec<Row> = l;
+            left.sort_by(cmp_rows);
+            left.dedup_by(|a, b| cmp_rows(a, b).is_eq());
+            Ok(match op {
+                SetOp::Intersect => left.into_iter().filter(|r| contains(r)).collect(),
+                SetOp::Except => left.into_iter().filter(|r| !contains(r)).collect(),
+                SetOp::Union => unreachable!("UNION is planned as Concatenation"),
+            })
+        }
+        PhysOp::Segment => execute(data_child(plan)?, catalog, ctx),
+        PhysOp::SequenceProject { calls } => {
+            let input = execute(data_child(plan)?, catalog, ctx)?;
+            compute_windows(input, calls, ctx)
+        }
+    }
+}
+
+/// The first child is always the data input; extra children are
+/// materialized-subquery plans kept for EXPLAIN only.
+fn data_child(plan: &PhysicalPlan) -> Result<&PhysicalPlan> {
+    plan.children
+        .first()
+        .ok_or_else(|| Error::Execution("internal: operator missing input".into()))
+}
+
+fn two_children(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    ctx: &EvalContext,
+) -> Result<(Vec<Row>, Vec<Row>)> {
+    if plan.children.len() < 2 {
+        return Err(Error::Execution(
+            "internal: binary operator missing inputs".into(),
+        ));
+    }
+    let l = execute(&plan.children[0], catalog, ctx)?;
+    let r = execute(&plan.children[1], catalog, ctx)?;
+    Ok((l, r))
+}
+
+fn as_ref_bound(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
+    match b {
+        std::ops::Bound::Included(v) => std::ops::Bound::Included(v),
+        std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),
+        std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
+    }
+}
+
+fn null_row(width: usize) -> Row {
+    vec![Value::Null; width]
+}
+
+fn nested_loops(
+    left: Vec<Row>,
+    right: Vec<Row>,
+    kind: JoinKind,
+    on: Option<&BoundExpr>,
+    left_width: usize,
+    right_width: usize,
+    ctx: &EvalContext,
+) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    let mut right_matched = vec![false; right.len()];
+    for lrow in &left {
+        let mut matched = false;
+        for (ri, rrow) in right.iter().enumerate() {
+            let mut combined = lrow.clone();
+            combined.extend(rrow.iter().cloned());
+            let ok = match on {
+                None => true,
+                Some(p) => eval_predicate(p, &combined, ctx)?,
+            };
+            if ok {
+                matched = true;
+                right_matched[ri] = true;
+                out.push(combined);
+            }
+        }
+        if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
+            let mut padded = lrow.clone();
+            padded.extend(null_row(right_width));
+            out.push(padded);
+        }
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, rrow) in right.iter().enumerate() {
+            if !right_matched[ri] {
+                let mut padded = null_row(left_width);
+                padded.extend(rrow.iter().cloned());
+                out.push(padded);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Grouping key for hash joins: text-normalized so `Int(1)` and
+/// `Float(1.0)` hash identically (they compare equal under `sql_eq`).
+fn join_key(values: &[Value]) -> Option<String> {
+    let mut key = String::new();
+    for v in values {
+        match v {
+            Value::Null => return None, // NULL keys never join
+            Value::Int(i) => key.push_str(&format!("n{}", *i as f64)),
+            Value::Float(f) => key.push_str(&format!("n{f}")),
+            Value::Bool(b) => key.push_str(if *b { "b1" } else { "b0" }),
+            Value::Date(d) => key.push_str(&format!("d{d}")),
+            Value::Text(s) => {
+                key.push('t');
+                key.push_str(s);
+            }
+        }
+        key.push('\u{1}');
+    }
+    Some(key)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hash_join(
+    left: Vec<Row>,
+    right: Vec<Row>,
+    kind: JoinKind,
+    left_keys: &[BoundExpr],
+    right_keys: &[BoundExpr],
+    residual: Option<&BoundExpr>,
+    left_width: usize,
+    right_width: usize,
+    ctx: &EvalContext,
+) -> Result<Vec<Row>> {
+    let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+    for (ri, rrow) in right.iter().enumerate() {
+        let keys = right_keys
+            .iter()
+            .map(|k| k.eval(rrow, ctx))
+            .collect::<Result<Vec<_>>>()?;
+        if let Some(key) = join_key(&keys) {
+            table.entry(key).or_default().push(ri);
+        }
+    }
+    let mut out = Vec::new();
+    let mut right_matched = vec![false; right.len()];
+    for lrow in &left {
+        let keys = left_keys
+            .iter()
+            .map(|k| k.eval(lrow, ctx))
+            .collect::<Result<Vec<_>>>()?;
+        let mut matched = false;
+        if let Some(key) = join_key(&keys) {
+            if let Some(candidates) = table.get(&key) {
+                for &ri in candidates {
+                    let mut combined = lrow.clone();
+                    combined.extend(right[ri].iter().cloned());
+                    let ok = match residual {
+                        None => true,
+                        Some(p) => eval_predicate(p, &combined, ctx)?,
+                    };
+                    if ok {
+                        matched = true;
+                        right_matched[ri] = true;
+                        out.push(combined);
+                    }
+                }
+            }
+        }
+        if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
+            let mut padded = lrow.clone();
+            padded.extend(null_row(right_width));
+            out.push(padded);
+        }
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, rrow) in right.iter().enumerate() {
+            if !right_matched[ri] {
+                let mut padded = null_row(left_width);
+                padded.extend(rrow.iter().cloned());
+                out.push(padded);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn aggregate(
+    input: Vec<Row>,
+    group: &[BoundExpr],
+    aggs: &[crate::aggregate::AggCall],
+    ctx: &EvalContext,
+) -> Result<Vec<Row>> {
+    if group.is_empty() {
+        // Scalar aggregate: exactly one output row, even on empty input.
+        let mut accs: Vec<Accumulator> = aggs
+            .iter()
+            .map(|a| Accumulator::new(a.func, a.distinct))
+            .collect();
+        for row in &input {
+            feed(&mut accs, aggs, row, ctx)?;
+        }
+        return Ok(vec![accs.iter().map(Accumulator::finish).collect()]);
+    }
+    // Keyed grouping: evaluate keys, sort by them, aggregate runs.
+    let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(input.len());
+    for row in input {
+        let key = group
+            .iter()
+            .map(|g| g.eval(&row, ctx))
+            .collect::<Result<Vec<_>>>()?;
+        keyed.push((key, row));
+    }
+    keyed.sort_by(|a, b| cmp_rows(&a.0, &b.0));
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < keyed.len() {
+        let mut j = i + 1;
+        while j < keyed.len() && cmp_rows(&keyed[j].0, &keyed[i].0).is_eq() {
+            j += 1;
+        }
+        let mut accs: Vec<Accumulator> = aggs
+            .iter()
+            .map(|a| Accumulator::new(a.func, a.distinct))
+            .collect();
+        for (_, row) in &keyed[i..j] {
+            feed(&mut accs, aggs, row, ctx)?;
+        }
+        let mut out_row = keyed[i].0.clone();
+        out_row.extend(accs.iter().map(Accumulator::finish));
+        out.push(out_row);
+        i = j;
+    }
+    Ok(out)
+}
+
+fn feed(
+    accs: &mut [Accumulator],
+    aggs: &[crate::aggregate::AggCall],
+    row: &Row,
+    ctx: &EvalContext,
+) -> Result<()> {
+    for (acc, call) in accs.iter_mut().zip(aggs) {
+        let v = match &call.arg {
+            Some(e) => e.eval(row, ctx)?,
+            None => Value::Int(1), // COUNT(*)
+        };
+        acc.push(&v)?;
+    }
+    Ok(())
+}
+
+fn sort_rows(mut input: Vec<Row>, keys: &[SortKey], ctx: &EvalContext) -> Result<Vec<Row>> {
+    // Precompute key vectors (decorate-sort-undecorate).
+    let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(input.len());
+    for row in input.drain(..) {
+        let kv = keys
+            .iter()
+            .map(|k| k.expr.eval(&row, ctx))
+            .collect::<Result<Vec<_>>>()?;
+        keyed.push((kv, row));
+    }
+    keyed.sort_by(|a, b| {
+        for (i, key) in keys.iter().enumerate() {
+            let ord = a.0[i].total_cmp(&b.0[i]);
+            let ord = if key.desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(keyed.into_iter().map(|(_, r)| r).collect())
+}

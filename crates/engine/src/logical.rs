@@ -1,0 +1,165 @@
+//! The logical relational algebra.
+//!
+//! Produced by the binder, consumed by the physical planner. Every node
+//! carries its output [`Schema`] so downstream passes never re-derive
+//! name resolution.
+
+use crate::aggregate::AggCall;
+use crate::expr::BoundExpr;
+use crate::schema::Schema;
+use crate::window::WindowCall;
+use sqlshare_sql::ast::{JoinKind, SetOp};
+
+/// A sort key: expression over the input row plus direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    pub expr: BoundExpr,
+    pub desc: bool,
+}
+
+/// Logical plan nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Base table scan; `table` is the catalog key.
+    Scan { table: String, schema: Schema },
+    /// A single empty row — the input of a FROM-less SELECT
+    /// (SQL Server's "Constant Scan").
+    OneRow,
+    Filter {
+        input: Box<LogicalPlan>,
+        predicate: BoundExpr,
+    },
+    Project {
+        input: Box<LogicalPlan>,
+        exprs: Vec<BoundExpr>,
+        schema: Schema,
+    },
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        kind: JoinKind,
+        /// Bound over the concatenated (left ++ right) schema.
+        on: Option<BoundExpr>,
+        schema: Schema,
+    },
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group: Vec<BoundExpr>,
+        aggs: Vec<AggCall>,
+        schema: Schema,
+    },
+    /// Appends one column per window call (all calls share one spec).
+    Window {
+        input: Box<LogicalPlan>,
+        calls: Vec<WindowCall>,
+        schema: Schema,
+    },
+    Sort {
+        input: Box<LogicalPlan>,
+        keys: Vec<SortKey>,
+    },
+    Top {
+        input: Box<LogicalPlan>,
+        quantity: u64,
+        percent: bool,
+    },
+    Distinct { input: Box<LogicalPlan> },
+    SetOp {
+        op: SetOp,
+        all: bool,
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        schema: Schema,
+    },
+}
+
+impl LogicalPlan {
+    /// Output schema of this node.
+    pub fn schema(&self) -> &Schema {
+        static EMPTY: Schema = Schema { columns: Vec::new() };
+        match self {
+            LogicalPlan::OneRow => &EMPTY,
+            LogicalPlan::Scan { schema, .. }
+            | LogicalPlan::Project { schema, .. }
+            | LogicalPlan::Join { schema, .. }
+            | LogicalPlan::Aggregate { schema, .. }
+            | LogicalPlan::Window { schema, .. }
+            | LogicalPlan::SetOp { schema, .. } => schema,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Top { input, .. }
+            | LogicalPlan::Distinct { input } => input.schema(),
+        }
+    }
+
+    /// All base tables referenced anywhere in the plan (including inside
+    /// subquery expressions).
+    pub fn base_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        // Expressions may hold subquery plans; scan them too.
+        let scan_expr = |e: &BoundExpr, out: &mut Vec<String>| {
+            e.walk(&mut |x| match x {
+                BoundExpr::ScalarSubquery(p) => p.collect_tables(out),
+                BoundExpr::InSubquery { plan, .. } => plan.collect_tables(out),
+                BoundExpr::Exists { plan, .. } => plan.collect_tables(out),
+                _ => {}
+            });
+        };
+        match self {
+            LogicalPlan::OneRow => {}
+            LogicalPlan::Scan { table, .. } => out.push(table.clone()),
+            LogicalPlan::Filter { input, predicate } => {
+                scan_expr(predicate, out);
+                input.collect_tables(out);
+            }
+            LogicalPlan::Project { input, exprs, .. } => {
+                for e in exprs {
+                    scan_expr(e, out);
+                }
+                input.collect_tables(out);
+            }
+            LogicalPlan::Join {
+                left, right, on, ..
+            } => {
+                if let Some(on) = on {
+                    scan_expr(on, out);
+                }
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+            LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Window { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Top { input, .. }
+            | LogicalPlan::Distinct { input } => input.collect_tables(out),
+            LogicalPlan::SetOp { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+        }
+    }
+
+    /// Number of nodes in the plan tree (used in tests and reports).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            LogicalPlan::Scan { .. } | LogicalPlan::OneRow => 0,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Window { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Top { input, .. }
+            | LogicalPlan::Distinct { input } => input.node_count(),
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
+                left.node_count() + right.node_count()
+            }
+        }
+    }
+}

@@ -1,0 +1,1275 @@
+//! Physical plans and the physical planner.
+//!
+//! The planner turns a [`LogicalPlan`] into a tree of physical operators
+//! whose vocabulary matches SQL Server's (the backend the paper's corpus
+//! was extracted from): `Clustered Index Scan`/`Seek`, `Filter`,
+//! `Compute Scalar`, `Nested Loops`, `Merge Join`, `Hash Match`, `Sort`,
+//! `Stream Aggregate`, `Top`, `Concatenation`, `Segment`,
+//! `Sequence Project`, `Constant Scan`. Each node carries the estimates
+//! (`io`, `cpu`, `numRows`, `rowSize`) and annotations (`filters`,
+//! expression operators, referenced columns) that the paper's Phase 1
+//! extraction reads (Fig. 5a / Listing 1).
+//!
+//! Uncorrelated subqueries in expressions are *materialized here*: the
+//! subquery is planned and executed once, its result replaces the
+//! expression (scalar value or IN set), and its physical plan is kept as
+//! an extra child so plan-level statistics still see its operators.
+
+use crate::aggregate::AggCall;
+use crate::catalog::Catalog;
+use crate::cost::{self, Estimates, PredKind};
+use crate::expr::BoundExpr;
+use crate::functions::EvalContext;
+use crate::logical::{LogicalPlan, SortKey};
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::window::WindowCall;
+use sqlshare_common::{Error, Result};
+use sqlshare_sql::ast::{BinaryOp, JoinKind, SetOp};
+use std::ops::Bound;
+
+/// Executable configuration of one physical operator.
+#[derive(Debug, Clone)]
+pub enum PhysOp {
+    ConstantScan,
+    Scan {
+        table: String,
+    },
+    Seek {
+        table: String,
+        lower: Bound<Value>,
+        upper: Bound<Value>,
+        residual: Option<BoundExpr>,
+    },
+    Filter {
+        predicate: BoundExpr,
+    },
+    Compute {
+        exprs: Vec<BoundExpr>,
+    },
+    NestedLoops {
+        kind: JoinKind,
+        on: Option<BoundExpr>,
+        left_width: usize,
+        right_width: usize,
+    },
+    HashJoin {
+        kind: JoinKind,
+        left_keys: Vec<BoundExpr>,
+        right_keys: Vec<BoundExpr>,
+        residual: Option<BoundExpr>,
+        left_width: usize,
+        right_width: usize,
+    },
+    /// Sort-merge join; inputs are pre-sorted scans on their join keys.
+    MergeJoin {
+        left_keys: Vec<BoundExpr>,
+        right_keys: Vec<BoundExpr>,
+        residual: Option<BoundExpr>,
+    },
+    Aggregate {
+        group: Vec<BoundExpr>,
+        aggs: Vec<AggCall>,
+        hash: bool,
+    },
+    Sort {
+        keys: Vec<SortKey>,
+    },
+    Top {
+        quantity: u64,
+        percent: bool,
+    },
+    DistinctSort,
+    Concatenation,
+    HashSetOp {
+        op: SetOp,
+    },
+    /// Window pipeline: Segment marks partition boundaries (pass-through
+    /// at execution), Sequence Project computes the window columns.
+    Segment,
+    SequenceProject {
+        calls: Vec<WindowCall>,
+    },
+}
+
+/// A physical plan node with everything EXPLAIN reports.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    pub op: PhysOp,
+    /// SHOWPLAN-style operator name.
+    pub physical_op: String,
+    pub logical_op: String,
+    /// Whether the node appears in EXPLAIN output (trivial projections do
+    /// not, mirroring SHOWPLAN).
+    pub visible: bool,
+    pub est: Estimates,
+    /// Rendered predicates at this node (Listing 1 `filters`).
+    pub filters: Vec<String>,
+    /// Expression-operator mnemonics evaluated at this node.
+    pub expr_ops: Vec<String>,
+    /// `(base table, column)` pairs referenced at this node.
+    pub columns: Vec<(String, String)>,
+    pub children: Vec<PhysicalPlan>,
+}
+
+impl PhysicalPlan {
+    fn new(op: PhysOp, physical_op: &str, logical_op: &str, est: Estimates) -> Self {
+        PhysicalPlan {
+            op,
+            physical_op: physical_op.to_string(),
+            logical_op: logical_op.to_string(),
+            visible: true,
+            est,
+            filters: Vec::new(),
+            expr_ops: Vec::new(),
+            columns: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Subtree total cost (own io + cpu + children).
+    pub fn total_cost(&self) -> f64 {
+        self.est.io
+            + self.est.cpu
+            + self.children.iter().map(PhysicalPlan::total_cost).sum::<f64>()
+    }
+
+    /// All visible operator names in the subtree.
+    pub fn operator_names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.visit(&mut |n| {
+            if n.visible {
+                out.push(n.physical_op.as_str());
+            }
+        });
+        out
+    }
+
+    /// Distinct base tables scanned or sought anywhere in the plan.
+    pub fn base_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |n| {
+            if let PhysOp::Scan { table } | PhysOp::Seek { table, .. } = &n.op {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+        });
+        out.sort();
+        out
+    }
+
+    /// Visit every node depth-first (pre-order).
+    pub fn visit<'a>(&'a self, f: &mut dyn FnMut(&'a PhysicalPlan)) {
+        f(self);
+        for c in &self.children {
+            c.visit(f);
+        }
+    }
+}
+
+/// Plan a logical plan into a physical plan, materializing uncorrelated
+/// subqueries along the way (which requires executing them — `catalog`
+/// and `ctx` are the execution environment).
+pub fn plan_physical(
+    logical: &LogicalPlan,
+    catalog: &Catalog,
+    ctx: &EvalContext,
+) -> Result<PhysicalPlan> {
+    Planner { catalog, ctx }.plan(logical)
+}
+
+struct Planner<'a> {
+    catalog: &'a Catalog,
+    ctx: &'a EvalContext,
+}
+
+impl Planner<'_> {
+    fn plan(&self, node: &LogicalPlan) -> Result<PhysicalPlan> {
+        match node {
+            LogicalPlan::OneRow => Ok(PhysicalPlan::new(
+                PhysOp::ConstantScan,
+                "Constant Scan",
+                "Constant Scan",
+                Estimates {
+                    rows: 1.0,
+                    io: 0.0,
+                    cpu: cost::CPU_PER_ROW,
+                    row_size: 1.0,
+                },
+            )),
+            LogicalPlan::Scan { table, schema } => self.plan_scan(table, schema),
+            LogicalPlan::Filter { input, predicate } => self.plan_filter(input, predicate),
+            LogicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => self.plan_project(input, exprs, schema),
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                on,
+                schema,
+            } => self.plan_join(left, right, *kind, on, schema),
+            LogicalPlan::Aggregate {
+                input,
+                group,
+                aggs,
+                schema,
+            } => self.plan_aggregate(input, group, aggs, schema),
+            LogicalPlan::Window {
+                input,
+                calls,
+                schema,
+            } => self.plan_window(input, calls, schema),
+            LogicalPlan::Sort { input, keys } => {
+                let child = self.plan(input)?;
+                let keys = self.materialize_in_sort_keys(keys, input.schema())?;
+                let est = Estimates {
+                    rows: child.est.rows,
+                    io: 0.0,
+                    cpu: cost::sort_cpu(child.est.rows),
+                    row_size: child.est.row_size,
+                };
+                let mut n = PhysicalPlan::new(PhysOp::Sort { keys: keys.clone() }, "Sort", "Sort", est);
+                for k in &keys {
+                    k.expr.expression_ops(&mut n.expr_ops);
+                    n.columns
+                        .extend(columns_used(&k.expr, input.schema()));
+                }
+                n.children.push(child);
+                Ok(n)
+            }
+            LogicalPlan::Top {
+                input,
+                quantity,
+                percent,
+            } => {
+                let child = self.plan(input)?;
+                let out_rows = if *percent {
+                    (child.est.rows * (*quantity as f64) / 100.0).ceil()
+                } else {
+                    child.est.rows.min(*quantity as f64)
+                };
+                let est = Estimates {
+                    rows: out_rows.max(0.0),
+                    io: 0.0,
+                    cpu: cost::CPU_PER_ROW,
+                    row_size: child.est.row_size,
+                };
+                let mut n = PhysicalPlan::new(
+                    PhysOp::Top {
+                        quantity: *quantity,
+                        percent: *percent,
+                    },
+                    "Top",
+                    "Top",
+                    est,
+                );
+                n.children.push(child);
+                Ok(n)
+            }
+            LogicalPlan::Distinct { input } => {
+                let child = self.plan(input)?;
+                let est = Estimates {
+                    rows: (child.est.rows * 0.5).max(1.0),
+                    io: 0.0,
+                    cpu: cost::sort_cpu(child.est.rows),
+                    row_size: child.est.row_size,
+                };
+                let mut n = PhysicalPlan::new(PhysOp::DistinctSort, "Sort", "Distinct Sort", est);
+                n.children.push(child);
+                Ok(n)
+            }
+            LogicalPlan::SetOp {
+                op,
+                all,
+                left,
+                right,
+                schema,
+            } => {
+                let l = self.plan(left)?;
+                let r = self.plan(right)?;
+                let row_size = schema.estimated_row_size() as f64;
+                match op {
+                    SetOp::Union => {
+                        let est = Estimates {
+                            rows: l.est.rows + r.est.rows,
+                            io: 0.0,
+                            cpu: cost::row_cpu(l.est.rows + r.est.rows, 0),
+                            row_size,
+                        };
+                        let mut concat = PhysicalPlan::new(
+                            PhysOp::Concatenation,
+                            "Concatenation",
+                            "Concatenation",
+                            est,
+                        );
+                        concat.children.push(l);
+                        concat.children.push(r);
+                        if *all {
+                            Ok(concat)
+                        } else {
+                            let est = Estimates {
+                                rows: (concat.est.rows * 0.7).max(1.0),
+                                io: 0.0,
+                                cpu: cost::sort_cpu(concat.est.rows),
+                                row_size,
+                            };
+                            let mut dedup = PhysicalPlan::new(
+                                PhysOp::DistinctSort,
+                                "Sort",
+                                "Distinct Sort",
+                                est,
+                            );
+                            dedup.children.push(concat);
+                            Ok(dedup)
+                        }
+                    }
+                    SetOp::Intersect | SetOp::Except => {
+                        let rows = match op {
+                            SetOp::Intersect => l.est.rows.min(r.est.rows) * 0.5,
+                            _ => l.est.rows * 0.5,
+                        };
+                        let est = Estimates {
+                            rows: rows.max(1.0),
+                            io: 0.0,
+                            cpu: cost::row_cpu(l.est.rows + r.est.rows, 0),
+                            row_size,
+                        };
+                        let logical = match op {
+                            SetOp::Intersect => "Intersect",
+                            _ => "Except",
+                        };
+                        let mut n = PhysicalPlan::new(
+                            PhysOp::HashSetOp { op: *op },
+                            "Hash Match",
+                            logical,
+                            est,
+                        );
+                        n.children.push(l);
+                        n.children.push(r);
+                        Ok(n)
+                    }
+                }
+            }
+        }
+    }
+
+    fn plan_scan(&self, table: &str, schema: &Schema) -> Result<PhysicalPlan> {
+        let t = self.catalog.table(table)?;
+        let rows = t.row_count() as f64;
+        let row_size = schema.estimated_row_size() as f64;
+        let est = Estimates {
+            rows,
+            io: cost::scan_io(rows, row_size),
+            cpu: cost::row_cpu(rows, 0),
+            row_size,
+        };
+        let mut n = PhysicalPlan::new(
+            PhysOp::Scan {
+                table: table.to_string(),
+            },
+            "Clustered Index Scan",
+            "Clustered Index Scan",
+            est,
+        );
+        n.columns = schema
+            .columns
+            .iter()
+            .filter_map(|c| c.source_table.clone().map(|t| (t, c.name.clone())))
+            .collect();
+        Ok(n)
+    }
+
+    fn plan_filter(&self, input: &LogicalPlan, predicate: &BoundExpr) -> Result<PhysicalPlan> {
+        let predicate = self.materialize(predicate.clone())?;
+        let schema = input.schema();
+
+        // Predicates directly over a scan fold into the access operator,
+        // as SQL Server does: a sargable leading-column predicate becomes
+        // a Clustered Index Seek (§3.4: every table carries a clustered
+        // index on all columns in column order); anything else becomes a
+        // scan with a residual predicate — no separate Filter operator.
+        if let LogicalPlan::Scan { table, .. } = input {
+            let bounds = extract_seek_bounds(&predicate.0).unwrap_or((
+                Bound::Unbounded,
+                Bound::Unbounded,
+                Some(predicate.0.clone()),
+                Vec::new(),
+            ));
+            {
+                let (lower, upper, residual, consumed) = bounds;
+                let is_seek =
+                    !matches!((&lower, &upper), (Bound::Unbounded, Bound::Unbounded));
+                let t = self.catalog.table(table)?;
+                let rows = t.row_count() as f64;
+                let row_size = schema.estimated_row_size() as f64;
+                let sel = if is_seek {
+                    cost::selectivity(if matches!(
+                        (&lower, &upper),
+                        (Bound::Included(_), Bound::Included(_))
+                    ) {
+                        PredKind::Equality
+                    } else {
+                        PredKind::Range
+                    })
+                } else {
+                    1.0
+                };
+                let residual_sel = residual
+                    .as_ref()
+                    .map(pred_selectivity)
+                    .unwrap_or(1.0);
+                let out_rows = (rows * sel * residual_sel).max(1.0);
+                let est = Estimates {
+                    rows: out_rows,
+                    io: cost::scan_io(rows * sel, row_size),
+                    cpu: cost::row_cpu(rows * sel, 1),
+                    row_size,
+                };
+                let name = if is_seek {
+                    "Clustered Index Seek"
+                } else {
+                    "Clustered Index Scan"
+                };
+                let mut n = PhysicalPlan::new(
+                    PhysOp::Seek {
+                        table: table.clone(),
+                        lower,
+                        upper,
+                        residual: residual.clone(),
+                    },
+                    name,
+                    name,
+                    est,
+                );
+                n.filters = consumed;
+                if let Some(r) = &residual {
+                    n.filters.push(render_filter(r, schema));
+                    r.expression_ops(&mut n.expr_ops);
+                }
+                n.columns = schema
+                    .columns
+                    .iter()
+                    .filter_map(|c| c.source_table.clone().map(|t| (t, c.name.clone())))
+                    .collect();
+                // Record subquery plans materialized inside the predicate.
+                n.children.extend(predicate.1);
+                return Ok(n);
+            }
+        }
+
+        let child = self.plan(input)?;
+        let sel = pred_selectivity(&predicate.0);
+        let est = Estimates {
+            rows: (child.est.rows * sel).max(1.0),
+            io: 0.0,
+            cpu: cost::row_cpu(child.est.rows, count_expr_ops(&predicate.0)),
+            row_size: child.est.row_size,
+        };
+        let mut n = PhysicalPlan::new(
+            PhysOp::Filter {
+                predicate: predicate.0.clone(),
+            },
+            "Filter",
+            "Filter",
+            est,
+        );
+        n.filters = split_conjuncts(&predicate.0)
+            .iter()
+            .map(|c| render_filter(c, schema))
+            .collect();
+        predicate.0.expression_ops(&mut n.expr_ops);
+        n.columns = columns_used(&predicate.0, schema);
+        n.children.push(child);
+        n.children.extend(predicate.1);
+        Ok(n)
+    }
+
+    fn plan_project(
+        &self,
+        input: &LogicalPlan,
+        exprs: &[BoundExpr],
+        schema: &Schema,
+    ) -> Result<PhysicalPlan> {
+        let child = self.plan(input)?;
+        let mut subplans = Vec::new();
+        let mut mat_exprs = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            let (m, subs) = self.materialize(e.clone())?;
+            mat_exprs.push(m);
+            subplans.extend(subs);
+        }
+        let trivial = mat_exprs.iter().all(BoundExpr::is_column) && subplans.is_empty();
+        let expr_count: usize = mat_exprs.iter().map(count_expr_ops).sum();
+        let est = Estimates {
+            rows: child.est.rows,
+            io: 0.0,
+            cpu: cost::row_cpu(child.est.rows, expr_count),
+            row_size: schema.estimated_row_size() as f64,
+        };
+        let mut n = PhysicalPlan::new(
+            PhysOp::Compute {
+                exprs: mat_exprs.clone(),
+            },
+            "Compute Scalar",
+            "Compute Scalar",
+            est,
+        );
+        n.visible = !trivial;
+        for e in &mat_exprs {
+            e.expression_ops(&mut n.expr_ops);
+            n.columns.extend(columns_used(e, input.schema()));
+        }
+        n.children.push(child);
+        n.children.extend(subplans);
+        Ok(n)
+    }
+
+    fn plan_join(
+        &self,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+        kind: JoinKind,
+        on: &Option<BoundExpr>,
+        schema: &Schema,
+    ) -> Result<PhysicalPlan> {
+        let l = self.plan(left)?;
+        let r = self.plan(right)?;
+        let left_width = left.schema().len();
+        let right_width = right.schema().len();
+        let row_size = schema.estimated_row_size() as f64;
+
+        let on_mat = match on {
+            Some(e) => Some(self.materialize(e.clone())?),
+            None => None,
+        };
+        let mut subplans = Vec::new();
+        let on_expr = on_mat.map(|(e, subs)| {
+            subplans = subs;
+            e
+        });
+
+        // Split the ON condition into equi-key pairs and a residual.
+        let (pairs, residual) = match &on_expr {
+            Some(e) if kind != JoinKind::Cross => split_equi_join(e, left_width),
+            _ => (Vec::new(), on_expr.clone()),
+        };
+
+        let (phys, name, est_rows) = if !pairs.is_empty() {
+            let left_keys: Vec<BoundExpr> = pairs.iter().map(|(l, _)| l.clone()).collect();
+            let right_keys: Vec<BoundExpr> = pairs.iter().map(|(_, r)| r.clone()).collect();
+            let est_rows = l.est.rows.max(r.est.rows);
+            // Merge join when both sides arrive in clustered order on the
+            // key — a scan or seek of the leading index column (seeks
+            // preserve clustered order); nested loops for tiny inputs;
+            // hash otherwise.
+            let in_clustered_order = |p: &PhysicalPlan| {
+                matches!(p.op, PhysOp::Scan { .. } | PhysOp::Seek { .. })
+            };
+            let leading_sorted = kind == JoinKind::Inner
+                && left_keys == [BoundExpr::Column(0)]
+                && right_keys == [BoundExpr::Column(0)]
+                && in_clustered_order(&l)
+                && in_clustered_order(&r);
+            if leading_sorted {
+                (
+                    PhysOp::MergeJoin {
+                        left_keys,
+                        right_keys,
+                        residual: residual.clone(),
+                    },
+                    "Merge Join",
+                    est_rows,
+                )
+            } else if l.est.rows.min(r.est.rows) < 2.0 {
+                (
+                    PhysOp::NestedLoops {
+                        kind,
+                        on: on_expr.clone(),
+                        left_width,
+                        right_width,
+                    },
+                    "Nested Loops",
+                    est_rows,
+                )
+            } else {
+                (
+                    PhysOp::HashJoin {
+                        kind,
+                        left_keys,
+                        right_keys,
+                        residual: residual.clone(),
+                        left_width,
+                        right_width,
+                    },
+                    "Hash Match",
+                    est_rows,
+                )
+            }
+        } else {
+            let est_rows = match kind {
+                JoinKind::Cross => l.est.rows * r.est.rows,
+                _ => (l.est.rows * r.est.rows * 0.3).max(1.0),
+            };
+            (
+                PhysOp::NestedLoops {
+                    kind,
+                    on: on_expr.clone(),
+                    left_width,
+                    right_width,
+                },
+                "Nested Loops",
+                est_rows,
+            )
+        };
+
+        let logical = match kind {
+            JoinKind::Inner => "Inner Join",
+            JoinKind::Left => "Left Outer Join",
+            JoinKind::Right => "Right Outer Join",
+            JoinKind::Full => "Full Outer Join",
+            JoinKind::Cross => "Cross Join",
+        };
+        let est = Estimates {
+            rows: est_rows.max(1.0),
+            io: 0.0,
+            cpu: cost::row_cpu(l.est.rows + r.est.rows + est_rows, 1),
+            row_size,
+        };
+        let mut n = PhysicalPlan::new(phys, name, logical, est);
+        if let Some(on) = &on_expr {
+            n.filters = split_conjuncts(on)
+                .iter()
+                .map(|c| render_filter(c, schema))
+                .collect();
+            on.expression_ops(&mut n.expr_ops);
+            n.columns = columns_used(on, schema);
+        }
+        n.children.push(l);
+        n.children.push(r);
+        n.children.extend(subplans);
+        Ok(n)
+    }
+
+    fn plan_aggregate(
+        &self,
+        input: &LogicalPlan,
+        group: &[BoundExpr],
+        aggs: &[AggCall],
+        schema: &Schema,
+    ) -> Result<PhysicalPlan> {
+        let child = self.plan(input)?;
+        let in_rows = child.est.rows;
+        // SQL Server's choice in this regime: stream aggregation when the
+        // input is already ordered on the group key or small enough to
+        // sort cheaply; hash aggregation otherwise.
+        let pre_ordered = group == [BoundExpr::Column(0)]
+            && matches!(child.op, PhysOp::Scan { .. } | PhysOp::Seek { .. });
+        let hash = !group.is_empty() && !pre_ordered && in_rows > 90.0;
+        let out_rows = if group.is_empty() {
+            1.0
+        } else {
+            in_rows.sqrt().max(1.0)
+        };
+        let est = Estimates {
+            rows: out_rows,
+            io: 0.0,
+            cpu: cost::row_cpu(in_rows, group.len() + aggs.len()),
+            row_size: schema.estimated_row_size() as f64,
+        };
+        let mut expr_ops = Vec::new();
+        let mut columns = Vec::new();
+        for g in group {
+            g.expression_ops(&mut expr_ops);
+            columns.extend(columns_used(g, input.schema()));
+        }
+        for a in aggs {
+            if let Some(arg) = &a.arg {
+                arg.expression_ops(&mut expr_ops);
+                columns.extend(columns_used(arg, input.schema()));
+            }
+        }
+
+        // Stream aggregation requires sorted input: plan an explicit Sort
+        // below, like SQL Server does — unless the input is already in
+        // clustered order on the group key (grouping by the leading
+        // column of a scan/seek).
+        let mut lower = child;
+        if !hash && !group.is_empty() && !pre_ordered {
+            let keys: Vec<SortKey> = group
+                .iter()
+                .map(|g| SortKey {
+                    expr: g.clone(),
+                    desc: false,
+                })
+                .collect();
+            let est = Estimates {
+                rows: lower.est.rows,
+                io: 0.0,
+                cpu: cost::sort_cpu(lower.est.rows),
+                row_size: lower.est.row_size,
+            };
+            let mut sort = PhysicalPlan::new(PhysOp::Sort { keys }, "Sort", "Sort", est);
+            sort.children.push(lower);
+            lower = sort;
+        }
+
+        let (name, logical) = if hash {
+            ("Hash Match", "Aggregate")
+        } else {
+            ("Stream Aggregate", "Aggregate")
+        };
+        let mut n = PhysicalPlan::new(
+            PhysOp::Aggregate {
+                group: group.to_vec(),
+                aggs: aggs.to_vec(),
+                hash,
+            },
+            name,
+            logical,
+            est,
+        );
+        n.expr_ops = expr_ops;
+        n.columns = columns;
+        n.children.push(lower);
+        Ok(n)
+    }
+
+    fn plan_window(
+        &self,
+        input: &LogicalPlan,
+        calls: &[WindowCall],
+        schema: &Schema,
+    ) -> Result<PhysicalPlan> {
+        let child = self.plan(input)?;
+        let rows = child.est.rows;
+        let row_size = schema.estimated_row_size() as f64;
+
+        // Sort by (partition, order) keys.
+        let spec = &calls[0];
+        let mut keys: Vec<SortKey> = spec
+            .partition_by
+            .iter()
+            .map(|e| SortKey {
+                expr: e.clone(),
+                desc: false,
+            })
+            .collect();
+        keys.extend(spec.order_by.iter().map(|(e, desc)| SortKey {
+            expr: e.clone(),
+            desc: *desc,
+        }));
+        let mut lower = child;
+        if !keys.is_empty() {
+            let est = Estimates {
+                rows,
+                io: 0.0,
+                cpu: cost::sort_cpu(rows),
+                row_size: lower.est.row_size,
+            };
+            let mut sort = PhysicalPlan::new(PhysOp::Sort { keys }, "Sort", "Sort", est);
+            sort.children.push(lower);
+            lower = sort;
+        }
+
+        let mut segment = PhysicalPlan::new(
+            PhysOp::Segment,
+            "Segment",
+            "Segment",
+            Estimates {
+                rows,
+                io: 0.0,
+                cpu: cost::row_cpu(rows, 0),
+                row_size,
+            },
+        );
+        for p in &spec.partition_by {
+            segment.columns.extend(columns_used(p, input.schema()));
+        }
+        segment.children.push(lower);
+
+        let mut n = PhysicalPlan::new(
+            PhysOp::SequenceProject {
+                calls: calls.to_vec(),
+            },
+            "Sequence Project",
+            "Compute Scalar",
+            Estimates {
+                rows,
+                io: 0.0,
+                cpu: cost::row_cpu(rows, calls.len()),
+                row_size,
+            },
+        );
+        for c in calls {
+            for a in &c.args {
+                a.expression_ops(&mut n.expr_ops);
+                n.columns.extend(columns_used(a, input.schema()));
+            }
+        }
+        n.children.push(segment);
+        Ok(n)
+    }
+
+    /// Materialize uncorrelated subqueries inside an expression: each is
+    /// planned, executed, and replaced by its value; the subquery physical
+    /// plans are returned for attachment to the consuming node.
+    fn materialize(&self, expr: BoundExpr) -> Result<(BoundExpr, Vec<PhysicalPlan>)> {
+        let mut subplans = Vec::new();
+        let out = self.materialize_rec(expr, &mut subplans)?;
+        Ok((out, subplans))
+    }
+
+    fn materialize_in_sort_keys(
+        &self,
+        keys: &[SortKey],
+        _schema: &Schema,
+    ) -> Result<Vec<SortKey>> {
+        keys.iter()
+            .map(|k| {
+                Ok(SortKey {
+                    expr: self.materialize(k.expr.clone())?.0,
+                    desc: k.desc,
+                })
+            })
+            .collect()
+    }
+
+    fn materialize_rec(
+        &self,
+        expr: BoundExpr,
+        subplans: &mut Vec<PhysicalPlan>,
+    ) -> Result<BoundExpr> {
+        Ok(match expr {
+            BoundExpr::ScalarSubquery(plan) => {
+                let phys = self.plan(&plan)?;
+                let rows = crate::exec::execute(&phys, self.catalog, self.ctx)?;
+                if rows.len() > 1 {
+                    return Err(Error::Execution(
+                        "scalar subquery returned more than one row".into(),
+                    ));
+                }
+                let value = rows
+                    .into_iter()
+                    .next()
+                    .and_then(|r| r.into_iter().next())
+                    .unwrap_or(Value::Null);
+                subplans.push(phys);
+                BoundExpr::Literal(value)
+            }
+            BoundExpr::InSubquery {
+                expr,
+                plan,
+                negated,
+            } => {
+                let phys = self.plan(&plan)?;
+                let rows = crate::exec::execute(&phys, self.catalog, self.ctx)?;
+                let values: Vec<Value> = rows
+                    .into_iter()
+                    .filter_map(|r| r.into_iter().next())
+                    .collect();
+                subplans.push(phys);
+                BoundExpr::InSet {
+                    expr: Box::new(self.materialize_rec(*expr, subplans)?),
+                    values,
+                    negated,
+                }
+            }
+            BoundExpr::Exists { plan, negated } => {
+                let phys = self.plan(&plan)?;
+                let rows = crate::exec::execute(&phys, self.catalog, self.ctx)?;
+                subplans.push(phys);
+                BoundExpr::Literal(Value::Bool(rows.is_empty() == negated))
+            }
+            BoundExpr::Not(e) => BoundExpr::Not(Box::new(self.materialize_rec(*e, subplans)?)),
+            BoundExpr::Neg(e) => BoundExpr::Neg(Box::new(self.materialize_rec(*e, subplans)?)),
+            BoundExpr::Binary { left, op, right } => BoundExpr::Binary {
+                left: Box::new(self.materialize_rec(*left, subplans)?),
+                op,
+                right: Box::new(self.materialize_rec(*right, subplans)?),
+            },
+            BoundExpr::Func { func, args } => BoundExpr::Func {
+                func,
+                args: args
+                    .into_iter()
+                    .map(|a| self.materialize_rec(a, subplans))
+                    .collect::<Result<Vec<_>>>()?,
+            },
+            BoundExpr::Udf { name, args } => BoundExpr::Udf {
+                name,
+                args: args
+                    .into_iter()
+                    .map(|a| self.materialize_rec(a, subplans))
+                    .collect::<Result<Vec<_>>>()?,
+            },
+            BoundExpr::Case {
+                operand,
+                branches,
+                else_result,
+            } => BoundExpr::Case {
+                operand: match operand {
+                    Some(o) => Some(Box::new(self.materialize_rec(*o, subplans)?)),
+                    None => None,
+                },
+                branches: branches
+                    .into_iter()
+                    .map(|(c, v)| {
+                        Ok((
+                            self.materialize_rec(c, subplans)?,
+                            self.materialize_rec(v, subplans)?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+                else_result: match else_result {
+                    Some(e) => Some(Box::new(self.materialize_rec(*e, subplans)?)),
+                    None => None,
+                },
+            },
+            BoundExpr::Cast {
+                expr,
+                ty,
+                try_cast,
+            } => BoundExpr::Cast {
+                expr: Box::new(self.materialize_rec(*expr, subplans)?),
+                ty,
+                try_cast,
+            },
+            BoundExpr::IsNull { expr, negated } => BoundExpr::IsNull {
+                expr: Box::new(self.materialize_rec(*expr, subplans)?),
+                negated,
+            },
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => BoundExpr::InList {
+                expr: Box::new(self.materialize_rec(*expr, subplans)?),
+                list: list
+                    .into_iter()
+                    .map(|e| self.materialize_rec(e, subplans))
+                    .collect::<Result<Vec<_>>>()?,
+                negated,
+            },
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => BoundExpr::Between {
+                expr: Box::new(self.materialize_rec(*expr, subplans)?),
+                low: Box::new(self.materialize_rec(*low, subplans)?),
+                high: Box::new(self.materialize_rec(*high, subplans)?),
+                negated,
+            },
+            BoundExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => BoundExpr::Like {
+                expr: Box::new(self.materialize_rec(*expr, subplans)?),
+                pattern: Box::new(self.materialize_rec(*pattern, subplans)?),
+                negated,
+            },
+            leaf => leaf,
+        })
+    }
+}
+
+/// Split a predicate into its AND-ed conjuncts.
+pub fn split_conjuncts(e: &BoundExpr) -> Vec<&BoundExpr> {
+    let mut out = Vec::new();
+    fn rec<'a>(e: &'a BoundExpr, out: &mut Vec<&'a BoundExpr>) {
+        if let BoundExpr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } = e
+        {
+            rec(left, out);
+            rec(right, out);
+        } else {
+            out.push(e);
+        }
+    }
+    rec(e, &mut out);
+    out
+}
+
+/// Try to turn a predicate over a scan into clustered-index seek bounds on
+/// the leading column. Returns `(lower, upper, residual, consumed_desc)`.
+#[allow(clippy::type_complexity)]
+fn extract_seek_bounds(
+    predicate: &BoundExpr,
+) -> Option<(Bound<Value>, Bound<Value>, Option<BoundExpr>, Vec<String>)> {
+    let conjuncts = split_conjuncts(predicate);
+    let mut lower: Bound<Value> = Bound::Unbounded;
+    let mut upper: Bound<Value> = Bound::Unbounded;
+    let mut residual: Vec<BoundExpr> = Vec::new();
+    let mut consumed: Vec<String> = Vec::new();
+    for c in &conjuncts {
+        match c {
+            BoundExpr::Binary { left, op, right } => {
+                // col0 <op> literal, or literal <op> col0.
+                let (col_left, lit, op) = match (left.as_ref(), right.as_ref()) {
+                    (BoundExpr::Column(0), BoundExpr::Literal(v)) => (true, v.clone(), *op),
+                    (BoundExpr::Literal(v), BoundExpr::Column(0)) => (false, v.clone(), *op),
+                    _ => {
+                        residual.push((*c).clone());
+                        continue;
+                    }
+                };
+                if lit.is_null() {
+                    residual.push((*c).clone());
+                    continue;
+                }
+                // Normalize to col0 <op> lit.
+                let op = if col_left {
+                    op
+                } else {
+                    match op {
+                        BinaryOp::Lt => BinaryOp::Gt,
+                        BinaryOp::LtEq => BinaryOp::GtEq,
+                        BinaryOp::Gt => BinaryOp::Lt,
+                        BinaryOp::GtEq => BinaryOp::LtEq,
+                        other => other,
+                    }
+                };
+                match op {
+                    BinaryOp::Eq => {
+                        lower = tighten_lower(lower, Bound::Included(lit.clone()));
+                        upper = tighten_upper(upper, Bound::Included(lit.clone()));
+                        consumed.push(format!("#0 EQ {lit}"));
+                    }
+                    BinaryOp::Lt => {
+                        upper = tighten_upper(upper, Bound::Excluded(lit.clone()));
+                        consumed.push(format!("#0 LT {lit}"));
+                    }
+                    BinaryOp::LtEq => {
+                        upper = tighten_upper(upper, Bound::Included(lit.clone()));
+                        consumed.push(format!("#0 LE {lit}"));
+                    }
+                    BinaryOp::Gt => {
+                        lower = tighten_lower(lower, Bound::Excluded(lit.clone()));
+                        consumed.push(format!("#0 GT {lit}"));
+                    }
+                    BinaryOp::GtEq => {
+                        lower = tighten_lower(lower, Bound::Included(lit.clone()));
+                        consumed.push(format!("#0 GE {lit}"));
+                    }
+                    _ => residual.push((*c).clone()),
+                }
+            }
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated: false,
+            } if matches!(expr.as_ref(), BoundExpr::Column(0)) => {
+                match (low.as_ref(), high.as_ref()) {
+                    (BoundExpr::Literal(lo), BoundExpr::Literal(hi))
+                        if !lo.is_null() && !hi.is_null() =>
+                    {
+                        lower = tighten_lower(lower, Bound::Included(lo.clone()));
+                        upper = tighten_upper(upper, Bound::Included(hi.clone()));
+                        consumed.push(format!("#0 BETWEEN {lo} AND {hi}"));
+                    }
+                    _ => residual.push((*c).clone()),
+                }
+            }
+            other => residual.push((*other).clone()),
+        }
+    }
+    if matches!(lower, Bound::Unbounded) && matches!(upper, Bound::Unbounded) {
+        return None;
+    }
+    let residual_expr = residual.into_iter().reduce(|a, b| BoundExpr::Binary {
+        left: Box::new(a),
+        op: BinaryOp::And,
+        right: Box::new(b),
+    });
+    Some((lower, upper, residual_expr, consumed))
+}
+
+fn tighten_lower(current: Bound<Value>, new: Bound<Value>) -> Bound<Value> {
+    match (&current, &new) {
+        (Bound::Unbounded, _) => new,
+        (_, Bound::Unbounded) => current,
+        (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) => {
+            match a.total_cmp(b) {
+                std::cmp::Ordering::Less => new,
+                std::cmp::Ordering::Greater => current,
+                std::cmp::Ordering::Equal => {
+                    if matches!(current, Bound::Excluded(_)) {
+                        current
+                    } else {
+                        new
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn tighten_upper(current: Bound<Value>, new: Bound<Value>) -> Bound<Value> {
+    match (&current, &new) {
+        (Bound::Unbounded, _) => new,
+        (_, Bound::Unbounded) => current,
+        (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) => {
+            match a.total_cmp(b) {
+                std::cmp::Ordering::Greater => new,
+                std::cmp::Ordering::Less => current,
+                std::cmp::Ordering::Equal => {
+                    if matches!(current, Bound::Excluded(_)) {
+                        current
+                    } else {
+                        new
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Split an ON condition over a concatenated schema into equi-key pairs
+/// `(left_expr, right_expr)` (remapped to each side's row) and a residual.
+fn split_equi_join(
+    on: &BoundExpr,
+    left_width: usize,
+) -> (Vec<(BoundExpr, BoundExpr)>, Option<BoundExpr>) {
+    let mut pairs = Vec::new();
+    let mut residual = Vec::new();
+    for c in split_conjuncts(on) {
+        if let BoundExpr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = c
+        {
+            let l_side = side_of(left, left_width);
+            let r_side = side_of(right, left_width);
+            match (l_side, r_side) {
+                (Some(false), Some(true)) => {
+                    // left expr references only left columns, right only right.
+                    pairs.push((
+                        (**left).clone(),
+                        right.remap_columns(&|i| i - left_width),
+                    ));
+                    continue;
+                }
+                (Some(true), Some(false)) => {
+                    pairs.push((
+                        (**right).clone(),
+                        left.remap_columns(&|i| i - left_width),
+                    ));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        residual.push(c.clone());
+    }
+    let residual = residual.into_iter().reduce(|a, b| BoundExpr::Binary {
+        left: Box::new(a),
+        op: BinaryOp::And,
+        right: Box::new(b),
+    });
+    (pairs, residual)
+}
+
+/// Which side of a join an expression's columns come from:
+/// `Some(false)` = all left, `Some(true)` = all right, `None` = mixed or
+/// no columns.
+fn side_of(e: &BoundExpr, left_width: usize) -> Option<bool> {
+    let mut cols = Vec::new();
+    e.column_indexes(&mut cols);
+    if cols.is_empty() {
+        return None;
+    }
+    let all_left = cols.iter().all(|&i| i < left_width);
+    let all_right = cols.iter().all(|&i| i >= left_width);
+    if all_left {
+        Some(false)
+    } else if all_right {
+        Some(true)
+    } else {
+        None
+    }
+}
+
+fn pred_selectivity(e: &BoundExpr) -> f64 {
+    split_conjuncts(e)
+        .iter()
+        .map(|c| {
+            cost::selectivity(match c {
+                BoundExpr::Binary {
+                    op: BinaryOp::Eq, ..
+                } => PredKind::Equality,
+                BoundExpr::Binary {
+                    op: BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq,
+                    ..
+                }
+                | BoundExpr::Between { .. } => PredKind::Range,
+                BoundExpr::Like { .. } => PredKind::Like,
+                _ => PredKind::Other,
+            })
+        })
+        .product::<f64>()
+        .max(0.0001)
+}
+
+fn count_expr_ops(e: &BoundExpr) -> usize {
+    let mut v = Vec::new();
+    e.expression_ops(&mut v);
+    v.len()
+}
+
+/// Render one conjunct in Listing-1 style with real column names.
+fn render_filter(e: &BoundExpr, schema: &Schema) -> String {
+    let text = e.to_string();
+    // Replace positional markers `#i` with column names where possible.
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '#' {
+            let mut digits = String::new();
+            while let Some(d) = chars.peek() {
+                if d.is_ascii_digit() {
+                    digits.push(*d);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            match digits.parse::<usize>().ok().and_then(|i| schema.columns.get(i)) {
+                Some(col) => out.push_str(&col.name),
+                None => {
+                    out.push('#');
+                    out.push_str(&digits);
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// `(base table, column)` pairs an expression touches, via the schema's
+/// source-table annotations.
+fn columns_used(e: &BoundExpr, schema: &Schema) -> Vec<(String, String)> {
+    let mut idxs = Vec::new();
+    e.column_indexes(&mut idxs);
+    idxs.sort_unstable();
+    idxs.dedup();
+    idxs.into_iter()
+        .filter_map(|i| schema.columns.get(i))
+        .filter_map(|c| {
+            c.source_table
+                .clone()
+                .map(|t| (t, c.name.clone()))
+        })
+        .collect()
+}

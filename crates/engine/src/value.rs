@@ -1,0 +1,468 @@
+//! Typed values and data types.
+//!
+//! The engine's type system mirrors what SQLShare's ingest can infer
+//! (§3.1): integers, floats, dates, booleans, and text, plus NULL. SQL
+//! three-valued logic lives at the operator level; this module provides
+//! storage, casting, comparison, and formatting.
+
+use sqlshare_common::{Error, Result};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types, ordered from most to least specific for inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    Date,
+    Text,
+}
+
+impl DataType {
+    /// The most specific type that can represent both inputs — the join of
+    /// the ingest inference lattice (Bool/Int/Float/Date generalize to
+    /// Text; Int generalizes to Float).
+    pub fn unify(self, other: DataType) -> DataType {
+        use DataType::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Int, Float) | (Float, Int) => Float,
+            _ => Text,
+        }
+    }
+
+    /// Estimated stored size in bytes, used by the cost model's `rowSize`.
+    pub fn estimated_size(self) -> usize {
+        match self {
+            DataType::Bool => 1,
+            DataType::Int => 8,
+            DataType::Float => 8,
+            DataType::Date => 4,
+            DataType::Text => 24,
+        }
+    }
+
+    /// SQL name used in plan output.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            DataType::Bool => "BIT",
+            DataType::Int => "BIGINT",
+            DataType::Float => "FLOAT",
+            DataType::Date => "DATE",
+            DataType::Text => "VARCHAR",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+/// A single cell value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    /// Days since 1970-01-01 (may be negative).
+    Date(i32),
+    Text(String),
+}
+
+impl Value {
+    /// The value's type; NULL has no type and returns `None`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Date(_) => Some(DataType::Date),
+            Value::Text(_) => Some(DataType::Text),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view for arithmetic (Int and Float only).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// SQL equality: NULL compares as unknown (`None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// SQL comparison with numeric coercion; `None` if either side is NULL
+    /// or the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Date(a), Date(b)) => Some(a.cmp(b)),
+            (Text(a), Text(b)) => Some(a.cmp(b)),
+            (Int(_) | Float(_), Int(_) | Float(_)) => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+            // Text against numbers/dates: compare via text form, the
+            // permissive behaviour weakly-typed uploads rely on.
+            (Text(a), b) => Some(a.as_str().cmp(b.to_text().as_str())),
+            (a, Text(b)) => Some(a.to_text().as_str().cmp(b.as_str())),
+            _ => None,
+        }
+    }
+
+    /// Total ordering for ORDER BY and index organization: NULL sorts
+    /// first, then by type group, then by value (NaN sorts last among
+    /// floats).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Date(_) => 3,
+                Value::Text(_) => 4,
+            }
+        }
+        let (ra, rb) = (rank(self), rank(other));
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (a, b) => {
+                let fa = a.as_f64().unwrap_or(f64::NAN);
+                let fb = b.as_f64().unwrap_or(f64::NAN);
+                fa.total_cmp(&fb)
+            }
+        }
+    }
+
+    /// Equality under [`Value::total_cmp`] (used for grouping/distinct).
+    pub fn total_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// Render as SQL-ish text (used for CSV output, casts, and previews).
+    pub fn to_text(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(true) => "1".into(),
+            Value::Bool(false) => "0".into(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format!("{f}"),
+            Value::Date(d) => format_date(*d),
+            Value::Text(s) => s.clone(),
+        }
+    }
+
+    /// Cast to `ty`; returns an error describing the failure for strict
+    /// CAST (callers implementing TRY_CAST map errors to NULL). NULL casts
+    /// to NULL.
+    pub fn cast(&self, ty: DataType) -> Result<Value> {
+        if self.is_null() {
+            return Ok(Value::Null);
+        }
+        let fail = || {
+            Error::Execution(format!(
+                "cannot cast {} '{}' to {}",
+                self.data_type().map(|t| t.sql_name()).unwrap_or("NULL"),
+                self.to_text(),
+                ty.sql_name()
+            ))
+        };
+        match ty {
+            DataType::Text => Ok(Value::Text(self.to_text())),
+            DataType::Int => match self {
+                Value::Int(i) => Ok(Value::Int(*i)),
+                Value::Float(f) if f.is_finite() => Ok(Value::Int(*f as i64)),
+                Value::Bool(b) => Ok(Value::Int(i64::from(*b))),
+                Value::Text(s) => {
+                    let t = s.trim();
+                    t.parse::<i64>()
+                        .map(Value::Int)
+                        .or_else(|_| {
+                            // T-SQL rejects this, but scientists' CSVs are
+                            // full of "3.0" meant as ints; accept exact
+                            // integral floats.
+                            t.parse::<f64>()
+                                .ok()
+                                .filter(|f| f.fract() == 0.0 && f.is_finite())
+                                .map(|f| Value::Int(f as i64))
+                                .ok_or_else(fail)
+                        })
+                }
+                _ => Err(fail()),
+            },
+            DataType::Float => match self {
+                Value::Int(i) => Ok(Value::Float(*i as f64)),
+                Value::Float(f) => Ok(Value::Float(*f)),
+                Value::Bool(b) => Ok(Value::Float(f64::from(u8::from(*b)))),
+                Value::Text(s) => s.trim().parse::<f64>().map(Value::Float).map_err(|_| fail()),
+                _ => Err(fail()),
+            },
+            DataType::Bool => match self {
+                Value::Bool(b) => Ok(Value::Bool(*b)),
+                Value::Int(i) => Ok(Value::Bool(*i != 0)),
+                Value::Float(f) => Ok(Value::Bool(*f != 0.0)),
+                Value::Text(s) => match s.trim().to_ascii_lowercase().as_str() {
+                    "1" | "true" | "t" | "yes" | "y" => Ok(Value::Bool(true)),
+                    "0" | "false" | "f" | "no" | "n" => Ok(Value::Bool(false)),
+                    _ => Err(fail()),
+                },
+                _ => Err(fail()),
+            },
+            DataType::Date => match self {
+                Value::Date(d) => Ok(Value::Date(*d)),
+                Value::Text(s) => parse_date(s.trim()).map(Value::Date).ok_or_else(fail),
+                _ => Err(fail()),
+            },
+        }
+    }
+
+    /// Estimated in-memory size in bytes for the cost model.
+    pub fn estimated_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Date(_) => 4,
+            Value::Text(s) => s.len().max(1),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            other => write!(f, "{}", other.to_text()),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_eq(other)
+    }
+}
+
+/// A row is a vector of values.
+pub type Row = Vec<Value>;
+
+// ---- civil date arithmetic (Howard Hinnant's algorithms) ---------------
+
+/// Days since 1970-01-01 for a calendar date. Returns `None` for invalid
+/// dates (month 13, Feb 30, ...).
+pub fn date_from_ymd(year: i32, month: u32, day: u32) -> Option<i32> {
+    if !(1..=12).contains(&month) || day < 1 || day > days_in_month(year, month) {
+        return None;
+    }
+    let y = i64::from(year) - i64::from(month <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = i64::from((month + 9) % 12);
+    let doy = (153 * mp + 2) / 5 + i64::from(day) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    Some((era * 146097 + doe - 719468) as i32)
+}
+
+/// Calendar date for days since 1970-01-01.
+pub fn ymd_from_date(days: i32) -> (i32, u32, u32) {
+    let z = i64::from(days) + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+/// Parse `YYYY-MM-DD` or `MM/DD/YYYY` (with an optional time suffix that
+/// is ignored) into days since epoch.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let date_part = s.split([' ', 'T']).next()?;
+    let (y, m, d) = if date_part.contains('-') {
+        let mut it = date_part.split('-');
+        let y: i32 = it.next()?.parse().ok()?;
+        let m: u32 = it.next()?.parse().ok()?;
+        let d: u32 = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        (y, m, d)
+    } else if date_part.contains('/') {
+        let mut it = date_part.split('/');
+        let m: u32 = it.next()?.parse().ok()?;
+        let d: u32 = it.next()?.parse().ok()?;
+        let y: i32 = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        (y, m, d)
+    } else {
+        return None;
+    };
+    if !(1..=9999).contains(&y) {
+        return None;
+    }
+    date_from_ymd(y, m, d)
+}
+
+/// Format days-since-epoch as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = ymd_from_date(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_lattice() {
+        use DataType::*;
+        assert_eq!(Int.unify(Int), Int);
+        assert_eq!(Int.unify(Float), Float);
+        assert_eq!(Float.unify(Int), Float);
+        assert_eq!(Int.unify(Text), Text);
+        assert_eq!(Date.unify(Int), Text);
+        assert_eq!(Bool.unify(Bool), Bool);
+    }
+
+    #[test]
+    fn sql_cmp_numeric_coercion() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(
+            Value::Text("b".into()).sql_cmp(&Value::Text("a".into())),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn total_cmp_null_first_and_nan_last() {
+        let mut vals = [
+            Value::Float(f64::NAN),
+            Value::Int(1),
+            Value::Null,
+            Value::Float(0.5),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Float(0.5));
+        assert_eq!(vals[2], Value::Int(1));
+        assert!(matches!(vals[3], Value::Float(f) if f.is_nan()));
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(
+            Value::Text(" 42 ".into()).cast(DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Value::Text("3.0".into()).cast(DataType::Int).unwrap(),
+            Value::Int(3)
+        );
+        assert!(Value::Text("3.5".into()).cast(DataType::Int).is_err());
+        assert_eq!(
+            Value::Text("2.5".into()).cast(DataType::Float).unwrap(),
+            Value::Float(2.5)
+        );
+        assert!(Value::Text("abc".into()).cast(DataType::Float).is_err());
+        assert_eq!(Value::Null.cast(DataType::Int).unwrap(), Value::Null);
+        assert_eq!(
+            Value::Int(7).cast(DataType::Text).unwrap(),
+            Value::Text("7".into())
+        );
+        assert_eq!(
+            Value::Text("yes".into()).cast(DataType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn date_round_trip() {
+        for &(y, m, d) in &[(1970, 1, 1), (2000, 2, 29), (2011, 6, 15), (1969, 12, 31), (2015, 12, 31)] {
+            let days = date_from_ymd(y, m, d).unwrap();
+            assert_eq!(ymd_from_date(days), (y, m, d));
+        }
+        assert_eq!(date_from_ymd(1970, 1, 1), Some(0));
+        assert_eq!(date_from_ymd(1970, 1, 2), Some(1));
+        assert_eq!(date_from_ymd(1969, 12, 31), Some(-1));
+    }
+
+    #[test]
+    fn date_validation() {
+        assert!(date_from_ymd(2015, 2, 29).is_none());
+        assert!(date_from_ymd(2016, 2, 29).is_some());
+        assert!(date_from_ymd(2015, 13, 1).is_none());
+        assert!(date_from_ymd(2015, 4, 31).is_none());
+    }
+
+    #[test]
+    fn date_parsing_formats() {
+        assert_eq!(parse_date("2013-06-15"), date_from_ymd(2013, 6, 15));
+        assert_eq!(parse_date("6/15/2013"), date_from_ymd(2013, 6, 15));
+        assert_eq!(parse_date("2013-06-15 10:30:00"), date_from_ymd(2013, 6, 15));
+        assert_eq!(parse_date("2013-06-15T10:30:00"), date_from_ymd(2013, 6, 15));
+        assert_eq!(parse_date("not a date"), None);
+        assert_eq!(parse_date("2013-13-01"), None);
+        assert_eq!(parse_date(""), None);
+    }
+
+    #[test]
+    fn format_date_pads() {
+        assert_eq!(format_date(date_from_ymd(2013, 6, 5).unwrap()), "2013-06-05");
+    }
+
+    #[test]
+    fn text_cast_of_date() {
+        let d = Value::Date(date_from_ymd(2014, 3, 9).unwrap());
+        assert_eq!(d.cast(DataType::Text).unwrap(), Value::Text("2014-03-09".into()));
+        let back = Value::Text("2014-03-09".into()).cast(DataType::Date).unwrap();
+        assert_eq!(back, d);
+    }
+}

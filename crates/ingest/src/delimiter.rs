@@ -1,0 +1,129 @@
+//! Delimiter inference.
+//!
+//! "To infer the format, we consider various row and column delimiter
+//! values until the first N rows can be parsed with identical column
+//! counts" (§3.1). Row delimiters are `\n` / `\r\n`; column candidates
+//! are comma, tab, semicolon, and pipe.
+
+use crate::parser::parse_delimited;
+use sqlshare_common::{Error, Result};
+
+/// Candidate column delimiters, in preference order.
+pub const CANDIDATES: [char; 4] = [',', '\t', ';', '|'];
+
+/// Infer the column delimiter: the candidate under which the first
+/// `prefix` parsed rows all have the same column count, preferring the
+/// candidate that yields the most columns (a consistent 1-column parse is
+/// always possible, so width breaks ties meaningfully).
+pub fn infer_delimiter(content: &str, prefix: usize) -> Result<char> {
+    let prefix = prefix.max(2);
+    let mut best: Option<(char, usize)> = None;
+    for &candidate in &CANDIDATES {
+        let rows = parse_delimited(content, candidate);
+        let sample: Vec<_> = rows.iter().take(prefix).collect();
+        if sample.is_empty() {
+            continue;
+        }
+        let width = sample[0].len();
+        // A single-column parse is trivially uniform and proves nothing;
+        // it only wins through the fallback below.
+        if width < 2 || !sample.iter().all(|r| r.len() == width) {
+            continue;
+        }
+        if best.map(|(_, w)| width > w).unwrap_or(true) {
+            best = Some((candidate, width));
+        }
+    }
+    if let Some((c, _)) = best {
+        return Ok(c);
+    }
+    // No candidate parses uniformly: fall back to the candidate with the
+    // most common width in the prefix (dirty data is tolerated, not
+    // rejected — ragged rows are padded later).
+    let mut fallback: Option<(char, usize, usize)> = None; // (delim, mode_count, width)
+    for &candidate in &CANDIDATES {
+        let rows = parse_delimited(content, candidate);
+        let sample: Vec<_> = rows.iter().take(prefix).collect();
+        if sample.is_empty() {
+            continue;
+        }
+        let mut counts: Vec<(usize, usize)> = Vec::new(); // (width, freq)
+        for r in &sample {
+            match counts.iter_mut().find(|(w, _)| *w == r.len()) {
+                Some((_, f)) => *f += 1,
+                None => counts.push((r.len(), 1)),
+            }
+        }
+        let (width, freq) = counts
+            .into_iter()
+            .max_by_key(|&(w, f)| (f, w))
+            .unwrap_or((1, 0));
+        if width == 0 {
+            continue;
+        }
+        // Rank multi-column parses above single-column ones, then by
+        // modal frequency, then by width.
+        let better = match fallback {
+            None => true,
+            Some((_, bf, bw)) => {
+                ((width > 1) as u8, freq, width) > ((bw > 1) as u8, bf, bw)
+            }
+        };
+        if better {
+            fallback = Some((candidate, freq, width));
+        }
+    }
+    fallback
+        .map(|(c, _, _)| c)
+        .ok_or_else(|| Error::Ingest("could not infer a column delimiter".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comma_preferred_when_uniform() {
+        assert_eq!(infer_delimiter("a,b,c\n1,2,3\n", 10).unwrap(), ',');
+    }
+
+    #[test]
+    fn tab_detected() {
+        assert_eq!(infer_delimiter("a\tb\n1\t2\n", 10).unwrap(), '\t');
+    }
+
+    #[test]
+    fn semicolon_and_pipe() {
+        assert_eq!(infer_delimiter("a;b;c\n1;2;3\n", 10).unwrap(), ';');
+        assert_eq!(infer_delimiter("a|b\n1|2\n", 10).unwrap(), '|');
+    }
+
+    #[test]
+    fn widest_uniform_parse_wins() {
+        // Commas appear in every row; semicolons only in one. The comma
+        // parse is uniform and wider.
+        assert_eq!(infer_delimiter("a,b,c\nd,e;f,g\n", 10).unwrap(), ',');
+    }
+
+    #[test]
+    fn single_column_file_falls_back() {
+        assert_eq!(infer_delimiter("alpha\nbeta\n", 10).unwrap(), ',');
+    }
+
+    #[test]
+    fn ragged_file_uses_modal_width() {
+        // Three comma rows of width 3, one of width 2: no uniform parse,
+        // but comma has the strongest mode.
+        let d = infer_delimiter("1,2,3\n4,5,6\n7,8\n9,10,11\n", 10).unwrap();
+        assert_eq!(d, ',');
+    }
+
+    #[test]
+    fn quoted_delimiters_do_not_confuse() {
+        let d = infer_delimiter("\"a,b\",c\n\"d,e\",f\n", 10).unwrap();
+        assert_eq!(d, ',');
+        // And the parse under that delimiter is 2 columns wide.
+        let rows = parse_delimited("\"a,b\",c\n\"d,e\",f\n", d);
+        assert!(rows.iter().all(|r| r.len() == 2));
+    }
+}

@@ -1,0 +1,126 @@
+//! Delimited-text parsing with RFC-4180-style quoting.
+
+/// Parse `content` into records using `delimiter`. Supports `"quoted"`
+/// fields with `""` escapes and embedded delimiters/newlines; tolerates
+/// `\r\n` line endings; skips fully-empty trailing lines.
+pub fn parse_delimited(content: &str, delimiter: char) -> Vec<Vec<String>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = content.chars().peekable();
+    let mut field_started = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        field.push('"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' if field.is_empty() && !field_started => {
+                in_quotes = true;
+                field_started = true;
+            }
+            '\r' => {
+                // Swallow; `\n` handles the record break.
+            }
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                field_started = false;
+                // Skip records that are entirely empty (blank lines).
+                if record.len() > 1 || !record[0].trim().is_empty() {
+                    records.push(std::mem::take(&mut record));
+                } else {
+                    record.clear();
+                }
+            }
+            c if c == delimiter => {
+                record.push(std::mem::take(&mut field));
+                field_started = false;
+            }
+            other => {
+                field.push(other);
+                field_started = true;
+            }
+        }
+    }
+    // Trailing record without newline.
+    if field_started || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        if record.len() > 1 || !record[0].trim().is_empty() {
+            records.push(record);
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_rows() {
+        let rows = parse_delimited("a,b\n1,2\n", ',');
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let rows = parse_delimited("a,b\n1,2", ',');
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let rows = parse_delimited("a,b\r\n1,2\r\n", ',');
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let rows = parse_delimited("\"a,x\",b\n\"line\nbreak\",2\n", ',');
+        assert_eq!(rows[0][0], "a,x");
+        assert_eq!(rows[1][0], "line\nbreak");
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let rows = parse_delimited("\"he said \"\"hi\"\"\",2\n", ',');
+        assert_eq!(rows[0][0], "he said \"hi\"");
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let rows = parse_delimited("a,b\n\n1,2\n   \n", ',');
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        let rows = parse_delimited("a,,c\n", ',');
+        assert_eq!(rows[0], vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn trailing_delimiter_makes_empty_field() {
+        let rows = parse_delimited("a,b,\n", ',');
+        assert_eq!(rows[0], vec!["a", "b", ""]);
+    }
+
+    #[test]
+    fn quote_midfield_is_literal() {
+        let rows = parse_delimited("ab\"cd,e\n", ',');
+        assert_eq!(rows[0], vec!["ab\"cd", "e"]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Column type inference.
+//!
+//! "To infer column types, the first N records are inspected. For each
+//! column, the most-specific type is identified. ... This prefix
+//! inspection heuristic can fail, and non-integer types may be
+//! encountered further down in the dataset. In that case, the database
+//! raises an exception, we revert the type to a string via ALTER TABLE,
+//! and the ingest continues." (§3.1)
+
+use crate::cell_to_value;
+use sqlshare_engine::{DataType, Row, Value};
+
+/// The specificity lattice walked during inference, most specific first.
+/// (`unify` in the engine encodes the same lattice; inference tries each
+/// type in this order and takes the first that fits all prefix values.)
+const LATTICE: [DataType; 4] = [
+    DataType::Int,
+    DataType::Float,
+    DataType::Date,
+    DataType::Bool,
+];
+
+/// Infer one type per column from the first `prefix` records. Columns with
+/// no non-empty prefix values fall back to Text.
+pub fn infer_types(records: &[Vec<String>], prefix: usize) -> Vec<DataType> {
+    let width = records.iter().map(Vec::len).max().unwrap_or(0);
+    let sample = &records[..records.len().min(prefix.max(1))];
+    (0..width)
+        .map(|col| {
+            let mut any = false;
+            let ty = LATTICE
+                .into_iter()
+                .find(|&ty| {
+                    sample.iter().all(|row| match row.get(col) {
+                        None => true,
+                        Some(cell) if cell.trim().is_empty() => true,
+                        Some(cell) => {
+                            any = true;
+                            cell_to_value(cell, ty).is_some()
+                        }
+                    })
+                })
+                .unwrap_or(DataType::Text);
+            // Track whether the column had any value at all in the prefix;
+            // an all-empty column is Text.
+            let mut saw_value = false;
+            for row in sample {
+                if let Some(cell) = row.get(col) {
+                    if !cell.trim().is_empty() {
+                        saw_value = true;
+                        break;
+                    }
+                }
+            }
+            if saw_value {
+                ty
+            } else {
+                DataType::Text
+            }
+        })
+        .collect()
+}
+
+/// Convert all records under the inferred types. When a value past the
+/// prefix fails to convert, the column *reverts to string* and conversion
+/// restarts for that column (the paper's ALTER TABLE fallback). Returns
+/// the rows, the final per-column types, and the indexes of reverted
+/// columns.
+pub fn convert_rows(
+    records: &[Vec<String>],
+    inferred: &[DataType],
+) -> (Vec<Row>, Vec<DataType>, Vec<usize>) {
+    let width = inferred.len();
+    let mut types = inferred.to_vec();
+    let mut reverted = Vec::new();
+
+    // Find columns that need reverting (single pass per column).
+    for (col, ty) in types.iter_mut().enumerate() {
+        if *ty == DataType::Text {
+            continue;
+        }
+        let fails = records.iter().any(|row| {
+            row.get(col)
+                .map(|cell| cell_to_value(cell, *ty).is_none())
+                .unwrap_or(false)
+        });
+        if fails {
+            *ty = DataType::Text;
+            reverted.push(col);
+        }
+    }
+
+    let rows = records
+        .iter()
+        .map(|record| {
+            (0..width)
+                .map(|col| {
+                    record
+                        .get(col)
+                        .map(|cell| {
+                            cell_to_value(cell, types[col]).unwrap_or_else(|| {
+                                // Unreachable after the revert pass, but be
+                                // lenient rather than panic on logic drift.
+                                Value::Text(cell.clone())
+                            })
+                        })
+                        .unwrap_or(Value::Null)
+                })
+                .collect()
+        })
+        .collect();
+    (rows, types, reverted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs(data: &[&[&str]]) -> Vec<Vec<String>> {
+        data.iter()
+            .map(|r| r.iter().map(|s| s.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn most_specific_type_wins() {
+        let r = recs(&[&["1", "1.5", "2013-01-02", "true", "abc"]]);
+        assert_eq!(
+            infer_types(&r, 10),
+            vec![
+                DataType::Int,
+                DataType::Float,
+                DataType::Date,
+                DataType::Bool,
+                DataType::Text
+            ]
+        );
+    }
+
+    #[test]
+    fn ints_generalize_to_float() {
+        let r = recs(&[&["1"], &["2.5"]]);
+        assert_eq!(infer_types(&r, 10), vec![DataType::Float]);
+    }
+
+    #[test]
+    fn empty_cells_do_not_block_inference() {
+        let r = recs(&[&[""], &["3"], &[""]]);
+        assert_eq!(infer_types(&r, 10), vec![DataType::Int]);
+    }
+
+    #[test]
+    fn all_empty_column_is_text() {
+        let r = recs(&[&["", "1"], &["", "2"]]);
+        assert_eq!(infer_types(&r, 10), vec![DataType::Text, DataType::Int]);
+    }
+
+    #[test]
+    fn prefix_limits_inspection() {
+        let r = recs(&[&["1"], &["2"], &["oops"]]);
+        // With prefix 2, inference says Int...
+        assert_eq!(infer_types(&r, 2), vec![DataType::Int]);
+        // ...and conversion reverts to Text.
+        let (rows, types, reverted) = convert_rows(&r, &[DataType::Int]);
+        assert_eq!(types, vec![DataType::Text]);
+        assert_eq!(reverted, vec![0]);
+        assert_eq!(rows[2][0], Value::Text("oops".into()));
+    }
+
+    #[test]
+    fn conversion_produces_nulls_for_missing() {
+        let r = recs(&[&["1", "x"], &["2"]]);
+        let (rows, _, _) = convert_rows(&r, &[DataType::Int, DataType::Text]);
+        assert!(rows[1][1].is_null());
+    }
+
+    #[test]
+    fn no_false_reverts() {
+        let r = recs(&[&["1"], &["2"], &["3"]]);
+        let (_, types, reverted) = convert_rows(&r, &[DataType::Int]);
+        assert_eq!(types, vec![DataType::Int]);
+        assert!(reverted.is_empty());
+    }
+}

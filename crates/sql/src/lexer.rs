@@ -1,0 +1,325 @@
+//! The SQL lexer.
+//!
+//! Handles the lexical conventions SQLShare's users actually hit: `--` and
+//! `/* */` comments, `[bracketed]` and `"quoted"` identifiers, `''` escape
+//! inside string literals, and decimal/scientific numeric literals.
+
+use crate::token::{Spanned, Token};
+use sqlshare_common::{Error, Result};
+
+/// Tokenize SQL text.
+pub fn tokenize(sql: &str) -> Result<Vec<Spanned>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                let mut depth = 1;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if depth > 0 {
+                    return Err(Error::Parse(format!(
+                        "unterminated block comment starting at byte {start}"
+                    )));
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut value = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::Parse(format!(
+                                "unterminated string literal starting at byte {start}"
+                            )))
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            value.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let c = next_char(sql, i);
+                            value.push(c);
+                            i += c.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Spanned {
+                    token: Token::StringLit(value),
+                    offset: start,
+                });
+            }
+            b'[' => {
+                let start = i;
+                i += 1;
+                let mut value = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::Parse(format!(
+                                "unterminated bracketed identifier at byte {start}"
+                            )))
+                        }
+                        Some(b']') if bytes.get(i + 1) == Some(&b']') => {
+                            value.push(']');
+                            i += 2;
+                        }
+                        Some(b']') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let c = next_char(sql, i);
+                            value.push(c);
+                            i += c.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Spanned {
+                    token: Token::QuotedIdent(value),
+                    offset: start,
+                });
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut value = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::Parse(format!(
+                                "unterminated quoted identifier at byte {start}"
+                            )))
+                        }
+                        Some(b'"') if bytes.get(i + 1) == Some(&b'"') => {
+                            value.push('"');
+                            i += 2;
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let c = next_char(sql, i);
+                            value.push(c);
+                            i += c.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Spanned {
+                    token: Token::QuotedIdent(value),
+                    offset: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                    i += 1;
+                }
+                if bytes.get(i) == Some(&b'.') && matches!(bytes.get(i + 1), Some(b'0'..=b'9')) {
+                    i += 1;
+                    while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                        i += 1;
+                    }
+                }
+                if matches!(bytes.get(i), Some(b'e' | b'E'))
+                    && (matches!(bytes.get(i + 1), Some(b'0'..=b'9'))
+                        || (matches!(bytes.get(i + 1), Some(b'+' | b'-'))
+                            && matches!(bytes.get(i + 2), Some(b'0'..=b'9'))))
+                {
+                    i += 1;
+                    if matches!(bytes.get(i), Some(b'+' | b'-')) {
+                        i += 1;
+                    }
+                    while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                        i += 1;
+                    }
+                }
+                tokens.push(Spanned {
+                    token: Token::Number(sql[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' | b'@' | b'#' => {
+                let start = i;
+                while matches!(
+                    bytes.get(i),
+                    Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'@' | b'#' | b'$')
+                ) {
+                    i += 1;
+                }
+                tokens.push(Spanned {
+                    token: Token::Word(sql[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            _ => {
+                let start = i;
+                let (token, len) = match b {
+                    b',' => (Token::Comma, 1),
+                    b'(' => (Token::LParen, 1),
+                    b')' => (Token::RParen, 1),
+                    b'.' => (Token::Dot, 1),
+                    b'*' => (Token::Star, 1),
+                    b'+' => (Token::Plus, 1),
+                    b'-' => (Token::Minus, 1),
+                    b'/' => (Token::Slash, 1),
+                    b'%' => (Token::Percent, 1),
+                    b';' => (Token::Semicolon, 1),
+                    b'=' => (Token::Eq, 1),
+                    b'!' if bytes.get(i + 1) == Some(&b'=') => (Token::Neq, 2),
+                    b'<' if bytes.get(i + 1) == Some(&b'>') => (Token::Neq, 2),
+                    b'<' if bytes.get(i + 1) == Some(&b'=') => (Token::LtEq, 2),
+                    b'<' => (Token::Lt, 1),
+                    b'>' if bytes.get(i + 1) == Some(&b'=') => (Token::GtEq, 2),
+                    b'>' => (Token::Gt, 1),
+                    b'|' if bytes.get(i + 1) == Some(&b'|') => (Token::Concat, 2),
+                    other => {
+                        return Err(Error::Parse(format!(
+                            "unexpected character {:?} at byte {start}",
+                            other as char
+                        )))
+                    }
+                };
+                tokens.push(Spanned {
+                    token,
+                    offset: start,
+                });
+                i += len;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn next_char(s: &str, byte_idx: usize) -> char {
+    s[byte_idx..].chars().next().expect("in-bounds char")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(sql: &str) -> Vec<Token> {
+        tokenize(sql).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn words_numbers_symbols() {
+        assert_eq!(
+            toks("SELECT a1, 2.5 FROM t WHERE x >= 10"),
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Word("a1".into()),
+                Token::Comma,
+                Token::Number("2.5".into()),
+                Token::Word("FROM".into()),
+                Token::Word("t".into()),
+                Token::Word("WHERE".into()),
+                Token::Word("x".into()),
+                Token::GtEq,
+                Token::Number("10".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks("'it''s'"), vec![Token::StringLit("it's".into())]);
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn bracketed_and_quoted_identifiers() {
+        assert_eq!(
+            toks("[my table].\"col name\""),
+            vec![
+                Token::QuotedIdent("my table".into()),
+                Token::Dot,
+                Token::QuotedIdent("col name".into()),
+            ]
+        );
+        assert_eq!(toks("[a]]b]"), vec![Token::QuotedIdent("a]b".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("SELECT 1 -- trailing\n/* block /* nested */ done */ , 2"),
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Number("1".into()),
+                Token::Comma,
+                Token::Number("2".into()),
+            ]
+        );
+        assert!(tokenize("/* open").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a <> b != c <= d >= e || f"),
+            vec![
+                Token::Word("a".into()),
+                Token::Neq,
+                Token::Word("b".into()),
+                Token::Neq,
+                Token::Word("c".into()),
+                Token::LtEq,
+                Token::Word("d".into()),
+                Token::GtEq,
+                Token::Word("e".into()),
+                Token::Concat,
+                Token::Word("f".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_numbers() {
+        assert_eq!(toks("1e3 2.5E-2"), vec![
+            Token::Number("1e3".into()),
+            Token::Number("2.5E-2".into()),
+        ]);
+        // `1e` is a number then a word? No: the 'e' is not followed by a
+        // digit, so it lexes as number `1` then word `e`.
+        assert_eq!(toks("1e"), vec![Token::Number("1".into()), Token::Word("e".into())]);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(toks("'héllo'"), vec![Token::StringLit("héllo".into())]);
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let ts = tokenize("SELECT  x").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 8);
+    }
+}

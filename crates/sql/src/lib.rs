@@ -1,0 +1,37 @@
+//! SQL front end for the SQLShare reproduction.
+//!
+//! SQLShare's pitch (§3.5 of the paper) is *full SQL*: window functions,
+//! unrestricted subqueries, set operations, rich scalar functions — the
+//! features "impoverished" dialects drop. This crate implements that
+//! surface as a from-scratch lexer + recursive-descent parser producing a
+//! typed AST, plus the three analyses the paper runs over raw SQL text:
+//!
+//! * [`features`] — per-query SQL feature detection (§5.3: sorting, top-k,
+//!   outer joins, window functions, ...).
+//! * [`idioms`] — "schematization" idiom detection over view definitions
+//!   (§5.1: NULL injection, post-hoc casts, vertical recomposition,
+//!   column renaming).
+//! * [`rewrite`] — the service-side rewrites SQLShare applies when saving
+//!   datasets (§3.2/§3.5: ORDER BY stripping on view save, append as
+//!   UNION).
+//!
+//! The AST renders back to canonical SQL via `Display`; `parse ∘ render`
+//! is the identity on ASTs (property-tested), which the engine and the
+//! view catalog rely on.
+
+pub mod ast;
+pub mod features;
+pub mod idioms;
+pub mod lexer;
+pub mod parser;
+pub mod rewrite;
+pub mod token;
+
+pub use ast::{Expr, Query, Select, SetExpr, Statement, TableRef};
+pub use features::QueryFeatures;
+pub use parser::{parse_query, parse_statement};
+
+/// Parse then re-render a query, producing SQLShare's canonical text form.
+pub fn canonicalize(sql: &str) -> sqlshare_common::Result<String> {
+    Ok(parse_query(sql)?.to_string())
+}

@@ -1,0 +1,94 @@
+//! Token types produced by the lexer.
+
+use std::fmt;
+
+/// A lexical token with its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    /// Byte offset of the token start in the original SQL text.
+    pub offset: usize,
+}
+
+/// SQL tokens.
+///
+/// Keywords are not distinguished at the lexer level: T-SQL-style SQL is
+/// case-insensitive and most keywords are contextually usable as
+/// identifiers, so the parser matches [`Token::Word`] values against
+/// keywords case-insensitively instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A bare word: keyword or identifier.
+    Word(String),
+    /// `[bracketed]` or `"double quoted"` identifier (always an identifier,
+    /// never a keyword).
+    QuotedIdent(String),
+    /// Numeric literal, kept as written.
+    Number(String),
+    /// `'single quoted'` string literal with quotes removed and `''`
+    /// unescaped.
+    StringLit(String),
+    Comma,
+    LParen,
+    RParen,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    /// `<>` or `!=`.
+    Neq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    /// `||` (ANSI string concatenation).
+    Concat,
+    Semicolon,
+}
+
+impl Token {
+    /// True if this is a bare word equal (case-insensitively) to `kw`.
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    /// The identifier value, if this token can serve as one.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Token::Word(w) => Some(w),
+            Token::QuotedIdent(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "{w}"),
+            Token::QuotedIdent(w) => write!(f, "[{w}]"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::StringLit(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Eq => write!(f, "="),
+            Token::Neq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Concat => write!(f, "||"),
+            Token::Semicolon => write!(f, ";"),
+        }
+    }
+}

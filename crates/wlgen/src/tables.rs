@@ -1,0 +1,199 @@
+//! Messy CSV generation: the weakly-structured uploads of §3.1.
+//!
+//! Generated files reproduce the paper's dirtiness statistics: ~50% lack
+//! header rows, ~9% have ragged rows, sentinel values (`-999`, `NA`, ``)
+//! pollute numeric columns, and some columns mix types past the inference
+//! prefix.
+
+use crate::text::{self, pick, pick_distinct};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sqlshare_engine::value::format_date;
+use sqlshare_engine::DataType;
+
+/// Ground truth about a generated CSV (what the generator intended; the
+/// ingest layer independently infers its own view).
+#[derive(Debug, Clone)]
+pub struct GeneratedTable {
+    pub content: String,
+    /// Intended column names (pre-ingest; defaults may replace them).
+    pub columns: Vec<(String, DataType)>,
+    pub has_header: bool,
+    pub ragged: bool,
+    pub rows: usize,
+}
+
+/// Dirtiness profile for a generated table.
+#[derive(Debug, Clone, Copy)]
+pub struct Dirtiness {
+    /// Probability the file ships without a header row (paper: ~0.5).
+    pub headerless: f64,
+    /// Probability of ragged short rows (paper: ~0.09 of datasets).
+    pub ragged: f64,
+    /// Probability a numeric cell is a sentinel (`-999`/`NA`/empty).
+    pub sentinel: f64,
+    /// Probability a numeric column degrades to text past the prefix.
+    pub mixed_type: f64,
+}
+
+impl Default for Dirtiness {
+    fn default() -> Self {
+        Dirtiness {
+            headerless: 0.5,
+            ragged: 0.09,
+            sentinel: 0.04,
+            mixed_type: 0.05,
+        }
+    }
+}
+
+/// Generate a messy science CSV with `width` columns and `rows` rows.
+pub fn generate_csv(
+    rng: &mut StdRng,
+    width: usize,
+    rows: usize,
+    dirt: &Dirtiness,
+) -> GeneratedTable {
+    let width = width.clamp(2, 64);
+    // Column plan: leading int key, then a mix.
+    let mut columns: Vec<(String, DataType)> = Vec::with_capacity(width);
+    columns.push((pick(rng, text::INT_COLUMNS).to_string(), DataType::Int));
+    let n_numeric = ((width - 1) as f64 * 0.55).round() as usize;
+    let n_text = ((width - 1) as f64 * 0.25).round() as usize;
+    for name in pick_distinct(rng, text::NUMERIC_COLUMNS, n_numeric) {
+        columns.push((name.to_string(), DataType::Float));
+    }
+    for name in pick_distinct(rng, text::TEXT_COLUMNS, n_text) {
+        columns.push((name.to_string(), DataType::Text));
+    }
+    if columns.len() < width {
+        columns.push((pick(rng, text::DATE_COLUMNS).to_string(), DataType::Date));
+    }
+    while columns.len() < width {
+        let name = format!("v{}", columns.len());
+        columns.push((name, DataType::Float));
+    }
+    columns.truncate(width);
+    // Deduplicate names.
+    for i in 0..columns.len() {
+        while columns[..i].iter().any(|(n, _)| n == &columns[i].0) {
+            columns[i].0.push('x');
+        }
+    }
+
+    let has_header = !rng.random_bool(dirt.headerless);
+    let ragged = rng.random_bool(dirt.ragged);
+    let mixed_col = if rng.random_bool(dirt.mixed_type) && width > 1 {
+        Some(rng.random_range(1..width))
+    } else {
+        None
+    };
+
+    let mut content = String::new();
+    if has_header {
+        content.push_str(
+            &columns
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        content.push('\n');
+    }
+    let base_day = 15000 + rng.random_range(0..1500); // 2011-2015-ish
+    for r in 0..rows {
+        let mut cells: Vec<String> = Vec::with_capacity(width);
+        for (c, (_, ty)) in columns.iter().enumerate() {
+            // Mixed-type columns sneak text in past the first ~100 rows.
+            if Some(c) == mixed_col && r > 100 && rng.random_bool(0.02) {
+                cells.push("see_notes".to_string());
+                continue;
+            }
+            if *ty != DataType::Text && rng.random_bool(dirt.sentinel) {
+                cells.push(
+                    ["-999", "NA", ""][rng.random_range(0..3)].to_string(),
+                );
+                continue;
+            }
+            let cell = match ty {
+                DataType::Int => rng.random_range(0..200).to_string(),
+                DataType::Float => format!("{:.3}", rng.random::<f64>() * 100.0),
+                DataType::Text => {
+                    if rng.random_bool(0.3) {
+                        pick(rng, text::SPECIES).to_string()
+                    } else {
+                        pick(rng, text::TEXT_VALUES).to_string()
+                    }
+                }
+                DataType::Date => format_date(base_day + (r as i32 % 365)),
+                DataType::Bool => (rng.random_bool(0.5) as u8).to_string(),
+            };
+            cells.push(cell);
+        }
+        // Ragged files drop trailing cells on some rows.
+        if ragged && rng.random_bool(0.15) && width > 2 {
+            cells.truncate(rng.random_range(1..width));
+        }
+        content.push_str(&cells.join(","));
+        content.push('\n');
+    }
+    GeneratedTable {
+        content,
+        columns,
+        has_header,
+        ragged,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sqlshare_ingest::{ingest_text, IngestOptions};
+
+    #[test]
+    fn generated_tables_always_ingest() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..60 {
+            let width = 2 + (i % 10);
+            let t = generate_csv(&mut rng, width, 30 + i, &Dirtiness::default());
+            let (table, _report) = ingest_text("t", &t.content, &IngestOptions::default())
+                .unwrap_or_else(|e| panic!("ingest failed for generated file: {e}"));
+            assert!(table.row_count() > 0);
+        }
+    }
+
+    #[test]
+    fn headerless_rate_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut headerless = 0;
+        for _ in 0..200 {
+            let t = generate_csv(&mut rng, 5, 10, &Dirtiness::default());
+            if !t.has_header {
+                headerless += 1;
+            }
+        }
+        assert!((70..=130).contains(&headerless), "got {headerless}");
+    }
+
+    #[test]
+    fn column_names_unique() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let t = generate_csv(&mut rng, 40, 5, &Dirtiness::default());
+            let mut names: Vec<&String> = t.columns.iter().map(|(n, _)| n).collect();
+            let total = names.len();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), total);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_csv(&mut StdRng::seed_from_u64(9), 6, 20, &Dirtiness::default());
+        let b = generate_csv(&mut StdRng::seed_from_u64(9), 6, 20, &Dirtiness::default());
+        assert_eq!(a.content, b.content);
+    }
+}

@@ -1,0 +1,120 @@
+//! Science-flavoured vocabulary and random pickers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Column-name vocabulary by rough domain type. Mirrors the long-tail
+/// science uploads the paper describes (environmental sensing, genomics,
+/// ecology, social science).
+pub const NUMERIC_COLUMNS: &[&str] = &[
+    "depth", "temp", "salinity", "nitrate", "phosphate", "oxygen", "ph", "turbidity", "chla",
+    "lat", "lon", "elevation", "count", "abundance", "expression", "coverage", "score",
+    "weight", "height", "age", "income", "duration", "velocity", "pressure", "humidity",
+    "rainfall", "windspeed", "magnitude", "intensity", "concentration", "biomass", "density",
+];
+
+pub const INT_COLUMNS: &[&str] = &[
+    "station", "site", "replicate", "year", "month", "doy", "sample_id", "subject", "trial",
+    "plot", "depth_bin", "cluster", "cruise", "cast_no", "bottle", "run_id", "read_count",
+];
+
+pub const TEXT_COLUMNS: &[&str] = &[
+    "species", "gene", "treatment", "flag", "notes", "observer", "region", "habitat",
+    "method", "quality", "taxon", "strain", "primer", "vessel", "locality", "category",
+];
+
+pub const DATE_COLUMNS: &[&str] = &["sampled", "collected", "observed", "uploaded", "measured"];
+
+/// Dataset-name vocabulary.
+pub const DATASET_STEMS: &[&str] = &[
+    "ctd_casts", "nutrients", "plankton_counts", "tide_gauge", "weather_hourly",
+    "gene_expression", "rnaseq_runs", "otu_table", "survey_responses", "census_tracts",
+    "bird_sightings", "coral_cover", "stream_flow", "soil_cores", "isotopes",
+    "chlorophyll", "moorings", "acoustic_tags", "larvae", "microbial_abundance",
+    "metabolites", "field_notes", "water_quality", "buoy_data", "transects",
+];
+
+pub const TEXT_VALUES: &[&str] = &[
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india",
+    "juliet", "kilo", "lima", "control", "treated", "unknown", "mixed", "surface", "deep",
+];
+
+pub const SPECIES: &[&str] = &[
+    "e_huxleyi", "t_pseudonana", "synechococcus", "prochlorococcus", "c_finmarchicus",
+    "s_purpuratus", "d_rerio", "m_musculus", "p_damicornis", "z_marina",
+];
+
+/// Pick a random element.
+pub fn pick<'a>(rng: &mut StdRng, items: &'a [&'a str]) -> &'a str {
+    items[rng.random_range(0..items.len())]
+}
+
+/// Pick `n` distinct elements (fewer if the slice is small).
+pub fn pick_distinct<'a>(rng: &mut StdRng, items: &'a [&'a str], n: usize) -> Vec<&'a str> {
+    let mut idx: Vec<usize> = (0..items.len()).collect();
+    // Partial Fisher-Yates.
+    let n = n.min(items.len());
+    for i in 0..n {
+        let j = rng.random_range(i..idx.len());
+        idx.swap(i, j);
+    }
+    idx[..n].iter().map(|&i| items[i]).collect()
+}
+
+/// A unique dataset name like `nutrients_2013_4`.
+pub fn dataset_name(rng: &mut StdRng, serial: usize) -> String {
+    let stem = pick(rng, DATASET_STEMS);
+    let year = 2010 + rng.random_range(0..6);
+    format!("{stem}_{year}_{serial}")
+}
+
+/// Sample an integer from a (truncated) zipf-like distribution over
+/// `1..=max`: small values are much more likely.
+pub fn zipfish(rng: &mut StdRng, max: usize, skew: f64) -> usize {
+    let u: f64 = rng.random::<f64>();
+    let x = (1.0 - u).powf(-1.0 / skew);
+    (x.round() as usize).clamp(1, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn pick_distinct_has_no_duplicates() {
+        let mut r = rng();
+        let got = pick_distinct(&mut r, NUMERIC_COLUMNS, 10);
+        let mut sorted = got.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    fn pick_distinct_caps_at_len() {
+        let mut r = rng();
+        let got = pick_distinct(&mut r, &["a", "b"], 10);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn zipf_is_bounded_and_skewed() {
+        let mut r = rng();
+        let samples: Vec<usize> = (0..2000).map(|_| zipfish(&mut r, 50, 1.2)).collect();
+        assert!(samples.iter().all(|&s| (1..=50).contains(&s)));
+        let ones = samples.iter().filter(|&&s| s <= 2).count();
+        assert!(ones > samples.len() / 3, "zipf should favour small values");
+    }
+
+    #[test]
+    fn names_are_deterministic_per_seed() {
+        let a = dataset_name(&mut rng(), 1);
+        let b = dataset_name(&mut rng(), 1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,106 @@
+//! Workload entropy (Table 3 of the paper).
+//!
+//! Three progressively semantic notions of query uniqueness:
+//! exact string equality (catches app-generated and copy-pasted
+//! duplicates), column-set equality (Mozafari et al.), and query-plan-
+//! template equality. As in the paper, column- and template-distinct
+//! counts are computed *over the string-distinct subset*.
+
+use crate::extract::ExtractedQuery;
+use crate::template::equivalence_keys;
+use std::collections::HashSet;
+
+/// Table 3's row values for one workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntropyReport {
+    pub total_queries: usize,
+    pub string_distinct: usize,
+    /// Column-distinct among the string-distinct queries.
+    pub column_distinct: usize,
+    /// Template-distinct among the string-distinct queries.
+    pub template_distinct: usize,
+}
+
+impl EntropyReport {
+    /// `string_distinct / total` as a percentage.
+    pub fn string_pct(&self) -> f64 {
+        pct(self.string_distinct, self.total_queries)
+    }
+
+    /// `column_distinct / string_distinct` as a percentage.
+    pub fn column_pct(&self) -> f64 {
+        pct(self.column_distinct, self.string_distinct)
+    }
+
+    /// `template_distinct / string_distinct` as a percentage.
+    pub fn template_pct(&self) -> f64 {
+        pct(self.template_distinct, self.string_distinct)
+    }
+}
+
+fn pct(n: usize, d: usize) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / d as f64
+    }
+}
+
+/// Compute the entropy report for a corpus.
+pub fn entropy(corpus: &[ExtractedQuery]) -> EntropyReport {
+    let mut strings: HashSet<&str> = HashSet::new();
+    let mut string_distinct_queries: Vec<&ExtractedQuery> = Vec::new();
+    for q in corpus {
+        if strings.insert(q.sql.as_str()) {
+            string_distinct_queries.push(q);
+        }
+    }
+    let mut columns: HashSet<String> = HashSet::new();
+    let mut templates: HashSet<u64> = HashSet::new();
+    for q in &string_distinct_queries {
+        let keys = equivalence_keys(q);
+        columns.insert(keys.column_key);
+        templates.insert(keys.template_key);
+    }
+    EntropyReport {
+        total_queries: corpus.len(),
+        string_distinct: string_distinct_queries.len(),
+        column_distinct: columns.len(),
+        template_distinct: templates.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlshare_core::SqlShare;
+    use sqlshare_ingest::IngestOptions;
+
+    #[test]
+    fn dedup_levels_are_ordered() {
+        let mut s = SqlShare::new();
+        s.register_user("u", "u@x.edu").unwrap();
+        s.upload("u", "t", "k,v\n1,2\n3,4\n", &IngestOptions::default())
+            .unwrap();
+        // Two identical strings, one constant-variant, one different task.
+        s.run_query("u", "SELECT * FROM t WHERE k > 1").unwrap();
+        s.run_query("u", "SELECT * FROM t WHERE k > 1").unwrap();
+        s.run_query("u", "SELECT * FROM t WHERE k > 2").unwrap();
+        s.run_query("u", "SELECT COUNT(*) FROM t").unwrap();
+        let corpus = crate::extract::extract_corpus(s.log().entries());
+        let report = entropy(&corpus);
+        assert_eq!(report.total_queries, 4);
+        assert_eq!(report.string_distinct, 3);
+        assert_eq!(report.template_distinct, 2);
+        assert!(report.column_distinct <= report.string_distinct);
+        assert!(report.template_distinct <= report.string_distinct);
+        assert!((report.string_pct() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let r = entropy(&[]);
+        assert_eq!(r.total_queries, 0);
+        assert_eq!(r.string_pct(), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Expression-operator distributions (Table 4, §6.2).
+//!
+//! The paper counts intrinsic and arithmetic expression operators per
+//! workload (`like 61755, ADD 31570, ...` for SQLShare; UDF-flavoured
+//! operators for SDSS) and uses operator variety as a diversity signal.
+
+use crate::extract::ExtractedQuery;
+use std::collections::BTreeMap;
+
+/// Ranked expression-operator counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpressionReport {
+    /// `(operator, count)` ranked by descending count.
+    pub ranked: Vec<(String, usize)>,
+    /// Number of distinct expression operators.
+    pub distinct_operators: usize,
+    /// Number of distinct operators that look like UDFs (not in the
+    /// engine's built-in mnemonic set).
+    pub distinct_udfs: usize,
+}
+
+/// Mnemonics produced by built-in engine machinery (everything else in a
+/// plan's expression list came from a registered UDF).
+fn is_builtin(op: &str) -> bool {
+    const BUILTIN: &[&str] = &[
+        "ADD", "SUB", "MULT", "DIV", "MOD", "CONCAT", "EQ", "NEQ", "LT", "LE", "GT", "GE",
+        "like", "case", "convert", "upper", "lower", "len", "substring", "charindex",
+        "patindex", "isnumeric", "replace", "ltrim", "rtrim", "trim", "left", "right",
+        "reverse", "concat", "coalesce", "isnull", "nullif", "abs", "square", "sqrt", "round",
+        "floor", "ceiling", "power", "exp", "log", "sign", "year", "month", "day", "datepart",
+        "datediff", "dateadd", "getdate",
+    ];
+    BUILTIN.contains(&op)
+}
+
+/// Comparison operators are structural, not "intrinsic & arithmetic":
+/// the paper's Table 4 lists function-like and arithmetic operators only.
+fn is_comparison(op: &str) -> bool {
+    matches!(op, "EQ" | "NEQ" | "LT" | "LE" | "GT" | "GE")
+}
+
+/// Count intrinsic & arithmetic expression operators across a corpus
+/// (Table 4's population: comparisons excluded).
+pub fn expression_report(corpus: &[ExtractedQuery]) -> ExpressionReport {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for q in corpus {
+        for e in &q.expressions {
+            if is_comparison(e) {
+                continue;
+            }
+            *counts.entry(e).or_default() += 1;
+        }
+    }
+    let distinct_operators = counts.len();
+    let distinct_udfs = counts.keys().filter(|k| !is_builtin(k)).count();
+    let mut ranked: Vec<(String, usize)> = counts
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ExpressionReport {
+        ranked,
+        distinct_operators,
+        distinct_udfs,
+    }
+}
+
+/// Share of a corpus's expression instances that are string operations
+/// (the paper: "six out of the ten most common expression operators ...
+/// are operations on strings" for SQLShare).
+pub fn string_op_share(report: &ExpressionReport) -> f64 {
+    const STRING_OPS: &[&str] = &[
+        "like", "patindex", "substring", "charindex", "isnumeric", "len", "upper", "lower",
+        "replace", "ltrim", "rtrim", "trim", "left", "right", "reverse", "concat", "CONCAT",
+    ];
+    let total: usize = report.ranked.iter().map(|(_, c)| c).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let strings: usize = report
+        .ranked
+        .iter()
+        .filter(|(op, _)| STRING_OPS.contains(&op.as_str()))
+        .map(|(_, c)| c)
+        .sum();
+    100.0 * strings as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_corpus;
+    use sqlshare_core::SqlShare;
+    use sqlshare_ingest::IngestOptions;
+
+    #[test]
+    fn counts_and_ranks() {
+        let mut s = SqlShare::new();
+        s.register_user("u", "u@x.edu").unwrap();
+        s.upload("u", "t", "k,name\n1,ann\n2,bo\n", &IngestOptions::default())
+            .unwrap();
+        s.run_query("u", "SELECT LEN(name) FROM t WHERE name LIKE 'a%'")
+            .unwrap();
+        s.run_query("u", "SELECT k + 1 FROM t WHERE name LIKE 'b%'")
+            .unwrap();
+        let corpus = extract_corpus(s.log().entries());
+        let report = expression_report(&corpus);
+        let like = report.ranked.iter().find(|(op, _)| op == "like").unwrap();
+        assert_eq!(like.1, 2);
+        assert!(report.ranked.iter().any(|(op, _)| op == "len"));
+        assert!(report.ranked.iter().any(|(op, _)| op == "ADD"));
+        assert_eq!(report.distinct_udfs, 0);
+        assert!(string_op_share(&report) > 50.0);
+    }
+
+    #[test]
+    fn udfs_counted_separately() {
+        let report = ExpressionReport {
+            ranked: vec![
+                ("like".into(), 5),
+                ("fPhotoTypeN".into(), 3),
+                ("GetRangeThroughConvert".into(), 2),
+            ],
+            distinct_operators: 3,
+            distinct_udfs: 0,
+        };
+        // Recompute via the public path.
+        let q = |exprs: &[&str]| crate::extract::ExtractedQuery {
+            id: 0,
+            user: "u".into(),
+            day: 0,
+            sequence: 0,
+            sql: String::new(),
+            length: 0,
+            runtime_micros: 0,
+            result_rows: 0,
+            ops: vec![],
+            distinct_ops: 0,
+            expressions: exprs.iter().map(|s| s.to_string()).collect(),
+            tables: vec![],
+            columns: vec![],
+            filters: vec![],
+            est_cost: 0.0,
+            plan: sqlshare_common::json::Json::Null,
+        };
+        let corpus = vec![q(&["like", "fPhotoTypeN", "GetRangeThroughConvert"])];
+        let r = expression_report(&corpus);
+        assert_eq!(r.distinct_udfs, 2);
+        let _ = report;
+    }
+}

@@ -1,0 +1,246 @@
+//! Corpus-level idiom and feature accounting (§5.1, §5.3).
+//!
+//! §5.1 searches the derived-view corpus for schematization idioms (NULL
+//! injection, post-hoc casts, vertical recomposition, renaming); §5.3
+//! counts queries using SQL features simplified dialects omit (sorting,
+//! top-k, outer joins, window functions).
+
+use crate::extract::ExtractedQuery;
+use sqlshare_core::SqlShare;
+use sqlshare_sql::features::QueryFeatures;
+use sqlshare_sql::idioms::SchematizationIdioms;
+use sqlshare_sql::parser::parse_query;
+
+/// §5.1 counts over the derived-view corpus.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdiomCounts {
+    pub derived_views: usize,
+    pub null_injection: usize,
+    pub post_hoc_cast: usize,
+    pub vertical_recomposition: usize,
+    pub column_renaming: usize,
+    /// Derived views exhibiting at least one idiom.
+    pub any: usize,
+}
+
+/// Count schematization idioms over the service's derived views.
+pub fn idiom_counts(service: &SqlShare) -> IdiomCounts {
+    let mut counts = IdiomCounts::default();
+    for d in service.datasets().filter(|d| d.is_derived()) {
+        counts.derived_views += 1;
+        let Ok(query) = parse_query(&d.sql) else {
+            continue;
+        };
+        let idioms = SchematizationIdioms::detect(&query);
+        if idioms.null_injection {
+            counts.null_injection += 1;
+        }
+        if idioms.post_hoc_cast {
+            counts.post_hoc_cast += 1;
+        }
+        if idioms.vertical_recomposition {
+            counts.vertical_recomposition += 1;
+        }
+        if idioms.column_renaming {
+            counts.column_renaming += 1;
+        }
+        if idioms.any() {
+            counts.any += 1;
+        }
+    }
+    counts
+}
+
+/// §5.3 SQL feature usage as percentages of queries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureUsage {
+    pub queries: usize,
+    pub sorting_pct: f64,
+    pub top_k_pct: f64,
+    pub outer_join_pct: f64,
+    pub window_function_pct: f64,
+    pub set_operation_pct: f64,
+    pub subquery_pct: f64,
+    pub group_by_pct: f64,
+    pub case_pct: f64,
+    pub cast_pct: f64,
+}
+
+/// Detect features over each query's SQL text.
+pub fn feature_usage(corpus: &[ExtractedQuery]) -> FeatureUsage {
+    let mut counts = [0usize; 9];
+    let mut parsed = 0usize;
+    for q in corpus {
+        let Ok(query) = parse_query(&q.sql) else {
+            continue;
+        };
+        parsed += 1;
+        let f = QueryFeatures::detect(&query);
+        let flags = [
+            f.order_by,
+            f.top,
+            f.outer_join,
+            f.window_function,
+            f.set_operation,
+            f.subquery_in_from || f.subquery_in_expr,
+            f.group_by,
+            f.case_expr,
+            f.cast,
+        ];
+        for (c, flag) in counts.iter_mut().zip(flags) {
+            if flag {
+                *c += 1;
+            }
+        }
+    }
+    let n = parsed.max(1) as f64;
+    let pct = |c: usize| 100.0 * c as f64 / n;
+    FeatureUsage {
+        queries: parsed,
+        sorting_pct: pct(counts[0]),
+        top_k_pct: pct(counts[1]),
+        outer_join_pct: pct(counts[2]),
+        window_function_pct: pct(counts[3]),
+        set_operation_pct: pct(counts[4]),
+        subquery_pct: pct(counts[5]),
+        group_by_pct: pct(counts[6]),
+        case_pct: pct(counts[7]),
+        cast_pct: pct(counts[8]),
+    }
+}
+
+/// §5.2 sharing statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SharingStats {
+    pub datasets: usize,
+    pub derived_pct: f64,
+    pub public_pct: f64,
+    pub shared_specific_pct: f64,
+    /// Views whose definition references a dataset owned by someone else.
+    pub cross_owner_view_pct: f64,
+    /// Queries touching datasets the author does not own.
+    pub foreign_query_pct: f64,
+}
+
+/// Compute sharing statistics from the service and its log.
+pub fn sharing_stats(service: &SqlShare) -> SharingStats {
+    use sqlshare_core::Visibility;
+    let mut datasets = 0usize;
+    let mut derived = 0usize;
+    let mut public = 0usize;
+    let mut shared = 0usize;
+    let mut cross_owner = 0usize;
+    for d in service.datasets() {
+        datasets += 1;
+        if d.is_derived() {
+            derived += 1;
+            if let Ok(q) = parse_query(&d.sql) {
+                let crosses = q.referenced_tables().iter().any(|n| {
+                    n.0.len() >= 2 && !n.0[0].eq_ignore_ascii_case(&d.name.owner)
+                });
+                if crosses {
+                    cross_owner += 1;
+                }
+            }
+        }
+        match service.visibility(&d.name) {
+            Visibility::Public => public += 1,
+            Visibility::Shared(_) => shared += 1,
+            Visibility::Private => {}
+        }
+    }
+    let total_queries = service.log().len();
+    let foreign = service
+        .log()
+        .entries()
+        .iter()
+        .filter(|e| e.touches_foreign_data)
+        .count();
+    let pct = |n: usize, d: usize| {
+        if d == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / d as f64
+        }
+    };
+    SharingStats {
+        datasets,
+        derived_pct: pct(derived, datasets),
+        public_pct: pct(public, datasets),
+        shared_specific_pct: pct(shared, datasets),
+        cross_owner_view_pct: pct(cross_owner, datasets),
+        foreign_query_pct: pct(foreign, total_queries),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_corpus;
+    use sqlshare_core::{DatasetName, Metadata, Visibility};
+    use sqlshare_ingest::IngestOptions;
+
+    fn service() -> SqlShare {
+        let mut s = SqlShare::new();
+        s.register_user("ada", "a@uw.edu").unwrap();
+        s.register_user("bob", "b@x.com").unwrap();
+        s.upload("ada", "raw", "k,v\n1,-999\n2,3\n", &IngestOptions::default())
+            .unwrap();
+        s.upload("ada", "raw2", "k,v\n5,6\n", &IngestOptions::default())
+            .unwrap();
+        s.save_dataset(
+            "ada",
+            "clean",
+            "SELECT k AS station, CASE WHEN v = -999 THEN NULL ELSE v END AS v FROM raw",
+            Metadata::default(),
+        )
+        .unwrap();
+        s.save_dataset(
+            "ada",
+            "unioned",
+            "SELECT * FROM raw UNION ALL SELECT * FROM raw2",
+            Metadata::default(),
+        )
+        .unwrap();
+        s.set_visibility("ada", &DatasetName::new("ada", "clean"), Visibility::Public)
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn idioms_counted() {
+        let s = service();
+        let c = idiom_counts(&s);
+        assert_eq!(c.derived_views, 2);
+        assert_eq!(c.null_injection, 1);
+        assert_eq!(c.column_renaming, 1);
+        assert_eq!(c.vertical_recomposition, 1);
+        assert_eq!(c.any, 2);
+    }
+
+    #[test]
+    fn features_counted() {
+        let mut s = service();
+        s.run_query("ada", "SELECT TOP 1 k FROM raw ORDER BY k DESC").unwrap();
+        s.run_query("ada", "SELECT k FROM raw").unwrap();
+        let corpus = extract_corpus(s.log().entries());
+        let usage = feature_usage(&corpus);
+        assert_eq!(usage.queries, 2);
+        assert!((usage.sorting_pct - 50.0).abs() < 1e-9);
+        assert!((usage.top_k_pct - 50.0).abs() < 1e-9);
+        assert_eq!(usage.window_function_pct, 0.0);
+    }
+
+    #[test]
+    fn sharing_stats_computed() {
+        let mut s = service();
+        // bob queries ada's public view.
+        s.run_query("bob", "SELECT * FROM ada.clean").unwrap();
+        s.run_query("ada", "SELECT * FROM raw").unwrap();
+        let stats = sharing_stats(&s);
+        assert_eq!(stats.datasets, 4);
+        assert!((stats.derived_pct - 50.0).abs() < 1e-9);
+        assert!((stats.public_pct - 25.0).abs() < 1e-9);
+        assert!((stats.foreign_query_pct - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,38 @@
+//! Workload analysis framework — the paper's evaluation (§4–§6).
+//!
+//! The paper analyzes its corpus with a two-phase pipeline (Fig. 5):
+//! Phase 1 asks the backend to EXPLAIN each query and stores a cleaned
+//! JSON plan; Phase 2 extracts referenced tables, columns, operators,
+//! expressions, and costs into the query catalog. This crate implements
+//! that pipeline ([`extract`]) over the `sqlshare-core` query log, plus
+//! every analysis the evaluation section reports:
+//!
+//! * [`metrics`] — Table 2 aggregates, Fig. 7 length histograms, Fig. 8
+//!   distinct-operator histograms, Fig. 9/10 operator frequency.
+//! * [`template`] + [`entropy`] — Table 3 workload entropy under string,
+//!   column-set (Mozafari), and query-plan-template equivalence.
+//! * [`expressions`] — Table 4 expression-operator distributions.
+//! * [`reuse`] — §6.2 subtree-matching reuse estimation.
+//! * [`lifetimes`] — §6.3 dataset lifetimes (Fig. 11) and table coverage
+//!   (Fig. 12).
+//! * [`users`] — Fig. 4 queries-per-table, Fig. 6 view depth, Fig. 13
+//!   churn classification.
+//! * [`idioms`] — §5.1 schematization idioms and §5.3 SQL feature usage
+//!   over the corpus.
+//! * [`diversity`] — Mozafari-style chunked workload distance (§6.4).
+//! * [`recommend`] — the §8 future-work proposal, implemented:
+//!   complexity-matched query recommendation over the corpus.
+
+pub mod diversity;
+pub mod entropy;
+pub mod expressions;
+pub mod extract;
+pub mod idioms;
+pub mod lifetimes;
+pub mod metrics;
+pub mod recommend;
+pub mod reuse;
+pub mod template;
+pub mod users;
+
+pub use extract::{extract_corpus, ExtractedQuery};

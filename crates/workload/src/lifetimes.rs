@@ -1,0 +1,230 @@
+//! Dataset lifetimes and table coverage (§6.3, Figs. 11 and 12).
+//!
+//! Lifetime = "the difference in days between the first and the last time
+//! that dataset was accessed in a query". The paper finds most datasets
+//! live under ten days while a few span years — the signature of ad hoc,
+//! one-pass analysis that conventional schema-first systems price out.
+
+use crate::extract::ExtractedQuery;
+use std::collections::{BTreeMap, HashMap};
+
+/// First/last access day of one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessSpan {
+    pub first_day: i32,
+    pub last_day: i32,
+    pub accesses: usize,
+}
+
+impl AccessSpan {
+    /// Lifetime in days (0 = only touched on one day).
+    pub fn lifetime_days(&self) -> i32 {
+        self.last_day - self.first_day
+    }
+}
+
+/// Per-dataset access spans, keyed by base table.
+pub fn dataset_spans(corpus: &[ExtractedQuery]) -> BTreeMap<String, AccessSpan> {
+    let mut spans: BTreeMap<String, AccessSpan> = BTreeMap::new();
+    for q in corpus {
+        for t in &q.tables {
+            spans
+                .entry(t.clone())
+                .and_modify(|s| {
+                    s.first_day = s.first_day.min(q.day);
+                    s.last_day = s.last_day.max(q.day);
+                    s.accesses += 1;
+                })
+                .or_insert(AccessSpan {
+                    first_day: q.day,
+                    last_day: q.day,
+                    accesses: 1,
+                });
+        }
+    }
+    spans
+}
+
+/// The `n` most active users by query count, most active first.
+pub fn most_active_users(corpus: &[ExtractedQuery], n: usize) -> Vec<String> {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for q in corpus {
+        *counts.entry(q.user.as_str()).or_default() += 1;
+    }
+    let mut ranked: Vec<(&str, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    ranked.into_iter().take(n).map(|(u, _)| u.to_string()).collect()
+}
+
+/// Fig. 11: for each of the given users, the rank-ordered lifetimes (in
+/// days) of the tables their queries touch. Tables are attributed to the
+/// user whose name prefixes the table key (`owner.name$base`).
+pub fn lifetimes_per_user(
+    corpus: &[ExtractedQuery],
+    users: &[String],
+) -> Vec<(String, Vec<i32>)> {
+    let spans = dataset_spans(corpus);
+    users
+        .iter()
+        .map(|user| {
+            let prefix = format!("{}.", user.to_lowercase());
+            let mut lifetimes: Vec<i32> = spans
+                .iter()
+                .filter(|(table, _)| table.to_lowercase().starts_with(&prefix))
+                .map(|(_, s)| s.lifetime_days())
+                .collect();
+            lifetimes.sort_unstable_by(|a, b| b.cmp(a));
+            (user.clone(), lifetimes)
+        })
+        .collect()
+}
+
+/// Fig. 12: table-coverage curves. For one user, walk their queries in
+/// chronological order and report, at each query, the cumulative share of
+/// the tables they will ever reference. Returned as `(query_fraction,
+/// table_fraction)` sample points in [0, 1].
+pub fn coverage_curve(corpus: &[ExtractedQuery], user: &str) -> Vec<(f64, f64)> {
+    let mut queries: Vec<&ExtractedQuery> = corpus
+        .iter()
+        .filter(|q| q.user.eq_ignore_ascii_case(user))
+        .collect();
+    queries.sort_by_key(|q| (q.day, q.sequence));
+    if queries.is_empty() {
+        return vec![];
+    }
+    let mut seen: Vec<&str> = Vec::new();
+    let total_tables: f64 = {
+        let mut all: Vec<&str> = queries
+            .iter()
+            .flat_map(|q| q.tables.iter().map(String::as_str))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len().max(1) as f64
+    };
+    let n = queries.len() as f64;
+    let mut points = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        for t in &q.tables {
+            if !seen.contains(&t.as_str()) {
+                seen.push(t);
+            }
+        }
+        points.push(((i + 1) as f64 / n, seen.len() as f64 / total_tables));
+    }
+    points
+}
+
+/// Area under the coverage curve: values near 0.5 indicate ad hoc
+/// interleaving of uploads and queries (slope-one diagonal); values near
+/// 1.0 indicate a conventional upload-everything-then-query workload.
+pub fn coverage_auc(points: &[(f64, f64)]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let mut auc = 0.0;
+    let mut prev = (0.0, 0.0);
+    for &(x, y) in points {
+        auc += (x - prev.0) * (prev.1 + y) / 2.0;
+        prev = (x, y);
+    }
+    auc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlshare_common::json::Json;
+
+    fn q(user: &str, day: i32, seq: u64, tables: &[&str]) -> ExtractedQuery {
+        ExtractedQuery {
+            id: seq,
+            user: user.into(),
+            day,
+            sequence: seq,
+            sql: format!("q{seq}"),
+            length: 2,
+            runtime_micros: 1,
+            result_rows: 0,
+            ops: vec![],
+            distinct_ops: 0,
+            expressions: vec![],
+            tables: tables.iter().map(|s| s.to_string()).collect(),
+            columns: vec![],
+            filters: vec![],
+            est_cost: 1.0,
+            plan: Json::Null,
+        }
+    }
+
+    #[test]
+    fn spans_and_lifetimes() {
+        let corpus = vec![
+            q("ada", 10, 0, &["ada.a$base"]),
+            q("ada", 17, 0, &["ada.a$base"]),
+            q("ada", 17, 1, &["ada.b$base"]),
+        ];
+        let spans = dataset_spans(&corpus);
+        assert_eq!(spans["ada.a$base"].lifetime_days(), 7);
+        assert_eq!(spans["ada.b$base"].lifetime_days(), 0);
+        assert_eq!(spans["ada.a$base"].accesses, 2);
+    }
+
+    #[test]
+    fn active_users_ranked() {
+        let corpus = vec![
+            q("ada", 1, 0, &[]),
+            q("ada", 1, 1, &[]),
+            q("bob", 1, 2, &[]),
+        ];
+        assert_eq!(most_active_users(&corpus, 2), vec!["ada", "bob"]);
+        assert_eq!(most_active_users(&corpus, 1), vec!["ada"]);
+    }
+
+    #[test]
+    fn per_user_lifetimes_rank_ordered() {
+        let corpus = vec![
+            q("ada", 0, 0, &["ada.a$base"]),
+            q("ada", 100, 0, &["ada.a$base"]),
+            q("ada", 50, 0, &["ada.b$base"]),
+            q("ada", 55, 0, &["ada.b$base"]),
+            q("bob", 0, 0, &["bob.x$base"]),
+        ];
+        let l = lifetimes_per_user(&corpus, &["ada".to_string()]);
+        assert_eq!(l[0].1, vec![100, 5]);
+    }
+
+    #[test]
+    fn coverage_diagonal_for_ad_hoc_users() {
+        // One new table per query: pure ad hoc, slope one.
+        let corpus = vec![
+            q("ada", 1, 0, &["ada.a$base"]),
+            q("ada", 2, 0, &["ada.b$base"]),
+            q("ada", 3, 0, &["ada.c$base"]),
+        ];
+        let pts = coverage_curve(&corpus, "ada");
+        assert_eq!(pts.last().unwrap(), &(1.0, 1.0));
+        let auc = coverage_auc(&pts);
+        assert!(auc < 0.75, "auc = {auc}");
+    }
+
+    #[test]
+    fn coverage_front_loaded_for_conventional_users() {
+        // All tables up front, then repeated querying.
+        let corpus = vec![
+            q("ada", 1, 0, &["ada.a$base", "ada.b$base", "ada.c$base"]),
+            q("ada", 2, 0, &["ada.a$base"]),
+            q("ada", 3, 0, &["ada.a$base"]),
+            q("ada", 4, 0, &["ada.b$base"]),
+        ];
+        let pts = coverage_curve(&corpus, "ada");
+        assert_eq!(pts[0].1, 1.0);
+        assert!(coverage_auc(&pts) > 0.85);
+    }
+
+    #[test]
+    fn empty_user_is_safe() {
+        assert!(coverage_curve(&[], "ghost").is_empty());
+        assert_eq!(coverage_auc(&[]), 0.0);
+    }
+}

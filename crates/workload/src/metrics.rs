@@ -1,0 +1,222 @@
+//! Aggregate workload metrics: Table 2, Fig. 7, Fig. 8, Fig. 9/10.
+
+use crate::extract::ExtractedQuery;
+use sqlshare_core::{DatasetKind, SqlShare};
+use std::collections::BTreeMap;
+
+/// Table 2a: workload metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadMetadata {
+    pub users: usize,
+    /// Physical base tables (uploads + snapshots).
+    pub tables: usize,
+    /// Total columns across base tables.
+    pub columns: usize,
+    /// All datasets (every table has a wrapper view: "everything is a
+    /// dataset").
+    pub views: usize,
+    /// User-authored (non-trivial) views.
+    pub non_trivial_views: usize,
+    pub queries: usize,
+}
+
+/// Compute Table 2a from a service instance.
+pub fn workload_metadata(service: &SqlShare) -> WorkloadMetadata {
+    let mut tables = 0usize;
+    let mut non_trivial = 0usize;
+    let mut views = 0usize;
+    for d in service.datasets() {
+        views += 1;
+        match d.kind {
+            DatasetKind::Derived => non_trivial += 1,
+            DatasetKind::Uploaded | DatasetKind::Snapshot => tables += 1,
+        }
+    }
+    WorkloadMetadata {
+        users: service.users().count(),
+        tables,
+        columns: service.engine().catalog().total_columns(),
+        views,
+        non_trivial_views: non_trivial,
+        queries: service.log().len(),
+    }
+}
+
+/// Table 2b: per-query means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryMeans {
+    pub length_chars: f64,
+    pub runtime_micros: f64,
+    pub operators: f64,
+    pub distinct_operators: f64,
+    pub tables_accessed: f64,
+    pub columns_accessed: f64,
+}
+
+/// Compute Table 2b means over an extracted corpus.
+pub fn query_means(corpus: &[ExtractedQuery]) -> QueryMeans {
+    let n = corpus.len().max(1) as f64;
+    QueryMeans {
+        length_chars: corpus.iter().map(|q| q.length as f64).sum::<f64>() / n,
+        runtime_micros: corpus.iter().map(|q| q.runtime_micros as f64).sum::<f64>() / n,
+        operators: corpus.iter().map(|q| q.ops.len() as f64).sum::<f64>() / n,
+        distinct_operators: corpus.iter().map(|q| q.distinct_ops as f64).sum::<f64>() / n,
+        tables_accessed: corpus.iter().map(|q| q.tables.len() as f64).sum::<f64>() / n,
+        columns_accessed: corpus.iter().map(|q| q.columns.len() as f64).sum::<f64>() / n,
+    }
+}
+
+/// A histogram over labelled buckets, as percentages of queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketedHistogram {
+    pub buckets: Vec<(String, f64)>,
+}
+
+/// Fig. 7: query length histogram with the paper's buckets
+/// `<100 / 100–500 / 500–1000 / >1000` characters.
+pub fn length_histogram(corpus: &[ExtractedQuery]) -> BucketedHistogram {
+    bucketize(corpus, |q| q.length, &[100, 500, 1000], &["<100", "100-500", "500-1000", ">1000"])
+}
+
+/// Fig. 8: distinct physical operators per query, buckets `<4 / 4–8 / >=8`.
+pub fn distinct_op_histogram(corpus: &[ExtractedQuery]) -> BucketedHistogram {
+    bucketize(corpus, |q| q.distinct_ops, &[4, 8], &["<4", "4-8", ">=8"])
+}
+
+fn bucketize(
+    corpus: &[ExtractedQuery],
+    metric: impl Fn(&ExtractedQuery) -> usize,
+    bounds: &[usize],
+    labels: &[&str],
+) -> BucketedHistogram {
+    debug_assert_eq!(labels.len(), bounds.len() + 1);
+    let mut counts = vec![0usize; labels.len()];
+    for q in corpus {
+        let v = metric(q);
+        let mut idx = bounds.len();
+        for (i, b) in bounds.iter().enumerate() {
+            if v < *b {
+                idx = i;
+                break;
+            }
+        }
+        counts[idx] += 1;
+    }
+    let n = corpus.len().max(1) as f64;
+    BucketedHistogram {
+        buckets: labels
+            .iter()
+            .zip(counts)
+            .map(|(l, c)| (l.to_string(), 100.0 * c as f64 / n))
+            .collect(),
+    }
+}
+
+/// Fig. 9/10: share of physical-operator *instances* per operator name,
+/// excluding `excluded` operators (the paper excludes `Clustered Index
+/// Scan` because SQL Azure makes it ubiquitous), normalized to 100%.
+pub fn operator_frequency(
+    corpus: &[ExtractedQuery],
+    excluded: &[&str],
+) -> Vec<(String, f64)> {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for q in corpus {
+        for op in &q.ops {
+            if excluded.contains(&op.as_str()) {
+                continue;
+            }
+            *counts.entry(op).or_default() += 1;
+            total += 1;
+        }
+    }
+    let total = total.max(1) as f64;
+    let mut out: Vec<(String, f64)> = counts
+        .into_iter()
+        .map(|(op, c)| (op.to_string(), 100.0 * c as f64 / total))
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlshare_common::json::Json;
+
+    fn q(len: usize, ops: &[&str]) -> ExtractedQuery {
+        let mut distinct: Vec<&&str> = ops.iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        ExtractedQuery {
+            id: 0,
+            user: "u".into(),
+            day: 0,
+            sequence: 0,
+            sql: "x".repeat(len),
+            length: len,
+            runtime_micros: 10,
+            result_rows: 1,
+            ops: ops.iter().map(|s| s.to_string()).collect(),
+            distinct_ops: distinct.len(),
+            expressions: vec![],
+            tables: vec!["t".into()],
+            columns: vec![("t".into(), "c".into())],
+            filters: vec![],
+            est_cost: 1.0,
+            plan: Json::Null,
+        }
+    }
+
+    #[test]
+    fn means_computed() {
+        let corpus = vec![q(100, &["Sort"]), q(300, &["Sort", "Top"])];
+        let m = query_means(&corpus);
+        assert_eq!(m.length_chars, 200.0);
+        assert_eq!(m.operators, 1.5);
+        assert_eq!(m.distinct_operators, 1.5);
+        assert_eq!(m.tables_accessed, 1.0);
+    }
+
+    #[test]
+    fn length_buckets() {
+        let corpus = vec![q(50, &[]), q(150, &[]), q(700, &[]), q(2000, &[])];
+        let h = length_histogram(&corpus);
+        assert_eq!(h.buckets.len(), 4);
+        assert!(h.buckets.iter().all(|(_, pct)| (*pct - 25.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn distinct_buckets_edges() {
+        let corpus = vec![
+            q(1, &["A", "B", "C"]),                                // 3 -> <4
+            q(1, &["A", "B", "C", "D"]),                           // 4 -> 4-8
+            q(1, &["A", "B", "C", "D", "E", "F", "G", "H"]),       // 8 -> >=8
+        ];
+        let h = distinct_op_histogram(&corpus);
+        assert!((h.buckets[0].1 - 33.333).abs() < 0.1);
+        assert!((h.buckets[1].1 - 33.333).abs() < 0.1);
+        assert!((h.buckets[2].1 - 33.333).abs() < 0.1);
+    }
+
+    #[test]
+    fn operator_shares_sum_to_100_and_exclude() {
+        let corpus = vec![
+            q(1, &["Clustered Index Scan", "Sort", "Sort"]),
+            q(1, &["Clustered Index Scan", "Top"]),
+        ];
+        let freq = operator_frequency(&corpus, &["Clustered Index Scan"]);
+        let total: f64 = freq.iter().map(|(_, p)| p).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert_eq!(freq[0].0, "Sort");
+        assert!((freq[0].1 - 66.666).abs() < 0.1);
+        assert!(!freq.iter().any(|(op, _)| op == "Clustered Index Scan"));
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let m = query_means(&[]);
+        assert_eq!(m.length_chars, 0.0);
+        assert!(operator_frequency(&[], &[]).is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Complexity-matched query recommendation (§8 future work).
+//!
+//! "We can use this definition to build more effective query
+//! recommendation engines which recommend queries of comparable
+//! complexity to queries that user has written before." This module
+//! implements that proposal over the corpus: given a user's history,
+//! recommend queries from the rest of the workload that (a) are of
+//! comparable complexity (distinct operators + length class), (b) touch
+//! data the user can relate to (shared tables score higher), and (c) are
+//! *new* to the user (templates the user has already written are
+//! excluded — a recommendation must teach something).
+
+use crate::extract::ExtractedQuery;
+use crate::template::template_hash;
+use std::collections::HashSet;
+
+/// A scored recommendation.
+#[derive(Debug, Clone)]
+pub struct Recommendation<'a> {
+    pub query: &'a ExtractedQuery,
+    /// Higher is better; see [`recommend_for_user`] for the components.
+    pub score: f64,
+}
+
+/// The complexity profile of a user's query history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexityProfile {
+    pub mean_distinct_ops: f64,
+    pub mean_length: f64,
+    pub tables: HashSet<String>,
+    pub templates: HashSet<u64>,
+}
+
+/// Summarize a user's history.
+pub fn profile(corpus: &[ExtractedQuery], user: &str) -> Option<ComplexityProfile> {
+    let mine: Vec<&ExtractedQuery> = corpus
+        .iter()
+        .filter(|q| q.user.eq_ignore_ascii_case(user))
+        .collect();
+    if mine.is_empty() {
+        return None;
+    }
+    let n = mine.len() as f64;
+    Some(ComplexityProfile {
+        mean_distinct_ops: mine.iter().map(|q| q.distinct_ops as f64).sum::<f64>() / n,
+        mean_length: mine.iter().map(|q| q.length as f64).sum::<f64>() / n,
+        tables: mine
+            .iter()
+            .flat_map(|q| q.tables.iter().cloned())
+            .collect(),
+        templates: mine.iter().map(|q| template_hash(q)).collect(),
+    })
+}
+
+/// Recommend up to `k` queries for `user`, drawn from the rest of the
+/// corpus. Score components:
+///
+/// * complexity proximity: Gaussian-ish falloff on the distinct-operator
+///   gap and log-length gap relative to the user's means (queries *near*
+///   the user's level are better than trivial or wildly harder ones);
+/// * data familiarity: +1 per shared referenced table (capped);
+/// * novelty: templates the user has written are filtered out, and each
+///   template is recommended at most once.
+pub fn recommend_for_user<'a>(
+    corpus: &'a [ExtractedQuery],
+    user: &str,
+    k: usize,
+) -> Vec<Recommendation<'a>> {
+    let Some(profile) = profile(corpus, user) else {
+        return Vec::new();
+    };
+    let mut seen_templates: HashSet<u64> = HashSet::new();
+    let mut scored: Vec<Recommendation<'a>> = Vec::new();
+    for q in corpus {
+        if q.user.eq_ignore_ascii_case(user) {
+            continue;
+        }
+        let template = template_hash(q);
+        if profile.templates.contains(&template) || !seen_templates.insert(template) {
+            continue;
+        }
+        let op_gap = (q.distinct_ops as f64 - profile.mean_distinct_ops).abs();
+        let len_gap = ((q.length.max(1) as f64).ln() - profile.mean_length.max(1.0).ln()).abs();
+        let proximity = 1.0 / (1.0 + op_gap) + 0.5 / (1.0 + len_gap);
+        let familiarity = q
+            .tables
+            .iter()
+            .filter(|t| profile.tables.contains(*t))
+            .count()
+            .min(3) as f64;
+        scored.push(Recommendation {
+            query: q,
+            score: proximity + familiarity,
+        });
+    }
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.query.id.cmp(&b.query.id))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlshare_common::json::Json;
+
+    fn q(
+        id: u64,
+        user: &str,
+        sql: &str,
+        distinct_ops: usize,
+        tables: &[&str],
+    ) -> ExtractedQuery {
+        ExtractedQuery {
+            id,
+            user: user.into(),
+            day: 0,
+            sequence: id,
+            sql: sql.to_string(),
+            length: sql.len(),
+            runtime_micros: 1,
+            result_rows: 0,
+            ops: vec![],
+            distinct_ops,
+            expressions: vec![],
+            tables: tables.iter().map(|s| s.to_string()).collect(),
+            columns: vec![],
+            filters: vec![],
+            est_cost: 1.0,
+            // Distinct template per SQL string for these tests.
+            plan: Json::object([("physicalOp", Json::str(sql.to_string()))]),
+        }
+    }
+
+    #[test]
+    fn empty_history_yields_nothing() {
+        let corpus = vec![q(1, "other", "SELECT 1", 1, &[])];
+        assert!(recommend_for_user(&corpus, "ghost", 5).is_empty());
+    }
+
+    #[test]
+    fn own_queries_and_known_templates_excluded() {
+        let corpus = vec![
+            q(1, "ada", "SELECT a FROM t", 2, &["t"]),
+            q(2, "bob", "SELECT a FROM t", 2, &["t"]), // same template as ada's
+            q(3, "bob", "SELECT b FROM u", 2, &["u"]),
+        ];
+        let recs = recommend_for_user(&corpus, "ada", 5);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].query.id, 3);
+    }
+
+    #[test]
+    fn comparable_complexity_ranks_first() {
+        let corpus = vec![
+            q(1, "ada", "SELECT mid FROM t WHERE x > 1 GROUP BY g", 3, &["t"]),
+            // Same complexity level as ada's history:
+            q(2, "bob", "SELECT other FROM t GROUP BY h", 3, &["t"]),
+            // Way off in complexity:
+            q(3, "bob", "SELECT 1", 1, &["t"]),
+            q(4, "bob", "SELECT deep nested monster", 11, &["t"]),
+        ];
+        let recs = recommend_for_user(&corpus, "ada", 3);
+        assert_eq!(recs[0].query.id, 2);
+    }
+
+    #[test]
+    fn shared_tables_boost_score() {
+        let corpus = vec![
+            q(1, "ada", "SELECT a FROM t", 2, &["shared"]),
+            q(2, "bob", "SELECT x FROM v", 2, &["unrelated"]),
+            q(3, "bob", "SELECT y FROM w", 2, &["shared"]),
+        ];
+        let recs = recommend_for_user(&corpus, "ada", 2);
+        assert_eq!(recs[0].query.id, 3, "familiar data wins the tie");
+    }
+
+    #[test]
+    fn each_template_recommended_once() {
+        let corpus = vec![
+            q(1, "ada", "SELECT a FROM t", 2, &["t"]),
+            q(2, "bob", "SELECT same shape", 2, &["t"]),
+            q(3, "carol", "SELECT same shape", 2, &["t"]),
+        ];
+        let recs = recommend_for_user(&corpus, "ada", 5);
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn k_bounds_results() {
+        let mut corpus = vec![q(0, "ada", "SELECT a FROM t", 2, &["t"])];
+        for i in 1..20 {
+            corpus.push(q(i, "bob", &format!("SELECT c{i} FROM t"), 2, &["t"]));
+        }
+        assert_eq!(recommend_for_user(&corpus, "ada", 7).len(), 7);
+    }
+}

@@ -1,0 +1,218 @@
+//! Query plan templates (QPTs, §6.2).
+//!
+//! "We obtain an optimized query plan from the database ... In addition,
+//! we remove all constants and literals from the plan to create the query
+//! plan template (QPT). The QPT seems to offer a better description of
+//! the user's intended task": syntax differences (JOIN vs WHERE, nesting,
+//! condition order) vanish in the plan, while the operations remain.
+
+use crate::extract::ExtractedQuery;
+use sqlshare_common::hash::Fnv64;
+use sqlshare_common::json::Json;
+
+/// Compute the query-plan-template fingerprint of an extracted query.
+pub fn template_hash(query: &ExtractedQuery) -> u64 {
+    let mut h = Fnv64::new();
+    hash_node(&query.plan, &mut h);
+    h.finish()
+}
+
+/// The three equivalence keys used for Table 3.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EquivalenceKeys {
+    /// Exact ASCII text.
+    pub string_key: String,
+    /// Sorted set of `(table, column)` pairs (Mozafari et al.).
+    pub column_key: String,
+    /// Constant-free plan fingerprint.
+    pub template_key: u64,
+}
+
+/// Compute all three keys for a query.
+pub fn equivalence_keys(query: &ExtractedQuery) -> EquivalenceKeys {
+    let mut cols: Vec<String> = query
+        .columns
+        .iter()
+        .map(|(t, c)| format!("{t}.{c}"))
+        .collect();
+    cols.sort();
+    cols.dedup();
+    EquivalenceKeys {
+        string_key: query.sql.clone(),
+        column_key: cols.join(","),
+        template_key: template_hash(query),
+    }
+}
+
+fn hash_node(node: &Json, h: &mut Fnv64) {
+    if let Some(op) = node.get("physicalOp").and_then(Json::as_str) {
+        h.write_str("op:").write_str(op);
+    }
+    if let Some(op) = node.get("logicalOp").and_then(Json::as_str) {
+        h.write_str("lop:").write_str(op);
+    }
+    // Filters contribute their *shape* with literals stripped.
+    if let Some(Json::Array(filters)) = node.get("filters") {
+        for f in filters {
+            if let Some(s) = f.as_str() {
+                h.write_str("f:").write_str(&strip_constants(s));
+            }
+        }
+    }
+    // Expression mnemonics are structural, not constants.
+    if let Some(Json::Array(exprs)) = node.get("expressions") {
+        for e in exprs {
+            if let Some(s) = e.as_str() {
+                h.write_str("e:").write_str(s);
+            }
+        }
+    }
+    // Referenced columns identify the task.
+    if let Some(cols) = node.get("columns").and_then(Json::as_object) {
+        for (table, list) in cols.iter() {
+            h.write_str("t:").write_str(table);
+            if let Some(items) = list.as_array() {
+                for c in items {
+                    if let Some(name) = c.as_str() {
+                        h.write_str("c:").write_str(name);
+                    }
+                }
+            }
+        }
+    }
+    h.write_str("(");
+    if let Some(children) = node.get("children").and_then(Json::as_array) {
+        for c in children {
+            hash_node(c, h);
+            h.write_str(",");
+        }
+    }
+    h.write_str(")");
+}
+
+/// Strip literal values from a rendered predicate: numeric tokens and
+/// quoted strings become `?`, so `income GT 500000` and `income GT 100`
+/// share a template.
+pub fn strip_constants(filter: &str) -> String {
+    let mut out = String::with_capacity(filter.len());
+    let mut chars = filter.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                // Skip a quoted literal ('' escapes included).
+                loop {
+                    match chars.next() {
+                        None => break,
+                        Some('\'') => {
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+                out.push('?');
+            }
+            c if c.is_ascii_digit() => {
+                // Digits directly following an identifier character are part
+                // of the identifier (`col2`), not a literal.
+                let in_ident = out
+                    .chars()
+                    .last()
+                    .map(|p| p.is_ascii_alphanumeric() || p == '_')
+                    .unwrap_or(false);
+                if in_ident {
+                    out.push(c);
+                    continue;
+                }
+                while matches!(chars.peek(), Some(d) if d.is_ascii_digit() || *d == '.') {
+                    chars.next();
+                }
+                out.push('?');
+            }
+            '-' if matches!(chars.peek(), Some(d) if d.is_ascii_digit()) => {
+                while matches!(chars.peek(), Some(d) if d.is_ascii_digit() || *d == '.') {
+                    chars.next();
+                }
+                out.push('?');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlshare_core::{Metadata, SqlShare};
+    use sqlshare_ingest::IngestOptions;
+
+    fn extract_two(sql_a: &str, sql_b: &str) -> (ExtractedQuery, ExtractedQuery) {
+        let mut s = SqlShare::new();
+        s.register_user("u", "u@x.edu").unwrap();
+        s.upload("u", "t", "k,v,w\n1,2,a\n2,3,b\n3,4,c\n", &IngestOptions::default())
+            .unwrap();
+        s.save_dataset("u", "v2", "SELECT k, v FROM t", Metadata::default())
+            .unwrap();
+        s.run_query("u", sql_a).unwrap();
+        s.run_query("u", sql_b).unwrap();
+        let c = crate::extract::extract_corpus(s.log().entries());
+        (c[0].clone(), c[1].clone())
+    }
+
+    #[test]
+    fn constants_do_not_change_template() {
+        let (a, b) = extract_two(
+            "SELECT * FROM t WHERE k > 1",
+            "SELECT * FROM t WHERE k > 2",
+        );
+        assert_ne!(a.sql, b.sql);
+        assert_eq!(template_hash(&a), template_hash(&b));
+    }
+
+    #[test]
+    fn different_tasks_differ() {
+        let (a, b) = extract_two(
+            "SELECT * FROM t WHERE k > 1",
+            "SELECT COUNT(*) FROM t GROUP BY w",
+        );
+        assert_ne!(template_hash(&a), template_hash(&b));
+    }
+
+    #[test]
+    fn string_literals_stripped() {
+        assert_eq!(strip_constants("name EQ 'bob'"), "name EQ ?");
+        assert_eq!(strip_constants("x GT 500000"), "x GT ?");
+        assert_eq!(strip_constants("x GT -3.5 AND y EQ 'a''b'"), "x GT ? AND y EQ ?");
+        // Column names containing digits keep their identity.
+        assert_eq!(strip_constants("col2 GT 5"), "col2 GT ?");
+    }
+
+    #[test]
+    fn equivalence_keys_computed() {
+        let (a, b) = extract_two(
+            "SELECT k FROM t WHERE v > 2",
+            "SELECT k FROM t WHERE v > 3",
+        );
+        let ka = equivalence_keys(&a);
+        let kb = equivalence_keys(&b);
+        assert_ne!(ka.string_key, kb.string_key);
+        assert_eq!(ka.column_key, kb.column_key);
+        assert_eq!(ka.template_key, kb.template_key);
+    }
+
+    #[test]
+    fn join_vs_where_unify_in_template() {
+        // The plan resolves syntactic heterogeneity: an explicit JOIN and
+        // an implicit cross-join + WHERE produce the same physical plan.
+        let (a, b) = extract_two(
+            "SELECT t.k FROM t JOIN v2 ON t.k = v2.k",
+            "SELECT t.k FROM t, v2 WHERE t.k = v2.k",
+        );
+        // Both plans should at least reference the same columns.
+        assert_eq!(equivalence_keys(&a).column_key, equivalence_keys(&b).column_key);
+    }
+}

@@ -1,0 +1,272 @@
+//! Per-table and per-user usage structure: Fig. 4 (queries per table),
+//! Fig. 6 (view depth), Fig. 13 (churn classification).
+
+use crate::extract::ExtractedQuery;
+use sqlshare_core::{DatasetKind, SqlShare};
+use sqlshare_sql::parser::parse_query;
+use std::collections::{BTreeMap, HashMap};
+
+/// Fig. 4: distribution of queries per table with the paper's buckets
+/// (1, 2, 3, 4, >=5). Returns `(bucket_label, table_count)`.
+pub fn queries_per_table(corpus: &[ExtractedQuery]) -> Vec<(String, usize)> {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for q in corpus {
+        for t in &q.tables {
+            *counts.entry(t).or_default() += 1;
+        }
+    }
+    let mut buckets = [0usize; 5];
+    for (_, c) in counts {
+        let idx = match c {
+            1 => 0,
+            2 => 1,
+            3 => 2,
+            4 => 3,
+            _ => 4,
+        };
+        buckets[idx] += 1;
+    }
+    ["1", "2", "3", "4", ">=5"]
+        .iter()
+        .zip(buckets)
+        .map(|(l, c)| (l.to_string(), c))
+        .collect()
+}
+
+/// View depth per dataset (§5.2 / Fig. 6): a view referencing only
+/// uploaded datasets has depth 0; each level of derivation adds one.
+pub fn view_depths(service: &SqlShare) -> BTreeMap<String, usize> {
+    // Build the dataset dependency graph from stored view definitions.
+    let mut kind: HashMap<String, DatasetKind> = HashMap::new();
+    let mut deps: HashMap<String, Vec<String>> = HashMap::new();
+    for d in service.datasets() {
+        let key = d.name.key();
+        kind.insert(key.clone(), d.kind);
+        let referenced: Vec<String> = parse_query(&d.sql)
+            .map(|q| {
+                q.referenced_tables()
+                    .iter()
+                    .map(|n| n.flat().to_lowercase())
+                    .collect()
+            })
+            .unwrap_or_default();
+        deps.insert(key, referenced);
+    }
+    let keys: Vec<String> = kind.keys().cloned().collect();
+    let mut depths: BTreeMap<String, usize> = BTreeMap::new();
+    for key in &keys {
+        let d = depth_of(key, &kind, &deps, &mut HashMap::new(), 0);
+        depths.insert(key.clone(), d);
+    }
+    depths
+}
+
+fn depth_of(
+    key: &str,
+    kind: &HashMap<String, DatasetKind>,
+    deps: &HashMap<String, Vec<String>>,
+    memo: &mut HashMap<String, usize>,
+    guard: usize,
+) -> usize {
+    if guard > 64 {
+        return 0;
+    }
+    if let Some(d) = memo.get(key) {
+        return *d;
+    }
+    let d = match kind.get(key) {
+        Some(DatasetKind::Derived) => deps
+            .get(key)
+            .into_iter()
+            .flatten()
+            .filter(|dep| kind.contains_key(*dep))
+            .map(|dep| match kind.get(dep) {
+                Some(DatasetKind::Derived) => {
+                    depth_of(dep, kind, deps, memo, guard + 1) + 1
+                }
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0),
+        _ => 0,
+    };
+    memo.insert(key.to_string(), d);
+    d
+}
+
+/// Fig. 6: max view depth per user, for the given users.
+pub fn max_view_depth_per_user(service: &SqlShare, users: &[String]) -> Vec<(String, usize)> {
+    let depths = view_depths(service);
+    users
+        .iter()
+        .map(|u| {
+            let prefix = format!("{}.", u.to_lowercase());
+            let max = depths
+                .iter()
+                .filter(|(k, _)| k.starts_with(&prefix))
+                .map(|(_, d)| *d)
+                .max()
+                .unwrap_or(0);
+            (u.clone(), max)
+        })
+        .collect()
+}
+
+/// Bucket max view depths the way Fig. 6 does.
+pub fn view_depth_buckets(per_user: &[(String, usize)]) -> Vec<(String, usize)> {
+    let mut buckets = [0usize; 4]; // 0, 1-3, 4-6, 7+
+    for (_, d) in per_user {
+        let idx = match d {
+            0 => 0,
+            1..=3 => 1,
+            4..=6 => 2,
+            _ => 3,
+        };
+        buckets[idx] += 1;
+    }
+    ["0", "1-3", "4-6", "7+"]
+        .iter()
+        .zip(buckets)
+        .map(|(l, c)| (l.to_string(), c))
+        .collect()
+}
+
+/// Fig. 13's regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UsagePattern {
+    /// One dataset, few queries, never returned.
+    OneShot,
+    /// Queries per dataset ≈ 1: ad hoc exploration.
+    Exploratory,
+    /// Few datasets queried repeatedly: conventional analytics.
+    Analytical,
+}
+
+/// One point of the Fig. 13 scatter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserActivity {
+    pub user: String,
+    pub datasets: usize,
+    pub queries: usize,
+    pub pattern: UsagePattern,
+}
+
+/// Classify every user by datasets-owned vs queries-written.
+pub fn classify_users(service: &SqlShare, corpus: &[ExtractedQuery]) -> Vec<UserActivity> {
+    let mut datasets_per_user: HashMap<String, usize> = HashMap::new();
+    for d in service.datasets() {
+        *datasets_per_user
+            .entry(d.name.owner.to_lowercase())
+            .or_default() += 1;
+    }
+    let mut queries_per_user: HashMap<String, usize> = HashMap::new();
+    for q in corpus {
+        *queries_per_user.entry(q.user.to_lowercase()).or_default() += 1;
+    }
+    let mut out: Vec<UserActivity> = service
+        .users()
+        .map(|u| {
+            let key = u.username.to_lowercase();
+            let datasets = datasets_per_user.get(&key).copied().unwrap_or(0);
+            let queries = queries_per_user.get(&key).copied().unwrap_or(0);
+            UserActivity {
+                user: u.username.clone(),
+                datasets,
+                queries,
+                pattern: classify(datasets, queries),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| a.user.cmp(&b.user));
+    out
+}
+
+/// The thresholds behind Fig. 13's three regions.
+pub fn classify(datasets: usize, queries: usize) -> UsagePattern {
+    if datasets <= 1 && queries <= 50 {
+        return UsagePattern::OneShot;
+    }
+    let ratio = queries as f64 / datasets.max(1) as f64;
+    if ratio >= 5.0 && datasets >= 3 {
+        UsagePattern::Analytical
+    } else {
+        UsagePattern::Exploratory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlshare_core::Metadata;
+    use sqlshare_ingest::IngestOptions;
+
+    #[test]
+    fn queries_per_table_buckets() {
+        use sqlshare_common::json::Json;
+        let mk = |tables: &[&str]| ExtractedQuery {
+            id: 0,
+            user: "u".into(),
+            day: 0,
+            sequence: 0,
+            sql: String::new(),
+            length: 0,
+            runtime_micros: 0,
+            result_rows: 0,
+            ops: vec![],
+            distinct_ops: 0,
+            expressions: vec![],
+            tables: tables.iter().map(|s| s.to_string()).collect(),
+            columns: vec![],
+            filters: vec![],
+            est_cost: 0.0,
+            plan: Json::Null,
+        };
+        let corpus = vec![
+            mk(&["a"]),
+            mk(&["b"]),
+            mk(&["b"]),
+            mk(&["c"]),
+            mk(&["c"]),
+            mk(&["c"]),
+            mk(&["c"]),
+            mk(&["c"]),
+        ];
+        let buckets = queries_per_table(&corpus);
+        assert_eq!(buckets[0], ("1".to_string(), 1));
+        assert_eq!(buckets[1], ("2".to_string(), 1));
+        assert_eq!(buckets[4], (">=5".to_string(), 1));
+    }
+
+    #[test]
+    fn view_depths_follow_chains() {
+        let mut s = SqlShare::new();
+        s.register_user("ada", "a@uw.edu").unwrap();
+        s.upload("ada", "raw", "k,v\n1,2\n", &IngestOptions::default())
+            .unwrap();
+        s.save_dataset("ada", "v0", "SELECT * FROM raw", Metadata::default())
+            .unwrap();
+        s.save_dataset("ada", "v1", "SELECT * FROM ada.v0", Metadata::default())
+            .unwrap();
+        s.save_dataset("ada", "v2", "SELECT * FROM ada.v1", Metadata::default())
+            .unwrap();
+        let depths = view_depths(&s);
+        assert_eq!(depths["ada.raw"], 0);
+        assert_eq!(depths["ada.v0"], 0); // references only an upload
+        assert_eq!(depths["ada.v1"], 1);
+        assert_eq!(depths["ada.v2"], 2);
+        let per_user = max_view_depth_per_user(&s, &["ada".to_string()]);
+        assert_eq!(per_user[0].1, 2);
+        let buckets = view_depth_buckets(&per_user);
+        assert_eq!(buckets[1], ("1-3".to_string(), 1));
+    }
+
+    #[test]
+    fn classification_regions() {
+        assert_eq!(classify(1, 5), UsagePattern::OneShot);
+        assert_eq!(classify(1, 500), UsagePattern::Exploratory);
+        assert_eq!(classify(20, 110), UsagePattern::Analytical);
+        assert_eq!(classify(20, 400), UsagePattern::Analytical);
+        assert_eq!(classify(30, 35), UsagePattern::Exploratory);
+        assert_eq!(classify(0, 0), UsagePattern::OneShot);
+    }
+}

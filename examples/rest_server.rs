@@ -1,0 +1,117 @@
+//! A dependency-free HTTP server exposing the SQLShare REST interface
+//! (§3.3/§3.4 of the paper: "the front-end UI is in no way a privileged
+//! application; it operates the REST interface like any other client").
+//!
+//! ```sh
+//! cargo run --example rest_server
+//! # in another terminal:
+//! curl -s -X POST localhost:7878/api/users \
+//!   -d '{"username":"ada","email":"ada@uw.edu"}'
+//! curl -s -X POST localhost:7878/api/datasets \
+//!   -d '{"user":"ada","name":"tides","content":"station,level\n1,2.4\n2,3.1\n"}'
+//! curl -s -X POST localhost:7878/api/queries \
+//!   -d '{"user":"ada","sql":"SELECT * FROM ada.tides"}'
+//! curl -s localhost:7878/api/queries/1/results
+//! ```
+//!
+//! The server handles one request per connection (HTTP/1.0 style) on a
+//! small thread pool — plenty for a demo, zero dependencies.
+
+use parking_lot::Mutex;
+use sqlshare_common::json::{self, Json};
+use sqlshare_core::rest::{dispatch, Method, Request};
+use sqlshare_core::SqlShare;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let listener = TcpListener::bind(&addr)?;
+    println!("SQLShare REST listening on http://{addr}");
+    println!("try: curl -s http://{addr}/api/datasets");
+
+    let service = Arc::new(Mutex::new(SqlShare::new()));
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            if let Err(e) = handle(stream, &service) {
+                eprintln!("connection error: {e}");
+            }
+        });
+    }
+    Ok(())
+}
+
+fn handle(mut stream: TcpStream, service: &Mutex<SqlShare>) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => return respond(&mut stream, 400, &Json::str("bad request line")),
+    };
+
+    // Headers: we only need Content-Length.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().unwrap_or(0);
+        }
+    }
+    let mut body_bytes = vec![0u8; content_length.min(4 * 1024 * 1024)];
+    reader.read_exact(&mut body_bytes)?;
+    let body = if body_bytes.is_empty() {
+        Json::Null
+    } else {
+        match json::parse(&String::from_utf8_lossy(&body_bytes)) {
+            Ok(j) => j,
+            Err(e) => {
+                return respond(&mut stream, 400, &Json::str(format!("bad JSON body: {e}")))
+            }
+        }
+    };
+
+    let Some(method) = Method::parse(&method) else {
+        return respond(&mut stream, 405, &Json::str("unsupported method"));
+    };
+    let response = dispatch(
+        &mut service.lock(),
+        &Request { method, path, body },
+    );
+    respond(&mut stream, response.status, &response.body)
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
+    let payload = body.to_pretty_string();
+    let reason = match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n{payload}",
+        payload.len()
+    )
+}

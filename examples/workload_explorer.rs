@@ -1,0 +1,93 @@
+//! Generate a small synthetic SQLShare corpus and poke at it with the
+//! paper's analysis toolkit — a miniature of what `sqlshare-report` does
+//! at full scale, useful for exploring the workload dataset format.
+//!
+//! ```sh
+//! cargo run --release --example workload_explorer [scale] [seed]
+//! ```
+
+use sqlshare_wlgen::sqlshare::generate;
+use sqlshare_wlgen::GeneratorConfig;
+use sqlshare_workload::entropy::entropy;
+use sqlshare_workload::extract::extract_corpus;
+use sqlshare_workload::lifetimes::{dataset_spans, most_active_users};
+use sqlshare_workload::metrics::{operator_frequency, query_means};
+use sqlshare_workload::recommend::recommend_for_user;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+
+    println!("generating corpus at scale {scale}, seed {seed}...");
+    let corpus = generate(&GeneratorConfig { seed, scale });
+    let queries = extract_corpus(corpus.service.log().entries());
+    println!(
+        "{} users, {} uploads, {} views, {} logged queries ({} extracted)",
+        corpus.stats.users,
+        corpus.stats.uploads,
+        corpus.stats.views_created,
+        corpus.service.log().len(),
+        queries.len()
+    );
+
+    // One raw Listing-1 plan, straight from the query catalog.
+    if let Some(q) = queries.iter().find(|q| q.sql.contains("WHERE")) {
+        println!("\nexample query: {}", q.sql);
+        println!("extracted     : {} ops, {} distinct, tables {:?}",
+            q.ops.len(), q.distinct_ops, q.tables);
+        println!("plan JSON     :\n{}", q.plan.to_pretty_string());
+    }
+
+    let means = query_means(&queries);
+    println!(
+        "\nper-query means: {:.1} chars, {:.2} ops, {:.2} distinct ops, {:.2} tables",
+        means.length_chars, means.operators, means.distinct_operators, means.tables_accessed
+    );
+
+    println!("\ntop physical operators (Clustered Index Scan excluded):");
+    for (op, pct) in operator_frequency(&queries, &["Clustered Index Scan"])
+        .iter()
+        .take(8)
+    {
+        println!("  {op:22} {pct:5.1}%");
+    }
+
+    let e = entropy(&queries);
+    println!(
+        "\nentropy: {} queries, {} string-distinct ({:.1}%), {} templates ({:.1}% of distinct)",
+        e.total_queries,
+        e.string_distinct,
+        e.string_pct(),
+        e.template_distinct,
+        e.template_pct()
+    );
+
+    let spans = dataset_spans(&queries);
+    let short = spans.values().filter(|s| s.lifetime_days() <= 10).count();
+    println!(
+        "\ndataset lifetimes: {}/{} tables live <=10 days",
+        short,
+        spans.len()
+    );
+    let top = most_active_users(&queries, 5);
+    println!("most active users: {top:?}");
+
+    // The paper's §8 proposal in action: suggest queries of comparable
+    // complexity (but new templates) to the most active user.
+    if let Some(user) = top.first() {
+        println!("\nrecommendations for {user}:");
+        for rec in recommend_for_user(&queries, user, 3) {
+            println!(
+                "  [{:.2}] {}",
+                rec.score,
+                rec.query.sql.chars().take(90).collect::<String>()
+            );
+        }
+    }
+}

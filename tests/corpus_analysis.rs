@@ -1,0 +1,179 @@
+//! Shape assertions: generate both dev-scale corpora and check that the
+//! paper's qualitative findings reproduce — who wins, by roughly what
+//! factor. Absolute numbers are substrate-dependent; the *shapes* are the
+//! reproduction target (see EXPERIMENTS.md).
+
+use sqlshare_bench::Workbench;
+use sqlshare_wlgen::GeneratorConfig;
+use sqlshare_workload::diversity::max_workload_diversity;
+use sqlshare_workload::entropy::entropy;
+use sqlshare_workload::expressions::expression_report;
+use sqlshare_workload::idioms::{feature_usage, idiom_counts, sharing_stats};
+use sqlshare_workload::lifetimes::{dataset_spans, most_active_users};
+use sqlshare_workload::metrics::{
+    distinct_op_histogram, length_histogram, operator_frequency, query_means, workload_metadata,
+};
+use sqlshare_workload::reuse::reuse_analysis;
+use sqlshare_workload::users::{classify_users, queries_per_table, UsagePattern};
+
+fn workbench() -> Workbench {
+    Workbench::build(GeneratorConfig {
+        seed: 20160626, // SIGMOD'16 opening day
+        scale: 0.04,
+    })
+}
+
+#[test]
+fn corpus_shapes_match_the_paper() {
+    let wb = workbench();
+
+    // --- Table 2: a populated multi-tenant deployment ---------------------
+    let meta = workload_metadata(&wb.sqlshare.service);
+    assert!(meta.users >= 15, "users: {}", meta.users);
+    assert!(meta.tables > 30);
+    assert!(meta.views > meta.tables, "every table has a wrapper view");
+    assert!(meta.queries > 400);
+    let means = query_means(&wb.sqlshare_queries);
+    assert!(means.operators > 2.0);
+    assert!(means.tables_accessed >= 1.0);
+
+    // --- Table 3: SQLShare is far more diverse than SDSS -------------------
+    let ss = entropy(&wb.sqlshare_queries);
+    let sdss = entropy(&wb.sdss_queries);
+    assert!(
+        ss.string_pct() > 3.0 * sdss.string_pct(),
+        "string-distinct: SQLShare {:.1}% vs SDSS {:.1}%",
+        ss.string_pct(),
+        sdss.string_pct()
+    );
+    assert!(
+        ss.template_pct() > 5.0 * sdss.template_pct(),
+        "templates: SQLShare {:.1}% vs SDSS {:.1}%",
+        ss.template_pct(),
+        sdss.template_pct()
+    );
+    assert!(sdss.string_pct() < 25.0, "SDSS is duplicate-dominated");
+
+    // --- Fig. 7: SQLShare has the longer tail -------------------------------
+    let ss_len = length_histogram(&wb.sqlshare_queries);
+    let sdss_len = length_histogram(&wb.sdss_queries);
+    let long = |h: &sqlshare_workload::metrics::BucketedHistogram| h.buckets[2].1 + h.buckets[3].1;
+    assert!(
+        long(&ss_len) >= long(&sdss_len),
+        "SQLShare long-query tail {:.2}% vs SDSS {:.2}%",
+        long(&ss_len),
+        long(&sdss_len)
+    );
+
+    // --- Fig. 8: SQLShare's complex queries out-complex SDSS's --------------
+    let ss_ops = distinct_op_histogram(&wb.sqlshare_queries);
+    let sdss_ops = distinct_op_histogram(&wb.sdss_queries);
+    assert!(
+        ss_ops.buckets[2].1 >= sdss_ops.buckets[2].1,
+        "SQLShare >=8 distinct ops {:.2}% vs SDSS {:.2}%",
+        ss_ops.buckets[2].1,
+        sdss_ops.buckets[2].1
+    );
+
+    // --- Fig. 9: aggregate-heavy SQLShare mix -------------------------------
+    let freq = operator_frequency(&wb.sqlshare_queries, &["Clustered Index Scan"]);
+    let top5: Vec<&str> = freq.iter().take(5).map(|(o, _)| o.as_str()).collect();
+    assert!(
+        top5.contains(&"Stream Aggregate"),
+        "Stream Aggregate should rank top-5, got {top5:?}"
+    );
+    assert!(
+        freq.iter().any(|(o, p)| o == "Clustered Index Seek" && *p > 3.0),
+        "seeks should be a visible share"
+    );
+
+    // --- Table 4: string ops prominent in SQLShare; UDF ops in SDSS --------
+    let ss_expr = expression_report(&wb.sqlshare_queries);
+    assert!(ss_expr.ranked.iter().take(12).any(|(o, _)| o == "like"));
+    let sdss_expr = expression_report(&wb.sdss_queries);
+    assert!(sdss_expr.distinct_udfs >= 3, "SDSS runs on UDFs");
+    assert!(
+        ss_expr.distinct_operators > sdss_expr.distinct_operators,
+        "SQLShare uses a wider expression vocabulary"
+    );
+
+    // --- §6.2: SQLShare has more reuse headroom than SDSS -------------------
+    let ss_reuse = reuse_analysis(&wb.sqlshare_queries);
+    let sdss_reuse = reuse_analysis(&wb.sdss_queries);
+    assert!(ss_reuse.saved_pct() > sdss_reuse.saved_pct());
+    assert!(ss_reuse.saved_pct() < 90.0, "reuse is partial, not total");
+
+    // --- §6.4: diversity orders of magnitude above Mozafari's 0.003 ---------
+    let top = most_active_users(&wb.sqlshare_queries, 10);
+    let d = max_workload_diversity(&wb.sqlshare_queries, &top, 8);
+    assert!(d > 0.03, "diversity {d}");
+}
+
+#[test]
+fn usage_patterns_match_the_paper() {
+    let wb = workbench();
+
+    // --- Fig. 4: both one-touch tables and hot tables exist -----------------
+    let buckets = queries_per_table(&wb.sqlshare_queries);
+    let once = buckets[0].1;
+    let hot = buckets[4].1;
+    let total: usize = buckets.iter().map(|(_, c)| c).sum();
+    assert!(once * 10 >= total, "one-touch tables exist: {once}/{total}");
+    assert!(hot * 10 >= total, "hot tables exist: {hot}/{total}");
+
+    // --- Fig. 11/§6.3: short lifetimes dominate, years-long tails exist -----
+    let spans = dataset_spans(&wb.sqlshare_queries);
+    let short = spans.values().filter(|s| s.lifetime_days() <= 10).count();
+    let long = spans.values().filter(|s| s.lifetime_days() > 365).count();
+    assert!(
+        short * 3 > spans.len(),
+        "short-lived datasets should be a large share: {short}/{}",
+        spans.len()
+    );
+    assert!(long > 0, "some datasets live for years");
+
+    // --- Fig. 13: all three user populations present ------------------------
+    let users = classify_users(&wb.sqlshare.service, &wb.sqlshare_queries);
+    let count = |p| users.iter().filter(|u| u.pattern == p).count();
+    assert!(count(UsagePattern::OneShot) > 0);
+    assert!(count(UsagePattern::Exploratory) > 0);
+    assert!(count(UsagePattern::Analytical) > 0);
+    assert!(
+        count(UsagePattern::Exploratory) >= count(UsagePattern::Analytical),
+        "the ad hoc pattern dominates"
+    );
+
+    // --- §5.1: schematization idioms appear in the derived-view corpus ------
+    let idioms = idiom_counts(&wb.sqlshare.service);
+    assert!(idioms.derived_views > 10);
+    assert!(idioms.null_injection > 0);
+    assert!(idioms.post_hoc_cast > 0);
+    assert!(idioms.column_renaming > 0);
+
+    // --- §5.2: sharing is real ----------------------------------------------
+    let sharing = sharing_stats(&wb.sqlshare.service);
+    assert!(sharing.public_pct > 15.0, "public: {:.1}%", sharing.public_pct);
+    assert!(sharing.foreign_query_pct > 2.0);
+
+    // --- §5.3: full-SQL features used ----------------------------------------
+    let usage = feature_usage(&wb.sqlshare_queries);
+    assert!(usage.sorting_pct > 10.0);
+    assert!(usage.top_k_pct > 0.5);
+    assert!(usage.outer_join_pct > 0.5);
+    assert!(usage.window_function_pct > 0.5);
+}
+
+#[test]
+fn generation_is_deterministic_across_full_pipeline() {
+    let a = Workbench::build(GeneratorConfig { seed: 9, scale: 0.01 });
+    let b = Workbench::build(GeneratorConfig { seed: 9, scale: 0.01 });
+    assert_eq!(a.sqlshare_queries.len(), b.sqlshare_queries.len());
+    let ea = entropy(&a.sqlshare_queries);
+    let eb = entropy(&b.sqlshare_queries);
+    assert_eq!(ea, eb);
+    // Template hashes are stable across runs (FNV, not SipHash).
+    use sqlshare_workload::template::template_hash;
+    for (qa, qb) in a.sqlshare_queries.iter().zip(&b.sqlshare_queries) {
+        assert_eq!(template_hash(qa), template_hash(qb));
+    }
+}

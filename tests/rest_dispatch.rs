@@ -1,0 +1,168 @@
+//! Drive the REST interface end to end, as the web UI or the community
+//! R/JavaScript clients would (§3.4: the UI is just another REST client).
+
+use sqlshare_common::json::Json;
+use sqlshare_core::rest::{body, dispatch, Request};
+use sqlshare_core::SqlShare;
+
+fn post(path: &str, pairs: &[(&str, &str)]) -> Request {
+    Request::post(path, body(pairs))
+}
+
+#[test]
+fn rest_session_end_to_end() {
+    let mut s = SqlShare::new();
+
+    // Register two users.
+    let r = dispatch(&mut s, &post("/api/users", &[("username", "ada"), ("email", "a@uw.edu")]));
+    assert_eq!(r.status, 201);
+    let r = dispatch(&mut s, &post("/api/users", &[("username", "bob"), ("email", "b@x.org")]));
+    assert_eq!(r.status, 201);
+    // Duplicate registration fails cleanly.
+    let r = dispatch(&mut s, &post("/api/users", &[("username", "ada"), ("email", "z@z.z")]));
+    assert_eq!(r.status, 400);
+
+    // Upload a dataset.
+    let r = dispatch(
+        &mut s,
+        &post(
+            "/api/datasets",
+            &[
+                ("user", "ada"),
+                ("name", "tides"),
+                ("content", "station,level\n1,2.4\n2,3.1\n2,2.9\n"),
+            ],
+        ),
+    );
+    assert_eq!(r.status, 201, "{:?}", r.body.to_string());
+    assert_eq!(r.body.get("rows").unwrap().as_f64(), Some(3.0));
+    assert_eq!(r.body.get("headerUsed"), Some(&Json::Bool(true)));
+
+    // List datasets.
+    let r = dispatch(&mut s, &Request::get("/api/datasets"));
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body.as_array().unwrap().len(), 1);
+
+    // Owner reads metadata + preview.
+    let r = dispatch(&mut s, &Request::get("/api/datasets/ada/tides?user=ada"));
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body.get("preview").unwrap().as_array().unwrap().len(), 3);
+    // A stranger is rejected with 403.
+    let r = dispatch(&mut s, &Request::get("/api/datasets/ada/tides?user=bob"));
+    assert_eq!(r.status, 403);
+    // Unknown dataset is 404.
+    let r = dispatch(&mut s, &Request::get("/api/datasets/ada/nope?user=ada"));
+    assert_eq!(r.status, 404);
+
+    // Save a derived view over it.
+    let r = dispatch(
+        &mut s,
+        &post(
+            "/api/views",
+            &[
+                ("user", "ada"),
+                ("name", "mean_levels"),
+                ("sql", "SELECT station, AVG(level) AS mean_level FROM tides GROUP BY station"),
+                ("description", "station means"),
+            ],
+        ),
+    );
+    assert_eq!(r.status, 201, "{:?}", r.body.to_string());
+
+    // Share it publicly.
+    let mut perm = Request::post(
+        "/api/datasets/ada/mean_levels/permissions",
+        body(&[("user", "ada")]),
+    );
+    if let Json::Object(o) = &mut perm.body {
+        o.insert("visibility", Json::str("public"));
+    }
+    let r = dispatch(&mut s, &perm);
+    assert_eq!(r.status, 200);
+
+    // Bob submits a query asynchronously and polls (§3.3).
+    let r = dispatch(
+        &mut s,
+        &post(
+            "/api/queries",
+            &[("user", "bob"), ("sql", "SELECT * FROM ada.mean_levels ORDER BY station")],
+        ),
+    );
+    assert_eq!(r.status, 201);
+    let id = r.body.get("id").unwrap().as_f64().unwrap() as u64;
+    let r = dispatch(&mut s, &Request::get(format!("/api/queries/{id}")));
+    assert_eq!(r.body.get("status").unwrap().as_str(), Some("complete"));
+    let r = dispatch(&mut s, &Request::get(format!("/api/queries/{id}/results")));
+    assert_eq!(r.status, 200);
+    let rows = r.body.get("rows").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 2);
+    assert!(r.body.get("plan").unwrap().get("physicalOp").is_some());
+
+    // A failing query surfaces through the handle, not as a 500.
+    let r = dispatch(
+        &mut s,
+        &post("/api/queries", &[("user", "bob"), ("sql", "SELECT nope FROM ada.mean_levels")]),
+    );
+    let id = r.body.get("id").unwrap().as_f64().unwrap() as u64;
+    let r = dispatch(&mut s, &Request::get(format!("/api/queries/{id}")));
+    assert_eq!(r.body.get("status").unwrap().as_str(), Some("failed"));
+
+    // Append another batch via REST.
+    let r = dispatch(
+        &mut s,
+        &post(
+            "/api/datasets",
+            &[("user", "ada"), ("name", "tides_b2"), ("content", "station,level\n3,1.9\n")],
+        ),
+    );
+    assert_eq!(r.status, 201);
+    let r = dispatch(
+        &mut s,
+        &post(
+            "/api/datasets/ada/tides/append",
+            &[("user", "ada"), ("sourceOwner", "ada"), ("sourceName", "tides_b2")],
+        ),
+    );
+    assert_eq!(r.status, 200, "{:?}", r.body.to_string());
+
+    // Download the full CSV.
+    let r = dispatch(&mut s, &Request::get("/api/datasets/ada/tides/download?user=ada"));
+    assert_eq!(r.status, 200);
+    let csv = r.body.get("csv").unwrap().as_str().unwrap();
+    assert_eq!(csv.lines().count(), 5); // header + 4 rows after append
+
+    // Delete.
+    let r = dispatch(
+        &mut s,
+        &Request::delete("/api/datasets/ada/tides_b2", body(&[("user", "bob")])),
+    );
+    assert_eq!(r.status, 403);
+    let r = dispatch(
+        &mut s,
+        &Request::delete("/api/datasets/ada/tides_b2", body(&[("user", "ada")])),
+    );
+    assert_eq!(r.status, 200);
+}
+
+#[test]
+fn rest_error_statuses() {
+    let mut s = SqlShare::new();
+    assert_eq!(dispatch(&mut s, &Request::get("/api/unknown")).status, 404);
+    assert_eq!(
+        dispatch(&mut s, &post("/api/datasets", &[("user", "ghost")])).status,
+        400
+    );
+    assert_eq!(
+        dispatch(
+            &mut s,
+            &post("/api/queries", &[("user", "ghost"), ("sql", "SELECT 1")])
+        )
+        .status,
+        400
+    );
+    assert_eq!(
+        dispatch(&mut s, &Request::get("/api/queries/notanumber")).status,
+        400
+    );
+    assert_eq!(dispatch(&mut s, &Request::get("/api/queries/99")).status, 400);
+}
