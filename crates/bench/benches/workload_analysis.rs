@@ -18,7 +18,8 @@ fn bench_analysis(c: &mut Criterion) {
         seed: 11,
         scale: 0.02,
     });
-    let entries = wb.sqlshare.service.log().entries();
+    let log = wb.sqlshare.service.log();
+    let entries = log.entries();
     let corpus = &wb.sqlshare_queries;
     let n = corpus.len() as u64;
 

@@ -5,7 +5,7 @@ use crate::{experiments, Workbench};
 /// All experiment ids, in paper order.
 pub const ALL: &[&str] = &[
     "summary", "table2", "fig4", "sec51", "sec52", "sec53", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "table3", "table4", "reuse", "fig11", "fig12", "fig13", "diversity",
+    "fig10", "table3", "table4", "reuse", "fig11", "fig12", "fig13", "diversity", "scheduler",
 ];
 
 /// Run one experiment by id.
@@ -29,6 +29,7 @@ pub fn run(id: &str, wb: &Workbench) -> Option<String> {
         "sec53" => experiments::sec53(wb),
         "reuse" => experiments::reuse(wb),
         "diversity" => experiments::diversity(wb),
+        "scheduler" => experiments::scheduler(wb),
         _ => return None,
     })
 }

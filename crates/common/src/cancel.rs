@@ -1,0 +1,130 @@
+//! Cooperative cancellation for long-running work.
+//!
+//! A [`CancellationToken`] is a cheap, cloneable flag shared between the
+//! party that requests cancellation (the scheduler's deadline reaper, a
+//! user cancelling their query) and the party that must stop (the engine
+//! executor, which checks the token every few thousand rows). The first
+//! cancellation wins and records *why* — a timeout reads differently
+//! than an explicit cancel in the query log's error taxonomy.
+
+use crate::error::Error;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Why a token was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The query's deadline expired.
+    Timeout,
+    /// The owner (or an admin) cancelled the query.
+    Cancelled,
+    /// The service is shutting down.
+    Shutdown,
+}
+
+const LIVE: u8 = 0;
+const TIMEOUT: u8 = 1;
+const CANCELLED: u8 = 2;
+const SHUTDOWN: u8 = 3;
+
+/// A shared cancellation flag plus the reason it tripped.
+///
+/// Cloning shares the underlying state. `cancel` is first-writer-wins:
+/// if the deadline reaper and the user race, the recorded reason is
+/// whichever got there first.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    state: Arc<AtomicU8>,
+}
+
+impl CancellationToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the token. Returns `true` if this call was the first.
+    pub fn cancel(&self, reason: CancelReason) -> bool {
+        let encoded = match reason {
+            CancelReason::Timeout => TIMEOUT,
+            CancelReason::Cancelled => CANCELLED,
+            CancelReason::Shutdown => SHUTDOWN,
+        };
+        self.state
+            .compare_exchange(LIVE, encoded, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Has the token been tripped?
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.state.load(Ordering::Acquire) != LIVE
+    }
+
+    /// Why the token was tripped, if it was.
+    pub fn reason(&self) -> Option<CancelReason> {
+        match self.state.load(Ordering::Acquire) {
+            TIMEOUT => Some(CancelReason::Timeout),
+            CANCELLED => Some(CancelReason::Cancelled),
+            SHUTDOWN => Some(CancelReason::Shutdown),
+            _ => None,
+        }
+    }
+
+    /// The [`Error`] a cancelled computation should unwind with.
+    /// Returns a generic cancellation error if the token is untripped.
+    pub fn to_error(&self) -> Error {
+        match self.reason() {
+            Some(CancelReason::Timeout) => {
+                Error::Timeout("query deadline expired".into())
+            }
+            Some(CancelReason::Shutdown) => {
+                Error::Cancelled("service shutting down".into())
+            }
+            _ => Error::Cancelled("query was cancelled".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_live() {
+        let t = CancellationToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+    }
+
+    #[test]
+    fn first_cancel_wins() {
+        let t = CancellationToken::new();
+        assert!(t.cancel(CancelReason::Timeout));
+        assert!(!t.cancel(CancelReason::Cancelled));
+        assert_eq!(t.reason(), Some(CancelReason::Timeout));
+        assert_eq!(t.to_error().kind(), "timeout");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancellationToken::new();
+        let c = t.clone();
+        t.cancel(CancelReason::Cancelled);
+        assert!(c.is_cancelled());
+        assert_eq!(c.to_error().kind(), "cancelled");
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let t = CancellationToken::new();
+        let c = t.clone();
+        let handle = std::thread::spawn(move || {
+            while !c.is_cancelled() {
+                std::thread::yield_now();
+            }
+            c.reason()
+        });
+        t.cancel(CancelReason::Shutdown);
+        assert_eq!(handle.join().unwrap(), Some(CancelReason::Shutdown));
+    }
+}

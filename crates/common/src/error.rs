@@ -38,6 +38,12 @@ pub enum Error {
     Request(String),
     /// Quota exceeded (datasets or storage bytes per user).
     Quota(String),
+    /// Admission control rejected the query: the tenant's queue is full.
+    Overloaded(String),
+    /// The query's deadline expired before it finished.
+    Timeout(String),
+    /// The query was cancelled by its owner or an administrator.
+    Cancelled(String),
 }
 
 impl Error {
@@ -54,6 +60,9 @@ impl Error {
             Error::Json(_) => "json",
             Error::Request(_) => "request",
             Error::Quota(_) => "quota",
+            Error::Overloaded(_) => "overloaded",
+            Error::Timeout(_) => "timeout",
+            Error::Cancelled(_) => "cancelled",
         }
     }
 
@@ -69,7 +78,10 @@ impl Error {
             | Error::Catalog(m)
             | Error::Json(m)
             | Error::Request(m)
-            | Error::Quota(m) => m,
+            | Error::Quota(m)
+            | Error::Overloaded(m)
+            | Error::Timeout(m)
+            | Error::Cancelled(m) => m,
         }
     }
 }
@@ -107,6 +119,9 @@ mod tests {
             Error::Json(String::new()),
             Error::Request(String::new()),
             Error::Quota(String::new()),
+            Error::Overloaded(String::new()),
+            Error::Timeout(String::new()),
+            Error::Cancelled(String::new()),
         ];
         let mut kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

@@ -14,9 +14,11 @@
 //! * [`text`] — ASCII table and histogram rendering used by the report
 //!   harness that regenerates every table and figure.
 
+pub mod cancel;
 pub mod error;
 pub mod hash;
 pub mod json;
 pub mod text;
 
+pub use cancel::{CancelReason, CancellationToken};
 pub use error::{Error, Result};

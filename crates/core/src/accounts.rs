@@ -11,6 +11,8 @@ use sqlshare_common::{Error, Result};
 pub struct User {
     pub username: String,
     pub email: String,
+    /// Administrators may cancel any user's running queries.
+    pub admin: bool,
 }
 
 impl User {
@@ -70,11 +72,13 @@ mod tests {
         let u = User {
             username: "ada".into(),
             email: "ada@uw.edu".into(),
+            admin: false,
         };
         assert!(u.is_academic());
         let u = User {
             username: "bob".into(),
             email: "bob@example.com".into(),
+            admin: false,
         };
         assert!(!u.is_academic());
     }

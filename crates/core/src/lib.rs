@@ -34,4 +34,5 @@ pub use clock::{SimClock, SimInstant};
 pub use dataset::{Dataset, DatasetKind, DatasetName, Metadata, Preview};
 pub use permissions::Visibility;
 pub use querylog::{Outcome, QueryLog, QueryLogEntry};
-pub use service::{JobStatus, QueryResult, SqlShare};
+pub use service::{JobStatus, QueryJob, QueryResult, SqlShare};
+pub use sqlshare_scheduler::{SchedulerConfig, SchedulerStats, TenantStats};

@@ -33,6 +33,11 @@ pub struct QueryLogEntry {
     pub at: SimInstant,
     pub sql: String,
     pub outcome: Outcome,
+    /// Time the query spent queued in the scheduler before a worker
+    /// started it, in microseconds (0 for synchronous execution). The
+    /// queue-wait/runtime split lets the workload analysis separate
+    /// service load from query cost.
+    pub queue_wait_micros: u64,
     /// The cleaned JSON plan (Phase 1 output, Fig. 5a). Present only for
     /// successful queries.
     pub plan_json: Option<Json>,
@@ -103,6 +108,7 @@ mod tests {
             } else {
                 Outcome::Error("binding".into())
             },
+            queue_wait_micros: 0,
             plan_json: None,
             tables: vec![],
             datasets: vec![],

@@ -336,17 +336,65 @@ pub fn dispatch(service: &mut SqlShare, request: &Request) -> Response {
         }
         (Method::Get, ["api", "queries", id]) => match id.parse::<u64>() {
             Ok(id) => match service.query_status(id) {
-                Ok(JobStatus::Complete) => {
-                    Response::ok(Json::object([("status", Json::str("complete"))]))
+                Ok(status) => {
+                    let mut fields = vec![("status", Json::str(status.label()))];
+                    match &status {
+                        JobStatus::Failed(msg)
+                        | JobStatus::TimedOut(msg)
+                        | JobStatus::Cancelled(msg) => {
+                            fields.push(("error", Json::str(msg.clone())));
+                        }
+                        _ => {}
+                    }
+                    Response::ok(Json::object(fields))
                 }
-                Ok(JobStatus::Failed(msg)) => Response::ok(Json::object([
-                    ("status", Json::str("failed")),
-                    ("error", Json::str(msg.clone())),
-                ])),
                 Err(e) => Response::from_err(&e),
             },
             Err(_) => Response::error(400, "query id must be an integer"),
         },
+        (Method::Post, ["api", "queries", id, "cancel"]) => match id.parse::<u64>() {
+            Ok(id) => {
+                let Some(user) = str_field(&request.body, "user") else {
+                    return Response::error(400, "user is required");
+                };
+                match service.cancel_query(&user, id) {
+                    Ok(()) => {
+                        Response::ok(Json::object([("cancelled", Json::Bool(true))]))
+                    }
+                    Err(e) => Response::from_err(&e),
+                }
+            }
+            Err(_) => Response::error(400, "query id must be an integer"),
+        },
+        (Method::Get, ["api", "scheduler"]) => {
+            let stats = service.scheduler_stats();
+            let tenant_json = |t: &sqlshare_scheduler::TenantStats| {
+                Json::object([
+                    ("submitted", Json::num(t.submitted as f64)),
+                    ("completed", Json::num(t.completed as f64)),
+                    ("failed", Json::num(t.failed as f64)),
+                    ("timedOut", Json::num(t.timed_out as f64)),
+                    ("cancelled", Json::num(t.cancelled as f64)),
+                    ("rejected", Json::num(t.rejected as f64)),
+                    ("queueDepth", Json::num(t.queue_depth as f64)),
+                    (
+                        "meanQueueWaitMicros",
+                        Json::num(t.mean_queue_wait_micros()),
+                    ),
+                    ("meanExecMicros", Json::num(t.mean_exec_micros())),
+                ])
+            };
+            let tenants: sqlshare_common::json::JsonObject = stats
+                .tenants
+                .iter()
+                .map(|(name, t)| (name.clone(), tenant_json(t)))
+                .collect();
+            Response::ok(Json::object([
+                ("workers", Json::num(stats.workers as f64)),
+                ("totals", tenant_json(&stats.totals)),
+                ("tenants", Json::Object(tenants)),
+            ]))
+        }
         (Method::Get, ["api", "queries", id, "results"]) => match id.parse::<u64>() {
             Ok(id) => match service.query_results(id) {
                 Ok(result) => {

@@ -9,19 +9,24 @@
 //! paper's research corpus (§4).
 
 use crate::accounts::{validate_username, Quota, User};
-use crate::clock::SimClock;
+use crate::clock::{SimClock, SimInstant};
 use crate::dataset::{Dataset, DatasetKind, DatasetName, Metadata, Preview, PREVIEW_ROWS};
 use crate::permissions::{check_access, DatasetGraph, Visibility};
 use crate::querylog::{Outcome, QueryLog, QueryLogEntry};
 use sqlshare_common::json::Json;
-use sqlshare_common::{Error, Result};
+use sqlshare_common::{CancelReason, CancellationToken, Error, Result};
 use sqlshare_engine::{Engine, Row, Schema, Table};
 use sqlshare_ingest::staging::Staging;
 use sqlshare_ingest::{IngestOptions, IngestReport};
+use sqlshare_scheduler::{
+    JobDisposition, Scheduler, SchedulerConfig, SchedulerStats, SubmitOptions,
+};
 use sqlshare_sql::ast::{ObjectName, Query, TableRef};
 use sqlshare_sql::parser::parse_query;
 use sqlshare_sql::rewrite::{append_union, strip_order_by_for_view, wrapper_view, AppendMode};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Result rows plus execution metadata returned to clients.
 #[derive(Debug, Clone)]
@@ -34,10 +39,37 @@ pub struct QueryResult {
 
 /// Status of an asynchronous query job (§3.3: the REST server returns an
 /// identifier immediately; clients poll for status and results).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobStatus {
+    /// Accepted by the scheduler, waiting for a worker.
+    Queued,
+    /// A worker is executing the query.
+    Running,
     Complete,
     Failed(String),
+    /// The query's deadline expired before it finished.
+    TimedOut(String),
+    /// The owner (or an admin) cancelled the query.
+    Cancelled(String),
+}
+
+impl JobStatus {
+    /// Terminal states never change again.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobStatus::Queued | JobStatus::Running)
+    }
+
+    /// Short lowercase label used by the REST layer.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Complete => "complete",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::TimedOut(_) => "timeout",
+            JobStatus::Cancelled(_) => "cancelled",
+        }
+    }
 }
 
 /// A submitted query job.
@@ -47,27 +79,92 @@ pub struct QueryJob {
     pub user: String,
     pub sql: String,
     pub status: JobStatus,
+    /// Time spent queued before execution began, in microseconds
+    /// (0 until the job leaves the queue).
+    pub queue_wait_micros: u64,
     result: Option<QueryResult>,
+    token: CancellationToken,
+}
+
+/// Shared job table: the service and the scheduler's workers both
+/// update it; the condvar wakes waiters on every status change.
+type JobTable = (Mutex<HashMap<u64, QueryJob>>, Condvar);
+
+fn update_job(jobs: &JobTable, id: u64, f: impl FnOnce(&mut QueryJob)) {
+    let mut map = jobs.0.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(job) = map.get_mut(&id) {
+        f(job);
+    }
+    drop(map);
+    jobs.1.notify_all();
+}
+
+/// Append an entry to the log, assigning the next id under the lock.
+#[allow(clippy::too_many_arguments)]
+fn push_log(
+    log: &Mutex<QueryLog>,
+    user: &str,
+    at: SimInstant,
+    sql: &str,
+    outcome: Outcome,
+    plan_json: Option<Json>,
+    tables: Vec<String>,
+    datasets: Vec<String>,
+    touches_foreign_data: bool,
+    queue_wait_micros: u64,
+) {
+    let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
+    let id = log.len() as u64 + 1;
+    log.push(QueryLogEntry {
+        id,
+        user: user.to_string(),
+        at,
+        sql: sql.to_string(),
+        outcome,
+        plan_json,
+        tables,
+        datasets,
+        touches_foreign_data,
+        queue_wait_micros,
+    });
 }
 
 /// The SQLShare platform.
 #[derive(Debug, Default)]
 pub struct SqlShare {
     engine: Engine,
+    /// Cached immutable engine snapshot handed to scheduler workers;
+    /// invalidated by any catalog mutation. Queries running on a stale
+    /// snapshot simply see the pre-DDL catalog (snapshot isolation).
+    snapshot: Option<Arc<Engine>>,
     datasets: BTreeMap<String, Dataset>,
     visibility: HashMap<String, Visibility>,
     users: BTreeMap<String, User>,
     staging: Staging,
-    log: QueryLog,
+    log: Arc<Mutex<QueryLog>>,
     clock: SimClock,
     quota: Quota,
-    jobs: HashMap<u64, QueryJob>,
+    scheduler: Scheduler,
+    jobs: Arc<JobTable>,
     next_job_id: u64,
+    /// Deadline applied to submitted queries with no explicit deadline.
+    default_deadline: Option<Duration>,
 }
 
 impl SqlShare {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Build a service with a custom scheduler configuration (worker
+    /// count, queue capacity, default deadline).
+    pub fn with_scheduler(config: SchedulerConfig) -> Self {
+        let default_deadline = config.default_deadline;
+        SqlShare {
+            scheduler: Scheduler::new(config),
+            default_deadline,
+            ..Self::default()
+        }
     }
 
     // ---- users and time -------------------------------------------------
@@ -86,9 +183,19 @@ impl SqlShare {
             User {
                 username: username.to_string(),
                 email: email.to_string(),
+                admin: false,
             },
         );
         Ok(())
+    }
+
+    /// Grant or revoke administrator rights (admins may cancel any
+    /// user's queries).
+    pub fn set_admin(&mut self, username: &str, admin: bool) -> Result<()> {
+        self.users
+            .get_mut(&username.to_lowercase())
+            .map(|u| u.admin = admin)
+            .ok_or_else(|| Error::Request(format!("unknown user '{username}'")))
     }
 
     pub fn user(&self, username: &str) -> Option<&User> {
@@ -160,6 +267,7 @@ impl SqlShare {
             },
         );
         self.visibility.insert(name.key(), Visibility::Private);
+        self.invalidate_snapshot();
         Ok((name, report))
     }
 
@@ -203,6 +311,7 @@ impl SqlShare {
             },
         );
         self.visibility.insert(name.key(), Visibility::Private);
+        self.invalidate_snapshot();
         Ok(name)
     }
 
@@ -253,6 +362,7 @@ impl SqlShare {
             .expect("checked above");
         ds.sql = rewritten;
         ds.preview = Some(preview);
+        self.invalidate_snapshot();
         Ok(())
     }
 
@@ -300,6 +410,7 @@ impl SqlShare {
             },
         );
         self.visibility.insert(name.key(), Visibility::Private);
+        self.invalidate_snapshot();
         Ok(name)
     }
 
@@ -320,6 +431,7 @@ impl SqlShare {
         }
         self.datasets.remove(&name.key());
         self.visibility.remove(&name.key());
+        self.invalidate_snapshot();
         Ok(())
     }
 
@@ -409,7 +521,6 @@ impl SqlShare {
     pub fn run_query(&mut self, user: &str, sql: &str) -> Result<QueryResult> {
         self.require_user(user)?;
         let at = self.clock.tick();
-        let id = self.log.len() as u64 + 1;
         match self.run_query_inner(user, sql) {
             Ok((result, datasets, tables)) => {
                 let foreign = datasets.iter().any(|k| {
@@ -418,34 +529,36 @@ impl SqlShare {
                         .map(|d| !d.name.owner.eq_ignore_ascii_case(user))
                         .unwrap_or(false)
                 });
-                self.log.push(QueryLogEntry {
-                    id,
-                    user: user.to_string(),
+                push_log(
+                    &self.log,
+                    user,
                     at,
-                    sql: sql.to_string(),
-                    outcome: Outcome::Success {
+                    sql,
+                    Outcome::Success {
                         rows: result.rows.len(),
                         runtime_micros: result.runtime_micros,
                     },
-                    plan_json: Some(result.plan_json.clone()),
+                    Some(result.plan_json.clone()),
                     tables,
                     datasets,
-                    touches_foreign_data: foreign,
-                });
+                    foreign,
+                    0,
+                );
                 Ok(result)
             }
             Err(err) => {
-                self.log.push(QueryLogEntry {
-                    id,
-                    user: user.to_string(),
+                push_log(
+                    &self.log,
+                    user,
                     at,
-                    sql: sql.to_string(),
-                    outcome: Outcome::Error(err.kind().to_string()),
-                    plan_json: None,
-                    tables: vec![],
-                    datasets: vec![],
-                    touches_foreign_data: false,
-                });
+                    sql,
+                    Outcome::Error(err.kind().to_string()),
+                    None,
+                    vec![],
+                    vec![],
+                    false,
+                    0,
+                );
                 Err(err)
             }
         }
@@ -479,47 +592,319 @@ impl SqlShare {
     }
 
     /// Submit a query for asynchronous execution; returns an identifier
-    /// the client can poll (§3.3).
+    /// the client can poll (§3.3). The query is admitted into the
+    /// scheduler's per-tenant queue and runs on a worker thread against
+    /// an immutable engine snapshot; admission control rejects with
+    /// [`Error::Overloaded`] when the user's queue is full.
     pub fn submit_query(&mut self, user: &str, sql: &str) -> Result<u64> {
+        self.submit_query_with_deadline(user, sql, None)
+    }
+
+    /// Like [`SqlShare::submit_query`], with a per-query deadline
+    /// (covering queue wait and execution). When the deadline fires the
+    /// query unwinds cooperatively and the job ends `TimedOut`.
+    pub fn submit_query_with_deadline(
+        &mut self,
+        user: &str,
+        sql: &str,
+        deadline: Option<Duration>,
+    ) -> Result<u64> {
         self.require_user(user)?;
+        let at = self.clock.tick();
         self.next_job_id += 1;
         let id = self.next_job_id;
-        let (status, result) = match self.run_query(user, sql) {
-            Ok(r) => (JobStatus::Complete, Some(r)),
-            Err(e) => (JobStatus::Failed(e.to_string()), None),
+
+        // Preflight while we hold the service: parse, qualify against
+        // the current catalog, and check permissions. Failures become
+        // terminal jobs immediately — the id is still handed out, and
+        // the failure is observable by polling (as in the real service).
+        let preflight = (|| -> Result<(String, Vec<String>, bool)> {
+            let parsed = parse_query(sql)?;
+            let qualified = self.qualify(&parsed, user)?;
+            let keys = self.referenced_dataset_keys(&qualified);
+            for key in &keys {
+                check_access(&GraphView { service: self }, user, key)?;
+            }
+            let foreign = keys.iter().any(|k| {
+                self.datasets
+                    .get(k)
+                    .map(|d| !d.name.owner.eq_ignore_ascii_case(user))
+                    .unwrap_or(false)
+            });
+            Ok((qualified.to_string(), keys, foreign))
+        })();
+        let (canonical, dataset_keys, foreign) = match preflight {
+            Ok(v) => v,
+            Err(err) => {
+                push_log(
+                    &self.log,
+                    user,
+                    at,
+                    sql,
+                    Outcome::Error(err.kind().to_string()),
+                    None,
+                    vec![],
+                    vec![],
+                    false,
+                    0,
+                );
+                self.insert_job(id, user, sql, JobStatus::Failed(err.to_string()));
+                return Ok(id);
+            }
         };
-        self.jobs.insert(
+
+        let token = CancellationToken::new();
+        self.insert_job_with_token(id, user, sql, JobStatus::Queued, token.clone());
+
+        let engine = self.engine_snapshot();
+        let jobs = Arc::clone(&self.jobs);
+        let log = Arc::clone(&self.log);
+        let user_owned = user.to_string();
+        let sql_owned = sql.to_string();
+
+        let submitted = self.scheduler.submit(
+            &user.to_lowercase(),
+            SubmitOptions {
+                deadline: deadline.or(self.default_deadline),
+                token: Some(token),
+            },
+            move |ctx| {
+                let wait = ctx.queue_wait.as_micros() as u64;
+                // Cancelled while still queued: never execute.
+                if ctx.token.is_cancelled() {
+                    let err = ctx.token.to_error();
+                    let status = status_for(&err);
+                    let disposition = disposition_for(&err);
+                    push_log(
+                        &log,
+                        &user_owned,
+                        at,
+                        &sql_owned,
+                        Outcome::Error(err.kind().to_string()),
+                        None,
+                        vec![],
+                        vec![],
+                        false,
+                        wait,
+                    );
+                    update_job(&jobs, id, |j| {
+                        j.queue_wait_micros = wait;
+                        j.status = status;
+                    });
+                    return disposition;
+                }
+                update_job(&jobs, id, |j| {
+                    j.queue_wait_micros = wait;
+                    j.status = JobStatus::Running;
+                });
+                match engine.run_with_cancel(&canonical, ctx.token.clone()) {
+                    Ok(output) => {
+                        let tables = output.plan.base_tables();
+                        let plan_json = output.plan_json(&sql_owned);
+                        let result = QueryResult {
+                            schema: output.schema,
+                            rows: output.rows,
+                            runtime_micros: output.elapsed_micros,
+                            plan_json: plan_json.clone(),
+                        };
+                        push_log(
+                            &log,
+                            &user_owned,
+                            at,
+                            &sql_owned,
+                            Outcome::Success {
+                                rows: result.rows.len(),
+                                runtime_micros: result.runtime_micros,
+                            },
+                            Some(plan_json),
+                            tables,
+                            dataset_keys,
+                            foreign,
+                            wait,
+                        );
+                        update_job(&jobs, id, |j| {
+                            j.result = Some(result);
+                            j.status = JobStatus::Complete;
+                        });
+                        JobDisposition::Completed
+                    }
+                    Err(err) => {
+                        let status = status_for(&err);
+                        let disposition = disposition_for(&err);
+                        push_log(
+                            &log,
+                            &user_owned,
+                            at,
+                            &sql_owned,
+                            Outcome::Error(err.kind().to_string()),
+                            None,
+                            vec![],
+                            vec![],
+                            false,
+                            wait,
+                        );
+                        update_job(&jobs, id, |j| j.status = status);
+                        disposition
+                    }
+                }
+            },
+        );
+
+        if let Err(err) = submitted {
+            // Admission control rejected the query: no job is retained,
+            // but the rejection is part of the research corpus.
+            self.jobs
+                .0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&id);
+            push_log(
+                &self.log,
+                user,
+                at,
+                sql,
+                Outcome::Error(err.kind().to_string()),
+                None,
+                vec![],
+                vec![],
+                false,
+                0,
+            );
+            return Err(err);
+        }
+        Ok(id)
+    }
+
+    fn insert_job(&self, id: u64, user: &str, sql: &str, status: JobStatus) {
+        self.insert_job_with_token(id, user, sql, status, CancellationToken::new());
+    }
+
+    fn insert_job_with_token(
+        &self,
+        id: u64,
+        user: &str,
+        sql: &str,
+        status: JobStatus,
+        token: CancellationToken,
+    ) {
+        let mut map = self.jobs.0.lock().unwrap_or_else(|e| e.into_inner());
+        map.insert(
             id,
             QueryJob {
                 id,
                 user: user.to_string(),
                 sql: sql.to_string(),
                 status,
-                result,
+                queue_wait_micros: 0,
+                result: None,
+                token,
             },
         );
-        Ok(id)
+        drop(map);
+        self.jobs.1.notify_all();
     }
 
     /// Poll a submitted query's status.
-    pub fn query_status(&self, id: u64) -> Result<&JobStatus> {
+    pub fn query_status(&self, id: u64) -> Result<JobStatus> {
         self.jobs
+            .0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
             .get(&id)
-            .map(|j| &j.status)
+            .map(|j| j.status.clone())
             .ok_or_else(|| Error::Request(format!("unknown query id {id}")))
     }
 
     /// Fetch a completed query's results.
-    pub fn query_results(&self, id: u64) -> Result<&QueryResult> {
-        let job = self
-            .jobs
+    pub fn query_results(&self, id: u64) -> Result<QueryResult> {
+        let map = self.jobs.0.lock().unwrap_or_else(|e| e.into_inner());
+        let job = map
             .get(&id)
             .ok_or_else(|| Error::Request(format!("unknown query id {id}")))?;
         match (&job.status, &job.result) {
-            (JobStatus::Complete, Some(r)) => Ok(r),
+            (JobStatus::Complete, Some(r)) => Ok(r.clone()),
             (JobStatus::Failed(msg), _) => Err(Error::Execution(msg.clone())),
-            _ => Err(Error::Request("results not available".into())),
+            (JobStatus::TimedOut(msg), _) => Err(Error::Timeout(msg.clone())),
+            (JobStatus::Cancelled(msg), _) => Err(Error::Cancelled(msg.clone())),
+            _ => Err(Error::Request(format!(
+                "query {id} is still {}",
+                job.status.label()
+            ))),
         }
+    }
+
+    /// Cancel a submitted query. Only the job's owner or an admin may
+    /// cancel; a queued job never executes, a running one unwinds at
+    /// its next cancellation check.
+    pub fn cancel_query(&self, user: &str, id: u64) -> Result<()> {
+        self.require_user(user)?;
+        let is_admin = self.user(user).map(|u| u.admin).unwrap_or(false);
+        let map = self.jobs.0.lock().unwrap_or_else(|e| e.into_inner());
+        let job = map
+            .get(&id)
+            .ok_or_else(|| Error::Request(format!("unknown query id {id}")))?;
+        if !job.user.eq_ignore_ascii_case(user) && !is_admin {
+            return Err(Error::Permission(format!(
+                "only the owner or an admin may cancel query {id}"
+            )));
+        }
+        job.token.cancel(CancelReason::Cancelled);
+        Ok(())
+    }
+
+    /// Block until job `id` reaches a terminal state, or `timeout`
+    /// elapses (returning the current, possibly non-terminal status).
+    pub fn wait_for_job(&self, id: u64, timeout: Duration) -> Result<JobStatus> {
+        let deadline = Instant::now() + timeout;
+        let mut map = self.jobs.0.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            let status = map
+                .get(&id)
+                .map(|j| j.status.clone())
+                .ok_or_else(|| Error::Request(format!("unknown query id {id}")))?;
+            if status.is_terminal() {
+                return Ok(status);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(status);
+            }
+            let (guard, _) = self
+                .jobs
+                .1
+                .wait_timeout(map, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            map = guard;
+        }
+    }
+
+    /// Scheduler statistics (queue depths, waits, outcomes per tenant).
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.scheduler.stats()
+    }
+
+    /// Direct access to the scheduler (pause/resume, weights) — used by
+    /// tests and operational tooling.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Set the deadline applied to future submissions without one.
+    pub fn set_default_deadline(&mut self, deadline: Option<Duration>) {
+        self.default_deadline = deadline;
+    }
+
+    /// The immutable engine snapshot workers execute against, rebuilt
+    /// lazily after catalog mutations.
+    fn engine_snapshot(&mut self) -> Arc<Engine> {
+        if self.snapshot.is_none() {
+            self.snapshot = Some(Arc::new(self.engine.clone()));
+        }
+        self.snapshot.as_ref().expect("just set").clone()
+    }
+
+    fn invalidate_snapshot(&mut self) {
+        self.snapshot = None;
     }
 
     /// Run a parameterized query macro (§5.2's proposed convenience):
@@ -600,12 +985,13 @@ impl SqlShare {
     /// comparison workload is UDF-heavy (Table 4b of the paper).
     pub fn register_udf(&mut self, name: &str) {
         self.engine.catalog_mut().register_udf(name);
+        self.invalidate_snapshot();
     }
 
     // ---- accessors for analysis ---------------------------------------
 
-    pub fn log(&self) -> &QueryLog {
-        &self.log
+    pub fn log(&self) -> MutexGuard<'_, QueryLog> {
+        self.log.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     pub fn datasets(&self) -> impl Iterator<Item = &Dataset> {
@@ -719,6 +1105,24 @@ impl SqlShare {
         keys.sort();
         keys.dedup();
         keys
+    }
+}
+
+/// Job status for a query that unwound with `err`.
+fn status_for(err: &Error) -> JobStatus {
+    match err {
+        Error::Timeout(m) => JobStatus::TimedOut(m.clone()),
+        Error::Cancelled(m) => JobStatus::Cancelled(m.clone()),
+        other => JobStatus::Failed(other.to_string()),
+    }
+}
+
+/// Scheduler-facing disposition for a query that unwound with `err`.
+fn disposition_for(err: &Error) -> JobDisposition {
+    match err {
+        Error::Timeout(_) => JobDisposition::TimedOut,
+        Error::Cancelled(_) => JobDisposition::Cancelled,
+        _ => JobDisposition::Failed,
     }
 }
 

@@ -1,0 +1,269 @@
+//! Service-level tests for the multi-tenant query scheduler: genuine
+//! async lifecycle, concurrency, deadlines, cancellation, and fairness.
+
+use std::time::Duration;
+
+use sqlshare_core::{JobStatus, SchedulerConfig, SqlShare, Visibility};
+use sqlshare_core::dataset::DatasetName;
+use sqlshare_ingest::IngestOptions;
+
+/// A service with a public `ada.nums` table of `n` rows.
+fn service_with_nums(config: SchedulerConfig, n: usize) -> SqlShare {
+    let mut s = SqlShare::with_scheduler(config);
+    s.register_user("ada", "ada@example.com").unwrap();
+    let mut csv = String::from("n\n");
+    for i in 0..n {
+        csv.push_str(&format!("{i}\n"));
+    }
+    s.upload("ada", "nums", &csv, &IngestOptions::default()).unwrap();
+    s.set_visibility("ada", &DatasetName::new("ada", "nums"), Visibility::Public)
+        .unwrap();
+    s
+}
+
+/// A cross join whose row count grows cubically — slow enough to be
+/// observed in flight, fast enough to finish.
+fn cross(owner_prefix: &str) -> String {
+    format!(
+        "SELECT COUNT(*) FROM {p}nums a JOIN {p}nums b ON 1=1 JOIN {p}nums c ON 1=1",
+        p = owner_prefix
+    )
+}
+
+/// Regression test for the fake-async bug: `submit_query` used to run
+/// the query synchronously before returning, so a handle could never be
+/// observed in a non-terminal state. A slow query must now be `Queued`
+/// or `Running` immediately after submission.
+#[test]
+fn slow_query_is_observed_in_flight() {
+    let mut s = service_with_nums(SchedulerConfig::default(), 60);
+    let id = s.submit_query("ada", &cross("")).unwrap();
+    let status = s.query_status(id).unwrap();
+    assert!(
+        !status.is_terminal(),
+        "submit_query must not block until completion; saw {status:?}"
+    );
+    // Results are refused while the job is in flight.
+    assert!(s.query_results(id).is_err());
+    // ...and the job still finishes with the right answer.
+    let status = s.wait_for_job(id, Duration::from_secs(60)).unwrap();
+    assert!(matches!(status, JobStatus::Complete), "got {status:?}");
+    let result = s.query_results(id).unwrap();
+    assert_eq!(result.rows[0][0].to_text(), (60u64 * 60 * 60).to_string());
+}
+
+/// Hammer `submit_query` from 8 threads against an 8-worker pool: every
+/// submission gets a handle, execution is genuinely parallel (at some
+/// instant at least two jobs are `Running`), and every job completes.
+#[test]
+fn eight_threads_hammering_submit_query() {
+    use std::sync::{Arc, Mutex};
+
+    let mut s = service_with_nums(
+        SchedulerConfig { workers: 8, ..Default::default() },
+        60,
+    );
+    for i in 0..8 {
+        s.register_user(&format!("user{i}"), &format!("u{i}@example.com"))
+            .unwrap();
+    }
+    let s = Arc::new(Mutex::new(s));
+    let ids = Arc::new(Mutex::new(Vec::new()));
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let s = Arc::clone(&s);
+            let ids = Arc::clone(&ids);
+            std::thread::spawn(move || {
+                let user = format!("user{i}");
+                for _ in 0..3 {
+                    let id = s
+                        .lock()
+                        .unwrap()
+                        .submit_query(&user, &cross("ada."))
+                        .unwrap();
+                    ids.lock().unwrap().push(id);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let ids = Arc::try_unwrap(ids).unwrap().into_inner().unwrap();
+    assert_eq!(ids.len(), 24);
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let mut peak = 0usize;
+    while std::time::Instant::now() < deadline {
+        let svc = s.lock().unwrap();
+        let running = ids
+            .iter()
+            .filter(|&&id| matches!(svc.query_status(id), Ok(JobStatus::Running)))
+            .count();
+        drop(svc);
+        peak = peak.max(running);
+        if peak >= 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(peak >= 2, "never saw two jobs running concurrently (peak {peak})");
+    let svc = s.lock().unwrap();
+    for &id in &ids {
+        let status = svc.wait_for_job(id, Duration::from_secs(120)).unwrap();
+        assert!(matches!(status, JobStatus::Complete), "job {id}: {status:?}");
+    }
+    // Job status goes terminal inside the job closure; wait for the
+    // workers to finish bookkeeping before reading stats.
+    assert!(svc.scheduler().wait_idle(Duration::from_secs(30)));
+    let stats = svc.scheduler_stats();
+    assert_eq!(stats.totals.completed, 24);
+    assert_eq!(stats.tenants.len(), 8);
+}
+
+/// Fair dequeue across tenants: with one worker and equal weights, a
+/// tenant with a short queue is not starved behind a tenant with a long
+/// one — completions interleave round-robin.
+#[test]
+fn light_tenant_is_not_starved_behind_heavy_one() {
+    let mut s = service_with_nums(
+        SchedulerConfig { workers: 1, start_paused: true, ..Default::default() },
+        5,
+    );
+    s.register_user("bob", "bob@example.com").unwrap();
+    // Six queries from ada, then two from bob, all while paused.
+    for _ in 0..6 {
+        s.submit_query("ada", "SELECT COUNT(*) FROM ada.nums").unwrap();
+    }
+    let bob_ids: Vec<u64> = (0..2)
+        .map(|_| s.submit_query("bob", "SELECT COUNT(*) FROM ada.nums").unwrap())
+        .collect();
+    s.scheduler().resume();
+    assert!(s.scheduler().wait_idle(Duration::from_secs(60)));
+    for id in bob_ids {
+        let status = s.wait_for_job(id, Duration::from_secs(10)).unwrap();
+        assert!(matches!(status, JobStatus::Complete));
+    }
+    // The query log records completion order: round-robin puts bob's
+    // two queries at positions 1 and 3, not after all six of ada's.
+    let log = s.log();
+    let users: Vec<&str> = log.entries().iter().map(|e| e.user.as_str()).collect();
+    assert_eq!(users.len(), 8);
+    assert_eq!(users[1], "bob", "completion order {users:?}");
+    assert_eq!(users[3], "bob", "completion order {users:?}");
+}
+
+/// A query that outlives its deadline terminates `TimedOut` instead of
+/// hanging, and its results surface as a timeout error.
+#[test]
+fn deadline_expired_query_times_out() {
+    let mut s = service_with_nums(SchedulerConfig::default(), 120);
+    let id = s
+        .submit_query_with_deadline("ada", &cross(""), Some(Duration::from_millis(10)))
+        .unwrap();
+    let status = s.wait_for_job(id, Duration::from_secs(60)).unwrap();
+    assert!(matches!(status, JobStatus::TimedOut(_)), "got {status:?}");
+    assert_eq!(s.query_results(id).unwrap_err().kind(), "timeout");
+    let log = s.log();
+    let last = log.entries().last().unwrap();
+    assert!(matches!(&last.outcome, sqlshare_core::Outcome::Error(k) if k == "timeout"));
+    drop(log);
+    assert!(s.scheduler().wait_idle(Duration::from_secs(30)));
+    let stats = s.scheduler_stats();
+    assert_eq!(stats.totals.timed_out, 1);
+}
+
+/// A query cancelled while still queued never executes: it goes
+/// straight to `Cancelled` and the engine is never invoked.
+#[test]
+fn cancelled_queued_query_never_executes() {
+    let mut s = service_with_nums(
+        SchedulerConfig { workers: 1, start_paused: true, ..Default::default() },
+        5,
+    );
+    let id = s.submit_query("ada", "SELECT COUNT(*) FROM ada.nums").unwrap();
+    s.cancel_query("ada", id).unwrap();
+    s.scheduler().resume();
+    let status = s.wait_for_job(id, Duration::from_secs(10)).unwrap();
+    assert!(matches!(status, JobStatus::Cancelled(_)), "got {status:?}");
+    assert_eq!(s.query_results(id).unwrap_err().kind(), "cancelled");
+    assert!(s.scheduler().wait_idle(Duration::from_secs(30)));
+    let stats = s.scheduler_stats();
+    assert_eq!(stats.totals.cancelled, 1);
+    assert_eq!(stats.totals.completed, 0);
+    // The cancelled job spent no measurable time executing a query.
+    let ada = &stats.tenants["ada"];
+    assert!(ada.mean_exec_micros() < 5_000.0);
+}
+
+/// Only the owner or an admin may cancel a query.
+#[test]
+fn cancel_requires_ownership_or_admin() {
+    let mut s = service_with_nums(
+        SchedulerConfig { workers: 1, start_paused: true, ..Default::default() },
+        5,
+    );
+    s.register_user("bob", "bob@example.com").unwrap();
+    s.register_user("root", "root@example.com").unwrap();
+    s.set_admin("root", true).unwrap();
+    let id = s.submit_query("ada", "SELECT COUNT(*) FROM ada.nums").unwrap();
+    let err = s.cancel_query("bob", id).unwrap_err();
+    assert_eq!(err.kind(), "permission");
+    s.cancel_query("root", id).unwrap();
+    s.scheduler().resume();
+    let status = s.wait_for_job(id, Duration::from_secs(10)).unwrap();
+    assert!(matches!(status, JobStatus::Cancelled(_)));
+}
+
+/// Admission control at the service layer: a tenant whose queue is full
+/// gets `Error::Overloaded`, and the rejection is logged.
+#[test]
+fn overloaded_tenant_is_rejected() {
+    let mut s = service_with_nums(
+        SchedulerConfig {
+            workers: 1,
+            queue_capacity: 2,
+            start_paused: true,
+            ..Default::default()
+        },
+        5,
+    );
+    s.submit_query("ada", "SELECT COUNT(*) FROM ada.nums").unwrap();
+    s.submit_query("ada", "SELECT COUNT(*) FROM ada.nums").unwrap();
+    let err = s
+        .submit_query("ada", "SELECT COUNT(*) FROM ada.nums")
+        .unwrap_err();
+    assert_eq!(err.kind(), "overloaded");
+    {
+        let log = s.log();
+        let last = log.entries().last().unwrap();
+        assert!(matches!(&last.outcome, sqlshare_core::Outcome::Error(k) if k == "overloaded"));
+    }
+    s.scheduler().resume();
+    assert!(s.scheduler().wait_idle(Duration::from_secs(30)));
+    let stats = s.scheduler_stats();
+    assert_eq!(stats.totals.rejected, 1);
+    assert_eq!(stats.totals.completed, 2);
+}
+
+/// Queue-wait and execution time are split in the query log.
+#[test]
+fn query_log_records_queue_wait_split() {
+    let mut s = service_with_nums(
+        SchedulerConfig { workers: 1, start_paused: true, ..Default::default() },
+        5,
+    );
+    let id = s.submit_query("ada", "SELECT COUNT(*) FROM ada.nums").unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    s.scheduler().resume();
+    let status = s.wait_for_job(id, Duration::from_secs(10)).unwrap();
+    assert!(matches!(status, JobStatus::Complete));
+    let log = s.log();
+    let last = log.entries().last().unwrap();
+    // The job sat in the paused queue for >= 20ms before running.
+    assert!(
+        last.queue_wait_micros >= 20_000,
+        "queue wait {} micros",
+        last.queue_wait_micros
+    );
+}

@@ -57,7 +57,8 @@ fn qualified_names_work_for_everyone_public() {
     s.set_visibility("ada", &name, Visibility::Public).unwrap();
     let out = s.run_query("bob", "SELECT * FROM ada.sensors").unwrap();
     assert_eq!(out.rows.len(), 3);
-    let entry = s.log().entries().last().unwrap();
+    let log = s.log();
+    let entry = log.entries().last().unwrap();
     assert!(entry.touches_foreign_data);
     assert!(entry.plan_json.is_some());
 }
@@ -222,22 +223,24 @@ fn only_owner_may_share_delete_or_edit() {
 
 #[test]
 fn async_query_handles() {
+    use std::time::Duration;
     let mut s = service_with_ada();
     let id = s.submit_query("ada", "SELECT COUNT(*) FROM sensors").unwrap();
-    assert!(matches!(
-        s.query_status(id).unwrap(),
-        sqlshare_core::JobStatus::Complete
-    ));
+    // submit_query no longer blocks: poll until the job lands.
+    let status = s.wait_for_job(id, Duration::from_secs(10)).unwrap();
+    assert!(matches!(status, sqlshare_core::JobStatus::Complete));
     let result = s.query_results(id).unwrap();
     assert_eq!(result.rows[0][0].to_text(), "3");
     // Failed jobs report failure but are pollable.
     let id = s.submit_query("ada", "SELECT nope FROM sensors").unwrap();
-    assert!(matches!(
-        s.query_status(id).unwrap(),
-        sqlshare_core::JobStatus::Failed(_)
-    ));
+    let status = s.wait_for_job(id, Duration::from_secs(10)).unwrap();
+    assert!(matches!(status, sqlshare_core::JobStatus::Failed(_)));
     assert!(s.query_results(id).is_err());
     assert!(s.query_status(9999).is_err());
+    // Both jobs hit the log, with the queue-wait/runtime split recorded.
+    let log = s.log();
+    assert_eq!(log.len(), 2);
+    assert!(log.entries().iter().all(|e| e.queue_wait_micros < 10_000_000));
 }
 
 #[test]
@@ -283,13 +286,14 @@ fn query_log_records_everything() {
     let mut s = service_with_ada();
     s.run_query("ada", "SELECT * FROM sensors").unwrap();
     let _ = s.run_query("ada", "SELECT * FROM nope");
-    assert_eq!(s.log().len(), 2);
-    let ok = &s.log().entries()[0];
+    let log = s.log();
+    assert_eq!(log.len(), 2);
+    let ok = &log.entries()[0];
     assert!(ok.outcome.is_success());
     assert_eq!(ok.tables, vec!["ada.sensors$base"]);
     assert_eq!(ok.datasets, vec!["ada.sensors"]);
     assert!(!ok.touches_foreign_data);
-    let bad = &s.log().entries()[1];
+    let bad = &log.entries()[1];
     assert!(matches!(&bad.outcome, Outcome::Error(k) if k == "binding"));
 }
 
@@ -299,7 +303,8 @@ fn clock_advances_between_events() {
     s.run_query("ada", "SELECT 1").unwrap();
     s.advance_days(30);
     s.run_query("ada", "SELECT 2").unwrap();
-    let entries = s.log().entries();
+    let log = s.log();
+    let entries = log.entries();
     assert_eq!(
         entries[1].at.day - entries[0].at.day,
         30

@@ -6,12 +6,13 @@ use crate::catalog::Catalog;
 use crate::exec;
 use crate::explain::plan_to_json;
 use crate::functions::EvalContext;
-use crate::physical::{plan_physical, PhysicalPlan};
+use crate::exec::ExecGuard;
+use crate::physical::{plan_physical, plan_physical_with, PhysicalPlan};
 use crate::schema::Schema;
 use crate::table::Table;
 use crate::value::Row;
 use sqlshare_common::json::Json;
-use sqlshare_common::{Error, Result};
+use sqlshare_common::{CancellationToken, Error, Result};
 use sqlshare_sql::ast::Statement;
 use sqlshare_sql::parser::{parse_query, parse_statement};
 use std::time::Instant;
@@ -94,6 +95,18 @@ impl Engine {
 
     /// Run a query end to end.
     pub fn run(&self, sql: &str) -> Result<QueryOutput> {
+        self.run_guarded(sql, &ExecGuard::unbounded())
+    }
+
+    /// Run a query end to end, polling `token` as rows are processed.
+    /// When the token trips, execution unwinds within ~a few thousand
+    /// rows with the token's error ([`Error::Timeout`] or
+    /// [`Error::Cancelled`]).
+    pub fn run_with_cancel(&self, sql: &str, token: CancellationToken) -> Result<QueryOutput> {
+        self.run_guarded(sql, &ExecGuard::new(token))
+    }
+
+    fn run_guarded(&self, sql: &str, guard: &ExecGuard) -> Result<QueryOutput> {
         let started = Instant::now();
         let statement = parse_statement(sql)?;
         let query = match statement {
@@ -108,8 +121,8 @@ impl Engine {
         let logical = Binder::new(&self.catalog).bind_query(&query)?;
         let schema = logical.schema().clone();
         let logical = optimize(logical);
-        let plan = plan_physical(&logical, &self.catalog, &self.ctx)?;
-        let rows = exec::execute(&plan, &self.catalog, &self.ctx)?;
+        let plan = plan_physical_with(&logical, &self.catalog, &self.ctx, guard)?;
+        let rows = exec::execute(&plan, &self.catalog, &self.ctx, guard)?;
         Ok(QueryOutput {
             schema,
             rows,

@@ -14,15 +14,81 @@ use crate::physical::{PhysOp, PhysicalPlan};
 use crate::table::cmp_rows;
 use crate::value::{Row, Value};
 use crate::window::compute_windows;
-use sqlshare_common::{Error, Result};
+use sqlshare_common::{CancellationToken, Error, Result};
 use sqlshare_sql::ast::{JoinKind, SetOp};
+use std::cell::Cell;
 use std::collections::HashMap;
 
+/// Rows processed between cancellation checks. Checking is a single
+/// atomic load, so the interval mostly bounds how stale the check can
+/// get, not its cost.
+const CHECK_INTERVAL: u64 = 1024;
+
+/// Per-run cancellation guard threaded through the executor.
+///
+/// Operators call [`ExecGuard::tick`] with the number of rows they just
+/// touched; every ~[`CHECK_INTERVAL`] rows the guard polls the
+/// [`CancellationToken`] and unwinds with the token's error
+/// ([`Error::Timeout`] or [`Error::Cancelled`]) if it has tripped. A
+/// guard without a token never checks and costs one branch per tick.
+///
+/// The guard is created per `Engine::run` call and lives on the running
+/// thread only (interior mutability via [`Cell`], deliberately not
+/// `Sync`), so the engine itself stays shareable across threads.
+#[derive(Debug, Default)]
+pub struct ExecGuard {
+    token: Option<CancellationToken>,
+    until_check: Cell<u64>,
+}
+
+impl ExecGuard {
+    /// Guard that polls `token` as execution proceeds.
+    pub fn new(token: CancellationToken) -> Self {
+        ExecGuard {
+            token: Some(token),
+            until_check: Cell::new(CHECK_INTERVAL),
+        }
+    }
+
+    /// Guard that never cancels (synchronous / plan-time execution).
+    pub fn unbounded() -> Self {
+        ExecGuard::default()
+    }
+
+    /// Record `rows` units of work; errors if the token has tripped.
+    #[inline]
+    pub fn tick(&self, rows: u64) -> Result<()> {
+        let Some(token) = &self.token else {
+            return Ok(());
+        };
+        let left = self.until_check.get();
+        if rows < left {
+            self.until_check.set(left - rows);
+            return Ok(());
+        }
+        self.until_check.set(CHECK_INTERVAL);
+        if token.is_cancelled() {
+            Err(token.to_error())
+        } else {
+            Ok(())
+        }
+    }
+}
+
 /// Execute a physical plan to completion.
-pub fn execute(plan: &PhysicalPlan, catalog: &Catalog, ctx: &EvalContext) -> Result<Vec<Row>> {
+pub fn execute(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<Vec<Row>> {
     match &plan.op {
         PhysOp::ConstantScan => Ok(vec![Vec::new()]),
-        PhysOp::Scan { table } => Ok(catalog.table(table)?.rows().to_vec()),
+        PhysOp::Scan { table } => {
+            let rows = catalog.table(table)?.rows().to_vec();
+            guard.tick(rows.len() as u64)?;
+            Ok(rows)
+        }
         PhysOp::Seek {
             table,
             lower,
@@ -31,6 +97,7 @@ pub fn execute(plan: &PhysicalPlan, catalog: &Catalog, ctx: &EvalContext) -> Res
         } => {
             let t = catalog.table(table)?;
             let hits = t.seek_leading(as_ref_bound(lower), as_ref_bound(upper));
+            guard.tick(hits.len() as u64)?;
             match residual {
                 None => Ok(hits.to_vec()),
                 Some(pred) => {
@@ -45,9 +112,10 @@ pub fn execute(plan: &PhysicalPlan, catalog: &Catalog, ctx: &EvalContext) -> Res
             }
         }
         PhysOp::Filter { predicate } => {
-            let input = execute(data_child(plan)?, catalog, ctx)?;
+            let input = execute(data_child(plan)?, catalog, ctx, guard)?;
             let mut out = Vec::with_capacity(input.len() / 2);
             for row in input {
+                guard.tick(1)?;
                 if eval_predicate(predicate, &row, ctx)? {
                     out.push(row);
                 }
@@ -55,9 +123,10 @@ pub fn execute(plan: &PhysicalPlan, catalog: &Catalog, ctx: &EvalContext) -> Res
             Ok(out)
         }
         PhysOp::Compute { exprs } => {
-            let input = execute(data_child(plan)?, catalog, ctx)?;
+            let input = execute(data_child(plan)?, catalog, ctx, guard)?;
             let mut out = Vec::with_capacity(input.len());
             for row in input {
+                guard.tick(1)?;
                 let mut new_row = Vec::with_capacity(exprs.len());
                 for e in exprs {
                     new_row.push(e.eval(&row, ctx)?);
@@ -72,8 +141,17 @@ pub fn execute(plan: &PhysicalPlan, catalog: &Catalog, ctx: &EvalContext) -> Res
             left_width,
             right_width,
         } => {
-            let (l, r) = two_children(plan, catalog, ctx)?;
-            nested_loops(l, r, *kind, on.as_ref(), *left_width, *right_width, ctx)
+            let (l, r) = two_children(plan, catalog, ctx, guard)?;
+            nested_loops(
+                l,
+                r,
+                *kind,
+                on.as_ref(),
+                *left_width,
+                *right_width,
+                ctx,
+                guard,
+            )
         }
         PhysOp::HashJoin {
             kind,
@@ -83,7 +161,7 @@ pub fn execute(plan: &PhysicalPlan, catalog: &Catalog, ctx: &EvalContext) -> Res
             left_width,
             right_width,
         } => {
-            let (l, r) = two_children(plan, catalog, ctx)?;
+            let (l, r) = two_children(plan, catalog, ctx, guard)?;
             hash_join(
                 l,
                 r,
@@ -94,6 +172,7 @@ pub fn execute(plan: &PhysicalPlan, catalog: &Catalog, ctx: &EvalContext) -> Res
                 *left_width,
                 *right_width,
                 ctx,
+                guard,
             )
         }
         PhysOp::MergeJoin {
@@ -103,7 +182,7 @@ pub fn execute(plan: &PhysicalPlan, catalog: &Catalog, ctx: &EvalContext) -> Res
         } => {
             // Executed as an inner hash join; the operator *name* is what
             // matters for plan statistics, the result is identical.
-            let (l, r) = two_children(plan, catalog, ctx)?;
+            let (l, r) = two_children(plan, catalog, ctx, guard)?;
             let lw = l.first().map(Row::len).unwrap_or(0);
             let rw = r.first().map(Row::len).unwrap_or(0);
             hash_join(
@@ -116,18 +195,19 @@ pub fn execute(plan: &PhysicalPlan, catalog: &Catalog, ctx: &EvalContext) -> Res
                 lw,
                 rw,
                 ctx,
+                guard,
             )
         }
         PhysOp::Aggregate { group, aggs, .. } => {
-            let input = execute(data_child(plan)?, catalog, ctx)?;
-            aggregate(input, group, aggs, ctx)
+            let input = execute(data_child(plan)?, catalog, ctx, guard)?;
+            aggregate(input, group, aggs, ctx, guard)
         }
         PhysOp::Sort { keys } => {
-            let input = execute(data_child(plan)?, catalog, ctx)?;
-            sort_rows(input, keys, ctx)
+            let input = execute(data_child(plan)?, catalog, ctx, guard)?;
+            sort_rows(input, keys, ctx, guard)
         }
         PhysOp::Top { quantity, percent } => {
-            let mut input = execute(data_child(plan)?, catalog, ctx)?;
+            let mut input = execute(data_child(plan)?, catalog, ctx, guard)?;
             let n = if *percent {
                 ((input.len() as f64) * (*quantity as f64) / 100.0).ceil() as usize
             } else {
@@ -137,18 +217,19 @@ pub fn execute(plan: &PhysicalPlan, catalog: &Catalog, ctx: &EvalContext) -> Res
             Ok(input)
         }
         PhysOp::DistinctSort => {
-            let mut input = execute(data_child(plan)?, catalog, ctx)?;
+            let mut input = execute(data_child(plan)?, catalog, ctx, guard)?;
+            guard.tick(input.len() as u64)?;
             input.sort_by(cmp_rows);
             input.dedup_by(|a, b| cmp_rows(a, b).is_eq());
             Ok(input)
         }
         PhysOp::Concatenation => {
-            let (mut l, r) = two_children(plan, catalog, ctx)?;
+            let (mut l, r) = two_children(plan, catalog, ctx, guard)?;
             l.extend(r);
             Ok(l)
         }
         PhysOp::HashSetOp { op } => {
-            let (l, r) = two_children(plan, catalog, ctx)?;
+            let (l, r) = two_children(plan, catalog, ctx, guard)?;
             let mut right_set: Vec<Row> = r;
             right_set.sort_by(cmp_rows);
             let contains = |row: &Row| {
@@ -165,9 +246,10 @@ pub fn execute(plan: &PhysicalPlan, catalog: &Catalog, ctx: &EvalContext) -> Res
                 SetOp::Union => unreachable!("UNION is planned as Concatenation"),
             })
         }
-        PhysOp::Segment => execute(data_child(plan)?, catalog, ctx),
+        PhysOp::Segment => execute(data_child(plan)?, catalog, ctx, guard),
         PhysOp::SequenceProject { calls } => {
-            let input = execute(data_child(plan)?, catalog, ctx)?;
+            let input = execute(data_child(plan)?, catalog, ctx, guard)?;
+            guard.tick(input.len() as u64)?;
             compute_windows(input, calls, ctx)
         }
     }
@@ -185,14 +267,15 @@ fn two_children(
     plan: &PhysicalPlan,
     catalog: &Catalog,
     ctx: &EvalContext,
+    guard: &ExecGuard,
 ) -> Result<(Vec<Row>, Vec<Row>)> {
     if plan.children.len() < 2 {
         return Err(Error::Execution(
             "internal: binary operator missing inputs".into(),
         ));
     }
-    let l = execute(&plan.children[0], catalog, ctx)?;
-    let r = execute(&plan.children[1], catalog, ctx)?;
+    let l = execute(&plan.children[0], catalog, ctx, guard)?;
+    let r = execute(&plan.children[1], catalog, ctx, guard)?;
     Ok((l, r))
 }
 
@@ -208,6 +291,7 @@ fn null_row(width: usize) -> Row {
     vec![Value::Null; width]
 }
 
+#[allow(clippy::too_many_arguments)]
 fn nested_loops(
     left: Vec<Row>,
     right: Vec<Row>,
@@ -216,12 +300,14 @@ fn nested_loops(
     left_width: usize,
     right_width: usize,
     ctx: &EvalContext,
+    guard: &ExecGuard,
 ) -> Result<Vec<Row>> {
     let mut out = Vec::new();
     let mut right_matched = vec![false; right.len()];
     for lrow in &left {
         let mut matched = false;
         for (ri, rrow) in right.iter().enumerate() {
+            guard.tick(1)?;
             let mut combined = lrow.clone();
             combined.extend(rrow.iter().cloned());
             let ok = match on {
@@ -284,9 +370,11 @@ fn hash_join(
     left_width: usize,
     right_width: usize,
     ctx: &EvalContext,
+    guard: &ExecGuard,
 ) -> Result<Vec<Row>> {
     let mut table: HashMap<String, Vec<usize>> = HashMap::new();
     for (ri, rrow) in right.iter().enumerate() {
+        guard.tick(1)?;
         let keys = right_keys
             .iter()
             .map(|k| k.eval(rrow, ctx))
@@ -298,6 +386,7 @@ fn hash_join(
     let mut out = Vec::new();
     let mut right_matched = vec![false; right.len()];
     for lrow in &left {
+        guard.tick(1)?;
         let keys = left_keys
             .iter()
             .map(|k| k.eval(lrow, ctx))
@@ -306,6 +395,7 @@ fn hash_join(
         if let Some(key) = join_key(&keys) {
             if let Some(candidates) = table.get(&key) {
                 for &ri in candidates {
+                    guard.tick(1)?;
                     let mut combined = lrow.clone();
                     combined.extend(right[ri].iter().cloned());
                     let ok = match residual {
@@ -343,6 +433,7 @@ fn aggregate(
     group: &[BoundExpr],
     aggs: &[crate::aggregate::AggCall],
     ctx: &EvalContext,
+    guard: &ExecGuard,
 ) -> Result<Vec<Row>> {
     if group.is_empty() {
         // Scalar aggregate: exactly one output row, even on empty input.
@@ -351,6 +442,7 @@ fn aggregate(
             .map(|a| Accumulator::new(a.func, a.distinct))
             .collect();
         for row in &input {
+            guard.tick(1)?;
             feed(&mut accs, aggs, row, ctx)?;
         }
         return Ok(vec![accs.iter().map(Accumulator::finish).collect()]);
@@ -358,6 +450,7 @@ fn aggregate(
     // Keyed grouping: evaluate keys, sort by them, aggregate runs.
     let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(input.len());
     for row in input {
+        guard.tick(1)?;
         let key = group
             .iter()
             .map(|g| g.eval(&row, ctx))
@@ -403,10 +496,16 @@ fn feed(
     Ok(())
 }
 
-fn sort_rows(mut input: Vec<Row>, keys: &[SortKey], ctx: &EvalContext) -> Result<Vec<Row>> {
+fn sort_rows(
+    mut input: Vec<Row>,
+    keys: &[SortKey],
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<Vec<Row>> {
     // Precompute key vectors (decorate-sort-undecorate).
     let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(input.len());
     for row in input.drain(..) {
+        guard.tick(1)?;
         let kv = keys
             .iter()
             .map(|k| k.expr.eval(&row, ctx))

@@ -55,6 +55,7 @@ pub mod window;
 
 pub use catalog::Catalog;
 pub use engine::{Engine, QueryOutput};
+pub use exec::ExecGuard;
 pub use schema::{Column, Schema};
 pub use table::Table;
 pub use value::{DataType, Row, Value};

@@ -176,12 +176,30 @@ pub fn plan_physical(
     catalog: &Catalog,
     ctx: &EvalContext,
 ) -> Result<PhysicalPlan> {
-    Planner { catalog, ctx }.plan(logical)
+    plan_physical_with(logical, catalog, ctx, &crate::exec::ExecGuard::unbounded())
+}
+
+/// Like [`plan_physical`], but subqueries executed at plan time poll
+/// `guard` — a query spending its deadline inside a huge uncorrelated
+/// subquery must still be cancellable.
+pub fn plan_physical_with(
+    logical: &LogicalPlan,
+    catalog: &Catalog,
+    ctx: &EvalContext,
+    guard: &crate::exec::ExecGuard,
+) -> Result<PhysicalPlan> {
+    Planner {
+        catalog,
+        ctx,
+        guard,
+    }
+    .plan(logical)
 }
 
 struct Planner<'a> {
     catalog: &'a Catalog,
     ctx: &'a EvalContext,
+    guard: &'a crate::exec::ExecGuard,
 }
 
 impl Planner<'_> {
@@ -846,7 +864,7 @@ impl Planner<'_> {
         Ok(match expr {
             BoundExpr::ScalarSubquery(plan) => {
                 let phys = self.plan(&plan)?;
-                let rows = crate::exec::execute(&phys, self.catalog, self.ctx)?;
+                let rows = crate::exec::execute(&phys, self.catalog, self.ctx, self.guard)?;
                 if rows.len() > 1 {
                     return Err(Error::Execution(
                         "scalar subquery returned more than one row".into(),
@@ -866,7 +884,7 @@ impl Planner<'_> {
                 negated,
             } => {
                 let phys = self.plan(&plan)?;
-                let rows = crate::exec::execute(&phys, self.catalog, self.ctx)?;
+                let rows = crate::exec::execute(&phys, self.catalog, self.ctx, self.guard)?;
                 let values: Vec<Value> = rows
                     .into_iter()
                     .filter_map(|r| r.into_iter().next())
@@ -880,7 +898,7 @@ impl Planner<'_> {
             }
             BoundExpr::Exists { plan, negated } => {
                 let phys = self.plan(&plan)?;
-                let rows = crate::exec::execute(&phys, self.catalog, self.ctx)?;
+                let rows = crate::exec::execute(&phys, self.catalog, self.ctx, self.guard)?;
                 subplans.push(phys);
                 BoundExpr::Literal(Value::Bool(rows.is_empty() == negated))
             }

@@ -547,3 +547,76 @@ fn elapsed_time_recorded() {
     // Materialized executor on 5 rows should still take measurable time.
     assert!(out.elapsed_micros > 0);
 }
+
+mod cancellation {
+    use super::*;
+    use sqlshare_common::{CancelReason, CancellationToken};
+
+    /// A table big enough that a self-cross-join produces millions of
+    /// row visits — plenty of cancellation check points.
+    fn big_engine() -> Engine {
+        let mut e = Engine::new();
+        let rows: Vec<Row> = (0..200).map(|n| vec![i(n)]).collect();
+        e.create_table(Table::new(
+            "nums",
+            Schema::from_pairs([("n", DataType::Int)]),
+            rows,
+        ))
+        .unwrap();
+        e
+    }
+
+    const CROSS: &str =
+        "SELECT COUNT(*) FROM nums a JOIN nums b ON 1=1 JOIN nums c ON 1=1";
+
+    #[test]
+    fn untripped_token_does_not_affect_results() {
+        let e = big_engine();
+        let out = e
+            .run_with_cancel("SELECT COUNT(*) FROM nums", CancellationToken::new())
+            .unwrap();
+        assert_eq!(out.rows, vec![vec![i(200)]]);
+    }
+
+    #[test]
+    fn pre_tripped_token_stops_before_any_real_work() {
+        let e = big_engine();
+        let token = CancellationToken::new();
+        token.cancel(CancelReason::Cancelled);
+        let err = e.run_with_cancel(CROSS, token).unwrap_err();
+        assert_eq!(err.kind(), "cancelled");
+    }
+
+    #[test]
+    fn token_tripped_mid_execution_unwinds_with_timeout() {
+        let e = big_engine();
+        let token = CancellationToken::new();
+        let reaper = token.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            reaper.cancel(CancelReason::Timeout);
+        });
+        // 200^3 = 8M row visits: long enough that the trip happens
+        // mid-scan, short enough to finish promptly once cancelled.
+        let err = e.run_with_cancel(CROSS, token).unwrap_err();
+        assert_eq!(err.kind(), "timeout");
+        assert_eq!(err.message(), "query deadline expired");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn cancellation_reaches_plan_time_subqueries() {
+        let e = big_engine();
+        let token = CancellationToken::new();
+        token.cancel(CancelReason::Timeout);
+        // The uncorrelated scalar subquery executes during planning;
+        // a tripped token must stop it there too.
+        let err = e
+            .run_with_cancel(
+                "SELECT n FROM nums WHERE n > (SELECT COUNT(*) FROM nums a JOIN nums b ON 1=1)",
+                token,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "timeout");
+    }
+}

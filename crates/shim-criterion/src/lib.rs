@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's
+//! benches use — `Criterion`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! warmup-then-measure wall-clock runner that prints one line per
+//! benchmark. No plots, no statistics, no persistence: enough to keep
+//! `cargo bench` (and `cargo test --benches`) compiling and producing
+//! useful numbers without network access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier built from a parameter, e.g. a size.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Per-iteration timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, discarding its output.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: let caches settle and estimate per-call cost.
+        let warm = Instant::now();
+        black_box(routine());
+        let per_call = warm.elapsed().max(Duration::from_nanos(1));
+        // Aim for samples of ~10ms but cap total work.
+        let per_sample = (Duration::from_millis(10).as_nanos() / per_call.as_nanos())
+            .clamp(1, 10_000) as u64;
+        self.iters_per_sample = per_sample;
+        for _ in 0..self.samples.capacity() {
+            let started = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(started.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|s| s.as_nanos() as f64 / bencher.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let mut line = format!("{name:<50} {:>12}/iter", fmt_nanos(median));
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Bytes(n) => format!("{}/s", fmt_bytes(n as f64 * 1e9 / median)),
+            Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 * 1e9 / median),
+        };
+        line.push_str(&format!("  {per_sec:>14}"));
+    }
+    println!("{line}");
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_bytes(bps: f64) -> String {
+    if bps < 1024.0 {
+        format!("{bps:.0} B")
+    } else if bps < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", bps / 1024.0)
+    } else if bps < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", bps / (1024.0 * 1024.0))
+    } else {
+        format!("{:.1} GiB", bps / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters_per_sample: 1,
+        };
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id),
+            &bencher,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters_per_sample: 1,
+        };
+        f(&mut bencher, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            &bencher,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(fmt_nanos(500.0), "500 ns");
+        assert!(fmt_nanos(2_500.0).contains("µs"));
+        assert!(fmt_bytes(2048.0).contains("KiB"));
+    }
+}

@@ -1,0 +1,821 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the subset of proptest 1.x it uses:
+//!
+//! * [`Strategy`] with `prop_map`, `prop_recursive`, and `boxed`;
+//! * `any::<T>()` for primitives, ranges as strategies, tuples of
+//!   strategies, `Just`, [`option::of`], [`collection::vec`], and
+//!   `&str` regex-subset string strategies;
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]`),
+//!   `prop_assert!`, `prop_assert_eq!`, and `prop_assume!`.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! the full `Debug` of its inputs), and the regex string strategy
+//! supports only the pattern subset the workspace's tests use —
+//! concatenations of character classes, literals, and `\PC`, each with
+//! an optional `{m,n}` repetition.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+// ---- deterministic generator ---------------------------------------------
+
+/// SplitMix64-based generator used to produce test cases. Deterministic
+/// per (test name, case index) so failures are reproducible.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---- errors and config ----------------------------------------------------
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// An assertion failed; the test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod test_runner {
+    pub use crate::{ProptestConfig, TestCaseError, TestRng};
+}
+
+/// FNV-1a over a test name, for per-test seed derivation.
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+// ---- Strategy core --------------------------------------------------------
+
+/// A generator of values of one type.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U: Debug, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build recursive structures: `f` receives a strategy for the
+    /// current level and returns the next (deeper) level. The result
+    /// falls back to the leaf strategy with fixed probability at each
+    /// level, bounding depth at `depth`.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(current).boxed();
+            // 1-in-3 chance of bottoming out at each level keeps sizes
+            // reasonable without a weight parameter.
+            current = one_of_weighted(vec![(1, leaf.clone()), (2, deeper)]);
+        }
+        current
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let this = Rc::new(self);
+        BoxedStrategy {
+            gen: Rc::new(move |rng| this.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Pick among boxed strategies, with weights.
+pub fn one_of_weighted<T: Debug + 'static>(
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "one_of over no strategies");
+    let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+    BoxedStrategy {
+        gen: Rc::new(move |rng| {
+            let mut roll = rng.below(total);
+            for (w, arm) in &arms {
+                if roll < *w as u64 {
+                    return arm.generate(rng);
+                }
+                roll -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }),
+    }
+}
+
+/// Pick uniformly among boxed strategies (the `prop_oneof!` backend).
+pub fn one_of<T: Debug + 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    one_of_weighted(arms.into_iter().map(|a| (1, a)).collect())
+}
+
+/// Strategy returning a constant.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+    U: Debug,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ---- primitive strategies -------------------------------------------------
+
+/// `any::<T>()` support for primitives.
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, roughly log-uniform magnitudes; no NaN/inf (they have
+        // no SQL or JSON literal form, matching how the tests use this).
+        let mag = rng.unit_f64() * 2.0 - 1.0;
+        let exp = rng.below(25) as i32 - 12;
+        mag * 10f64.powi(exp)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly ASCII with a sprinkle of multibyte.
+        match rng.below(10) {
+            0 => char::from_u32(0x00A1 + rng.below(0x500) as u32).unwrap_or('ß'),
+            _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+        }
+    }
+}
+
+/// Strategy for any value of a primitive type.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---- range strategies -----------------------------------------------------
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ---- tuple strategies -----------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ---- string strategies ----------------------------------------------------
+
+/// `&str` values act as regex-subset string strategies, like upstream.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+
+    /// One atom of the supported pattern subset.
+    enum Atom {
+        /// Explicit characters (from a class or a literal).
+        Choice(Vec<char>),
+        /// `\PC`: any printable character.
+        AnyPrintable,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    /// Parse the supported subset: a concatenation of `[class]`,
+    /// literal characters, and `\PC`, each optionally followed by
+    /// `{m,n}`. Panics on anything else so unsupported tests fail
+    /// loudly rather than silently generating wrong data.
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"))
+                        + i;
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' && chars[j + 2] != ']' {
+                            let (lo, hi) = (chars[j], chars[j + 2]);
+                            assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                            for c in lo..=hi {
+                                set.push(c);
+                            }
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    Atom::Choice(set)
+                }
+                '\\' => {
+                    let rest: String = chars[i..].iter().take(3).collect();
+                    if rest.starts_with("\\PC") {
+                        i += 3;
+                        Atom::AnyPrintable
+                    } else {
+                        // Escaped literal.
+                        let c = *chars
+                            .get(i + 1)
+                            .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                        i += 2;
+                        Atom::Choice(vec![c])
+                    }
+                }
+                c => {
+                    assert!(
+                        !matches!(c, '(' | ')' | '|' | '*' | '+' | '?' | '.'),
+                        "unsupported regex feature {c:?} in pattern {pattern:?}"
+                    );
+                    i += 1;
+                    Atom::Choice(vec![c])
+                }
+            };
+            // Optional {m,n} repetition.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed repetition in {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (m, n) = match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad repetition bound"),
+                        n.trim().parse().expect("bad repetition bound"),
+                    ),
+                    None => {
+                        let k = body.trim().parse().expect("bad repetition bound");
+                        (k, k)
+                    }
+                };
+                i = close + 1;
+                (m, n)
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn printable(rng: &mut TestRng) -> char {
+        // Mostly ASCII printable; occasionally multibyte to stress
+        // encoders the way upstream's \PC does.
+        match rng.below(8) {
+            0 => char::from_u32(0x00A1 + rng.below(0x2000) as u32).unwrap_or('€'),
+            _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+        }
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let span = (piece.max - piece.min + 1) as u64;
+            let count = piece.min + rng.below(span) as u32;
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Choice(set) => {
+                        assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                    Atom::AnyPrintable => out.push(printable(rng)),
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---- containers -----------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max_exclusive - self.min).max(1) as u64;
+            let len = self.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `range` (exclusive upper
+    /// bound, like upstream's `SizeRange` from a `Range`).
+    pub fn vec<S: Strategy>(element: S, range: std::ops::Range<usize>) -> VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        assert!(range.start < range.end, "empty size range for vec");
+        VecStrategy {
+            element,
+            min: range.start,
+            max_exclusive: range.end,
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Some ~3/4 of the time, like upstream's default weight.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        OptionStrategy { inner }
+    }
+}
+
+// ---- macros ---------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)*),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n at {}:{}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r,
+                        file!(),
+                        line!()
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}\n at {}:{}",
+                        stringify!($left),
+                        stringify!($right),
+                        format!($($fmt)*),
+                        l,
+                        r,
+                        file!(),
+                        line!()
+                    )));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rejected = 0u32;
+            let mut case = 0u64;
+            let mut passed = 0u32;
+            while passed < config.cases {
+                let mut rng = $crate::TestRng::new($crate::seed_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                ));
+                case += 1;
+                // Generate all inputs for this case, then run the body.
+                let mut dump = String::new();
+                $(
+                    let generated = ($strat).generate(&mut rng);
+                    dump.push_str(&format!(
+                        concat!(stringify!($arg), " = {:?}\n"),
+                        &generated
+                    ));
+                    let $arg = generated;
+                )+
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < 4 * config.cases + 256,
+                            "too many prop_assume! rejections in {}",
+                            stringify!($name)
+                        );
+                    }
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {} failed: {}\ninputs:\n{}",
+                            case - 1,
+                            msg,
+                            dump
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { @cfg ($cfg) $($rest)* }
+    };
+    (@cfg ($cfg:expr)) => {};
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_generation_obeys_classes() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "bad length: {s:?}");
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = crate::TestRng::new(2);
+        for _ in 0..200 {
+            let (a, b) = (-5i64..5, 0u64..3).generate(&mut rng);
+            assert!((-5..5).contains(&a));
+            assert!(b < 3);
+        }
+    }
+
+    #[test]
+    fn vec_lengths() {
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..100 {
+            let v = prop::collection::vec(any::<i32>(), 1..20).generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_end_to_end(x in 0i64..100, s in "[ab]{1,4}") {
+            prop_assert!(x >= 0);
+            prop_assert!((1..=4).contains(&s.len()));
+            prop_assert_eq!(s.chars().filter(|&c| c == 'a' || c == 'b').count(), s.len());
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0i64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(4, 32, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::new(11);
+        for _ in 0..100 {
+            // Must terminate and produce a well-formed tree.
+            let t = strat.generate(&mut rng);
+            fn depth(t: &Tree) -> usize {
+                match t {
+                    Tree::Leaf(_) => 1,
+                    Tree::Node(children) => {
+                        1 + children.iter().map(depth).max().unwrap_or(0)
+                    }
+                }
+            }
+            assert!(depth(&t) <= 6);
+        }
+    }
+}

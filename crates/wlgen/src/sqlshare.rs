@@ -1256,8 +1256,10 @@ mod tests {
         let a = generate(&GeneratorConfig { seed: 3, scale: 0.005 });
         let b = generate(&GeneratorConfig { seed: 3, scale: 0.005 });
         assert_eq!(a.stats, b.stats);
-        let sqls_a: Vec<&str> = a.service.log().entries().iter().map(|e| e.sql.as_str()).collect();
-        let sqls_b: Vec<&str> = b.service.log().entries().iter().map(|e| e.sql.as_str()).collect();
+        let log_a = a.service.log();
+        let log_b = b.service.log();
+        let sqls_a: Vec<&str> = log_a.entries().iter().map(|e| e.sql.as_str()).collect();
+        let sqls_b: Vec<&str> = log_b.entries().iter().map(|e| e.sql.as_str()).collect();
         assert_eq!(sqls_a, sqls_b);
     }
 

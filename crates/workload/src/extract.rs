@@ -164,7 +164,8 @@ mod tests {
         s.run_query("ada", "SELECT k, SUM(v) FROM big GROUP BY k ORDER BY k")
             .unwrap();
         let _ = s.run_query("ada", "SELECT broken FROM t");
-        extract_corpus(s.log().entries())
+        let log = s.log();
+        extract_corpus(log.entries())
     }
 
     #[test]

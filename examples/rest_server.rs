@@ -17,7 +17,7 @@
 //! The server handles one request per connection (HTTP/1.0 style) on a
 //! small thread pool — plenty for a demo, zero dependencies.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use sqlshare_common::json::{self, Json};
 use sqlshare_core::rest::{dispatch, Method, Request};
 use sqlshare_core::SqlShare;
@@ -90,7 +90,7 @@ fn handle(mut stream: TcpStream, service: &Mutex<SqlShare>) -> std::io::Result<(
         return respond(&mut stream, 405, &Json::str("unsupported method"));
     };
     let response = dispatch(
-        &mut service.lock(),
+        &mut service.lock().unwrap_or_else(|e| e.into_inner()),
         &Request { method, path, body },
     );
     respond(&mut stream, response.status, &response.body)

@@ -119,10 +119,10 @@ fn full_platform_walkthrough() {
     let job = s
         .submit_query("howe", "SELECT TOP 2 station FROM howe.nutrients_clean ORDER BY station DESC")
         .unwrap();
-    assert!(matches!(
-        s.query_status(job).unwrap(),
-        sqlshare_core::JobStatus::Complete
-    ));
+    let status = s
+        .wait_for_job(job, std::time::Duration::from_secs(10))
+        .unwrap();
+    assert!(matches!(status, sqlshare_core::JobStatus::Complete));
     assert_eq!(s.query_results(job).unwrap().rows.len(), 2);
 
     // --- the log is a research corpus ----------------------------------------

@@ -90,6 +90,7 @@ fn rest_session_end_to_end() {
     );
     assert_eq!(r.status, 201);
     let id = r.body.get("id").unwrap().as_f64().unwrap() as u64;
+    s.wait_for_job(id, std::time::Duration::from_secs(10)).unwrap();
     let r = dispatch(&mut s, &Request::get(format!("/api/queries/{id}")));
     assert_eq!(r.body.get("status").unwrap().as_str(), Some("complete"));
     let r = dispatch(&mut s, &Request::get(format!("/api/queries/{id}/results")));
@@ -104,8 +105,10 @@ fn rest_session_end_to_end() {
         &post("/api/queries", &[("user", "bob"), ("sql", "SELECT nope FROM ada.mean_levels")]),
     );
     let id = r.body.get("id").unwrap().as_f64().unwrap() as u64;
+    s.wait_for_job(id, std::time::Duration::from_secs(10)).unwrap();
     let r = dispatch(&mut s, &Request::get(format!("/api/queries/{id}")));
     assert_eq!(r.body.get("status").unwrap().as_str(), Some("failed"));
+    assert!(r.body.get("error").is_some());
 
     // Append another batch via REST.
     let r = dispatch(
