@@ -6,6 +6,7 @@ use crate::{experiments, Workbench};
 pub const ALL: &[&str] = &[
     "summary", "table2", "fig4", "sec51", "sec52", "sec53", "fig6", "fig7", "fig8", "fig9",
     "fig10", "table3", "table4", "reuse", "fig11", "fig12", "fig13", "diversity", "scheduler",
+    "parallelism",
 ];
 
 /// Run one experiment by id.
@@ -30,6 +31,7 @@ pub fn run(id: &str, wb: &Workbench) -> Option<String> {
         "reuse" => experiments::reuse(wb),
         "diversity" => experiments::diversity(wb),
         "scheduler" => experiments::scheduler(wb),
+        "parallelism" => experiments::parallelism(wb),
         _ => return None,
     })
 }

@@ -657,6 +657,10 @@ impl SqlShare {
         self.insert_job_with_token(id, user, sql, JobStatus::Queued, token.clone());
 
         let engine = self.engine_snapshot();
+        // The optimizer's degree of parallelism decides how many worker
+        // slots the job reserves: a DOP-4 hash join accounts for four
+        // workers' worth of backend capacity, not one.
+        let dop = engine.plan_dop(&canonical);
         let jobs = Arc::clone(&self.jobs);
         let log = Arc::clone(&self.log);
         let user_owned = user.to_string();
@@ -667,6 +671,7 @@ impl SqlShare {
             SubmitOptions {
                 deadline: deadline.or(self.default_deadline),
                 token: Some(token),
+                slots: dop,
             },
             move |ctx| {
                 let wait = ctx.queue_wait.as_micros() as u64;
@@ -887,6 +892,26 @@ impl SqlShare {
     /// tests and operational tooling.
     pub fn scheduler(&self) -> &Scheduler {
         &self.scheduler
+    }
+
+    /// Configure intra-query parallelism: the per-query DOP cap and the
+    /// plan-cost threshold above which the optimizer goes parallel
+    /// (`threshold <= 0` forces every eligible plan parallel — test
+    /// hook). Invalidates the worker snapshot so queued work picks up
+    /// the new policy.
+    pub fn set_parallelism(&mut self, max_dop: usize, threshold: f64) {
+        self.engine.set_max_dop(max_dop);
+        self.engine.set_parallelism_cost_threshold(threshold);
+        self.invalidate_snapshot();
+    }
+
+    /// Resolve a user's query to the catalog-canonical SQL the engine
+    /// executes (dataset names qualified, exactly as the async path
+    /// preflights it) without running it. Lets harnesses replay logged
+    /// queries directly against [`SqlShare::engine`].
+    pub fn canonicalize(&self, user: &str, sql: &str) -> Result<String> {
+        let parsed = parse_query(sql)?;
+        Ok(self.qualify(&parsed, user)?.to_string())
     }
 
     /// Set the deadline applied to future submissions without one.

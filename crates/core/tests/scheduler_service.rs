@@ -246,6 +246,88 @@ fn overloaded_tenant_is_rejected() {
     assert_eq!(stats.totals.completed, 2);
 }
 
+/// A query the optimizer parallelizes at DOP 4 reserves four worker
+/// slots for the duration of its run: while it executes, the scheduler
+/// reports one running job holding four slots and no free capacity.
+#[test]
+fn parallel_query_reserves_dop_worker_slots() {
+    let mut s = service_with_nums(
+        SchedulerConfig { workers: 4, ..Default::default() },
+        20_000,
+    );
+    s.set_parallelism(4, 0.0);
+    // A bucketed self-equijoin: plans as a parallel hash join (morsel
+    // scans feeding Repartition/Gather) and produces enough probe output
+    // to be observed mid-flight.
+    let sql = "SELECT COUNT(*) FROM ada.nums a JOIN ada.nums b ON a.n % 50 = b.n % 50";
+    let canonical = s.canonicalize("ada", sql).unwrap();
+    assert_eq!(s.engine().plan_dop(&canonical), 4, "query must plan at DOP 4");
+
+    let id = s.submit_query("ada", sql).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut saw_full_reservation = false;
+    while std::time::Instant::now() < deadline {
+        let stats = s.scheduler_stats();
+        if stats.totals.running == 1 && stats.totals.running_slots == 4 {
+            assert_eq!(s.scheduler().free_slots(), 0);
+            saw_full_reservation = true;
+            break;
+        }
+        if matches!(s.query_status(id), Ok(st) if st.is_terminal()) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(
+        saw_full_reservation,
+        "never observed the DOP-4 job holding all four slots"
+    );
+    s.cancel_query("ada", id).unwrap();
+    let status = s.wait_for_job(id, Duration::from_secs(30)).unwrap();
+    assert!(matches!(status, JobStatus::Cancelled(_)), "got {status:?}");
+}
+
+/// Cancelling a DOP-4 hash join mid-execution stops every worker
+/// promptly and releases all four reserved slots back to the pool.
+#[test]
+fn cancelled_dop4_hash_join_releases_all_slots_promptly() {
+    let mut s = service_with_nums(
+        SchedulerConfig { workers: 4, ..Default::default() },
+        20_000,
+    );
+    s.set_parallelism(4, 0.0);
+    let sql = "SELECT COUNT(*) FROM ada.nums a JOIN ada.nums b ON a.n % 10 = b.n % 10";
+    let id = s.submit_query("ada", sql).unwrap();
+
+    // Wait until the join is genuinely running across the pool.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while std::time::Instant::now() < deadline {
+        if matches!(s.query_status(id), Ok(JobStatus::Running)) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(matches!(s.query_status(id), Ok(JobStatus::Running)));
+
+    let cancelled_at = std::time::Instant::now();
+    s.cancel_query("ada", id).unwrap();
+    let status = s.wait_for_job(id, Duration::from_secs(30)).unwrap();
+    assert!(matches!(status, JobStatus::Cancelled(_)), "got {status:?}");
+    assert!(
+        cancelled_at.elapsed() < Duration::from_secs(5),
+        "cancellation took {:?}; parallel workers did not stop promptly",
+        cancelled_at.elapsed()
+    );
+    assert_eq!(s.query_results(id).unwrap_err().kind(), "cancelled");
+
+    assert!(s.scheduler().wait_idle(Duration::from_secs(30)));
+    let stats = s.scheduler_stats();
+    assert_eq!(stats.totals.cancelled, 1);
+    assert_eq!(stats.totals.running, 0);
+    assert_eq!(stats.totals.running_slots, 0, "cancelled job leaked slots");
+    assert_eq!(s.scheduler().free_slots(), stats.slots);
+}
+
 /// Queue-wait and execution time are split in the query log.
 #[test]
 fn query_log_records_queue_wait_split() {

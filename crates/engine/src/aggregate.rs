@@ -169,6 +169,52 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Fold another accumulator of the same function into this one.
+    /// Used by the parallel executor's pre-aggregation: each worker
+    /// accumulates its morsels locally and partials are merged serially.
+    /// Exact for COUNT/MIN/MAX and integer SUM; floating-point sums may
+    /// differ from serial accumulation in the last few ulps (addition is
+    /// not associative), which is the usual contract for parallel
+    /// aggregation.
+    pub fn merge(&mut self, other: &Accumulator) -> Result<()> {
+        debug_assert_eq!(self.func, other.func);
+        debug_assert_eq!(self.distinct, other.distinct);
+        if self.distinct {
+            // `other.seen` is exactly the distinct set the other partial
+            // observed; re-pushing applies the dedup against ours.
+            for v in &other.seen {
+                self.push(v)?;
+            }
+            return Ok(());
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.int_sum = self.int_sum.wrapping_add(other.int_sum);
+        self.all_int &= other.all_int;
+        if let Some(m) = &other.min {
+            if self
+                .min
+                .as_ref()
+                .map(|cur| m.total_cmp(cur) == std::cmp::Ordering::Less)
+                .unwrap_or(true)
+            {
+                self.min = Some(m.clone());
+            }
+        }
+        if let Some(m) = &other.max {
+            if self
+                .max
+                .as_ref()
+                .map(|cur| m.total_cmp(cur) == std::cmp::Ordering::Greater)
+                .unwrap_or(true)
+            {
+                self.max = Some(m.clone());
+            }
+        }
+        Ok(())
+    }
+
     /// Final aggregate value. Empty input yields NULL for everything but
     /// COUNT, which yields 0.
     pub fn finish(&self) -> Value {
@@ -281,6 +327,40 @@ mod tests {
         assert_eq!(run(AggFunc::Sum, false, &vals), Value::Float(4.0));
         let mut acc = Accumulator::new(AggFunc::Sum, false);
         assert!(acc.push(&Value::Text("NA".into())).is_err());
+    }
+
+    #[test]
+    fn merge_matches_serial_for_exact_aggregates() {
+        let vals: Vec<Value> = (0..20).map(Value::Int).collect();
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
+            for distinct in [false, true] {
+                let serial = run(func, distinct, &vals);
+                let mut left = Accumulator::new(func, distinct);
+                let mut right = Accumulator::new(func, distinct);
+                for v in &vals[..7] {
+                    left.push(v).unwrap();
+                }
+                for v in &vals[7..] {
+                    right.push(v).unwrap();
+                }
+                left.merge(&right).unwrap();
+                assert_eq!(left.finish(), serial, "{func:?} distinct={distinct}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_distinct_dedups_across_partials() {
+        let mut left = Accumulator::new(AggFunc::Count, true);
+        let mut right = Accumulator::new(AggFunc::Count, true);
+        for v in [Value::Int(1), Value::Int(2)] {
+            left.push(&v).unwrap();
+        }
+        for v in [Value::Int(2), Value::Int(3)] {
+            right.push(&v).unwrap();
+        }
+        left.merge(&right).unwrap();
+        assert_eq!(left.finish(), Value::Int(3));
     }
 
     #[test]

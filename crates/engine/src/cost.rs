@@ -59,6 +59,34 @@ pub fn sort_cpu(rows: f64) -> f64 {
     rows * rows.log2().max(1.0) * CPU_PER_COMPARE
 }
 
+/// Cost above which the optimizer considers a parallel plan, in
+/// optimizer units — the analogue of SQL Server's "cost threshold for
+/// parallelism" knob, scaled to this engine's calibration (a ~10k-row
+/// scan clears it; the sub-page lookups that dominate the corpus do
+/// not, so tiny queries never pay exchange overhead).
+pub const PARALLELISM_COST_THRESHOLD: f64 = 0.01;
+
+/// Degree of parallelism for a subtree of cost `cost`: 1 below the
+/// threshold, then stepping up with cost until `max_dop`. A
+/// non-positive threshold forces `max_dop` (used by tests and the
+/// differential harness to exercise the parallel operators on small
+/// tables).
+pub fn choose_dop(cost: f64, max_dop: usize, threshold: f64) -> usize {
+    if max_dop <= 1 {
+        return 1;
+    }
+    if threshold <= 0.0 {
+        return max_dop;
+    }
+    if cost < threshold {
+        return 1;
+    }
+    // Double the worker count for every 4x past the threshold.
+    let ratio = cost / threshold;
+    let dop = 2usize << (ratio.log2() / 2.0).floor().clamp(0.0, 30.0) as usize;
+    dop.clamp(2, max_dop)
+}
+
 /// Default selectivity of a predicate by rough kind.
 pub fn selectivity(kind: PredKind) -> f64 {
     match kind {

@@ -1,7 +1,7 @@
 //! The engine facade: parse → bind → plan → execute.
 
 use crate::binder::Binder;
-use crate::optimizer::optimize;
+use crate::optimizer::{optimize, parallelize};
 use crate::catalog::Catalog;
 use crate::exec;
 use crate::explain::plan_to_json;
@@ -16,6 +16,17 @@ use sqlshare_common::{CancellationToken, Error, Result};
 use sqlshare_sql::ast::Statement;
 use sqlshare_sql::parser::{parse_query, parse_statement};
 use std::time::Instant;
+
+/// Default parallelism cap, overridable via `SQLSHARE_MAX_DOP` (CI runs
+/// the suite at both `SQLSHARE_MAX_DOP=1` and the default to keep the
+/// serial and parallel paths green).
+fn max_dop_from_env() -> usize {
+    std::env::var("SQLSHARE_MAX_DOP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|d| d.max(1))
+        .unwrap_or(4)
+}
 
 /// Result of running one query.
 #[derive(Debug, Clone)]
@@ -35,10 +46,22 @@ impl QueryOutput {
 }
 
 /// An in-process relational engine over a [`Catalog`].
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Engine {
     catalog: Catalog,
     ctx: EvalContext,
+    /// Upper bound on per-query parallelism; 1 disables the parallel
+    /// executor entirely.
+    max_dop: usize,
+    /// Plan cost above which the optimizer considers DOP > 1. Zero or
+    /// negative forces parallelism on every eligible plan (test hook).
+    parallel_threshold: f64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
 }
 
 impl Engine {
@@ -46,7 +69,26 @@ impl Engine {
         Engine {
             catalog: Catalog::new(),
             ctx: EvalContext::default(),
+            max_dop: max_dop_from_env(),
+            parallel_threshold: crate::cost::PARALLELISM_COST_THRESHOLD,
         }
+    }
+
+    /// Cap per-query parallelism (like `MAXDOP`); 1 disables it.
+    pub fn set_max_dop(&mut self, max_dop: usize) {
+        self.max_dop = max_dop.max(1);
+    }
+
+    /// The configured parallelism cap.
+    pub fn max_dop(&self) -> usize {
+        self.max_dop
+    }
+
+    /// Set the cost threshold above which plans go parallel; <= 0 forces
+    /// every eligible plan parallel (the differential harness uses this
+    /// to exercise the morsel executor on small tables).
+    pub fn set_parallelism_cost_threshold(&mut self, threshold: f64) {
+        self.parallel_threshold = threshold;
     }
 
     /// Access the catalog.
@@ -90,7 +132,16 @@ impl Engine {
         let query = parse_query(sql)?;
         let logical = Binder::new(&self.catalog).bind_query(&query)?;
         let logical = optimize(logical);
-        plan_physical(&logical, &self.catalog, &self.ctx)
+        let plan = plan_physical(&logical, &self.catalog, &self.ctx)?;
+        Ok(parallelize(plan, self.max_dop, self.parallel_threshold))
+    }
+
+    /// The degree of parallelism the optimizer would run `sql` at — the
+    /// maximum `degreeOfParallelism` over the plan's exchange operators,
+    /// 1 for serial plans (and for queries that fail to plan, so callers
+    /// scheduling by DOP never over-reserve on a doomed query).
+    pub fn plan_dop(&self, sql: &str) -> usize {
+        self.explain(sql).map(|p| p.max_parallelism()).unwrap_or(1)
     }
 
     /// Run a query end to end.
@@ -104,6 +155,16 @@ impl Engine {
     /// [`Error::Cancelled`]).
     pub fn run_with_cancel(&self, sql: &str, token: CancellationToken) -> Result<QueryOutput> {
         self.run_guarded(sql, &ExecGuard::new(token))
+    }
+
+    /// Run a query at a fixed degree of parallelism, overriding the
+    /// engine's `max_dop` for this call (the cost threshold still
+    /// applies; pair with [`Engine::set_parallelism_cost_threshold`] to
+    /// force parallel plans).
+    pub fn run_with_dop(&self, sql: &str, dop: usize) -> Result<QueryOutput> {
+        let mut engine = self.clone();
+        engine.set_max_dop(dop);
+        engine.run(sql)
     }
 
     fn run_guarded(&self, sql: &str, guard: &ExecGuard) -> Result<QueryOutput> {
@@ -122,6 +183,7 @@ impl Engine {
         let schema = logical.schema().clone();
         let logical = optimize(logical);
         let plan = plan_physical_with(&logical, &self.catalog, &self.ctx, guard)?;
+        let plan = parallelize(plan, self.max_dop, self.parallel_threshold);
         let rows = exec::execute(&plan, &self.catalog, &self.ctx, guard)?;
         Ok(QueryOutput {
             schema,

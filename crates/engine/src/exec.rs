@@ -55,6 +55,18 @@ impl ExecGuard {
         ExecGuard::default()
     }
 
+    /// A fresh guard observing the same token, for a parallel worker
+    /// thread. The guard itself is deliberately not `Sync` (interior
+    /// mutability via [`Cell`]), so each worker forks its own; all forks
+    /// share the underlying [`CancellationToken`], so one `cancel()`
+    /// lands in every worker.
+    pub fn fork(&self) -> ExecGuard {
+        match &self.token {
+            Some(token) => ExecGuard::new(token.clone()),
+            None => ExecGuard::unbounded(),
+        }
+    }
+
     /// Record `rows` units of work; errors if the token has tripped.
     #[inline]
     pub fn tick(&self, rows: u64) -> Result<()> {
@@ -246,6 +258,13 @@ pub fn execute(
                 SetOp::Union => unreachable!("UNION is planned as Concatenation"),
             })
         }
+        PhysOp::Gather { dop } => crate::parallel::execute_gather(plan, *dop, catalog, ctx, guard),
+        PhysOp::Repartition { .. } => {
+            // The exchange itself is a marker: partitioning happens inside
+            // the parallel hash-join build. Executed standalone (serial
+            // fallback) it is a pass-through.
+            execute(data_child(plan)?, catalog, ctx, guard)
+        }
         PhysOp::Segment => execute(data_child(plan)?, catalog, ctx, guard),
         PhysOp::SequenceProject { calls } => {
             let input = execute(data_child(plan)?, catalog, ctx, guard)?;
@@ -257,7 +276,7 @@ pub fn execute(
 
 /// The first child is always the data input; extra children are
 /// materialized-subquery plans kept for EXPLAIN only.
-fn data_child(plan: &PhysicalPlan) -> Result<&PhysicalPlan> {
+pub(crate) fn data_child(plan: &PhysicalPlan) -> Result<&PhysicalPlan> {
     plan.children
         .first()
         .ok_or_else(|| Error::Execution("internal: operator missing input".into()))
@@ -279,7 +298,7 @@ fn two_children(
     Ok((l, r))
 }
 
-fn as_ref_bound(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
+pub(crate) fn as_ref_bound(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
     match b {
         std::ops::Bound::Included(v) => std::ops::Bound::Included(v),
         std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),
@@ -287,7 +306,7 @@ fn as_ref_bound(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
     }
 }
 
-fn null_row(width: usize) -> Row {
+pub(crate) fn null_row(width: usize) -> Row {
     vec![Value::Null; width]
 }
 
@@ -480,7 +499,7 @@ fn aggregate(
     Ok(out)
 }
 
-fn feed(
+pub(crate) fn feed(
     accs: &mut [Accumulator],
     aggs: &[crate::aggregate::AggCall],
     row: &Row,

@@ -39,6 +39,9 @@ fn node_to_json(plan: &PhysicalPlan) -> Json {
     obj.insert("rowSize", Json::num(plan.est.row_size));
     obj.insert("numRows", Json::num(plan.est.rows));
     obj.insert("total", Json::num(plan.total_cost()));
+    if let Some(dop) = plan.degree_of_parallelism {
+        obj.insert("degreeOfParallelism", Json::num(dop as f64));
+    }
     if !plan.filters.is_empty() {
         obj.insert(
             "filters",
@@ -111,6 +114,7 @@ mod tests {
             filters: vec!["income GT 500000".into()],
             expr_ops: vec![],
             columns: vec![("incomes".into(), "income".into())],
+            degree_of_parallelism: None,
             children: vec![],
         }
     }

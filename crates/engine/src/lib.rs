@@ -47,6 +47,7 @@ pub mod expr;
 pub mod functions;
 pub mod logical;
 pub mod optimizer;
+pub mod parallel;
 pub mod physical;
 pub mod schema;
 pub mod table;

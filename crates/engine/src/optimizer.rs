@@ -16,8 +16,19 @@
 //!    view chain usually ends as a `Clustered Index Seek`/`Scan`
 //!    predicate rather than a stack of `Filter` operators.
 
+//!
+//! A third pass, [`parallelize`], runs on the *physical* plan: it finds
+//! morsel-parallelizable regions (scan → filter/compute → hash join →
+//! pre-aggregation pipelines) whose estimated cost clears the
+//! parallelism threshold and joins them to the serial plan with
+//! `Parallelism (Gather Streams)` / `Parallelism (Repartition Streams)`
+//! exchange operators, mirroring how SQL Server surfaces DOP > 1 plans
+//! in SHOWPLAN.
+
+use crate::cost::{self, choose_dop, Estimates};
 use crate::expr::BoundExpr;
 use crate::logical::LogicalPlan;
+use crate::physical::{PhysOp, PhysicalPlan};
 use sqlshare_sql::ast::{BinaryOp, JoinKind, SetOp};
 
 /// Run the full optimization pipeline.
@@ -416,6 +427,132 @@ fn join_and(conjuncts: Vec<BoundExpr>) -> Option<BoundExpr> {
         op: BinaryOp::And,
         right: Box::new(b),
     })
+}
+
+/// Physical post-pass: wrap parallelizable regions in `Parallelism`
+/// exchange operators when their estimated cost clears `threshold` (see
+/// [`cost::choose_dop`]). `max_dop <= 1` disables the pass entirely, so
+/// `SQLSHARE_MAX_DOP=1` yields byte-identical plans to the pre-parallel
+/// engine.
+pub fn parallelize(mut plan: PhysicalPlan, max_dop: usize, threshold: f64) -> PhysicalPlan {
+    if max_dop <= 1 {
+        return plan;
+    }
+    if parallel_region_shape(&plan) {
+        let dop = choose_dop(plan.total_cost(), max_dop, threshold);
+        if dop > 1 {
+            repartition_build(&mut plan, dop);
+            return exchange(
+                PhysOp::Gather { dop },
+                "Parallelism (Gather Streams)",
+                "Gather Streams",
+                dop,
+                plan,
+            );
+        }
+    }
+    plan.children = plan
+        .children
+        .into_iter()
+        .map(|c| parallelize(c, max_dop, threshold))
+        .collect();
+    plan
+}
+
+/// Whether the subtree is a region the morsel executor can run: an
+/// optional hash/scalar Aggregate over a Filter/Compute chain, with at
+/// most one Hash Match whose probe (left) input continues the chain
+/// down to a base-table Scan/Seek. Must stay in sync with
+/// `parallel::compile` (which re-checks at execution and falls back to
+/// serial, so a mismatch costs performance, not correctness). Regions
+/// with no work beyond the bare scan are rejected — an exchange over a
+/// plain table copy is pure overhead.
+fn parallel_region_shape(plan: &PhysicalPlan) -> bool {
+    let mut node = plan;
+    let mut work = false;
+    if let PhysOp::Aggregate { .. } = node.op {
+        work = true;
+        match node.children.first() {
+            Some(c) => node = c,
+            None => return false,
+        }
+    }
+    let mut joined = false;
+    loop {
+        match &node.op {
+            PhysOp::Filter { .. } | PhysOp::Compute { .. } => {
+                work = true;
+                match node.children.first() {
+                    Some(c) => node = c,
+                    None => return false,
+                }
+            }
+            PhysOp::HashJoin { .. } | PhysOp::MergeJoin { .. }
+                if !joined && node.children.len() >= 2 =>
+            {
+                work = true;
+                joined = true;
+                node = &node.children[0];
+            }
+            PhysOp::Scan { .. } => return work,
+            PhysOp::Seek { residual, .. } => return work || residual.is_some(),
+            _ => return false,
+        }
+    }
+}
+
+/// Wrap the build input of the region's Hash Match (if any) in a
+/// `Parallelism (Repartition Streams)` marker: at execution the build
+/// rows are hashed on the join keys into `dop` hash-table partitions.
+fn repartition_build(node: &mut PhysicalPlan, dop: usize) {
+    match &node.op {
+        PhysOp::Aggregate { .. } | PhysOp::Filter { .. } | PhysOp::Compute { .. } => {
+            if let Some(c) = node.children.first_mut() {
+                repartition_build(c, dop);
+            }
+        }
+        PhysOp::HashJoin { .. } | PhysOp::MergeJoin { .. } if node.children.len() >= 2 => {
+            let build = node.children.remove(1);
+            let wrapped = exchange(
+                PhysOp::Repartition { dop },
+                "Parallelism (Repartition Streams)",
+                "Repartition Streams",
+                dop,
+                build,
+            );
+            node.children.insert(1, wrapped);
+        }
+        _ => {}
+    }
+}
+
+fn exchange(
+    op: PhysOp,
+    physical_op: &str,
+    logical_op: &str,
+    dop: usize,
+    child: PhysicalPlan,
+) -> PhysicalPlan {
+    PhysicalPlan {
+        op,
+        physical_op: physical_op.to_string(),
+        logical_op: logical_op.to_string(),
+        visible: true,
+        est: Estimates {
+            rows: child.est.rows,
+            io: 0.0,
+            // Row-exchange overhead, so parallel plans cost slightly more
+            // than serial ones on paper — as in SQL Server, parallelism
+            // is bought, not free.
+            cpu: cost::row_cpu(child.est.rows, 0),
+            row_size: child.est.row_size,
+        },
+        filters: Vec::new(),
+        expr_ops: Vec::new(),
+        columns: Vec::new(),
+        degree_of_parallelism: Some(dop),
+        children: vec![child],
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,944 @@
+//! Morsel-driven parallel execution.
+//!
+//! A `Parallelism (Gather Streams)` operator marks a subtree that runs
+//! on a small worker pool: the base-table rows under it are split into
+//! fixed-size *morsels*, workers claim morsels off a shared atomic
+//! counter, push each morsel through the region's operator pipeline
+//! (seek residual → filters / compute scalars → partitioned hash-join
+//! probe → pre-aggregation), and the gather merges the per-morsel
+//! outputs back into one stream *in morsel order* — so for everything
+//! but floating-point aggregates the parallel result is byte-identical
+//! to the serial one, not merely bag-equal.
+//!
+//! The shape of a parallel region is deliberately restricted to what
+//! [`compile`] recognizes; `execute_gather` falls back to plain serial
+//! execution for anything else, so correctness never depends on the
+//! optimizer and the executor agreeing about eligibility.
+//!
+//! Cancellation: each worker forks the caller's [`ExecGuard`] (the
+//! guard is not `Sync`; the underlying token is shared), and a tripped
+//! token aborts the morsel dispatch loop, so `cancel_query` lands
+//! mid-join just as it does serially.
+
+use crate::aggregate::{AggCall, Accumulator};
+use crate::catalog::Catalog;
+use crate::exec::{self, ExecGuard};
+use crate::expr::{eval_predicate, BoundExpr};
+use crate::functions::EvalContext;
+use crate::physical::{PhysOp, PhysicalPlan};
+use crate::table::cmp_rows;
+use crate::value::{Row, Value};
+use sqlshare_common::{Error, Result};
+use sqlshare_sql::ast::JoinKind;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Rows per morsel. Small enough that a worker pool balances skewed
+/// filters, large enough that the claim (one `fetch_add`) is noise.
+pub const MORSEL_SIZE: usize = 1024;
+
+/// Execute a `Gather` node: compile the subtree below it into a morsel
+/// pipeline and run it on `dop` workers. Unsupported subtree shapes run
+/// serially (same results, no parallelism).
+pub fn execute_gather(
+    plan: &PhysicalPlan,
+    dop: usize,
+    catalog: &Catalog,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<Vec<Row>> {
+    let child = exec::data_child(plan)?;
+    let dop = dop.max(1);
+    let Some(region) = compile(child, catalog)? else {
+        return exec::execute(child, catalog, ctx, guard);
+    };
+    let join = match region.probe_spec() {
+        Some(spec) => Some(build_join(spec, dop, catalog, ctx, guard)?),
+        None => None,
+    };
+    match &region.agg {
+        None => {
+            let chunks = run_morsels(region.source.rows.len(), dop, guard, |_, range, g| {
+                process_morsel(&region, join.as_ref(), range, ctx, g)
+            })?;
+            let mut out: Vec<Row> = chunks
+                .into_iter()
+                .flat_map(MorselRows::into_owned)
+                .collect();
+            if let (Some(spec), Some(state)) = (region.probe_spec(), join.as_ref()) {
+                out.extend(right_tail(spec, state, region.post_join_ops(), ctx, guard)?);
+            }
+            Ok(out)
+        }
+        Some(agg) => aggregate_parallel(&region, agg, join.as_ref(), dop, ctx, guard),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Region compilation
+// ---------------------------------------------------------------------------
+
+/// One morsel-parallel region: a base-table row slice plus the operator
+/// pipeline every morsel is pushed through.
+struct Region<'a> {
+    source: Source<'a>,
+    /// Pipeline stages, bottom-up (source side first).
+    ops: Vec<Op<'a>>,
+    /// Terminal pre-aggregation, merged serially after the gather.
+    agg: Option<AggSpec<'a>>,
+}
+
+struct Source<'a> {
+    rows: &'a [Row],
+    /// Seek residual predicate, applied before everything else.
+    residual: Option<&'a BoundExpr>,
+}
+
+enum Op<'a> {
+    Filter(&'a BoundExpr),
+    Compute(&'a [BoundExpr]),
+    Probe(ProbeSpec<'a>),
+}
+
+struct ProbeSpec<'a> {
+    /// Build-side subtree (below the `Repartition` marker), executed
+    /// serially once before the morsel workers start.
+    build: &'a PhysicalPlan,
+    kind: JoinKind,
+    left_keys: &'a [BoundExpr],
+    right_keys: &'a [BoundExpr],
+    residual: Option<&'a BoundExpr>,
+    left_width: usize,
+    right_width: usize,
+}
+
+struct AggSpec<'a> {
+    group: &'a [BoundExpr],
+    aggs: &'a [AggCall],
+}
+
+impl<'a> Region<'a> {
+    fn probe_spec(&self) -> Option<&ProbeSpec<'a>> {
+        self.ops.iter().find_map(|op| match op {
+            Op::Probe(spec) => Some(spec),
+            _ => None,
+        })
+    }
+
+    /// Stages above the join, which unmatched-right tail rows must still
+    /// pass through.
+    fn post_join_ops(&self) -> &[Op<'a>] {
+        let probe_at = self
+            .ops
+            .iter()
+            .position(|op| matches!(op, Op::Probe(_)))
+            .map(|i| i + 1)
+            .unwrap_or(self.ops.len());
+        &self.ops[probe_at..]
+    }
+}
+
+/// Recognize a parallelizable subtree: an optional Aggregate on top of a
+/// Filter/Compute chain, with at most one hash join whose probe (left)
+/// input continues the chain down to a Scan or Seek. Mirrored by
+/// `optimizer::parallel_region_shape`, but execution never trusts that —
+/// anything unrecognized returns `None` and runs serially.
+fn compile<'a>(plan: &'a PhysicalPlan, catalog: &'a Catalog) -> Result<Option<Region<'a>>> {
+    let mut agg = None;
+    let mut node = plan;
+    if let PhysOp::Aggregate { group, aggs, .. } = &node.op {
+        agg = Some(AggSpec { group, aggs });
+        node = exec::data_child(node)?;
+    }
+    let mut ops: Vec<Op<'a>> = Vec::new();
+    let mut joined = false;
+    loop {
+        match &node.op {
+            PhysOp::Filter { predicate } => {
+                ops.push(Op::Filter(predicate));
+                node = exec::data_child(node)?;
+            }
+            PhysOp::Compute { exprs } => {
+                ops.push(Op::Compute(exprs));
+                node = exec::data_child(node)?;
+            }
+            PhysOp::HashJoin {
+                kind,
+                left_keys,
+                right_keys,
+                residual,
+                left_width,
+                right_width,
+            } if !joined && node.children.len() >= 2 => {
+                joined = true;
+                let mut build = &node.children[1];
+                if matches!(build.op, PhysOp::Repartition { .. }) {
+                    build = exec::data_child(build)?;
+                }
+                ops.push(Op::Probe(ProbeSpec {
+                    build,
+                    kind: *kind,
+                    left_keys,
+                    right_keys,
+                    residual: residual.as_ref(),
+                    left_width: *left_width,
+                    right_width: *right_width,
+                }));
+                node = &node.children[0];
+            }
+            // The serial executor runs a Merge Join as an inner hash
+            // join (the operator name is what plan statistics need), so
+            // the parallel region can too. Inner joins never null-pad,
+            // so the widths are irrelevant.
+            PhysOp::MergeJoin {
+                left_keys,
+                right_keys,
+                residual,
+            } if !joined && node.children.len() >= 2 => {
+                joined = true;
+                let mut build = &node.children[1];
+                if matches!(build.op, PhysOp::Repartition { .. }) {
+                    build = exec::data_child(build)?;
+                }
+                ops.push(Op::Probe(ProbeSpec {
+                    build,
+                    kind: JoinKind::Inner,
+                    left_keys,
+                    right_keys,
+                    residual: residual.as_ref(),
+                    left_width: 0,
+                    right_width: 0,
+                }));
+                node = &node.children[0];
+            }
+            PhysOp::Scan { table } => {
+                let rows = catalog.table(table)?.rows();
+                ops.reverse();
+                return Ok(Some(Region {
+                    source: Source { rows, residual: None },
+                    ops,
+                    agg,
+                }));
+            }
+            PhysOp::Seek {
+                table,
+                lower,
+                upper,
+                residual,
+            } => {
+                let rows = catalog
+                    .table(table)?
+                    .seek_leading(exec::as_ref_bound(lower), exec::as_ref_bound(upper));
+                ops.reverse();
+                return Ok(Some(Region {
+                    source: Source {
+                        rows,
+                        residual: residual.as_ref(),
+                    },
+                    ops,
+                    agg,
+                }));
+            }
+            _ => return Ok(None),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Morsel dispatch
+// ---------------------------------------------------------------------------
+
+/// OS threads actually used to execute a DOP-`workers` region.
+///
+/// Morsel-driven scheduling is elastic: the plan's DOP is an admission
+/// control and accounting property (a DOP-4 query reserves four
+/// scheduler slots), while the executor never runs more OS threads than
+/// the hardware offers — extra threads on an oversubscribed host are
+/// pure context-switch churn. `SQLSHARE_EXEC_THREADS` overrides the
+/// hardware cap (tests use it to force the threaded path on small
+/// machines).
+fn exec_threads(workers: usize) -> usize {
+    static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let cap = *CAP.get_or_init(|| {
+        std::env::var("SQLSHARE_EXEC_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&v| v >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
+    });
+    workers.min(cap)
+}
+
+/// Run `f` once per morsel of `n_rows` input rows on up to `dop` worker
+/// threads, returning the per-morsel results in morsel order.
+///
+/// Workers claim morsel indexes off a shared counter. A failing morsel
+/// does not abort the others (so the error reported is deterministically
+/// the one from the *earliest* morsel, matching serial row order) —
+/// except cancellation, which flips an abort flag so every worker stops
+/// at its next claim.
+fn run_morsels<T: Send>(
+    n_rows: usize,
+    dop: usize,
+    guard: &ExecGuard,
+    f: impl Fn(usize, Range<usize>, &ExecGuard) -> Result<T> + Sync,
+) -> Result<Vec<T>> {
+    let morsels = n_rows.div_ceil(MORSEL_SIZE);
+    let range_of = |m: usize| m * MORSEL_SIZE..((m + 1) * MORSEL_SIZE).min(n_rows);
+    let workers = exec_threads(dop.min(morsels));
+    if workers <= 1 {
+        // Zero or one morsel, or DOP 1: run inline on the caller's
+        // thread (same code path, no thread overhead).
+        let mut out = Vec::with_capacity(morsels);
+        for m in 0..morsels {
+            out.push(f(m, range_of(m), guard)?);
+        }
+        return Ok(out);
+    }
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let mut slots: Vec<Option<Result<T>>> = (0..morsels).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let (next, abort, f) = (&next, &abort, &f);
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let worker_guard = guard.fork();
+                s.spawn(move || {
+                    let mut local: Vec<(usize, Result<T>)> = Vec::new();
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let m = next.fetch_add(1, Ordering::Relaxed);
+                        if m >= morsels {
+                            break;
+                        }
+                        let r = f(m, m * MORSEL_SIZE..((m + 1) * MORSEL_SIZE).min(n_rows), &worker_guard);
+                        let cancelled =
+                            matches!(r, Err(Error::Cancelled(_) | Error::Timeout(_)));
+                        local.push((m, r));
+                        if cancelled {
+                            abort.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            let local = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+            for (m, r) in local {
+                slots[m] = Some(r);
+            }
+        }
+    });
+    // Earliest morsel's error wins — deterministic, and for non-cancel
+    // errors identical to the serial executor's first failing row.
+    for slot in &slots {
+        if let Some(Err(e)) = slot {
+            return Err(e.clone());
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| match s {
+            Some(Ok(t)) => Ok(t),
+            _ => Err(Error::Execution("internal: parallel morsel lost".into())),
+        })
+        .collect()
+}
+
+/// One morsel's pipeline output: borrowed straight from the base table
+/// when no operator had to build new rows, owned otherwise. Keeping the
+/// borrow is the morsel pipeline's structural advantage over the serial
+/// executor, which materializes the full scan output before every
+/// operator — a region that only filters and aggregates never clones a
+/// single base-table row.
+enum MorselRows<'a> {
+    Borrowed(Vec<&'a Row>),
+    Owned(Vec<Row>),
+}
+
+impl<'a> MorselRows<'a> {
+    fn into_owned(self) -> Vec<Row> {
+        match self {
+            MorselRows::Borrowed(rows) => rows.into_iter().cloned().collect(),
+            MorselRows::Owned(rows) => rows,
+        }
+    }
+
+    fn iter<'s>(&'s self) -> Box<dyn Iterator<Item = &'s Row> + 's> {
+        match self {
+            MorselRows::Borrowed(rows) => Box::new(rows.iter().copied()),
+            MorselRows::Owned(rows) => Box::new(rows.iter()),
+        }
+    }
+}
+
+/// Push one morsel of source rows through the region's pipeline.
+///
+/// The seek residual and the region's leading filters are evaluated
+/// against *borrowed* source rows, and the first row-building operator
+/// (compute projection or join probe) also consumes the borrows
+/// directly, so rows are only ever cloned when an operator genuinely
+/// needs to construct output. Row order within the morsel is preserved,
+/// so evaluation errors still surface for the same first row serial
+/// would report.
+fn process_morsel<'a>(
+    region: &Region<'a>,
+    join: Option<&JoinState>,
+    range: Range<usize>,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<MorselRows<'a>> {
+    let mut lead = 0usize;
+    while matches!(region.ops.get(lead), Some(Op::Filter(_))) {
+        lead += 1;
+    }
+    let mut survivors: Vec<&'a Row> = Vec::with_capacity(range.len());
+    'rows: for row in &region.source.rows[range] {
+        guard.tick(1)?;
+        if let Some(p) = region.source.residual {
+            if !eval_predicate(p, row, ctx)? {
+                continue;
+            }
+        }
+        for op in &region.ops[..lead] {
+            if let Op::Filter(p) = op {
+                if !eval_predicate(p, row, ctx)? {
+                    continue 'rows;
+                }
+            }
+        }
+        survivors.push(row);
+    }
+    let owned = match region.ops.get(lead) {
+        None => return Ok(MorselRows::Borrowed(survivors)),
+        Some(Op::Filter(_)) => unreachable!("leading filters consumed above"),
+        Some(Op::Compute(exprs)) => {
+            lead += 1;
+            let mut projected = Vec::with_capacity(survivors.len());
+            for row in survivors {
+                guard.tick(1)?;
+                let mut new_row = Vec::with_capacity(exprs.len());
+                for e in exprs.iter() {
+                    new_row.push(e.eval(row, ctx)?);
+                }
+                projected.push(new_row);
+            }
+            projected
+        }
+        Some(Op::Probe(spec)) => {
+            lead += 1;
+            let state = join.ok_or_else(|| {
+                Error::Execution("internal: parallel probe without build".into())
+            })?;
+            probe(spec, state, survivors, ctx, guard)?
+        }
+    };
+    Ok(MorselRows::Owned(apply_ops(
+        &region.ops[lead..],
+        owned,
+        join,
+        ctx,
+        guard,
+    )?))
+}
+
+fn apply_ops(
+    ops: &[Op],
+    mut rows: Vec<Row>,
+    join: Option<&JoinState>,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<Vec<Row>> {
+    for op in ops {
+        match op {
+            Op::Filter(p) => {
+                let mut kept = Vec::with_capacity(rows.len());
+                for row in rows {
+                    guard.tick(1)?;
+                    if eval_predicate(p, &row, ctx)? {
+                        kept.push(row);
+                    }
+                }
+                rows = kept;
+            }
+            Op::Compute(exprs) => {
+                let mut projected = Vec::with_capacity(rows.len());
+                for row in rows {
+                    guard.tick(1)?;
+                    let mut new_row = Vec::with_capacity(exprs.len());
+                    for e in exprs.iter() {
+                        new_row.push(e.eval(&row, ctx)?);
+                    }
+                    projected.push(new_row);
+                }
+                rows = projected;
+            }
+            Op::Probe(spec) => {
+                let state = join.ok_or_else(|| {
+                    Error::Execution("internal: parallel probe without build".into())
+                })?;
+                let probed = probe(spec, state, rows.iter(), ctx, guard)?;
+                rows = probed;
+            }
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned hash join
+// ---------------------------------------------------------------------------
+
+/// One component of a composite join key. Carries exactly the
+/// normalization the serial executor's textual `join_key` applies —
+/// `Int(1)` and `Float(1.0)` collapse to the same atom (both render as
+/// `1` there; both are `Num(1.0f64.to_bits())` here), all NaNs are one
+/// key, and `-0.0`/`0.0` stay distinct in both (they render `-0`/`0`) —
+/// without paying for float formatting on every row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyAtom {
+    Num(u64),
+    Bool(bool),
+    Date(i32),
+    Text(String),
+}
+
+/// Join key for a row, `None` when any component is NULL (NULL never
+/// joins).
+fn key_atoms(values: &[Value]) -> Option<Vec<KeyAtom>> {
+    let mut key = Vec::with_capacity(values.len());
+    for v in values {
+        key.push(match v {
+            Value::Null => return None,
+            Value::Int(i) => KeyAtom::Num((*i as f64).to_bits()),
+            Value::Float(f) => {
+                let f = if f.is_nan() { f64::NAN } else { *f };
+                KeyAtom::Num(f.to_bits())
+            }
+            Value::Bool(b) => KeyAtom::Bool(*b),
+            Value::Date(d) => KeyAtom::Date(*d),
+            Value::Text(s) => KeyAtom::Text(s.clone()),
+        });
+    }
+    Some(key)
+}
+
+fn partition_of(key: &[KeyAtom], partitions: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+/// Build-side state for a parallel hash join: rows, `dop` hash-table
+/// partitions, and (for Right/Full joins) a lock-free matched bitmap the
+/// probe workers write through shared references.
+struct JoinState {
+    rows: Vec<Row>,
+    parts: Vec<HashMap<Vec<KeyAtom>, Vec<usize>>>,
+    matched: Vec<AtomicBool>,
+}
+
+/// Execute the build subtree serially, then evaluate and partition the
+/// build keys morsel-parallel. Keys are gathered in morsel order and
+/// inserted serially, so each candidate list keeps global build-row
+/// order — the serial executor's match order.
+fn build_join(
+    spec: &ProbeSpec,
+    dop: usize,
+    catalog: &Catalog,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<JoinState> {
+    let rows = exec::execute(spec.build, catalog, ctx, guard)?;
+    let keys: Vec<Vec<Option<Vec<KeyAtom>>>> = run_morsels(rows.len(), dop, guard, |_, range, g| {
+        let mut out = Vec::with_capacity(range.len());
+        for row in &rows[range] {
+            g.tick(1)?;
+            let vals = spec
+                .right_keys
+                .iter()
+                .map(|k| k.eval(row, ctx))
+                .collect::<Result<Vec<_>>>()?;
+            out.push(key_atoms(&vals));
+        }
+        Ok(out)
+    })?;
+    let partitions = dop.max(1);
+    let mut parts: Vec<HashMap<Vec<KeyAtom>, Vec<usize>>> =
+        (0..partitions).map(|_| HashMap::new()).collect();
+    let mut ri = 0usize;
+    for morsel in keys {
+        for key in morsel {
+            if let Some(key) = key {
+                let p = partition_of(&key, partitions);
+                parts[p].entry(key).or_default().push(ri);
+            }
+            ri += 1;
+        }
+    }
+    let matched = (0..rows.len()).map(|_| AtomicBool::new(false)).collect();
+    Ok(JoinState {
+        rows,
+        parts,
+        matched,
+    })
+}
+
+fn probe<'r>(
+    spec: &ProbeSpec,
+    state: &JoinState,
+    input: impl IntoIterator<Item = &'r Row>,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<Vec<Row>> {
+    let partitions = state.parts.len();
+    let track_right = matches!(spec.kind, JoinKind::Right | JoinKind::Full);
+    let mut out = Vec::new();
+    for lrow in input {
+        guard.tick(1)?;
+        let vals = spec
+            .left_keys
+            .iter()
+            .map(|k| k.eval(lrow, ctx))
+            .collect::<Result<Vec<_>>>()?;
+        let mut matched = false;
+        if let Some(key) = key_atoms(&vals) {
+            if let Some(candidates) = state.parts[partition_of(&key, partitions)].get(&key) {
+                for &ri in candidates {
+                    guard.tick(1)?;
+                    let rrow = &state.rows[ri];
+                    let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
+                    combined.extend(lrow.iter().cloned());
+                    combined.extend(rrow.iter().cloned());
+                    let ok = match spec.residual {
+                        None => true,
+                        Some(p) => eval_predicate(p, &combined, ctx)?,
+                    };
+                    if ok {
+                        matched = true;
+                        if track_right {
+                            state.matched[ri].store(true, Ordering::Relaxed);
+                        }
+                        out.push(combined);
+                    }
+                }
+            }
+        }
+        if !matched && matches!(spec.kind, JoinKind::Left | JoinKind::Full) {
+            let mut padded = lrow.clone();
+            padded.extend(exec::null_row(spec.right_width));
+            out.push(padded);
+        }
+    }
+    Ok(out)
+}
+
+/// Unmatched build rows for Right/Full joins, null-padded and pushed
+/// through the stages above the join; appended after the gathered
+/// streams, exactly where the serial executor emits them.
+fn right_tail(
+    spec: &ProbeSpec,
+    state: &JoinState,
+    post_ops: &[Op],
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<Vec<Row>> {
+    if !matches!(spec.kind, JoinKind::Right | JoinKind::Full) {
+        return Ok(Vec::new());
+    }
+    let mut tail = Vec::new();
+    for (ri, rrow) in state.rows.iter().enumerate() {
+        if !state.matched[ri].load(Ordering::Relaxed) {
+            guard.tick(1)?;
+            let mut padded = exec::null_row(spec.left_width);
+            padded.extend(rrow.iter().cloned());
+            tail.push(padded);
+        }
+    }
+    apply_ops(post_ops, tail, None, ctx, guard)
+}
+
+// ---------------------------------------------------------------------------
+// Parallel pre-aggregation
+// ---------------------------------------------------------------------------
+
+/// Sorted (by `cmp_rows` on the key) per-worker partial groups.
+type KeyedPartial = Vec<(Vec<Value>, Vec<Accumulator>)>;
+
+fn new_accs(aggs: &[AggCall]) -> Vec<Accumulator> {
+    aggs.iter()
+        .map(|a| Accumulator::new(a.func, a.distinct))
+        .collect()
+}
+
+fn aggregate_parallel(
+    region: &Region,
+    agg: &AggSpec,
+    join: Option<&JoinState>,
+    dop: usize,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<Vec<Row>> {
+    let tail = match (region.probe_spec(), join) {
+        (Some(spec), Some(state)) => right_tail(spec, state, region.post_join_ops(), ctx, guard)?,
+        _ => Vec::new(),
+    };
+    if agg.group.is_empty() {
+        // Scalar aggregate: one partial per morsel, merged in morsel
+        // order; always exactly one output row, even on empty input.
+        let partials = run_morsels(region.source.rows.len(), dop, guard, |_, range, g| {
+            let rows = process_morsel(region, join, range, ctx, g)?;
+            let mut accs = new_accs(agg.aggs);
+            for row in rows.iter() {
+                g.tick(1)?;
+                exec::feed(&mut accs, agg.aggs, row, ctx)?;
+            }
+            Ok(accs)
+        })?;
+        let mut accs = new_accs(agg.aggs);
+        for partial in &partials {
+            for (acc, p) in accs.iter_mut().zip(partial) {
+                acc.merge(p)?;
+            }
+        }
+        for row in &tail {
+            exec::feed(&mut accs, agg.aggs, row, ctx)?;
+        }
+        return Ok(vec![accs.iter().map(Accumulator::finish).collect()]);
+    }
+    let partials: Vec<KeyedPartial> =
+        run_morsels(region.source.rows.len(), dop, guard, |_, range, g| {
+            let rows = process_morsel(region, join, range, ctx, g)?;
+            partial_keyed(agg, rows.iter(), ctx, g)
+        })?;
+    let mut merged: KeyedPartial = Vec::new();
+    for partial in partials {
+        merged = merge_keyed(merged, partial)?;
+    }
+    if !tail.is_empty() {
+        let tail_partial = partial_keyed(agg, &tail, ctx, guard)?;
+        merged = merge_keyed(merged, tail_partial)?;
+    }
+    Ok(merged
+        .into_iter()
+        .map(|(mut key, accs)| {
+            key.extend(accs.iter().map(Accumulator::finish));
+            key
+        })
+        .collect())
+}
+
+/// Group one morsel's rows: evaluate keys, sort, run-aggregate — the
+/// serial algorithm scoped to a morsel, yielding accumulators instead of
+/// finished values. Rows are only borrowed; sorting moves (key, &row)
+/// pairs, never row payloads.
+fn partial_keyed<'r>(
+    agg: &AggSpec,
+    input: impl IntoIterator<Item = &'r Row>,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<KeyedPartial> {
+    let mut keyed: Vec<(Vec<Value>, &'r Row)> = Vec::new();
+    for row in input {
+        guard.tick(1)?;
+        let key = agg
+            .group
+            .iter()
+            .map(|g| g.eval(row, ctx))
+            .collect::<Result<Vec<_>>>()?;
+        keyed.push((key, row));
+    }
+    keyed.sort_by(|a, b| cmp_rows(&a.0, &b.0));
+    let mut out: KeyedPartial = Vec::new();
+    let mut i = 0usize;
+    while i < keyed.len() {
+        let mut j = i + 1;
+        while j < keyed.len() && cmp_rows(&keyed[j].0, &keyed[i].0).is_eq() {
+            j += 1;
+        }
+        let mut accs = new_accs(agg.aggs);
+        for (_, row) in &keyed[i..j] {
+            exec::feed(&mut accs, agg.aggs, row, ctx)?;
+        }
+        out.push((keyed[i].0.clone(), accs));
+        i = j;
+    }
+    Ok(out)
+}
+
+/// Merge two key-sorted partials. On equal keys the left (earlier
+/// morsel) representative key and accumulator order win, matching the
+/// serial executor's stable sort.
+fn merge_keyed(left: KeyedPartial, right: KeyedPartial) -> Result<KeyedPartial> {
+    let mut out: KeyedPartial = Vec::with_capacity(left.len() + right.len());
+    let mut l = left.into_iter().peekable();
+    let mut r = right.into_iter().peekable();
+    loop {
+        match (l.peek(), r.peek()) {
+            (Some(a), Some(b)) => match cmp_rows(&a.0, &b.0) {
+                std::cmp::Ordering::Less => out.push(l.next().unwrap()),
+                std::cmp::Ordering::Greater => out.push(r.next().unwrap()),
+                std::cmp::Ordering::Equal => {
+                    let (key, mut accs) = l.next().unwrap();
+                    let (_, right_accs) = r.next().unwrap();
+                    for (acc, other) in accs.iter_mut().zip(&right_accs) {
+                        acc.merge(other)?;
+                    }
+                    out.push((key, accs));
+                }
+            },
+            (Some(_), None) => out.push(l.next().unwrap()),
+            (None, Some(_)) => out.push(r.next().unwrap()),
+            (None, None) => break,
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::Engine;
+    use crate::schema::Schema;
+    use crate::table::Table;
+    use crate::value::{DataType, Value};
+    use sqlshare_common::{CancellationToken, Error};
+
+    /// An engine whose every eligible plan is forced parallel at `dop`,
+    /// and a serial twin over the same catalog.
+    fn twins(dop: usize) -> (Engine, Engine) {
+        // Force real worker threads even on single-core CI hosts so the
+        // scoped-thread machinery (claiming, abort, error ordering) is
+        // exercised, not just the inline fallback.
+        std::env::set_var("SQLSHARE_EXEC_THREADS", "4");
+        let mut parallel = Engine::new();
+        let rows: Vec<Vec<Value>> = (0..5000)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 97),
+                    Value::Int(i),
+                    if i % 11 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float((i % 13) as f64)
+                    },
+                ]
+            })
+            .collect();
+        parallel
+            .create_table(Table::new(
+                "facts",
+                Schema::from_pairs([
+                    ("k", DataType::Int),
+                    ("v", DataType::Int),
+                    ("w", DataType::Float),
+                ]),
+                rows,
+            ))
+            .unwrap();
+        let dims: Vec<Vec<Value>> = (0..97)
+            .map(|i| vec![Value::Int(i), Value::Text(format!("dim{i}"))])
+            .collect();
+        parallel
+            .create_table(Table::new(
+                "dims",
+                Schema::from_pairs([("id", DataType::Int), ("name", DataType::Text)]),
+                dims,
+            ))
+            .unwrap();
+        let mut serial = parallel.clone();
+        serial.set_max_dop(1);
+        parallel.set_max_dop(dop);
+        parallel.set_parallelism_cost_threshold(0.0);
+        (parallel, serial)
+    }
+
+    const QUERIES: &[&str] = &[
+        "SELECT v FROM facts WHERE k > 40",
+        "SELECT v + 1, w FROM facts WHERE k % 2 = 0",
+        "SELECT COUNT(*), SUM(v), MIN(w), MAX(w) FROM facts",
+        "SELECT k, COUNT(*), SUM(v) FROM facts GROUP BY k",
+        "SELECT name, COUNT(*) FROM facts JOIN dims ON facts.k = dims.id GROUP BY name",
+        "SELECT v, name FROM facts LEFT JOIN dims ON facts.k = dims.id WHERE v < 500",
+        "SELECT COUNT(DISTINCT k) FROM facts WHERE v > 100",
+    ];
+
+    #[test]
+    fn forced_parallel_matches_serial() {
+        for dop in [2, 4] {
+            let (parallel, serial) = twins(dop);
+            for sql in QUERIES {
+                let p = parallel.run(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+                let s = serial.run(sql).unwrap();
+                assert!(
+                    p.plan.max_parallelism() > 1,
+                    "{sql}: expected a parallel plan at dop {dop}"
+                );
+                assert_eq!(s.plan.max_parallelism(), 1, "{sql}");
+                assert_eq!(p.rows, s.rows, "{sql} at dop {dop}");
+            }
+        }
+    }
+
+    #[test]
+    fn right_join_tail_matches_serial() {
+        let (parallel, serial) = twins(4);
+        // dims rows without facts (none) plus facts keys without dims:
+        // exercise unmatched-build handling both ways.
+        for sql in [
+            "SELECT v, name FROM facts RIGHT JOIN dims ON facts.k = dims.id",
+            "SELECT name FROM facts FULL JOIN dims ON facts.k = dims.id WHERE v IS NULL OR v < 10",
+        ] {
+            let p = parallel.run(sql).unwrap();
+            let s = serial.run(sql).unwrap();
+            assert_eq!(p.rows, s.rows, "{sql}");
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_cancellable() {
+        let (parallel, _) = twins(4);
+        let token = CancellationToken::new();
+        token.cancel(sqlshare_common::CancelReason::Cancelled);
+        let err = parallel
+            .run_with_cancel("SELECT k, COUNT(*) FROM facts GROUP BY k", token)
+            .unwrap_err();
+        assert!(matches!(err, Error::Cancelled(_)), "{err:?}");
+    }
+
+    #[test]
+    fn execution_error_is_deterministic_and_serial_identical() {
+        let (parallel, serial) = twins(4);
+        // SUM over text that is not numeric fails on a data-dependent
+        // row; the parallel executor must surface the same error.
+        let sql = "SELECT SUM(name) FROM facts JOIN dims ON facts.k = dims.id";
+        let p = parallel.run(sql).unwrap_err();
+        let s = serial.run(sql).unwrap_err();
+        assert_eq!(p, s);
+    }
+
+    #[test]
+    fn explain_carries_parallelism_operators() {
+        let (parallel, _) = twins(4);
+        let plan = parallel
+            .explain("SELECT name, COUNT(*) FROM facts JOIN dims ON facts.k = dims.id GROUP BY name")
+            .unwrap();
+        let names = plan.operator_names();
+        assert!(
+            names.contains(&"Parallelism (Gather Streams)"),
+            "{names:?}"
+        );
+        assert!(
+            names.contains(&"Parallelism (Repartition Streams)"),
+            "{names:?}"
+        );
+        assert_eq!(plan.max_parallelism(), 4);
+    }
+}

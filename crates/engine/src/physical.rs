@@ -90,6 +90,20 @@ pub enum PhysOp {
     SequenceProject {
         calls: Vec<WindowCall>,
     },
+    /// `Parallelism (Gather Streams)`: the subtree below runs
+    /// morsel-parallel on `dop` workers; this exchange merges the
+    /// workers' output streams back into one (in morsel order, so the
+    /// result is deterministic and bag-equal to serial execution).
+    Gather {
+        dop: usize,
+    },
+    /// `Parallelism (Repartition Streams)`: marks the build input of a
+    /// parallel Hash Match. At execution the build rows are hashed on
+    /// the join keys and redistributed into `dop` partitions, each with
+    /// its own hash table.
+    Repartition {
+        dop: usize,
+    },
 }
 
 /// A physical plan node with everything EXPLAIN reports.
@@ -109,6 +123,9 @@ pub struct PhysicalPlan {
     pub expr_ops: Vec<String>,
     /// `(base table, column)` pairs referenced at this node.
     pub columns: Vec<(String, String)>,
+    /// Degree of parallelism, on `Parallelism` exchange operators only
+    /// (the SHOWPLAN property the paper's extractor reads).
+    pub degree_of_parallelism: Option<usize>,
     pub children: Vec<PhysicalPlan>,
 }
 
@@ -123,8 +140,22 @@ impl PhysicalPlan {
             filters: Vec::new(),
             expr_ops: Vec::new(),
             columns: Vec::new(),
+            degree_of_parallelism: None,
             children: Vec::new(),
         }
+    }
+
+    /// Highest degree of parallelism of any exchange in the plan; 1 for
+    /// a fully serial plan. The scheduler charges this many worker
+    /// slots for the query.
+    pub fn max_parallelism(&self) -> usize {
+        let mut dop = 1usize;
+        self.visit(&mut |n| {
+            if let Some(d) = n.degree_of_parallelism {
+                dop = dop.max(d);
+            }
+        });
+        dop
     }
 
     /// Subtree total cost (own io + cpu + children).

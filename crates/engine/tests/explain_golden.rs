@@ -1,0 +1,171 @@
+//! Golden EXPLAIN snapshots for parallel plans.
+//!
+//! Each fixture pins the full Listing-1 JSON plan for one planning
+//! shape, including the `Parallelism (Gather Streams)` /
+//! `Parallelism (Repartition Streams)` exchange operators and their
+//! `degreeOfParallelism` property (SQL Server SHOWPLAN names). The
+//! snapshot is compared byte for byte; set `UPDATE_GOLDEN=1` to
+//! regenerate after an intentional planner change.
+
+use sqlshare_engine::explain::plan_to_json;
+use sqlshare_engine::{DataType, Engine, Schema, Table, Value};
+use std::path::PathBuf;
+
+/// A deterministic two-table catalog: a fact table wide enough to clear
+/// any size heuristics and a small dimension table.
+fn fixture_engine() -> Engine {
+    let mut e = Engine::new();
+    e.create_table(Table::new(
+        "orders",
+        Schema::from_pairs([
+            ("id", DataType::Int),
+            ("cust", DataType::Int),
+            ("amount", DataType::Float),
+        ]),
+        (0..4000)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 100),
+                    Value::Float((i % 37) as f64 * 1.5),
+                ]
+            })
+            .collect(),
+    ))
+    .unwrap();
+    e.create_table(Table::new(
+        "customers",
+        Schema::from_pairs([("cid", DataType::Int), ("name", DataType::Text)]),
+        (0..100)
+            .map(|i| vec![Value::Int(i), Value::Text(format!("cust{i}"))])
+            .collect(),
+    ))
+    .unwrap();
+    e
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+/// Compare the plan's JSON against the named golden file (or rewrite the
+/// file when `UPDATE_GOLDEN` is set).
+fn assert_golden(name: &str, sql: &str, engine: &Engine) -> sqlshare_common::json::Json {
+    let plan = engine.explain(sql).unwrap();
+    let json = plan_to_json(sql, &plan);
+    let rendered = json.to_pretty_string();
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1", path.display()));
+    assert_eq!(
+        rendered.trim(),
+        expected.trim(),
+        "EXPLAIN snapshot {name} diverged; run with UPDATE_GOLDEN=1 if intentional"
+    );
+    json
+}
+
+/// Every node of the plan JSON, depth first.
+fn walk(json: &sqlshare_common::json::Json, out: &mut Vec<sqlshare_common::json::Json>) {
+    out.push(json.clone());
+    if let Some(children) = json.get("children").and_then(|c| c.as_array()) {
+        for c in children {
+            walk(c, out);
+        }
+    }
+}
+
+#[test]
+fn parallel_join_plan_snapshot() {
+    let mut e = fixture_engine();
+    e.set_max_dop(4);
+    e.set_parallelism_cost_threshold(0.0);
+    let json = assert_golden(
+        "parallel_join",
+        "SELECT o.id, c.name FROM orders AS o JOIN customers AS c ON o.cust = c.cid WHERE o.amount > 10.0",
+        &e,
+    );
+
+    // Structural guarantees on top of the byte-exact snapshot: a Gather
+    // exchange at the root region and a Repartition exchange feeding the
+    // join's build side, both carrying the degree of parallelism.
+    let mut nodes = Vec::new();
+    walk(&json, &mut nodes);
+    let ops: Vec<&str> = nodes
+        .iter()
+        .filter_map(|n| n.get("physicalOp").and_then(|o| o.as_str()))
+        .collect();
+    assert!(ops.contains(&"Parallelism (Gather Streams)"), "ops: {ops:?}");
+    assert!(ops.contains(&"Parallelism (Repartition Streams)"), "ops: {ops:?}");
+    for n in &nodes {
+        let op = n.get("physicalOp").and_then(|o| o.as_str()).unwrap_or("");
+        if op.starts_with("Parallelism") {
+            assert_eq!(
+                n.get("degreeOfParallelism").and_then(|d| d.as_f64()),
+                Some(4.0),
+                "{op} must carry degreeOfParallelism"
+            );
+            assert_eq!(
+                n.get("children").and_then(|c| c.as_array()).map(<[_]>::len),
+                Some(1),
+                "{op} is a unary exchange"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_aggregate_plan_snapshot() {
+    let mut e = fixture_engine();
+    e.set_max_dop(4);
+    e.set_parallelism_cost_threshold(0.0);
+    let json = assert_golden(
+        "parallel_aggregate",
+        "SELECT cust, COUNT(*) AS n, SUM(amount) AS total FROM orders WHERE amount > 5.0 GROUP BY cust",
+        &e,
+    );
+    let mut nodes = Vec::new();
+    walk(&json, &mut nodes);
+    let gather = nodes
+        .iter()
+        .find(|n| n.get("physicalOp").and_then(|o| o.as_str()) == Some("Parallelism (Gather Streams)"))
+        .expect("aggregate plan must gather parallel streams");
+    assert_eq!(
+        gather.get("degreeOfParallelism").and_then(|d| d.as_f64()),
+        Some(4.0)
+    );
+    assert_eq!(
+        gather.get("logicalOp").and_then(|o| o.as_str()),
+        Some("Gather Streams")
+    );
+}
+
+#[test]
+fn serial_fallback_plan_snapshot() {
+    let mut e = fixture_engine();
+    // DOP capped at 1: the identical query must plan with no exchange
+    // operators and no degreeOfParallelism property anywhere.
+    e.set_max_dop(1);
+    e.set_parallelism_cost_threshold(0.0);
+    let json = assert_golden(
+        "serial_fallback",
+        "SELECT cust, COUNT(*) AS n, SUM(amount) AS total FROM orders WHERE amount > 5.0 GROUP BY cust",
+        &e,
+    );
+    let mut nodes = Vec::new();
+    walk(&json, &mut nodes);
+    for n in &nodes {
+        let op = n.get("physicalOp").and_then(|o| o.as_str()).unwrap_or("");
+        assert!(!op.starts_with("Parallelism"), "serial plan contains {op}");
+        assert!(
+            n.get("degreeOfParallelism").is_none(),
+            "serial plan node {op} carries degreeOfParallelism"
+        );
+    }
+}

@@ -38,6 +38,12 @@ use std::time::{Duration, Instant};
 pub struct SchedulerConfig {
     /// Worker threads executing jobs.
     pub workers: usize,
+    /// Total worker *slots* available to running jobs. A serial query
+    /// holds one slot; an intra-query-parallel job submitted with
+    /// `SubmitOptions::slots = dop` holds `dop`, so a DOP-4 query
+    /// accounts for four workers' worth of capacity. `0` means "same as
+    /// `workers`".
+    pub slots: usize,
     /// Maximum queued (not yet running) jobs per tenant; submissions
     /// beyond this are rejected with [`Error::Overloaded`].
     pub queue_capacity: usize,
@@ -54,6 +60,7 @@ impl Default for SchedulerConfig {
     fn default() -> Self {
         SchedulerConfig {
             workers: 4,
+            slots: 0,
             queue_capacity: 64,
             default_deadline: None,
             start_paused: false,
@@ -71,6 +78,10 @@ pub struct SubmitOptions {
     /// lets the caller hold the cancel handle before the job is even
     /// queued, so a concurrent cancel can never miss the job.
     pub token: Option<CancellationToken>,
+    /// Worker slots this job occupies while running — the query's
+    /// degree of parallelism. `0` means 1; values beyond the
+    /// scheduler's slot capacity are clamped so the job can still run.
+    pub slots: usize,
 }
 
 /// How a job ended, as reported by the job itself.
@@ -106,6 +117,8 @@ struct QueuedJob {
     job: JobFn,
     token: CancellationToken,
     enqueued: Instant,
+    /// Worker slots held while running (clamped at submission).
+    slots: usize,
 }
 
 /// Deadline heap entry, ordered soonest-first.
@@ -141,6 +154,10 @@ struct TenantState {
     weight: u32,
     /// Jobs taken in the current turn.
     burst: u32,
+    /// Jobs currently executing for this tenant.
+    running: usize,
+    /// Worker slots those jobs hold (≥ `running`; DOP-n jobs hold n).
+    running_slots: usize,
     stats: TenantStats,
 }
 
@@ -153,6 +170,9 @@ struct State {
     shutdown: bool,
     next_seq: u64,
     running: usize,
+    /// Worker slots held by running jobs; dequeue is gated on
+    /// `running_slots + job.slots <= config.slots`.
+    running_slots: usize,
 }
 
 struct Shared {
@@ -188,8 +208,10 @@ impl Default for Scheduler {
 
 impl Scheduler {
     pub fn new(config: SchedulerConfig) -> Self {
+        let workers = config.workers.max(1);
         let config = SchedulerConfig {
-            workers: config.workers.max(1),
+            workers,
+            slots: if config.slots == 0 { workers } else { config.slots },
             queue_capacity: config.queue_capacity.max(1),
             ..config
         };
@@ -202,6 +224,7 @@ impl Scheduler {
                 shutdown: false,
                 next_seq: 0,
                 running: 0,
+                running_slots: 0,
             }),
             work_cv: Condvar::new(),
             reaper_cv: Condvar::new(),
@@ -261,6 +284,7 @@ impl Scheduler {
             .or(self.shared.config.default_deadline)
             .map(|d| now + d);
 
+        let slots = opts.slots.max(1).min(self.shared.config.slots);
         let entry = state.tenants.get_mut(tenant).expect("just inserted");
         entry.stats.submitted += 1;
         let newly_active = entry.queue.is_empty();
@@ -268,6 +292,7 @@ impl Scheduler {
             job: Box::new(job),
             token: token.clone(),
             enqueued: now,
+            slots,
         });
         let depth = entry.queue.len() as u64;
         entry.stats.max_queue_depth = entry.stats.max_queue_depth.max(depth);
@@ -317,15 +342,25 @@ impl Scheduler {
         for (name, t) in &state.tenants {
             let mut s = t.stats.clone();
             s.queue_depth = t.queue.len() as u64;
+            s.running = t.running as u64;
+            s.running_slots = t.running_slots as u64;
             totals.add(&s);
             tenants.insert(name.clone(), s);
         }
-        totals.running = state.running as u64;
+        debug_assert_eq!(totals.running, state.running as u64);
+        debug_assert_eq!(totals.running_slots, state.running_slots as u64);
         SchedulerStats {
             workers: self.shared.config.workers,
+            slots: self.shared.config.slots,
             totals,
             tenants,
         }
+    }
+
+    /// Worker slots not currently held by running jobs.
+    pub fn free_slots(&self) -> usize {
+        let state = self.lock();
+        self.shared.config.slots.saturating_sub(state.running_slots)
     }
 
     /// Queued (not yet running) jobs for a tenant.
@@ -389,36 +424,48 @@ impl Drop for Scheduler {
     }
 }
 
-/// Pick the next job according to weighted round-robin over tenants.
-/// Caller must hold the state lock. Returns the job and its tenant.
-fn next_job(state: &mut State) -> Option<(String, QueuedJob)> {
-    loop {
-        let tenant_name = state.rotation.front()?.clone();
+/// Pick the next job according to weighted round-robin over tenants,
+/// gated on free worker slots: a job runs only when `running_slots +
+/// job.slots` fits in `slot_capacity`. First fit over the rotation — a
+/// wide (high-DOP) job at the front of one tenant's queue does not
+/// block another tenant's narrow job from slipping through, but
+/// submission-order within one tenant is preserved. Caller must hold
+/// the state lock. Returns the job and its tenant.
+fn next_job(state: &mut State, slot_capacity: usize) -> Option<(String, QueuedJob)> {
+    let mut idx = 0;
+    while idx < state.rotation.len() {
+        let tenant_name = state.rotation[idx].clone();
         let tenant = state
             .tenants
             .get_mut(&tenant_name)
             .expect("rotation entry has tenant state");
-        match tenant.queue.pop_front() {
-            Some(job) => {
+        match tenant.queue.front() {
+            None => {
+                // Stale rotation entry (queue drained elsewhere).
+                tenant.burst = 0;
+                state.rotation.remove(idx);
+            }
+            Some(job) if state.running_slots + job.slots > slot_capacity => {
+                // Doesn't fit right now; try the next tenant.
+                idx += 1;
+            }
+            Some(_) => {
+                let job = tenant.queue.pop_front().expect("peeked");
                 tenant.burst += 1;
                 let exhausted = tenant.queue.is_empty();
                 let turn_over = tenant.burst >= tenant.weight.max(1);
                 if exhausted || turn_over {
                     tenant.burst = 0;
-                    state.rotation.pop_front();
+                    state.rotation.remove(idx);
                     if !exhausted {
                         state.rotation.push_back(tenant_name.clone());
                     }
                 }
                 return Some((tenant_name, job));
             }
-            None => {
-                // Stale rotation entry (queue drained elsewhere).
-                tenant.burst = 0;
-                state.rotation.pop_front();
-            }
         }
     }
+    None
 }
 
 fn worker_loop(shared: &Shared) {
@@ -428,10 +475,21 @@ fn worker_loop(shared: &Shared) {
         // tripped, so they unwind quickly) to keep the invariant that
         // every accepted job eventually runs and records an outcome.
         let can_take = state.shutdown || !state.paused;
-        let job = if can_take { next_job(&mut state) } else { None };
+        let job = if can_take {
+            next_job(&mut state, shared.config.slots)
+        } else {
+            None
+        };
         match job {
             Some((tenant_name, queued)) => {
+                let slots = queued.slots;
                 state.running += 1;
+                state.running_slots += slots;
+                {
+                    let tenant = state.tenants.entry(tenant_name.clone()).or_default();
+                    tenant.running += 1;
+                    tenant.running_slots += slots;
+                }
                 drop(state);
 
                 let queue_wait = queued.enqueued.elapsed();
@@ -445,7 +503,10 @@ fn worker_loop(shared: &Shared) {
 
                 state = shared.state.lock().expect("scheduler lock poisoned");
                 state.running -= 1;
+                state.running_slots -= slots;
                 let tenant = state.tenants.entry(tenant_name).or_default();
+                tenant.running -= 1;
+                tenant.running_slots -= slots;
                 let stats = &mut tenant.stats;
                 stats.total_queue_wait_micros += queue_wait.as_micros() as u64;
                 stats.total_exec_micros += exec.as_micros() as u64;

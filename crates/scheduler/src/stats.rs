@@ -25,8 +25,12 @@ pub struct TenantStats {
     /// Jobs currently queued (snapshot; only meaningful in
     /// [`SchedulerStats`] output).
     pub queue_depth: u64,
-    /// Jobs currently executing (aggregate only).
+    /// Jobs currently executing (snapshot).
     pub running: u64,
+    /// Worker slots those jobs hold (snapshot). A serial query holds
+    /// one; a DOP-n parallel query holds n, so this can exceed
+    /// `running`.
+    pub running_slots: u64,
     /// Highest queue depth observed.
     pub max_queue_depth: u64,
     /// Total time jobs spent queued before starting.
@@ -70,6 +74,8 @@ impl TenantStats {
         self.cancelled += other.cancelled;
         self.rejected += other.rejected;
         self.queue_depth += other.queue_depth;
+        self.running += other.running;
+        self.running_slots += other.running_slots;
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
         self.total_queue_wait_micros += other.total_queue_wait_micros;
         self.total_exec_micros += other.total_exec_micros;
@@ -81,6 +87,9 @@ impl TenantStats {
 pub struct SchedulerStats {
     /// Worker threads in the pool.
     pub workers: usize,
+    /// Total worker slots available to running jobs (≥ `workers` only
+    /// if configured so; a DOP-n query holds n of them).
+    pub slots: usize,
     /// Aggregate counters over all tenants.
     pub totals: TenantStats,
     /// Per-tenant counters, keyed by tenant name (sorted for stable

@@ -10,8 +10,8 @@ fn single_worker_paused() -> Scheduler {
     Scheduler::new(SchedulerConfig {
         workers: 1,
         queue_capacity: 64,
-        default_deadline: None,
         start_paused: true,
+        ..Default::default()
     })
 }
 
@@ -121,8 +121,8 @@ fn admission_control_rejects_at_capacity() {
     let sched = Scheduler::new(SchedulerConfig {
         workers: 1,
         queue_capacity: 2,
-        default_deadline: None,
         start_paused: true,
+        ..Default::default()
     });
     for _ in 0..2 {
         sched
@@ -296,12 +296,181 @@ fn stats_track_queue_wait_and_exec_time() {
 }
 
 #[test]
+fn parallel_job_holds_multiple_slots() {
+    // A DOP-4 query consumes 4 worker slots: while it runs, a serial
+    // job from another tenant must wait even though worker threads are
+    // free.
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    let (hold_tx, hold_rx) = mpsc::channel::<()>();
+    let (started_tx, started_rx) = mpsc::channel();
+    sched
+        .submit(
+            "wide",
+            SubmitOptions {
+                slots: 4,
+                ..Default::default()
+            },
+            move |_| {
+                started_tx.send(()).unwrap();
+                hold_rx.recv().unwrap();
+                JobDisposition::Completed
+            },
+        )
+        .unwrap();
+    started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    let narrow_ran = Arc::new(AtomicUsize::new(0));
+    let nr = Arc::clone(&narrow_ran);
+    sched
+        .submit("narrow", SubmitOptions::default(), move |_| {
+            nr.fetch_add(1, AtomicOrdering::SeqCst);
+            JobDisposition::Completed
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let stats = sched.stats();
+    assert_eq!(stats.totals.running, 1);
+    assert_eq!(stats.totals.running_slots, 4);
+    assert_eq!(stats.tenants["wide"].running_slots, 4);
+    assert_eq!(sched.free_slots(), 0);
+    assert_eq!(narrow_ran.load(AtomicOrdering::SeqCst), 0, "narrow job must be slot-gated");
+    hold_tx.send(()).unwrap();
+    assert!(sched.wait_idle(Duration::from_secs(5)));
+    assert_eq!(narrow_ran.load(AtomicOrdering::SeqCst), 1);
+    let stats = sched.stats();
+    assert_eq!(stats.totals.running_slots, 0);
+    assert_eq!(sched.free_slots(), stats.slots);
+}
+
+#[test]
+fn narrow_job_slips_past_queued_wide_job() {
+    // First fit over the rotation: a queued DOP-2 job that doesn't fit
+    // must not block another tenant's serial job from using the one
+    // free slot.
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let (hold_tx, hold_rx) = mpsc::channel::<()>();
+    let (started_tx, started_rx) = mpsc::channel();
+    sched
+        .submit("holder", SubmitOptions::default(), move |_| {
+            started_tx.send(()).unwrap();
+            hold_rx.recv().unwrap();
+            JobDisposition::Completed
+        })
+        .unwrap();
+    started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    let order = Arc::new(Mutex::new(Vec::new()));
+    let o = Arc::clone(&order);
+    sched
+        .submit(
+            "wide",
+            SubmitOptions {
+                slots: 2,
+                ..Default::default()
+            },
+            move |_| {
+                o.lock().unwrap().push("wide");
+                JobDisposition::Completed
+            },
+        )
+        .unwrap();
+    let o = Arc::clone(&order);
+    let (narrow_done_tx, narrow_done_rx) = mpsc::channel();
+    sched
+        .submit("narrow", SubmitOptions::default(), move |_| {
+            o.lock().unwrap().push("narrow");
+            narrow_done_tx.send(()).unwrap();
+            JobDisposition::Completed
+        })
+        .unwrap();
+    // The narrow job runs in the free slot while the wide one waits.
+    narrow_done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(order.lock().unwrap().clone(), vec!["narrow"]);
+    assert_eq!(sched.queue_depth("wide"), 1);
+    hold_tx.send(()).unwrap();
+    assert!(sched.wait_idle(Duration::from_secs(5)));
+    assert_eq!(order.lock().unwrap().clone(), vec!["narrow", "wide"]);
+}
+
+#[test]
+fn cancelled_wide_job_releases_all_slots() {
+    // Cancelling a DOP-4 job mid-execution must return every slot to
+    // the pool promptly.
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    let (started_tx, started_rx) = mpsc::channel();
+    let ticket = sched
+        .submit(
+            "kate",
+            SubmitOptions {
+                slots: 4,
+                ..Default::default()
+            },
+            move |ctx| {
+                started_tx.send(()).unwrap();
+                let start = Instant::now();
+                while !ctx.token.is_cancelled() {
+                    if start.elapsed() > Duration::from_secs(10) {
+                        return JobDisposition::Failed; // never hit
+                    }
+                    std::thread::yield_now();
+                }
+                JobDisposition::Cancelled
+            },
+        )
+        .unwrap();
+    started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(sched.free_slots(), 0);
+    assert!(ticket.token.cancel(CancelReason::Cancelled));
+    assert!(sched.wait_idle(Duration::from_secs(5)));
+    let stats = sched.stats();
+    assert_eq!(stats.tenants["kate"].cancelled, 1);
+    assert_eq!(stats.totals.running_slots, 0);
+    assert_eq!(sched.free_slots(), stats.slots);
+}
+
+#[test]
+fn oversized_slot_request_is_clamped_to_capacity() {
+    // A job asking for more slots than exist must still be runnable.
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let (hold_tx, hold_rx) = mpsc::channel::<()>();
+    let (started_tx, started_rx) = mpsc::channel();
+    sched
+        .submit(
+            "greedy",
+            SubmitOptions {
+                slots: 100,
+                ..Default::default()
+            },
+            move |_| {
+                started_tx.send(()).unwrap();
+                hold_rx.recv().unwrap();
+                JobDisposition::Completed
+            },
+        )
+        .unwrap();
+    started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(sched.stats().totals.running_slots, 2);
+    hold_tx.send(()).unwrap();
+    assert!(sched.wait_idle(Duration::from_secs(5)));
+}
+
+#[test]
 fn default_deadline_applies_when_not_overridden() {
     let sched = Scheduler::new(SchedulerConfig {
         workers: 1,
         queue_capacity: 8,
         default_deadline: Some(Duration::from_millis(20)),
-        start_paused: false,
+        ..Default::default()
     });
     sched
         .submit("judy", SubmitOptions::default(), |ctx| {

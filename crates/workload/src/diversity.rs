@@ -117,6 +117,7 @@ mod tests {
                 .collect(),
             filters: vec![],
             est_cost: 0.0,
+            max_dop: 1,
             plan: Json::Null,
         }
     }

@@ -141,6 +141,7 @@ mod tests {
             columns: vec![],
             filters: vec![],
             est_cost: 0.0,
+            max_dop: 1,
             plan: sqlshare_common::json::Json::Null,
         };
         let corpus = vec![q(&["like", "fPhotoTypeN", "GetRangeThroughConvert"])];

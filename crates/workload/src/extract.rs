@@ -39,6 +39,10 @@ pub struct ExtractedQuery {
     pub filters: Vec<String>,
     /// Optimizer total cost of the root.
     pub est_cost: f64,
+    /// Highest `degreeOfParallelism` any plan node carries (1 for a
+    /// fully serial plan — the paper-era backend likewise reports DOP
+    /// only on Parallelism exchanges).
+    pub max_dop: usize,
     /// The JSON plan itself (for template extraction and reuse analysis).
     pub plan: Json,
 }
@@ -60,7 +64,16 @@ pub fn extract_entry(entry: &QueryLogEntry) -> Option<ExtractedQuery> {
     let mut tables = Vec::new();
     let mut columns = Vec::new();
     let mut filters = Vec::new();
-    walk_plan(&plan, &mut ops, &mut expressions, &mut tables, &mut columns, &mut filters);
+    let mut max_dop = 1usize;
+    walk_plan(
+        &plan,
+        &mut ops,
+        &mut expressions,
+        &mut tables,
+        &mut columns,
+        &mut filters,
+        &mut max_dop,
+    );
     tables.sort();
     tables.dedup();
     columns.sort();
@@ -84,6 +97,7 @@ pub fn extract_entry(entry: &QueryLogEntry) -> Option<ExtractedQuery> {
         columns,
         filters,
         est_cost: plan.get("total").and_then(Json::as_f64).unwrap_or(0.0),
+        max_dop,
         plan,
     })
 }
@@ -100,9 +114,13 @@ fn walk_plan(
     tables: &mut Vec<String>,
     columns: &mut Vec<(String, String)>,
     filters: &mut Vec<String>,
+    max_dop: &mut usize,
 ) {
     if let Some(op) = node.get("physicalOp").and_then(Json::as_str) {
         ops.push(op.to_string());
+    }
+    if let Some(dop) = node.get("degreeOfParallelism").and_then(Json::as_f64) {
+        *max_dop = (*max_dop).max(dop as usize);
     }
     if let Some(Json::Array(exprs)) = node.get("expressions") {
         for e in exprs {
@@ -132,7 +150,7 @@ fn walk_plan(
     }
     if let Some(children) = node.get("children").and_then(Json::as_array) {
         for c in children {
-            walk_plan(c, ops, expressions, tables, columns, filters);
+            walk_plan(c, ops, expressions, tables, columns, filters, max_dop);
         }
     }
 }
@@ -199,6 +217,36 @@ mod tests {
         assert!(c[0].filters.iter().any(|f| f.contains("GT")));
         assert!(c[0].est_cost > 0.0);
         assert_eq!(c[0].length, c[0].sql.chars().count());
+    }
+
+    #[test]
+    fn serial_plans_report_dop_one() {
+        let c = corpus();
+        assert!(c.iter().all(|q| q.max_dop == 1));
+    }
+
+    #[test]
+    fn parallel_plans_report_degree_of_parallelism() {
+        let mut s = SqlShare::new();
+        s.register_user("ada", "a@uw.edu").unwrap();
+        s.upload(
+            "ada",
+            "t",
+            "k,v\n1,0.5\n2,0.7\n3,0.9\n",
+            &IngestOptions::default(),
+        )
+        .unwrap();
+        s.set_parallelism(4, 0.0);
+        s.run_query("ada", "SELECT k, SUM(v) FROM t WHERE v > 0.1 GROUP BY k")
+            .unwrap();
+        let log = s.log();
+        let c = extract_corpus(log.entries());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].max_dop, 4);
+        assert!(c[0]
+            .ops
+            .iter()
+            .any(|o| o == "Parallelism (Gather Streams)"));
     }
 
     #[test]

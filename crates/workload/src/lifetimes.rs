@@ -153,6 +153,7 @@ mod tests {
             columns: vec![],
             filters: vec![],
             est_cost: 1.0,
+            max_dop: 1,
             plan: Json::Null,
         }
     }

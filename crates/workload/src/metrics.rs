@@ -164,6 +164,7 @@ mod tests {
             columns: vec![("t".into(), "c".into())],
             filters: vec![],
             est_cost: 1.0,
+            max_dop: 1,
             plan: Json::Null,
         }
     }

@@ -131,6 +131,7 @@ mod tests {
             columns: vec![],
             filters: vec![],
             est_cost: 1.0,
+            max_dop: 1,
             // Distinct template per SQL string for these tests.
             plan: Json::object([("physicalOp", Json::str(sql.to_string()))]),
         }

@@ -219,6 +219,7 @@ mod tests {
             columns: vec![],
             filters: vec![],
             est_cost: 0.0,
+            max_dop: 1,
             plan: Json::Null,
         };
         let corpus = vec![

@@ -292,6 +292,103 @@ proptest! {
     }
 }
 
+// ---- parallel execution invariants ------------------------------------------
+//
+// The same engine, at any degree of parallelism, must be observationally
+// identical: morsel-driven execution gathers results in morsel order, so
+// even row order is preserved. These properties re-run executor shapes
+// (joins, GROUP BY aggregates, set operations) at DOP 1 versus a sampled
+// DOP ∈ {2, 4} with the cost threshold zeroed so every eligible plan is
+// forced through the parallel path regardless of input size.
+
+/// A serial twin and a forced-parallel twin over the same rows.
+fn dop_pair(rows: &[(i64, i64)], dop: usize) -> (Engine, Engine) {
+    let mut serial = engine_with(rows);
+    serial.set_max_dop(1);
+    let mut parallel = engine_with(rows);
+    parallel.set_max_dop(dop);
+    parallel.set_parallelism_cost_threshold(0.0);
+    (serial, parallel)
+}
+
+fn dop_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(2usize), Just(4usize)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Inner and left self-joins are identical at any DOP, row for row.
+    #[test]
+    fn joins_identical_across_dop(
+        rows in prop::collection::vec((0i64..7, -30i64..30), 0..60),
+        dop in dop_strategy(),
+    ) {
+        let (serial, parallel) = dop_pair(&rows, dop);
+        // The key-equijoin always plans a (parallel) merge join; the
+        // non-key joins may legitimately cost out to a serial nested
+        // loops on tiny inputs, but whatever plan wins must agree.
+        let merge = "SELECT a.k, a.v, b.v FROM t AS a JOIN t AS b ON a.k = b.k";
+        prop_assert!(parallel.plan_dop(merge) > 1, "join did not plan parallel: {}", merge);
+        for sql in [
+            merge,
+            "SELECT a.k, b.v FROM t AS a LEFT JOIN t AS b ON a.v = b.v",
+            "SELECT a.k, b.v FROM t AS a LEFT JOIN t AS b ON a.v = b.k",
+        ] {
+            let s = serial.run(sql).unwrap();
+            let p = parallel.run(sql).unwrap();
+            prop_assert_eq!(s.rows, p.rows, "sql: {}", sql);
+        }
+    }
+
+    /// GROUP BY aggregates merge partial accumulators into exactly the
+    /// serial result (all-int inputs, so no float merge slack).
+    #[test]
+    fn aggregates_identical_across_dop(
+        rows in prop::collection::vec((-4i64..4, -50i64..50), 0..80),
+        dop in dop_strategy(),
+    ) {
+        let (serial, parallel) = dop_pair(&rows, dop);
+        for sql in [
+            "SELECT k, COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo, MAX(v) AS hi \
+             FROM t GROUP BY k ORDER BY k",
+            "SELECT COUNT(*), COUNT(DISTINCT v), SUM(v), AVG(v) FROM t",
+            "SELECT k, COUNT(DISTINCT v) FROM t WHERE v <> 0 GROUP BY k ORDER BY k",
+        ] {
+            prop_assert!(
+                parallel.plan_dop(sql) > 1,
+                "aggregate did not plan parallel: {}", sql
+            );
+            let s = serial.run(sql).unwrap();
+            let p = parallel.run(sql).unwrap();
+            prop_assert_eq!(s.rows, p.rows, "sql: {}", sql);
+        }
+    }
+
+    /// Set operations over parallel-eligible arms are DOP-invariant,
+    /// including their deduplication semantics.
+    #[test]
+    fn set_operations_identical_across_dop(
+        rows in prop::collection::vec((-6i64..6, -6i64..6), 0..40),
+        pivot in -6i64..6,
+        dop in dop_strategy(),
+    ) {
+        let (serial, parallel) = dop_pair(&rows, dop);
+        for op in ["UNION", "UNION ALL", "EXCEPT", "INTERSECT"] {
+            let sql = format!(
+                "SELECT k, v FROM t WHERE v < {pivot} {op} SELECT k, v FROM t WHERE v >= {pivot}"
+            );
+            prop_assert!(
+                parallel.plan_dop(&sql) > 1,
+                "set-op arm did not plan parallel: {}", sql
+            );
+            let s = serial.run(&sql).unwrap();
+            let p = parallel.run(&sql).unwrap();
+            prop_assert_eq!(s.rows, p.rows, "sql: {}", sql);
+        }
+    }
+}
+
 // ---- ingest invariants ------------------------------------------------------
 
 proptest! {

@@ -1,0 +1,202 @@
+//! Serial-vs-parallel differential harness.
+//!
+//! Every query the workload generators produce — the SQLShare corpus of
+//! hand-written queries and the SDSS template corpus — is replayed twice
+//! against the generated catalog: once with parallelism disabled
+//! (`DOP = 1`) and once with the optimizer forced to parallelize every
+//! eligible plan at `DOP = 4`. The two runs must agree:
+//!
+//! - queries with a top-level `ORDER BY` must match in exact row order;
+//! - all other queries must match as bags (compared after sorting both
+//!   sides with the same total order);
+//! - float cells may differ in the last few ulps because parallel
+//!   pre-aggregation merges partial accumulators in morsel order rather
+//!   than row order — everything else must be identical;
+//! - if the serial run errors, the parallel run must error with the
+//!   same error kind.
+
+use sqlshare_engine::{Engine, Value};
+use sqlshare_sql::parser::parse_query;
+use sqlshare_wlgen::{sdss, sqlshare as wl, GeneratorConfig};
+
+/// Relative tolerance for float cells (parallel aggregate merge order).
+const FLOAT_RTOL: f64 = 1e-9;
+
+fn floats_close(a: f64, b: f64) -> bool {
+    if a == b || (a.is_nan() && b.is_nan()) {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    (a - b).abs() <= FLOAT_RTOL * scale.max(1.0)
+}
+
+fn values_match(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => floats_close(*x, *y),
+        _ => a == b,
+    }
+}
+
+fn rows_match(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| values_match(x, y))
+}
+
+/// Total order over values for bag comparison. Exact cells (keys) sort
+/// identically on both sides; nearly-equal float cells only ever differ
+/// within a group whose exact key cells already pin the row's position.
+fn cmp_value(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    use Value::*;
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Null => 0,
+            Bool(_) => 1,
+            Int(_) | Float(_) => 2,
+            Date(_) => 3,
+            Text(_) => 4,
+        }
+    }
+    match (a, b) {
+        (Null, Null) => Ordering::Equal,
+        (Bool(x), Bool(y)) => x.cmp(y),
+        (Int(x), Int(y)) => x.cmp(y),
+        (Float(x), Float(y)) => x.total_cmp(y),
+        (Int(x), Float(y)) => (*x as f64).total_cmp(y),
+        (Float(x), Int(y)) => x.total_cmp(&(*y as f64)),
+        (Date(x), Date(y)) => x.cmp(y),
+        (Text(x), Text(y)) => x.cmp(y),
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+fn cmp_row(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = cmp_value(x, y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// Does the query pin its top-level row order?
+fn has_order_by(sql: &str) -> bool {
+    parse_query(sql).map(|q| !q.order_by.is_empty()).unwrap_or(false)
+}
+
+struct Tally {
+    compared: usize,
+    errored: usize,
+    parallel_plans: usize,
+}
+
+/// Replay every logged query from `corpus_name` at DOP 1 and DOP 4 and
+/// compare outcomes.
+fn run_corpus(corpus_name: &str, corpus: sqlshare_wlgen::sqlshare::GeneratedCorpus) -> Tally {
+    let mut serial: Engine = corpus.service.engine().clone();
+    serial.set_max_dop(1);
+    let mut parallel = corpus.service.engine().clone();
+    parallel.set_max_dop(4);
+    // Force every eligible plan parallel so coverage does not depend on
+    // the dev-scale corpus clearing the cost threshold.
+    parallel.set_parallelism_cost_threshold(0.0);
+
+    let mut tally = Tally {
+        compared: 0,
+        errored: 0,
+        parallel_plans: 0,
+    };
+
+    let entries: Vec<(String, String)> = corpus
+        .service
+        .log()
+        .entries()
+        .iter()
+        .map(|e| (e.user.clone(), e.sql.clone()))
+        .collect();
+    assert!(
+        !entries.is_empty(),
+        "{corpus_name}: generator produced an empty query log"
+    );
+
+    for (user, sql) in &entries {
+        // The log stores the user's SQL; qualify it the way the service
+        // did at submission so the bare engines resolve dataset names.
+        // Queries that no longer bind (e.g. against later-deleted
+        // datasets) must fail identically on both engines below.
+        let canonical = match corpus.service.canonicalize(user, sql) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+
+        if parallel.plan_dop(&canonical) > 1 {
+            tally.parallel_plans += 1;
+        }
+
+        let s = serial.run(&canonical);
+        let p = parallel.run(&canonical);
+        match (s, p) {
+            (Ok(s), Ok(p)) => {
+                assert_eq!(
+                    s.rows.len(),
+                    p.rows.len(),
+                    "{corpus_name}: row count diverged for {canonical}"
+                );
+                let (mut srows, mut prows) = (s.rows, p.rows);
+                if !has_order_by(&canonical) {
+                    srows.sort_by(|a, b| cmp_row(a, b));
+                    prows.sort_by(|a, b| cmp_row(a, b));
+                }
+                for (i, (sr, pr)) in srows.iter().zip(&prows).enumerate() {
+                    assert!(
+                        rows_match(sr, pr),
+                        "{corpus_name}: row {i} diverged for {canonical}\n  \
+                         serial:   {sr:?}\n  parallel: {pr:?}"
+                    );
+                }
+                tally.compared += 1;
+            }
+            (Err(se), Err(pe)) => {
+                assert_eq!(
+                    se.kind(),
+                    pe.kind(),
+                    "{corpus_name}: error kind diverged for {canonical}\n  \
+                     serial:   {se}\n  parallel: {pe}"
+                );
+                tally.errored += 1;
+            }
+            (Ok(_), Err(pe)) => {
+                panic!("{corpus_name}: parallel-only failure for {canonical}: {pe}")
+            }
+            (Err(se), Ok(_)) => {
+                panic!("{corpus_name}: serial-only failure for {canonical}: {se}")
+            }
+        }
+    }
+
+    assert!(
+        tally.compared > 0,
+        "{corpus_name}: no successful queries were compared"
+    );
+    tally
+}
+
+#[test]
+fn sqlshare_corpus_serial_vs_parallel() {
+    let tally = run_corpus("sqlshare", wl::generate(&GeneratorConfig::dev()));
+    // The hand-written corpus must actually exercise the parallel
+    // executor, not just fall back to serial plans everywhere.
+    assert!(
+        tally.parallel_plans > 0,
+        "no SQLShare query planned a Parallelism operator at forced DOP 4"
+    );
+}
+
+#[test]
+fn sdss_corpus_serial_vs_parallel() {
+    let tally = run_corpus("sdss", sdss::generate(&GeneratorConfig::dev()));
+    assert!(
+        tally.parallel_plans > 0,
+        "no SDSS query planned a Parallelism operator at forced DOP 4"
+    );
+}
