@@ -657,10 +657,15 @@ impl SqlShare {
         self.insert_job_with_token(id, user, sql, JobStatus::Queued, token.clone());
 
         let engine = self.engine_snapshot();
-        // The optimizer's degree of parallelism decides how many worker
-        // slots the job reserves: a DOP-4 hash join accounts for four
-        // workers' worth of backend capacity, not one.
-        let dop = engine.plan_dop(&canonical);
+        // Plan once on the submit path: the optimizer's degree of
+        // parallelism decides how many worker slots the job reserves (a
+        // DOP-4 hash join accounts for four workers' worth of backend
+        // capacity, not one), and the worker executes this same plan
+        // against the same snapshot instead of planning a second time.
+        // Planning failures keep the normal job lifecycle: the stored
+        // error surfaces when the job is picked up, like any failure.
+        let prepared = engine.prepare(&canonical);
+        let dop = prepared.as_ref().map(|p| p.dop()).unwrap_or(1);
         let jobs = Arc::clone(&self.jobs);
         let log = Arc::clone(&self.log);
         let user_owned = user.to_string();
@@ -702,7 +707,13 @@ impl SqlShare {
                     j.queue_wait_micros = wait;
                     j.status = JobStatus::Running;
                 });
-                match engine.run_with_cancel(&canonical, ctx.token.clone()) {
+                let outcome = match &prepared {
+                    Ok(plan) => engine.run_prepared_with_cancel(plan, ctx.token.clone()),
+                    // The snapshot is immutable, so re-planning could
+                    // only reproduce the same error; report it directly.
+                    Err(err) => Err(err.clone()),
+                };
+                match outcome {
                     Ok(output) => {
                         let tables = output.plan.base_tables();
                         let plan_json = output.plan_json(&sql_owned);

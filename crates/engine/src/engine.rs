@@ -28,6 +28,19 @@ fn max_dop_from_env() -> usize {
         .unwrap_or(4)
 }
 
+/// Default OS worker-thread cap for parallel regions: the hardware
+/// parallelism, overridable via `SQLSHARE_EXEC_THREADS`. Read once at
+/// engine construction (not per execution, and never through mutable
+/// process-global state) so a configured engine behaves deterministically
+/// regardless of what the environment does afterwards.
+fn exec_threads_from_env() -> usize {
+    std::env::var("SQLSHARE_EXEC_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or_else(exec::hardware_threads)
+}
+
 /// Result of running one query.
 #[derive(Debug, Clone)]
 pub struct QueryOutput {
@@ -56,6 +69,27 @@ pub struct Engine {
     /// Plan cost above which the optimizer considers DOP > 1. Zero or
     /// negative forces parallelism on every eligible plan (test hook).
     parallel_threshold: f64,
+    /// OS worker-thread cap for parallel regions (the physical side of
+    /// DOP); carried on every [`ExecGuard`] this engine creates.
+    exec_threads: usize,
+}
+
+/// A query planned once for later execution: the bound output schema and
+/// the parallelized physical plan. The service plans on the submit path
+/// to learn the degree of parallelism (slot reservation), then executes
+/// this same plan on a worker instead of planning the query a second
+/// time.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    pub schema: Schema,
+    pub plan: PhysicalPlan,
+}
+
+impl PreparedQuery {
+    /// The degree of parallelism the plan will run at (1 = serial).
+    pub fn dop(&self) -> usize {
+        self.plan.max_parallelism()
+    }
 }
 
 impl Default for Engine {
@@ -71,12 +105,29 @@ impl Engine {
             ctx: EvalContext::default(),
             max_dop: max_dop_from_env(),
             parallel_threshold: crate::cost::PARALLELISM_COST_THRESHOLD,
+            exec_threads: exec_threads_from_env(),
         }
     }
 
     /// Cap per-query parallelism (like `MAXDOP`); 1 disables it.
     pub fn set_max_dop(&mut self, max_dop: usize) {
         self.max_dop = max_dop.max(1);
+    }
+
+    /// Cap the OS worker threads parallel regions may use, independent
+    /// of the plan's DOP (tests use this to force real worker threads on
+    /// single-core hosts without touching process-global state).
+    pub fn set_exec_threads(&mut self, threads: usize) {
+        self.exec_threads = threads.max(1);
+    }
+
+    /// An [`ExecGuard`] carrying this engine's worker-thread cap.
+    fn guard(&self, token: Option<CancellationToken>) -> ExecGuard {
+        let guard = match token {
+            Some(token) => ExecGuard::new(token),
+            None => ExecGuard::unbounded(),
+        };
+        guard.with_exec_threads(self.exec_threads)
     }
 
     /// The configured parallelism cap.
@@ -146,7 +197,7 @@ impl Engine {
 
     /// Run a query end to end.
     pub fn run(&self, sql: &str) -> Result<QueryOutput> {
-        self.run_guarded(sql, &ExecGuard::unbounded())
+        self.run_guarded(sql, &self.guard(None))
     }
 
     /// Run a query end to end, polling `token` as rows are processed.
@@ -154,7 +205,33 @@ impl Engine {
     /// rows with the token's error ([`Error::Timeout`] or
     /// [`Error::Cancelled`]).
     pub fn run_with_cancel(&self, sql: &str, token: CancellationToken) -> Result<QueryOutput> {
-        self.run_guarded(sql, &ExecGuard::new(token))
+        self.run_guarded(sql, &self.guard(Some(token)))
+    }
+
+    /// Parse, bind, optimize, and plan `sql` without executing it.
+    /// Uncorrelated subqueries are executed during planning, as in
+    /// [`Engine::explain`].
+    pub fn prepare(&self, sql: &str) -> Result<PreparedQuery> {
+        self.prepare_guarded(sql, &self.guard(None))
+    }
+
+    /// Execute a previously [`Engine::prepare`]d plan, polling `token`.
+    /// The catalog must be the one the query was prepared against (the
+    /// service prepares and executes on the same immutable snapshot).
+    pub fn run_prepared_with_cancel(
+        &self,
+        prepared: &PreparedQuery,
+        token: CancellationToken,
+    ) -> Result<QueryOutput> {
+        let guard = self.guard(Some(token));
+        let started = Instant::now();
+        let rows = exec::execute(&prepared.plan, &self.catalog, &self.ctx, &guard)?;
+        Ok(QueryOutput {
+            schema: prepared.schema.clone(),
+            rows,
+            plan: prepared.plan.clone(),
+            elapsed_micros: started.elapsed().as_micros() as u64,
+        })
     }
 
     /// Run a query at a fixed degree of parallelism, overriding the
@@ -167,8 +244,7 @@ impl Engine {
         engine.run(sql)
     }
 
-    fn run_guarded(&self, sql: &str, guard: &ExecGuard) -> Result<QueryOutput> {
-        let started = Instant::now();
+    fn prepare_guarded(&self, sql: &str, guard: &ExecGuard) -> Result<PreparedQuery> {
         let statement = parse_statement(sql)?;
         let query = match statement {
             Statement::Select(q) => q,
@@ -184,11 +260,17 @@ impl Engine {
         let logical = optimize(logical);
         let plan = plan_physical_with(&logical, &self.catalog, &self.ctx, guard)?;
         let plan = parallelize(plan, self.max_dop, self.parallel_threshold);
-        let rows = exec::execute(&plan, &self.catalog, &self.ctx, guard)?;
+        Ok(PreparedQuery { schema, plan })
+    }
+
+    fn run_guarded(&self, sql: &str, guard: &ExecGuard) -> Result<QueryOutput> {
+        let started = Instant::now();
+        let prepared = self.prepare_guarded(sql, guard)?;
+        let rows = exec::execute(&prepared.plan, &self.catalog, &self.ctx, guard)?;
         Ok(QueryOutput {
-            schema,
+            schema: prepared.schema,
             rows,
-            plan,
+            plan: prepared.plan,
             elapsed_micros: started.elapsed().as_micros() as u64,
         })
     }

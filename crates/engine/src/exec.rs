@@ -35,10 +35,31 @@ const CHECK_INTERVAL: u64 = 1024;
 /// The guard is created per `Engine::run` call and lives on the running
 /// thread only (interior mutability via [`Cell`], deliberately not
 /// `Sync`), so the engine itself stays shareable across threads.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ExecGuard {
     token: Option<CancellationToken>,
     until_check: Cell<u64>,
+    /// Upper bound on OS worker threads a parallel region may spawn
+    /// under this guard. The plan's DOP is an accounting property; this
+    /// is the physical cap (hardware parallelism by default, set
+    /// explicitly by the engine so tests can force the threaded path
+    /// deterministically instead of mutating process-global state).
+    exec_threads: usize,
+}
+
+impl Default for ExecGuard {
+    fn default() -> Self {
+        ExecGuard {
+            token: None,
+            until_check: Cell::new(CHECK_INTERVAL),
+            exec_threads: hardware_threads(),
+        }
+    }
+}
+
+/// OS threads the hardware offers; the default worker-thread cap.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 impl ExecGuard {
@@ -46,7 +67,7 @@ impl ExecGuard {
     pub fn new(token: CancellationToken) -> Self {
         ExecGuard {
             token: Some(token),
-            until_check: Cell::new(CHECK_INTERVAL),
+            ..ExecGuard::default()
         }
     }
 
@@ -55,16 +76,29 @@ impl ExecGuard {
         ExecGuard::default()
     }
 
+    /// Cap the OS worker threads parallel regions may use (minimum 1,
+    /// i.e. run inline on the calling thread).
+    pub fn with_exec_threads(mut self, cap: usize) -> Self {
+        self.exec_threads = cap.max(1);
+        self
+    }
+
+    /// The OS worker-thread cap for parallel regions under this guard.
+    pub fn exec_threads(&self) -> usize {
+        self.exec_threads
+    }
+
     /// A fresh guard observing the same token, for a parallel worker
     /// thread. The guard itself is deliberately not `Sync` (interior
     /// mutability via [`Cell`]), so each worker forks its own; all forks
     /// share the underlying [`CancellationToken`], so one `cancel()`
     /// lands in every worker.
     pub fn fork(&self) -> ExecGuard {
-        match &self.token {
+        let forked = match &self.token {
             Some(token) => ExecGuard::new(token.clone()),
             None => ExecGuard::unbounded(),
-        }
+        };
+        forked.with_exec_threads(self.exec_threads)
     }
 
     /// Record `rows` units of work; errors if the token has tripped.

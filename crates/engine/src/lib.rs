@@ -55,7 +55,7 @@ pub mod value;
 pub mod window;
 
 pub use catalog::Catalog;
-pub use engine::{Engine, QueryOutput};
+pub use engine::{Engine, PreparedQuery, QueryOutput};
 pub use exec::ExecGuard;
 pub use schema::{Column, Schema};
 pub use table::Table;

@@ -250,31 +250,16 @@ fn compile<'a>(plan: &'a PhysicalPlan, catalog: &'a Catalog) -> Result<Option<Re
 // Morsel dispatch
 // ---------------------------------------------------------------------------
 
-/// OS threads actually used to execute a DOP-`workers` region.
+/// Run `f` once per morsel of `n_rows` input rows on up to `dop` worker
+/// threads, returning the per-morsel results in morsel order.
 ///
 /// Morsel-driven scheduling is elastic: the plan's DOP is an admission
 /// control and accounting property (a DOP-4 query reserves four
 /// scheduler slots), while the executor never runs more OS threads than
-/// the hardware offers — extra threads on an oversubscribed host are
-/// pure context-switch churn. `SQLSHARE_EXEC_THREADS` overrides the
-/// hardware cap (tests use it to force the threaded path on small
-/// machines).
-fn exec_threads(workers: usize) -> usize {
-    static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    let cap = *CAP.get_or_init(|| {
-        std::env::var("SQLSHARE_EXEC_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&v| v >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            })
-    });
-    workers.min(cap)
-}
-
-/// Run `f` once per morsel of `n_rows` input rows on up to `dop` worker
-/// threads, returning the per-morsel results in morsel order.
+/// the guard's [`ExecGuard::exec_threads`] cap (hardware parallelism by
+/// default, `SQLSHARE_EXEC_THREADS` at engine construction, or an
+/// explicit [`crate::engine::Engine::set_exec_threads`]) — extra
+/// threads on an oversubscribed host are pure context-switch churn.
 ///
 /// Workers claim morsel indexes off a shared counter. A failing morsel
 /// does not abort the others (so the error reported is deterministically
@@ -289,7 +274,7 @@ fn run_morsels<T: Send>(
 ) -> Result<Vec<T>> {
     let morsels = n_rows.div_ceil(MORSEL_SIZE);
     let range_of = |m: usize| m * MORSEL_SIZE..((m + 1) * MORSEL_SIZE).min(n_rows);
-    let workers = exec_threads(dop.min(morsels));
+    let workers = dop.min(morsels).min(guard.exec_threads());
     if workers <= 1 {
         // Zero or one morsel, or DOP 1: run inline on the caller's
         // thread (same code path, no thread overhead).
@@ -687,9 +672,13 @@ fn aggregate_parallel(
     ctx: &EvalContext,
     guard: &ExecGuard,
 ) -> Result<Vec<Row>> {
-    let tail = match (region.probe_spec(), join) {
-        (Some(spec), Some(state)) => right_tail(spec, state, region.post_join_ops(), ctx, guard)?,
-        _ => Vec::new(),
+    // The unmatched-build tail for Right/Full joins can only be read
+    // once every probe morsel has run — the probes are what populate the
+    // matched bitmap — so it is computed after `run_morsels` returns in
+    // each branch below, never before.
+    let tail_rows = || match (region.probe_spec(), join) {
+        (Some(spec), Some(state)) => right_tail(spec, state, region.post_join_ops(), ctx, guard),
+        _ => Ok(Vec::new()),
     };
     if agg.group.is_empty() {
         // Scalar aggregate: one partial per morsel, merged in morsel
@@ -703,6 +692,7 @@ fn aggregate_parallel(
             }
             Ok(accs)
         })?;
+        let tail = tail_rows()?;
         let mut accs = new_accs(agg.aggs);
         for partial in &partials {
             for (acc, p) in accs.iter_mut().zip(partial) {
@@ -719,6 +709,7 @@ fn aggregate_parallel(
             let rows = process_morsel(region, join, range, ctx, g)?;
             partial_keyed(agg, rows.iter(), ctx, g)
         })?;
+    let tail = tail_rows()?;
     let mut merged: KeyedPartial = Vec::new();
     for partial in partials {
         merged = merge_keyed(merged, partial)?;
@@ -814,11 +805,11 @@ mod tests {
     /// An engine whose every eligible plan is forced parallel at `dop`,
     /// and a serial twin over the same catalog.
     fn twins(dop: usize) -> (Engine, Engine) {
+        let mut parallel = Engine::new();
         // Force real worker threads even on single-core CI hosts so the
         // scoped-thread machinery (claiming, abort, error ordering) is
         // exercised, not just the inline fallback.
-        std::env::set_var("SQLSHARE_EXEC_THREADS", "4");
-        let mut parallel = Engine::new();
+        parallel.set_exec_threads(4);
         let rows: Vec<Vec<Value>> = (0..5000)
             .map(|i| {
                 vec![
@@ -898,6 +889,26 @@ mod tests {
         ] {
             let p = parallel.run(sql).unwrap();
             let s = serial.run(sql).unwrap();
+            assert_eq!(p.rows, s.rows, "{sql}");
+        }
+    }
+
+    #[test]
+    fn right_join_under_aggregate_matches_serial() {
+        // Regression: the unmatched-build tail must be computed after
+        // the probe morsels have run (the probes populate the matched
+        // bitmap). Read before them, every matched build row is also
+        // emitted as a null-padded tail row and aggregates double-count.
+        let (parallel, serial) = twins(4);
+        for sql in [
+            "SELECT COUNT(*) FROM facts RIGHT JOIN dims ON facts.k = dims.id",
+            "SELECT COUNT(v), COUNT(*) FROM facts FULL JOIN dims ON facts.k = dims.id",
+            "SELECT name, COUNT(*), SUM(v) FROM facts RIGHT JOIN dims ON facts.k = dims.id GROUP BY name",
+            "SELECT name, COUNT(v) FROM facts FULL JOIN dims ON facts.k = dims.id AND facts.v < 50 GROUP BY name",
+        ] {
+            let p = parallel.run(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            let s = serial.run(sql).unwrap();
+            assert!(p.plan.max_parallelism() > 1, "{sql}: expected a parallel plan");
             assert_eq!(p.rows, s.rows, "{sql}");
         }
     }

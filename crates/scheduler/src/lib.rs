@@ -119,6 +119,10 @@ struct QueuedJob {
     enqueued: Instant,
     /// Worker slots held while running (clamped at submission).
     slots: usize,
+    /// Times this job, at the head of its tenant's queue, was passed
+    /// over for lack of free slots while some other job was admitted.
+    /// Feeds the anti-starvation reservation in [`next_job`].
+    skipped: u32,
 }
 
 /// Deadline heap entry, ordered soonest-first.
@@ -293,6 +297,7 @@ impl Scheduler {
             token: token.clone(),
             enqueued: now,
             slots,
+            skipped: 0,
         });
         let depth = entry.queue.len() as u64;
         entry.stats.max_queue_depth = entry.stats.max_queue_depth.max(depth);
@@ -424,14 +429,56 @@ impl Drop for Scheduler {
     }
 }
 
+/// Pass-overs after which a slot-blocked head job earns a reservation.
+const STARVATION_SKIPS: u32 = 8;
+/// Queue wait after which a head job that has been passed over at least
+/// once earns a reservation even if pass-overs were sparse.
+const STARVATION_PATIENCE: Duration = Duration::from_millis(500);
+
+/// Has this head job been slot-blocked long enough to deserve a
+/// reservation? Only jobs that were actually passed over count — plain
+/// weighted round-robin is untouched while everything fits.
+fn starving(job: &QueuedJob) -> bool {
+    job.skipped >= STARVATION_SKIPS
+        || (job.skipped > 0 && job.enqueued.elapsed() >= STARVATION_PATIENCE)
+}
+
 /// Pick the next job according to weighted round-robin over tenants,
 /// gated on free worker slots: a job runs only when `running_slots +
 /// job.slots` fits in `slot_capacity`. First fit over the rotation — a
 /// wide (high-DOP) job at the front of one tenant's queue does not
 /// block another tenant's narrow job from slipping through, but
-/// submission-order within one tenant is preserved. Caller must hold
-/// the state lock. Returns the job and its tenant.
+/// submission-order within one tenant is preserved.
+///
+/// First fit alone can starve a wide job indefinitely: narrow jobs from
+/// other tenants keep slipping through, so free slots never accumulate
+/// to the wide job's demand. Anti-starvation reservation: every time a
+/// head job is passed over for slots while another job is admitted, its
+/// `skipped` count grows; once a job has been passed over
+/// [`STARVATION_SKIPS`] times (or once plus [`STARVATION_PATIENCE`] of
+/// queue wait), the longest-waiting such job is *reserved* — other jobs
+/// are then admitted only if they would still leave it enough free
+/// slots, so capacity drains to the reserved job instead of leaking to
+/// the narrow stream.
+///
+/// Caller must hold the state lock. Returns the job and its tenant.
 fn next_job(state: &mut State, slot_capacity: usize) -> Option<(String, QueuedJob)> {
+    // The reservation: the longest-waiting starving head job, if any.
+    let mut reserved: Option<(&str, usize, Instant)> = None;
+    for name in &state.rotation {
+        let Some(job) = state.tenants.get(name).and_then(|t| t.queue.front()) else {
+            continue;
+        };
+        if starving(job) && reserved.is_none_or(|(_, _, at)| job.enqueued < at) {
+            reserved = Some((name, job.slots, job.enqueued));
+        }
+    }
+    let reserved: Option<(String, usize)> =
+        reserved.map(|(name, slots, _)| (name.to_string(), slots));
+
+    // Heads passed over for slots this scan; they are only charged a
+    // skip if the scan actually admits some other job.
+    let mut passed_over: Vec<String> = Vec::new();
     let mut idx = 0;
     while idx < state.rotation.len() {
         let tenant_name = state.rotation[idx].clone();
@@ -439,31 +486,49 @@ fn next_job(state: &mut State, slot_capacity: usize) -> Option<(String, QueuedJo
             .tenants
             .get_mut(&tenant_name)
             .expect("rotation entry has tenant state");
-        match tenant.queue.front() {
-            None => {
-                // Stale rotation entry (queue drained elsewhere).
-                tenant.burst = 0;
-                state.rotation.remove(idx);
-            }
-            Some(job) if state.running_slots + job.slots > slot_capacity => {
-                // Doesn't fit right now; try the next tenant.
+        let Some(job) = tenant.queue.front() else {
+            // Stale rotation entry (queue drained elsewhere).
+            tenant.burst = 0;
+            state.rotation.remove(idx);
+            continue;
+        };
+        if state.running_slots + job.slots > slot_capacity {
+            // Doesn't fit right now; try the next tenant.
+            passed_over.push(tenant_name);
+            idx += 1;
+            continue;
+        }
+        if let Some((res_tenant, res_slots)) = &reserved {
+            if *res_tenant != tenant_name
+                && state.running_slots + job.slots + res_slots > slot_capacity
+            {
+                // Fits, but would eat into the reservation; held back
+                // (not charged as a pass-over — the hold is deliberate).
                 idx += 1;
-            }
-            Some(_) => {
-                let job = tenant.queue.pop_front().expect("peeked");
-                tenant.burst += 1;
-                let exhausted = tenant.queue.is_empty();
-                let turn_over = tenant.burst >= tenant.weight.max(1);
-                if exhausted || turn_over {
-                    tenant.burst = 0;
-                    state.rotation.remove(idx);
-                    if !exhausted {
-                        state.rotation.push_back(tenant_name.clone());
-                    }
-                }
-                return Some((tenant_name, job));
+                continue;
             }
         }
+        let job = tenant.queue.pop_front().expect("peeked");
+        tenant.burst += 1;
+        let exhausted = tenant.queue.is_empty();
+        let turn_over = tenant.burst >= tenant.weight.max(1);
+        if exhausted || turn_over {
+            tenant.burst = 0;
+            state.rotation.remove(idx);
+            if !exhausted {
+                state.rotation.push_back(tenant_name.clone());
+            }
+        }
+        for name in passed_over {
+            if let Some(head) = state
+                .tenants
+                .get_mut(&name)
+                .and_then(|t| t.queue.front_mut())
+            {
+                head.skipped = head.skipped.saturating_add(1);
+            }
+        }
+        return Some((tenant_name, job));
     }
     None
 }

@@ -397,6 +397,66 @@ fn narrow_job_slips_past_queued_wide_job() {
 }
 
 #[test]
+fn starved_wide_job_earns_reservation_against_narrow_stream() {
+    // A DOP-4 job behind a stream of narrow jobs: first fit would let
+    // each narrow job slip through the free slots forever (one slot is
+    // pinned by a holder, so the wide job never fits). After enough
+    // pass-overs the wide job must earn a reservation that holds the
+    // narrow stream back, drains the pinned slot's tenant, and runs.
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    let (hold_tx, hold_rx) = mpsc::channel::<()>();
+    let (started_tx, started_rx) = mpsc::channel();
+    sched
+        .submit("holder", SubmitOptions::default(), move |_| {
+            started_tx.send(()).unwrap();
+            hold_rx.recv().unwrap();
+            JobDisposition::Completed
+        })
+        .unwrap();
+    started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    sched
+        .submit(
+            "wide",
+            SubmitOptions {
+                slots: 4,
+                ..Default::default()
+            },
+            |_| JobDisposition::Completed,
+        )
+        .unwrap();
+    // Feed narrow jobs until the reservation engages: once it does, new
+    // narrow jobs stay queued even though a slot is free for them.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut submitted = 0;
+    loop {
+        sched
+            .submit("narrow", SubmitOptions::default(), |_| JobDisposition::Completed)
+            .unwrap();
+        submitted += 1;
+        std::thread::sleep(Duration::from_millis(2));
+        if sched.queue_depth("narrow") > 0 {
+            break; // held back: the wide job's slots are reserved
+        }
+        assert!(
+            Instant::now() < deadline,
+            "reservation never engaged after {submitted} narrow jobs slipped past the wide job"
+        );
+    }
+    assert_eq!(sched.queue_depth("wide"), 1, "wide job still queued");
+    // Release the pinned slot: the reserved wide job must now run, and
+    // the held-back narrow jobs drain after it.
+    hold_tx.send(()).unwrap();
+    assert!(sched.wait_idle(Duration::from_secs(10)));
+    let stats = sched.stats();
+    assert_eq!(stats.tenants["wide"].completed, 1);
+    assert_eq!(stats.tenants["narrow"].completed, submitted);
+    assert_eq!(stats.totals.running_slots, 0);
+}
+
+#[test]
 fn cancelled_wide_job_releases_all_slots() {
     // Cancelling a DOP-4 job mid-execution must return every slot to
     // the pool promptly.
