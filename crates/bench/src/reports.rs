@@ -6,7 +6,7 @@ use crate::{experiments, Workbench};
 pub const ALL: &[&str] = &[
     "summary", "table2", "fig4", "sec51", "sec52", "sec53", "fig6", "fig7", "fig8", "fig9",
     "fig10", "table3", "table4", "reuse", "fig11", "fig12", "fig13", "diversity", "scheduler",
-    "parallelism",
+    "parallelism", "cache",
 ];
 
 /// Run one experiment by id.
@@ -32,6 +32,7 @@ pub fn run(id: &str, wb: &Workbench) -> Option<String> {
         "diversity" => experiments::diversity(wb),
         "scheduler" => experiments::scheduler(wb),
         "parallelism" => experiments::parallelism(wb),
+        "cache" => experiments::cache(wb),
         _ => return None,
     })
 }

@@ -66,6 +66,11 @@ pub struct Preview {
     pub rows: Vec<Row>,
     /// Whether the underlying result had more rows than the preview.
     pub truncated: bool,
+    /// Catalog keys the preview's query read, with the generation each
+    /// was at when the preview was computed. The service recomputes the
+    /// preview when any of these generations move (an append to an
+    /// upstream dataset must show up in downstream previews).
+    pub deps: Vec<(String, u64)>,
 }
 
 /// Maximum preview rows cached per dataset.

@@ -38,6 +38,9 @@ pub struct QueryLogEntry {
     /// queue-wait/runtime split lets the workload analysis separate
     /// service load from query cost.
     pub queue_wait_micros: u64,
+    /// Whether the rows were served from the result cache instead of
+    /// being executed (successful queries only; always false on errors).
+    pub cache_hit: bool,
     /// The cleaned JSON plan (Phase 1 output, Fig. 5a). Present only for
     /// successful queries.
     pub plan_json: Option<Json>,
@@ -109,6 +112,7 @@ mod tests {
                 Outcome::Error("binding".into())
             },
             queue_wait_micros: 0,
+            cache_hit: false,
             plan_json: None,
             tables: vec![],
             datasets: vec![],

@@ -395,6 +395,39 @@ pub fn dispatch(service: &mut SqlShare, request: &Request) -> Response {
                 ("tenants", Json::Object(tenants)),
             ]))
         }
+        (Method::Get, ["api", "cache"]) => {
+            let stats = service.cache_stats();
+            let tenants: sqlshare_common::json::JsonObject = service
+                .tenant_cache_stats()
+                .iter()
+                .map(|(name, t)| {
+                    (
+                        name.clone(),
+                        Json::object([
+                            ("hits", Json::num(t.hits as f64)),
+                            ("misses", Json::num(t.misses as f64)),
+                        ]),
+                    )
+                })
+                .collect();
+            Response::ok(Json::object([
+                ("planHits", Json::num(stats.plan_hits as f64)),
+                ("planMisses", Json::num(stats.plan_misses as f64)),
+                ("resultHits", Json::num(stats.result_hits as f64)),
+                ("resultMisses", Json::num(stats.result_misses as f64)),
+                ("evictions", Json::num(stats.evictions as f64)),
+                ("invalidations", Json::num(stats.invalidations as f64)),
+                ("materializations", Json::num(stats.materializations as f64)),
+                ("planEntries", Json::num(stats.plan_entries as f64)),
+                ("resultEntries", Json::num(stats.result_entries as f64)),
+                ("resultBytes", Json::num(stats.result_bytes as f64)),
+                (
+                    "materializedViews",
+                    Json::num(stats.materialized_views as f64),
+                ),
+                ("tenants", Json::Object(tenants)),
+            ]))
+        }
         (Method::Get, ["api", "queries", id, "results"]) => match id.parse::<u64>() {
             Ok(id) => match service.query_results(id) {
                 Ok(result) => {
@@ -418,6 +451,7 @@ pub fn dispatch(service: &mut SqlShare, request: &Request) -> Response {
                             "runtimeMicros",
                             Json::num(result.runtime_micros as f64),
                         ),
+                        ("cacheHit", Json::Bool(result.cache_hit)),
                         ("plan", result.plan_json.clone()),
                     ]))
                 }

@@ -35,6 +35,30 @@ pub struct QueryResult {
     pub rows: Vec<Row>,
     pub runtime_micros: u64,
     pub plan_json: Json,
+    /// Whether the rows were served from the engine's result cache.
+    pub cache_hit: bool,
+}
+
+/// Per-tenant result-cache counters (hits and misses attributed to the
+/// user who ran the query).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TenantCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// Shared per-tenant cache accounting, updated by both the synchronous
+/// path and scheduler workers.
+type TenantCacheMap = Mutex<HashMap<String, TenantCacheStats>>;
+
+fn record_tenant_cache(map: &TenantCacheMap, user: &str, hit: bool) {
+    let mut map = map.lock().unwrap_or_else(|e| e.into_inner());
+    let entry = map.entry(user.to_lowercase()).or_default();
+    if hit {
+        entry.hits += 1;
+    } else {
+        entry.misses += 1;
+    }
 }
 
 /// Status of an asynchronous query job (§3.3: the REST server returns an
@@ -112,6 +136,7 @@ fn push_log(
     datasets: Vec<String>,
     touches_foreign_data: bool,
     queue_wait_micros: u64,
+    cache_hit: bool,
 ) {
     let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
     let id = log.len() as u64 + 1;
@@ -126,6 +151,7 @@ fn push_log(
         datasets,
         touches_foreign_data,
         queue_wait_micros,
+        cache_hit,
     });
 }
 
@@ -149,6 +175,8 @@ pub struct SqlShare {
     next_job_id: u64,
     /// Deadline applied to submitted queries with no explicit deadline.
     default_deadline: Option<Duration>,
+    /// Result-cache hits/misses per tenant (lowercased username).
+    tenant_cache: Arc<TenantCacheMap>,
 }
 
 impl SqlShare {
@@ -267,6 +295,7 @@ impl SqlShare {
             },
         );
         self.visibility.insert(name.key(), Visibility::Private);
+        self.refresh_previews();
         self.invalidate_snapshot();
         Ok((name, report))
     }
@@ -311,6 +340,7 @@ impl SqlShare {
             },
         );
         self.visibility.insert(name.key(), Visibility::Private);
+        self.refresh_previews();
         self.invalidate_snapshot();
         Ok(name)
     }
@@ -362,6 +392,7 @@ impl SqlShare {
             .expect("checked above");
         ds.sql = rewritten;
         ds.preview = Some(preview);
+        self.refresh_previews();
         self.invalidate_snapshot();
         Ok(())
     }
@@ -410,6 +441,7 @@ impl SqlShare {
             },
         );
         self.visibility.insert(name.key(), Visibility::Private);
+        self.refresh_previews();
         self.invalidate_snapshot();
         Ok(name)
     }
@@ -425,12 +457,13 @@ impl SqlShare {
             )));
         }
         let base = ds.base_table.clone();
-        self.engine.catalog_mut().remove(&name.flat());
+        self.engine.drop_relation(&name.flat());
         if let Some(b) = base {
-            self.engine.catalog_mut().remove(&b);
+            self.engine.drop_relation(&b);
         }
         self.datasets.remove(&name.key());
         self.visibility.remove(&name.key());
+        self.refresh_previews();
         self.invalidate_snapshot();
         Ok(())
     }
@@ -529,6 +562,7 @@ impl SqlShare {
                         .map(|d| !d.name.owner.eq_ignore_ascii_case(user))
                         .unwrap_or(false)
                 });
+                record_tenant_cache(&self.tenant_cache, user, result.cache_hit);
                 push_log(
                     &self.log,
                     user,
@@ -543,6 +577,7 @@ impl SqlShare {
                     datasets,
                     foreign,
                     0,
+                    result.cache_hit,
                 );
                 Ok(result)
             }
@@ -558,6 +593,7 @@ impl SqlShare {
                     vec![],
                     false,
                     0,
+                    false,
                 );
                 Err(err)
             }
@@ -585,6 +621,7 @@ impl SqlShare {
                 rows: output.rows,
                 runtime_micros: output.elapsed_micros,
                 plan_json,
+                cache_hit: output.cache_hit,
             },
             dataset_keys,
             tables,
@@ -647,6 +684,7 @@ impl SqlShare {
                     vec![],
                     false,
                     0,
+                    false,
                 );
                 self.insert_job(id, user, sql, JobStatus::Failed(err.to_string()));
                 return Ok(id);
@@ -665,9 +703,19 @@ impl SqlShare {
         // Planning failures keep the normal job lifecycle: the stored
         // error surfaces when the job is picked up, like any failure.
         let prepared = engine.prepare(&canonical);
-        let dop = prepared.as_ref().map(|p| p.dop()).unwrap_or(1);
+        // An expected result-cache hit needs no backend capacity: the
+        // worker will serve pinned rows without executing, so reserve a
+        // single slot instead of the plan's DOP. (If the entry is evicted
+        // between here and execution the query simply runs under-reserved
+        // once — slots are scheduler accounting, not a thread cap.)
+        let dop = match &prepared {
+            Ok(p) if engine.cached_result_available(p) => 1,
+            Ok(p) => p.dop(),
+            Err(_) => 1,
+        };
         let jobs = Arc::clone(&self.jobs);
         let log = Arc::clone(&self.log);
+        let tenant_cache = Arc::clone(&self.tenant_cache);
         let user_owned = user.to_string();
         let sql_owned = sql.to_string();
 
@@ -696,6 +744,7 @@ impl SqlShare {
                         vec![],
                         false,
                         wait,
+                        false,
                     );
                     update_job(&jobs, id, |j| {
                         j.queue_wait_micros = wait;
@@ -722,7 +771,9 @@ impl SqlShare {
                             rows: output.rows,
                             runtime_micros: output.elapsed_micros,
                             plan_json: plan_json.clone(),
+                            cache_hit: output.cache_hit,
                         };
+                        record_tenant_cache(&tenant_cache, &user_owned, result.cache_hit);
                         push_log(
                             &log,
                             &user_owned,
@@ -737,6 +788,7 @@ impl SqlShare {
                             dataset_keys,
                             foreign,
                             wait,
+                            result.cache_hit,
                         );
                         update_job(&jobs, id, |j| {
                             j.result = Some(result);
@@ -758,6 +810,7 @@ impl SqlShare {
                             vec![],
                             false,
                             wait,
+                            false,
                         );
                         update_job(&jobs, id, |j| j.status = status);
                         disposition
@@ -785,6 +838,7 @@ impl SqlShare {
                 vec![],
                 false,
                 0,
+                false,
             );
             return Err(err);
         }
@@ -897,6 +951,29 @@ impl SqlShare {
     /// Scheduler statistics (queue depths, waits, outcomes per tenant).
     pub fn scheduler_stats(&self) -> SchedulerStats {
         self.scheduler.stats()
+    }
+
+    /// Engine cache counters and occupancy (plan/result hits, evictions,
+    /// invalidations, materialized views).
+    pub fn cache_stats(&self) -> sqlshare_engine::CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// Per-tenant result-cache hit/miss counters, sorted by username.
+    pub fn tenant_cache_stats(&self) -> Vec<(String, TenantCacheStats)> {
+        let map = self.tenant_cache.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(String, TenantCacheStats)> =
+            map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Reconfigure the engine cache (result budget in MiB — 0 disables
+    /// the result cache and hot views — and hot-view threshold). Drops
+    /// all cached state and the worker snapshot.
+    pub fn set_cache_config(&mut self, result_mb: usize, hot_view_threshold: u64) {
+        self.engine.set_cache_config(result_mb, hot_view_threshold);
+        self.invalidate_snapshot();
     }
 
     /// Direct access to the scheduler (pause/resume, weights) — used by
@@ -1107,7 +1184,39 @@ impl SqlShare {
             schema: output.schema,
             rows,
             truncated,
+            deps: output.deps,
         })
+    }
+
+    /// Recompute every cached preview whose dependency generations moved.
+    /// Before this, an append (or snapshot, upload, delete) only refreshed
+    /// the mutated dataset's own preview — previews of *downstream* views
+    /// kept serving pre-mutation rows even though §3.2 promises downstream
+    /// views see new data with no changes. A preview whose query now fails
+    /// (e.g. its source was deleted) is dropped rather than left stale.
+    fn refresh_previews(&mut self) {
+        let stale: Vec<String> = self
+            .datasets
+            .iter()
+            .filter(|(_, ds)| {
+                ds.preview.as_ref().is_some_and(|p| {
+                    p.deps
+                        .iter()
+                        .any(|(k, g)| self.engine.catalog().generation_of(k) != *g)
+                })
+            })
+            .map(|(key, _)| key.clone())
+            .collect();
+        for key in stale {
+            let sql = match self.datasets.get(&key) {
+                Some(ds) => ds.sql.clone(),
+                None => continue,
+            };
+            let preview = self.compute_preview(&sql).ok();
+            if let Some(ds) = self.datasets.get_mut(&key) {
+                ds.preview = preview;
+            }
+        }
     }
 
     /// Qualify single-part dataset references with the requesting user's

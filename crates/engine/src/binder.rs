@@ -8,6 +8,7 @@
 //! (the original SQL Azure backend supported them; see DESIGN.md).
 
 use crate::aggregate::{AggCall, AggFunc};
+use crate::cache::QueryCache;
 use crate::catalog::{Catalog, Relation};
 use crate::expr::BoundExpr;
 use crate::logical::{LogicalPlan, SortKey};
@@ -33,6 +34,15 @@ const MAX_VIEW_DEPTH: usize = 40;
 pub struct Binder<'a> {
     catalog: &'a Catalog,
     view_depth: usize,
+    /// Canonical catalog keys of every relation this query depends on
+    /// (tables and views, including through subqueries and inlined
+    /// views). The engine stamps current generations onto these for
+    /// result-cache keying and preview versioning.
+    deps: std::collections::BTreeSet<String>,
+    /// When set, view references with a current pinned materialization
+    /// are spliced in as [`LogicalPlan::CachedScan`] instead of being
+    /// re-expanded.
+    cache: Option<&'a QueryCache>,
 }
 
 impl<'a> Binder<'a> {
@@ -40,7 +50,23 @@ impl<'a> Binder<'a> {
         Binder {
             catalog,
             view_depth: 0,
+            deps: std::collections::BTreeSet::new(),
+            cache: None,
         }
+    }
+
+    /// A binder that splices pinned hot-view materializations from
+    /// `cache` into the plans it produces.
+    pub fn with_cache(catalog: &'a Catalog, cache: &'a QueryCache) -> Self {
+        Binder {
+            cache: Some(cache),
+            ..Binder::new(catalog)
+        }
+    }
+
+    /// The canonical catalog keys this binder resolved, in sorted order.
+    pub fn into_deps(self) -> Vec<String> {
+        self.deps.into_iter().collect()
     }
 
     /// Bind a full query to a logical plan.
@@ -515,7 +541,9 @@ impl<'a> Binder<'a> {
     fn bind_table_ref(&mut self, t: &TableRef) -> Result<LogicalPlan> {
         match t {
             TableRef::Named { name, alias } => {
-                match self.catalog.resolve(name)? {
+                let (relation, key) = self.catalog.resolve_with_key(name)?;
+                self.deps.insert(key.clone());
+                match relation {
                     Relation::Table(table) => {
                         let visible = alias.clone().unwrap_or_else(|| name.base().to_string());
                         let columns = table
@@ -539,6 +567,26 @@ impl<'a> Binder<'a> {
                                 "view nesting exceeds {MAX_VIEW_DEPTH} (cycle in view '{}'?)",
                                 view.name
                             )));
+                        }
+                        // A pinned hot-view materialization whose
+                        // dependency generations are all current replaces
+                        // the whole expansion with a base-scan of the
+                        // pinned rows.
+                        if let Some(cache) = self.cache {
+                            if let Some(mat) = cache.materialized(&key, self.catalog) {
+                                for (dep, _) in &mat.deps {
+                                    self.deps.insert(dep.clone());
+                                }
+                                let visible = alias
+                                    .clone()
+                                    .unwrap_or_else(|| short_name(&view.name));
+                                let plan = LogicalPlan::CachedScan {
+                                    name: key,
+                                    schema: mat.schema.clone(),
+                                    rows: mat.rows.clone(),
+                                };
+                                return Ok(requalify(plan, &visible));
+                            }
                         }
                         let parsed = parse_query(&view.sql).map_err(|e| {
                             Error::Binding(format!(
@@ -745,8 +793,14 @@ impl<'a> Binder<'a> {
         let mut sub = Binder {
             catalog: self.catalog,
             view_depth: self.view_depth,
+            deps: std::collections::BTreeSet::new(),
+            cache: self.cache,
         };
-        sub.bind_query(q).map_err(|e| match e {
+        let bound = sub.bind_query(q);
+        // Subquery plans read relations too; their dependencies are the
+        // outer query's dependencies.
+        self.deps.extend(sub.deps);
+        bound.map_err(|e| match e {
             // Unresolvable columns inside a subquery are usually attempts
             // at correlation; say so.
             Error::Binding(msg) if msg.starts_with("unknown column") => Error::Binding(format!(

@@ -5,10 +5,19 @@
 //! stored as SQL text. Lookups are case-insensitive. The binder resolves
 //! `ObjectName`s here and inlines views (view-on-view chains are the
 //! paper's provenance hierarchies, Fig. 6).
+//!
+//! Every relation carries a **generation counter**: any mutation
+//! (`add_table`/`set_view`/`remove`) bumps a catalog-wide generation and
+//! stamps it on the touched key. The query cache keys cached plans on the
+//! global generation and cached results on the per-object generations of
+//! the relations a plan depends on, so invalidation is a version
+//! comparison rather than an explicit eviction protocol — a stale entry
+//! simply becomes unreachable.
 
 use crate::table::Table;
 use sqlshare_common::{Error, Result};
 use sqlshare_sql::ast::ObjectName;
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// A stored view definition.
@@ -27,6 +36,12 @@ pub struct Catalog {
     /// Registered user-defined functions (name, case-insensitive). UDF
     /// bodies are synthetic in this reproduction; see `BoundExpr::Udf`.
     udfs: HashMap<String, String>,
+    /// Per-key mutation generations. A key keeps its last generation even
+    /// after removal, so a dropped-and-recreated relation never aliases a
+    /// cached result computed against the old contents.
+    generations: HashMap<String, u64>,
+    /// Catalog-wide generation: bumped by every mutation.
+    global_gen: u64,
 }
 
 /// Resolution result for a name.
@@ -35,8 +50,21 @@ pub enum Relation<'a> {
     View(&'a ViewDef),
 }
 
-fn key(name: &str) -> String {
-    name.to_lowercase()
+/// Canonical (lowercase) catalog key for a relation name, allocating only
+/// when the name actually contains uppercase characters. Resolution runs
+/// on every table reference of every query, so the common already-lowercase
+/// case must not allocate.
+fn lower_key(name: &str) -> Cow<'_, str> {
+    if name.chars().any(char::is_uppercase) {
+        Cow::Owned(name.to_lowercase())
+    } else {
+        Cow::Borrowed(name)
+    }
+}
+
+/// Canonical catalog key as an owned `String` (for callers that store it).
+pub fn canonical_key(name: &str) -> String {
+    lower_key(name).into_owned()
 }
 
 impl Catalog {
@@ -44,15 +72,35 @@ impl Catalog {
         Self::default()
     }
 
+    fn bump(&mut self, key: &str) {
+        self.global_gen += 1;
+        self.generations.insert(key.to_string(), self.global_gen);
+    }
+
+    /// The catalog-wide mutation generation.
+    pub fn generation(&self) -> u64 {
+        self.global_gen
+    }
+
+    /// The generation of one relation, by canonical key; 0 if the key has
+    /// never been touched.
+    pub fn generation_of(&self, key: &str) -> u64 {
+        self.generations
+            .get(lower_key(key).as_ref())
+            .copied()
+            .unwrap_or(0)
+    }
+
     /// Register a base table. Fails if any relation already has the name.
     pub fn add_table(&mut self, table: Table) -> Result<()> {
-        let k = key(&table.name);
+        let k = canonical_key(&table.name);
         if self.tables.contains_key(&k) || self.views.contains_key(&k) {
             return Err(Error::Catalog(format!(
                 "a dataset named '{}' already exists",
                 table.name
             )));
         }
+        self.bump(&k);
         self.tables.insert(k, table);
         Ok(())
     }
@@ -60,12 +108,13 @@ impl Catalog {
     /// Register (or replace) a view definition.
     pub fn set_view(&mut self, name: impl Into<String>, sql: impl Into<String>) -> Result<()> {
         let name = name.into();
-        let k = key(&name);
+        let k = canonical_key(&name);
         if self.tables.contains_key(&k) {
             return Err(Error::Catalog(format!(
                 "'{name}' is a base table; views cannot shadow tables"
             )));
         }
+        self.bump(&k);
         self.views.insert(
             k,
             ViewDef {
@@ -78,45 +127,71 @@ impl Catalog {
 
     /// Remove a relation by name; true if something was removed.
     pub fn remove(&mut self, name: &str) -> bool {
-        let k = key(name);
-        self.tables.remove(&k).is_some() | self.views.remove(&k).is_some()
+        let k = canonical_key(name);
+        let removed = self.tables.remove(&k).is_some() | self.views.remove(&k).is_some();
+        if removed {
+            self.bump(&k);
+        }
+        removed
     }
 
     /// Resolve an `ObjectName`, trying the fully-qualified flat form first
-    /// and then the base name.
-    pub fn resolve(&self, name: &ObjectName) -> Result<Relation<'_>> {
-        for candidate in [key(&name.flat()), key(name.base())] {
-            if let Some(t) = self.tables.get(&candidate) {
-                return Ok(Relation::Table(t));
+    /// and then the base name. Returns the relation together with its
+    /// canonical catalog key (what dependency tracking records).
+    pub fn resolve_with_key(&self, name: &ObjectName) -> Result<(Relation<'_>, String)> {
+        if name.0.len() > 1 {
+            let flat = name.flat();
+            let k = canonical_key(&flat);
+            if let Some(t) = self.tables.get(&k) {
+                return Ok((Relation::Table(t), k));
             }
-            if let Some(v) = self.views.get(&candidate) {
-                return Ok(Relation::View(v));
+            if let Some(v) = self.views.get(&k) {
+                return Ok((Relation::View(v), k));
             }
         }
+        // Single-part (or fallback) lookup borrows the name when it is
+        // already lowercase; the key is only allocated on a match.
+        let base = lower_key(name.base());
+        if let Some(t) = self.tables.get(base.as_ref()) {
+            return Ok((Relation::Table(t), base.into_owned()));
+        }
+        if let Some(v) = self.views.get(base.as_ref()) {
+            return Ok((Relation::View(v), base.into_owned()));
+        }
         Err(Error::Binding(format!("unknown table or view '{name}'")))
+    }
+
+    /// Resolve an `ObjectName` (see [`Catalog::resolve_with_key`]).
+    pub fn resolve(&self, name: &ObjectName) -> Result<Relation<'_>> {
+        self.resolve_with_key(name).map(|(r, _)| r)
     }
 
     /// Look up a base table by its catalog key.
     pub fn table(&self, name: &str) -> Result<&Table> {
         self.tables
-            .get(&key(name))
+            .get(lower_key(name).as_ref())
             .ok_or_else(|| Error::Binding(format!("unknown table '{name}'")))
     }
 
     /// Look up a view by name.
     pub fn view(&self, name: &str) -> Option<&ViewDef> {
-        self.views.get(&key(name))
+        self.views.get(lower_key(name).as_ref())
     }
 
     /// Register a user-defined function name (synthetic body).
     pub fn register_udf(&mut self, name: impl Into<String>) {
         let name = name.into();
-        self.udfs.insert(key(&name), name);
+        // UDF bodies are synthetic, but registering one still changes what
+        // queries bind to; count it as a catalog-wide mutation.
+        self.global_gen += 1;
+        self.udfs.insert(canonical_key(&name), name);
     }
 
     /// Look up a registered UDF, returning its canonical name.
     pub fn udf(&self, name: &str) -> Option<&str> {
-        self.udfs.get(&key(name)).map(String::as_str)
+        self.udfs
+            .get(lower_key(name).as_ref())
+            .map(String::as_str)
     }
 
     pub fn table_count(&self) -> usize {
@@ -205,12 +280,44 @@ mod tests {
     }
 
     #[test]
+    fn resolve_with_key_reports_canonical_key() {
+        let mut c = Catalog::new();
+        c.add_table(t("Alice.Data")).unwrap();
+        let n = ObjectName(vec!["ALICE".into(), "DATA".into()]);
+        let (_, key) = c.resolve_with_key(&n).unwrap();
+        assert_eq!(key, "alice.data");
+    }
+
+    #[test]
     fn remove_works() {
         let mut c = Catalog::new();
         c.add_table(t("a")).unwrap();
         assert!(c.remove("A"));
         assert!(!c.remove("a"));
         assert!(c.resolve(&ObjectName::simple("a")).is_err());
+    }
+
+    #[test]
+    fn generations_bump_on_every_mutation() {
+        let mut c = Catalog::new();
+        assert_eq!(c.generation(), 0);
+        c.add_table(t("a")).unwrap();
+        let g_a = c.generation_of("a");
+        assert!(g_a > 0);
+        c.set_view("v", "SELECT x FROM a").unwrap();
+        let g_v = c.generation_of("v");
+        assert!(g_v > g_a);
+        assert_eq!(c.generation_of("a"), g_a, "untouched keys keep their gen");
+        // Replacing a view bumps it again.
+        c.set_view("v", "SELECT x + 1 FROM a").unwrap();
+        assert!(c.generation_of("v") > g_v);
+        // Removal bumps the key, and it keeps the gen afterwards.
+        c.remove("a");
+        assert!(c.generation_of("a") > g_a);
+        // A failed mutation does not bump.
+        let g = c.generation();
+        assert!(c.add_table(t("v")).is_err());
+        assert_eq!(c.generation(), g);
     }
 
     #[test]

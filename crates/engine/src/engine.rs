@@ -1,13 +1,16 @@
-//! The engine facade: parse → bind → plan → execute.
+//! The engine facade: parse → bind → plan → execute, fronted by the
+//! multi-level query cache (see [`crate::cache`]).
 
 use crate::binder::Binder;
+use crate::cache::{self, MaterializedView, PlanKey, QueryCache, ResultKey};
 use crate::optimizer::{optimize, parallelize};
-use crate::catalog::Catalog;
+use crate::catalog::{canonical_key, Catalog};
 use crate::exec;
 use crate::explain::plan_to_json;
 use crate::functions::EvalContext;
 use crate::exec::ExecGuard;
-use crate::physical::{plan_physical, plan_physical_with, PhysicalPlan};
+use crate::logical::LogicalPlan;
+use crate::physical::{plan_physical_with, PhysicalPlan};
 use crate::schema::Schema;
 use crate::table::Table;
 use crate::value::Row;
@@ -15,6 +18,7 @@ use sqlshare_common::json::Json;
 use sqlshare_common::{CancellationToken, Error, Result};
 use sqlshare_sql::ast::Statement;
 use sqlshare_sql::parser::{parse_query, parse_statement};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default parallelism cap, overridable via `SQLSHARE_MAX_DOP` (CI runs
@@ -49,6 +53,12 @@ pub struct QueryOutput {
     pub plan: PhysicalPlan,
     /// Wall-clock execution time (parse + bind + plan + execute).
     pub elapsed_micros: u64,
+    /// Whether the rows were served from the result cache.
+    pub cache_hit: bool,
+    /// Canonical keys of the relations this query read, with the catalog
+    /// generations they were read at (the service versions previews with
+    /// these).
+    pub deps: Vec<(String, u64)>,
 }
 
 impl QueryOutput {
@@ -72,23 +82,44 @@ pub struct Engine {
     /// OS worker-thread cap for parallel regions (the physical side of
     /// DOP); carried on every [`ExecGuard`] this engine creates.
     exec_threads: usize,
+    /// The multi-level cache, shared across clones of this engine (the
+    /// service's worker snapshots populate and consult the same cache).
+    cache: Arc<QueryCache>,
 }
 
-/// A query planned once for later execution: the bound output schema and
-/// the parallelized physical plan. The service plans on the submit path
-/// to learn the degree of parallelism (slot reservation), then executes
-/// this same plan on a worker instead of planning the query a second
-/// time.
+/// A query planned once for later execution: the bound output schema, the
+/// parallelized physical plan, and the cache identity (normalized SQL,
+/// fingerprint, dependency generations) the result cache is keyed on.
+/// The service plans on the submit path to learn the degree of
+/// parallelism (slot reservation), then executes this same plan on a
+/// worker instead of planning the query a second time.
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     pub schema: Schema,
     pub plan: PhysicalPlan,
+    /// Canonical keys of every relation the plan reads, with the catalog
+    /// generation each was bound at (sorted by key).
+    pub deps: Vec<(String, u64)>,
+    /// Stable hash over the normalized SQL and execution configuration.
+    pub fingerprint: u64,
+    /// Whitespace/comment-normalized SQL (kept alongside the fingerprint
+    /// so a hash collision can never serve wrong rows).
+    pub normalized_sql: String,
 }
 
 impl PreparedQuery {
     /// The degree of parallelism the plan will run at (1 = serial).
     pub fn dop(&self) -> usize {
         self.plan.max_parallelism()
+    }
+
+    /// The result-cache key for this plan.
+    pub fn result_key(&self) -> ResultKey {
+        ResultKey {
+            fingerprint: self.fingerprint,
+            sql: self.normalized_sql.clone(),
+            deps: self.deps.clone(),
+        }
     }
 }
 
@@ -106,6 +137,7 @@ impl Engine {
             max_dop: max_dop_from_env(),
             parallel_threshold: crate::cost::PARALLELISM_COST_THRESHOLD,
             exec_threads: exec_threads_from_env(),
+            cache: Arc::new(QueryCache::from_env()),
         }
     }
 
@@ -142,12 +174,53 @@ impl Engine {
         self.parallel_threshold = threshold;
     }
 
+    // ---- cache configuration -------------------------------------------
+
+    /// Replace the cache with one using an explicit result budget (MiB;
+    /// 0 disables results and hot views) and hot-view threshold.
+    /// Discards all cached state — this engine (and clones made after
+    /// this call) start cold.
+    pub fn set_cache_config(&mut self, result_mb: usize, hot_view_threshold: u64) {
+        self.cache = Arc::new(QueryCache::with_config(result_mb, hot_view_threshold));
+    }
+
+    /// Turn off every cache level (plans included) — the cold-execution
+    /// reference configuration used by the differential harness.
+    pub fn disable_cache(&mut self) {
+        self.cache = Arc::new(QueryCache::disabled());
+    }
+
+    /// The shared cache (clones of this engine use the same one).
+    pub fn cache(&self) -> &Arc<QueryCache> {
+        &self.cache
+    }
+
+    /// Cache counters and occupancy.
+    pub fn cache_stats(&self) -> cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Whether the result cache already holds rows for this plan — used
+    /// by the scheduler to skip DOP slot reservation on expected hits
+    /// (the cache lookup does no real work, so a hit needs no backend
+    /// capacity). Does not count toward hit/miss statistics.
+    pub fn cached_result_available(&self, prepared: &PreparedQuery) -> bool {
+        self.cache.peek_result(&prepared.result_key())
+    }
+
+    // ---- catalog -------------------------------------------------------
+
     /// Access the catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
 
-    /// Mutable access to the catalog.
+    /// Mutable access to the catalog. Mutations made through this escape
+    /// hatch still bump generation counters (the [`Catalog`] does that
+    /// itself), so cached entries over changed relations become
+    /// unreachable; they just are not evicted eagerly. Prefer
+    /// [`Engine::create_table`] / [`Engine::create_view`] /
+    /// [`Engine::drop_relation`], which also reclaim cache memory.
     pub fn catalog_mut(&mut self) -> &mut Catalog {
         &mut self.catalog
     }
@@ -159,7 +232,10 @@ impl Engine {
 
     /// Register a base table.
     pub fn create_table(&mut self, table: Table) -> Result<()> {
-        self.catalog.add_table(table)
+        let key = canonical_key(&table.name);
+        self.catalog.add_table(table)?;
+        self.cache.invalidate_key(&key);
+        Ok(())
     }
 
     /// Register a view after validating that its definition parses and
@@ -167,8 +243,24 @@ impl Engine {
     pub fn create_view(&mut self, name: &str, sql: &str) -> Result<()> {
         let query = parse_query(sql)?;
         Binder::new(&self.catalog).bind_query(&query)?;
-        self.catalog.set_view(name, sql)
+        let key = canonical_key(name);
+        self.catalog.set_view(name, sql)?;
+        self.cache.invalidate_key(&key);
+        Ok(())
     }
+
+    /// Drop a table or view; returns whether anything was removed. Evicts
+    /// every cached result and materialization depending on it.
+    pub fn drop_relation(&mut self, name: &str) -> bool {
+        let key = canonical_key(name);
+        let removed = self.catalog.remove(name);
+        if removed {
+            self.cache.invalidate_key(&key);
+        }
+        removed
+    }
+
+    // ---- queries -------------------------------------------------------
 
     /// Validate a query without executing it; returns its output schema.
     pub fn check(&self, sql: &str) -> Result<Schema> {
@@ -179,11 +271,14 @@ impl Engine {
 
     /// Produce the physical plan (EXPLAIN). Uncorrelated subqueries are
     /// executed during planning, as in the real system's plan generation.
+    /// Hot-view splices show up here exactly as they will execute
+    /// (`Clustered Index Seek` with `cached: true`).
     pub fn explain(&self, sql: &str) -> Result<PhysicalPlan> {
         let query = parse_query(sql)?;
-        let logical = Binder::new(&self.catalog).bind_query(&query)?;
+        let mut binder = Binder::with_cache(&self.catalog, &self.cache);
+        let logical = binder.bind_query(&query)?;
         let logical = optimize(logical);
-        let plan = plan_physical(&logical, &self.catalog, &self.ctx)?;
+        let plan = plan_physical_with(&logical, &self.catalog, &self.ctx, &self.guard(None))?;
         Ok(parallelize(plan, self.max_dop, self.parallel_threshold))
     }
 
@@ -208,30 +303,32 @@ impl Engine {
         self.run_guarded(sql, &self.guard(Some(token)))
     }
 
-    /// Parse, bind, optimize, and plan `sql` without executing it.
-    /// Uncorrelated subqueries are executed during planning, as in
-    /// [`Engine::explain`].
-    pub fn prepare(&self, sql: &str) -> Result<PreparedQuery> {
+    /// Parse, bind, optimize, and plan `sql`, consulting the plan cache
+    /// (keyed by normalized SQL, catalog generation, parallelism
+    /// configuration, and evaluation date). Uncorrelated subqueries are
+    /// executed during planning, as in [`Engine::explain`].
+    pub fn prepare(&self, sql: &str) -> Result<Arc<PreparedQuery>> {
         self.prepare_guarded(sql, &self.guard(None))
+    }
+
+    /// Plan `sql` bypassing the plan cache and hot-view splicing — always
+    /// a cold bind against the live catalog (tests compare this against
+    /// the cached path).
+    pub fn prepare_uncached(&self, sql: &str) -> Result<PreparedQuery> {
+        self.prepare_cold(sql, cache::normalize_sql(sql), &self.guard(None), false)
     }
 
     /// Execute a previously [`Engine::prepare`]d plan, polling `token`.
     /// The catalog must be the one the query was prepared against (the
     /// service prepares and executes on the same immutable snapshot).
+    /// Serves the result cache when it holds current rows for the plan.
     pub fn run_prepared_with_cancel(
         &self,
         prepared: &PreparedQuery,
         token: CancellationToken,
     ) -> Result<QueryOutput> {
         let guard = self.guard(Some(token));
-        let started = Instant::now();
-        let rows = exec::execute(&prepared.plan, &self.catalog, &self.ctx, &guard)?;
-        Ok(QueryOutput {
-            schema: prepared.schema.clone(),
-            rows,
-            plan: prepared.plan.clone(),
-            elapsed_micros: started.elapsed().as_micros() as u64,
-        })
+        self.execute_prepared(prepared, &guard, Instant::now())
     }
 
     /// Run a query at a fixed degree of parallelism, overriding the
@@ -244,7 +341,36 @@ impl Engine {
         engine.run(sql)
     }
 
-    fn prepare_guarded(&self, sql: &str, guard: &ExecGuard) -> Result<PreparedQuery> {
+    fn plan_key(&self, normalized_sql: &str) -> PlanKey {
+        PlanKey {
+            sql: normalized_sql.to_string(),
+            catalog_gen: self.catalog.generation(),
+            max_dop: self.max_dop,
+            threshold_bits: self.parallel_threshold.to_bits(),
+            current_date: self.ctx.current_date,
+        }
+    }
+
+    fn prepare_guarded(&self, sql: &str, guard: &ExecGuard) -> Result<Arc<PreparedQuery>> {
+        let normalized = cache::normalize_sql(sql);
+        let key = self.plan_key(&normalized);
+        if let Some(plan) = self.cache.lookup_plan(&key) {
+            return Ok(plan);
+        }
+        let prepared = Arc::new(self.prepare_cold(sql, normalized, guard, true)?);
+        self.cache.store_plan(key, Arc::clone(&prepared));
+        Ok(prepared)
+    }
+
+    /// The uncached planning pipeline. `splice` controls whether pinned
+    /// hot-view materializations replace view expansions.
+    fn prepare_cold(
+        &self,
+        sql: &str,
+        normalized_sql: String,
+        guard: &ExecGuard,
+        splice: bool,
+    ) -> Result<PreparedQuery> {
         let statement = parse_statement(sql)?;
         let query = match statement {
             Statement::Select(q) => q,
@@ -255,23 +381,144 @@ impl Engine {
                 )))
             }
         };
-        let logical = Binder::new(&self.catalog).bind_query(&query)?;
+        let mut binder = if splice {
+            Binder::with_cache(&self.catalog, &self.cache)
+        } else {
+            Binder::new(&self.catalog)
+        };
+        let logical = binder.bind_query(&query)?;
+        let deps = binder
+            .into_deps()
+            .into_iter()
+            .map(|k| {
+                let g = self.catalog.generation_of(&k);
+                (k, g)
+            })
+            .collect();
         let schema = logical.schema().clone();
         let logical = optimize(logical);
         let plan = plan_physical_with(&logical, &self.catalog, &self.ctx, guard)?;
         let plan = parallelize(plan, self.max_dop, self.parallel_threshold);
-        Ok(PreparedQuery { schema, plan })
+        let fingerprint = cache::fingerprint(
+            &normalized_sql,
+            self.max_dop,
+            self.parallel_threshold.to_bits(),
+            self.ctx.current_date,
+        );
+        Ok(PreparedQuery {
+            schema,
+            plan,
+            deps,
+            fingerprint,
+            normalized_sql,
+        })
+    }
+
+    /// Execute a prepared plan through the result cache: serve cached
+    /// rows on a hit; on a miss execute, cache the result, and advance
+    /// the hot-view counters (materializing views that just crossed the
+    /// threshold).
+    fn execute_prepared(
+        &self,
+        prepared: &PreparedQuery,
+        guard: &ExecGuard,
+        started: Instant,
+    ) -> Result<QueryOutput> {
+        let key = prepared.result_key();
+        if let Some((schema, rows)) = self.cache.lookup_result(&key) {
+            // A hit still signals view popularity: repeated identical
+            // queries must heat their views like distinct ones do, so
+            // future (uncached) queries over the view get the splice.
+            self.note_view_hits(prepared);
+            return Ok(QueryOutput {
+                schema,
+                rows: rows.as_ref().clone(),
+                plan: prepared.plan.clone(),
+                elapsed_micros: started.elapsed().as_micros() as u64,
+                cache_hit: true,
+                deps: prepared.deps.clone(),
+            });
+        }
+        let rows = exec::execute(&prepared.plan, &self.catalog, &self.ctx, guard)?;
+        self.cache.store_result(key, prepared.schema.clone(), &rows);
+        self.note_view_hits(prepared);
+        Ok(QueryOutput {
+            schema: prepared.schema.clone(),
+            rows,
+            plan: prepared.plan.clone(),
+            elapsed_micros: started.elapsed().as_micros() as u64,
+            cache_hit: false,
+            deps: prepared.deps.clone(),
+        })
+    }
+
+    /// Advance the hot-view counter of every view this execution read;
+    /// materialize the ones that just crossed the threshold.
+    fn note_view_hits(&self, prepared: &PreparedQuery) {
+        if !self.cache.results_enabled() {
+            return;
+        }
+        for (key, _) in &prepared.deps {
+            if self.catalog.view(key).is_none() {
+                continue;
+            }
+            if self.cache.note_view_hit(key) {
+                self.materialize_view(key);
+            }
+        }
+    }
+
+    /// Pin a hot view's result for splicing into downstream plans. Runs
+    /// the view *serially* so the pinned rows are the canonical serial
+    /// answer (parallel floating-point merge order must not leak into
+    /// every downstream consumer). Trivial wrapper views (a bare scan
+    /// after optimization) and results over the cache budget are marked
+    /// rejected instead, so they are costed once, not per execution.
+    fn materialize_view(&self, key: &str) {
+        let Some(view) = self.catalog.view(key) else {
+            return;
+        };
+        let sql = view.sql.clone();
+        let outcome = (|| -> Result<Option<MaterializedView>> {
+            let query = parse_query(&sql)?;
+            let mut binder = Binder::new(&self.catalog);
+            let logical = binder.bind_query(&query)?;
+            let schema = logical.schema().clone();
+            let logical = optimize(logical);
+            if matches!(logical, LogicalPlan::Scan { .. }) {
+                return Ok(None);
+            }
+            let deps = binder
+                .into_deps()
+                .into_iter()
+                .map(|k| {
+                    let g = self.catalog.generation_of(&k);
+                    (k, g)
+                })
+                .collect();
+            let guard = self.guard(None);
+            let plan = plan_physical_with(&logical, &self.catalog, &self.ctx, &guard)?;
+            let rows = exec::execute(&plan, &self.catalog, &self.ctx, &guard)?;
+            if cache::rows_bytes(&rows) > self.cache.result_budget() {
+                return Ok(None);
+            }
+            Ok(Some(MaterializedView {
+                schema,
+                rows: Arc::new(rows),
+                deps,
+            }))
+        })();
+        match outcome {
+            Ok(Some(mat)) => self.cache.store_materialized(key, mat),
+            // Not worth pinning (trivial or oversized) or failed to
+            // evaluate — don't re-attempt until the view changes.
+            Ok(None) | Err(_) => self.cache.mark_view_rejected(key),
+        }
     }
 
     fn run_guarded(&self, sql: &str, guard: &ExecGuard) -> Result<QueryOutput> {
         let started = Instant::now();
         let prepared = self.prepare_guarded(sql, guard)?;
-        let rows = exec::execute(&prepared.plan, &self.catalog, &self.ctx, guard)?;
-        Ok(QueryOutput {
-            schema: prepared.schema,
-            rows,
-            plan: prepared.plan,
-            elapsed_micros: started.elapsed().as_micros() as u64,
-        })
+        self.execute_prepared(&prepared, guard, started)
     }
 }

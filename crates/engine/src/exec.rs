@@ -135,6 +135,10 @@ pub fn execute(
             guard.tick(rows.len() as u64)?;
             Ok(rows)
         }
+        PhysOp::CachedScan { rows, .. } => {
+            guard.tick(rows.len() as u64)?;
+            Ok(rows.as_ref().clone())
+        }
         PhysOp::Seek {
             table,
             lower,

@@ -42,6 +42,11 @@ fn node_to_json(plan: &PhysicalPlan) -> Json {
     if let Some(dop) = plan.degree_of_parallelism {
         obj.insert("degreeOfParallelism", Json::num(dop as f64));
     }
+    // Hot-view splices read a pinned result instead of the base data; the
+    // workload extractor passes this property through.
+    if matches!(plan.op, crate::physical::PhysOp::CachedScan { .. }) {
+        obj.insert("cached", Json::Bool(true));
+    }
     if !plan.filters.is_empty() {
         obj.insert(
             "filters",

@@ -38,6 +38,7 @@
 
 pub mod aggregate;
 pub mod binder;
+pub mod cache;
 pub mod catalog;
 pub mod cost;
 pub mod engine;
@@ -54,6 +55,7 @@ pub mod table;
 pub mod value;
 pub mod window;
 
+pub use cache::{CacheStats, QueryCache};
 pub use catalog::Catalog;
 pub use engine::{Engine, PreparedQuery, QueryOutput};
 pub use exec::ExecGuard;

@@ -7,8 +7,10 @@
 use crate::aggregate::AggCall;
 use crate::expr::BoundExpr;
 use crate::schema::Schema;
+use crate::value::Row;
 use crate::window::WindowCall;
 use sqlshare_sql::ast::{JoinKind, SetOp};
+use std::sync::Arc;
 
 /// A sort key: expression over the input row plus direction.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +24,14 @@ pub struct SortKey {
 pub enum LogicalPlan {
     /// Base table scan; `table` is the catalog key.
     Scan { table: String, schema: Schema },
+    /// Scan of a pinned (materialized) hot-view result, spliced in by the
+    /// binder in place of re-expanding the view; `name` is the view's
+    /// catalog key.
+    CachedScan {
+        name: String,
+        schema: Schema,
+        rows: Arc<Vec<Row>>,
+    },
     /// A single empty row — the input of a FROM-less SELECT
     /// (SQL Server's "Constant Scan").
     OneRow,
@@ -80,6 +90,7 @@ impl LogicalPlan {
         match self {
             LogicalPlan::OneRow => &EMPTY,
             LogicalPlan::Scan { schema, .. }
+            | LogicalPlan::CachedScan { schema, .. }
             | LogicalPlan::Project { schema, .. }
             | LogicalPlan::Join { schema, .. }
             | LogicalPlan::Aggregate { schema, .. }
@@ -115,6 +126,7 @@ impl LogicalPlan {
         match self {
             LogicalPlan::OneRow => {}
             LogicalPlan::Scan { table, .. } => out.push(table.clone()),
+            LogicalPlan::CachedScan { name, .. } => out.push(name.clone()),
             LogicalPlan::Filter { input, predicate } => {
                 scan_expr(predicate, out);
                 input.collect_tables(out);
@@ -149,7 +161,9 @@ impl LogicalPlan {
     /// Number of nodes in the plan tree (used in tests and reports).
     pub fn node_count(&self) -> usize {
         1 + match self {
-            LogicalPlan::Scan { .. } | LogicalPlan::OneRow => 0,
+            LogicalPlan::Scan { .. }
+            | LogicalPlan::CachedScan { .. }
+            | LogicalPlan::OneRow => 0,
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Aggregate { input, .. }

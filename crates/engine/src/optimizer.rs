@@ -129,7 +129,9 @@ pub fn collapse_identity_projections(plan: LogicalPlan) -> LogicalPlan {
             right: Box::new(collapse_identity_projections(*right)),
             schema,
         },
-        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::OneRow) => leaf,
+        leaf @ (LogicalPlan::Scan { .. }
+        | LogicalPlan::CachedScan { .. }
+        | LogicalPlan::OneRow) => leaf,
     }
 }
 

@@ -22,7 +22,7 @@ use crate::expr::BoundExpr;
 use crate::functions::EvalContext;
 use crate::logical::{LogicalPlan, SortKey};
 use crate::schema::Schema;
-use crate::value::Value;
+use crate::value::{DataType, Value};
 use crate::window::WindowCall;
 use sqlshare_common::{Error, Result};
 use sqlshare_sql::ast::{BinaryOp, JoinKind, SetOp};
@@ -34,6 +34,13 @@ pub enum PhysOp {
     ConstantScan,
     Scan {
         table: String,
+    },
+    /// Scan of a pinned hot-view result (the cache's automated snapshot
+    /// materialization). Reported as a `Clustered Index Seek` over the
+    /// materialized relation, with `cached: true` in EXPLAIN.
+    CachedScan {
+        name: String,
+        rows: std::sync::Arc<Vec<crate::value::Row>>,
     },
     Seek {
         table: String,
@@ -180,10 +187,13 @@ impl PhysicalPlan {
     pub fn base_tables(&self) -> Vec<String> {
         let mut out = Vec::new();
         self.visit(&mut |n| {
-            if let PhysOp::Scan { table } | PhysOp::Seek { table, .. } = &n.op {
-                if !out.contains(table) {
-                    out.push(table.clone());
-                }
+            let table = match &n.op {
+                PhysOp::Scan { table } | PhysOp::Seek { table, .. } => table,
+                PhysOp::CachedScan { name, .. } => name,
+                _ => return,
+            };
+            if !out.contains(table) {
+                out.push(table.clone());
             }
         });
         out.sort();
@@ -248,6 +258,37 @@ impl Planner<'_> {
                 },
             )),
             LogicalPlan::Scan { table, schema } => self.plan_scan(table, schema),
+            LogicalPlan::CachedScan { name, schema, rows } => {
+                let row_count = rows.len() as f64;
+                let row_size = schema.estimated_row_size() as f64;
+                let est = Estimates {
+                    rows: row_count,
+                    // The result is pinned in memory: no IO, row CPU only.
+                    io: 0.0,
+                    cpu: cost::row_cpu(row_count, 0),
+                    row_size,
+                };
+                let mut n = PhysicalPlan::new(
+                    PhysOp::CachedScan {
+                        name: name.clone(),
+                        rows: rows.clone(),
+                    },
+                    "Clustered Index Seek",
+                    "Clustered Index Seek",
+                    est,
+                );
+                // Attribute every output column to the materialized
+                // relation itself: the pinned rows are what this plan
+                // reads (computed view columns have no base source_table,
+                // and the workload extractor counts tables from these
+                // attributions).
+                n.columns = schema
+                    .columns
+                    .iter()
+                    .map(|c| (name.clone(), c.name.clone()))
+                    .collect();
+                Ok(n)
+            }
             LogicalPlan::Filter { input, predicate } => self.plan_filter(input, predicate),
             LogicalPlan::Project {
                 input,
@@ -442,7 +483,12 @@ impl Planner<'_> {
         // index on all columns in column order); anything else becomes a
         // scan with a residual predicate — no separate Filter operator.
         if let LogicalPlan::Scan { table, .. } = input {
-            let bounds = extract_seek_bounds(&predicate.0).unwrap_or((
+            let leading_ty = schema
+                .columns
+                .first()
+                .map(|c| c.ty)
+                .unwrap_or(DataType::Text);
+            let bounds = extract_seek_bounds(&predicate.0, leading_ty).unwrap_or((
                 Bound::Unbounded,
                 Bound::Unbounded,
                 Some(predicate.0.clone()),
@@ -607,7 +653,20 @@ impl Planner<'_> {
             _ => (Vec::new(), on_expr.clone()),
         };
 
-        let (phys, name, est_rows) = if !pairs.is_empty() {
+        // Hash (and merge) joins bucket keys by value identity within a
+        // type group, but `=` under `sql_cmp` also matches text against
+        // numbers/dates by textual form — and that relation is not even
+        // transitive, so no hash key can encode it. A key pair whose two
+        // sides type to different groups must run as nested loops, where
+        // the ON predicate is evaluated exactly; otherwise the choice of
+        // join operator (driven by cost estimates) would change results.
+        let left_types: Vec<DataType> = left.schema().columns.iter().map(|c| c.ty).collect();
+        let right_types: Vec<DataType> = right.schema().columns.iter().map(|c| c.ty).collect();
+        let keys_hashable = pairs.iter().all(|(lk, rk)| {
+            type_group(lk.result_type(&left_types)) == type_group(rk.result_type(&right_types))
+        });
+
+        let (phys, name, est_rows) = if !pairs.is_empty() && keys_hashable {
             let left_keys: Vec<BoundExpr> = pairs.iter().map(|(l, _)| l.clone()).collect();
             let right_keys: Vec<BoundExpr> = pairs.iter().map(|(_, r)| r.clone()).collect();
             let est_rows = l.est.rows.max(r.est.rows);
@@ -1050,9 +1109,44 @@ pub fn split_conjuncts(e: &BoundExpr) -> Vec<&BoundExpr> {
 /// Try to turn a predicate over a scan into clustered-index seek bounds on
 /// the leading column. Returns `(lower, upper, residual, consumed_desc)`.
 #[allow(clippy::type_complexity)]
-fn extract_seek_bounds(
-    predicate: &BoundExpr,
-) -> Option<(Bound<Value>, Bound<Value>, Option<BoundExpr>, Vec<String>)> {
+/// Comparison type groups: `Int` and `Float` compare numerically with each
+/// other; every other type only compares order-consistently with itself
+/// (cross-group comparisons go through `sql_cmp`'s permissive text
+/// coercion, which neither the clustered-index order nor a hash table can
+/// reproduce).
+fn type_group(t: DataType) -> u8 {
+    match t {
+        DataType::Bool => 1,
+        DataType::Int | DataType::Float => 2,
+        DataType::Date => 3,
+        DataType::Text => 4,
+    }
+}
+
+/// Seek ranges locate rows under `Value::total_cmp` (the clustered-index
+/// sort order, which ranks types before comparing), while predicates
+/// evaluate under `Value::sql_cmp` (permissive: text coerces against
+/// numbers and dates by textual form). The two orders agree only when the
+/// bound literal lives in the same type group as the leading column — a
+/// mismatched bound (e.g. `text_col > 4`) must stay a residual predicate
+/// or the seek would keep/drop the wrong range.
+fn seek_order_matches(col: DataType, lit: &Value) -> bool {
+    let lit_group = match lit {
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) => 2,
+        Value::Date(_) => 3,
+        Value::Text(_) => 4,
+        Value::Null => return false,
+    };
+    lit_group == type_group(col)
+}
+
+/// Extracted seek range: lower/upper bounds on the leading column, the
+/// residual predicate left to evaluate per row, and the rendered
+/// conjuncts the seek consumed (for EXPLAIN).
+type SeekBounds = (Bound<Value>, Bound<Value>, Option<BoundExpr>, Vec<String>);
+
+fn extract_seek_bounds(predicate: &BoundExpr, leading_ty: DataType) -> Option<SeekBounds> {
     let conjuncts = split_conjuncts(predicate);
     let mut lower: Bound<Value> = Bound::Unbounded;
     let mut upper: Bound<Value> = Bound::Unbounded;
@@ -1070,7 +1164,7 @@ fn extract_seek_bounds(
                         continue;
                     }
                 };
-                if lit.is_null() {
+                if lit.is_null() || !seek_order_matches(leading_ty, &lit) {
                     residual.push((*c).clone());
                     continue;
                 }
@@ -1119,7 +1213,10 @@ fn extract_seek_bounds(
             } if matches!(expr.as_ref(), BoundExpr::Column(0)) => {
                 match (low.as_ref(), high.as_ref()) {
                     (BoundExpr::Literal(lo), BoundExpr::Literal(hi))
-                        if !lo.is_null() && !hi.is_null() =>
+                        if !lo.is_null()
+                            && !hi.is_null()
+                            && seek_order_matches(leading_ty, lo)
+                            && seek_order_matches(leading_ty, hi) =>
                     {
                         lower = tighten_lower(lower, Bound::Included(lo.clone()));
                         upper = tighten_upper(upper, Bound::Included(hi.clone()));

@@ -142,6 +142,8 @@ mod tests {
             filters: vec![],
             est_cost: 0.0,
             max_dop: 1,
+            cache_hit: false,
+            cached_scans: 0,
             plan: sqlshare_common::json::Json::Null,
         };
         let corpus = vec![q(&["like", "fPhotoTypeN", "GetRangeThroughConvert"])];

@@ -43,6 +43,12 @@ pub struct ExtractedQuery {
     /// fully serial plan — the paper-era backend likewise reports DOP
     /// only on Parallelism exchanges).
     pub max_dop: usize,
+    /// Whether the rows were served from the result cache (no operator
+    /// below the root actually ran).
+    pub cache_hit: bool,
+    /// Plan nodes that read a pinned hot-view result (`cached: true`
+    /// Clustered Index Seeks spliced in by the materializer).
+    pub cached_scans: usize,
     /// The JSON plan itself (for template extraction and reuse analysis).
     pub plan: Json,
 }
@@ -59,21 +65,17 @@ pub fn extract_entry(entry: &QueryLogEntry) -> Option<ExtractedQuery> {
         return None;
     };
     let plan = entry.plan_json.clone()?;
-    let mut ops = Vec::new();
-    let mut expressions = Vec::new();
-    let mut tables = Vec::new();
-    let mut columns = Vec::new();
-    let mut filters = Vec::new();
-    let mut max_dop = 1usize;
-    walk_plan(
-        &plan,
-        &mut ops,
-        &mut expressions,
-        &mut tables,
-        &mut columns,
-        &mut filters,
-        &mut max_dop,
-    );
+    let mut facts = PlanFacts::default();
+    walk_plan(&plan, &mut facts);
+    let PlanFacts {
+        ops,
+        expressions,
+        mut tables,
+        mut columns,
+        filters,
+        max_dop,
+        cached_scans,
+    } = facts;
     tables.sort();
     tables.dedup();
     columns.sort();
@@ -98,6 +100,8 @@ pub fn extract_entry(entry: &QueryLogEntry) -> Option<ExtractedQuery> {
         filters,
         est_cost: plan.get("total").and_then(Json::as_f64).unwrap_or(0.0),
         max_dop,
+        cache_hit: entry.cache_hit,
+        cached_scans,
         plan,
     })
 }
@@ -107,42 +111,63 @@ pub fn extract_corpus(entries: &[QueryLogEntry]) -> Vec<ExtractedQuery> {
     entries.iter().filter_map(extract_entry).collect()
 }
 
-fn walk_plan(
-    node: &Json,
-    ops: &mut Vec<String>,
-    expressions: &mut Vec<String>,
-    tables: &mut Vec<String>,
-    columns: &mut Vec<(String, String)>,
-    filters: &mut Vec<String>,
-    max_dop: &mut usize,
-) {
+/// Accumulators for one plan walk.
+struct PlanFacts {
+    ops: Vec<String>,
+    expressions: Vec<String>,
+    tables: Vec<String>,
+    columns: Vec<(String, String)>,
+    filters: Vec<String>,
+    max_dop: usize,
+    cached_scans: usize,
+}
+
+impl Default for PlanFacts {
+    fn default() -> Self {
+        PlanFacts {
+            ops: Vec::new(),
+            expressions: Vec::new(),
+            tables: Vec::new(),
+            columns: Vec::new(),
+            filters: Vec::new(),
+            // A plan with no Parallelism exchange is serial.
+            max_dop: 1,
+            cached_scans: 0,
+        }
+    }
+}
+
+fn walk_plan(node: &Json, facts: &mut PlanFacts) {
     if let Some(op) = node.get("physicalOp").and_then(Json::as_str) {
-        ops.push(op.to_string());
+        facts.ops.push(op.to_string());
     }
     if let Some(dop) = node.get("degreeOfParallelism").and_then(Json::as_f64) {
-        *max_dop = (*max_dop).max(dop as usize);
+        facts.max_dop = facts.max_dop.max(dop as usize);
+    }
+    if matches!(node.get("cached"), Some(Json::Bool(true))) {
+        facts.cached_scans += 1;
     }
     if let Some(Json::Array(exprs)) = node.get("expressions") {
         for e in exprs {
             if let Some(s) = e.as_str() {
-                expressions.push(s.to_string());
+                facts.expressions.push(s.to_string());
             }
         }
     }
     if let Some(Json::Array(fs)) = node.get("filters") {
         for f in fs {
             if let Some(s) = f.as_str() {
-                filters.push(s.to_string());
+                facts.filters.push(s.to_string());
             }
         }
     }
     if let Some(cols) = node.get("columns").and_then(Json::as_object) {
         for (table, col_list) in cols.iter() {
-            tables.push(table.to_string());
+            facts.tables.push(table.to_string());
             if let Some(list) = col_list.as_array() {
                 for c in list {
                     if let Some(name) = c.as_str() {
-                        columns.push((table.to_string(), name.to_string()));
+                        facts.columns.push((table.to_string(), name.to_string()));
                     }
                 }
             }
@@ -150,7 +175,7 @@ fn walk_plan(
     }
     if let Some(children) = node.get("children").and_then(Json::as_array) {
         for c in children {
-            walk_plan(c, ops, expressions, tables, columns, filters, max_dop);
+            walk_plan(c, facts);
         }
     }
 }
@@ -247,6 +272,41 @@ mod tests {
             .ops
             .iter()
             .any(|o| o == "Parallelism (Gather Streams)"));
+    }
+
+    #[test]
+    fn cache_hits_and_splices_flow_through() {
+        let mut s = SqlShare::new();
+        s.set_cache_config(64, 2);
+        s.register_user("ada", "a@uw.edu").unwrap();
+        s.upload(
+            "ada",
+            "t",
+            "k,v\n1,0.5\n2,0.7\n3,0.9\n",
+            &IngestOptions::default(),
+        )
+        .unwrap();
+        s.save_dataset(
+            "ada",
+            "scaled",
+            "SELECT k, v * 10 AS v10 FROM t",
+            Metadata::default(),
+        )
+        .unwrap();
+        let q = "SELECT SUM(v10) FROM scaled";
+        s.run_query("ada", q).unwrap();
+        s.run_query("ada", q).unwrap(); // result-cache hit, heats the view
+        s.run_query("ada", "SELECT MAX(v10) FROM scaled").unwrap(); // spliced
+        let log = s.log();
+        let c = extract_corpus(log.entries());
+        assert_eq!(c.len(), 3);
+        assert!(!c[0].cache_hit);
+        assert!(c[1].cache_hit, "repeat must extract as a cache hit");
+        assert!(
+            c[2].cached_scans >= 1,
+            "hot-view splice must extract as a cached scan: ops {:?}",
+            c[2].ops
+        );
     }
 
     #[test]

@@ -165,6 +165,8 @@ mod tests {
             filters: vec![],
             est_cost: 1.0,
             max_dop: 1,
+            cache_hit: false,
+            cached_scans: 0,
             plan: Json::Null,
         }
     }

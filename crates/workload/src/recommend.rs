@@ -132,6 +132,8 @@ mod tests {
             filters: vec![],
             est_cost: 1.0,
             max_dop: 1,
+            cache_hit: false,
+            cached_scans: 0,
             // Distinct template per SQL string for these tests.
             plan: Json::object([("physicalOp", Json::str(sql.to_string()))]),
         }

@@ -220,6 +220,8 @@ mod tests {
             filters: vec![],
             est_cost: 0.0,
             max_dop: 1,
+            cache_hit: false,
+            cached_scans: 0,
             plan: Json::Null,
         };
         let corpus = vec![

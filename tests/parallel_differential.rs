@@ -100,6 +100,12 @@ fn run_corpus(corpus_name: &str, corpus: sqlshare_wlgen::sqlshare::GeneratedCorp
     // Force every eligible plan parallel so coverage does not depend on
     // the dev-scale corpus clearing the cost threshold.
     parallel.set_parallelism_cost_threshold(0.0);
+    // Engine clones share the service's query cache; hot-view pins made by
+    // one replica would change what the other binds mid-replay. This
+    // harness compares *cold* serial vs parallel execution — cache
+    // correctness has its own differential suite (cache_differential.rs).
+    serial.disable_cache();
+    parallel.disable_cache();
 
     let mut tally = Tally {
         compared: 0,

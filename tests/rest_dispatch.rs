@@ -148,6 +148,45 @@ fn rest_session_end_to_end() {
 }
 
 #[test]
+fn rest_cache_stats_and_cache_hit_flag() {
+    let mut s = SqlShare::new();
+    // Force caching on: the CI matrix also runs with the result cache
+    // disabled via SQLSHARE_RESULT_CACHE_MB=0.
+    s.set_cache_config(64, 3);
+    dispatch(&mut s, &post("/api/users", &[("username", "ada"), ("email", "a@uw.edu")]));
+    let r = dispatch(
+        &mut s,
+        &post(
+            "/api/datasets",
+            &[("user", "ada"), ("name", "tides"), ("content", "station,level\n1,2.5\n2,3.1\n")],
+        ),
+    );
+    assert_eq!(r.status, 201);
+
+    let run = |s: &mut SqlShare| {
+        let r = dispatch(
+            s,
+            &post("/api/queries", &[("user", "ada"), ("sql", "SELECT COUNT(*) FROM ada.tides")]),
+        );
+        let id = r.body.get("id").unwrap().as_f64().unwrap() as u64;
+        s.wait_for_job(id, std::time::Duration::from_secs(10)).unwrap();
+        dispatch(s, &Request::get(format!("/api/queries/{id}/results")))
+    };
+    let cold = run(&mut s);
+    assert_eq!(cold.body.get("cacheHit"), Some(&Json::Bool(false)));
+    let warm = run(&mut s);
+    assert_eq!(warm.body.get("cacheHit"), Some(&Json::Bool(true)));
+    assert_eq!(cold.body.get("rows"), warm.body.get("rows"));
+
+    let r = dispatch(&mut s, &Request::get("/api/cache"));
+    assert_eq!(r.status, 200);
+    assert!(r.body.get("resultHits").unwrap().as_f64().unwrap() >= 1.0);
+    assert!(r.body.get("resultMisses").unwrap().as_f64().unwrap() >= 1.0);
+    let ada = r.body.get("tenants").unwrap().get("ada").unwrap();
+    assert!(ada.get("hits").unwrap().as_f64().unwrap() >= 1.0);
+}
+
+#[test]
 fn rest_error_statuses() {
     let mut s = SqlShare::new();
     assert_eq!(dispatch(&mut s, &Request::get("/api/unknown")).status, 404);
