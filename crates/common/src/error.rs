@@ -44,6 +44,12 @@ pub enum Error {
     Timeout(String),
     /// The query was cancelled by its owner or an administrator.
     Cancelled(String),
+    /// A bug surfaced mid-query (a contained panic inside an operator or
+    /// a parallel worker). The query fails; the process keeps serving.
+    Internal(String),
+    /// The query exceeded its memory budget (`SQLSHARE_QUERY_MEM_MB`) or
+    /// the engine-wide memory pool.
+    ResourceExhausted(String),
 }
 
 impl Error {
@@ -63,7 +69,23 @@ impl Error {
             Error::Overloaded(_) => "overloaded",
             Error::Timeout(_) => "timeout",
             Error::Cancelled(_) => "cancelled",
+            Error::Internal(_) => "internal",
+            Error::ResourceExhausted(_) => "resource",
         }
+    }
+
+    /// Convert a payload caught by `std::panic::catch_unwind` into an
+    /// [`Error::Internal`], preserving the panic message when it is a
+    /// string (the common `panic!("...")` case).
+    pub fn from_panic(payload: Box<dyn std::any::Any + Send>) -> Error {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        };
+        Error::Internal(format!("contained panic: {msg}"))
     }
 
     /// The human-readable message carried by the variant.
@@ -81,7 +103,9 @@ impl Error {
             | Error::Quota(m)
             | Error::Overloaded(m)
             | Error::Timeout(m)
-            | Error::Cancelled(m) => m,
+            | Error::Cancelled(m)
+            | Error::Internal(m)
+            | Error::ResourceExhausted(m) => m,
         }
     }
 }
@@ -122,10 +146,24 @@ mod tests {
             Error::Overloaded(String::new()),
             Error::Timeout(String::new()),
             Error::Cancelled(String::new()),
+            Error::Internal(String::new()),
+            Error::ResourceExhausted(String::new()),
         ];
         let mut kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
         kinds.dedup();
         assert_eq!(kinds.len(), errs.len());
+    }
+
+    #[test]
+    fn panic_payloads_become_internal_errors() {
+        let caught =
+            std::panic::catch_unwind(|| panic!("boom at row {}", 7)).unwrap_err();
+        let err = Error::from_panic(caught);
+        assert_eq!(err.kind(), "internal");
+        assert!(err.message().contains("boom at row 7"), "{err}");
+
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert!(Error::from_panic(caught).message().contains("non-string"));
     }
 }

@@ -23,6 +23,23 @@ impl Outcome {
     pub fn is_success(&self) -> bool {
         matches!(self, Outcome::Success { .. })
     }
+
+    /// Failure class for error-rate reporting: `internal` (contained
+    /// panics / engine bugs), `resource` (memory-budget exhaustion),
+    /// `timeout`, `cancelled`, or `error` for ordinary query errors
+    /// (parse, binding, permission, execution, ...). `None` on success.
+    pub fn failure_class(&self) -> Option<&'static str> {
+        match self {
+            Outcome::Success { .. } => None,
+            Outcome::Error(kind) => Some(match kind.as_str() {
+                "internal" => "internal",
+                "resource" => "resource",
+                "timeout" => "timeout",
+                "cancelled" => "cancelled",
+                _ => "error",
+            }),
+        }
+    }
 }
 
 /// One entry in the query log.
@@ -41,6 +58,10 @@ pub struct QueryLogEntry {
     /// Whether the rows were served from the result cache instead of
     /// being executed (successful queries only; always false on errors).
     pub cache_hit: bool,
+    /// True when the query exhausted its memory budget at full DOP and
+    /// went through the serial (DOP-1, cache-bypassed) degraded retry —
+    /// whatever the final outcome was.
+    pub degraded_retry: bool,
     /// The cleaned JSON plan (Phase 1 output, Fig. 5a). Present only for
     /// successful queries.
     pub plan_json: Option<Json>,
@@ -113,6 +134,7 @@ mod tests {
             },
             queue_wait_micros: 0,
             cache_hit: false,
+            degraded_retry: false,
             plan_json: None,
             tables: vec![],
             datasets: vec![],
@@ -135,5 +157,34 @@ mod tests {
     fn outcome_kinds() {
         assert!(Outcome::Success { rows: 0, runtime_micros: 0 }.is_success());
         assert!(!Outcome::Error("x".into()).is_success());
+    }
+
+    #[test]
+    fn failure_classes_group_error_kinds() {
+        assert_eq!(
+            Outcome::Success { rows: 0, runtime_micros: 0 }.failure_class(),
+            None
+        );
+        assert_eq!(
+            Outcome::Error("internal".into()).failure_class(),
+            Some("internal")
+        );
+        assert_eq!(
+            Outcome::Error("resource".into()).failure_class(),
+            Some("resource")
+        );
+        assert_eq!(
+            Outcome::Error("timeout".into()).failure_class(),
+            Some("timeout")
+        );
+        assert_eq!(
+            Outcome::Error("cancelled".into()).failure_class(),
+            Some("cancelled")
+        );
+        assert_eq!(Outcome::Error("parse".into()).failure_class(), Some("error"));
+        assert_eq!(
+            Outcome::Error("execution".into()).failure_class(),
+            Some("error")
+        );
     }
 }

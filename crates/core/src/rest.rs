@@ -110,20 +110,32 @@ impl Response {
     }
 
     fn from_err(err: &Error) -> Self {
-        let status = match err.kind() {
-            "parse" | "binding" | "request" | "ingest" | "json" | "plan" => 400,
-            "permission" => 403,
-            "catalog" => 404,
-            "quota" => 429,
-            _ => 500,
-        };
         Response {
-            status,
+            status: status_for_kind(err.kind()),
             body: Json::object([
                 ("error", Json::str(err.message().to_string())),
                 ("kind", Json::str(err.kind())),
             ]),
         }
+    }
+}
+
+/// Deliberate HTTP status for each error kind; `tests/rest_dispatch.rs`
+/// audits the full table against every [`Error`] variant. The fallback
+/// 500 covers only kinds added later — `internal` is listed explicitly
+/// so a contained panic is a *chosen* 500, and resource pressure
+/// (quota, admission, memory) is the 429 family, distinct from bugs.
+pub fn status_for_kind(kind: &str) -> u16 {
+    match kind {
+        "parse" | "binding" | "request" | "ingest" | "json" | "plan" => 400,
+        "permission" => 403,
+        "catalog" => 404,
+        "timeout" => 408,
+        "cancelled" => 409,
+        "execution" => 422,
+        "quota" | "overloaded" | "resource" => 429,
+        "internal" => 500,
+        _ => 500,
     }
 }
 
@@ -339,9 +351,11 @@ pub fn dispatch(service: &mut SqlShare, request: &Request) -> Response {
                 Ok(status) => {
                     let mut fields = vec![("status", Json::str(status.label()))];
                     match &status {
-                        JobStatus::Failed(msg)
-                        | JobStatus::TimedOut(msg)
-                        | JobStatus::Cancelled(msg) => {
+                        JobStatus::Failed(err) => {
+                            fields.push(("error", Json::str(err.message())));
+                            fields.push(("errorKind", Json::str(err.kind())));
+                        }
+                        JobStatus::TimedOut(msg) | JobStatus::Cancelled(msg) => {
                             fields.push(("error", Json::str(msg.clone())));
                         }
                         _ => {}
@@ -373,6 +387,9 @@ pub fn dispatch(service: &mut SqlShare, request: &Request) -> Response {
                     ("submitted", Json::num(t.submitted as f64)),
                     ("completed", Json::num(t.completed as f64)),
                     ("failed", Json::num(t.failed as f64)),
+                    ("failedInternal", Json::num(t.failed_internal as f64)),
+                    ("failedResource", Json::num(t.failed_resource as f64)),
+                    ("degradedRetries", Json::num(t.degraded_retries as f64)),
                     ("timedOut", Json::num(t.timed_out as f64)),
                     ("cancelled", Json::num(t.cancelled as f64)),
                     ("rejected", Json::num(t.rejected as f64)),

@@ -15,11 +15,12 @@ use crate::permissions::{check_access, DatasetGraph, Visibility};
 use crate::querylog::{Outcome, QueryLog, QueryLogEntry};
 use sqlshare_common::json::Json;
 use sqlshare_common::{CancelReason, CancellationToken, Error, Result};
-use sqlshare_engine::{Engine, Row, Schema, Table};
+use sqlshare_engine::{Engine, FaultSite, Row, Schema, Table};
 use sqlshare_ingest::staging::Staging;
 use sqlshare_ingest::{IngestOptions, IngestReport};
 use sqlshare_scheduler::{
-    JobDisposition, Scheduler, SchedulerConfig, SchedulerStats, SubmitOptions,
+    FailureClass, JobDisposition, JobReport, Scheduler, SchedulerConfig, SchedulerStats,
+    SubmitOptions,
 };
 use sqlshare_sql::ast::{ObjectName, Query, TableRef};
 use sqlshare_sql::parser::parse_query;
@@ -70,7 +71,11 @@ pub enum JobStatus {
     /// A worker is executing the query.
     Running,
     Complete,
-    Failed(String),
+    /// The query unwound with an error. The full typed error is kept
+    /// (not just its message) so `query_results` and the REST layer can
+    /// distinguish server faults (contained panics → 500) from resource
+    /// kills (429) and ordinary query errors (4xx).
+    Failed(Error),
     /// The query's deadline expired before it finished.
     TimedOut(String),
     /// The owner (or an admin) cancelled the query.
@@ -137,6 +142,7 @@ fn push_log(
     touches_foreign_data: bool,
     queue_wait_micros: u64,
     cache_hit: bool,
+    degraded_retry: bool,
 ) {
     let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
     let id = log.len() as u64 + 1;
@@ -152,6 +158,7 @@ fn push_log(
         touches_foreign_data,
         queue_wait_micros,
         cache_hit,
+        degraded_retry,
     });
 }
 
@@ -554,7 +561,8 @@ impl SqlShare {
     pub fn run_query(&mut self, user: &str, sql: &str) -> Result<QueryResult> {
         self.require_user(user)?;
         let at = self.clock.tick();
-        match self.run_query_inner(user, sql) {
+        let mut degraded = false;
+        match self.run_query_inner(user, sql, &mut degraded) {
             Ok((result, datasets, tables)) => {
                 let foreign = datasets.iter().any(|k| {
                     self.datasets
@@ -578,6 +586,7 @@ impl SqlShare {
                     foreign,
                     0,
                     result.cache_hit,
+                    degraded,
                 );
                 Ok(result)
             }
@@ -594,6 +603,7 @@ impl SqlShare {
                     false,
                     0,
                     false,
+                    degraded,
                 );
                 Err(err)
             }
@@ -604,6 +614,7 @@ impl SqlShare {
         &mut self,
         user: &str,
         sql: &str,
+        degraded: &mut bool,
     ) -> Result<(QueryResult, Vec<String>, Vec<String>)> {
         let parsed = parse_query(sql)?;
         let qualified = self.qualify(&parsed, user)?;
@@ -612,7 +623,18 @@ impl SqlShare {
             check_access(&GraphView { service: self }, user, key)?;
         }
         let canonical = qualified.to_string();
-        let output = self.engine.run(&canonical)?;
+        let output = match self.engine.run(&canonical) {
+            // Graceful degradation: a query that blew its memory budget
+            // at full DOP gets one serial, cache-bypassed retry (a
+            // DOP-1 plan charges far less — no per-worker partials, no
+            // materialized morsel outputs) before the error surfaces.
+            Err(Error::ResourceExhausted(_)) => {
+                *degraded = true;
+                self.engine
+                    .run_degraded_with_cancel(&canonical, CancellationToken::new())?
+            }
+            other => other?,
+        };
         let tables = output.plan.base_tables();
         let plan_json = output.plan_json(sql);
         Ok((
@@ -685,8 +707,9 @@ impl SqlShare {
                     false,
                     0,
                     false,
+                    false,
                 );
-                self.insert_job(id, user, sql, JobStatus::Failed(err.to_string()));
+                self.insert_job(id, user, sql, JobStatus::Failed(err));
                 return Ok(id);
             }
         };
@@ -732,7 +755,7 @@ impl SqlShare {
                 if ctx.token.is_cancelled() {
                     let err = ctx.token.to_error();
                     let status = status_for(&err);
-                    let disposition = disposition_for(&err);
+                    let report = report_for(&err);
                     push_log(
                         &log,
                         &user_owned,
@@ -745,22 +768,57 @@ impl SqlShare {
                         false,
                         wait,
                         false,
+                        false,
                     );
                     update_job(&jobs, id, |j| {
                         j.queue_wait_micros = wait;
                         j.status = status;
                     });
-                    return disposition;
+                    return report;
                 }
                 update_job(&jobs, id, |j| {
                     j.queue_wait_micros = wait;
                     j.status = JobStatus::Running;
                 });
-                let outcome = match &prepared {
-                    Ok(plan) => engine.run_prepared_with_cancel(plan, ctx.token.clone()),
-                    // The snapshot is immutable, so re-planning could
-                    // only reproduce the same error; report it directly.
-                    Err(err) => Err(err.clone()),
+                // Containment here (below the scheduler's own barrier)
+                // keeps the job *table* consistent: a panic at the
+                // dequeue fault site, or any engine panic that slipped
+                // the engine's barriers, still ends with a terminal job
+                // status and a log entry instead of a forever-Running
+                // handle.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // Dequeue fault site: fires the moment the worker
+                    // picks the job up, before the engine's own
+                    // containment takes over.
+                    if let Some(faults) = engine.fault_plan() {
+                        faults.check(FaultSite::SchedDequeue)?;
+                    }
+                    match &prepared {
+                        Ok(plan) => engine.run_prepared_with_cancel(plan, ctx.token.clone()),
+                        // The snapshot is immutable, so re-planning could
+                        // only reproduce the same error; report it directly.
+                        Err(err) => Err(err.clone()),
+                    }
+                }))
+                .unwrap_or_else(|payload| Err(Error::from_panic(payload)));
+                // Graceful degradation: a memory-killed query gets one
+                // serial (DOP-1, cache-bypassed) retry before its error
+                // surfaces. A cancel must win over the retry whenever it
+                // lands: the retry unwinds cooperatively off the same
+                // token, and even a retry that raced to completion is
+                // reported cancelled — the client was already told so.
+                let mut degraded = false;
+                let outcome = match outcome {
+                    Err(Error::ResourceExhausted(_)) => {
+                        degraded = true;
+                        let retried =
+                            engine.run_degraded_with_cancel(&canonical, ctx.token.clone());
+                        match retried {
+                            Ok(_) if ctx.token.is_cancelled() => Err(ctx.token.to_error()),
+                            other => other,
+                        }
+                    }
+                    other => other,
                 };
                 match outcome {
                     Ok(output) => {
@@ -789,16 +847,17 @@ impl SqlShare {
                             foreign,
                             wait,
                             result.cache_hit,
+                            degraded,
                         );
                         update_job(&jobs, id, |j| {
                             j.result = Some(result);
                             j.status = JobStatus::Complete;
                         });
-                        JobDisposition::Completed
+                        JobReport::new(JobDisposition::Completed).with_degraded_retry(degraded)
                     }
                     Err(err) => {
                         let status = status_for(&err);
-                        let disposition = disposition_for(&err);
+                        let report = report_for(&err);
                         push_log(
                             &log,
                             &user_owned,
@@ -811,9 +870,10 @@ impl SqlShare {
                             false,
                             wait,
                             false,
+                            degraded,
                         );
                         update_job(&jobs, id, |j| j.status = status);
-                        disposition
+                        report.with_degraded_retry(degraded)
                     }
                 }
             },
@@ -838,6 +898,7 @@ impl SqlShare {
                 vec![],
                 false,
                 0,
+                false,
                 false,
             );
             return Err(err);
@@ -893,7 +954,7 @@ impl SqlShare {
             .ok_or_else(|| Error::Request(format!("unknown query id {id}")))?;
         match (&job.status, &job.result) {
             (JobStatus::Complete, Some(r)) => Ok(r.clone()),
-            (JobStatus::Failed(msg), _) => Err(Error::Execution(msg.clone())),
+            (JobStatus::Failed(err), _) => Err(err.clone()),
             (JobStatus::TimedOut(msg), _) => Err(Error::Timeout(msg.clone())),
             (JobStatus::Cancelled(msg), _) => Err(Error::Cancelled(msg.clone())),
             _ => Err(Error::Request(format!(
@@ -990,6 +1051,23 @@ impl SqlShare {
     pub fn set_parallelism(&mut self, max_dop: usize, threshold: f64) {
         self.engine.set_max_dop(max_dop);
         self.engine.set_parallelism_cost_threshold(threshold);
+        self.invalidate_snapshot();
+    }
+
+    /// Cap each query's memory budget in bytes (`usize::MAX` disables
+    /// the cap) — the programmatic form of `SQLSHARE_QUERY_MEM_MB`.
+    /// Invalidates the worker snapshot so queued work picks it up.
+    pub fn set_query_mem_limit(&mut self, bytes: usize) {
+        self.engine.set_query_mem_limit(bytes);
+        self.invalidate_snapshot();
+    }
+
+    /// Install (or clear) a deterministic fault-injection plan — the
+    /// programmatic form of `SQLSHARE_FAULTS`. Invalidates the worker
+    /// snapshot; the plan (and its draw counter) is shared between the
+    /// sync path and worker snapshots.
+    pub fn set_fault_plan(&mut self, plan: Option<sqlshare_engine::FaultPlan>) {
+        self.engine.set_fault_plan(plan);
         self.invalidate_snapshot();
     }
 
@@ -1258,16 +1336,19 @@ fn status_for(err: &Error) -> JobStatus {
     match err {
         Error::Timeout(m) => JobStatus::TimedOut(m.clone()),
         Error::Cancelled(m) => JobStatus::Cancelled(m.clone()),
-        other => JobStatus::Failed(other.to_string()),
+        other => JobStatus::Failed(other.clone()),
     }
 }
 
-/// Scheduler-facing disposition for a query that unwound with `err`.
-fn disposition_for(err: &Error) -> JobDisposition {
+/// Scheduler-facing report for a query that unwound with `err`: the
+/// disposition plus the failure class the per-tenant stats record.
+fn report_for(err: &Error) -> JobReport {
     match err {
-        Error::Timeout(_) => JobDisposition::TimedOut,
-        Error::Cancelled(_) => JobDisposition::Cancelled,
-        _ => JobDisposition::Failed,
+        Error::Timeout(_) => JobReport::new(JobDisposition::TimedOut),
+        Error::Cancelled(_) => JobReport::new(JobDisposition::Cancelled),
+        Error::Internal(_) => JobReport::failed(FailureClass::Internal),
+        Error::ResourceExhausted(_) => JobReport::failed(FailureClass::Resource),
+        _ => JobReport::failed(FailureClass::Execution),
     }
 }
 

@@ -328,6 +328,123 @@ fn cancelled_dop4_hash_join_releases_all_slots_promptly() {
     assert_eq!(s.scheduler().free_slots(), stats.slots);
 }
 
+/// A job cancelled while its retry-at-DOP-1 is in flight must end
+/// `Cancelled`, not `Complete`, and release every reserved slot. The
+/// forced dequeue-exhaustion fault makes the first attempt fail the
+/// moment a worker picks the job up, so the degraded serial retry is
+/// what the cancel lands on.
+#[test]
+fn cancel_during_degraded_retry_ends_cancelled() {
+    use sqlshare_engine::{FaultPlan, FaultSite};
+
+    let mut s = service_with_nums(SchedulerConfig::default(), 80);
+    s.set_fault_plan(Some(FaultPlan::exhaust_at(FaultSite::SchedDequeue)));
+    let id = s.submit_query("ada", &cross("")).unwrap();
+
+    // Wait until a worker owns the job; the forced fault fails the
+    // first attempt instantly, so a Running job is in (or entering)
+    // the degraded retry.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while std::time::Instant::now() < deadline {
+        if matches!(s.query_status(id), Ok(JobStatus::Running)) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(matches!(s.query_status(id), Ok(JobStatus::Running)));
+    std::thread::sleep(Duration::from_millis(10));
+
+    s.cancel_query("ada", id).unwrap();
+    let status = s.wait_for_job(id, Duration::from_secs(30)).unwrap();
+    assert!(
+        matches!(status, JobStatus::Cancelled(_)),
+        "cancel during degraded retry must win; got {status:?}"
+    );
+    assert_eq!(s.query_results(id).unwrap_err().kind(), "cancelled");
+
+    assert!(s.scheduler().wait_idle(Duration::from_secs(30)));
+    let stats = s.scheduler_stats();
+    assert_eq!(stats.totals.cancelled, 1);
+    assert_eq!(stats.totals.completed, 0);
+    assert_eq!(stats.totals.degraded_retries, 1);
+    assert_eq!(stats.totals.running_slots, 0);
+    assert_eq!(s.scheduler().free_slots(), stats.slots, "slots leaked");
+    // The cancelled retry is logged with its failure class and flag.
+    let log = s.log();
+    let last = log.entries().last().unwrap();
+    assert!(last.degraded_retry);
+    assert!(matches!(&last.outcome, sqlshare_core::Outcome::Error(k) if k == "cancelled"));
+}
+
+/// The memory governor is per query, not per service: a tenant whose
+/// query blows its budget (even after the DOP-1 retry) gets a typed
+/// resource error, while another tenant's modest query running on the
+/// same engine completes untouched.
+#[test]
+fn memory_killed_query_does_not_take_down_other_tenants() {
+    let mut s = service_with_nums(SchedulerConfig::default(), 60);
+    s.register_user("bob", "bob@example.com").unwrap();
+    // ~200 KB of result rows against a 96 KB budget: too big even for
+    // the serial retry's minimal footprint.
+    s.set_query_mem_limit(96 * 1024);
+    let big = "SELECT a.n, b.n FROM ada.nums a JOIN ada.nums b ON a.n % 1 = b.n % 1";
+    let big_id = s.submit_query("ada", big).unwrap();
+    let small_id = s.submit_query("bob", "SELECT COUNT(*) FROM ada.nums").unwrap();
+
+    let big_status = s.wait_for_job(big_id, Duration::from_secs(60)).unwrap();
+    assert!(matches!(big_status, JobStatus::Failed(_)), "got {big_status:?}");
+    assert_eq!(s.query_results(big_id).unwrap_err().kind(), "resource");
+    let small_status = s.wait_for_job(small_id, Duration::from_secs(60)).unwrap();
+    assert!(matches!(small_status, JobStatus::Complete), "got {small_status:?}");
+    assert_eq!(s.query_results(small_id).unwrap().rows[0][0].to_text(), "60");
+
+    assert!(s.scheduler().wait_idle(Duration::from_secs(30)));
+    let stats = s.scheduler_stats();
+    assert_eq!(stats.totals.completed, 1);
+    assert_eq!(stats.totals.failed, 1);
+    assert_eq!(stats.tenants["ada"].failed_resource, 1);
+    assert_eq!(stats.tenants["ada"].degraded_retries, 1);
+    assert_eq!(stats.tenants["bob"].completed, 1);
+    assert_eq!(s.scheduler().free_slots(), stats.slots, "slots leaked");
+}
+
+/// An injected panic inside a parallel worker at DOP 4 fails only its
+/// own job: the panic is contained into `Error::Internal`, all four
+/// reserved slots come back, and the very next submission runs clean.
+#[test]
+fn worker_panic_at_dop4_fails_one_job_and_service_survives() {
+    use sqlshare_engine::{FaultPlan, FaultSite};
+
+    let mut s = service_with_nums(
+        SchedulerConfig { workers: 4, ..Default::default() },
+        20_000,
+    );
+    s.set_parallelism(4, 0.0);
+    let sql = "SELECT COUNT(*) FROM ada.nums a JOIN ada.nums b ON a.n % 10 = b.n % 10";
+    let canonical = s.canonicalize("ada", sql).unwrap();
+    assert_eq!(s.engine().plan_dop(&canonical), 4, "query must plan at DOP 4");
+
+    s.set_fault_plan(Some(FaultPlan::panic_at(FaultSite::Scan)));
+    let id = s.submit_query("ada", sql).unwrap();
+    let status = s.wait_for_job(id, Duration::from_secs(60)).unwrap();
+    assert!(matches!(status, JobStatus::Failed(_)), "got {status:?}");
+    let err = s.query_results(id).unwrap_err();
+    assert_eq!(err.kind(), "internal", "{err}");
+
+    assert!(s.scheduler().wait_idle(Duration::from_secs(30)));
+    let stats = s.scheduler_stats();
+    assert_eq!(stats.totals.failed, 1);
+    assert_eq!(stats.tenants["ada"].failed_internal, 1);
+    assert_eq!(stats.totals.running_slots, 0);
+    assert_eq!(s.scheduler().free_slots(), stats.slots, "panicked job leaked slots");
+
+    // The process kept serving: clear the plan and run again.
+    s.set_fault_plan(None);
+    let id = s.submit_query("ada", sql).unwrap();
+    let status = s.wait_for_job(id, Duration::from_secs(60)).unwrap();
+    assert!(matches!(status, JobStatus::Complete), "got {status:?}");
+}
+
 /// Queue-wait and execution time are split in the query log.
 #[test]
 fn query_log_records_queue_wait_split() {

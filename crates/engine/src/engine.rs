@@ -7,9 +7,11 @@ use crate::optimizer::{optimize, parallelize};
 use crate::catalog::{canonical_key, Catalog};
 use crate::exec;
 use crate::explain::plan_to_json;
+use crate::faults::{FaultPlan, FaultSite};
 use crate::functions::EvalContext;
 use crate::exec::ExecGuard;
 use crate::logical::LogicalPlan;
+use crate::memory::{self, MemoryBudget, MemoryPool};
 use crate::physical::{plan_physical_with, PhysicalPlan};
 use crate::schema::Schema;
 use crate::table::Table;
@@ -43,6 +45,21 @@ fn exec_threads_from_env() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&v| v >= 1)
         .unwrap_or_else(exec::hardware_threads)
+}
+
+/// Run `f`, converting any panic it leaks into [`Error::Internal`] — the
+/// containment barrier that turns one query's bug (or injected chaos
+/// panic) into a per-query failure instead of a process abort.
+///
+/// `AssertUnwindSafe` is justified by the engine's poisoning discipline:
+/// everything `f` can half-mutate is either query-local (dropped on
+/// unwind), per-element atomic (the join matched bitmap), or behind the
+/// cache's poison-recovering lock whose writes are transactional (a
+/// partial result is never inserted — stores happen strictly after a
+/// successful execution, outside `f`'s failure window).
+fn contain<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        .unwrap_or_else(|payload| Err(Error::from_panic(payload)))
 }
 
 /// Result of running one query.
@@ -85,6 +102,16 @@ pub struct Engine {
     /// The multi-level cache, shared across clones of this engine (the
     /// service's worker snapshots populate and consult the same cache).
     cache: Arc<QueryCache>,
+    /// Per-query memory budget in bytes (`SQLSHARE_QUERY_MEM_MB`;
+    /// unlimited by default). Each run gets a fresh [`MemoryBudget`] of
+    /// this size.
+    query_mem_bytes: usize,
+    /// Engine-wide memory pool (`SQLSHARE_TOTAL_MEM_MB`), shared across
+    /// clones so concurrent worker snapshots draw from one budget.
+    mem_pool: Arc<MemoryPool>,
+    /// Fault-injection schedule (`SQLSHARE_FAULTS=seed:rate`), shared
+    /// across clones so a chaos run draws one deterministic stream.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// A query planned once for later execution: the bound output schema, the
@@ -138,6 +165,13 @@ impl Engine {
             parallel_threshold: crate::cost::PARALLELISM_COST_THRESHOLD,
             exec_threads: exec_threads_from_env(),
             cache: Arc::new(QueryCache::from_env()),
+            query_mem_bytes: memory::mem_limit_from_env("SQLSHARE_QUERY_MEM_MB")
+                .unwrap_or(memory::UNLIMITED),
+            mem_pool: Arc::new(
+                memory::mem_limit_from_env("SQLSHARE_TOTAL_MEM_MB")
+                    .map_or_else(MemoryPool::unlimited, MemoryPool::new),
+            ),
+            faults: FaultPlan::from_env().map(Arc::new),
         }
     }
 
@@ -153,13 +187,43 @@ impl Engine {
         self.exec_threads = threads.max(1);
     }
 
-    /// An [`ExecGuard`] carrying this engine's worker-thread cap.
+    /// An [`ExecGuard`] carrying this engine's worker-thread cap, a
+    /// fresh per-query [`MemoryBudget`] drawing on the shared pool, and
+    /// the fault-injection schedule.
     fn guard(&self, token: Option<CancellationToken>) -> ExecGuard {
         let guard = match token {
             Some(token) => ExecGuard::new(token),
             None => ExecGuard::unbounded(),
         };
-        guard.with_exec_threads(self.exec_threads)
+        guard
+            .with_exec_threads(self.exec_threads)
+            .with_memory(Arc::new(MemoryBudget::new(
+                self.query_mem_bytes,
+                Some(Arc::clone(&self.mem_pool)),
+            )))
+            .with_faults(self.faults.clone())
+    }
+
+    /// Set the per-query memory budget in bytes (the programmatic form
+    /// of `SQLSHARE_QUERY_MEM_MB`; tests use byte granularity).
+    pub fn set_query_mem_limit(&mut self, bytes: usize) {
+        self.query_mem_bytes = bytes.max(1);
+    }
+
+    /// Install (or clear) a fault-injection schedule — the programmatic
+    /// form of `SQLSHARE_FAULTS=seed:rate`.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan.map(Arc::new);
+    }
+
+    /// The active fault plan, if any (tests inspect draw counts).
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// The engine-wide memory pool (shared across clones).
+    pub fn memory_pool(&self) -> &Arc<MemoryPool> {
+        &self.mem_pool
     }
 
     /// The configured parallelism cap.
@@ -278,7 +342,8 @@ impl Engine {
         let mut binder = Binder::with_cache(&self.catalog, &self.cache);
         let logical = binder.bind_query(&query)?;
         let logical = optimize(logical);
-        let plan = plan_physical_with(&logical, &self.catalog, &self.ctx, &self.guard(None))?;
+        let plan =
+            contain(|| plan_physical_with(&logical, &self.catalog, &self.ctx, &self.guard(None)))?;
         Ok(parallelize(plan, self.max_dop, self.parallel_threshold))
     }
 
@@ -315,7 +380,7 @@ impl Engine {
     /// a cold bind against the live catalog (tests compare this against
     /// the cached path).
     pub fn prepare_uncached(&self, sql: &str) -> Result<PreparedQuery> {
-        self.prepare_cold(sql, cache::normalize_sql(sql), &self.guard(None), false)
+        contain(|| self.prepare_cold(sql, cache::normalize_sql(sql), &self.guard(None), false))
     }
 
     /// Execute a previously [`Engine::prepare`]d plan, polling `token`.
@@ -329,6 +394,38 @@ impl Engine {
     ) -> Result<QueryOutput> {
         let guard = self.guard(Some(token));
         self.execute_prepared(prepared, &guard, Instant::now())
+    }
+
+    /// Degraded execution for the service's retry of a memory-killed
+    /// query: serial (DOP 1 — no morsel materialization, no parallel
+    /// build duplication) with every cache level bypassed (no result
+    /// store, no hot-view splices), under a fresh memory budget. If even
+    /// this minimal footprint exceeds the budget, the query's answer
+    /// genuinely does not fit and the error stands.
+    pub fn run_degraded_with_cancel(
+        &self,
+        sql: &str,
+        token: CancellationToken,
+    ) -> Result<QueryOutput> {
+        let started = Instant::now();
+        let mut serial = self.clone();
+        serial.set_max_dop(1);
+        let guard = serial.guard(Some(token));
+        let prepared =
+            contain(|| serial.prepare_cold(sql, cache::normalize_sql(sql), &guard, false))?;
+        let rows = contain(|| {
+            let rows = exec::execute(&prepared.plan, &serial.catalog, &serial.ctx, &guard)?;
+            guard.charge(cache::rows_bytes(&rows))?;
+            Ok(rows)
+        })?;
+        Ok(QueryOutput {
+            schema: prepared.schema,
+            rows,
+            plan: prepared.plan,
+            elapsed_micros: started.elapsed().as_micros() as u64,
+            cache_hit: false,
+            deps: prepared.deps,
+        })
     }
 
     /// Run a query at a fixed degree of parallelism, overriding the
@@ -357,7 +454,10 @@ impl Engine {
         if let Some(plan) = self.cache.lookup_plan(&key) {
             return Ok(plan);
         }
-        let prepared = Arc::new(self.prepare_cold(sql, normalized, guard, true)?);
+        // Planning executes uncorrelated subqueries, so it sits under the
+        // same containment barrier as execution; a panicking plan is a
+        // failed query, and nothing is stored in the plan cache.
+        let prepared = Arc::new(contain(|| self.prepare_cold(sql, normalized, guard, true))?);
         self.cache.store_plan(key, Arc::clone(&prepared));
         Ok(prepared)
     }
@@ -439,7 +539,17 @@ impl Engine {
                 deps: prepared.deps.clone(),
             });
         }
-        let rows = exec::execute(&prepared.plan, &self.catalog, &self.ctx, guard)?;
+        let rows = contain(|| {
+            let rows = exec::execute(&prepared.plan, &self.catalog, &self.ctx, guard)?;
+            // Result assembly: the gathered output is the query's last
+            // allocation; charge it before it can reach the cache.
+            guard.charge(cache::rows_bytes(&rows))?;
+            // Chaos checkpoint for the insertion that follows. A fault
+            // here fails the query with *nothing* stored — partial or
+            // failed results never enter the cache.
+            guard.fault(FaultSite::CacheInsert)?;
+            Ok(rows)
+        })?;
         self.cache.store_result(key, prepared.schema.clone(), &rows);
         self.note_view_hits(prepared);
         Ok(QueryOutput {
@@ -479,7 +589,7 @@ impl Engine {
             return;
         };
         let sql = view.sql.clone();
-        let outcome = (|| -> Result<Option<MaterializedView>> {
+        let outcome = contain(|| -> Result<Option<MaterializedView>> {
             let query = parse_query(&sql)?;
             let mut binder = Binder::new(&self.catalog);
             let logical = binder.bind_query(&query)?;
@@ -507,11 +617,23 @@ impl Engine {
                 rows: Arc::new(rows),
                 deps,
             }))
-        })();
+        });
         match outcome {
             Ok(Some(mat)) => self.cache.store_materialized(key, mat),
-            // Not worth pinning (trivial or oversized) or failed to
-            // evaluate — don't re-attempt until the view changes.
+            // Transient failures (a contained panic, memory pressure, a
+            // tripped token — injected or real) must not poison the
+            // view's standing: a *partial* materialization is dropped on
+            // the floor, never pinned, and the next threshold crossing
+            // retries cleanly.
+            Err(
+                Error::Internal(_)
+                | Error::ResourceExhausted(_)
+                | Error::Cancelled(_)
+                | Error::Timeout(_),
+            ) => {}
+            // Not worth pinning (trivial or oversized) or unable to
+            // evaluate (a deterministic runtime error would just recur)
+            // — don't re-attempt until the view changes.
             Ok(None) | Err(_) => self.cache.mark_view_rejected(key),
         }
     }

@@ -8,8 +8,10 @@
 use crate::aggregate::Accumulator;
 use crate::catalog::Catalog;
 use crate::expr::{eval_predicate, BoundExpr};
+use crate::faults::{FaultPlan, FaultSite};
 use crate::functions::EvalContext;
 use crate::logical::SortKey;
+use crate::memory::{values_bytes, MemoryBudget};
 use crate::physical::{PhysOp, PhysicalPlan};
 use crate::table::cmp_rows;
 use crate::value::{Row, Value};
@@ -18,6 +20,7 @@ use sqlshare_common::{CancellationToken, Error, Result};
 use sqlshare_sql::ast::{JoinKind, SetOp};
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Rows processed between cancellation checks. Checking is a single
 /// atomic load, so the interval mostly bounds how stale the check can
@@ -45,6 +48,13 @@ pub struct ExecGuard {
     /// explicitly by the engine so tests can force the threaded path
     /// deterministically instead of mutating process-global state).
     exec_threads: usize,
+    /// Per-query memory budget charged by buffer-building operators.
+    /// Shared (`Arc`) across worker forks so a parallel region's
+    /// allocations all land on the owning query.
+    mem: Arc<MemoryBudget>,
+    /// Fault-injection schedule; `None` (the default) costs one branch
+    /// per site.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ExecGuard {
@@ -53,6 +63,8 @@ impl Default for ExecGuard {
             token: None,
             until_check: Cell::new(CHECK_INTERVAL),
             exec_threads: hardware_threads(),
+            mem: Arc::new(MemoryBudget::unlimited()),
+            faults: None,
         }
     }
 }
@@ -88,6 +100,48 @@ impl ExecGuard {
         self.exec_threads
     }
 
+    /// Attach a per-query memory budget. Operators that build buffers
+    /// charge it and unwind with [`Error::ResourceExhausted`] past the
+    /// limit.
+    pub fn with_memory(mut self, mem: Arc<MemoryBudget>) -> Self {
+        self.mem = mem;
+        self
+    }
+
+    /// Attach a fault-injection schedule (chaos testing).
+    pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The memory budget this execution charges.
+    pub fn memory(&self) -> &Arc<MemoryBudget> {
+        &self.mem
+    }
+
+    /// Charge `bytes` of operator-buffer allocation to the query.
+    #[inline]
+    pub fn charge(&self, bytes: usize) -> Result<()> {
+        self.mem.charge(bytes)
+    }
+
+    /// Charge the approximate footprint of a built row buffer.
+    pub fn charge_rows(&self, rows: &[Row]) -> Result<()> {
+        self.charge(rows.iter().map(|r| values_bytes(r)).sum())
+    }
+
+    /// Fault-injection checkpoint: no-op without a plan, possibly an
+    /// injected error/panic/delay with one. Every call site sits under a
+    /// `catch_unwind` containment barrier (engine serial path, morsel
+    /// workers, scheduler job wrapper).
+    #[inline]
+    pub fn fault(&self, site: FaultSite) -> Result<()> {
+        match &self.faults {
+            Some(plan) => plan.check(site),
+            None => Ok(()),
+        }
+    }
+
     /// A fresh guard observing the same token, for a parallel worker
     /// thread. The guard itself is deliberately not `Sync` (interior
     /// mutability via [`Cell`]), so each worker forks its own; all forks
@@ -98,7 +152,10 @@ impl ExecGuard {
             Some(token) => ExecGuard::new(token.clone()),
             None => ExecGuard::unbounded(),
         };
-        forked.with_exec_threads(self.exec_threads)
+        forked
+            .with_exec_threads(self.exec_threads)
+            .with_memory(Arc::clone(&self.mem))
+            .with_faults(self.faults.clone())
     }
 
     /// Record `rows` units of work; errors if the token has tripped.
@@ -131,6 +188,7 @@ pub fn execute(
     match &plan.op {
         PhysOp::ConstantScan => Ok(vec![Vec::new()]),
         PhysOp::Scan { table } => {
+            guard.fault(FaultSite::Scan)?;
             let rows = catalog.table(table)?.rows().to_vec();
             guard.tick(rows.len() as u64)?;
             Ok(rows)
@@ -145,6 +203,7 @@ pub fn execute(
             upper,
             residual,
         } => {
+            guard.fault(FaultSite::Scan)?;
             let t = catalog.table(table)?;
             let hits = t.seek_leading(as_ref_bound(lower), as_ref_bound(upper));
             guard.tick(hits.len() as u64)?;
@@ -429,6 +488,10 @@ fn hash_join(
     ctx: &EvalContext,
     guard: &ExecGuard,
 ) -> Result<Vec<Row>> {
+    guard.fault(FaultSite::JoinBuild)?;
+    // The build table holds the whole right side for the probe's
+    // lifetime — the allocation the memory governor most wants to see.
+    guard.charge_rows(&right)?;
     let mut table: HashMap<String, Vec<usize>> = HashMap::new();
     for (ri, rrow) in right.iter().enumerate() {
         guard.tick(1)?;
@@ -440,6 +503,7 @@ fn hash_join(
             table.entry(key).or_default().push(ri);
         }
     }
+    guard.fault(FaultSite::JoinProbe)?;
     let mut out = Vec::new();
     let mut right_matched = vec![false; right.len()];
     for lrow in &left {
@@ -505,15 +569,21 @@ fn aggregate(
         return Ok(vec![accs.iter().map(Accumulator::finish).collect()]);
     }
     // Keyed grouping: evaluate keys, sort by them, aggregate runs.
+    guard.fault(FaultSite::AggMerge)?;
     let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(input.len());
+    let mut key_bytes = 0usize;
     for row in input {
         guard.tick(1)?;
         let key = group
             .iter()
             .map(|g| g.eval(&row, ctx))
             .collect::<Result<Vec<_>>>()?;
+        key_bytes += values_bytes(&key);
         keyed.push((key, row));
     }
+    // Aggregation state: the key decoration doubles the grouped columns
+    // (the rows themselves were charged by whoever built them).
+    guard.charge(key_bytes)?;
     keyed.sort_by(|a, b| cmp_rows(&a.0, &b.0));
     let mut out = Vec::new();
     let mut i = 0usize;
@@ -561,14 +631,18 @@ fn sort_rows(
 ) -> Result<Vec<Row>> {
     // Precompute key vectors (decorate-sort-undecorate).
     let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(input.len());
+    let mut key_bytes = 0usize;
     for row in input.drain(..) {
         guard.tick(1)?;
         let kv = keys
             .iter()
             .map(|k| k.expr.eval(&row, ctx))
             .collect::<Result<Vec<_>>>()?;
+        key_bytes += values_bytes(&kv);
         keyed.push((kv, row));
     }
+    // Sort buffer: the decoration is this operator's own allocation.
+    guard.charge(key_bytes)?;
     keyed.sort_by(|a, b| {
         for (i, key) in keys.iter().enumerate() {
             let ord = a.0[i].total_cmp(&b.0[i]);

@@ -45,8 +45,10 @@ pub mod engine;
 pub mod exec;
 pub mod explain;
 pub mod expr;
+pub mod faults;
 pub mod functions;
 pub mod logical;
+pub mod memory;
 pub mod optimizer;
 pub mod parallel;
 pub mod physical;
@@ -59,6 +61,8 @@ pub use cache::{CacheStats, QueryCache};
 pub use catalog::Catalog;
 pub use engine::{Engine, PreparedQuery, QueryOutput};
 pub use exec::ExecGuard;
+pub use faults::{FaultPlan, FaultSite};
+pub use memory::{MemoryBudget, MemoryPool};
 pub use schema::{Column, Schema};
 pub use table::Table;
 pub use value::{DataType, Row, Value};

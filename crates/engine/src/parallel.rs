@@ -24,6 +24,7 @@ use crate::aggregate::{AggCall, Accumulator};
 use crate::catalog::Catalog;
 use crate::exec::{self, ExecGuard};
 use crate::expr::{eval_predicate, BoundExpr};
+use crate::faults::FaultSite;
 use crate::functions::EvalContext;
 use crate::physical::{PhysOp, PhysicalPlan};
 use crate::table::cmp_rows;
@@ -287,6 +288,7 @@ fn run_morsels<T: Send>(
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let mut slots: Vec<Option<Result<T>>> = (0..morsels).map(|_| None).collect();
+    let mut lost_worker: Option<Error> = None;
     std::thread::scope(|s| {
         let (next, abort, f) = (&next, &abort, &f);
         let handles: Vec<_> = (0..workers)
@@ -302,7 +304,19 @@ fn run_morsels<T: Send>(
                         if m >= morsels {
                             break;
                         }
-                        let r = f(m, m * MORSEL_SIZE..((m + 1) * MORSEL_SIZE).min(n_rows), &worker_guard);
+                        // Panic isolation: a panicking operator (a bug, or
+                        // an injected chaos fault) fails this morsel —
+                        // and through the earliest-error rule below, this
+                        // query — never the process. The pipeline only
+                        // borrows shared state (`&Region`, `&JoinState`)
+                        // whose mutations are per-element atomics, so
+                        // unwinding mid-morsel cannot leave it torn;
+                        // `AssertUnwindSafe` is sound here.
+                        let range = m * MORSEL_SIZE..((m + 1) * MORSEL_SIZE).min(n_rows);
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            f(m, range, &worker_guard)
+                        }))
+                        .unwrap_or_else(|payload| Err(Error::from_panic(payload)));
                         let cancelled =
                             matches!(r, Err(Error::Cancelled(_) | Error::Timeout(_)));
                         local.push((m, r));
@@ -316,9 +330,17 @@ fn run_morsels<T: Send>(
             })
             .collect();
         for h in handles {
-            let local = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
-            for (m, r) in local {
-                slots[m] = Some(r);
+            match h.join() {
+                Ok(local) => {
+                    for (m, r) in local {
+                        slots[m] = Some(r);
+                    }
+                }
+                // The worker panicked *outside* the per-morsel
+                // catch_unwind (the claim loop itself — should be
+                // impossible). Contain it here too: one query must never
+                // abort the process.
+                Err(payload) => lost_worker = Some(Error::from_panic(payload)),
             }
         }
     });
@@ -329,11 +351,14 @@ fn run_morsels<T: Send>(
             return Err(e.clone());
         }
     }
+    if let Some(e) = lost_worker {
+        return Err(e);
+    }
     slots
         .into_iter()
         .map(|s| match s {
             Some(Ok(t)) => Ok(t),
-            _ => Err(Error::Execution("internal: parallel morsel lost".into())),
+            _ => Err(Error::Internal("parallel morsel lost".into())),
         })
         .collect()
 }
@@ -381,6 +406,9 @@ fn process_morsel<'a>(
     ctx: &EvalContext,
     guard: &ExecGuard,
 ) -> Result<MorselRows<'a>> {
+    // Per-morsel scan checkpoint: chaos faults here land *inside* worker
+    // threads, exercising the catch_unwind barrier in `run_morsels`.
+    guard.fault(FaultSite::Scan)?;
     let mut lead = 0usize;
     while matches!(region.ops.get(lead), Some(Op::Filter(_))) {
         lead += 1;
@@ -426,13 +454,11 @@ fn process_morsel<'a>(
             probe(spec, state, survivors, ctx, guard)?
         }
     };
-    Ok(MorselRows::Owned(apply_ops(
-        &region.ops[lead..],
-        owned,
-        join,
-        ctx,
-        guard,
-    )?))
+    let rows = apply_ops(&region.ops[lead..], owned, join, ctx, guard)?;
+    // Morsel materialization: the first row-building operator onward
+    // holds owned output until the gather drains it.
+    guard.charge_rows(&rows)?;
+    Ok(MorselRows::Owned(rows))
 }
 
 fn apply_ops(
@@ -542,7 +568,11 @@ fn build_join(
     ctx: &EvalContext,
     guard: &ExecGuard,
 ) -> Result<JoinState> {
+    guard.fault(FaultSite::JoinBuild)?;
     let rows = exec::execute(spec.build, catalog, ctx, guard)?;
+    // The build table pins the whole right side (rows + partition maps)
+    // for the probe's lifetime.
+    guard.charge_rows(&rows)?;
     let keys: Vec<Vec<Option<Vec<KeyAtom>>>> = run_morsels(rows.len(), dop, guard, |_, range, g| {
         let mut out = Vec::with_capacity(range.len());
         for row in &rows[range] {
@@ -584,6 +614,7 @@ fn probe<'r>(
     ctx: &EvalContext,
     guard: &ExecGuard,
 ) -> Result<Vec<Row>> {
+    guard.fault(FaultSite::JoinProbe)?;
     let partitions = state.parts.len();
     let track_right = matches!(spec.kind, JoinKind::Right | JoinKind::Full);
     let mut out = Vec::new();
@@ -737,7 +768,9 @@ fn partial_keyed<'r>(
     ctx: &EvalContext,
     guard: &ExecGuard,
 ) -> Result<KeyedPartial> {
+    guard.fault(FaultSite::AggMerge)?;
     let mut keyed: Vec<(Vec<Value>, &'r Row)> = Vec::new();
+    let mut key_bytes = 0usize;
     for row in input {
         guard.tick(1)?;
         let key = agg
@@ -745,8 +778,11 @@ fn partial_keyed<'r>(
             .iter()
             .map(|g| g.eval(row, ctx))
             .collect::<Result<Vec<_>>>()?;
+        key_bytes += crate::memory::values_bytes(&key);
         keyed.push((key, row));
     }
+    // Aggregation state: each worker's partial holds its own key set.
+    guard.charge(key_bytes)?;
     keyed.sort_by(|a, b| cmp_rows(&a.0, &b.0));
     let mut out: KeyedPartial = Vec::new();
     let mut i = 0usize;
@@ -768,6 +804,11 @@ fn partial_keyed<'r>(
 /// Merge two key-sorted partials. On equal keys the left (earlier
 /// morsel) representative key and accumulator order win, matching the
 /// serial executor's stable sort.
+///
+/// The `next().unwrap()`s below are invariant-safe, not cross-thread
+/// state: each follows a `peek()` that proved the iterator non-empty on
+/// this same (single) thread, so they cannot observe state torn by a
+/// contained panic elsewhere.
 fn merge_keyed(left: KeyedPartial, right: KeyedPartial) -> Result<KeyedPartial> {
     let mut out: KeyedPartial = Vec::with_capacity(left.len() + right.len());
     let mut l = left.into_iter().peekable();
@@ -933,6 +974,46 @@ mod tests {
         let p = parallel.run(sql).unwrap_err();
         let s = serial.run(sql).unwrap_err();
         assert_eq!(p, s);
+    }
+
+    #[test]
+    fn memory_budget_kills_parallel_but_degraded_retry_succeeds() {
+        // The parallel plan materializes morsel outputs (charged per
+        // worker) on top of the shared join build, so a projection join
+        // with a wide output charges roughly twice what the serial plan
+        // does. A budget between the two kills the parallel run with a
+        // typed resource error while the DOP-1 degraded path completes.
+        let (mut parallel, serial) = twins(4);
+        let sql = "SELECT v, name FROM facts JOIN dims ON facts.k = dims.id";
+        parallel.set_query_mem_limit(600 * 1024);
+        let err = parallel.run(sql).unwrap_err();
+        assert_eq!(err.kind(), "resource", "{err}");
+        // The failed query must not leak reserved bytes from the pool.
+        assert_eq!(parallel.memory_pool().used(), 0);
+        let degraded = parallel
+            .run_degraded_with_cancel(sql, CancellationToken::new())
+            .unwrap();
+        assert_eq!(degraded.plan.max_parallelism(), 1);
+        assert_eq!(degraded.rows, serial.run(sql).unwrap().rows);
+        assert_eq!(parallel.memory_pool().used(), 0);
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained_and_engine_survives() {
+        let (mut parallel, _) = twins(4);
+        parallel.set_fault_plan(Some(crate::faults::FaultPlan::panic_at(
+            crate::faults::FaultSite::Scan,
+        )));
+        let sql = "SELECT name, COUNT(*) FROM facts JOIN dims ON facts.k = dims.id GROUP BY name";
+        let err = parallel.run(sql).unwrap_err();
+        assert_eq!(err.kind(), "internal", "{err}");
+        assert!(err.message().contains("contained panic"), "{err}");
+        assert_eq!(parallel.memory_pool().used(), 0);
+        // Clearing the plan restores normal service on the same engine:
+        // the panic poisoned nothing.
+        parallel.set_fault_plan(None);
+        let out = parallel.run("SELECT COUNT(*) FROM facts").unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(5000)]]);
     }
 
     #[test]

@@ -21,8 +21,12 @@
 //!
 //! The scheduler runs closures, not SQL — `sqlshare-core` packages a
 //! query (engine snapshot, canonical SQL, log hooks) into a job and
-//! interprets the outcome. Each job reports a [`JobDisposition`] so the
-//! scheduler can attribute its fate in the stats.
+//! interprets the outcome. Each job reports a [`JobReport`] — a
+//! [`JobDisposition`] plus an optional [`FailureClass`] and a
+//! degraded-retry flag — so the scheduler can attribute its fate in the
+//! stats. A job that *panics* is contained by the worker (the panic
+//! fails that job alone, recorded as `internal`) and its slots are
+//! released like any other outcome.
 
 pub mod stats;
 
@@ -93,6 +97,64 @@ pub enum JobDisposition {
     Cancelled,
 }
 
+/// Why a job failed, for stats attribution. The scheduler does not
+/// interpret these — the service classifies its own errors — except
+/// that a job which *panics* out of its closure is recorded as
+/// [`FailureClass::Internal`] by the containment barrier in the worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// A contained panic or other engine bug (`Error::Internal`).
+    Internal,
+    /// Memory budget or pool exhaustion (`Error::ResourceExhausted`),
+    /// surfaced after the degraded retry also failed.
+    Resource,
+    /// Any other per-query error (parse, binding, execution, ...).
+    Execution,
+}
+
+/// A job's self-reported outcome: its disposition plus the failure
+/// class and degraded-retry flag that feed per-tenant stats. Plain
+/// [`JobDisposition`] converts via `From`, so closures that don't care
+/// about classification can keep returning the bare enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobReport {
+    pub disposition: JobDisposition,
+    /// Set when `disposition` is [`JobDisposition::Failed`].
+    pub failure_class: Option<FailureClass>,
+    /// The job went through the service's retry-at-DOP-1 degraded path
+    /// (whatever the final disposition was).
+    pub degraded_retry: bool,
+}
+
+impl JobReport {
+    pub fn new(disposition: JobDisposition) -> Self {
+        JobReport {
+            disposition,
+            failure_class: None,
+            degraded_retry: false,
+        }
+    }
+
+    pub fn failed(class: FailureClass) -> Self {
+        JobReport {
+            disposition: JobDisposition::Failed,
+            failure_class: Some(class),
+            degraded_retry: false,
+        }
+    }
+
+    pub fn with_degraded_retry(mut self, degraded: bool) -> Self {
+        self.degraded_retry = degraded;
+        self
+    }
+}
+
+impl From<JobDisposition> for JobReport {
+    fn from(disposition: JobDisposition) -> Self {
+        JobReport::new(disposition)
+    }
+}
+
 /// What a running job learns about its circumstances.
 #[derive(Debug, Clone)]
 pub struct JobContext {
@@ -111,7 +173,7 @@ pub struct JobTicket {
     pub token: CancellationToken,
 }
 
-type JobFn = Box<dyn FnOnce(&JobContext) -> JobDisposition + Send + 'static>;
+type JobFn = Box<dyn FnOnce(&JobContext) -> JobReport + Send + 'static>;
 
 struct QueuedJob {
     job: JobFn,
@@ -259,9 +321,10 @@ impl Scheduler {
     /// Submit a job for `tenant`. Rejects with [`Error::Overloaded`]
     /// when the tenant's queue is at capacity, and with
     /// [`Error::Cancelled`] after shutdown has begun.
-    pub fn submit<F>(&self, tenant: &str, opts: SubmitOptions, job: F) -> Result<JobTicket>
+    pub fn submit<F, R>(&self, tenant: &str, opts: SubmitOptions, job: F) -> Result<JobTicket>
     where
-        F: FnOnce(&JobContext) -> JobDisposition + Send + 'static,
+        F: FnOnce(&JobContext) -> R + Send + 'static,
+        R: Into<JobReport>,
     {
         let mut state = self.lock();
         if state.shutdown {
@@ -293,7 +356,7 @@ impl Scheduler {
         entry.stats.submitted += 1;
         let newly_active = entry.queue.is_empty();
         entry.queue.push_back(QueuedJob {
-            job: Box::new(job),
+            job: Box::new(move |ctx: &JobContext| job(ctx).into()),
             token: token.clone(),
             enqueued: now,
             slots,
@@ -396,17 +459,27 @@ impl Scheduler {
                 .shared
                 .work_cv
                 .wait_timeout(state, deadline - now)
-                .expect("scheduler lock poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             state = guard;
         }
     }
 
     fn lock(&self) -> MutexGuard<'_, State> {
-        self.shared
-            .state
-            .lock()
-            .expect("scheduler lock poisoned")
+        lock_state(&self.shared)
     }
+}
+
+/// Lock the scheduler state, recovering from poisoning rather than
+/// propagating it. Jobs run under their own `catch_unwind` barrier with
+/// the lock *released*, so a poisoned mutex can only mean a panic inside
+/// the scheduler's own bookkeeping; everything the lock guards is plain
+/// counters and queues that are valid at every statement boundary, and
+/// refusing the lock would deadlock every tenant instead of one query.
+fn lock_state(shared: &Shared) -> MutexGuard<'_, State> {
+    shared
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl Drop for Scheduler {
@@ -534,7 +607,7 @@ fn next_job(state: &mut State, slot_capacity: usize) -> Option<(String, QueuedJo
 }
 
 fn worker_loop(shared: &Shared) {
-    let mut state = shared.state.lock().expect("scheduler lock poisoned");
+    let mut state = lock_state(shared);
     loop {
         // During shutdown jobs are still drained (their tokens are
         // tripped, so they unwind quickly) to keep the invariant that
@@ -563,10 +636,18 @@ fn worker_loop(shared: &Shared) {
                     queue_wait,
                 };
                 let started = Instant::now();
-                let disposition = (queued.job)(&ctx);
+                // Containment barrier: a panic escaping the job closure
+                // (an engine bug past the engine's own barriers, or an
+                // injected chaos fault) fails *that job* and keeps this
+                // worker alive; the slot release below runs regardless,
+                // so capacity can never leak to a crashed query.
+                let job = queued.job;
+                let report: JobReport =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(&ctx)))
+                        .unwrap_or_else(|_payload| JobReport::failed(FailureClass::Internal));
                 let exec = started.elapsed();
 
-                state = shared.state.lock().expect("scheduler lock poisoned");
+                state = lock_state(shared);
                 state.running -= 1;
                 state.running_slots -= slots;
                 let tenant = state.tenants.entry(tenant_name).or_default();
@@ -575,9 +656,19 @@ fn worker_loop(shared: &Shared) {
                 let stats = &mut tenant.stats;
                 stats.total_queue_wait_micros += queue_wait.as_micros() as u64;
                 stats.total_exec_micros += exec.as_micros() as u64;
-                match disposition {
+                if report.degraded_retry {
+                    stats.degraded_retries += 1;
+                }
+                match report.disposition {
                     JobDisposition::Completed => stats.completed += 1,
-                    JobDisposition::Failed => stats.failed += 1,
+                    JobDisposition::Failed => {
+                        stats.failed += 1;
+                        match report.failure_class {
+                            Some(FailureClass::Internal) => stats.failed_internal += 1,
+                            Some(FailureClass::Resource) => stats.failed_resource += 1,
+                            Some(FailureClass::Execution) | None => {}
+                        }
+                    }
                     JobDisposition::TimedOut => stats.timed_out += 1,
                     JobDisposition::Cancelled => stats.cancelled += 1,
                 }
@@ -590,14 +681,14 @@ fn worker_loop(shared: &Shared) {
                 state = shared
                     .work_cv
                     .wait(state)
-                    .expect("scheduler lock poisoned");
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         }
     }
 }
 
 fn reaper_loop(shared: &Shared) {
-    let mut state = shared.state.lock().expect("scheduler lock poisoned");
+    let mut state = lock_state(shared);
     loop {
         if state.shutdown {
             return;
@@ -615,14 +706,14 @@ fn reaper_loop(shared: &Shared) {
                 let (guard, _) = shared
                     .reaper_cv
                     .wait_timeout(state, wait)
-                    .expect("scheduler lock poisoned");
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 state = guard;
             }
             None => {
                 state = shared
                     .reaper_cv
                     .wait(state)
-                    .expect("scheduler lock poisoned");
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         }
     }

@@ -16,6 +16,14 @@ pub struct TenantStats {
     pub completed: u64,
     /// Jobs that ran and failed (query error).
     pub failed: u64,
+    /// Of `failed`: contained panics / engine bugs (`internal` class).
+    pub failed_internal: u64,
+    /// Of `failed`: memory-budget exhaustion (`resource` class) that
+    /// the degraded DOP-1 retry could not rescue.
+    pub failed_resource: u64,
+    /// Jobs that went through the retry-at-DOP-1 degraded path,
+    /// whatever their final disposition.
+    pub degraded_retries: u64,
     /// Jobs stopped by their deadline.
     pub timed_out: u64,
     /// Jobs cancelled by a user or by shutdown.
@@ -70,6 +78,9 @@ impl TenantStats {
         self.submitted += other.submitted;
         self.completed += other.completed;
         self.failed += other.failed;
+        self.failed_internal += other.failed_internal;
+        self.failed_resource += other.failed_resource;
+        self.degraded_retries += other.degraded_retries;
         self.timed_out += other.timed_out;
         self.cancelled += other.cancelled;
         self.rejected += other.rejected;

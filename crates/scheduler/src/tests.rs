@@ -547,3 +547,65 @@ fn default_deadline_applies_when_not_overridden() {
     assert!(sched.wait_idle(Duration::from_secs(5)));
     assert_eq!(sched.stats().tenants["judy"].timed_out, 1);
 }
+
+#[test]
+fn panicking_job_fails_alone_and_releases_slots() {
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    let total_slots = sched.stats().slots;
+    sched
+        .submit(
+            "kate",
+            SubmitOptions {
+                slots: 4,
+                ..Default::default()
+            },
+            |_| -> JobDisposition { panic!("worker bug") },
+        )
+        .unwrap();
+    assert!(sched.wait_idle(Duration::from_secs(5)));
+    // The panic was contained: slots are back, the worker thread is
+    // alive, and the next submission runs normally.
+    assert_eq!(sched.free_slots(), total_slots);
+    sched
+        .submit("kate", SubmitOptions::default(), |_| JobDisposition::Completed)
+        .unwrap();
+    assert!(sched.wait_idle(Duration::from_secs(5)));
+    let kate = &sched.stats().tenants["kate"];
+    assert_eq!(kate.failed, 1);
+    assert_eq!(kate.failed_internal, 1);
+    assert_eq!(kate.completed, 1);
+    assert_eq!(sched.free_slots(), total_slots);
+}
+
+#[test]
+fn job_reports_attribute_failure_class_and_degraded_retries() {
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    sched
+        .submit("lena", SubmitOptions::default(), |_| {
+            JobReport::failed(FailureClass::Resource)
+        })
+        .unwrap();
+    sched
+        .submit("lena", SubmitOptions::default(), |_| {
+            JobReport::new(JobDisposition::Completed).with_degraded_retry(true)
+        })
+        .unwrap();
+    sched
+        .submit("lena", SubmitOptions::default(), |_| {
+            JobReport::failed(FailureClass::Execution)
+        })
+        .unwrap();
+    assert!(sched.wait_idle(Duration::from_secs(5)));
+    let lena = &sched.stats().tenants["lena"];
+    assert_eq!(lena.completed, 1);
+    assert_eq!(lena.failed, 2);
+    assert_eq!(lena.failed_resource, 1);
+    assert_eq!(lena.failed_internal, 0);
+    assert_eq!(lena.degraded_retries, 1);
+}

@@ -36,3 +36,4 @@ pub mod template;
 pub mod users;
 
 pub use extract::{extract_corpus, ExtractedQuery};
+pub use metrics::{outcome_breakdown, OutcomeBreakdown};

@@ -112,6 +112,54 @@ fn bucketize(
     }
 }
 
+/// Outcome breakdown over the raw query log. Extraction drops failures
+/// (they have no plan), so error-rate reporting reads the log directly:
+/// how often queries succeed, fail by class, and lean on the DOP-1
+/// degraded retry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OutcomeBreakdown {
+    pub total: usize,
+    pub successes: usize,
+    /// Failure counts keyed by class: `internal` (contained panics),
+    /// `resource` (memory budget), `timeout`, `cancelled`, and `error`
+    /// (ordinary query errors: parse, binding, permission, ...).
+    pub failures: BTreeMap<&'static str, usize>,
+    /// Entries (successes *or* failures) that went through the
+    /// retry-at-DOP-1 degraded path.
+    pub degraded_retries: usize,
+}
+
+impl OutcomeBreakdown {
+    /// Failed fraction of all logged queries, 0.0 on an empty log.
+    pub fn error_rate(&self) -> f64 {
+        let failed: usize = self.failures.values().sum();
+        failed as f64 / self.total.max(1) as f64
+    }
+
+    /// Failures recorded for one class.
+    pub fn failed(&self, class: &str) -> usize {
+        self.failures.get(class).copied().unwrap_or(0)
+    }
+}
+
+/// Compute the outcome breakdown for a full query log.
+pub fn outcome_breakdown(entries: &[sqlshare_core::QueryLogEntry]) -> OutcomeBreakdown {
+    let mut out = OutcomeBreakdown {
+        total: entries.len(),
+        ..Default::default()
+    };
+    for e in entries {
+        match e.outcome.failure_class() {
+            None => out.successes += 1,
+            Some(class) => *out.failures.entry(class).or_default() += 1,
+        }
+        if e.degraded_retry {
+            out.degraded_retries += 1;
+        }
+    }
+    out
+}
+
 /// Fig. 9/10: share of physical-operator *instances* per operator name,
 /// excluding `excluded` operators (the paper excludes `Clustered Index
 /// Scan` because SQL Azure makes it ubiquitous), normalized to 100%.
@@ -221,5 +269,45 @@ mod tests {
         let m = query_means(&[]);
         assert_eq!(m.length_chars, 0.0);
         assert!(operator_frequency(&[], &[]).is_empty());
+        assert_eq!(outcome_breakdown(&[]).error_rate(), 0.0);
+    }
+
+    #[test]
+    fn outcome_breakdown_reports_error_rates_by_class() {
+        use sqlshare_core::{Outcome, QueryLogEntry, SimInstant};
+        let entry = |id: u64, outcome: Outcome, degraded: bool| QueryLogEntry {
+            id,
+            user: "u".into(),
+            at: SimInstant { day: 0, sequence: id },
+            sql: "SELECT 1".into(),
+            outcome,
+            queue_wait_micros: 0,
+            cache_hit: false,
+            degraded_retry: degraded,
+            plan_json: None,
+            tables: vec![],
+            datasets: vec![],
+            touches_foreign_data: false,
+        };
+        let log = vec![
+            entry(1, Outcome::Success { rows: 1, runtime_micros: 5 }, false),
+            entry(2, Outcome::Success { rows: 1, runtime_micros: 5 }, true),
+            entry(3, Outcome::Error("internal".into()), false),
+            entry(4, Outcome::Error("resource".into()), true),
+            entry(5, Outcome::Error("timeout".into()), false),
+            entry(6, Outcome::Error("cancelled".into()), false),
+            entry(7, Outcome::Error("binding".into()), false),
+            entry(8, Outcome::Error("execution".into()), false),
+        ];
+        let b = outcome_breakdown(&log);
+        assert_eq!(b.total, 8);
+        assert_eq!(b.successes, 2);
+        assert_eq!(b.failed("internal"), 1);
+        assert_eq!(b.failed("resource"), 1);
+        assert_eq!(b.failed("timeout"), 1);
+        assert_eq!(b.failed("cancelled"), 1);
+        assert_eq!(b.failed("error"), 2);
+        assert_eq!(b.degraded_retries, 2);
+        assert!((b.error_rate() - 0.75).abs() < 1e-12);
     }
 }

@@ -2,7 +2,8 @@
 //! R/JavaScript clients would (§3.4: the UI is just another REST client).
 
 use sqlshare_common::json::Json;
-use sqlshare_core::rest::{body, dispatch, Request};
+use sqlshare_common::Error;
+use sqlshare_core::rest::{body, dispatch, status_for_kind, Request};
 use sqlshare_core::SqlShare;
 
 fn post(path: &str, pairs: &[(&str, &str)]) -> Request {
@@ -207,4 +208,43 @@ fn rest_error_statuses() {
         400
     );
     assert_eq!(dispatch(&mut s, &Request::get("/api/queries/99")).status, 400);
+}
+
+#[test]
+fn every_error_kind_maps_to_a_deliberate_status() {
+    // One instance of every Error variant; if a variant is added, the
+    // distinct-kinds count below forces this table to grow with it.
+    let table = [
+        (Error::Parse(String::new()), 400),
+        (Error::Binding(String::new()), 400),
+        (Error::Plan(String::new()), 400),
+        (Error::Request(String::new()), 400),
+        (Error::Json(String::new()), 400),
+        (Error::Ingest(String::new()), 400),
+        (Error::Permission(String::new()), 403),
+        (Error::Catalog(String::new()), 404),
+        (Error::Timeout(String::new()), 408),
+        (Error::Cancelled(String::new()), 409),
+        // A well-formed query that failed at runtime is the client's
+        // problem (unprocessable), not a server fault.
+        (Error::Execution(String::new()), 422),
+        // Resource pressure: quota, admission control, memory budget.
+        (Error::Quota(String::new()), 429),
+        (Error::Overloaded(String::new()), 429),
+        (Error::ResourceExhausted(String::new()), 429),
+        // Contained panics are genuine server faults.
+        (Error::Internal(String::new()), 500),
+    ];
+    let mut kinds: Vec<&str> = table.iter().map(|(e, _)| e.kind()).collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    assert_eq!(kinds.len(), table.len(), "table repeats a kind");
+    for (err, want) in &table {
+        assert_eq!(
+            status_for_kind(err.kind()),
+            *want,
+            "kind '{}' mapped unexpectedly",
+            err.kind()
+        );
+    }
 }
