@@ -16,6 +16,8 @@
 //! * [`macros`] — the paper's proposed conveniences, implemented: query
 //!   macros with FROM-clause parameters (§5.2) and `prefix*` column
 //!   pattern expansion (§5.3), plus DOI minting on the service (§5.2).
+//! * [`persist`] — durability: the journaled mutation log, catalog
+//!   snapshots, and crash recovery (`SQLSHARE_DATA_DIR`).
 //! * [`rest`] — the REST surface as typed request dispatch, used by the
 //!   dependency-free HTTP server in `examples/rest_server.rs`.
 //! * [`accounts`], [`clock`] — users/quotas and the simulated timeline.
@@ -25,6 +27,7 @@ pub mod clock;
 pub mod dataset;
 pub mod macros;
 pub mod permissions;
+pub mod persist;
 pub mod querylog;
 pub mod rest;
 pub mod service;
@@ -33,6 +36,8 @@ pub use accounts::{Quota, User};
 pub use clock::{SimClock, SimInstant};
 pub use dataset::{Dataset, DatasetKind, DatasetName, Metadata, Preview};
 pub use permissions::Visibility;
+pub use persist::{DurableOptions, RecoveryReport};
 pub use querylog::{Outcome, QueryLog, QueryLogEntry};
 pub use service::{JobStatus, QueryJob, QueryResult, SqlShare};
 pub use sqlshare_scheduler::{SchedulerConfig, SchedulerStats, TenantStats};
+pub use sqlshare_storage::{CrashPoint, FsyncPolicy};

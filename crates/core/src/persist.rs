@@ -1,0 +1,882 @@
+//! Durability for the service: the mutation journal, state codecs, and
+//! the [`DurableStore`] that owns a data directory.
+//!
+//! SQLShare's catalog — users, datasets, permissions, the query corpus —
+//! was the product of a multi-year deployment; losing it on restart
+//! would make the service pointless. This module gives
+//! [`crate::service::SqlShare`] a journal-before-apply protocol:
+//!
+//! 1. the public mutating method **validates** the request against live
+//!    state (permissions, quotas, name collisions, parse errors) —
+//!    nothing is changed and nothing journaled on rejection;
+//! 2. the mutation is encoded as one [`Mutation`] record and appended to
+//!    the write-ahead log with the next LSN — only after the append
+//!    succeeds is the mutation acknowledged;
+//! 3. the in-memory **apply** runs — the same code recovery replays, so
+//!    a recovered service is bit-for-bit the service that never crashed.
+//!
+//! Records are self-contained: anything nondeterministic or
+//! state-dependent at apply time (creation timestamps, materialized
+//! snapshot rows, rewritten append SQL) is computed during validation
+//! and embedded in the record, so replay never re-runs a query whose
+//! result could differ. Every `snapshot_every` records the service
+//! serializes its full durable state via an atomic snapshot and
+//! truncates the WAL.
+//!
+//! Values are encoded as *tagged strings* (`i:`, `f:` hex bit pattern,
+//! `d:`, `t:`) rather than JSON numbers: `i64` above 2^53 and
+//! non-finite floats do not survive an f64 round-trip, and recovery
+//! promises byte-identical state.
+
+use crate::clock::SimInstant;
+use crate::dataset::{Dataset, DatasetKind, DatasetName, Metadata, Preview};
+use crate::permissions::Visibility;
+use sqlshare_common::json::{Json, JsonObject};
+use sqlshare_common::{Error, Result};
+use sqlshare_engine::{Column, DataType, FaultPlan, Row, Schema, Table, Value};
+use sqlshare_ingest::{HeaderMode, IngestOptions};
+use sqlshare_storage::{CrashPoint, FsyncPolicy, SnapshotStore, Wal};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Configuration for opening a durable service.
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Data directory holding `wal.log`, `snapshot-<lsn>.json`, and
+    /// `querylog.jsonl`. Created if missing.
+    pub dir: PathBuf,
+    /// When journal appends are forced to stable storage.
+    pub fsync: FsyncPolicy,
+    /// Journaled mutations between automatic catalog snapshots.
+    pub snapshot_every: u64,
+}
+
+impl DurableOptions {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurableOptions {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Batch,
+            snapshot_every: 64,
+        }
+    }
+
+    /// Builder: set the fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Builder: set the snapshot cadence (minimum 1).
+    pub fn snapshot_every(mut self, records: u64) -> Self {
+        self.snapshot_every = records.max(1);
+        self
+    }
+
+    /// Read `SQLSHARE_DATA_DIR` / `SQLSHARE_FSYNC` /
+    /// `SQLSHARE_SNAPSHOT_EVERY`. `None` when no data directory is set —
+    /// the service stays ephemeral.
+    pub fn from_env() -> Option<DurableOptions> {
+        let dir = std::env::var("SQLSHARE_DATA_DIR").ok()?;
+        if dir.trim().is_empty() {
+            return None;
+        }
+        let mut options = DurableOptions::new(dir.trim()).fsync(FsyncPolicy::from_env());
+        if let Some(n) = std::env::var("SQLSHARE_SNAPSHOT_EVERY")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            options.snapshot_every = n.max(1);
+        }
+        Some(options)
+    }
+}
+
+/// What startup recovery found and did, for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// LSN of the snapshot recovery started from (0 = none).
+    pub snapshot_lsn: u64,
+    /// WAL records applied on top of the snapshot.
+    pub replayed_records: u64,
+    /// Records skipped because their LSN was already applied
+    /// (idempotent replay).
+    pub skipped_records: u64,
+    /// Records whose apply failed deterministically (journaled but
+    /// never took effect live either).
+    pub failed_records: u64,
+    /// Bytes discarded from the WAL's torn/corrupt tail.
+    pub truncated_wal_bytes: u64,
+    /// Highest LSN in durable state after recovery.
+    pub last_lsn: u64,
+    /// Query-log entries reloaded from `querylog.jsonl`.
+    pub querylog_entries: u64,
+    /// Bytes discarded from the query log's torn tail.
+    pub querylog_truncated_bytes: u64,
+}
+
+/// The open durable storage behind a service: WAL + snapshots.
+#[derive(Debug)]
+pub(crate) struct DurableStore {
+    wal: Wal,
+    snapshots: SnapshotStore,
+    last_lsn: u64,
+    records_since_snapshot: u64,
+    snapshot_every: u64,
+}
+
+impl DurableStore {
+    pub(crate) fn wal_path(dir: &Path) -> PathBuf {
+        dir.join("wal.log")
+    }
+
+    pub(crate) fn querylog_path(dir: &Path) -> PathBuf {
+        dir.join("querylog.jsonl")
+    }
+
+    /// Open the WAL for appending. Run recovery (scan + replay) first;
+    /// `last_lsn` must be the highest LSN recovery applied.
+    pub(crate) fn open(options: &DurableOptions, last_lsn: u64) -> Result<DurableStore> {
+        Ok(DurableStore {
+            wal: Wal::open(&Self::wal_path(&options.dir), options.fsync)?,
+            snapshots: SnapshotStore::new(&options.dir),
+            last_lsn,
+            records_since_snapshot: 0,
+            snapshot_every: options.snapshot_every.max(1),
+        })
+    }
+
+    /// Journal one mutation; on success it is durable under the
+    /// configured fsync policy and its LSN is committed.
+    pub(crate) fn journal(&mut self, m: &Mutation) -> Result<u64> {
+        let lsn = self.last_lsn + 1;
+        let record = m.to_json(lsn).to_string();
+        self.wal.append(record.as_bytes())?;
+        self.last_lsn = lsn;
+        self.records_since_snapshot += 1;
+        Ok(lsn)
+    }
+
+    pub(crate) fn last_lsn(&self) -> u64 {
+        self.last_lsn
+    }
+
+    pub(crate) fn wants_snapshot(&self) -> bool {
+        self.records_since_snapshot >= self.snapshot_every
+    }
+
+    /// Persist `payload` as the snapshot at the current LSN, then
+    /// truncate the WAL it makes redundant. On failure the WAL keeps
+    /// full history and the previous snapshot stays authoritative.
+    pub(crate) fn take_snapshot(&mut self, payload: &str) -> Result<()> {
+        // Success or failure, restart the cadence — a persistently
+        // failing disk shouldn't retry on every mutation.
+        self.records_since_snapshot = 0;
+        self.wal.sync()?;
+        self.snapshots.write(self.last_lsn, payload)?;
+        self.wal.reset()?;
+        let _ = self.snapshots.prune(2);
+        Ok(())
+    }
+
+    pub(crate) fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.wal.set_fault_plan(plan.clone());
+        self.snapshots.set_fault_plan(plan);
+    }
+
+    pub(crate) fn set_crash_point(&mut self, cp: Option<CrashPoint>) {
+        self.wal.set_crash_point(cp);
+    }
+
+    /// Whether a simulated [`CrashPoint`] has fired: the WAL is dead and
+    /// every further journal append is rejected.
+    pub(crate) fn crashed(&self) -> bool {
+        self.wal.crashed()
+    }
+}
+
+/// One journaled catalog mutation. Every field a replay needs is in the
+/// record; nothing is recomputed from sources that could have moved.
+#[derive(Debug, Clone)]
+pub(crate) enum Mutation {
+    RegisterUser {
+        username: String,
+        email: String,
+    },
+    SetAdmin {
+        username: String,
+        admin: bool,
+    },
+    AdvanceDays {
+        days: i32,
+    },
+    /// The raw upload. Replay re-runs schema inference on `content` —
+    /// `ingest_text` is a pure function, so the rebuilt table is
+    /// byte-identical to the live one.
+    Upload {
+        user: String,
+        dataset: String,
+        content: String,
+        options: IngestOptions,
+        created: SimInstant,
+    },
+    SaveDataset {
+        user: String,
+        dataset: String,
+        /// Canonical (qualified, ORDER-BY-stripped) view SQL.
+        sql: String,
+        metadata: Metadata,
+        created: SimInstant,
+    },
+    /// UNION-append, recorded as the final rewritten view SQL.
+    Append {
+        existing: DatasetName,
+        sql: String,
+    },
+    /// Materialized snapshot. The rows are captured at validation time
+    /// and embedded: re-running the source query during replay could
+    /// observe different float merge orders under parallel execution.
+    Materialize {
+        source: DatasetName,
+        name: DatasetName,
+        schema: Schema,
+        rows: Vec<Row>,
+        created: SimInstant,
+    },
+    Delete {
+        name: DatasetName,
+    },
+    SetVisibility {
+        name: DatasetName,
+        visibility: Visibility,
+    },
+    SetMetadata {
+        name: DatasetName,
+        metadata: Metadata,
+    },
+    MintDoi {
+        name: DatasetName,
+        doi: String,
+    },
+    RegisterUdf {
+        name: String,
+    },
+}
+
+impl Mutation {
+    pub(crate) fn to_json(&self, lsn: u64) -> Json {
+        let mut o = JsonObject::new();
+        o.insert("lsn", Json::Number(lsn as f64));
+        match self {
+            Mutation::RegisterUser { username, email } => {
+                o.insert("op", Json::str("register-user"));
+                o.insert("username", Json::str(username.clone()));
+                o.insert("email", Json::str(email.clone()));
+            }
+            Mutation::SetAdmin { username, admin } => {
+                o.insert("op", Json::str("set-admin"));
+                o.insert("username", Json::str(username.clone()));
+                o.insert("admin", Json::Bool(*admin));
+            }
+            Mutation::AdvanceDays { days } => {
+                o.insert("op", Json::str("advance-days"));
+                o.insert("days", Json::Number(*days as f64));
+            }
+            Mutation::Upload {
+                user,
+                dataset,
+                content,
+                options,
+                created,
+            } => {
+                o.insert("op", Json::str("upload"));
+                o.insert("user", Json::str(user.clone()));
+                o.insert("dataset", Json::str(dataset.clone()));
+                o.insert("content", Json::str(content.clone()));
+                o.insert("options", options_to_json(options));
+                o.insert("created", instant_to_json(*created));
+            }
+            Mutation::SaveDataset {
+                user,
+                dataset,
+                sql,
+                metadata,
+                created,
+            } => {
+                o.insert("op", Json::str("save-dataset"));
+                o.insert("user", Json::str(user.clone()));
+                o.insert("dataset", Json::str(dataset.clone()));
+                o.insert("sql", Json::str(sql.clone()));
+                o.insert("metadata", metadata_to_json(metadata));
+                o.insert("created", instant_to_json(*created));
+            }
+            Mutation::Append { existing, sql } => {
+                o.insert("op", Json::str("append"));
+                o.insert("existing", dsname_to_json(existing));
+                o.insert("sql", Json::str(sql.clone()));
+            }
+            Mutation::Materialize {
+                source,
+                name,
+                schema,
+                rows,
+                created,
+            } => {
+                o.insert("op", Json::str("materialize"));
+                o.insert("source", dsname_to_json(source));
+                o.insert("name", dsname_to_json(name));
+                o.insert("schema", schema_to_json(schema));
+                o.insert("rows", rows_to_json(rows));
+                o.insert("created", instant_to_json(*created));
+            }
+            Mutation::Delete { name } => {
+                o.insert("op", Json::str("delete"));
+                o.insert("name", dsname_to_json(name));
+            }
+            Mutation::SetVisibility { name, visibility } => {
+                o.insert("op", Json::str("set-visibility"));
+                o.insert("name", dsname_to_json(name));
+                o.insert("visibility", visibility_to_json(visibility));
+            }
+            Mutation::SetMetadata { name, metadata } => {
+                o.insert("op", Json::str("set-metadata"));
+                o.insert("name", dsname_to_json(name));
+                o.insert("metadata", metadata_to_json(metadata));
+            }
+            Mutation::MintDoi { name, doi } => {
+                o.insert("op", Json::str("mint-doi"));
+                o.insert("name", dsname_to_json(name));
+                o.insert("doi", Json::str(doi.clone()));
+            }
+            Mutation::RegisterUdf { name } => {
+                o.insert("op", Json::str("register-udf"));
+                o.insert("name", Json::str(name.clone()));
+            }
+        }
+        Json::Object(o)
+    }
+
+    pub(crate) fn from_json(j: &Json) -> Result<(u64, Mutation)> {
+        let lsn = u64_of(j, "lsn")?;
+        let op = str_of(j, "op")?;
+        let m = match op.as_str() {
+            "register-user" => Mutation::RegisterUser {
+                username: str_of(j, "username")?,
+                email: str_of(j, "email")?,
+            },
+            "set-admin" => Mutation::SetAdmin {
+                username: str_of(j, "username")?,
+                admin: bool_of(j, "admin")?,
+            },
+            "advance-days" => Mutation::AdvanceDays {
+                days: u64_of(j, "days").map(|d| d as i32).or_else(|_| {
+                    field(j, "days")?
+                        .as_f64()
+                        .map(|f| f as i32)
+                        .ok_or_else(|| bad("days"))
+                })?,
+            },
+            "upload" => Mutation::Upload {
+                user: str_of(j, "user")?,
+                dataset: str_of(j, "dataset")?,
+                content: str_of(j, "content")?,
+                options: options_from_json(field(j, "options")?)?,
+                created: instant_from_json(field(j, "created")?)?,
+            },
+            "save-dataset" => Mutation::SaveDataset {
+                user: str_of(j, "user")?,
+                dataset: str_of(j, "dataset")?,
+                sql: str_of(j, "sql")?,
+                metadata: metadata_from_json(field(j, "metadata")?)?,
+                created: instant_from_json(field(j, "created")?)?,
+            },
+            "append" => Mutation::Append {
+                existing: dsname_from_json(field(j, "existing")?)?,
+                sql: str_of(j, "sql")?,
+            },
+            "materialize" => Mutation::Materialize {
+                source: dsname_from_json(field(j, "source")?)?,
+                name: dsname_from_json(field(j, "name")?)?,
+                schema: schema_from_json(field(j, "schema")?)?,
+                rows: rows_from_json(field(j, "rows")?)?,
+                created: instant_from_json(field(j, "created")?)?,
+            },
+            "delete" => Mutation::Delete {
+                name: dsname_from_json(field(j, "name")?)?,
+            },
+            "set-visibility" => Mutation::SetVisibility {
+                name: dsname_from_json(field(j, "name")?)?,
+                visibility: visibility_from_json(field(j, "visibility")?)?,
+            },
+            "set-metadata" => Mutation::SetMetadata {
+                name: dsname_from_json(field(j, "name")?)?,
+                metadata: metadata_from_json(field(j, "metadata")?)?,
+            },
+            "mint-doi" => Mutation::MintDoi {
+                name: dsname_from_json(field(j, "name")?)?,
+                doi: str_of(j, "doi")?,
+            },
+            "register-udf" => Mutation::RegisterUdf {
+                name: str_of(j, "name")?,
+            },
+            other => return Err(Error::Json(format!("unknown mutation op '{other}'"))),
+        };
+        Ok((lsn, m))
+    }
+}
+
+// ---- JSON codec helpers -------------------------------------------------
+
+fn bad(what: &str) -> Error {
+    Error::Json(format!("malformed durable record: bad or missing '{what}'"))
+}
+
+pub(crate) fn field<'a>(j: &'a Json, key: &str) -> Result<&'a Json> {
+    j.get(key).ok_or_else(|| bad(key))
+}
+
+pub(crate) fn str_of(j: &Json, key: &str) -> Result<String> {
+    field(j, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| bad(key))
+}
+
+pub(crate) fn u64_of(j: &Json, key: &str) -> Result<u64> {
+    field(j, key)?
+        .as_f64()
+        .filter(|f| *f >= 0.0)
+        .map(|f| f as u64)
+        .ok_or_else(|| bad(key))
+}
+
+pub(crate) fn bool_of(j: &Json, key: &str) -> Result<bool> {
+    match field(j, key)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(bad(key)),
+    }
+}
+
+pub(crate) fn instant_to_json(at: SimInstant) -> Json {
+    Json::object([
+        ("day", Json::Number(at.day as f64)),
+        ("seq", Json::Number(at.sequence as f64)),
+    ])
+}
+
+pub(crate) fn instant_from_json(j: &Json) -> Result<SimInstant> {
+    Ok(SimInstant {
+        day: field(j, "day")?.as_f64().ok_or_else(|| bad("day"))? as i32,
+        sequence: u64_of(j, "seq")?,
+    })
+}
+
+/// Tagged-string value encoding: exact for the full `i64` range and for
+/// every `f64` bit pattern (including NaN, which plain JSON cannot
+/// carry).
+pub(crate) fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::str(format!("i:{i}")),
+        Value::Float(f) => Json::str(format!("f:{:016x}", f.to_bits())),
+        Value::Date(d) => Json::str(format!("d:{d}")),
+        Value::Text(s) => Json::str(format!("t:{s}")),
+    }
+}
+
+pub(crate) fn value_from_json(j: &Json) -> Result<Value> {
+    match j {
+        Json::Null => Ok(Value::Null),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::String(s) => match s.split_at_checked(2) {
+            Some(("i:", rest)) => rest
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| bad("int value")),
+            Some(("f:", rest)) => u64::from_str_radix(rest, 16)
+                .map(|bits| Value::Float(f64::from_bits(bits)))
+                .map_err(|_| bad("float value")),
+            Some(("d:", rest)) => rest
+                .parse::<i32>()
+                .map(Value::Date)
+                .map_err(|_| bad("date value")),
+            Some(("t:", rest)) => Ok(Value::Text(rest.to_string())),
+            _ => Err(bad("value tag")),
+        },
+        _ => Err(bad("value")),
+    }
+}
+
+pub(crate) fn rows_to_json(rows: &[Row]) -> Json {
+    Json::Array(
+        rows.iter()
+            .map(|r| Json::Array(r.iter().map(value_to_json).collect()))
+            .collect(),
+    )
+}
+
+pub(crate) fn rows_from_json(j: &Json) -> Result<Vec<Row>> {
+    j.as_array()
+        .ok_or_else(|| bad("rows"))?
+        .iter()
+        .map(|r| {
+            r.as_array()
+                .ok_or_else(|| bad("row"))?
+                .iter()
+                .map(value_from_json)
+                .collect()
+        })
+        .collect()
+}
+
+fn datatype_tag(ty: DataType) -> &'static str {
+    match ty {
+        DataType::Bool => "bool",
+        DataType::Int => "int",
+        DataType::Float => "float",
+        DataType::Date => "date",
+        DataType::Text => "text",
+    }
+}
+
+fn datatype_from_tag(tag: &str) -> Result<DataType> {
+    Ok(match tag {
+        "bool" => DataType::Bool,
+        "int" => DataType::Int,
+        "float" => DataType::Float,
+        "date" => DataType::Date,
+        "text" => DataType::Text,
+        _ => return Err(bad("type")),
+    })
+}
+
+pub(crate) fn schema_to_json(schema: &Schema) -> Json {
+    Json::Array(
+        schema
+            .columns
+            .iter()
+            .map(|c| {
+                let mut o = JsonObject::new();
+                o.insert("name", Json::str(c.name.clone()));
+                o.insert("type", Json::str(datatype_tag(c.ty)));
+                if let Some(q) = &c.qualifier {
+                    o.insert("qualifier", Json::str(q.clone()));
+                }
+                if let Some(s) = &c.source_table {
+                    o.insert("source", Json::str(s.clone()));
+                }
+                Json::Object(o)
+            })
+            .collect(),
+    )
+}
+
+pub(crate) fn schema_from_json(j: &Json) -> Result<Schema> {
+    let columns = j
+        .as_array()
+        .ok_or_else(|| bad("schema"))?
+        .iter()
+        .map(|c| {
+            let mut col = Column::new(str_of(c, "name")?, datatype_from_tag(&str_of(c, "type")?)?);
+            col.qualifier = c.get("qualifier").and_then(Json::as_str).map(str::to_string);
+            col.source_table = c.get("source").and_then(Json::as_str).map(str::to_string);
+            Ok(col)
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Schema::new(columns))
+}
+
+pub(crate) fn table_to_json(table: &Table) -> Json {
+    Json::object([
+        ("name", Json::str(table.name.clone())),
+        ("schema", schema_to_json(&table.schema)),
+        ("rows", rows_to_json(table.rows())),
+    ])
+}
+
+pub(crate) fn table_from_json(j: &Json) -> Result<Table> {
+    Ok(Table::new(
+        str_of(j, "name")?,
+        schema_from_json(field(j, "schema")?)?,
+        rows_from_json(field(j, "rows")?)?,
+    ))
+}
+
+pub(crate) fn dsname_to_json(name: &DatasetName) -> Json {
+    Json::object([
+        ("owner", Json::str(name.owner.clone())),
+        ("name", Json::str(name.name.clone())),
+    ])
+}
+
+pub(crate) fn dsname_from_json(j: &Json) -> Result<DatasetName> {
+    Ok(DatasetName {
+        owner: str_of(j, "owner")?,
+        name: str_of(j, "name")?,
+    })
+}
+
+pub(crate) fn metadata_to_json(m: &Metadata) -> Json {
+    Json::object([
+        ("description", Json::str(m.description.clone())),
+        (
+            "tags",
+            Json::Array(m.tags.iter().map(|t| Json::str(t.clone())).collect()),
+        ),
+    ])
+}
+
+pub(crate) fn metadata_from_json(j: &Json) -> Result<Metadata> {
+    Ok(Metadata {
+        description: str_of(j, "description")?,
+        tags: field(j, "tags")?
+            .as_array()
+            .ok_or_else(|| bad("tags"))?
+            .iter()
+            .map(|t| t.as_str().map(str::to_string).ok_or_else(|| bad("tag")))
+            .collect::<Result<Vec<_>>>()?,
+    })
+}
+
+pub(crate) fn visibility_to_json(v: &Visibility) -> Json {
+    match v {
+        Visibility::Private => Json::str("private"),
+        Visibility::Public => Json::str("public"),
+        Visibility::Shared(users) => Json::object([(
+            "shared",
+            Json::Array(users.iter().map(|u| Json::str(u.clone())).collect()),
+        )]),
+    }
+}
+
+pub(crate) fn visibility_from_json(j: &Json) -> Result<Visibility> {
+    match j {
+        Json::String(s) if s == "private" => Ok(Visibility::Private),
+        Json::String(s) if s == "public" => Ok(Visibility::Public),
+        Json::Object(_) => Ok(Visibility::Shared(
+            field(j, "shared")?
+                .as_array()
+                .ok_or_else(|| bad("shared"))?
+                .iter()
+                .map(|u| u.as_str().map(str::to_string).ok_or_else(|| bad("user")))
+                .collect::<Result<Vec<_>>>()?,
+        )),
+        _ => Err(bad("visibility")),
+    }
+}
+
+fn options_to_json(o: &IngestOptions) -> Json {
+    let mut obj = JsonObject::new();
+    obj.insert(
+        "header",
+        Json::str(match o.header {
+            HeaderMode::Auto => "auto",
+            HeaderMode::Present => "present",
+            HeaderMode::Absent => "absent",
+        }),
+    );
+    obj.insert("prefix", Json::Number(o.inference_prefix as f64));
+    if let Some(d) = o.delimiter {
+        obj.insert("delimiter", Json::str(d.to_string()));
+    }
+    Json::Object(obj)
+}
+
+fn options_from_json(j: &Json) -> Result<IngestOptions> {
+    Ok(IngestOptions {
+        header: match str_of(j, "header")?.as_str() {
+            "auto" => HeaderMode::Auto,
+            "present" => HeaderMode::Present,
+            "absent" => HeaderMode::Absent,
+            _ => return Err(bad("header")),
+        },
+        inference_prefix: u64_of(j, "prefix")? as usize,
+        delimiter: j
+            .get("delimiter")
+            .and_then(Json::as_str)
+            .and_then(|s| s.chars().next()),
+    })
+}
+
+fn kind_tag(kind: DatasetKind) -> &'static str {
+    match kind {
+        DatasetKind::Uploaded => "uploaded",
+        DatasetKind::Derived => "derived",
+        DatasetKind::Snapshot => "snapshot",
+    }
+}
+
+fn kind_from_tag(tag: &str) -> Result<DatasetKind> {
+    Ok(match tag {
+        "uploaded" => DatasetKind::Uploaded,
+        "derived" => DatasetKind::Derived,
+        "snapshot" => DatasetKind::Snapshot,
+        _ => return Err(bad("kind")),
+    })
+}
+
+fn preview_to_json(p: &Preview) -> Json {
+    Json::object([
+        ("schema", schema_to_json(&p.schema)),
+        ("rows", rows_to_json(&p.rows)),
+        ("truncated", Json::Bool(p.truncated)),
+        (
+            "deps",
+            Json::Array(
+                p.deps
+                    .iter()
+                    .map(|(k, g)| {
+                        Json::Array(vec![Json::str(k.clone()), Json::Number(*g as f64)])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn preview_from_json(j: &Json) -> Result<Preview> {
+    let deps = field(j, "deps")?
+        .as_array()
+        .ok_or_else(|| bad("deps"))?
+        .iter()
+        .map(|d| {
+            let pair = d.as_array().filter(|a| a.len() == 2).ok_or_else(|| bad("dep"))?;
+            let key = pair[0].as_str().ok_or_else(|| bad("dep key"))?.to_string();
+            let generation = pair[1].as_f64().ok_or_else(|| bad("dep gen"))? as u64;
+            Ok((key, generation))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Preview {
+        schema: schema_from_json(field(j, "schema")?)?,
+        rows: rows_from_json(field(j, "rows")?)?,
+        truncated: bool_of(j, "truncated")?,
+        deps,
+    })
+}
+
+pub(crate) fn dataset_to_json(d: &Dataset, include_preview: bool) -> Json {
+    let mut o = JsonObject::new();
+    o.insert("owner", Json::str(d.name.owner.clone()));
+    o.insert("name", Json::str(d.name.name.clone()));
+    o.insert("sql", Json::str(d.sql.clone()));
+    o.insert("metadata", metadata_to_json(&d.metadata));
+    o.insert("kind", Json::str(kind_tag(d.kind)));
+    if let Some(b) = &d.base_table {
+        o.insert("base", Json::str(b.clone()));
+    }
+    o.insert("created", instant_to_json(d.created));
+    if include_preview {
+        if let Some(p) = &d.preview {
+            o.insert("preview", preview_to_json(p));
+        }
+    }
+    Json::Object(o)
+}
+
+pub(crate) fn dataset_from_json(j: &Json) -> Result<Dataset> {
+    Ok(Dataset {
+        name: DatasetName {
+            owner: str_of(j, "owner")?,
+            name: str_of(j, "name")?,
+        },
+        sql: str_of(j, "sql")?,
+        metadata: metadata_from_json(field(j, "metadata")?)?,
+        preview: match j.get("preview") {
+            Some(p) => Some(preview_from_json(p)?),
+            None => None,
+        },
+        kind: kind_from_tag(&str_of(j, "kind")?)?,
+        base_table: j.get("base").and_then(Json::as_str).map(str::to_string),
+        created: instant_from_json(field(j, "created")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip_exactly() {
+        let values = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Int((1_i64 << 53) + 1), // would be lossy as an f64
+            Value::Float(0.1),
+            Value::Float(f64::NAN),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(-0.0),
+            Value::Date(-719162),
+            Value::Text("i:not-an-int".into()), // tag collision must survive
+            Value::Text(String::new()),
+        ];
+        for v in &values {
+            let encoded = value_to_json(v);
+            let reparsed =
+                sqlshare_common::json::parse(&encoded.to_string()).expect("valid json");
+            let back = value_from_json(&reparsed).expect("decodes");
+            // Bit-exact comparison (Value's PartialEq treats NaN != NaN).
+            assert_eq!(format!("{v:?}"), format!("{back:?}"));
+            if let (Value::Float(a), Value::Float(b)) = (v, &back) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_round_trip_through_json() {
+        let ms = [
+            Mutation::RegisterUser {
+                username: "ada".into(),
+                email: "ada@uw.edu".into(),
+            },
+            Mutation::Upload {
+                user: "ada".into(),
+                dataset: "tides".into(),
+                content: "a,b\n1,2\n".into(),
+                options: IngestOptions {
+                    header: HeaderMode::Present,
+                    inference_prefix: 50,
+                    delimiter: Some('|'),
+                },
+                created: SimInstant { day: 14977, sequence: 3 },
+            },
+            Mutation::Materialize {
+                source: DatasetName::new("ada", "tides"),
+                name: DatasetName::new("ada", "snap"),
+                schema: Schema::from_pairs([("x", DataType::Int), ("y", DataType::Float)]),
+                rows: vec![vec![Value::Int(1), Value::Float(2.5)]],
+                created: SimInstant { day: 14977, sequence: 9 },
+            },
+            Mutation::SetVisibility {
+                name: DatasetName::new("ada", "tides"),
+                visibility: Visibility::Shared(vec!["bob".into(), "cy".into()]),
+            },
+        ];
+        for (i, m) in ms.iter().enumerate() {
+            let lsn = (i + 1) as u64;
+            let text = m.to_json(lsn).to_string();
+            let reparsed = sqlshare_common::json::parse(&text).expect("valid json");
+            let (got_lsn, back) = Mutation::from_json(&reparsed).expect("decodes");
+            assert_eq!(got_lsn, lsn);
+            assert_eq!(format!("{m:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn unknown_op_is_rejected() {
+        let j = sqlshare_common::json::parse(r#"{"lsn":1,"op":"frobnicate"}"#).unwrap();
+        assert!(Mutation::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn durable_options_env_parsing() {
+        // from_env reads real env vars; only exercise the pure parts.
+        let o = DurableOptions::new("/tmp/x")
+            .fsync(FsyncPolicy::Always)
+            .snapshot_every(0);
+        assert_eq!(o.snapshot_every, 1, "cadence is clamped to >= 1");
+        assert_eq!(o.fsync, FsyncPolicy::Always);
+    }
+}

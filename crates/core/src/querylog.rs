@@ -6,7 +6,9 @@
 //! this log exactly as the paper's pipeline consumed the released corpus.
 
 use crate::clock::SimInstant;
-use sqlshare_common::json::Json;
+use crate::persist::{bool_of, field, instant_from_json, instant_to_json, str_of, u64_of};
+use sqlshare_common::json::{Json, JsonObject};
+use sqlshare_common::Result;
 
 /// Outcome of a logged query.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +44,34 @@ impl Outcome {
     }
 }
 
+impl Outcome {
+    fn to_json(&self) -> Json {
+        match self {
+            Outcome::Success {
+                rows,
+                runtime_micros,
+            } => Json::object([
+                ("rows", Json::Number(*rows as f64)),
+                ("runtime_micros", Json::Number(*runtime_micros as f64)),
+            ]),
+            Outcome::Error(kind) => Json::str(kind.clone()),
+        }
+    }
+
+    fn from_json(j: &Json) -> Result<Outcome> {
+        match j {
+            Json::String(kind) => Ok(Outcome::Error(kind.clone())),
+            Json::Object(_) => Ok(Outcome::Success {
+                rows: u64_of(j, "rows")? as usize,
+                runtime_micros: u64_of(j, "runtime_micros")?,
+            }),
+            _ => Err(sqlshare_common::Error::Json(
+                "malformed query-log outcome".into(),
+            )),
+        }
+    }
+}
+
 /// One entry in the query log.
 #[derive(Debug, Clone)]
 pub struct QueryLogEntry {
@@ -72,6 +102,63 @@ pub struct QueryLogEntry {
     /// True when the query touches a dataset the author does not own
     /// (§5.2 reports >10% of queries do).
     pub touches_foreign_data: bool,
+}
+
+impl QueryLogEntry {
+    /// One-line JSON encoding for `querylog.jsonl`.
+    pub fn to_json(&self) -> Json {
+        let mut o = JsonObject::new();
+        o.insert("id", Json::Number(self.id as f64));
+        o.insert("user", Json::str(self.user.clone()));
+        o.insert("at", instant_to_json(self.at));
+        o.insert("sql", Json::str(self.sql.clone()));
+        o.insert("outcome", self.outcome.to_json());
+        o.insert("queue_wait_micros", Json::Number(self.queue_wait_micros as f64));
+        o.insert("cache_hit", Json::Bool(self.cache_hit));
+        o.insert("degraded_retry", Json::Bool(self.degraded_retry));
+        if let Some(plan) = &self.plan_json {
+            o.insert("plan", plan.clone());
+        }
+        o.insert(
+            "tables",
+            Json::Array(self.tables.iter().map(|t| Json::str(t.clone())).collect()),
+        );
+        o.insert(
+            "datasets",
+            Json::Array(self.datasets.iter().map(|d| Json::str(d.clone())).collect()),
+        );
+        o.insert("foreign", Json::Bool(self.touches_foreign_data));
+        Json::Object(o)
+    }
+
+    pub fn from_json(j: &Json) -> Result<QueryLogEntry> {
+        let strings = |key: &str| -> Result<Vec<String>> {
+            field(j, key)?
+                .as_array()
+                .ok_or_else(|| sqlshare_common::Error::Json(format!("bad '{key}'")))?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| sqlshare_common::Error::Json(format!("bad '{key}'")))
+                })
+                .collect()
+        };
+        Ok(QueryLogEntry {
+            id: u64_of(j, "id")?,
+            user: str_of(j, "user")?,
+            at: instant_from_json(field(j, "at")?)?,
+            sql: str_of(j, "sql")?,
+            outcome: Outcome::from_json(field(j, "outcome")?)?,
+            queue_wait_micros: u64_of(j, "queue_wait_micros")?,
+            cache_hit: bool_of(j, "cache_hit")?,
+            degraded_retry: bool_of(j, "degraded_retry")?,
+            plan_json: j.get("plan").cloned(),
+            tables: strings("tables")?,
+            datasets: strings("datasets")?,
+            touches_foreign_data: bool_of(j, "foreign")?,
+        })
+    }
 }
 
 /// Append-only query log.
@@ -186,5 +273,25 @@ mod tests {
             Outcome::Error("execution".into()).failure_class(),
             Some("error")
         );
+    }
+
+    #[test]
+    fn entries_round_trip_through_json() {
+        let mut success = entry(7, "ada", true);
+        success.queue_wait_micros = 1234;
+        success.cache_hit = true;
+        success.degraded_retry = true;
+        success.plan_json = Some(Json::object([("op", Json::str("Scan"))]));
+        success.tables = vec!["ada.t$base".into()];
+        success.datasets = vec!["ada.t".into(), "bob.v".into()];
+        success.touches_foreign_data = true;
+        let failure = entry(8, "bob", false);
+        for e in [&success, &failure] {
+            let line = e.to_json().to_string();
+            assert!(!line.contains('\n'));
+            let parsed = sqlshare_common::json::parse(&line).expect("valid json");
+            let back = QueryLogEntry::from_json(&parsed).expect("decodes");
+            assert_eq!(format!("{e:?}"), format!("{back:?}"));
+        }
     }
 }

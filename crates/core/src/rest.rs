@@ -130,7 +130,10 @@ pub fn status_for_kind(kind: &str) -> u16 {
         "parse" | "binding" | "request" | "ingest" | "json" | "plan" => 400,
         "permission" => 403,
         "catalog" => 404,
-        "timeout" => 408,
+        // A deadline expiring inside the engine is the *server* giving
+        // up on a gateway-side timer (504), not the client taking too
+        // long to send its request (408).
+        "timeout" => 504,
         "cancelled" => 409,
         "execution" => 422,
         "quota" | "overloaded" | "resource" => 429,
@@ -143,7 +146,36 @@ pub fn status_for_kind(kind: &str) -> u16 {
 pub fn dispatch(service: &mut SqlShare, request: &Request) -> Response {
     let (path, query_user) = split_query(&request.path);
     let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
+    // While crash recovery is replaying the WAL the catalog is
+    // incomplete; only the readiness probe answers.
+    if service.is_recovering() && segments.as_slice() != ["api", "ready"] {
+        return Response::error(503, "service is recovering; try again shortly");
+    }
     match (request.method, segments.as_slice()) {
+        (Method::Get, ["api", "ready"]) => {
+            if service.is_recovering() {
+                return Response {
+                    status: 503,
+                    body: Json::object([("ready", Json::Bool(false))]),
+                };
+            }
+            let mut pairs = vec![("ready", Json::Bool(true))];
+            if let Some(r) = service.recovery_report() {
+                pairs.push((
+                    "recovery",
+                    Json::object([
+                        ("snapshotLsn", Json::num(r.snapshot_lsn as f64)),
+                        ("replayedRecords", Json::num(r.replayed_records as f64)),
+                        ("skippedRecords", Json::num(r.skipped_records as f64)),
+                        ("failedRecords", Json::num(r.failed_records as f64)),
+                        ("truncatedWalBytes", Json::num(r.truncated_wal_bytes as f64)),
+                        ("lastLsn", Json::num(r.last_lsn as f64)),
+                        ("querylogEntries", Json::num(r.querylog_entries as f64)),
+                    ]),
+                ));
+            }
+            Response::ok(Json::object(pairs))
+        }
         (Method::Post, ["api", "users"]) => {
             let (Some(username), Some(email)) = (
                 str_field(&request.body, "username"),

@@ -12,12 +12,14 @@ use crate::accounts::{validate_username, Quota, User};
 use crate::clock::{SimClock, SimInstant};
 use crate::dataset::{Dataset, DatasetKind, DatasetName, Metadata, Preview, PREVIEW_ROWS};
 use crate::permissions::{check_access, DatasetGraph, Visibility};
+use crate::persist::{self, DurableOptions, DurableStore, Mutation, RecoveryReport};
 use crate::querylog::{Outcome, QueryLog, QueryLogEntry};
-use sqlshare_common::json::Json;
+use sqlshare_common::json::{self, Json, JsonObject};
 use sqlshare_common::{CancelReason, CancellationToken, Error, Result};
 use sqlshare_engine::{Engine, FaultSite, Row, Schema, Table};
 use sqlshare_ingest::staging::Staging;
-use sqlshare_ingest::{IngestOptions, IngestReport};
+use sqlshare_ingest::{ingest_text, IngestOptions, IngestReport};
+use sqlshare_storage::{jsonl, CrashPoint, JsonlAppender, SnapshotStore, Wal};
 use sqlshare_scheduler::{
     FailureClass, JobDisposition, JobReport, Scheduler, SchedulerConfig, SchedulerStats,
     SubmitOptions,
@@ -128,10 +130,22 @@ fn update_job(jobs: &JobTable, id: u64, f: impl FnOnce(&mut QueryJob)) {
     jobs.1.notify_all();
 }
 
-/// Append an entry to the log, assigning the next id under the lock.
+/// The in-memory query log plus its optional JSONL sink. Worker
+/// closures clone the handle; both paths append through [`push_log`] so
+/// every logged query also lands in `querylog.jsonl` when the service
+/// is durable.
+#[derive(Debug, Clone, Default)]
+struct LogHandle {
+    entries: Arc<Mutex<QueryLog>>,
+    sink: Arc<Mutex<Option<JsonlAppender>>>,
+}
+
+/// Append an entry to the log, assigning the next id under the lock,
+/// and mirror it to the durable sink (best effort: the query already
+/// ran; a full disk must not fail it retroactively).
 #[allow(clippy::too_many_arguments)]
 fn push_log(
-    log: &Mutex<QueryLog>,
+    log: &LogHandle,
     user: &str,
     at: SimInstant,
     sql: &str,
@@ -144,9 +158,9 @@ fn push_log(
     cache_hit: bool,
     degraded_retry: bool,
 ) {
-    let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
-    let id = log.len() as u64 + 1;
-    log.push(QueryLogEntry {
+    let mut entries = log.entries.lock().unwrap_or_else(|e| e.into_inner());
+    let id = entries.len() as u64 + 1;
+    let entry = QueryLogEntry {
         id,
         user: user.to_string(),
         at,
@@ -159,7 +173,14 @@ fn push_log(
         queue_wait_micros,
         cache_hit,
         degraded_retry,
-    });
+    };
+    let line = entry.to_json();
+    entries.push(entry);
+    drop(entries);
+    let mut sink = log.sink.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(appender) = sink.as_mut() {
+        let _ = appender.append(&line);
+    }
 }
 
 /// The SQLShare platform.
@@ -174,7 +195,7 @@ pub struct SqlShare {
     visibility: HashMap<String, Visibility>,
     users: BTreeMap<String, User>,
     staging: Staging,
-    log: Arc<Mutex<QueryLog>>,
+    log: LogHandle,
     clock: SimClock,
     quota: Quota,
     scheduler: Scheduler,
@@ -184,6 +205,14 @@ pub struct SqlShare {
     default_deadline: Option<Duration>,
     /// Result-cache hits/misses per tenant (lowercased username).
     tenant_cache: Arc<TenantCacheMap>,
+    /// Durable storage (WAL + snapshots), `None` in ephemeral mode. The
+    /// ephemeral path never touches the filesystem.
+    store: Option<DurableStore>,
+    /// True only while startup recovery is replaying; the REST layer
+    /// returns 503 for everything but `/api/ready` until it clears.
+    recovering: bool,
+    /// What the last recovery found, for observability.
+    recovery: Option<RecoveryReport>,
 }
 
 impl SqlShare {
@@ -202,35 +231,136 @@ impl SqlShare {
         }
     }
 
+    /// Open a durable service: run crash recovery against the data
+    /// directory (latest valid snapshot, then the WAL tail, truncating
+    /// any torn record), reload the persisted query log, and start
+    /// journaling new mutations.
+    pub fn open(options: DurableOptions) -> Result<Self> {
+        Self::open_with_scheduler(options, SchedulerConfig::default())
+    }
+
+    /// [`SqlShare::open`] with a custom scheduler configuration.
+    pub fn open_with_scheduler(options: DurableOptions, config: SchedulerConfig) -> Result<Self> {
+        let mut svc = Self::with_scheduler(config);
+        svc.recovering = true;
+        std::fs::create_dir_all(&options.dir).map_err(|e| {
+            Error::Internal(format!("create data dir {}: {e}", options.dir.display()))
+        })?;
+        let mut report = RecoveryReport::default();
+
+        // 1. Latest valid snapshot (corrupt candidates are skipped by
+        //    the store; an older snapshot just means a longer replay).
+        let snapshots = SnapshotStore::new(&options.dir);
+        let mut applied_lsn = 0u64;
+        if let Some((lsn, payload)) = snapshots.load_latest()? {
+            let doc = json::parse(&payload)?;
+            svc.restore_snapshot(&doc)?;
+            applied_lsn = lsn;
+            report.snapshot_lsn = lsn;
+        }
+
+        // 2. WAL tail. The scan already truncated any torn/corrupt
+        //    suffix; each surviving record is replayed through the same
+        //    apply path live mutations use. Records at or below the
+        //    snapshot LSN are skipped (double replay is idempotent); a
+        //    record whose apply fails is counted and skipped — the
+        //    failure was deterministic, so it never took effect live
+        //    either.
+        let scan = Wal::scan(&DurableStore::wal_path(&options.dir))?;
+        report.truncated_wal_bytes = scan.truncated_bytes;
+        for record in &scan.records {
+            let parsed = std::str::from_utf8(record)
+                .map_err(|_| ())
+                .and_then(|text| json::parse(text).map_err(|_| ()))
+                .and_then(|doc| Mutation::from_json(&doc).map_err(|_| ()));
+            let Ok((lsn, m)) = parsed else {
+                report.failed_records += 1;
+                continue;
+            };
+            if lsn <= applied_lsn {
+                report.skipped_records += 1;
+                continue;
+            }
+            match svc.apply_mutation(&m, None) {
+                Ok(_) => report.replayed_records += 1,
+                Err(_) => report.failed_records += 1,
+            }
+            applied_lsn = lsn;
+        }
+        svc.refresh_previews();
+        svc.invalidate_snapshot();
+        report.last_lsn = applied_lsn;
+
+        // 3. Persisted query log (torn tail repaired on load). Query
+        //    ticks are not journaled in the WAL, so the clock must also
+        //    fast-forward past the newest logged timestamp — otherwise a
+        //    recovered service would re-issue instants the crashed
+        //    process already spent on queries.
+        let querylog_path = DurableStore::querylog_path(&options.dir);
+        let (docs, truncated) = jsonl::load_and_repair(&querylog_path)?;
+        report.querylog_truncated_bytes = truncated;
+        let mut newest_logged: Option<SimInstant> = None;
+        {
+            let mut log = svc.log.entries.lock().unwrap_or_else(|e| e.into_inner());
+            for doc in &docs {
+                if let Ok(entry) = QueryLogEntry::from_json(doc) {
+                    if newest_logged.is_none_or(|at| (at.day, at.sequence) < (entry.at.day, entry.at.sequence)) {
+                        newest_logged = Some(entry.at);
+                    }
+                    log.push(entry);
+                    report.querylog_entries += 1;
+                }
+            }
+        }
+        if let Some(at) = newest_logged {
+            svc.sync_clock(at);
+        }
+
+        // 4. Go live: open the WAL and query-log sink for appending.
+        svc.store = Some(DurableStore::open(&options, applied_lsn)?);
+        *svc.log.sink.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(JsonlAppender::open(&querylog_path, options.fsync)?);
+        svc.recovering = false;
+        svc.recovery = Some(report);
+        Ok(svc)
+    }
+
+    /// Ephemeral service, or a durable one when `SQLSHARE_DATA_DIR` is
+    /// set (fsync policy from `SQLSHARE_FSYNC`, snapshot cadence from
+    /// `SQLSHARE_SNAPSHOT_EVERY`).
+    pub fn from_env() -> Result<Self> {
+        match DurableOptions::from_env() {
+            Some(options) => Self::open(options),
+            None => Ok(Self::new()),
+        }
+    }
+
     // ---- users and time -------------------------------------------------
 
     /// Register a user account.
     pub fn register_user(&mut self, username: &str, email: &str) -> Result<()> {
         validate_username(username)?;
-        let key = username.to_lowercase();
-        if self.users.contains_key(&key) {
+        if self.users.contains_key(&username.to_lowercase()) {
             return Err(Error::Request(format!(
                 "username '{username}' is already taken"
             )));
         }
-        self.users.insert(
-            key,
-            User {
-                username: username.to_string(),
-                email: email.to_string(),
-                admin: false,
-            },
-        );
+        self.commit(Mutation::RegisterUser {
+            username: username.to_string(),
+            email: email.to_string(),
+        })?;
         Ok(())
     }
 
     /// Grant or revoke administrator rights (admins may cancel any
     /// user's queries).
     pub fn set_admin(&mut self, username: &str, admin: bool) -> Result<()> {
-        self.users
-            .get_mut(&username.to_lowercase())
-            .map(|u| u.admin = admin)
-            .ok_or_else(|| Error::Request(format!("unknown user '{username}'")))
+        self.require_user(username)?;
+        self.commit(Mutation::SetAdmin {
+            username: username.to_string(),
+            admin,
+        })?;
+        Ok(())
     }
 
     pub fn user(&self, username: &str) -> Option<&User> {
@@ -241,9 +371,11 @@ impl SqlShare {
         self.users.values()
     }
 
-    /// Advance the simulated clock.
+    /// Advance the simulated clock. In durable mode a journal failure
+    /// leaves the clock unchanged (unjournaled time travel would not
+    /// survive recovery).
     pub fn advance_days(&mut self, days: i32) {
-        self.clock.advance_days(days);
+        let _ = self.commit(Mutation::AdvanceDays { days });
     }
 
     /// Current simulated day.
@@ -275,35 +407,33 @@ impl SqlShare {
         self.check_name_free(&name)?;
         self.check_quota(user, content.len())?;
 
+        // Stage + ingest during validation: staging owns the retry
+        // semantics (transient-failure injection, attempt counting,
+        // file retained on failure), so a rejected ingest is never
+        // journaled. The built table rides along to apply; replay
+        // rebuilds it from the recorded raw content via the same pure
+        // `ingest_text`, byte for byte.
         let stage_id = self.staging.stage(format!("{dataset}.csv"), content);
         let base_key = base_table_key(&name);
         let (table, report) = self.staging.ingest(stage_id, &base_key, options)?;
-        self.engine.create_table(table)?;
 
-        let wrapper = wrapper_view(&ObjectName(vec![
-            name.owner.clone(),
-            base_name_part(&name.name),
-        ]));
-        let sql = wrapper.to_string();
-        self.engine.create_view(&name.flat(), &sql)?;
-
-        let preview = self.compute_preview(&sql)?;
+        let saved_clock = self.clock;
         let created = self.clock.tick();
-        self.datasets.insert(
-            name.key(),
-            Dataset {
-                name: name.clone(),
-                sql,
-                metadata: Metadata::default(),
-                preview: Some(preview),
-                kind: DatasetKind::Uploaded,
-                base_table: Some(base_key),
-                created,
-            },
-        );
-        self.visibility.insert(name.key(), Visibility::Private);
-        self.refresh_previews();
-        self.invalidate_snapshot();
+        let report = self
+            .commit_with(
+                Mutation::Upload {
+                    user: user.to_string(),
+                    dataset: dataset.to_string(),
+                    content: content.to_string(),
+                    options: options.clone(),
+                    created,
+                },
+                Some((table, report)),
+            )
+            .inspect_err(|_| {
+                self.clock = saved_clock;
+            })?
+            .expect("upload apply returns its ingest report");
         Ok((name, report))
     }
 
@@ -329,26 +459,19 @@ impl SqlShare {
             check_access(&GraphView { service: self }, user, &key)?;
         }
         let canonical = stripped.to_string();
-        self.engine.create_view(&name.flat(), &canonical)?;
-        // A view over a failing query is still creatable; the preview
-        // stays empty (matches the real system's lazy errors).
-        let preview = self.compute_preview(&canonical).ok();
+
+        let saved_clock = self.clock;
         let created = self.clock.tick();
-        self.datasets.insert(
-            name.key(),
-            Dataset {
-                name: name.clone(),
-                sql: canonical,
-                metadata,
-                preview,
-                kind: DatasetKind::Derived,
-                base_table: None,
-                created,
-            },
-        );
-        self.visibility.insert(name.key(), Visibility::Private);
-        self.refresh_previews();
-        self.invalidate_snapshot();
+        self.commit(Mutation::SaveDataset {
+            user: user.to_string(),
+            dataset: dataset.to_string(),
+            sql: canonical,
+            metadata,
+            created,
+        })
+        .inspect_err(|_| {
+            self.clock = saved_clock;
+        })?;
         Ok(name)
     }
 
@@ -384,23 +507,19 @@ impl SqlShare {
             )));
         }
 
-        let old_sql = self.dataset_required(existing)?.sql.clone();
+        let existing_ds = self.dataset_required(existing)?;
+        let canonical_name = existing_ds.name.clone();
+        let old_sql = existing_ds.sql.clone();
         let rewritten = append_union(
             &old_sql,
             &ObjectName(vec![new.owner.clone(), new.name.clone()]),
             mode,
         )?
         .to_string();
-        self.engine.create_view(&existing.flat(), &rewritten)?;
-        let preview = self.compute_preview(&rewritten)?;
-        let ds = self
-            .datasets
-            .get_mut(&existing.key())
-            .expect("checked above");
-        ds.sql = rewritten;
-        ds.preview = Some(preview);
-        self.refresh_previews();
-        self.invalidate_snapshot();
+        self.commit(Mutation::Append {
+            existing: canonical_name,
+            sql: rewritten,
+        })?;
         Ok(())
     }
 
@@ -419,37 +538,24 @@ impl SqlShare {
         self.check_name_free(&name)?;
         self.check_quota(user, 0)?;
 
+        // Run the source query now and embed its rows in the record:
+        // replaying the query later could observe a changed source — or,
+        // under parallel execution, a different float merge order.
         let source_sql = self.dataset_required(source)?.sql.clone();
         let output = self.engine.run(&source_sql)?;
-        let base_key = base_table_key(&name);
-        let table = Table::new(&base_key, output.schema.clone(), output.rows);
-        self.engine.create_table(table)?;
-        let wrapper = wrapper_view(&ObjectName(vec![
-            name.owner.clone(),
-            base_name_part(&name.name),
-        ]));
-        let sql = wrapper.to_string();
-        self.engine.create_view(&name.flat(), &sql)?;
-        let preview = self.compute_preview(&sql)?;
+
+        let saved_clock = self.clock;
         let created = self.clock.tick();
-        self.datasets.insert(
-            name.key(),
-            Dataset {
-                name: name.clone(),
-                sql,
-                metadata: Metadata {
-                    description: format!("snapshot of {source}"),
-                    tags: vec![],
-                },
-                preview: Some(preview),
-                kind: DatasetKind::Snapshot,
-                base_table: Some(base_key),
-                created,
-            },
-        );
-        self.visibility.insert(name.key(), Visibility::Private);
-        self.refresh_previews();
-        self.invalidate_snapshot();
+        self.commit(Mutation::Materialize {
+            source: self.dataset_required(source)?.name.clone(),
+            name: name.clone(),
+            schema: output.schema,
+            rows: output.rows,
+            created,
+        })
+        .inspect_err(|_| {
+            self.clock = saved_clock;
+        })?;
         Ok(name)
     }
 
@@ -463,15 +569,10 @@ impl SqlShare {
                 "only the owner may delete '{name}'"
             )));
         }
-        let base = ds.base_table.clone();
-        self.engine.drop_relation(&name.flat());
-        if let Some(b) = base {
-            self.engine.drop_relation(&b);
-        }
-        self.datasets.remove(&name.key());
-        self.visibility.remove(&name.key());
-        self.refresh_previews();
-        self.invalidate_snapshot();
+        let canonical_name = ds.name.clone();
+        self.commit(Mutation::Delete {
+            name: canonical_name,
+        })?;
         Ok(())
     }
 
@@ -489,7 +590,11 @@ impl SqlShare {
                 "only the owner may share '{name}'"
             )));
         }
-        self.visibility.insert(name.key(), visibility);
+        let canonical_name = ds.name.clone();
+        self.commit(Mutation::SetVisibility {
+            name: canonical_name,
+            visibility,
+        })?;
         Ok(())
     }
 
@@ -501,17 +606,17 @@ impl SqlShare {
         metadata: Metadata,
     ) -> Result<()> {
         self.require_user(user)?;
-        let key = name.key();
-        let ds = self
-            .datasets
-            .get_mut(&key)
-            .ok_or_else(|| Error::Catalog(format!("unknown dataset '{name}'")))?;
+        let ds = self.dataset_required(name)?;
         if !ds.name.owner.eq_ignore_ascii_case(user) {
             return Err(Error::Permission(format!(
                 "only the owner may edit '{name}'"
             )));
         }
-        ds.metadata = metadata;
+        let canonical_name = ds.name.clone();
+        self.commit(Mutation::SetMetadata {
+            name: canonical_name,
+            metadata,
+        })?;
         Ok(())
     }
 
@@ -737,7 +842,7 @@ impl SqlShare {
             Err(_) => 1,
         };
         let jobs = Arc::clone(&self.jobs);
-        let log = Arc::clone(&self.log);
+        let log = self.log.clone();
         let tenant_cache = Arc::clone(&self.tenant_cache);
         let user_owned = user.to_string();
         let sql_owned = sql.to_string();
@@ -1068,6 +1173,12 @@ impl SqlShare {
     /// sync path and worker snapshots.
     pub fn set_fault_plan(&mut self, plan: Option<sqlshare_engine::FaultPlan>) {
         self.engine.set_fault_plan(plan);
+        // Storage shares the engine's plan (and its draw counter), so
+        // one seeded plan covers query and durability fault sites alike.
+        let shared = self.engine.fault_plan().cloned();
+        if let Some(store) = &mut self.store {
+            store.set_fault_plan(shared);
+        }
         self.invalidate_snapshot();
     }
 
@@ -1165,9 +1276,10 @@ impl SqlShare {
         // Deterministic registry-style identifier: prefix/dataset-hash.
         let h = sqlshare_common::hash::fnv64_str(&key);
         let doi = format!("10.5072/sqlshare.{h:016x}");
-        if let Some(d) = self.datasets.get_mut(&key) {
-            d.metadata.tags.push(format!("doi:{doi}"));
-        }
+        self.commit(Mutation::MintDoi {
+            name: self.dataset_required(name)?.name.clone(),
+            doi: doi.clone(),
+        })?;
         Ok(doi)
     }
 
@@ -1175,14 +1287,15 @@ impl SqlShare {
     /// (UDF bodies are synthetic; see `sqlshare-engine`). The SDSS
     /// comparison workload is UDF-heavy (Table 4b of the paper).
     pub fn register_udf(&mut self, name: &str) {
-        self.engine.catalog_mut().register_udf(name);
-        self.invalidate_snapshot();
+        let _ = self.commit(Mutation::RegisterUdf {
+            name: name.to_string(),
+        });
     }
 
     // ---- accessors for analysis ---------------------------------------
 
     pub fn log(&self) -> MutexGuard<'_, QueryLog> {
-        self.log.lock().unwrap_or_else(|e| e.into_inner())
+        self.log.entries.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     pub fn datasets(&self) -> impl Iterator<Item = &Dataset> {
@@ -1208,6 +1321,482 @@ impl SqlShare {
     /// the production deployment).
     pub fn stored_bytes(&self) -> usize {
         self.engine.catalog().estimated_bytes()
+    }
+
+    // ---- durability ----------------------------------------------------
+
+    /// Journal-then-apply one validated mutation. In ephemeral mode
+    /// this is just the apply; in durable mode the mutation is
+    /// acknowledged only after the WAL append succeeds, and the apply
+    /// is the same code recovery replays.
+    fn commit(&mut self, m: Mutation) -> Result<Option<IngestReport>> {
+        self.commit_with(m, None)
+    }
+
+    fn commit_with(
+        &mut self,
+        m: Mutation,
+        prebuilt: Option<(Table, IngestReport)>,
+    ) -> Result<Option<IngestReport>> {
+        if let Some(store) = &mut self.store {
+            store.journal(&m)?;
+        }
+        let report = self.apply_mutation(&m, prebuilt)?;
+        self.refresh_previews();
+        self.invalidate_snapshot();
+        self.maybe_snapshot();
+        Ok(report)
+    }
+
+    /// Apply one mutation to in-memory state. Shared between the live
+    /// path (after journaling) and recovery replay, so both produce
+    /// identical state. Fallible steps come first; the clock moves and
+    /// maps change only once nothing else can fail. Previews are best
+    /// effort (`.ok()`): they are derived caches, rebuilt on divergence,
+    /// and excluded from the durable digest.
+    fn apply_mutation(
+        &mut self,
+        m: &Mutation,
+        prebuilt: Option<(Table, IngestReport)>,
+    ) -> Result<Option<IngestReport>> {
+        match m {
+            Mutation::RegisterUser { username, email } => {
+                self.users.insert(
+                    username.to_lowercase(),
+                    User {
+                        username: username.clone(),
+                        email: email.clone(),
+                        admin: false,
+                    },
+                );
+                Ok(None)
+            }
+            Mutation::SetAdmin { username, admin } => {
+                if let Some(u) = self.users.get_mut(&username.to_lowercase()) {
+                    u.admin = *admin;
+                }
+                Ok(None)
+            }
+            Mutation::AdvanceDays { days } => {
+                self.clock.advance_days(*days);
+                Ok(None)
+            }
+            Mutation::Upload {
+                user,
+                dataset,
+                content,
+                options,
+                created,
+            } => {
+                let name = DatasetName::new(user.clone(), dataset.clone());
+                let base_key = base_table_key(&name);
+                let (table, report) = match prebuilt {
+                    Some((table, report)) => (table, report),
+                    None => ingest_text(&base_key, content, options)?,
+                };
+                self.engine.create_table(table)?;
+                let sql = wrapper_view(&ObjectName(vec![
+                    name.owner.clone(),
+                    base_name_part(&name.name),
+                ]))
+                .to_string();
+                self.engine.create_view(&name.flat(), &sql)?;
+                let preview = self.compute_preview(&sql).ok();
+                self.sync_clock(*created);
+                self.datasets.insert(
+                    name.key(),
+                    Dataset {
+                        name: name.clone(),
+                        sql,
+                        metadata: Metadata::default(),
+                        preview,
+                        kind: DatasetKind::Uploaded,
+                        base_table: Some(base_key),
+                        created: *created,
+                    },
+                );
+                self.visibility.insert(name.key(), Visibility::Private);
+                Ok(Some(report))
+            }
+            Mutation::SaveDataset {
+                user,
+                dataset,
+                sql,
+                metadata,
+                created,
+            } => {
+                let name = DatasetName::new(user.clone(), dataset.clone());
+                self.engine.create_view(&name.flat(), sql)?;
+                // A view over a failing query is still creatable; the
+                // preview stays empty (matches the real system's lazy
+                // errors).
+                let preview = self.compute_preview(sql).ok();
+                self.sync_clock(*created);
+                self.datasets.insert(
+                    name.key(),
+                    Dataset {
+                        name: name.clone(),
+                        sql: sql.clone(),
+                        metadata: metadata.clone(),
+                        preview,
+                        kind: DatasetKind::Derived,
+                        base_table: None,
+                        created: *created,
+                    },
+                );
+                self.visibility.insert(name.key(), Visibility::Private);
+                Ok(None)
+            }
+            Mutation::Append { existing, sql } => {
+                self.engine.create_view(&existing.flat(), sql)?;
+                let preview = self.compute_preview(sql).ok();
+                if let Some(ds) = self.datasets.get_mut(&existing.key()) {
+                    ds.sql = sql.clone();
+                    ds.preview = preview;
+                }
+                Ok(None)
+            }
+            Mutation::Materialize {
+                source,
+                name,
+                schema,
+                rows,
+                created,
+            } => {
+                let base_key = base_table_key(name);
+                let table = Table::new(&base_key, schema.clone(), rows.clone());
+                self.engine.create_table(table)?;
+                let sql = wrapper_view(&ObjectName(vec![
+                    name.owner.clone(),
+                    base_name_part(&name.name),
+                ]))
+                .to_string();
+                self.engine.create_view(&name.flat(), &sql)?;
+                let preview = self.compute_preview(&sql).ok();
+                self.sync_clock(*created);
+                self.datasets.insert(
+                    name.key(),
+                    Dataset {
+                        name: name.clone(),
+                        sql,
+                        metadata: Metadata {
+                            description: format!("snapshot of {source}"),
+                            tags: vec![],
+                        },
+                        preview,
+                        kind: DatasetKind::Snapshot,
+                        base_table: Some(base_key),
+                        created: *created,
+                    },
+                );
+                self.visibility.insert(name.key(), Visibility::Private);
+                Ok(None)
+            }
+            Mutation::Delete { name } => {
+                let base = self
+                    .datasets
+                    .get(&name.key())
+                    .and_then(|d| d.base_table.clone());
+                self.engine.drop_relation(&name.flat());
+                if let Some(b) = base {
+                    self.engine.drop_relation(&b);
+                }
+                self.datasets.remove(&name.key());
+                self.visibility.remove(&name.key());
+                Ok(None)
+            }
+            Mutation::SetVisibility { name, visibility } => {
+                self.visibility.insert(name.key(), visibility.clone());
+                Ok(None)
+            }
+            Mutation::SetMetadata { name, metadata } => {
+                if let Some(ds) = self.datasets.get_mut(&name.key()) {
+                    ds.metadata = metadata.clone();
+                }
+                Ok(None)
+            }
+            Mutation::MintDoi { name, doi } => {
+                if let Some(ds) = self.datasets.get_mut(&name.key()) {
+                    ds.metadata.tags.push(format!("doi:{doi}"));
+                }
+                Ok(None)
+            }
+            Mutation::RegisterUdf { name } => {
+                self.engine.catalog_mut().register_udf(name.as_str());
+                Ok(None)
+            }
+        }
+    }
+
+    /// Fast-forward the clock to just past `created` when behind. Live
+    /// commits already ticked past it (no-op); replay catches up so a
+    /// recovered clock issues the same timestamps the crashed process
+    /// would have.
+    fn sync_clock(&mut self, created: SimInstant) {
+        if (self.clock.day, self.clock.sequence) <= (created.day, created.sequence) {
+            self.clock.day = created.day;
+            self.clock.sequence = created.sequence + 1;
+        }
+    }
+
+    /// Take an automatic snapshot when the cadence is due. Best effort:
+    /// a failed snapshot leaves the WAL holding full history, and the
+    /// next commit retries after another full cadence interval.
+    fn maybe_snapshot(&mut self) {
+        if self.store.as_ref().is_some_and(DurableStore::wants_snapshot) {
+            let payload = self.snapshot_payload().to_string();
+            if let Some(store) = &mut self.store {
+                let _ = store.take_snapshot(&payload);
+            }
+        }
+    }
+
+    /// Force a snapshot now (durable mode only) — truncates the WAL.
+    pub fn force_snapshot(&mut self) -> Result<()> {
+        if self.store.is_none() {
+            return Err(Error::Request(
+                "service has no data directory (ephemeral mode)".into(),
+            ));
+        }
+        let payload = self.snapshot_payload().to_string();
+        let store = self.store.as_mut().expect("checked above");
+        store.take_snapshot(&payload)
+    }
+
+    fn snapshot_payload(&self) -> Json {
+        Json::object([
+            (
+                "lsn",
+                Json::Number(self.store.as_ref().map_or(0, DurableStore::last_lsn) as f64),
+            ),
+            (
+                "clock",
+                Json::object([
+                    ("day", Json::Number(self.clock.day as f64)),
+                    ("seq", Json::Number(self.clock.sequence as f64)),
+                ]),
+            ),
+            ("state", self.durable_state_json(true)),
+        ])
+    }
+
+    /// The full durable state as canonical JSON: users, catalog tables
+    /// and views, UDFs, datasets, visibility, and generation counters,
+    /// all in sorted order. With `include_previews: false` this is the
+    /// digest input — previews are derived caches and the clock is
+    /// captured separately.
+    pub fn durable_state_json(&self, include_previews: bool) -> Json {
+        let mut o = JsonObject::new();
+        o.insert(
+            "users",
+            Json::Array(
+                self.users
+                    .values()
+                    .map(|u| {
+                        Json::object([
+                            ("username", Json::str(u.username.clone())),
+                            ("email", Json::str(u.email.clone())),
+                            ("admin", Json::Bool(u.admin)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        let mut tables: Vec<&Table> = self.engine.catalog().tables().collect();
+        tables.sort_by(|a, b| a.name.cmp(&b.name));
+        o.insert(
+            "tables",
+            Json::Array(tables.iter().map(|t| persist::table_to_json(t)).collect()),
+        );
+        let mut views: Vec<_> = self.engine.catalog().views().collect();
+        views.sort_by(|a, b| a.name.cmp(&b.name));
+        o.insert(
+            "views",
+            Json::Array(
+                views
+                    .iter()
+                    .map(|v| {
+                        Json::object([
+                            ("name", Json::str(v.name.clone())),
+                            ("sql", Json::str(v.sql.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        let mut udfs: Vec<&str> = self.engine.catalog().udfs().collect();
+        udfs.sort_unstable();
+        o.insert(
+            "udfs",
+            Json::Array(udfs.iter().map(|u| Json::str(u.to_string())).collect()),
+        );
+        o.insert(
+            "datasets",
+            Json::Array(
+                self.datasets
+                    .values()
+                    .map(|d| persist::dataset_to_json(d, include_previews))
+                    .collect(),
+            ),
+        );
+        let mut vis: Vec<(&String, &Visibility)> = self.visibility.iter().collect();
+        vis.sort_by(|a, b| a.0.cmp(b.0));
+        o.insert(
+            "visibility",
+            Json::Array(
+                vis.iter()
+                    .map(|(k, v)| {
+                        Json::Array(vec![
+                            Json::str((*k).clone()),
+                            persist::visibility_to_json(v),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        let (global, gens) = self.engine.catalog().export_generations();
+        o.insert(
+            "generations",
+            Json::object([
+                ("global", Json::Number(global as f64)),
+                (
+                    "objects",
+                    Json::Array(
+                        gens.iter()
+                            .map(|(k, g)| {
+                                Json::Array(vec![Json::str(k.clone()), Json::Number(*g as f64)])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        );
+        Json::Object(o)
+    }
+
+    /// FNV-64 of the canonical durable state (previews excluded). Two
+    /// services with equal digests hold byte-identical durable state —
+    /// the recovery differential suite's oracle.
+    pub fn durable_digest(&self) -> u64 {
+        sqlshare_common::hash::fnv64_str(&self.durable_state_json(false).to_string())
+    }
+
+    fn restore_snapshot(&mut self, doc: &Json) -> Result<()> {
+        let clock = persist::field(doc, "clock")?;
+        let at = persist::instant_from_json(clock)?;
+        self.clock.day = at.day;
+        self.clock.sequence = at.sequence;
+        self.restore_state(persist::field(doc, "state")?)
+    }
+
+    /// Rebuild in-memory state from a snapshot's `state` object. Views
+    /// are installed raw (no binder validation) so restore order cannot
+    /// matter; generations are imported last, overriding the bumps the
+    /// rebuild itself caused.
+    fn restore_state(&mut self, state: &Json) -> Result<()> {
+        let arr = |key: &str| -> Result<&[Json]> {
+            persist::field(state, key)?
+                .as_array()
+                .ok_or_else(|| Error::Json(format!("snapshot: bad '{key}'")))
+        };
+        for u in arr("users")? {
+            let username = persist::str_of(u, "username")?;
+            self.users.insert(
+                username.to_lowercase(),
+                User {
+                    username,
+                    email: persist::str_of(u, "email")?,
+                    admin: persist::bool_of(u, "admin")?,
+                },
+            );
+        }
+        for t in arr("tables")? {
+            self.engine.create_table(persist::table_from_json(t)?)?;
+        }
+        for v in arr("views")? {
+            self.engine
+                .catalog_mut()
+                .set_view(persist::str_of(v, "name")?, persist::str_of(v, "sql")?)?;
+        }
+        for u in arr("udfs")? {
+            let name = u
+                .as_str()
+                .ok_or_else(|| Error::Json("snapshot: bad udf".into()))?;
+            self.engine.catalog_mut().register_udf(name);
+        }
+        for d in arr("datasets")? {
+            let ds = persist::dataset_from_json(d)?;
+            self.datasets.insert(ds.name.key(), ds);
+        }
+        for pair in arr("visibility")? {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| Error::Json("snapshot: bad visibility".into()))?;
+            let key = pair[0]
+                .as_str()
+                .ok_or_else(|| Error::Json("snapshot: bad visibility key".into()))?;
+            self.visibility
+                .insert(key.to_string(), persist::visibility_from_json(&pair[1])?);
+        }
+        let gens = persist::field(state, "generations")?;
+        let global = persist::u64_of(gens, "global")?;
+        let objects = persist::field(gens, "objects")?
+            .as_array()
+            .ok_or_else(|| Error::Json("snapshot: bad generations".into()))?
+            .iter()
+            .map(|p| {
+                let p = p
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| Error::Json("snapshot: bad generation pair".into()))?;
+                let key = p[0]
+                    .as_str()
+                    .ok_or_else(|| Error::Json("snapshot: bad generation key".into()))?;
+                let gen = p[1]
+                    .as_f64()
+                    .ok_or_else(|| Error::Json("snapshot: bad generation".into()))?;
+                Ok((key.to_string(), gen as u64))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        self.engine.catalog_mut().import_generations(global, objects);
+        Ok(())
+    }
+
+    /// True while startup recovery is still replaying. The REST layer
+    /// turns this into 503s on every route but `/api/ready`.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// Test hook: flip the recovering gate without running a recovery.
+    #[doc(hidden)]
+    pub fn set_recovering(&mut self, recovering: bool) {
+        self.recovering = recovering;
+    }
+
+    /// What the last startup recovery found, if this service was opened
+    /// from a data directory.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery
+    }
+
+    /// Arm a simulated crash after `after_records` more WAL appends
+    /// (optionally tearing the final record). Chaos-test hook; no-op in
+    /// ephemeral mode.
+    pub fn set_storage_crash_point(&mut self, crash: Option<CrashPoint>) {
+        if let Some(store) = &mut self.store {
+            store.set_crash_point(crash);
+        }
+    }
+
+    /// Whether an armed crash point has fired. After a simulated crash
+    /// the WAL is dead — every further mutation is rejected — and the
+    /// only way forward is to reopen the data directory (recovery). Ops
+    /// that swallow journal errors (`advance_days`, `register_udf`)
+    /// make this the only reliable crash signal for chaos harnesses.
+    pub fn storage_crashed(&self) -> bool {
+        self.store.as_ref().is_some_and(DurableStore::crashed)
     }
 
     // ---- internals -----------------------------------------------------

@@ -41,6 +41,18 @@ pub enum FaultSite {
     CacheInsert,
     /// Scheduler dequeue — the moment a worker picks the job up.
     SchedDequeue,
+    /// Write-ahead-log append (durable storage). An injected failure
+    /// here models a failed or short write: the storage layer leaves a
+    /// deterministic torn prefix on disk, then repairs it, so the
+    /// mutation is rejected atomically and recovery never sees it.
+    WalAppend,
+    /// WAL fsync. An injected failure models an fsync error after the
+    /// record bytes were written; the storage layer aborts (truncates)
+    /// the record so the unacknowledged mutation leaves no trace.
+    WalFsync,
+    /// Catalog snapshot write. Failure skips the snapshot (and the WAL
+    /// truncation that would follow it); the WAL keeps full history.
+    SnapshotWrite,
 }
 
 impl FaultSite {
@@ -52,6 +64,9 @@ impl FaultSite {
             FaultSite::AggMerge => "agg-merge",
             FaultSite::CacheInsert => "cache-insert",
             FaultSite::SchedDequeue => "sched-dequeue",
+            FaultSite::WalAppend => "wal-append",
+            FaultSite::WalFsync => "wal-fsync",
+            FaultSite::SnapshotWrite => "snapshot-write",
         }
     }
 
@@ -63,6 +78,9 @@ impl FaultSite {
             FaultSite::AggMerge => 4,
             FaultSite::CacheInsert => 5,
             FaultSite::SchedDequeue => 6,
+            FaultSite::WalAppend => 7,
+            FaultSite::WalFsync => 8,
+            FaultSite::SnapshotWrite => 9,
         }
     }
 }
@@ -93,6 +111,7 @@ pub struct FaultPlan {
 enum ForcedFault {
     Panic,
     Exhausted,
+    Fail,
 }
 
 impl FaultPlan {
@@ -120,6 +139,16 @@ impl FaultPlan {
     pub fn exhaust_at(site: FaultSite) -> Self {
         FaultPlan {
             forced: Some((site, ForcedFault::Exhausted)),
+            ..FaultPlan::new(0, 0.0)
+        }
+    }
+
+    /// A plan that injects a typed `Error::Execution` on every check at
+    /// `site` — deterministically drives well-typed failure paths (e.g.
+    /// every WAL append fails, every fsync fails).
+    pub fn fail_at(site: FaultSite) -> Self {
+        FaultPlan {
+            forced: Some((site, ForcedFault::Fail)),
             ..FaultPlan::new(0, 0.0)
         }
     }
@@ -154,6 +183,12 @@ impl FaultPlan {
                 ForcedFault::Exhausted => {
                     return Err(Error::ResourceExhausted(format!(
                         "injected exhaustion at {}",
+                        site.name()
+                    )))
+                }
+                ForcedFault::Fail => {
+                    return Err(Error::Execution(format!(
+                        "injected fault at {}",
                         site.name()
                     )))
                 }
@@ -271,6 +306,39 @@ mod tests {
         }))
         .unwrap_err();
         assert!(Error::from_panic(payload).message().contains("scan"));
+    }
+
+    #[test]
+    fn storage_sites_have_distinct_names_and_indexes() {
+        let sites = [
+            FaultSite::Scan,
+            FaultSite::JoinBuild,
+            FaultSite::JoinProbe,
+            FaultSite::AggMerge,
+            FaultSite::CacheInsert,
+            FaultSite::SchedDequeue,
+            FaultSite::WalAppend,
+            FaultSite::WalFsync,
+            FaultSite::SnapshotWrite,
+        ];
+        let mut names: Vec<&str> = sites.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), sites.len());
+        let mut idx: Vec<u64> = sites.iter().map(|s| s.index()).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), sites.len());
+    }
+
+    #[test]
+    fn fail_at_injects_typed_execution_errors_only_at_its_site() {
+        let p = FaultPlan::fail_at(FaultSite::WalAppend);
+        p.check(FaultSite::WalFsync).unwrap();
+        p.check(FaultSite::Scan).unwrap();
+        let err = p.check(FaultSite::WalAppend).unwrap_err();
+        assert_eq!(err.kind(), "execution");
+        assert!(err.message().contains("injected fault at wal-append"));
     }
 
     #[test]

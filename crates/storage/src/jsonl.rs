@@ -1,0 +1,194 @@
+//! Append-only JSONL segments (one JSON document per line).
+//!
+//! Used for the persisted query log: cheap to append, human-greppable,
+//! and naturally tolerant of torn tails — a crash mid-append leaves a
+//! final line without a newline (or with unparseable JSON), which
+//! [`load_and_repair`] drops and truncates away so later appends extend
+//! a clean file.
+
+use crate::{count_io, FsyncPolicy};
+use sqlshare_common::json::{self, Json};
+use sqlshare_common::{Error, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Internal(format!("jsonl {what} {}: {e}", path.display()))
+}
+
+/// Load every complete, parseable line from a JSONL file, truncating
+/// the file after the last good line (torn-tail repair). Returns the
+/// parsed documents and the number of bytes discarded. A missing file
+/// loads as empty.
+pub fn load_and_repair(path: &Path) -> Result<(Vec<Json>, u64)> {
+    if !path.exists() {
+        return Ok((Vec::new(), 0));
+    }
+    count_io();
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| io_err("read", path, e))?;
+
+    let mut docs = Vec::new();
+    let mut valid = 0usize;
+    let mut pos = 0usize;
+    while let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') {
+        let line = &bytes[pos..pos + nl];
+        let Ok(text) = std::str::from_utf8(line) else {
+            break;
+        };
+        let Ok(doc) = json::parse(text) else {
+            break;
+        };
+        docs.push(doc);
+        pos += nl + 1;
+        valid = pos;
+    }
+
+    let truncated = (bytes.len() - valid) as u64;
+    if truncated > 0 {
+        count_io();
+        OpenOptions::new()
+            .write(true)
+            .open(path)
+            .and_then(|f| f.set_len(valid as u64))
+            .map_err(|e| io_err("repair", path, e))?;
+    }
+    Ok((docs, truncated))
+}
+
+/// An open JSONL file handle for appending.
+#[derive(Debug)]
+pub struct JsonlAppender {
+    path: PathBuf,
+    file: File,
+    policy: FsyncPolicy,
+    since_sync: u64,
+}
+
+impl JsonlAppender {
+    /// Open (creating if absent) for appending. Callers recovering
+    /// state should run [`load_and_repair`] first so appends extend a
+    /// clean file.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<JsonlAppender> {
+        count_io();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err("open", path, e))?;
+        Ok(JsonlAppender {
+            path: path.to_path_buf(),
+            file,
+            policy,
+            since_sync: 0,
+        })
+    }
+
+    /// Append one document as a single line.
+    pub fn append(&mut self, doc: &Json) -> Result<()> {
+        let mut line = doc.to_string();
+        debug_assert!(
+            !line.contains('\n'),
+            "compact JSON serialization must be single-line"
+        );
+        line.push('\n');
+        count_io();
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| io_err("write", &self.path, e))?;
+        let want_sync = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Batch => self.since_sync + 1 >= FsyncPolicy::BATCH_INTERVAL,
+            FsyncPolicy::Off => false,
+        };
+        if want_sync {
+            count_io();
+            self.file
+                .sync_data()
+                .map_err(|e| io_err("fsync", &self.path, e))?;
+            self.since_sync = 0;
+        } else {
+            self.since_sync += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_file(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sqlshare-jsonl-{}-{}-{}",
+            std::process::id(),
+            tag,
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("log.jsonl")
+    }
+
+    fn doc(n: f64) -> Json {
+        let mut obj = sqlshare_common::json::JsonObject::new();
+        obj.insert("n".to_string(), Json::Number(n));
+        Json::Object(obj)
+    }
+
+    #[test]
+    fn append_and_load_round_trips() {
+        let path = temp_file("round");
+        let mut w = JsonlAppender::open(&path, FsyncPolicy::Off).unwrap();
+        w.append(&doc(1.0)).unwrap();
+        w.append(&doc(2.0)).unwrap();
+        drop(w);
+        let (docs, truncated) = load_and_repair(&path).unwrap();
+        assert_eq!(truncated, 0);
+        assert_eq!(docs, vec![doc(1.0), doc(2.0)]);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_repaired() {
+        let path = temp_file("torn");
+        let mut w = JsonlAppender::open(&path, FsyncPolicy::Always).unwrap();
+        w.append(&doc(1.0)).unwrap();
+        drop(w);
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        // Simulate a crash mid-append: a partial second line, no newline.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(br#"{"n":2"#);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (docs, truncated) = load_and_repair(&path).unwrap();
+        assert_eq!(docs, vec![doc(1.0)]);
+        assert_eq!(truncated, 6);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        // Appends after repair extend a clean file.
+        let mut w = JsonlAppender::open(&path, FsyncPolicy::Off).unwrap();
+        w.append(&doc(3.0)).unwrap();
+        drop(w);
+        let (docs, _) = load_and_repair(&path).unwrap();
+        assert_eq!(docs, vec![doc(1.0), doc(3.0)]);
+    }
+
+    #[test]
+    fn garbage_line_stops_the_load() {
+        let path = temp_file("garbage");
+        std::fs::write(&path, "{\"n\":1}\nnot json\n{\"n\":2}\n").unwrap();
+        let (docs, truncated) = load_and_repair(&path).unwrap();
+        assert_eq!(docs, vec![doc(1.0)]);
+        assert!(truncated > 0);
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let (docs, truncated) = load_and_repair(&temp_file("missing")).unwrap();
+        assert!(docs.is_empty());
+        assert_eq!(truncated, 0);
+    }
+}

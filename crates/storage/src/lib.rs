@@ -1,0 +1,106 @@
+//! Durable storage primitives: write-ahead log, atomic snapshots, and
+//! append-only JSONL segments.
+//!
+//! SQLShare ran for years as a public service; the value of such a
+//! service is the corpus that survives every crash and restart (§2–3 of
+//! the paper). This crate is the durability spine under
+//! `sqlshare-core`: the service journals every catalog mutation to a
+//! [`wal::Wal`] *before* applying it, periodically captures the full
+//! durable state as an atomically-renamed [`snapshot`], and appends the
+//! query log as a [`jsonl`] segment. Recovery loads the latest valid
+//! snapshot and replays the WAL tail, truncating at the first torn or
+//! corrupt record.
+//!
+//! Design rules:
+//!
+//! * **Ephemeral mode is zero-overhead.** Nothing in this crate runs
+//!   unless the service was opened with a data directory; every
+//!   filesystem touch increments [`io_ops`], which a regression test
+//!   asserts stays at zero for ephemeral services.
+//! * **Failed writes leave no trace.** A WAL append that fails (a real
+//!   I/O error, or an injected `FaultSite::WalAppend` /
+//!   `FaultSite::WalFsync` fault) truncates the file back to its
+//!   pre-append length, so an unacknowledged mutation can never be
+//!   half-journaled — except under a simulated [`wal::CrashPoint`],
+//!   which deliberately leaves a torn tail the recovery scan must
+//!   tolerate.
+//! * **No panics escape.** Fault-plan checks sit under `catch_unwind`;
+//!   storage failures surface as typed `Error`s.
+
+pub mod jsonl;
+pub mod snapshot;
+pub mod wal;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use jsonl::JsonlAppender;
+pub use snapshot::SnapshotStore;
+pub use wal::{CrashPoint, Wal, WalScan};
+
+/// Process-wide count of filesystem operations performed by this crate.
+/// Exists so tests can assert that ephemeral services (no
+/// `SQLSHARE_DATA_DIR`) perform **no** storage I/O at all.
+static IO_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Filesystem operations performed by this crate since process start.
+pub fn io_ops() -> u64 {
+    IO_OPS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn count_io() {
+    IO_OPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// When to force journal writes to stable storage
+/// (`SQLSHARE_FSYNC=always|batch|off`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync after every appended record — maximum durability, one
+    /// device round-trip per mutation.
+    Always,
+    /// fsync every [`FsyncPolicy::BATCH_INTERVAL`] records and at every
+    /// snapshot — bounded loss window, amortized cost. The default.
+    #[default]
+    Batch,
+    /// Never fsync; the OS flushes on its own schedule. For tests and
+    /// throwaway corpora.
+    Off,
+}
+
+impl FsyncPolicy {
+    /// Records between forced syncs under [`FsyncPolicy::Batch`].
+    pub const BATCH_INTERVAL: u64 = 32;
+
+    /// Parse a policy name; `None` for anything unrecognized (fail
+    /// closed to the default rather than silently dropping durability).
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "always" => Some(FsyncPolicy::Always),
+            "batch" => Some(FsyncPolicy::Batch),
+            "off" => Some(FsyncPolicy::Off),
+            _ => None,
+        }
+    }
+
+    /// Read `SQLSHARE_FSYNC`, defaulting to `Batch` when unset or
+    /// malformed.
+    pub fn from_env() -> FsyncPolicy {
+        std::env::var("SQLSHARE_FSYNC")
+            .ok()
+            .and_then(|v| FsyncPolicy::parse(&v))
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse(" BATCH "), Some(FsyncPolicy::Batch));
+        assert_eq!(FsyncPolicy::parse("off"), Some(FsyncPolicy::Off));
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+}

@@ -1,0 +1,240 @@
+//! Atomic catalog snapshots: `snapshot-<lsn>.json`, written via a
+//! temporary file renamed into place.
+//!
+//! A snapshot captures the full durable state as of a WAL LSN, letting
+//! recovery skip replaying history and letting the WAL be truncated.
+//! The write protocol is the classic one:
+//!
+//! 1. write the payload to `snapshot-<lsn>.json.tmp`,
+//! 2. fsync the file,
+//! 3. rename it to `snapshot-<lsn>.json` (atomic on POSIX),
+//! 4. fsync the directory so the rename itself is durable.
+//!
+//! A crash at any step leaves either the previous snapshot intact or a
+//! stray `.tmp` that [`SnapshotStore::load_latest`] ignores and
+//! [`SnapshotStore::prune`] deletes. `load_latest` walks candidates
+//! newest-first and falls back past any that fail to parse, so a
+//! corrupted newest snapshot degrades recovery (longer WAL replay from
+//! an older snapshot) instead of breaking it.
+
+use crate::count_io;
+use sqlshare_common::{json, Error, Result};
+use sqlshare_engine::faults::{FaultPlan, FaultSite};
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Manages the snapshot files inside one data directory.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    fault: Option<Arc<FaultPlan>>,
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Internal(format!("snapshot {what} {}: {e}", path.display()))
+}
+
+/// `snapshot-<lsn>.json` → `Some(lsn)`.
+fn parse_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snapshot-")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
+
+impl SnapshotStore {
+    pub fn new(dir: &Path) -> SnapshotStore {
+        SnapshotStore {
+            dir: dir.to_path_buf(),
+            fault: None,
+        }
+    }
+
+    /// Attach a fault plan checked at `SnapshotWrite`.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.fault = plan;
+    }
+
+    fn path_for(&self, lsn: u64) -> PathBuf {
+        self.dir.join(format!("snapshot-{lsn}.json"))
+    }
+
+    /// Atomically persist `payload` as the snapshot at `lsn`. On any
+    /// failure (including an injected `SnapshotWrite` fault) the
+    /// previous snapshot remains the latest valid one.
+    pub fn write(&self, lsn: u64, payload: &str) -> Result<PathBuf> {
+        if let Some(plan) = &self.fault {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                plan.check(FaultSite::SnapshotWrite)
+            })) {
+                Ok(r) => r?,
+                Err(payload) => return Err(Error::from_panic(payload)),
+            }
+        }
+        let tmp = self.dir.join(format!("snapshot-{lsn}.json.tmp"));
+        let finished = self.path_for(lsn);
+        count_io();
+        let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        f.write_all(payload.as_bytes())
+            .and_then(|()| f.sync_all())
+            .map_err(|e| io_err("write", &tmp, e))?;
+        drop(f);
+        count_io();
+        fs::rename(&tmp, &finished).map_err(|e| io_err("rename", &finished, e))?;
+        // Make the rename durable. Directory fsync can fail on exotic
+        // filesystems; the rename already happened, so don't fail the
+        // snapshot over it.
+        if let Ok(d) = File::open(&self.dir) {
+            count_io();
+            let _ = d.sync_all();
+        }
+        Ok(finished)
+    }
+
+    /// The newest snapshot whose payload parses as JSON, as
+    /// `(lsn, payload)`. Unparseable candidates are skipped (fallback to
+    /// older snapshots); `.tmp` leftovers are never considered.
+    pub fn load_latest(&self) -> Result<Option<(u64, String)>> {
+        let mut lsns = self.list()?;
+        lsns.sort_unstable_by(|a, b| b.cmp(a));
+        for lsn in lsns {
+            let path = self.path_for(lsn);
+            count_io();
+            let Ok(payload) = fs::read_to_string(&path) else {
+                continue;
+            };
+            if json::parse(&payload).is_ok() {
+                return Ok(Some((lsn, payload)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Delete all but the newest `keep` snapshots, plus any stray
+    /// `.tmp` files from interrupted writes.
+    pub fn prune(&self, keep: usize) -> Result<()> {
+        let mut lsns = self.list()?;
+        lsns.sort_unstable_by(|a, b| b.cmp(a));
+        for lsn in lsns.into_iter().skip(keep) {
+            count_io();
+            let _ = fs::remove_file(self.path_for(lsn));
+        }
+        count_io();
+        for entry in fs::read_dir(&self.dir).map_err(|e| io_err("list", &self.dir, e))? {
+            let Ok(entry) = entry else { continue };
+            if entry.file_name().to_string_lossy().ends_with(".json.tmp") {
+                count_io();
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(())
+    }
+
+    /// LSNs of every `snapshot-<lsn>.json` in the directory.
+    pub fn list(&self) -> Result<Vec<u64>> {
+        if !self.dir.exists() {
+            return Ok(Vec::new());
+        }
+        count_io();
+        let mut lsns = Vec::new();
+        for entry in fs::read_dir(&self.dir).map_err(|e| io_err("list", &self.dir, e))? {
+            let Ok(entry) = entry else { continue };
+            if let Some(lsn) = parse_name(&entry.file_name().to_string_lossy()) {
+                lsns.push(lsn);
+            }
+        }
+        Ok(lsns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sqlshare-snap-{}-{}-{}",
+            std::process::id(),
+            tag,
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_load_latest_round_trips() {
+        let store = SnapshotStore::new(&temp_dir("round"));
+        store.write(3, r#"{"v":3}"#).unwrap();
+        store.write(9, r#"{"v":9}"#).unwrap();
+        store.write(5, r#"{"v":5}"#).unwrap();
+        let (lsn, payload) = store.load_latest().unwrap().unwrap();
+        assert_eq!(lsn, 9);
+        assert_eq!(payload, r#"{"v":9}"#);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_older() {
+        let dir = temp_dir("fallback");
+        let store = SnapshotStore::new(&dir);
+        store.write(1, r#"{"v":1}"#).unwrap();
+        store.write(2, r#"{"v":2}"#).unwrap();
+        // Simulate a torn snapshot write that somehow got renamed (or a
+        // disk corruption after the fact).
+        fs::write(dir.join("snapshot-7.json"), r#"{"v":"#).unwrap();
+        let (lsn, payload) = store.load_latest().unwrap().unwrap();
+        assert_eq!(lsn, 2);
+        assert_eq!(payload, r#"{"v":2}"#);
+    }
+
+    #[test]
+    fn tmp_files_are_ignored_and_pruned() {
+        let dir = temp_dir("tmp");
+        let store = SnapshotStore::new(&dir);
+        fs::write(dir.join("snapshot-99.json.tmp"), "{}").unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        store.write(1, "{}").unwrap();
+        store.prune(2).unwrap();
+        assert!(!dir.join("snapshot-99.json.tmp").exists());
+        assert!(dir.join("snapshot-1.json").exists());
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = temp_dir("prune");
+        let store = SnapshotStore::new(&dir);
+        for lsn in [1, 4, 2, 8] {
+            store.write(lsn, "{}").unwrap();
+        }
+        store.prune(2).unwrap();
+        let mut left = store.list().unwrap();
+        left.sort_unstable();
+        assert_eq!(left, vec![4, 8]);
+    }
+
+    #[test]
+    fn injected_snapshot_fault_preserves_previous_snapshot() {
+        let dir = temp_dir("fault");
+        let mut store = SnapshotStore::new(&dir);
+        store.write(1, r#"{"v":1}"#).unwrap();
+        store.set_fault_plan(Some(Arc::new(FaultPlan::fail_at(FaultSite::SnapshotWrite))));
+        let err = store.write(2, r#"{"v":2}"#).unwrap_err();
+        assert_eq!(err.kind(), "execution");
+        store.set_fault_plan(None);
+        let (lsn, _) = store.load_latest().unwrap().unwrap();
+        assert_eq!(lsn, 1);
+        assert!(!dir.join("snapshot-2.json").exists());
+        assert!(!dir.join("snapshot-2.json.tmp").exists());
+    }
+
+    #[test]
+    fn missing_dir_lists_empty() {
+        let store = SnapshotStore::new(&temp_dir("gone").join("nope"));
+        assert!(store.list().unwrap().is_empty());
+        assert!(store.load_latest().unwrap().is_none());
+    }
+}

@@ -1,0 +1,511 @@
+//! Append-only write-ahead log with checksummed, length-prefixed
+//! records.
+//!
+//! On-disk format, per record:
+//!
+//! ```text
+//! [u32 LE payload length][u64 LE fnv64(payload)][payload bytes]
+//! ```
+//!
+//! The journal-before-apply protocol upstream guarantees that every
+//! acknowledged mutation has a fully-written record here. Two failure
+//! shapes matter:
+//!
+//! * **Failed append** (real I/O error, injected `WalAppend`/`WalFsync`
+//!   fault): the mutation was *not* acknowledged, so the append
+//!   self-repairs — the file is truncated back to its pre-append length
+//!   and the caller gets a typed error. A torn record can therefore
+//!   never sit in the *middle* of the log in front of acknowledged
+//!   records.
+//! * **Crash** (simulated via [`CrashPoint`]): the process dies
+//!   mid-append (torn tail on disk) or between journal and apply (full
+//!   record on disk, never applied). [`Wal::scan`] handles both:
+//!   it keeps every record whose length and checksum validate,
+//!   truncates the file at the first torn or corrupt one, and replay
+//!   upstream is idempotent by LSN.
+
+use crate::{count_io, FsyncPolicy};
+use sqlshare_common::hash::fnv64;
+use sqlshare_common::{Error, Result};
+use sqlshare_engine::faults::{FaultPlan, FaultSite};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Frame header: u32 length + u64 checksum.
+const HEADER_LEN: usize = 12;
+/// Sanity cap on a single record; anything larger is treated as
+/// corruption during a scan (a torn length prefix can decode to
+/// gigabytes).
+const MAX_RECORD: usize = 1 << 30;
+
+/// A simulated crash, for kill-and-recover tests. The WAL "dies" on its
+/// `after_records`-th successful append (0-based: `after_records: 0`
+/// dies on the very first append).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Number of records appended successfully before the crash fires.
+    pub after_records: u64,
+    /// `Some(n)`: die mid-write, leaving only the first `n` bytes of the
+    /// record's frame on disk (a torn tail — `kill -9` between `write`
+    /// calls). `None`: die *after* the record is fully written and
+    /// synced but before the caller can apply it — the
+    /// crash-between-journal-and-apply window; recovery must replay it.
+    pub torn_bytes: Option<usize>,
+}
+
+/// Result of scanning (and repairing) a WAL file.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Payloads of every valid record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Length of the valid prefix; the file is truncated to this.
+    pub valid_bytes: u64,
+    /// Bytes discarded from the torn/corrupt tail (0 for a clean log).
+    pub truncated_bytes: u64,
+}
+
+/// An open write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    policy: FsyncPolicy,
+    /// Current end-of-file offset (all durable, validated bytes).
+    offset: u64,
+    /// Successful appends since open.
+    appended: u64,
+    /// Appends since the last fsync (batch policy bookkeeping).
+    since_sync: u64,
+    crash: Option<CrashPoint>,
+    crashed: bool,
+    fault: Option<Arc<FaultPlan>>,
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Internal(format!("wal {what} {}: {e}", path.display()))
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&fnv64(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+impl Wal {
+    /// Open (creating if absent) the log at `path` for appending.
+    /// Callers recovering state should run [`Wal::scan`] first; `open`
+    /// itself does not validate existing contents.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<Wal> {
+        count_io();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err("open", path, e))?;
+        let offset = file
+            .metadata()
+            .map_err(|e| io_err("stat", path, e))?
+            .len();
+        Ok(Wal {
+            path: path.to_path_buf(),
+            file,
+            policy,
+            offset,
+            appended: 0,
+            since_sync: 0,
+            crash: None,
+            crashed: false,
+            fault: None,
+        })
+    }
+
+    /// Read every valid record from `path`, truncating the file at the
+    /// first torn or corrupt record so subsequent appends extend a clean
+    /// log. A missing file scans as empty.
+    pub fn scan(path: &Path) -> Result<WalScan> {
+        if !path.exists() {
+            return Ok(WalScan {
+                records: Vec::new(),
+                valid_bytes: 0,
+                truncated_bytes: 0,
+            });
+        }
+        count_io();
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| io_err("read", path, e))?;
+
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while bytes.len() - pos >= HEADER_LEN {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let sum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+            if len > MAX_RECORD || bytes.len() - pos - HEADER_LEN < len {
+                break; // torn or absurd length — stop at the last good record
+            }
+            let payload = &bytes[pos + HEADER_LEN..pos + HEADER_LEN + len];
+            if fnv64(payload) != sum {
+                break; // corrupt payload
+            }
+            records.push(payload.to_vec());
+            pos += HEADER_LEN + len;
+        }
+
+        let truncated_bytes = (bytes.len() - pos) as u64;
+        if truncated_bytes > 0 {
+            count_io();
+            OpenOptions::new()
+                .write(true)
+                .open(path)
+                .and_then(|f| f.set_len(pos as u64))
+                .map_err(|e| io_err("repair", path, e))?;
+        }
+        Ok(WalScan {
+            records,
+            valid_bytes: pos as u64,
+            truncated_bytes,
+        })
+    }
+
+    /// Append one record. On success the record is durable to the
+    /// configured [`FsyncPolicy`]. On failure (I/O error, injected
+    /// fault) the file is restored to its pre-append length — a failed
+    /// append leaves no trace. A [`CrashPoint`] makes the WAL "die":
+    /// this and every later call errors, and the file keeps whatever
+    /// the simulated crash left behind.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        if self.crashed {
+            return Err(Error::Internal("simulated crash: wal is dead".into()));
+        }
+        let buf = frame(payload);
+
+        if let Some(cp) = self.crash {
+            if self.appended == cp.after_records {
+                self.crashed = true;
+                count_io();
+                match cp.torn_bytes {
+                    Some(n) => {
+                        // Die mid-write: only a prefix of the frame
+                        // lands on disk.
+                        let n = n.min(buf.len());
+                        self.file
+                            .write_all(&buf[..n])
+                            .map_err(|e| io_err("torn write", &self.path, e))?;
+                        let _ = self.file.flush();
+                    }
+                    None => {
+                        // Die after the record is durable but before the
+                        // caller applies it.
+                        self.file
+                            .write_all(&buf)
+                            .map_err(|e| io_err("write", &self.path, e))?;
+                        let _ = self.file.sync_data();
+                    }
+                }
+                return Err(Error::Internal("simulated crash during wal append".into()));
+            }
+        }
+
+        if let Err(e) = self.fault_check(FaultSite::WalAppend) {
+            // Model a short write: leave a deterministic torn prefix,
+            // then repair so the rejected mutation leaves no trace.
+            count_io();
+            let n = HEADER_LEN.min(buf.len());
+            let _ = self.file.write_all(&buf[..n]);
+            self.repair()?;
+            return Err(e);
+        }
+
+        count_io();
+        if let Err(e) = self.file.write_all(&buf) {
+            let err = io_err("write", &self.path, e);
+            self.repair()?;
+            return Err(err);
+        }
+
+        let want_sync = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Batch => self.since_sync + 1 >= FsyncPolicy::BATCH_INTERVAL,
+            FsyncPolicy::Off => false,
+        };
+        if want_sync {
+            if let Err(e) = self.fault_check(FaultSite::WalFsync) {
+                // fsync failed after the bytes were written: the record
+                // is not durable, so abort it entirely.
+                self.repair()?;
+                return Err(e);
+            }
+            count_io();
+            if let Err(e) = self.file.sync_data() {
+                let err = io_err("fsync", &self.path, e);
+                self.repair()?;
+                return Err(err);
+            }
+            self.since_sync = 0;
+        } else {
+            self.since_sync += 1;
+        }
+
+        self.offset += buf.len() as u64;
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Force the log to stable storage regardless of policy (used
+    /// before snapshots and on shutdown).
+    pub fn sync(&mut self) -> Result<()> {
+        if self.crashed {
+            return Err(Error::Internal("simulated crash: wal is dead".into()));
+        }
+        count_io();
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("fsync", &self.path, e))?;
+        self.since_sync = 0;
+        Ok(())
+    }
+
+    /// Truncate the log to empty — called after a snapshot has made its
+    /// history redundant.
+    pub fn reset(&mut self) -> Result<()> {
+        if self.crashed {
+            return Err(Error::Internal("simulated crash: wal is dead".into()));
+        }
+        count_io();
+        self.file
+            .set_len(0)
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| io_err("reset", &self.path, e))?;
+        self.offset = 0;
+        self.since_sync = 0;
+        Ok(())
+    }
+
+    /// Current validated end-of-file offset.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Successful appends since this handle was opened.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Whether a simulated [`CrashPoint`] has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Arm (or clear) a simulated crash.
+    pub fn set_crash_point(&mut self, cp: Option<CrashPoint>) {
+        self.crash = cp;
+    }
+
+    /// Attach a fault plan checked at `WalAppend` / `WalFsync`.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.fault = plan;
+    }
+
+    /// Run a fault check with panic containment: an injected panic at a
+    /// storage site must surface as a typed error, never unwind through
+    /// the service.
+    fn fault_check(&self, site: FaultSite) -> Result<()> {
+        let Some(plan) = &self.fault else {
+            return Ok(());
+        };
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.check(site))) {
+            Ok(r) => r,
+            Err(payload) => Err(Error::from_panic(payload)),
+        }
+    }
+
+    /// Restore the file to the last acknowledged offset after a failed
+    /// append.
+    fn repair(&mut self) -> Result<()> {
+        count_io();
+        self.file
+            .set_len(self.offset)
+            .map_err(|e| io_err("repair", &self.path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sqlshare-wal-{}-{}-{}",
+            std::process::id(),
+            tag,
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    #[test]
+    fn append_scan_round_trips() {
+        let path = temp_wal("round");
+        let mut wal = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        wal.append(b"alpha").unwrap();
+        wal.append(b"").unwrap();
+        wal.append("β-umlaut-\u{1f4be}".as_bytes()).unwrap();
+        drop(wal);
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.truncated_bytes, 0);
+        assert_eq!(
+            scan.records,
+            vec![
+                b"alpha".to_vec(),
+                Vec::new(),
+                "β-umlaut-\u{1f4be}".as_bytes().to_vec()
+            ]
+        );
+    }
+
+    #[test]
+    fn scan_truncates_torn_tail_at_every_byte_boundary() {
+        // Build a two-record log, then chop the file at every length
+        // from "record 1 intact" to "record 2 complete minus one byte":
+        // scan must always recover exactly record 1 and repair the file.
+        let path = temp_wal("torn");
+        let mut wal = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        wal.append(b"keep-me").unwrap();
+        let boundary = wal.offset();
+        wal.append(b"torn-away-record").unwrap();
+        let full = std::fs::read(&path).unwrap();
+        drop(wal);
+
+        for cut in boundary..full.len() as u64 {
+            std::fs::write(&path, &full[..cut as usize]).unwrap();
+            let scan = Wal::scan(&path).unwrap();
+            assert_eq!(scan.records, vec![b"keep-me".to_vec()], "cut at {cut}");
+            assert_eq!(scan.valid_bytes, boundary);
+            assert_eq!(scan.truncated_bytes, cut - boundary);
+            // The repair must stick: a fresh scan sees a clean log.
+            let again = Wal::scan(&path).unwrap();
+            assert_eq!(again.truncated_bytes, 0);
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), boundary);
+        }
+    }
+
+    #[test]
+    fn scan_stops_at_corrupt_checksum() {
+        let path = temp_wal("corrupt");
+        let mut wal = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        wal.append(b"good").unwrap();
+        wal.append(b"evil").unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff; // flip a payload byte of record 2
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.records, vec![b"good".to_vec()]);
+        assert!(scan.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn crash_point_torn_leaves_partial_record() {
+        let path = temp_wal("crash-torn");
+        let mut wal = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        wal.append(b"first").unwrap();
+        wal.set_crash_point(Some(CrashPoint {
+            after_records: 1,
+            torn_bytes: Some(5),
+        }));
+        let err = wal.append(b"second").unwrap_err();
+        assert!(err.message().contains("simulated crash"), "{err}");
+        assert!(wal.crashed());
+        // Dead handle rejects everything.
+        assert!(wal.append(b"third").is_err());
+        assert!(wal.sync().is_err());
+        drop(wal);
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.records, vec![b"first".to_vec()]);
+        assert_eq!(scan.truncated_bytes, 5);
+    }
+
+    #[test]
+    fn crash_point_clean_keeps_the_journaled_record() {
+        let path = temp_wal("crash-clean");
+        let mut wal = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        wal.append(b"first").unwrap();
+        wal.set_crash_point(Some(CrashPoint {
+            after_records: 1,
+            torn_bytes: None,
+        }));
+        assert!(wal.append(b"second").is_err());
+        drop(wal);
+        // The record was journaled before the "crash": recovery sees it.
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.records, vec![b"first".to_vec(), b"second".to_vec()]);
+        assert_eq!(scan.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn injected_append_and_fsync_faults_leave_no_trace() {
+        for site in [FaultSite::WalAppend, FaultSite::WalFsync] {
+            let path = temp_wal("fault");
+            let mut wal = Wal::open(&path, FsyncPolicy::Always).unwrap();
+            wal.append(b"acked").unwrap();
+            let before = wal.offset();
+            wal.set_fault_plan(Some(Arc::new(FaultPlan::fail_at(site))));
+            let err = wal.append(b"rejected").unwrap_err();
+            assert_eq!(err.kind(), "execution", "{site:?}: {err}");
+            assert_eq!(wal.offset(), before);
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), before);
+            // Clearing the plan restores service on the same handle.
+            wal.set_fault_plan(None);
+            wal.append(b"recovered").unwrap();
+            drop(wal);
+            let scan = Wal::scan(&path).unwrap();
+            assert_eq!(
+                scan.records,
+                vec![b"acked".to_vec(), b"recovered".to_vec()],
+                "{site:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_panics_are_contained_as_internal_errors() {
+        let path = temp_wal("panic");
+        let mut wal = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        wal.set_fault_plan(Some(Arc::new(FaultPlan::panic_at(FaultSite::WalAppend))));
+        let err = wal.append(b"boom").unwrap_err();
+        assert_eq!(err.kind(), "internal");
+        assert!(err.message().contains("contained panic"), "{err}");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = temp_wal("reset");
+        let mut wal = Wal::open(&path, FsyncPolicy::Batch).unwrap();
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        wal.reset().unwrap();
+        assert_eq!(wal.offset(), 0);
+        wal.append(b"three").unwrap();
+        drop(wal);
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.records, vec![b"three".to_vec()]);
+    }
+
+    #[test]
+    fn scan_of_missing_file_is_empty() {
+        let path = temp_wal("missing");
+        let scan = Wal::scan(&path).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_bytes, 0);
+    }
+}

@@ -16,6 +16,12 @@
 //!
 //! The server handles one request per connection (HTTP/1.0 style) on a
 //! small thread pool — plenty for a demo, zero dependencies.
+//!
+//! Set `SQLSHARE_DATA_DIR=/some/path` to run durably: mutations are
+//! journaled to a write-ahead log and the catalog is recovered from the
+//! latest snapshot + WAL tail on restart (`SQLSHARE_FSYNC` and
+//! `SQLSHARE_SNAPSHOT_EVERY` tune the policy). Without it the service
+//! is ephemeral, exactly as before.
 
 use std::sync::Mutex;
 use sqlshare_common::json::{self, Json};
@@ -33,7 +39,22 @@ fn main() -> std::io::Result<()> {
     println!("SQLShare REST listening on http://{addr}");
     println!("try: curl -s http://{addr}/api/datasets");
 
-    let service = Arc::new(Mutex::new(SqlShare::new()));
+    let service = match SqlShare::from_env() {
+        Ok(s) => {
+            if let Some(report) = s.recovery_report() {
+                println!(
+                    "recovered durable state: snapshot lsn {}, {} replayed, {} truncated bytes",
+                    report.snapshot_lsn, report.replayed_records, report.truncated_wal_bytes
+                );
+            }
+            s
+        }
+        Err(e) => {
+            eprintln!("failed to open data directory: {e}");
+            std::process::exit(1);
+        }
+    };
+    let service = Arc::new(Mutex::new(service));
     for stream in listener.incoming() {
         let Ok(stream) = stream else { continue };
         let service = Arc::clone(&service);
@@ -105,7 +126,11 @@ fn respond(stream: &mut TcpStream, status: u16, body: &Json) -> std::io::Result<
         403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
+        422 => "Unprocessable Entity",
         429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
     };
     write!(

@@ -165,3 +165,32 @@ fn preview_is_served_from_cache_and_truncated() {
     // Serving the preview did not run (or log) a query.
     assert_eq!(s.log().len(), queries_before);
 }
+
+#[test]
+fn ephemeral_mode_performs_zero_storage_io() {
+    // The durability layer must cost nothing when no data directory is
+    // configured: a full session of mutations and queries on an
+    // ephemeral service may not touch the storage crate at all. The
+    // counter is process-global, so this test must live in a binary
+    // with no durable-mode tests (the recovery differential is its own
+    // binary for exactly this reason).
+    let before = sqlshare_storage::io_ops();
+    let mut s = SqlShare::new();
+    s.register_user("eve", "eve@x.edu").unwrap();
+    s.upload("eve", "t", "a,b\n1,2\n3,4\n", &IngestOptions::default())
+        .unwrap();
+    s.save_dataset("eve", "v", "SELECT a FROM eve.t", Metadata::default())
+        .unwrap();
+    s.set_visibility("eve", &DatasetName::new("eve", "t"), Visibility::Public)
+        .unwrap();
+    s.materialize("eve", &DatasetName::new("eve", "v"), "frozen").unwrap();
+    s.run_query("eve", "SELECT COUNT(*) FROM eve.t").unwrap();
+    s.advance_days(3);
+    s.delete_dataset("eve", &DatasetName::new("eve", "frozen")).unwrap();
+    assert!(s.recovery_report().is_none());
+    assert_eq!(
+        sqlshare_storage::io_ops(),
+        before,
+        "ephemeral service touched the filesystem"
+    );
+}

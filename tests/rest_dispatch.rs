@@ -211,6 +211,29 @@ fn rest_error_statuses() {
 }
 
 #[test]
+fn readiness_endpoint_and_recovery_gate() {
+    let mut s = SqlShare::new();
+    // An ephemeral, fully-started service is ready.
+    let r = dispatch(&mut s, &Request::get("/api/ready"));
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body.get("ready"), Some(&Json::Bool(true)));
+
+    // While recovery is replaying, every route except the probe 503s.
+    s.set_recovering(true);
+    let r = dispatch(&mut s, &Request::get("/api/datasets"));
+    assert_eq!(r.status, 503);
+    let r = dispatch(&mut s, &post("/api/users", &[("username", "ada"), ("email", "a@uw.edu")]));
+    assert_eq!(r.status, 503);
+    let r = dispatch(&mut s, &Request::get("/api/ready"));
+    assert_eq!(r.status, 503);
+    assert_eq!(r.body.get("ready"), Some(&Json::Bool(false)));
+
+    s.set_recovering(false);
+    let r = dispatch(&mut s, &Request::get("/api/datasets"));
+    assert_eq!(r.status, 200);
+}
+
+#[test]
 fn every_error_kind_maps_to_a_deliberate_status() {
     // One instance of every Error variant; if a variant is added, the
     // distinct-kinds count below forces this table to grow with it.
@@ -223,7 +246,9 @@ fn every_error_kind_maps_to_a_deliberate_status() {
         (Error::Ingest(String::new()), 400),
         (Error::Permission(String::new()), 403),
         (Error::Catalog(String::new()), 404),
-        (Error::Timeout(String::new()), 408),
+        // The server's deadline expired mid-query: a gateway-style
+        // timeout (504), not a slow client request (408).
+        (Error::Timeout(String::new()), 504),
         (Error::Cancelled(String::new()), 409),
         // A well-formed query that failed at runtime is the client's
         // problem (unprocessable), not a server fault.
