@@ -1,0 +1,214 @@
+//! Buffer-pool benchmarks: sequential scan vs random clustered seek
+//! across pool sizes, from thrash (8-page floor) to fully resident.
+//!
+//! Criterion groups report wall-clock per access pattern; on top of
+//! that the run writes `BENCH_storage.json` in the working directory
+//! with p50 latencies, pool hit rates, and eviction counts at each pool
+//! size, plus a spill section showing an over-budget hash join
+//! completing through temp pages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlshare_common::json::Json;
+use sqlshare_engine::{DataType, Engine, Schema, StorageLayer, Table, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+const ROWS: i64 = 40_000;
+
+/// Pool sizes under test: the 8-page floor (64 KiB — every scan
+/// thrashes), a quarter-resident 256 KiB, a mostly-resident 1 MiB, and
+/// a fully resident 16 MiB.
+const POOL_BYTES: [usize; 4] = [0, 256 << 10, 1 << 20, 16 << 20];
+
+fn pool_label(bytes: usize) -> String {
+    match bytes {
+        0 => "64KiB-floor".to_string(),
+        b if b >= 1 << 20 => format!("{}MiB", b >> 20),
+        b => format!("{}KiB", b >> 10),
+    }
+}
+
+/// A paged engine whose one fact table is ~2.5 MiB of heap pages —
+/// larger than every pool below 16 MiB.
+fn paged_engine(pool_bytes: usize) -> (Engine, Arc<StorageLayer>) {
+    let layer = StorageLayer::temp(pool_bytes).unwrap();
+    let mut e = Engine::new();
+    // Every repetition must hit pages, not the result cache.
+    e.disable_cache();
+    e.set_storage(Some(layer.clone()));
+    e.create_table(Table::new(
+        "facts",
+        Schema::from_pairs([
+            ("k", DataType::Int),
+            ("g", DataType::Int),
+            ("v", DataType::Float),
+            ("pad", DataType::Text),
+        ]),
+        (0..ROWS)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 8000),
+                    Value::Float((i % 977) as f64 * 0.25),
+                    Value::Text(format!("pad-{i:0>32}")),
+                ]
+            })
+            .collect(),
+    ))
+    .unwrap();
+    (e, layer)
+}
+
+/// Deterministic pseudo-random key sequence (no `rand` in benches that
+/// feed a reproducible report).
+fn lcg_keys(n: usize, seed: u64) -> Vec<i64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i64).rem_euclid(ROWS)
+        })
+        .collect()
+}
+
+fn p50(mut micros: Vec<u64>) -> f64 {
+    micros.sort_unstable();
+    micros[micros.len() / 2] as f64 / 1000.0
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    // Criterion view: one group per access pattern, pool size as the
+    // parameter.
+    let mut group = c.benchmark_group("storage/seq_scan");
+    for bytes in POOL_BYTES {
+        let (e, _layer) = paged_engine(bytes);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pool_label(bytes)),
+            &bytes,
+            |b, _| b.iter(|| e.run("SELECT COUNT(*) AS n, SUM(v) AS s FROM facts").unwrap()),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("storage/random_seek");
+    for bytes in POOL_BYTES {
+        let (e, _layer) = paged_engine(bytes);
+        let keys = lcg_keys(256, 0x5EED + bytes as u64);
+        let mut i = 0usize;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pool_label(bytes)),
+            &bytes,
+            |b, _| {
+                b.iter(|| {
+                    let k = keys[i % keys.len()];
+                    i += 1;
+                    e.run(&format!("SELECT v FROM facts WHERE k = {k}")).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Report view: measured p50s and pool counters per size, written to
+    // BENCH_storage.json.
+    let mut sizes = Vec::new();
+    for bytes in POOL_BYTES {
+        let (e, layer) = paged_engine(bytes);
+        let capacity = layer.pool_stats().capacity_pages;
+
+        // Warm once so a resident pool reports steady-state hits.
+        e.run("SELECT COUNT(*) AS n FROM facts").unwrap();
+        let baseline = layer.pool_stats();
+
+        let scan_times: Vec<u64> = (0..12)
+            .map(|_| {
+                let t = Instant::now();
+                e.run("SELECT COUNT(*) AS n, SUM(v) AS s FROM facts").unwrap();
+                t.elapsed().as_micros() as u64
+            })
+            .collect();
+
+        let keys = lcg_keys(384, 0xBEEF + bytes as u64);
+        let seek_times: Vec<u64> = keys
+            .iter()
+            .map(|k| {
+                let t = Instant::now();
+                e.run(&format!("SELECT v FROM facts WHERE k = {k}")).unwrap();
+                t.elapsed().as_micros() as u64
+            })
+            .collect();
+
+        let stats = layer.pool_stats();
+        let (hits, misses) = (stats.hits - baseline.hits, stats.misses - baseline.misses);
+        sizes.push(Json::object([
+            ("pool", Json::String(pool_label(bytes))),
+            ("capacityPages", Json::Number(capacity as f64)),
+            ("scanP50Ms", Json::Number(p50(scan_times))),
+            ("seekP50Ms", Json::Number(p50(seek_times))),
+            (
+                "hitRate",
+                Json::Number(if hits + misses > 0 {
+                    hits as f64 / (hits + misses) as f64
+                } else {
+                    0.0
+                }),
+            ),
+            ("evictions", Json::Number((stats.evictions - baseline.evictions) as f64)),
+        ]));
+    }
+
+    // Spill section: the same join, roomy vs 256 KiB budget. Serial
+    // execution — operator spill is the serial path's fallback (the
+    // service reaches it by degrading over-budget parallel queries to
+    // DOP 1 first).
+    let (e, layer) = paged_engine(1 << 20);
+    let mut e = e;
+    e.set_max_dop(1);
+    e.create_table(Table::new(
+        "dim",
+        Schema::from_pairs([("k", DataType::Int), ("name", DataType::Text)]),
+        (0..8000)
+            .map(|i| vec![Value::Int(i), Value::Text(format!("name-{i:0>40}"))])
+            .collect(),
+    ))
+    .unwrap();
+    // Join on the non-clustered `g` column: a hash join whose ~800 KiB
+    // build side overflows the 256 KiB budget below.
+    let join = "SELECT COUNT(*) AS n, SUM(f.v) AS s \
+                FROM facts AS f JOIN dim AS d ON f.g = d.k";
+    let t = Instant::now();
+    e.run(join).unwrap();
+    let unconstrained_ms = t.elapsed().as_micros() as f64 / 1000.0;
+    e.set_query_mem_limit(256 << 10);
+    let t = Instant::now();
+    let out = e.run(join).unwrap();
+    let spilled_ms = t.elapsed().as_micros() as f64 / 1000.0;
+
+    let json = Json::object([
+        ("experiment", Json::String("storage".into())),
+        ("rows", Json::Number(ROWS as f64)),
+        ("tablePages", Json::Number(
+            e.catalog().table("facts").unwrap().paged().map(|p| p.data_page_count()).unwrap_or(0) as f64,
+        )),
+        ("poolSizes", Json::Array(sizes)),
+        (
+            "spill",
+            Json::object([
+                ("unconstrainedMs", Json::Number(unconstrained_ms)),
+                ("spilledMs", Json::Number(spilled_ms)),
+                ("spillBytes", Json::Number(out.spill_bytes as f64)),
+                ("layerSpillBytes", Json::Number(layer.spill_bytes() as f64)),
+            ]),
+        ),
+    ]);
+    // Benches run with the package directory as CWD; the report files
+    // live at the workspace root next to BENCH_cache.json.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_storage.json");
+    match std::fs::write(path, json.to_pretty_string()) {
+        Ok(()) => eprintln!("Wrote BENCH_storage.json."),
+        Err(e) => eprintln!("Could not write BENCH_storage.json: {e}."),
+    }
+}
+
+criterion_group!(benches, bench_buffer_pool);
+criterion_main!(benches);

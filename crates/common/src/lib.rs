@@ -16,6 +16,7 @@
 
 pub mod cancel;
 pub mod error;
+pub mod faults;
 pub mod hash;
 pub mod json;
 pub mod text;

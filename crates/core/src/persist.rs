@@ -590,7 +590,7 @@ pub(crate) fn table_to_json(table: &Table) -> Json {
     Json::object([
         ("name", Json::str(table.name.clone())),
         ("schema", schema_to_json(&table.schema)),
-        ("rows", rows_to_json(table.rows())),
+        ("rows", rows_to_json(&table.rows())),
     ])
 }
 

@@ -92,6 +92,9 @@ pub struct QueryLogEntry {
     /// went through the serial (DOP-1, cache-bypassed) degraded retry —
     /// whatever the final outcome was.
     pub degraded_retry: bool,
+    /// Bytes of join/sort state spilled to temp pages during execution
+    /// (0 when nothing spilled or no paged storage layer is attached).
+    pub spill_bytes: u64,
     /// The cleaned JSON plan (Phase 1 output, Fig. 5a). Present only for
     /// successful queries.
     pub plan_json: Option<Json>,
@@ -116,6 +119,7 @@ impl QueryLogEntry {
         o.insert("queue_wait_micros", Json::Number(self.queue_wait_micros as f64));
         o.insert("cache_hit", Json::Bool(self.cache_hit));
         o.insert("degraded_retry", Json::Bool(self.degraded_retry));
+        o.insert("spill_bytes", Json::Number(self.spill_bytes as f64));
         if let Some(plan) = &self.plan_json {
             o.insert("plan", plan.clone());
         }
@@ -153,6 +157,12 @@ impl QueryLogEntry {
             queue_wait_micros: u64_of(j, "queue_wait_micros")?,
             cache_hit: bool_of(j, "cache_hit")?,
             degraded_retry: bool_of(j, "degraded_retry")?,
+            // Absent in logs written before the paged-storage release.
+            spill_bytes: j
+                .get("spill_bytes")
+                .map(|_| u64_of(j, "spill_bytes"))
+                .transpose()?
+                .unwrap_or(0),
             plan_json: j.get("plan").cloned(),
             tables: strings("tables")?,
             datasets: strings("datasets")?,
@@ -222,6 +232,7 @@ mod tests {
             queue_wait_micros: 0,
             cache_hit: false,
             degraded_retry: false,
+            spill_bytes: 0,
             plan_json: None,
             tables: vec![],
             datasets: vec![],

@@ -20,6 +20,7 @@
 //! | `POST /api/queries`                        | submit query, returns id |
 //! | `GET  /api/queries/{id}`                   | poll status |
 //! | `GET  /api/queries/{id}/results`           | fetch results |
+//! | `GET  /api/storage`                        | buffer-pool + spill statistics |
 
 use crate::dataset::{DatasetName, Metadata};
 use crate::permissions::Visibility;
@@ -477,6 +478,24 @@ pub fn dispatch(service: &mut SqlShare, request: &Request) -> Response {
                 ("tenants", Json::Object(tenants)),
             ]))
         }
+        (Method::Get, ["api", "storage"]) => match service.storage() {
+            None => Response::ok(Json::object([("enabled", Json::Bool(false))])),
+            Some(layer) => {
+                let pool = layer.pool_stats();
+                Response::ok(Json::object([
+                    ("enabled", Json::Bool(true)),
+                    ("capacityPages", Json::num(pool.capacity_pages as f64)),
+                    ("residentPages", Json::num(pool.resident_pages as f64)),
+                    ("hits", Json::num(pool.hits as f64)),
+                    ("misses", Json::num(pool.misses as f64)),
+                    ("hitRate", Json::num(pool.hit_rate())),
+                    ("evictions", Json::num(pool.evictions as f64)),
+                    ("writebacks", Json::num(pool.writebacks as f64)),
+                    ("ioOps", Json::num(layer.io().get() as f64)),
+                    ("spillBytes", Json::num(layer.spill_bytes() as f64)),
+                ]))
+            }
+        },
         (Method::Get, ["api", "queries", id, "results"]) => match id.parse::<u64>() {
             Ok(id) => match service.query_results(id) {
                 Ok(result) => {

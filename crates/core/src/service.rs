@@ -40,6 +40,9 @@ pub struct QueryResult {
     pub plan_json: Json,
     /// Whether the rows were served from the engine's result cache.
     pub cache_hit: bool,
+    /// Bytes of operator state spilled to temp pages (0 without a paged
+    /// storage layer, or when everything fit in memory).
+    pub spill_bytes: u64,
 }
 
 /// Per-tenant result-cache counters (hits and misses attributed to the
@@ -157,6 +160,7 @@ fn push_log(
     queue_wait_micros: u64,
     cache_hit: bool,
     degraded_retry: bool,
+    spill_bytes: u64,
 ) {
     let mut entries = log.entries.lock().unwrap_or_else(|e| e.into_inner());
     let id = entries.len() as u64 + 1;
@@ -173,6 +177,7 @@ fn push_log(
         queue_wait_micros,
         cache_hit,
         degraded_retry,
+        spill_bytes,
     };
     let line = entry.to_json();
     entries.push(entry);
@@ -692,6 +697,7 @@ impl SqlShare {
                     0,
                     result.cache_hit,
                     degraded,
+                    result.spill_bytes,
                 );
                 Ok(result)
             }
@@ -709,6 +715,7 @@ impl SqlShare {
                     0,
                     false,
                     degraded,
+                    0,
                 );
                 Err(err)
             }
@@ -749,6 +756,7 @@ impl SqlShare {
                 runtime_micros: output.elapsed_micros,
                 plan_json,
                 cache_hit: output.cache_hit,
+                spill_bytes: output.spill_bytes,
             },
             dataset_keys,
             tables,
@@ -813,6 +821,7 @@ impl SqlShare {
                     0,
                     false,
                     false,
+                    0,
                 );
                 self.insert_job(id, user, sql, JobStatus::Failed(err));
                 return Ok(id);
@@ -874,6 +883,7 @@ impl SqlShare {
                         wait,
                         false,
                         false,
+                        0,
                     );
                     update_job(&jobs, id, |j| {
                         j.queue_wait_micros = wait;
@@ -935,6 +945,7 @@ impl SqlShare {
                             runtime_micros: output.elapsed_micros,
                             plan_json: plan_json.clone(),
                             cache_hit: output.cache_hit,
+                            spill_bytes: output.spill_bytes,
                         };
                         record_tenant_cache(&tenant_cache, &user_owned, result.cache_hit);
                         push_log(
@@ -953,6 +964,7 @@ impl SqlShare {
                             wait,
                             result.cache_hit,
                             degraded,
+                            result.spill_bytes,
                         );
                         update_job(&jobs, id, |j| {
                             j.result = Some(result);
@@ -976,6 +988,7 @@ impl SqlShare {
                             wait,
                             false,
                             degraded,
+                            0,
                         );
                         update_job(&jobs, id, |j| j.status = status);
                         report.with_degraded_retry(degraded)
@@ -1005,6 +1018,7 @@ impl SqlShare {
                 0,
                 false,
                 false,
+                0,
             );
             return Err(err);
         }
@@ -1123,6 +1137,22 @@ impl SqlShare {
     /// invalidations, materialized views).
     pub fn cache_stats(&self) -> sqlshare_engine::CacheStats {
         self.engine.cache_stats()
+    }
+
+    /// The engine's paged storage layer, if one is attached
+    /// (`SQLSHARE_PAGED=1` or [`sqlshare_engine::Engine::set_storage`]).
+    /// The REST layer reads buffer-pool and spill statistics through it.
+    pub fn storage(&self) -> Option<&Arc<sqlshare_engine::StorageLayer>> {
+        self.engine.storage()
+    }
+
+    /// Attach (or detach) a paged-storage layer — the programmatic form
+    /// of `SQLSHARE_PAGED`. Tables created *after* the switch get the
+    /// new backing; existing tables keep theirs. Invalidates the worker
+    /// snapshot so queued work executes against the same layer.
+    pub fn set_storage(&mut self, layer: Option<Arc<sqlshare_engine::StorageLayer>>) {
+        self.engine.set_storage(layer);
+        self.invalidate_snapshot();
     }
 
     /// Per-tenant result-cache hit/miss counters, sorted by username.

@@ -12,6 +12,7 @@ use crate::functions::EvalContext;
 use crate::exec::ExecGuard;
 use crate::logical::LogicalPlan;
 use crate::memory::{self, MemoryBudget, MemoryPool};
+use crate::paged::StorageLayer;
 use crate::physical::{plan_physical_with, PhysicalPlan};
 use crate::schema::Schema;
 use crate::table::Table;
@@ -76,6 +77,9 @@ pub struct QueryOutput {
     /// generations they were read at (the service versions previews with
     /// these).
     pub deps: Vec<(String, u64)>,
+    /// Bytes this query spilled to temp pages (0 when nothing spilled or
+    /// no storage layer is attached).
+    pub spill_bytes: u64,
 }
 
 impl QueryOutput {
@@ -112,6 +116,11 @@ pub struct Engine {
     /// Fault-injection schedule (`SQLSHARE_FAULTS=seed:rate`), shared
     /// across clones so a chaos run draws one deterministic stream.
     faults: Option<Arc<FaultPlan>>,
+    /// Paged storage layer (`SQLSHARE_PAGED=1`): when present, created
+    /// tables are converted to page-backed form and over-budget joins
+    /// and sorts spill to temp pages instead of failing. Shared across
+    /// clones so worker snapshots draw on one buffer pool.
+    storage: Option<Arc<StorageLayer>>,
 }
 
 /// A query planned once for later execution: the bound output schema, the
@@ -172,6 +181,7 @@ impl Engine {
                     .map_or_else(MemoryPool::unlimited, MemoryPool::new),
             ),
             faults: FaultPlan::from_env().map(Arc::new),
+            storage: StorageLayer::from_env(),
         }
     }
 
@@ -202,6 +212,20 @@ impl Engine {
                 Some(Arc::clone(&self.mem_pool)),
             )))
             .with_faults(self.faults.clone())
+            .with_storage(self.storage.clone())
+    }
+
+    /// Attach (or detach) a paged storage layer — the programmatic form
+    /// of `SQLSHARE_PAGED=1`. Tables created afterwards are page-backed;
+    /// existing tables keep their current backing.
+    pub fn set_storage(&mut self, layer: Option<Arc<StorageLayer>>) {
+        self.storage = layer;
+    }
+
+    /// The attached storage layer, if any (the service reads pool and
+    /// spill statistics through this).
+    pub fn storage(&self) -> Option<&Arc<StorageLayer>> {
+        self.storage.as_ref()
     }
 
     /// Set the per-query memory budget in bytes (the programmatic form
@@ -294,9 +318,15 @@ impl Engine {
         self.ctx.current_date = days_since_epoch;
     }
 
-    /// Register a base table.
+    /// Register a base table. With a storage layer attached the rows are
+    /// written out as slotted pages (plus B-tree secondary indexes) and
+    /// the in-memory copy is dropped; reads go through the buffer pool.
     pub fn create_table(&mut self, table: Table) -> Result<()> {
         let key = canonical_key(&table.name);
+        let table = match &self.storage {
+            Some(layer) => table.into_paged(layer)?,
+            None => table,
+        };
         self.catalog.add_table(table)?;
         self.cache.invalidate_key(&key);
         Ok(())
@@ -425,6 +455,7 @@ impl Engine {
             elapsed_micros: started.elapsed().as_micros() as u64,
             cache_hit: false,
             deps: prepared.deps,
+            spill_bytes: guard.spill_bytes(),
         })
     }
 
@@ -537,6 +568,7 @@ impl Engine {
                 elapsed_micros: started.elapsed().as_micros() as u64,
                 cache_hit: true,
                 deps: prepared.deps.clone(),
+                spill_bytes: 0,
             });
         }
         let rows = contain(|| {
@@ -559,6 +591,7 @@ impl Engine {
             elapsed_micros: started.elapsed().as_micros() as u64,
             cache_hit: false,
             deps: prepared.deps.clone(),
+            spill_bytes: guard.spill_bytes(),
         })
     }
 

@@ -12,6 +12,7 @@ use crate::faults::{FaultPlan, FaultSite};
 use crate::functions::EvalContext;
 use crate::logical::SortKey;
 use crate::memory::{values_bytes, MemoryBudget};
+use crate::paged::StorageLayer;
 use crate::physical::{PhysOp, PhysicalPlan};
 use crate::table::cmp_rows;
 use crate::value::{Row, Value};
@@ -20,6 +21,7 @@ use sqlshare_common::{CancellationToken, Error, Result};
 use sqlshare_sql::ast::{JoinKind, SetOp};
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 /// Rows processed between cancellation checks. Checking is a single
@@ -55,6 +57,13 @@ pub struct ExecGuard {
     /// Fault-injection schedule; `None` (the default) costs one branch
     /// per site.
     faults: Option<Arc<FaultPlan>>,
+    /// Paged-storage layer for operator spill. `None` (the default)
+    /// keeps the pre-spill behaviour: over-budget joins and sorts fail
+    /// with [`Error::ResourceExhausted`].
+    storage: Option<Arc<StorageLayer>>,
+    /// Bytes this query's operators spilled to temp pages; shared
+    /// across forks so the query log sees one total.
+    spill: Arc<AtomicU64>,
 }
 
 impl Default for ExecGuard {
@@ -65,6 +74,8 @@ impl Default for ExecGuard {
             exec_threads: hardware_threads(),
             mem: Arc::new(MemoryBudget::unlimited()),
             faults: None,
+            storage: None,
+            spill: Arc::new(AtomicU64::new(0)),
         }
     }
 }
@@ -114,6 +125,29 @@ impl ExecGuard {
         self
     }
 
+    /// Attach a paged-storage layer, enabling operator spill: an
+    /// over-budget hash-join build or sort decoration writes partitions
+    /// / runs to temp heap pages and merges back instead of failing.
+    pub fn with_storage(mut self, storage: Option<Arc<StorageLayer>>) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// The spill-capable storage layer, if one is attached.
+    pub fn storage(&self) -> Option<&Arc<StorageLayer>> {
+        self.storage.as_ref()
+    }
+
+    /// Bytes spilled to temp pages so far by this query (all forks).
+    pub fn spill_bytes(&self) -> u64 {
+        self.spill.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Record `bytes` of operator spill.
+    pub fn note_spill(&self, bytes: u64) {
+        self.spill.fetch_add(bytes, AtomicOrdering::Relaxed);
+    }
+
     /// The memory budget this execution charges.
     pub fn memory(&self) -> &Arc<MemoryBudget> {
         &self.mem
@@ -152,10 +186,13 @@ impl ExecGuard {
             Some(token) => ExecGuard::new(token.clone()),
             None => ExecGuard::unbounded(),
         };
-        forked
+        let mut forked = forked
             .with_exec_threads(self.exec_threads)
             .with_memory(Arc::clone(&self.mem))
             .with_faults(self.faults.clone())
+            .with_storage(self.storage.clone());
+        forked.spill = Arc::clone(&self.spill);
+        forked
     }
 
     /// Record `rows` units of work; errors if the token has tripped.
@@ -189,7 +226,7 @@ pub fn execute(
         PhysOp::ConstantScan => Ok(vec![Vec::new()]),
         PhysOp::Scan { table } => {
             guard.fault(FaultSite::Scan)?;
-            let rows = catalog.table(table)?.rows().to_vec();
+            let rows = catalog.table(table)?.scan()?.into_owned();
             guard.tick(rows.len() as u64)?;
             Ok(rows)
         }
@@ -205,13 +242,13 @@ pub fn execute(
         } => {
             guard.fault(FaultSite::Scan)?;
             let t = catalog.table(table)?;
-            let hits = t.seek_leading(as_ref_bound(lower), as_ref_bound(upper));
+            let hits = t.seek_leading(as_ref_bound(lower), as_ref_bound(upper))?;
             guard.tick(hits.len() as u64)?;
             match residual {
-                None => Ok(hits.to_vec()),
+                None => Ok(hits.into_owned()),
                 Some(pred) => {
                     let mut out = Vec::new();
-                    for row in hits {
+                    for row in hits.iter() {
                         if eval_predicate(pred, row, ctx)? {
                             out.push(row.clone());
                         }
@@ -219,6 +256,41 @@ pub fn execute(
                     Ok(out)
                 }
             }
+        }
+        PhysOp::IndexSeek {
+            table,
+            column,
+            lower,
+            upper,
+            predicate,
+        } => {
+            guard.fault(FaultSite::Scan)?;
+            let t = catalog.table(table)?;
+            // Candidate ordinals come back in clustered order, so the
+            // filtered output is row-for-row identical to a full scan
+            // plus filter — which is also the fallback when the backing
+            // can't serve the bounds (no paged backing, unsafe ranks).
+            let candidates = match t.paged() {
+                Some(p) => {
+                    p.secondary_candidates(*column, as_ref_bound(lower), as_ref_bound(upper))?
+                }
+                None => None,
+            };
+            let rows = match candidates {
+                Some(ordinals) => t
+                    .paged()
+                    .expect("candidates imply paged backing")
+                    .fetch_rows(&ordinals)?,
+                None => t.scan()?.into_owned(),
+            };
+            let mut out = Vec::new();
+            for row in rows {
+                guard.tick(1)?;
+                if eval_predicate(predicate, &row, ctx)? {
+                    out.push(row);
+                }
+            }
+            Ok(out)
         }
         PhysOp::Filter { predicate } => {
             let input = execute(data_child(plan)?, catalog, ctx, guard)?;
@@ -456,7 +528,7 @@ fn nested_loops(
 
 /// Grouping key for hash joins: text-normalized so `Int(1)` and
 /// `Float(1.0)` hash identically (they compare equal under `sql_eq`).
-fn join_key(values: &[Value]) -> Option<String> {
+pub(crate) fn join_key(values: &[Value]) -> Option<String> {
     let mut key = String::new();
     for v in values {
         match v {
@@ -491,7 +563,25 @@ fn hash_join(
     guard.fault(FaultSite::JoinBuild)?;
     // The build table holds the whole right side for the probe's
     // lifetime — the allocation the memory governor most wants to see.
-    guard.charge_rows(&right)?;
+    // When it doesn't fit and a storage layer is attached, fall back to
+    // a Grace hash join: partition both sides to temp heap pages and
+    // join partition by partition (byte-identical output order).
+    let build_bytes: usize = right.iter().map(|r| values_bytes(r)).sum();
+    if let Err(e) = guard.charge(build_bytes) {
+        let spillable =
+            matches!(e, Error::ResourceExhausted(_)) && guard.storage().is_some();
+        if !spillable {
+            return Err(e);
+        }
+        // The failed charge was still recorded (add-before-check);
+        // refund it — the spill path charges per partition instead.
+        guard.memory().release(build_bytes);
+        let layer = Arc::clone(guard.storage().expect("checked above"));
+        return crate::spill::grace_hash_join(
+            left, right, kind, left_keys, right_keys, residual, left_width, right_width,
+            ctx, guard, &layer,
+        );
+    }
     let mut table: HashMap<String, Vec<usize>> = HashMap::new();
     for (ri, rrow) in right.iter().enumerate() {
         guard.tick(1)?;
@@ -624,34 +714,58 @@ pub(crate) fn feed(
 }
 
 fn sort_rows(
-    mut input: Vec<Row>,
+    input: Vec<Row>,
     keys: &[SortKey],
     ctx: &EvalContext,
     guard: &ExecGuard,
 ) -> Result<Vec<Row>> {
-    // Precompute key vectors (decorate-sort-undecorate).
+    // Precompute key vectors (decorate-sort-undecorate), charging the
+    // decoration in batches so an over-budget sort is caught *while*
+    // decorating — at which point, with a storage layer attached, the
+    // rows decorated so far become the first run of an external merge
+    // sort instead of a failure.
     let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(input.len());
-    let mut key_bytes = 0usize;
-    for row in input.drain(..) {
+    let mut charged = 0usize;
+    let mut batch_bytes = 0usize;
+    let mut uncharged = 0usize;
+    let mut iter = input.into_iter();
+    for row in iter.by_ref() {
         guard.tick(1)?;
         let kv = keys
             .iter()
             .map(|k| k.expr.eval(&row, ctx))
             .collect::<Result<Vec<_>>>()?;
-        key_bytes += values_bytes(&kv);
+        batch_bytes += values_bytes(&kv);
+        uncharged += 1;
         keyed.push((kv, row));
-    }
-    // Sort buffer: the decoration is this operator's own allocation.
-    guard.charge(key_bytes)?;
-    keyed.sort_by(|a, b| {
-        for (i, key) in keys.iter().enumerate() {
-            let ord = a.0[i].total_cmp(&b.0[i]);
-            let ord = if key.desc { ord.reverse() } else { ord };
-            if !ord.is_eq() {
-                return ord;
+        if uncharged >= crate::spill::CHARGE_BATCH {
+            if let Err(e) = guard.charge(batch_bytes) {
+                let spillable =
+                    matches!(e, Error::ResourceExhausted(_)) && guard.storage().is_some();
+                if !spillable {
+                    return Err(e);
+                }
+                guard.memory().release(batch_bytes);
+                // Everything decorated so far (including this uncharged
+                // batch) seeds the external sort; `charged` bytes of it
+                // are on the budget and released run by run.
+                let layer = Arc::clone(guard.storage().expect("checked above"));
+                return crate::spill::external_sort(keyed, charged, iter, keys, ctx, guard, &layer);
             }
+            charged += batch_bytes;
+            batch_bytes = 0;
+            uncharged = 0;
         }
-        std::cmp::Ordering::Equal
-    });
+    }
+    if let Err(e) = guard.charge(batch_bytes) {
+        let spillable = matches!(e, Error::ResourceExhausted(_)) && guard.storage().is_some();
+        if !spillable {
+            return Err(e);
+        }
+        guard.memory().release(batch_bytes);
+        let layer = Arc::clone(guard.storage().expect("checked above"));
+        return crate::spill::external_sort(keyed, charged, iter, keys, ctx, guard, &layer);
+    }
+    keyed.sort_by(|a, b| crate::spill::sort_cmp(keys, &a.0, &b.0));
     Ok(keyed.into_iter().map(|(_, r)| r).collect())
 }

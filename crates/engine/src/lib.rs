@@ -50,9 +50,11 @@ pub mod functions;
 pub mod logical;
 pub mod memory;
 pub mod optimizer;
+pub mod paged;
 pub mod parallel;
 pub mod physical;
 pub mod schema;
+pub mod spill;
 pub mod table;
 pub mod value;
 pub mod window;
@@ -63,6 +65,7 @@ pub use engine::{Engine, PreparedQuery, QueryOutput};
 pub use exec::ExecGuard;
 pub use faults::{FaultPlan, FaultSite};
 pub use memory::{MemoryBudget, MemoryPool};
+pub use paged::{PagedTable, StorageLayer};
 pub use schema::{Column, Schema};
 pub use table::Table;
 pub use value::{DataType, Row, Value};

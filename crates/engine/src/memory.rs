@@ -117,6 +117,24 @@ impl MemoryBudget {
         Ok(())
     }
 
+    /// Return `bytes` of a previous charge (spilling operators release
+    /// buffers they wrote to temp pages). Saturating: releasing more
+    /// than was charged is a caller bug but must not wrap the counters.
+    pub fn release(&self, bytes: usize) {
+        let _ = self
+            .used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| {
+                Some(u.saturating_sub(bytes))
+            });
+        if let Some(pool) = &self.pool {
+            let _ = pool
+                .used
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| {
+                    Some(u.saturating_sub(bytes))
+                });
+        }
+    }
+
     /// Bytes currently charged to this query.
     pub fn used(&self) -> usize {
         self.used.load(Ordering::Relaxed)
@@ -200,6 +218,20 @@ mod tests {
         assert_eq!(pool.used(), 0, "drops must return every charge to the pool");
         let c = MemoryBudget::new(UNLIMITED, Some(pool));
         c.charge(90).unwrap();
+    }
+
+    #[test]
+    fn release_refunds_query_and_pool() {
+        let pool = Arc::new(MemoryPool::new(100));
+        let b = MemoryBudget::new(80, Some(Arc::clone(&pool)));
+        b.charge(60).unwrap();
+        b.release(50);
+        assert_eq!(b.used(), 10);
+        assert_eq!(pool.used(), 10);
+        b.charge(60).unwrap(); // would have failed without the release
+        assert_eq!(b.peak(), 70);
+        drop(b);
+        assert_eq!(pool.used(), 0);
     }
 
     #[test]

@@ -498,6 +498,9 @@ fn parallel_region_shape(plan: &PhysicalPlan) -> bool {
             }
             PhysOp::Scan { .. } => return work,
             PhysOp::Seek { residual, .. } => return work || residual.is_some(),
+            // An index seek always re-applies its full predicate over
+            // the candidate rows — per-row work worth parallelizing.
+            PhysOp::IndexSeek { .. } => return true,
             _ => return false,
         }
     }

@@ -31,6 +31,7 @@ use crate::table::cmp_rows;
 use crate::value::{Row, Value};
 use sqlshare_common::{Error, Result};
 use sqlshare_sql::ast::JoinKind;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::ops::Range;
@@ -92,7 +93,9 @@ struct Region<'a> {
 }
 
 struct Source<'a> {
-    rows: &'a [Row],
+    /// Borrowed for in-memory tables; materialized once per region for
+    /// paged tables (morsel workers then share the decoded rows).
+    rows: Cow<'a, [Row]>,
     /// Seek residual predicate, applied before everything else.
     residual: Option<&'a BoundExpr>,
 }
@@ -215,7 +218,7 @@ fn compile<'a>(plan: &'a PhysicalPlan, catalog: &'a Catalog) -> Result<Option<Re
                 node = &node.children[0];
             }
             PhysOp::Scan { table } => {
-                let rows = catalog.table(table)?.rows();
+                let rows = catalog.table(table)?.scan()?;
                 ops.reverse();
                 return Ok(Some(Region {
                     source: Source { rows, residual: None },
@@ -231,12 +234,49 @@ fn compile<'a>(plan: &'a PhysicalPlan, catalog: &'a Catalog) -> Result<Option<Re
             } => {
                 let rows = catalog
                     .table(table)?
-                    .seek_leading(exec::as_ref_bound(lower), exec::as_ref_bound(upper));
+                    .seek_leading(exec::as_ref_bound(lower), exec::as_ref_bound(upper))?;
                 ops.reverse();
                 return Ok(Some(Region {
                     source: Source {
                         rows,
                         residual: residual.as_ref(),
+                    },
+                    ops,
+                    agg,
+                }));
+            }
+            PhysOp::IndexSeek {
+                table,
+                column,
+                lower,
+                upper,
+                predicate,
+            } => {
+                // The candidate ordinals are ascending, so the morsel
+                // source is in clustered order — same rows, same order
+                // as the serial arm (and as scan + filter on fallback).
+                let t = catalog.table(table)?;
+                let candidates = match t.paged() {
+                    Some(p) => p.secondary_candidates(
+                        *column,
+                        exec::as_ref_bound(lower),
+                        exec::as_ref_bound(upper),
+                    )?,
+                    None => None,
+                };
+                let rows = match candidates {
+                    Some(ordinals) => Cow::Owned(
+                        t.paged()
+                            .expect("candidates imply paged backing")
+                            .fetch_rows(&ordinals)?,
+                    ),
+                    None => t.scan()?,
+                };
+                ops.reverse();
+                return Ok(Some(Region {
+                    source: Source {
+                        rows,
+                        residual: Some(predicate),
                     },
                     ops,
                     agg,
@@ -400,7 +440,7 @@ impl<'a> MorselRows<'a> {
 /// so evaluation errors still surface for the same first row serial
 /// would report.
 fn process_morsel<'a>(
-    region: &Region<'a>,
+    region: &'a Region<'a>,
     join: Option<&JoinState>,
     range: Range<usize>,
     ctx: &EvalContext,

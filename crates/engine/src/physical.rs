@@ -48,6 +48,19 @@ pub enum PhysOp {
         upper: Bound<Value>,
         residual: Option<BoundExpr>,
     },
+    /// Secondary B-tree index seek on a non-leading column of a paged
+    /// table: the index narrows the heap to candidate row ordinals (a
+    /// *superset* of the matches — index keys are rank-tagged prefixes),
+    /// then `predicate` re-applies in full. Executes as a scan + filter
+    /// when the backing cannot serve the bounds, producing identical
+    /// rows either way.
+    IndexSeek {
+        table: String,
+        column: usize,
+        lower: Bound<Value>,
+        upper: Bound<Value>,
+        predicate: BoundExpr,
+    },
     Filter {
         predicate: BoundExpr,
     },
@@ -188,7 +201,9 @@ impl PhysicalPlan {
         let mut out = Vec::new();
         self.visit(&mut |n| {
             let table = match &n.op {
-                PhysOp::Scan { table } | PhysOp::Seek { table, .. } => table,
+                PhysOp::Scan { table }
+                | PhysOp::Seek { table, .. }
+                | PhysOp::IndexSeek { table, .. } => table,
                 PhysOp::CachedScan { name, .. } => name,
                 _ => return,
             };
@@ -488,7 +503,16 @@ impl Planner<'_> {
                 .first()
                 .map(|c| c.ty)
                 .unwrap_or(DataType::Text);
-            let bounds = extract_seek_bounds(&predicate.0, leading_ty).unwrap_or((
+            let bounds = extract_seek_bounds(&predicate.0, leading_ty);
+            // No clustered-order bounds: a sargable non-leading column
+            // can still go through its secondary B-tree when the table
+            // is page-backed.
+            if bounds.is_none() {
+                if let Some(n) = self.plan_index_seek(table, schema, &predicate)? {
+                    return Ok(n);
+                }
+            }
+            let bounds = bounds.unwrap_or((
                 Bound::Unbounded,
                 Bound::Unbounded,
                 Some(predicate.0.clone()),
@@ -581,6 +605,73 @@ impl Planner<'_> {
         n.children.push(child);
         n.children.extend(predicate.1);
         Ok(n)
+    }
+
+    /// Plan a secondary-index seek over `table` if some non-leading
+    /// column has sargable bounds that a B-tree on the paged backing can
+    /// serve; `None` sends the caller down the scan-with-residual path.
+    fn plan_index_seek(
+        &self,
+        table: &str,
+        schema: &Schema,
+        predicate: &(BoundExpr, Vec<PhysicalPlan>),
+    ) -> Result<Option<PhysicalPlan>> {
+        let t = self.catalog.table(table)?;
+        let Some(paged) = t.paged() else {
+            return Ok(None);
+        };
+        let Some((column, lower, upper, consumed)) =
+            extract_index_bounds(&predicate.0, schema.columns.len())
+        else {
+            return Ok(None);
+        };
+        if !paged.index_serves(
+            column,
+            crate::exec::as_ref_bound(&lower),
+            crate::exec::as_ref_bound(&upper),
+        ) {
+            return Ok(None);
+        }
+        let rows = t.row_count() as f64;
+        let row_size = schema.estimated_row_size() as f64;
+        let sel = cost::selectivity(if matches!(
+            (&lower, &upper),
+            (Bound::Included(_), Bound::Included(_))
+        ) {
+            PredKind::Equality
+        } else {
+            PredKind::Range
+        });
+        // The full predicate re-applies over the candidates, so its
+        // selectivity already covers the consumed bounds.
+        let est = Estimates {
+            rows: (rows * pred_selectivity(&predicate.0)).max(1.0),
+            io: cost::scan_io(rows * sel, row_size),
+            cpu: cost::row_cpu(rows * sel, 1),
+            row_size,
+        };
+        let mut n = PhysicalPlan::new(
+            PhysOp::IndexSeek {
+                table: table.to_string(),
+                column,
+                lower,
+                upper,
+                predicate: predicate.0.clone(),
+            },
+            "Index Seek",
+            "Index Seek",
+            est,
+        );
+        n.filters = consumed;
+        n.filters.push(render_filter(&predicate.0, schema));
+        predicate.0.expression_ops(&mut n.expr_ops);
+        n.columns = schema
+            .columns
+            .iter()
+            .filter_map(|c| c.source_table.clone().map(|t| (t, c.name.clone())))
+            .collect();
+        n.children.extend(predicate.1.clone());
+        Ok(Some(n))
     }
 
     fn plan_project(
@@ -1237,6 +1328,104 @@ fn extract_seek_bounds(predicate: &BoundExpr, leading_ty: DataType) -> Option<Se
         right: Box::new(b),
     });
     Some((lower, upper, residual_expr, consumed))
+}
+
+/// Bounds on a single non-leading column, for a secondary-index seek:
+/// `(column, lower, upper, consumed_desc)`. Columns are tried in
+/// ordinal order and the first with any bound wins. Unlike the
+/// clustered-seek extraction there is no residual to compute — index
+/// candidates are a superset, so the caller keeps the full predicate —
+/// and no type-group gate — the index's rank mask (checked by the
+/// caller against the actual stored values) is the authoritative
+/// order-safety test.
+#[allow(clippy::type_complexity)]
+fn extract_index_bounds(
+    predicate: &BoundExpr,
+    n_columns: usize,
+) -> Option<(usize, Bound<Value>, Bound<Value>, Vec<String>)> {
+    let conjuncts = split_conjuncts(predicate);
+    for col in 1..n_columns {
+        let mut lower: Bound<Value> = Bound::Unbounded;
+        let mut upper: Bound<Value> = Bound::Unbounded;
+        let mut consumed: Vec<String> = Vec::new();
+        for c in &conjuncts {
+            match c {
+                BoundExpr::Binary { left, op, right } => {
+                    let (col_left, lit, op) = match (left.as_ref(), right.as_ref()) {
+                        (BoundExpr::Column(i), BoundExpr::Literal(v)) if *i == col => {
+                            (true, v.clone(), *op)
+                        }
+                        (BoundExpr::Literal(v), BoundExpr::Column(i)) if *i == col => {
+                            (false, v.clone(), *op)
+                        }
+                        _ => continue,
+                    };
+                    if lit.is_null() {
+                        continue;
+                    }
+                    let op = if col_left {
+                        op
+                    } else {
+                        match op {
+                            BinaryOp::Lt => BinaryOp::Gt,
+                            BinaryOp::LtEq => BinaryOp::GtEq,
+                            BinaryOp::Gt => BinaryOp::Lt,
+                            BinaryOp::GtEq => BinaryOp::LtEq,
+                            other => other,
+                        }
+                    };
+                    match op {
+                        BinaryOp::Eq => {
+                            lower = tighten_lower(lower, Bound::Included(lit.clone()));
+                            upper = tighten_upper(upper, Bound::Included(lit.clone()));
+                            consumed.push(format!("#{col} EQ {lit}"));
+                        }
+                        BinaryOp::Lt => {
+                            upper = tighten_upper(upper, Bound::Excluded(lit.clone()));
+                            consumed.push(format!("#{col} LT {lit}"));
+                        }
+                        BinaryOp::LtEq => {
+                            upper = tighten_upper(upper, Bound::Included(lit.clone()));
+                            consumed.push(format!("#{col} LE {lit}"));
+                        }
+                        BinaryOp::Gt => {
+                            lower = tighten_lower(lower, Bound::Excluded(lit.clone()));
+                            consumed.push(format!("#{col} GT {lit}"));
+                        }
+                        BinaryOp::GtEq => {
+                            lower = tighten_lower(lower, Bound::Included(lit.clone()));
+                            consumed.push(format!("#{col} GE {lit}"));
+                        }
+                        _ => {}
+                    }
+                }
+                BoundExpr::Between {
+                    expr,
+                    low,
+                    high,
+                    negated: false,
+                } if matches!(expr.as_ref(), BoundExpr::Column(i) if *i == col) => {
+                    if let (BoundExpr::Literal(lo), BoundExpr::Literal(hi)) =
+                        (low.as_ref(), high.as_ref())
+                    {
+                        if !lo.is_null() && !hi.is_null() {
+                            lower = tighten_lower(lower, Bound::Included(lo.clone()));
+                            upper = tighten_upper(upper, Bound::Included(hi.clone()));
+                            consumed.push(format!("#{col} BETWEEN {lo} AND {hi}"));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !matches!(
+            (&lower, &upper),
+            (Bound::Unbounded, Bound::Unbounded)
+        ) {
+            return Some((col, lower, upper, consumed));
+        }
+    }
+    None
 }
 
 fn tighten_lower(current: Bound<Value>, new: Bound<Value>) -> Bound<Value> {

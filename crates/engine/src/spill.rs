@@ -1,0 +1,346 @@
+//! Operator spill: Grace hash join and external merge sort over temp
+//! heap pages.
+//!
+//! When a hash-join build or sort decoration would blow the query's
+//! [`crate::memory::MemoryBudget`] and the guard carries a
+//! [`StorageLayer`], the operator spills instead of failing with
+//! `ResourceExhausted`: the build side is partitioned to temp heap
+//! files and joined partition-by-partition, or the sort writes bounded
+//! sorted runs and k-way-merges them back. Both paths reproduce the
+//! in-memory operator's output order *exactly* — joins tag every spilled
+//! row with its original index and re-sort the matches by (probe index,
+//! build index); the merge breaks ties by run index, which preserves
+//! the stable sort's input order — so spilling is invisible to the
+//! differential suites.
+//!
+//! Memory accounting: the spill paths charge one partition (or one
+//! run's key decoration) at a time and release it before the next, so
+//! the budget bounds the *working set*, not the input. If even a single
+//! partition/run doesn't fit, the original `ResourceExhausted` outcome
+//! stands. Spilled bytes are tallied on the guard (per query, for the
+//! query log) and on the layer (service-wide, for `/api/storage`).
+
+use crate::exec::{join_key, null_row, ExecGuard};
+use crate::expr::{eval_predicate, BoundExpr};
+use crate::faults::FaultSite;
+use crate::functions::EvalContext;
+use crate::logical::SortKey;
+use crate::memory::values_bytes;
+use crate::paged::{SpillReader, SpillWriter, StorageLayer};
+use crate::value::{Row, Value};
+use sqlshare_common::hash::fnv64;
+use sqlshare_common::{Error, Result};
+use sqlshare_sql::ast::JoinKind;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Fan-out of the Grace join's partitioning pass. Eight partitions cut
+/// the per-partition build to ~1/8 of the input; inputs whose *single
+/// partition* still exceeds the budget fail as before.
+pub const JOIN_PARTITIONS: usize = 8;
+
+/// Rows per memory-charge batch in spill-capable operators (accounting
+/// stays coarse-grained — one atomic add per batch, not per row).
+pub const CHARGE_BATCH: usize = 1024;
+
+/// The sort comparator shared by the in-memory sort, run generation,
+/// and the merge: per-key total order with per-key descending flags.
+pub(crate) fn sort_cmp(keys: &[SortKey], a: &[Value], b: &[Value]) -> Ordering {
+    for (i, key) in keys.iter().enumerate() {
+        let ord = a[i].total_cmp(&b[i]);
+        let ord = if key.desc { ord.reverse() } else { ord };
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Partition a join side into [`JOIN_PARTITIONS`] spill files, tagging
+/// every row with its original index (first column). NULL-key rows
+/// never match anything but still need to surface for outer-join
+/// padding, so they are routed by row index.
+fn spill_side(
+    rows: Vec<Row>,
+    keys: &[BoundExpr],
+    stem: &str,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+    layer: &Arc<StorageLayer>,
+) -> Result<Vec<Arc<SpillReader>>> {
+    let mut writers = (0..JOIN_PARTITIONS)
+        .map(|p| SpillWriter::create(layer, &format!("{stem}-{p}")))
+        .collect::<Result<Vec<_>>>()?;
+    for (idx, row) in rows.into_iter().enumerate() {
+        guard.tick(1)?;
+        let kv = keys
+            .iter()
+            .map(|k| k.eval(&row, ctx))
+            .collect::<Result<Vec<_>>>()?;
+        let p = match join_key(&kv) {
+            Some(key) => (fnv64(key.as_bytes()) as usize) % JOIN_PARTITIONS,
+            None => idx % JOIN_PARTITIONS,
+        };
+        let mut tagged = Vec::with_capacity(row.len() + 1);
+        tagged.push(Value::Int(idx as i64));
+        tagged.extend(row);
+        writers[p].push(&tagged)?;
+    }
+    let mut readers = Vec::with_capacity(JOIN_PARTITIONS);
+    let mut spilled = 0u64;
+    for w in writers {
+        let r = w.finish()?;
+        spilled += r.payload_bytes();
+        readers.push(Arc::new(r));
+    }
+    guard.note_spill(spilled);
+    Ok(readers)
+}
+
+fn untag(mut row: Row) -> Result<(i64, Row)> {
+    match row.first() {
+        Some(Value::Int(_)) => {
+            let Value::Int(idx) = row.remove(0) else { unreachable!() };
+            Ok((idx, row))
+        }
+        _ => Err(Error::Internal("spill: row missing its index tag".into())),
+    }
+}
+
+/// Grace hash join: both sides partitioned by join-key hash to temp
+/// pages, each partition built + probed under a per-partition memory
+/// charge, output re-sorted by (probe index, build index) so the row
+/// order is byte-identical to the in-memory join's.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn grace_hash_join(
+    left: Vec<Row>,
+    right: Vec<Row>,
+    kind: JoinKind,
+    left_keys: &[BoundExpr],
+    right_keys: &[BoundExpr],
+    residual: Option<&BoundExpr>,
+    left_width: usize,
+    right_width: usize,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+    layer: &Arc<StorageLayer>,
+) -> Result<Vec<Row>> {
+    let rparts = spill_side(right, right_keys, "join-build", ctx, guard, layer)?;
+    let lparts = spill_side(left, left_keys, "join-probe", ctx, guard, layer)?;
+    guard.fault(FaultSite::JoinProbe)?;
+    // (probe index, build index, row); left pads carry build index -1,
+    // sorting before any real match of the same probe row — but a
+    // padded probe row never *has* matches, so the slot is unambiguous.
+    let mut tagged_out: Vec<(i64, i64, Row)> = Vec::new();
+    let mut right_pads: Vec<(i64, Row)> = Vec::new();
+    for p in 0..JOIN_PARTITIONS {
+        let mut build: Vec<(i64, Row)> = Vec::new();
+        for pg in 0..rparts[p].page_count() {
+            for row in rparts[p].read_page(pg)? {
+                guard.tick(1)?;
+                build.push(untag(row)?);
+            }
+        }
+        // One partition's build side is the working set; released below.
+        let bytes: usize = build.iter().map(|(_, r)| values_bytes(r)).sum();
+        guard.charge(bytes)?;
+        let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+        for (slot, (_, rrow)) in build.iter().enumerate() {
+            guard.tick(1)?;
+            let kv = right_keys
+                .iter()
+                .map(|k| k.eval(rrow, ctx))
+                .collect::<Result<Vec<_>>>()?;
+            if let Some(key) = join_key(&kv) {
+                table.entry(key).or_default().push(slot);
+            }
+        }
+        let mut right_matched = vec![false; build.len()];
+        let mut cursor = lparts[p].cursor();
+        while let Some(row) = cursor.next_row()? {
+            guard.tick(1)?;
+            let (li, lrow) = untag(row)?;
+            let kv = left_keys
+                .iter()
+                .map(|k| k.eval(&lrow, ctx))
+                .collect::<Result<Vec<_>>>()?;
+            let mut matched = false;
+            if let Some(key) = join_key(&kv) {
+                if let Some(candidates) = table.get(&key) {
+                    for &slot in candidates {
+                        guard.tick(1)?;
+                        let (ri, rrow) = &build[slot];
+                        let mut combined = lrow.clone();
+                        combined.extend(rrow.iter().cloned());
+                        let ok = match residual {
+                            None => true,
+                            Some(pred) => eval_predicate(pred, &combined, ctx)?,
+                        };
+                        if ok {
+                            matched = true;
+                            right_matched[slot] = true;
+                            tagged_out.push((li, *ri, combined));
+                        }
+                    }
+                }
+            }
+            if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
+                let mut padded = lrow;
+                padded.extend(null_row(right_width));
+                tagged_out.push((li, -1, padded));
+            }
+        }
+        if matches!(kind, JoinKind::Right | JoinKind::Full) {
+            for (slot, (ri, rrow)) in build.iter().enumerate() {
+                if !right_matched[slot] {
+                    let mut padded = null_row(left_width);
+                    padded.extend(rrow.iter().cloned());
+                    right_pads.push((*ri, padded));
+                }
+            }
+        }
+        guard.memory().release(bytes);
+    }
+    // Matched rows (and inline left pads) in probe order, candidates in
+    // build order — exactly the in-memory loop's emission order.
+    tagged_out.sort_by_key(|t| (t.0, t.1));
+    let mut out: Vec<Row> = tagged_out.into_iter().map(|(_, _, r)| r).collect();
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        right_pads.sort_by_key(|(ri, _)| *ri);
+        out.extend(right_pads.into_iter().map(|(_, r)| r));
+    }
+    Ok(out)
+}
+
+/// External merge sort. `first` is the decoration built before the
+/// budget ran out (`charged` bytes of it are on the budget); `rest` is
+/// the undecorated remainder of the input. Sorted runs go to temp heap
+/// pages; the k-way merge breaks ties by run index, reproducing the
+/// stable in-memory sort exactly.
+pub(crate) fn external_sort(
+    first: Vec<(Vec<Value>, Row)>,
+    charged: usize,
+    rest: impl Iterator<Item = Row>,
+    keys: &[SortKey],
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+    layer: &Arc<StorageLayer>,
+) -> Result<Vec<Row>> {
+    let key_len = keys.len();
+    let mut runs: Vec<Arc<SpillReader>> = Vec::new();
+    let mut spilled = 0u64;
+
+    let flush_run = |run: &mut Vec<(Vec<Value>, Row)>,
+                     run_charged: &mut usize,
+                     runs: &mut Vec<Arc<SpillReader>>,
+                     spilled: &mut u64|
+     -> Result<()> {
+        if run.is_empty() {
+            return Ok(());
+        }
+        run.sort_by(|a, b| sort_cmp(keys, &a.0, &b.0)); // stable within run
+        let mut w = SpillWriter::create(layer, &format!("sort-run-{}", runs.len()))?;
+        let mut record = Vec::new();
+        for (kv, row) in run.drain(..) {
+            guard.tick(1)?;
+            record.clear();
+            record.extend(kv);
+            record.extend(row);
+            w.push(&record)?;
+        }
+        let r = w.finish()?;
+        *spilled += r.payload_bytes();
+        runs.push(Arc::new(r));
+        guard.memory().release(*run_charged);
+        *run_charged = 0;
+        Ok(())
+    };
+
+    // Run 0: everything decorated before the overflow.
+    let mut run = first;
+    let mut run_charged = charged;
+    // Subsequent runs: decorate + charge in batches; a failing batch
+    // charge closes the current run and retries (a retry that still
+    // fails is genuine exhaustion — one batch can't fit).
+    let mut batch: Vec<(Vec<Value>, Row)> = Vec::with_capacity(CHARGE_BATCH);
+    let mut batch_bytes = 0usize;
+    for row in rest {
+        guard.tick(1)?;
+        let kv = keys
+            .iter()
+            .map(|k| k.expr.eval(&row, ctx))
+            .collect::<Result<Vec<_>>>()?;
+        batch_bytes += values_bytes(&kv);
+        batch.push((kv, row));
+        if batch.len() >= CHARGE_BATCH {
+            if guard.charge(batch_bytes).is_err() {
+                guard.memory().release(batch_bytes);
+                flush_run(&mut run, &mut run_charged, &mut runs, &mut spilled)?;
+                guard.charge(batch_bytes)?;
+            }
+            run_charged += batch_bytes;
+            run.append(&mut batch);
+            batch_bytes = 0;
+        }
+    }
+    if !batch.is_empty() {
+        if guard.charge(batch_bytes).is_err() {
+            guard.memory().release(batch_bytes);
+            flush_run(&mut run, &mut run_charged, &mut runs, &mut spilled)?;
+            guard.charge(batch_bytes)?;
+        }
+        run_charged += batch_bytes;
+        run.append(&mut batch);
+    }
+    flush_run(&mut run, &mut run_charged, &mut runs, &mut spilled)?;
+    guard.note_spill(spilled);
+
+    // K-way merge, one buffered page per run. Ties keep the lowest run
+    // index: runs partition the input in order, and each run is stable,
+    // so this reproduces the stable sort's order for equal keys.
+    let mut cursors: Vec<_> = runs.iter().map(|r| r.cursor()).collect();
+    let mut heads: Vec<Option<(Vec<Value>, Row)>> = Vec::with_capacity(runs.len());
+    for c in &mut cursors {
+        heads.push(match c.next_row()? {
+            Some(mut rec) => {
+                let row = rec.split_off(key_len);
+                Some((rec, row))
+            }
+            None => None,
+        });
+    }
+    let mut out = Vec::new();
+    loop {
+        let mut best: Option<usize> = None;
+        for i in 0..heads.len() {
+            if heads[i].is_none() {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    let ka = &heads[i].as_ref().expect("checked").0;
+                    let kb = &heads[b].as_ref().expect("some").0;
+                    if sort_cmp(keys, ka, kb) == Ordering::Less {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let Some(b) = best else { break };
+        guard.tick(1)?;
+        let (_, row) = heads[b].take().expect("selected head");
+        out.push(row);
+        heads[b] = match cursors[b].next_row()? {
+            Some(mut rec) => {
+                let row = rec.split_off(key_len);
+                Some((rec, row))
+            }
+            None => None,
+        };
+    }
+    Ok(out)
+}

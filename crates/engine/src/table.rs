@@ -6,79 +6,173 @@
 //! every table keeps its rows sorted lexicographically by all columns in
 //! column order, which gives the physical planner real `Clustered Index
 //! Seek` opportunities on leading-column predicates.
+//!
+//! Tables have two interchangeable backings: an in-memory `Vec<Row>`
+//! (the default, and the differential oracle) and a paged one
+//! ([`crate::paged::PagedTable`]) that stores rows in slotted heap
+//! pages behind a buffer pool with B-tree secondary indexes. Both
+//! produce byte-identical results; the paged backing bounds resident
+//! memory by `SQLSHARE_BUFFER_POOL_MB` instead of table size.
 
+use crate::paged::{PagedTable, StorageLayer};
 use crate::schema::Schema;
 use crate::value::{Row, Value};
+use sqlshare_common::Result;
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::ops::Bound;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Backing {
+    Mem(Vec<Row>),
+    Paged(Arc<PagedTable>),
+}
 
 /// An immutable-after-load, clustered-ordered table.
 #[derive(Debug, Clone)]
 pub struct Table {
     pub name: String,
     pub schema: Schema,
-    rows: Vec<Row>,
+    backing: Backing,
 }
 
 impl Table {
-    /// Create a table, clustering (sorting) the rows on all columns in
-    /// column order.
+    /// Create an in-memory table, clustering (sorting) the rows on all
+    /// columns in column order.
     pub fn new(name: impl Into<String>, schema: Schema, mut rows: Vec<Row>) -> Self {
         rows.sort_by(cmp_rows);
         Table {
             name: name.into(),
             schema,
-            rows,
+            backing: Backing::Mem(rows),
+        }
+    }
+
+    /// Create a paged table: rows are clustered, encoded into heap
+    /// pages under `layer`, and indexed (B-tree per non-leading column).
+    pub fn new_paged(
+        name: impl Into<String>,
+        schema: Schema,
+        mut rows: Vec<Row>,
+        layer: &Arc<StorageLayer>,
+    ) -> Result<Self> {
+        rows.sort_by(cmp_rows);
+        let name = name.into();
+        let paged = PagedTable::build(layer, &name, schema.len(), &rows)?;
+        Ok(Table {
+            name,
+            schema,
+            backing: Backing::Paged(Arc::new(paged)),
+        })
+    }
+
+    /// Convert to the paged backing. A no-op when the table already
+    /// lives on `layer`; a table paged on a *different* layer is
+    /// rematerialized and rebuilt so it lands in the requested pool
+    /// (otherwise re-creating tables after a storage switch would
+    /// silently keep their old backing).
+    pub fn into_paged(self, layer: &Arc<StorageLayer>) -> Result<Self> {
+        let rows = match self.backing {
+            Backing::Paged(ref p) if Arc::ptr_eq(p.layer(), layer) => return Ok(self),
+            Backing::Paged(ref p) => p.scan_all()?,
+            Backing::Mem(rows) => rows,
+        };
+        let paged = PagedTable::build(layer, &self.name, self.schema.len(), &rows)?;
+        Ok(Table {
+            name: self.name,
+            schema: self.schema,
+            backing: Backing::Paged(Arc::new(paged)),
+        })
+    }
+
+    /// The paged backing, when this table has one.
+    pub fn paged(&self) -> Option<&Arc<PagedTable>> {
+        match &self.backing {
+            Backing::Paged(p) => Some(p),
+            Backing::Mem(_) => None,
         }
     }
 
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        match &self.backing {
+            Backing::Mem(rows) => rows.len(),
+            Backing::Paged(p) => p.row_count(),
+        }
     }
 
-    /// All rows in clustered order.
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+    /// All rows in clustered order. Borrowed for the in-memory backing,
+    /// decoded for the paged one.
+    pub fn scan(&self) -> Result<Cow<'_, [Row]>> {
+        match &self.backing {
+            Backing::Mem(rows) => Ok(Cow::Borrowed(rows)),
+            Backing::Paged(p) => Ok(Cow::Owned(p.scan_all()?)),
+        }
+    }
+
+    /// Convenience accessor for tests and tooling.
+    ///
+    /// # Panics
+    /// On paged-storage I/O errors; query paths use [`Table::scan`].
+    pub fn rows(&self) -> Cow<'_, [Row]> {
+        self.scan().expect("paged table scan failed")
     }
 
     /// Total estimated size in bytes.
     pub fn estimated_bytes(&self) -> usize {
-        self.rows
-            .iter()
-            .map(|r| r.iter().map(Value::estimated_size).sum::<usize>())
-            .sum()
-    }
-
-    /// Clustered-index seek on the *leading* column: returns the row range
-    /// matching the bounds. This is what the planner compiles sargable
-    /// predicates on column 0 into.
-    pub fn seek_leading(&self, lower: Bound<&Value>, upper: Bound<&Value>) -> &[Row] {
-        if self.rows.is_empty() {
-            return &[];
-        }
-        let start = match lower {
-            Bound::Unbounded => 0,
-            Bound::Included(v) => self.partition_point(|row| row[0].total_cmp(v) == Ordering::Less),
-            Bound::Excluded(v) => {
-                self.partition_point(|row| row[0].total_cmp(v) != Ordering::Greater)
-            }
-        };
-        let end = match upper {
-            Bound::Unbounded => self.rows.len(),
-            Bound::Included(v) => {
-                self.partition_point(|row| row[0].total_cmp(v) != Ordering::Greater)
-            }
-            Bound::Excluded(v) => self.partition_point(|row| row[0].total_cmp(v) == Ordering::Less),
-        };
-        if start >= end {
-            &[]
-        } else {
-            &self.rows[start..end]
+        match &self.backing {
+            Backing::Mem(rows) => rows
+                .iter()
+                .map(|r| r.iter().map(Value::estimated_size).sum::<usize>())
+                .sum(),
+            Backing::Paged(p) => p.estimated_bytes(),
         }
     }
 
-    fn partition_point(&self, pred: impl Fn(&Row) -> bool) -> usize {
-        self.rows.partition_point(|r| pred(r))
+    /// Clustered-index seek on the *leading* column: the rows matching
+    /// the bounds. This is what the planner compiles sargable predicates
+    /// on column 0 into. Both backings locate the same partition points
+    /// (the paged one by page-level binary search); results are
+    /// identical, the paged backing just decodes only the touched pages.
+    pub fn seek_leading(
+        &self,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Result<Cow<'_, [Row]>> {
+        match &self.backing {
+            Backing::Mem(rows) => {
+                if rows.is_empty() {
+                    return Ok(Cow::Borrowed(&[]));
+                }
+                let start = match lower {
+                    Bound::Unbounded => 0,
+                    Bound::Included(v) => {
+                        rows.partition_point(|row| row[0].total_cmp(v) == Ordering::Less)
+                    }
+                    Bound::Excluded(v) => {
+                        rows.partition_point(|row| row[0].total_cmp(v) != Ordering::Greater)
+                    }
+                };
+                let end = match upper {
+                    Bound::Unbounded => rows.len(),
+                    Bound::Included(v) => {
+                        rows.partition_point(|row| row[0].total_cmp(v) != Ordering::Greater)
+                    }
+                    Bound::Excluded(v) => {
+                        rows.partition_point(|row| row[0].total_cmp(v) == Ordering::Less)
+                    }
+                };
+                Ok(if start >= end {
+                    Cow::Borrowed(&[][..])
+                } else {
+                    Cow::Borrowed(&rows[start..end])
+                })
+            }
+            Backing::Paged(p) => {
+                let range = p.seek_range(lower, upper)?;
+                Ok(Cow::Owned(p.scan_range(range)?))
+            }
+        }
     }
 }
 
@@ -99,76 +193,129 @@ mod tests {
     use crate::schema::Column;
     use crate::value::DataType;
 
-    fn table() -> Table {
-        let schema = Schema::new(vec![
-            Column::new("k", DataType::Int),
-            Column::new("v", DataType::Text),
-        ]);
-        let rows = vec![
+    fn rows() -> Vec<Row> {
+        vec![
             vec![Value::Int(5), Value::Text("e".into())],
             vec![Value::Int(1), Value::Text("a".into())],
             vec![Value::Int(3), Value::Text("c".into())],
             vec![Value::Int(3), Value::Text("b".into())],
             vec![Value::Int(9), Value::Text("i".into())],
-        ];
-        Table::new("t", schema, rows)
+        ]
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Text),
+        ])
+    }
+
+    /// Every test runs against both backings: the in-memory oracle and
+    /// the paged subject must be indistinguishable.
+    fn tables() -> Vec<Table> {
+        let mem = Table::new("t", schema(), rows());
+        let layer = StorageLayer::temp(0).unwrap();
+        let paged = Table::new_paged("t", schema(), rows(), &layer).unwrap();
+        assert!(paged.paged().is_some());
+        assert!(mem.paged().is_none());
+        vec![mem, paged]
     }
 
     #[test]
     fn rows_are_clustered() {
-        let t = table();
-        let keys: Vec<i64> = t
-            .rows()
-            .iter()
-            .map(|r| match r[0] {
-                Value::Int(i) => i,
-                _ => panic!(),
-            })
-            .collect();
-        assert_eq!(keys, vec![1, 3, 3, 5, 9]);
-        // Secondary column also ordered within equal keys.
-        assert_eq!(t.rows()[1][1], Value::Text("b".into()));
+        for t in tables() {
+            let keys: Vec<i64> = t
+                .rows()
+                .iter()
+                .map(|r| match r[0] {
+                    Value::Int(i) => i,
+                    _ => panic!(),
+                })
+                .collect();
+            assert_eq!(keys, vec![1, 3, 3, 5, 9]);
+            // Secondary column also ordered within equal keys.
+            assert_eq!(t.rows()[1][1], Value::Text("b".into()));
+        }
     }
 
     #[test]
     fn seek_equality() {
-        let t = table();
-        let three = Value::Int(3);
-        let hits = t.seek_leading(Bound::Included(&three), Bound::Included(&three));
-        assert_eq!(hits.len(), 2);
+        for t in tables() {
+            let three = Value::Int(3);
+            let hits = t
+                .seek_leading(Bound::Included(&three), Bound::Included(&three))
+                .unwrap();
+            assert_eq!(hits.len(), 2);
+        }
     }
 
     #[test]
     fn seek_range() {
-        let t = table();
-        let lo = Value::Int(3);
-        let hits = t.seek_leading(Bound::Excluded(&lo), Bound::Unbounded);
-        assert_eq!(hits.len(), 2); // 5 and 9
-        let hi = Value::Int(5);
-        let hits = t.seek_leading(Bound::Unbounded, Bound::Excluded(&hi));
-        assert_eq!(hits.len(), 3); // 1, 3, 3
+        for t in tables() {
+            let lo = Value::Int(3);
+            let hits = t.seek_leading(Bound::Excluded(&lo), Bound::Unbounded).unwrap();
+            assert_eq!(hits.len(), 2); // 5 and 9
+            let hi = Value::Int(5);
+            let hits = t.seek_leading(Bound::Unbounded, Bound::Excluded(&hi)).unwrap();
+            assert_eq!(hits.len(), 3); // 1, 3, 3
+        }
     }
 
     #[test]
     fn seek_missing_key() {
-        let t = table();
-        let four = Value::Int(4);
-        assert!(t
-            .seek_leading(Bound::Included(&four), Bound::Included(&four))
-            .is_empty());
+        for t in tables() {
+            let four = Value::Int(4);
+            assert!(t
+                .seek_leading(Bound::Included(&four), Bound::Included(&four))
+                .unwrap()
+                .is_empty());
+        }
     }
 
     #[test]
     fn seek_empty_table() {
-        let t = Table::new("e", Schema::from_pairs([("k", DataType::Int)]), vec![]);
+        let layer = StorageLayer::temp(0).unwrap();
+        let schema = Schema::from_pairs([("k", DataType::Int)]);
         let one = Value::Int(1);
-        assert!(t
-            .seek_leading(Bound::Included(&one), Bound::Unbounded)
-            .is_empty());
+        for t in [
+            Table::new("e", schema.clone(), vec![]),
+            Table::new_paged("e", schema, vec![], &layer).unwrap(),
+        ] {
+            assert!(t
+                .seek_leading(Bound::Included(&one), Bound::Unbounded)
+                .unwrap()
+                .is_empty());
+        }
     }
 
     #[test]
-    fn estimated_bytes_positive() {
-        assert!(table().estimated_bytes() > 0);
+    fn into_paged_preserves_contents_and_accounting() {
+        let mem = Table::new("t", schema(), rows());
+        let bytes = mem.estimated_bytes();
+        assert!(bytes > 0);
+        let layer = StorageLayer::temp(0).unwrap();
+        let paged = mem.clone().into_paged(&layer).unwrap();
+        assert_eq!(paged.estimated_bytes(), bytes);
+        assert_eq!(paged.rows(), mem.rows());
+        assert_eq!(paged.row_count(), mem.row_count());
+    }
+
+    #[test]
+    fn into_paged_rebuilds_on_a_different_layer() {
+        let mem = Table::new("t", schema(), rows());
+        let a = StorageLayer::temp(0).unwrap();
+        let b = StorageLayer::temp(0).unwrap();
+        let on_a = mem.clone().into_paged(&a).unwrap();
+
+        // Same layer: the backing is reused untouched.
+        let same = on_a.clone().into_paged(&a).unwrap();
+        assert!(Arc::ptr_eq(same.paged().unwrap().layer(), &a));
+
+        // Different layer: the table is rematerialized into `b`'s pool,
+        // not left pointing at `a` — re-creating tables after a storage
+        // switch must actually move them.
+        let on_b = on_a.into_paged(&b).unwrap();
+        assert!(Arc::ptr_eq(on_b.paged().unwrap().layer(), &b));
+        assert_eq!(on_b.rows(), mem.rows());
     }
 }

@@ -15,6 +15,10 @@ use std::path::PathBuf;
 /// any size heuristics and a small dimension table.
 fn fixture_engine() -> Engine {
     let mut e = Engine::new();
+    // Pin the in-memory backing regardless of `SQLSHARE_PAGED`: these
+    // snapshots fix the planner's shape for memory-resident tables, and
+    // paged backings add Index Seek alternatives with their own golden.
+    e.set_storage(None);
     e.create_table(Table::new(
         "orders",
         Schema::from_pairs([
@@ -144,6 +148,33 @@ fn parallel_aggregate_plan_snapshot() {
         gather.get("logicalOp").and_then(|o| o.as_str()),
         Some("Gather Streams")
     );
+}
+
+#[test]
+fn index_seek_plan_snapshot() {
+    // Same fixture over a paged backing (attached explicitly, so the
+    // snapshot is identical with and without `SQLSHARE_PAGED`): a
+    // sargable predicate on a non-leading column plans as an Index Seek
+    // through the column's secondary B-tree.
+    let mut e = fixture_engine();
+    let layer = sqlshare_engine::StorageLayer::temp(4 << 20).unwrap();
+    e.set_storage(Some(layer));
+    let orders = e.catalog().table("orders").unwrap().clone();
+    e.drop_relation("orders");
+    e.create_table(orders).unwrap();
+    e.set_max_dop(1);
+    let json = assert_golden(
+        "index_seek",
+        "SELECT id FROM orders WHERE amount > 10.0",
+        &e,
+    );
+    let mut nodes = Vec::new();
+    walk(&json, &mut nodes);
+    let ops: Vec<&str> = nodes
+        .iter()
+        .filter_map(|n| n.get("physicalOp").and_then(|o| o.as_str()))
+        .collect();
+    assert!(ops.contains(&"Index Seek"), "ops: {ops:?}");
 }
 
 #[test]

@@ -234,11 +234,8 @@ mod tests {
         .unwrap();
         assert_eq!(report.padded_rows, 2);
         assert_eq!(table.row_count(), 3);
-        let short = table
-            .rows()
-            .iter()
-            .find(|r| r[0] == Value::Int(6))
-            .unwrap();
+        let rows = table.rows();
+        let short = rows.iter().find(|r| r[0] == Value::Int(6)).unwrap();
         assert!(short[1].is_null() && short[2].is_null());
     }
 

@@ -1,0 +1,545 @@
+//! Byte-keyed B-trees over buffer-pool pages.
+//!
+//! Secondary indexes for paged tables: keys are opaque byte strings
+//! (the engine's order-preserving value encoding), values are `u64` row
+//! ordinals. Nodes live in slotted pages fetched and written through
+//! the shared [`BufferPool`], so index probes are honest page-level
+//! operations subject to the same residency budget as table data.
+//!
+//! Node layout (user header byte 0 is the kind):
+//!
+//! * **Leaf** (`kind 1`): cells are `[value u64 LE][key bytes]` in key
+//!   order; header bytes 4..8 hold `right sibling page + 1` (0 = none)
+//!   so range scans walk the leaf chain.
+//! * **Internal** (`kind 2`): cells are `[child u32 LE][separator key]`;
+//!   header bytes 4..8 hold the leftmost child. Child `i` covers keys
+//!   `≤ keys[i]` (`≥ keys[i-1]`): new entries equal to a separator go
+//!   to the right subtree, but a leaf split through a run of duplicates
+//!   can leave entries *equal* to the separator in the left child, so
+//!   readers seeking an inclusive lower bound descend before the first
+//!   separator equal to it.
+//!
+//! Duplicate keys are allowed (equal keys insert after existing ones,
+//! so duplicates come back in insertion order). Deletes are leaf-only
+//! with no rebalancing — underfull leaves are fine for this workload
+//! (the engine never deletes; the delete path exists for the oracle
+//! proptest). With duplicate keys, `delete` removes the leftmost equal
+//! entry — the earliest-inserted duplicate.
+//!
+//! Mutation materializes a node (`Vec` of keys), edits it, and
+//! re-encodes it into a fresh page — no in-place page surgery. Splits
+//! propagate separators up recursively; a root split grows the tree by
+//! one level.
+
+use crate::buffer_pool::BufferPool;
+use crate::page::{Page, PAGE_HEADER, PAGE_SIZE, SLOT_SIZE};
+use crate::pagefile::PageFile;
+use crate::IoCounter;
+use sqlshare_common::{Error, Result};
+use std::ops::Bound;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Largest accepted key. Callers (the engine) truncate their encoded
+/// keys to a fixed prefix well below this.
+pub const MAX_KEY: usize = 1024;
+
+const KIND_LEAF: u8 = 1;
+const KIND_INTERNAL: u8 = 2;
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        keys: Vec<Vec<u8>>,
+        vals: Vec<u64>,
+        right: Option<u32>,
+    },
+    Internal {
+        keys: Vec<Vec<u8>>,
+        /// `children.len() == keys.len() + 1`.
+        children: Vec<u32>,
+    },
+}
+
+impl Node {
+    fn encoded_size(&self) -> usize {
+        match self {
+            Node::Leaf { keys, .. } => {
+                PAGE_HEADER + keys.iter().map(|k| SLOT_SIZE + 8 + k.len()).sum::<usize>()
+            }
+            Node::Internal { keys, .. } => {
+                PAGE_HEADER + keys.iter().map(|k| SLOT_SIZE + 4 + k.len()).sum::<usize>()
+            }
+        }
+    }
+
+    fn encode(&self) -> Page {
+        let mut page = Page::new();
+        match self {
+            Node::Leaf { keys, vals, right } => {
+                page.set_user_header(leaf_header(*right));
+                for (k, v) in keys.iter().zip(vals) {
+                    let mut cell = Vec::with_capacity(8 + k.len());
+                    cell.extend_from_slice(&v.to_le_bytes());
+                    cell.extend_from_slice(k);
+                    page.push(&cell).expect("leaf node fits its page");
+                }
+            }
+            Node::Internal { keys, children } => {
+                let mut h = [0u8; 8];
+                h[0] = KIND_INTERNAL;
+                h[4..8].copy_from_slice(&children[0].to_le_bytes());
+                page.set_user_header(h);
+                for (i, k) in keys.iter().enumerate() {
+                    let mut cell = Vec::with_capacity(4 + k.len());
+                    cell.extend_from_slice(&children[i + 1].to_le_bytes());
+                    cell.extend_from_slice(k);
+                    page.push(&cell).expect("internal node fits its page");
+                }
+            }
+        }
+        page
+    }
+
+    fn decode(page: &Page) -> Result<Node> {
+        let h = page.user_header();
+        match h[0] {
+            KIND_LEAF => {
+                let right_raw = u32::from_le_bytes(h[4..8].try_into().unwrap());
+                let mut keys = Vec::with_capacity(page.slot_count());
+                let mut vals = Vec::with_capacity(page.slot_count());
+                for i in 0..page.slot_count() {
+                    let cell = page.cell(i);
+                    vals.push(u64::from_le_bytes(cell[..8].try_into().unwrap()));
+                    keys.push(cell[8..].to_vec());
+                }
+                Ok(Node::Leaf {
+                    keys,
+                    vals,
+                    right: right_raw.checked_sub(1),
+                })
+            }
+            KIND_INTERNAL => {
+                let mut keys = Vec::with_capacity(page.slot_count());
+                let mut children = Vec::with_capacity(page.slot_count() + 1);
+                children.push(u32::from_le_bytes(h[4..8].try_into().unwrap()));
+                for i in 0..page.slot_count() {
+                    let cell = page.cell(i);
+                    children.push(u32::from_le_bytes(cell[..4].try_into().unwrap()));
+                    keys.push(cell[4..].to_vec());
+                }
+                Ok(Node::Internal { keys, children })
+            }
+            kind => Err(Error::Internal(format!("btree: bad node kind {kind}"))),
+        }
+    }
+}
+
+fn leaf_header(right: Option<u32>) -> [u8; 8] {
+    let mut h = [0u8; 8];
+    h[0] = KIND_LEAF;
+    h[4..8].copy_from_slice(&right.map_or(0, |r| r + 1).to_le_bytes());
+    h
+}
+
+/// A B-tree index mapping byte keys to `u64` values.
+#[derive(Debug)]
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    file: Arc<PageFile>,
+    file_id: u64,
+    root: u32,
+    entries: u64,
+}
+
+impl BTree {
+    /// Create an empty tree backed by a new page file at `path`.
+    pub fn create(pool: Arc<BufferPool>, path: &Path, io: IoCounter) -> Result<BTree> {
+        let file = Arc::new(PageFile::create(path, io)?);
+        let file_id = pool.register(Arc::clone(&file));
+        let root = file.allocate();
+        let empty = Node::Leaf {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            right: None,
+        };
+        pool.put(file_id, root, Arc::new(empty.encode()))?;
+        Ok(BTree {
+            pool,
+            file,
+            file_id,
+            root,
+            entries: 0,
+        })
+    }
+
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    pub fn page_count(&self) -> u32 {
+        self.file.page_count()
+    }
+
+    fn read(&self, no: u32) -> Result<Node> {
+        let page = self.pool.fetch(self.file_id, no)?;
+        Node::decode(&page)
+    }
+
+    fn write(&self, no: u32, node: &Node) -> Result<()> {
+        self.pool.put(self.file_id, no, Arc::new(node.encode()))
+    }
+
+    /// Insert `key → val`. Equal keys are kept (after existing ones).
+    pub fn insert(&mut self, key: &[u8], val: u64) -> Result<()> {
+        if key.len() > MAX_KEY {
+            return Err(Error::Internal(format!(
+                "btree: key of {} bytes exceeds MAX_KEY={MAX_KEY}",
+                key.len()
+            )));
+        }
+        if let Some((sep, right)) = self.insert_rec(self.root, key, val)? {
+            let new_root = self.file.allocate();
+            let node = Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            };
+            self.write(new_root, &node)?;
+            self.root = new_root;
+        }
+        self.entries += 1;
+        Ok(())
+    }
+
+    /// Returns `Some((separator, new_right_page))` when `no` split.
+    fn insert_rec(&mut self, no: u32, key: &[u8], val: u64) -> Result<Option<(Vec<u8>, u32)>> {
+        match self.read(no)? {
+            Node::Leaf {
+                mut keys,
+                mut vals,
+                right,
+            } => {
+                let pos = keys.partition_point(|k| k.as_slice() <= key);
+                keys.insert(pos, key.to_vec());
+                vals.insert(pos, val);
+                let node = Node::Leaf { keys, vals, right };
+                if node.encoded_size() <= PAGE_SIZE {
+                    self.write(no, &node)?;
+                    return Ok(None);
+                }
+                let Node::Leaf {
+                    mut keys,
+                    mut vals,
+                    right,
+                } = node
+                else {
+                    unreachable!()
+                };
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid);
+                let right_vals = vals.split_off(mid);
+                let sep = right_keys[0].clone();
+                let new_no = self.file.allocate();
+                self.write(
+                    new_no,
+                    &Node::Leaf {
+                        keys: right_keys,
+                        vals: right_vals,
+                        right,
+                    },
+                )?;
+                self.write(
+                    no,
+                    &Node::Leaf {
+                        keys,
+                        vals,
+                        right: Some(new_no),
+                    },
+                )?;
+                Ok(Some((sep, new_no)))
+            }
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
+                let idx = keys.partition_point(|k| k.as_slice() <= key);
+                if let Some((sep, new_child)) = self.insert_rec(children[idx], key, val)? {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, new_child);
+                }
+                let node = Node::Internal { keys, children };
+                if node.encoded_size() <= PAGE_SIZE {
+                    self.write(no, &node)?;
+                    return Ok(None);
+                }
+                let Node::Internal {
+                    mut keys,
+                    mut children,
+                } = node
+                else {
+                    unreachable!()
+                };
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid + 1);
+                let sep = keys.pop().expect("split node has a middle key");
+                let right_children = children.split_off(mid + 1);
+                let new_no = self.file.allocate();
+                self.write(
+                    new_no,
+                    &Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    },
+                )?;
+                self.write(no, &Node::Internal { keys, children })?;
+                Ok(Some((sep, new_no)))
+            }
+        }
+    }
+
+    /// Remove the leftmost entry with exactly `key` (the
+    /// earliest-inserted duplicate). Leaf-only, no rebalancing; returns
+    /// whether an entry was removed.
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        // Descend before any separator equal to `key`: a split can leave
+        // equal entries in the left child.
+        let mut no = self.root;
+        loop {
+            match self.read(no)? {
+                Node::Internal { keys, children } => {
+                    no = children[keys.partition_point(|k| k.as_slice() < key)];
+                }
+                Node::Leaf {
+                    mut keys,
+                    mut vals,
+                    right,
+                } => {
+                    let pos = keys.partition_point(|k| k.as_slice() < key);
+                    if keys.get(pos).map(Vec::as_slice) == Some(key) {
+                        keys.remove(pos);
+                        vals.remove(pos);
+                        self.write(no, &Node::Leaf { keys, vals, right })?;
+                        self.entries -= 1;
+                        return Ok(true);
+                    }
+                    // Everything here sorts below `key`: equal entries
+                    // may still live in the right sibling (duplicate
+                    // runs span splits). Past the first key above
+                    // `key`, the search is over.
+                    if pos < keys.len() {
+                        return Ok(false);
+                    }
+                    match right {
+                        Some(r) => no = r,
+                        None => return Ok(false),
+                    }
+                }
+            }
+        }
+    }
+
+    /// All values whose key falls within the bounds, in key order
+    /// (insertion order among duplicates).
+    pub fn range(&self, lower: Bound<&[u8]>, upper: Bound<&[u8]>) -> Result<Vec<u64>> {
+        let lower_ok = |k: &[u8]| match lower {
+            Bound::Unbounded => true,
+            Bound::Included(l) => k >= l,
+            Bound::Excluded(l) => k > l,
+        };
+        let upper_ok = |k: &[u8]| match upper {
+            Bound::Unbounded => true,
+            Bound::Included(u) => k <= u,
+            Bound::Excluded(u) => k < u,
+        };
+        // Descend toward the first leaf that can contain an in-range key.
+        let mut no = self.root;
+        while let Node::Internal { keys, children } = self.read(no)? {
+            no = match lower {
+                Bound::Unbounded => children[0],
+                // Inclusive bounds descend *before* a separator equal
+                // to `l`: a leaf split through a run of duplicates can
+                // leave equal entries in the left child.
+                Bound::Included(l) => children[keys.partition_point(|k| k.as_slice() < l)],
+                Bound::Excluded(l) => children[keys.partition_point(|k| k.as_slice() <= l)],
+            };
+        }
+        let mut out = Vec::new();
+        loop {
+            let Node::Leaf { keys, vals, right } = self.read(no)? else {
+                return Err(Error::Internal("btree: leaf chain hit an internal node".into()));
+            };
+            for (k, v) in keys.iter().zip(&vals) {
+                if !upper_ok(k) {
+                    return Ok(out); // keys sorted: nothing later qualifies
+                }
+                if lower_ok(k) {
+                    out.push(*v);
+                }
+            }
+            match right {
+                Some(r) => no = r,
+                None => return Ok(out),
+            }
+        }
+    }
+
+    /// Write all dirty index pages back to disk.
+    pub fn flush(&self) -> Result<()> {
+        self.pool.flush_file(self.file_id)
+    }
+}
+
+impl Drop for BTree {
+    fn drop(&mut self) {
+        self.pool.drop_file(self.file_id);
+        self.file.remove();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FsyncPolicy;
+    use std::collections::BTreeMap;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sqlshare-btree-{}-{}-{}",
+            std::process::id(),
+            tag,
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("t.ix")
+    }
+
+    fn tree(tag: &str, pool_bytes: usize) -> BTree {
+        let pool = Arc::new(BufferPool::new(pool_bytes, FsyncPolicy::Off));
+        BTree::create(pool, &temp_path(tag), IoCounter::new()).unwrap()
+    }
+
+    fn all(t: &BTree) -> Vec<u64> {
+        t.range(Bound::Unbounded, Bound::Unbounded).unwrap()
+    }
+
+    #[test]
+    fn insert_and_range_across_many_splits() {
+        let mut t = tree("splits", PAGE_SIZE * 64);
+        // Insert in pathological (descending) order; keys are sized to
+        // force multi-level splits.
+        let n = 3000u64;
+        for i in (0..n).rev() {
+            let key = format!("key-{i:08}-{}", "p".repeat(48));
+            t.insert(key.as_bytes(), i).unwrap();
+        }
+        assert_eq!(t.entries(), n);
+        assert!(t.page_count() > 10, "expected real splits");
+        assert_eq!(all(&t), (0..n).collect::<Vec<_>>());
+        // Sub-range.
+        let lo = format!("key-{:08}-{}", 100, "p".repeat(48));
+        let hi = format!("key-{:08}-{}", 110, "p".repeat(48));
+        let got = t
+            .range(Bound::Included(lo.as_bytes()), Bound::Excluded(hi.as_bytes()))
+            .unwrap();
+        assert_eq!(got, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicates_come_back_in_insertion_order() {
+        let mut t = tree("dups", PAGE_SIZE * 16);
+        for i in 0..200u64 {
+            t.insert(b"same", i).unwrap();
+            t.insert(b"other", 1000 + i).unwrap();
+        }
+        let got = t
+            .range(Bound::Included(b"same".as_slice()), Bound::Included(b"same".as_slice()))
+            .unwrap();
+        assert_eq!(got, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn delete_removes_single_entries() {
+        let mut t = tree("del", PAGE_SIZE * 16);
+        for i in 0..100u64 {
+            t.insert(format!("k{i:03}").as_bytes(), i).unwrap();
+        }
+        assert!(t.delete(b"k050").unwrap());
+        assert!(!t.delete(b"k050").unwrap());
+        assert!(!t.delete(b"missing").unwrap());
+        assert_eq!(t.entries(), 99);
+        let got = all(&t);
+        assert_eq!(got.len(), 99);
+        assert!(!got.contains(&50));
+    }
+
+    #[test]
+    fn oversized_key_is_rejected() {
+        let mut t = tree("big", PAGE_SIZE * 8);
+        assert!(t.insert(&vec![0u8; MAX_KEY + 1], 1).is_err());
+        assert!(t.insert(&vec![0u8; MAX_KEY], 1).is_ok());
+    }
+
+    #[test]
+    fn works_under_a_minimal_buffer_pool() {
+        // 8 frames for a tree much larger than that: every probe churns
+        // the pool, results must still be exact.
+        let mut t = tree("thrash", 0);
+        let n = 1500u64;
+        for i in 0..n {
+            t.insert(format!("{:06}", (i * 7919) % n).as_bytes(), i).unwrap();
+        }
+        let got = t.range(
+            Bound::Included(b"000100".as_slice()),
+            Bound::Excluded(b"000200".as_slice()),
+        );
+        let got = got.unwrap();
+        assert_eq!(got.len(), 100);
+        assert_eq!(all(&t).len(), n as usize);
+    }
+
+    #[test]
+    fn matches_btreemap_oracle_on_mixed_operations() {
+        // Deterministic pseudo-random workload vs the standard-library
+        // oracle (the full proptest lives in tests/; this is the quick
+        // in-crate version).
+        let mut t = tree("oracle", PAGE_SIZE * 32);
+        let mut oracle: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..4000u64 {
+            let r = next();
+            let key = format!("{:04}", r % 500).into_bytes();
+            let present = oracle.contains_key(&key);
+            if r % 3 == 0 && present {
+                assert!(t.delete(&key).unwrap(), "delete {i}");
+                oracle.remove(&key);
+            } else if !present {
+                t.insert(&key, i).unwrap();
+                oracle.insert(key, i);
+            }
+            if i % 500 == 0 {
+                let lo = format!("{:04}", next() % 500).into_bytes();
+                let hi = format!("{:04}", next() % 500).into_bytes();
+                let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+                let got = t
+                    .range(Bound::Included(&lo[..]), Bound::Excluded(&hi[..]))
+                    .unwrap();
+                let want: Vec<u64> = oracle
+                    .range::<Vec<u8>, _>((Bound::Included(&lo), Bound::Excluded(&hi)))
+                    .map(|(_, v)| *v)
+                    .collect();
+                assert_eq!(got, want, "range at {i}");
+            }
+        }
+        let want: Vec<u64> = oracle.values().copied().collect();
+        assert_eq!(all(&t), want);
+    }
+}

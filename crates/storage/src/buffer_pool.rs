@@ -1,0 +1,407 @@
+//! A bounded buffer pool with clock eviction and dirty-page writeback.
+//!
+//! All paged I/O goes through one pool per storage layer: heap data
+//! pages, overflow chains, B-tree nodes, and spill partitions share the
+//! same budget (`SQLSHARE_BUFFER_POOL_MB` upstream). Frames hold
+//! `Arc<Page>` images; a page is **pinned** exactly while a caller holds
+//! a clone of the `Arc` (strong count > 1), so there is no explicit
+//! unpin call to forget — dropping the reference unpins. Eviction runs
+//! the clock algorithm: each frame has a referenced bit set on access;
+//! the hand clears bits and evicts the first unpinned, unreferenced
+//! frame, writing it back first if dirty.
+//!
+//! Writeback durability follows the layer's [`FsyncPolicy`]: explicit
+//! [`BufferPool::flush_file`] calls fsync unless the policy is `Off`.
+//! Page files are derived data (rebuilt from WAL/snapshot recovery), so
+//! eviction writeback itself does not fsync — the WAL remains the
+//! authority for acknowledged mutations, and a lost page write can at
+//! worst produce a checksum error that re-surfaces as a query error.
+//!
+//! When every frame is pinned and the pool is full, the pool degrades
+//! to pass-through: reads return uncached pages, writes go straight to
+//! the file. Queries never fail for lack of frames; they just lose the
+//! cache.
+//!
+//! Concurrency: one mutex around the frame table, held across disk I/O.
+//! That serializes misses, which is the honest v1 trade-off — the
+//! morsel-parallel paths read through pinned `Arc<Page>`s they already
+//! hold, so the lock only gates cold reads.
+
+use crate::page::Page;
+use crate::pagefile::PageFile;
+use crate::FsyncPolicy;
+use sqlshare_common::Result;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Snapshot of pool counters for `/api/storage` and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Maximum resident frames.
+    pub capacity_pages: u64,
+    /// Frames currently resident.
+    pub resident_pages: u64,
+    /// Fetches served from a resident frame.
+    pub hits: u64,
+    /// Fetches that had to read the page file.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty pages written back (eviction, flush, or pass-through).
+    pub writebacks: u64,
+}
+
+impl PoolStats {
+    /// Hit fraction in `[0, 1]`; 1.0 for an untouched pool.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: Arc<Page>,
+    referenced: bool,
+    dirty: bool,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    files: HashMap<u64, Arc<PageFile>>,
+    next_file: u64,
+    frames: HashMap<(u64, u32), Frame>,
+    /// Clock ring of frame keys; `hand` indexes into it.
+    ring: Vec<(u64, u32)>,
+    hand: usize,
+}
+
+/// The shared, bounded page cache.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    fsync: FsyncPolicy,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+}
+
+impl BufferPool {
+    /// Pool bounded at `capacity_bytes` of resident pages (minimum 8
+    /// frames so tiny configurations still function).
+    pub fn new(capacity_bytes: usize, fsync: FsyncPolicy) -> BufferPool {
+        BufferPool {
+            capacity: (capacity_bytes / crate::page::PAGE_SIZE).max(8),
+            fsync,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            writebacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Register a page file; all pool traffic addresses it by the
+    /// returned id.
+    pub fn register(&self, file: Arc<PageFile>) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let id = inner.next_file;
+        inner.next_file += 1;
+        inner.files.insert(id, file);
+        id
+    }
+
+    /// Forget a file: discard its frames without writeback (the caller
+    /// is deleting the file) and unregister it.
+    pub fn drop_file(&self, file: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.files.remove(&file);
+        inner.frames.retain(|k, _| k.0 != file);
+        inner.ring.retain(|k| k.0 != file);
+        inner.hand = 0;
+    }
+
+    /// Fetch a page, reading through on a miss. The returned `Arc` pins
+    /// the frame until dropped.
+    pub fn fetch(&self, file: u64, no: u32) -> Result<Arc<Page>> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(frame) = inner.frames.get_mut(&(file, no)) {
+            frame.referenced = true;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&frame.page));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let pf = Arc::clone(inner.files.get(&file).ok_or_else(|| {
+            sqlshare_common::Error::Internal(format!("buffer pool: unknown file {file}"))
+        })?);
+        let page = Arc::new(pf.read_page(no)?);
+        if self.admit(&mut inner) {
+            inner.frames.insert(
+                (file, no),
+                Frame {
+                    page: Arc::clone(&page),
+                    referenced: true,
+                    dirty: false,
+                },
+            );
+            inner.ring.push((file, no));
+        }
+        Ok(page)
+    }
+
+    /// Install a freshly built (dirty) page image. It reaches disk on
+    /// eviction or [`BufferPool::flush_file`]; if the pool is full of
+    /// pinned frames it is written through immediately.
+    pub fn put(&self, file: u64, no: u32, page: Arc<Page>) -> Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(frame) = inner.frames.get_mut(&(file, no)) {
+            frame.page = page;
+            frame.referenced = true;
+            frame.dirty = true;
+            return Ok(());
+        }
+        if self.admit(&mut inner) {
+            inner.frames.insert(
+                (file, no),
+                Frame {
+                    page,
+                    referenced: true,
+                    dirty: true,
+                },
+            );
+            inner.ring.push((file, no));
+            Ok(())
+        } else {
+            // Pass-through: everything resident is pinned.
+            let pf = Arc::clone(inner.files.get(&file).ok_or_else(|| {
+                sqlshare_common::Error::Internal(format!("buffer pool: unknown file {file}"))
+            })?);
+            self.writebacks.fetch_add(1, Ordering::Relaxed);
+            pf.write_page(no, &page)
+        }
+    }
+
+    /// Write back every dirty frame of `file` and fsync it (unless the
+    /// policy is [`FsyncPolicy::Off`]).
+    pub fn flush_file(&self, file: u64) -> Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(pf) = inner.files.get(&file).map(Arc::clone) else {
+            return Ok(());
+        };
+        let mut dirty_keys: Vec<(u64, u32)> = inner
+            .frames
+            .iter()
+            .filter(|(k, f)| k.0 == file && f.dirty)
+            .map(|(k, _)| *k)
+            .collect();
+        dirty_keys.sort_unstable_by_key(|k| k.1);
+        for key in dirty_keys {
+            let frame = inner.frames.get_mut(&key).unwrap();
+            self.writebacks.fetch_add(1, Ordering::Relaxed);
+            pf.write_page(key.1, &frame.page)?;
+            frame.dirty = false;
+        }
+        if self.fsync != FsyncPolicy::Off {
+            pf.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Make room for one more frame. Returns `false` when the pool is
+    /// full and every frame is pinned or perpetually referenced.
+    fn admit(&self, inner: &mut Inner) -> bool {
+        while inner.frames.len() >= self.capacity {
+            if !self.evict_one(inner) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn evict_one(&self, inner: &mut Inner) -> bool {
+        // Two full sweeps: the first may only clear referenced bits.
+        for _ in 0..inner.ring.len() * 2 {
+            if inner.ring.is_empty() {
+                return false;
+            }
+            if inner.hand >= inner.ring.len() {
+                inner.hand = 0;
+            }
+            let key = inner.ring[inner.hand];
+            let frame = inner.frames.get_mut(&key).unwrap();
+            if Arc::strong_count(&frame.page) > 1 {
+                inner.hand += 1; // pinned
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                inner.hand += 1;
+                continue;
+            }
+            if frame.dirty {
+                if let Some(pf) = inner.files.get(&key.0) {
+                    self.writebacks.fetch_add(1, Ordering::Relaxed);
+                    if pf.write_page(key.1, &frame.page).is_err() {
+                        // Can't persist it; skip rather than lose data.
+                        inner.hand += 1;
+                        continue;
+                    }
+                }
+            }
+            inner.frames.remove(&key);
+            inner.ring.remove(inner.hand);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.lock().unwrap();
+        PoolStats {
+            capacity_pages: self.capacity as u64,
+            resident_pages: inner.frames.len() as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PAGE_SIZE;
+    use crate::IoCounter;
+    use std::path::PathBuf;
+
+    fn temp_file(tag: &str) -> PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sqlshare-pool-{}-{}-{}",
+            std::process::id(),
+            tag,
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("t.pages")
+    }
+
+    fn page_with(tag: u8) -> Arc<Page> {
+        let mut p = Page::new();
+        p.push(&[tag; 32]).unwrap();
+        Arc::new(p)
+    }
+
+    #[test]
+    fn fetch_hits_after_put() {
+        let pool = BufferPool::new(PAGE_SIZE * 16, FsyncPolicy::Off);
+        let pf = Arc::new(PageFile::create(&temp_file("hit"), IoCounter::new()).unwrap());
+        let fid = pool.register(Arc::clone(&pf));
+        let no = pf.allocate();
+        pool.put(fid, no, page_with(1)).unwrap();
+        let got = pool.fetch(fid, no).unwrap();
+        assert_eq!(got.cell(0), &[1u8; 32]);
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 0);
+    }
+
+    #[test]
+    fn eviction_bounds_residency_and_writes_back() {
+        // 8-frame pool (minimum), 32 pages: residency must stay ≤ 8 and
+        // every page must read back correctly through eviction churn.
+        let io = IoCounter::new();
+        let pool = BufferPool::new(0, FsyncPolicy::Off);
+        let pf = Arc::new(PageFile::create(&temp_file("evict"), io.clone()).unwrap());
+        let fid = pool.register(Arc::clone(&pf));
+        let pages = 32u8;
+        for tag in 0..pages {
+            let no = pf.allocate();
+            assert_eq!(no, tag as u32);
+            pool.put(fid, no, page_with(tag)).unwrap();
+        }
+        assert!(pool.stats().resident_pages <= 8);
+        assert!(pool.stats().evictions >= (pages as u64) - 8);
+        for tag in 0..pages {
+            let got = pool.fetch(fid, tag as u32).unwrap();
+            assert_eq!(got.cell(0), &[tag; 32], "page {tag}");
+            assert!(pool.stats().resident_pages <= 8);
+        }
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let pool = BufferPool::new(0, FsyncPolicy::Off); // 8 frames
+        let pf = Arc::new(PageFile::create(&temp_file("pin"), IoCounter::new()).unwrap());
+        let fid = pool.register(Arc::clone(&pf));
+        let pinned_no = pf.allocate();
+        pool.put(fid, pinned_no, page_with(0xAA)).unwrap();
+        let pinned = pool.fetch(fid, pinned_no).unwrap(); // hold the pin
+        for tag in 1..40u8 {
+            let no = pf.allocate();
+            pool.put(fid, no, page_with(tag)).unwrap();
+        }
+        // The pinned frame was never evicted: fetching it is a hit.
+        let hits_before = pool.stats().hits;
+        let again = pool.fetch(fid, pinned_no).unwrap();
+        assert_eq!(pool.stats().hits, hits_before + 1);
+        assert_eq!(again.cell(0), pinned.cell(0));
+    }
+
+    #[test]
+    fn full_pool_of_pins_degrades_to_pass_through() {
+        let pool = BufferPool::new(0, FsyncPolicy::Off); // 8 frames
+        let pf = Arc::new(PageFile::create(&temp_file("pass"), IoCounter::new()).unwrap());
+        let fid = pool.register(Arc::clone(&pf));
+        let mut pins = Vec::new();
+        for tag in 0..8u8 {
+            let no = pf.allocate();
+            pool.put(fid, no, page_with(tag)).unwrap();
+            pins.push(pool.fetch(fid, no).unwrap());
+        }
+        // Ninth page: everything is pinned, so this write passes through
+        // and the page is still readable (uncached).
+        let no = pf.allocate();
+        pool.put(fid, no, page_with(0xEE)).unwrap();
+        let got = pool.fetch(fid, no).unwrap();
+        assert_eq!(got.cell(0), &[0xEE; 32]);
+        assert_eq!(pool.stats().resident_pages, 8);
+        drop(pins);
+    }
+
+    #[test]
+    fn flush_persists_dirty_frames() {
+        let path = temp_file("flush");
+        let pool = BufferPool::new(PAGE_SIZE * 16, FsyncPolicy::Batch);
+        let pf = Arc::new(PageFile::create(&path, IoCounter::new()).unwrap());
+        let fid = pool.register(Arc::clone(&pf));
+        let no = pf.allocate();
+        pool.put(fid, no, page_with(7)).unwrap();
+        pool.flush_file(fid).unwrap();
+        // Bypass the pool: the bytes must be on disk.
+        assert_eq!(pf.read_page(no).unwrap().cell(0), &[7u8; 32]);
+        assert!(pool.stats().writebacks >= 1);
+    }
+
+    #[test]
+    fn drop_file_discards_frames() {
+        let pool = BufferPool::new(PAGE_SIZE * 16, FsyncPolicy::Off);
+        let pf = Arc::new(PageFile::create(&temp_file("drop"), IoCounter::new()).unwrap());
+        let fid = pool.register(Arc::clone(&pf));
+        let no = pf.allocate();
+        pool.put(fid, no, page_with(3)).unwrap();
+        pool.drop_file(fid);
+        assert_eq!(pool.stats().resident_pages, 0);
+        assert!(pool.fetch(fid, no).is_err());
+    }
+}

@@ -6,7 +6,7 @@
 //! [`load_and_repair`] drops and truncates away so later appends extend
 //! a clean file.
 
-use crate::{count_io, FsyncPolicy};
+use crate::{FsyncPolicy, IoCounter};
 use sqlshare_common::json::{self, Json};
 use sqlshare_common::{Error, Result};
 use std::fs::{File, OpenOptions};
@@ -22,10 +22,15 @@ fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
 /// parsed documents and the number of bytes discarded. A missing file
 /// loads as empty.
 pub fn load_and_repair(path: &Path) -> Result<(Vec<Json>, u64)> {
+    load_and_repair_counted(path, &IoCounter::new())
+}
+
+/// [`load_and_repair`] recording its filesystem operations against `io`.
+pub fn load_and_repair_counted(path: &Path, io: &IoCounter) -> Result<(Vec<Json>, u64)> {
     if !path.exists() {
         return Ok((Vec::new(), 0));
     }
-    count_io();
+    io.bump();
     let mut bytes = Vec::new();
     File::open(path)
         .and_then(|mut f| f.read_to_end(&mut bytes))
@@ -49,7 +54,7 @@ pub fn load_and_repair(path: &Path) -> Result<(Vec<Json>, u64)> {
 
     let truncated = (bytes.len() - valid) as u64;
     if truncated > 0 {
-        count_io();
+        io.bump();
         OpenOptions::new()
             .write(true)
             .open(path)
@@ -66,6 +71,7 @@ pub struct JsonlAppender {
     file: File,
     policy: FsyncPolicy,
     since_sync: u64,
+    io: IoCounter,
 }
 
 impl JsonlAppender {
@@ -73,7 +79,16 @@ impl JsonlAppender {
     /// state should run [`load_and_repair`] first so appends extend a
     /// clean file.
     pub fn open(path: &Path, policy: FsyncPolicy) -> Result<JsonlAppender> {
-        count_io();
+        JsonlAppender::open_counted(path, policy, IoCounter::new())
+    }
+
+    /// [`JsonlAppender::open`] with a caller-supplied [`IoCounter`].
+    pub fn open_counted(
+        path: &Path,
+        policy: FsyncPolicy,
+        io: IoCounter,
+    ) -> Result<JsonlAppender> {
+        io.bump();
         let file = OpenOptions::new()
             .create(true)
             .append(true)
@@ -84,6 +99,7 @@ impl JsonlAppender {
             file,
             policy,
             since_sync: 0,
+            io,
         })
     }
 
@@ -95,7 +111,7 @@ impl JsonlAppender {
             "compact JSON serialization must be single-line"
         );
         line.push('\n');
-        count_io();
+        self.io.bump();
         self.file
             .write_all(line.as_bytes())
             .map_err(|e| io_err("write", &self.path, e))?;
@@ -105,7 +121,7 @@ impl JsonlAppender {
             FsyncPolicy::Off => false,
         };
         if want_sync {
-            count_io();
+            self.io.bump();
             self.file
                 .sync_data()
                 .map_err(|e| io_err("fsync", &self.path, e))?;

@@ -1,5 +1,6 @@
-//! Durable storage primitives: write-ahead log, atomic snapshots, and
-//! append-only JSONL segments.
+//! Storage primitives: write-ahead log, atomic snapshots, append-only
+//! JSONL segments, and the paged layer (slotted pages, buffer pool,
+//! heap files, B-trees).
 //!
 //! SQLShare ran for years as a public service; the value of such a
 //! service is the corpus that survives every crash and restart (§2–3 of
@@ -11,12 +12,19 @@
 //! snapshot and replays the WAL tail, truncating at the first torn or
 //! corrupt record.
 //!
+//! The paged layer ([`page`], [`pagefile`], [`buffer_pool`], [`heap`],
+//! [`btree`]) makes tables out-of-core: rows live in 8 KiB slotted
+//! pages on disk, a bounded [`buffer_pool::BufferPool`] keeps the hot
+//! set resident, and byte-keyed [`btree::BTree`]s provide secondary
+//! indexes. The engine builds on these through its `paged` module.
+//!
 //! Design rules:
 //!
 //! * **Ephemeral mode is zero-overhead.** Nothing in this crate runs
-//!   unless the service was opened with a data directory; every
-//!   filesystem touch increments [`io_ops`], which a regression test
-//!   asserts stays at zero for ephemeral services.
+//!   unless the service was opened with a data directory (or paging was
+//!   explicitly enabled); every filesystem touch increments the owning
+//!   store's [`IoCounter`], which regression tests assert stays at zero
+//!   for ephemeral services.
 //! * **Failed writes leave no trace.** A WAL append that fails (a real
 //!   I/O error, or an injected `FaultSite::WalAppend` /
 //!   `FaultSite::WalFsync` fault) truncates the file back to its
@@ -24,31 +32,62 @@
 //!   half-journaled — except under a simulated [`wal::CrashPoint`],
 //!   which deliberately leaves a torn tail the recovery scan must
 //!   tolerate.
+//! * **Torn writes are detected.** Every page carries an fnv64 checksum
+//!   over its payload, sealed on write and verified on read; WAL and
+//!   JSONL records are checksummed / reparseable the same way.
 //! * **No panics escape.** Fault-plan checks sit under `catch_unwind`;
 //!   storage failures surface as typed `Error`s.
 
+pub mod btree;
+pub mod buffer_pool;
+pub mod heap;
 pub mod jsonl;
+pub mod page;
+pub mod pagefile;
 pub mod snapshot;
 pub mod wal;
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+pub use btree::BTree;
+pub use buffer_pool::{BufferPool, PoolStats};
+pub use heap::HeapFile;
 pub use jsonl::JsonlAppender;
+pub use page::{Page, PAGE_SIZE};
+pub use pagefile::PageFile;
 pub use snapshot::SnapshotStore;
 pub use wal::{CrashPoint, Wal, WalScan};
 
-/// Process-wide count of filesystem operations performed by this crate.
-/// Exists so tests can assert that ephemeral services (no
-/// `SQLSHARE_DATA_DIR`) perform **no** storage I/O at all.
-static IO_OPS: AtomicU64 = AtomicU64::new(0);
+/// A shareable count of filesystem operations. Every store in this
+/// crate (WAL, snapshot store, JSONL appender, page file) owns one;
+/// callers that want an aggregate (e.g. "all durability I/O for this
+/// service") construct a single counter and thread it through the
+/// `*_counted` constructors. Per-store counters keep concurrent test
+/// binaries and unrelated subsystems from cross-contaminating counts —
+/// there is deliberately no process-global counter.
+#[derive(Debug, Clone, Default)]
+pub struct IoCounter(Arc<AtomicU64>);
 
-/// Filesystem operations performed by this crate since process start.
-pub fn io_ops() -> u64 {
-    IO_OPS.load(Ordering::Relaxed)
-}
+impl IoCounter {
+    pub fn new() -> IoCounter {
+        IoCounter::default()
+    }
 
-pub(crate) fn count_io() {
-    IO_OPS.fetch_add(1, Ordering::Relaxed);
+    /// Operations recorded so far.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (per-test isolation without a fresh store).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+
+    /// Record one filesystem operation.
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// When to force journal writes to stable storage
@@ -102,5 +141,16 @@ mod tests {
         assert_eq!(FsyncPolicy::parse(" BATCH "), Some(FsyncPolicy::Batch));
         assert_eq!(FsyncPolicy::parse("off"), Some(FsyncPolicy::Off));
         assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn io_counter_is_shared_and_resettable() {
+        let a = IoCounter::new();
+        let b = a.clone();
+        a.bump();
+        b.bump();
+        assert_eq!(a.get(), 2);
+        a.reset();
+        assert_eq!(b.get(), 0);
     }
 }

@@ -1,0 +1,212 @@
+//! Slotted 8 KiB pages with torn-write detection.
+//!
+//! Every on-disk page in the paged layer — heap data pages, overflow
+//! pages, B-tree nodes — uses the same layout:
+//!
+//! ```text
+//! bytes 0..2    slot count (u16 LE)
+//! bytes 2..4    cell-area start offset (u16 LE; cells grow downward)
+//! bytes 4..12   fnv64 checksum over bytes 12..8192 (u64 LE)
+//! bytes 12..20  user header (8 bytes, layer-specific: B-tree node kind,
+//!               sibling / leftmost-child pointers)
+//! bytes 20..    slot array, 4 bytes per slot (u16 offset, u16 length)
+//! ...free...
+//! bytes N..8192 cells, appended back-to-front
+//! ```
+//!
+//! The checksum is sealed by [`crate::pagefile::PageFile::write_page`]
+//! and verified on every read, so a torn page write (power loss mid
+//! 8 KiB write) surfaces as a typed error rather than silently decoded
+//! garbage. Cells are append-only: pages are built once and rewritten
+//! whole when they change (the B-tree materializes a node, mutates it,
+//! and re-encodes), which keeps the page format free of in-place
+//! compaction logic.
+
+use sqlshare_common::hash::fnv64;
+
+/// Size of every page on disk.
+pub const PAGE_SIZE: usize = 8192;
+/// Fixed header bytes before the slot array.
+pub const PAGE_HEADER: usize = 20;
+/// Bytes per slot-array entry.
+pub const SLOT_SIZE: usize = 4;
+/// Largest cell an empty page can hold.
+pub const MAX_CELL: usize = PAGE_SIZE - PAGE_HEADER - SLOT_SIZE;
+
+const CHECKSUM_RANGE: std::ops::Range<usize> = 4..12;
+
+/// One in-memory page image.
+#[derive(Clone)]
+pub struct Page {
+    buf: Box<[u8; PAGE_SIZE]>,
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("slots", &self.slot_count())
+            .field("free", &self.free_space())
+            .finish()
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page::new()
+    }
+}
+
+impl Page {
+    /// A fresh, empty page (cell area starts at the end).
+    pub fn new() -> Page {
+        let mut p = Page {
+            buf: Box::new([0u8; PAGE_SIZE]),
+        };
+        p.set_u16(2, PAGE_SIZE as u16);
+        p
+    }
+
+    /// Wrap raw bytes read from disk (checksum verification is the
+    /// caller's job — see [`Page::verify`]).
+    pub fn from_bytes(bytes: [u8; PAGE_SIZE]) -> Page {
+        Page {
+            buf: Box::new(bytes),
+        }
+    }
+
+    pub fn as_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.buf
+    }
+
+    fn u16_at(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.buf[off], self.buf[off + 1]])
+    }
+
+    fn set_u16(&mut self, off: usize, v: u16) {
+        self.buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn slot_count(&self) -> usize {
+        self.u16_at(0) as usize
+    }
+
+    fn cell_start(&self) -> usize {
+        self.u16_at(2) as usize
+    }
+
+    /// Contiguous free bytes between the slot array and the cell area.
+    pub fn free_space(&self) -> usize {
+        self.cell_start()
+            .saturating_sub(PAGE_HEADER + self.slot_count() * SLOT_SIZE)
+    }
+
+    /// Whether one more cell of `len` bytes fits.
+    pub fn can_fit(&self, len: usize) -> bool {
+        self.free_space() >= len + SLOT_SIZE
+    }
+
+    /// Append a cell, returning its slot index; `None` if it doesn't fit.
+    pub fn push(&mut self, cell: &[u8]) -> Option<usize> {
+        if !self.can_fit(cell.len()) {
+            return None;
+        }
+        let n = self.slot_count();
+        let start = self.cell_start() - cell.len();
+        self.buf[start..start + cell.len()].copy_from_slice(cell);
+        let slot_off = PAGE_HEADER + n * SLOT_SIZE;
+        self.set_u16(slot_off, start as u16);
+        self.set_u16(slot_off + 2, cell.len() as u16);
+        self.set_u16(0, (n + 1) as u16);
+        self.set_u16(2, start as u16);
+        Some(n)
+    }
+
+    /// The cell at slot `i`. Panics on out-of-range (caller bug, not
+    /// data corruption — corruption is caught by the checksum).
+    pub fn cell(&self, i: usize) -> &[u8] {
+        assert!(i < self.slot_count(), "slot {i} out of range");
+        let slot_off = PAGE_HEADER + i * SLOT_SIZE;
+        let start = self.u16_at(slot_off) as usize;
+        let len = self.u16_at(slot_off + 2) as usize;
+        &self.buf[start..start + len]
+    }
+
+    /// The 8-byte layer-specific header region.
+    pub fn user_header(&self) -> [u8; 8] {
+        self.buf[12..20].try_into().unwrap()
+    }
+
+    pub fn set_user_header(&mut self, h: [u8; 8]) {
+        self.buf[12..20].copy_from_slice(&h);
+    }
+
+    /// Stamp the checksum (done by the page file just before writing).
+    pub fn seal(&mut self) {
+        let sum = fnv64(&self.buf[12..]);
+        self.buf[CHECKSUM_RANGE].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    /// Check the stored checksum against the payload: `false` means the
+    /// page is torn or corrupt.
+    pub fn verify(&self) -> bool {
+        let stored = u64::from_le_bytes(self.buf[CHECKSUM_RANGE].try_into().unwrap());
+        stored == fnv64(&self.buf[12..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_cells() {
+        let mut p = Page::new();
+        assert_eq!(p.push(b"alpha"), Some(0));
+        assert_eq!(p.push(b""), Some(1));
+        assert_eq!(p.push(&[7u8; 100]), Some(2));
+        assert_eq!(p.cell(0), b"alpha");
+        assert_eq!(p.cell(1), b"");
+        assert_eq!(p.cell(2), &[7u8; 100]);
+        assert_eq!(p.slot_count(), 3);
+    }
+
+    #[test]
+    fn fills_to_capacity_then_rejects() {
+        let mut p = Page::new();
+        let cell = [1u8; 96];
+        let mut n = 0;
+        while p.push(&cell).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, (PAGE_SIZE - PAGE_HEADER) / (96 + SLOT_SIZE));
+        assert!(!p.can_fit(96));
+        assert!(p.can_fit(p.free_space() - SLOT_SIZE));
+    }
+
+    #[test]
+    fn max_cell_fits_empty_page() {
+        let mut p = Page::new();
+        assert_eq!(p.push(&[0xAB; MAX_CELL]), Some(0));
+        assert_eq!(p.free_space(), 0);
+        assert_eq!(p.cell(0).len(), MAX_CELL);
+    }
+
+    #[test]
+    fn seal_and_verify_detect_torn_writes() {
+        let mut p = Page::new();
+        p.push(b"payload").unwrap();
+        p.set_user_header([1, 2, 3, 4, 5, 6, 7, 8]);
+        p.seal();
+        assert!(p.verify());
+        let mut bytes = *p.as_bytes();
+        bytes[PAGE_SIZE - 3] ^= 0xFF; // flip a payload byte
+        assert!(!Page::from_bytes(bytes).verify());
+    }
+
+    #[test]
+    fn user_header_round_trips() {
+        let mut p = Page::new();
+        p.set_user_header([9, 0, 0, 0, 42, 0, 0, 1]);
+        assert_eq!(p.user_header(), [9, 0, 0, 0, 42, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,183 @@
+//! A file of fixed-size pages with checksum-verified reads.
+//!
+//! The page file is the raw device under the buffer pool: pages are
+//! addressed by number, allocated append-only, and read/written whole.
+//! [`PageFile::write_page`] seals the page checksum into a scratch copy
+//! before the write, so in-memory page images shared through the pool
+//! stay immutable; [`PageFile::read_page`] verifies the checksum and
+//! fails with a typed error on a torn or corrupt page.
+//!
+//! Page files are *derived* data: heap files and B-trees are rebuilt
+//! from the authoritative WAL/snapshot state (or from an upload) at
+//! table-creation time, so a corrupt page is a query error, not data
+//! loss. That is also why deletion on drop is safe.
+
+use crate::page::{Page, PAGE_SIZE};
+use crate::IoCounter;
+use sqlshare_common::{Error, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+/// An open, growable file of [`PAGE_SIZE`] pages.
+#[derive(Debug)]
+pub struct PageFile {
+    path: PathBuf,
+    file: Mutex<File>,
+    pages: AtomicU32,
+    io: IoCounter,
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Internal(format!("pagefile {what} {}: {e}", path.display()))
+}
+
+impl PageFile {
+    /// Create (truncating any existing file) a page file at `path`.
+    pub fn create(path: &Path, io: IoCounter) -> Result<PageFile> {
+        io.bump();
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err("create", path, e))?;
+        Ok(PageFile {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            pages: AtomicU32::new(0),
+            io,
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Pages allocated so far.
+    pub fn page_count(&self) -> u32 {
+        self.pages.load(Ordering::Relaxed)
+    }
+
+    /// Reserve the next page number. The page has no on-disk bytes until
+    /// it is first written; reading an allocated-but-unwritten page is a
+    /// caller bug and surfaces as a short-read error.
+    pub fn allocate(&self) -> u32 {
+        self.pages.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Seal (checksum) and write `page` at `no`. The caller's page image
+    /// is not mutated; the checksum is stamped into a scratch copy.
+    pub fn write_page(&self, no: u32, page: &Page) -> Result<()> {
+        let mut copy = page.clone();
+        copy.seal();
+        self.io.bump();
+        let mut f = self.file.lock().unwrap();
+        f.seek(SeekFrom::Start(no as u64 * PAGE_SIZE as u64))
+            .and_then(|_| f.write_all(copy.as_bytes()))
+            .map_err(|e| io_err("write", &self.path, e))
+    }
+
+    /// Read and checksum-verify the page at `no`.
+    pub fn read_page(&self, no: u32) -> Result<Page> {
+        self.io.bump();
+        let mut bytes = [0u8; PAGE_SIZE];
+        {
+            let mut f = self.file.lock().unwrap();
+            f.seek(SeekFrom::Start(no as u64 * PAGE_SIZE as u64))
+                .and_then(|_| f.read_exact(&mut bytes))
+                .map_err(|e| io_err("read", &self.path, e))?;
+        }
+        let page = Page::from_bytes(bytes);
+        if !page.verify() {
+            return Err(Error::Internal(format!(
+                "pagefile torn or corrupt page {no} in {}",
+                self.path.display()
+            )));
+        }
+        Ok(page)
+    }
+
+    /// fsync the file.
+    pub fn sync(&self) -> Result<()> {
+        self.io.bump();
+        self.file
+            .lock()
+            .unwrap()
+            .sync_data()
+            .map_err(|e| io_err("fsync", &self.path, e))
+    }
+
+    /// Delete the backing file (best-effort; the handle is consumed by
+    /// the owner dropping it).
+    pub fn remove(&self) {
+        self.io.bump();
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sqlshare-pagefile-{}-{}-{}",
+            std::process::id(),
+            tag,
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("t.pages")
+    }
+
+    #[test]
+    fn write_read_round_trips_out_of_order() {
+        let pf = PageFile::create(&temp_path("round"), IoCounter::new()).unwrap();
+        let a = pf.allocate();
+        let b = pf.allocate();
+        let mut pb = Page::new();
+        pb.push(b"second page").unwrap();
+        pf.write_page(b, &pb).unwrap();
+        let mut pa = Page::new();
+        pa.push(b"first page").unwrap();
+        pf.write_page(a, &pa).unwrap();
+        assert_eq!(pf.read_page(a).unwrap().cell(0), b"first page");
+        assert_eq!(pf.read_page(b).unwrap().cell(0), b"second page");
+        assert_eq!(pf.page_count(), 2);
+    }
+
+    #[test]
+    fn corrupt_page_fails_checksum() {
+        let path = temp_path("corrupt");
+        let pf = PageFile::create(&path, IoCounter::new()).unwrap();
+        let no = pf.allocate();
+        let mut p = Page::new();
+        p.push(b"data").unwrap();
+        pf.write_page(no, &p).unwrap();
+        // Flip one payload byte on disk behind the handle's back.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = pf.read_page(no).unwrap_err();
+        assert!(err.message().contains("torn or corrupt"), "{err}");
+    }
+
+    #[test]
+    fn io_counter_tracks_operations() {
+        let io = IoCounter::new();
+        let pf = PageFile::create(&temp_path("count"), io.clone()).unwrap();
+        let base = io.get();
+        let no = pf.allocate();
+        pf.write_page(no, &Page::new()).unwrap();
+        pf.read_page(no).unwrap();
+        pf.sync().unwrap();
+        assert_eq!(io.get(), base + 3);
+    }
+}

@@ -17,9 +17,9 @@
 //! corrupted newest snapshot degrades recovery (longer WAL replay from
 //! an older snapshot) instead of breaking it.
 
-use crate::count_io;
+use crate::IoCounter;
 use sqlshare_common::{json, Error, Result};
-use sqlshare_engine::faults::{FaultPlan, FaultSite};
+use sqlshare_common::faults::{FaultPlan, FaultSite};
 use std::fs::{self, File};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -30,6 +30,7 @@ use std::sync::Arc;
 pub struct SnapshotStore {
     dir: PathBuf,
     fault: Option<Arc<FaultPlan>>,
+    io: IoCounter,
 }
 
 fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
@@ -46,9 +47,15 @@ fn parse_name(name: &str) -> Option<u64> {
 
 impl SnapshotStore {
     pub fn new(dir: &Path) -> SnapshotStore {
+        SnapshotStore::new_counted(dir, IoCounter::new())
+    }
+
+    /// [`SnapshotStore::new`] with a caller-supplied [`IoCounter`].
+    pub fn new_counted(dir: &Path, io: IoCounter) -> SnapshotStore {
         SnapshotStore {
             dir: dir.to_path_buf(),
             fault: None,
+            io,
         }
     }
 
@@ -75,19 +82,19 @@ impl SnapshotStore {
         }
         let tmp = self.dir.join(format!("snapshot-{lsn}.json.tmp"));
         let finished = self.path_for(lsn);
-        count_io();
+        self.io.bump();
         let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
         f.write_all(payload.as_bytes())
             .and_then(|()| f.sync_all())
             .map_err(|e| io_err("write", &tmp, e))?;
         drop(f);
-        count_io();
+        self.io.bump();
         fs::rename(&tmp, &finished).map_err(|e| io_err("rename", &finished, e))?;
         // Make the rename durable. Directory fsync can fail on exotic
         // filesystems; the rename already happened, so don't fail the
         // snapshot over it.
         if let Ok(d) = File::open(&self.dir) {
-            count_io();
+            self.io.bump();
             let _ = d.sync_all();
         }
         Ok(finished)
@@ -101,7 +108,7 @@ impl SnapshotStore {
         lsns.sort_unstable_by(|a, b| b.cmp(a));
         for lsn in lsns {
             let path = self.path_for(lsn);
-            count_io();
+            self.io.bump();
             let Ok(payload) = fs::read_to_string(&path) else {
                 continue;
             };
@@ -118,14 +125,14 @@ impl SnapshotStore {
         let mut lsns = self.list()?;
         lsns.sort_unstable_by(|a, b| b.cmp(a));
         for lsn in lsns.into_iter().skip(keep) {
-            count_io();
+            self.io.bump();
             let _ = fs::remove_file(self.path_for(lsn));
         }
-        count_io();
+        self.io.bump();
         for entry in fs::read_dir(&self.dir).map_err(|e| io_err("list", &self.dir, e))? {
             let Ok(entry) = entry else { continue };
             if entry.file_name().to_string_lossy().ends_with(".json.tmp") {
-                count_io();
+                self.io.bump();
                 let _ = fs::remove_file(entry.path());
             }
         }
@@ -137,7 +144,7 @@ impl SnapshotStore {
         if !self.dir.exists() {
             return Ok(Vec::new());
         }
-        count_io();
+        self.io.bump();
         let mut lsns = Vec::new();
         for entry in fs::read_dir(&self.dir).map_err(|e| io_err("list", &self.dir, e))? {
             let Ok(entry) = entry else { continue };

@@ -24,10 +24,10 @@
 //!   truncates the file at the first torn or corrupt one, and replay
 //!   upstream is idempotent by LSN.
 
-use crate::{count_io, FsyncPolicy};
+use crate::{FsyncPolicy, IoCounter};
 use sqlshare_common::hash::fnv64;
 use sqlshare_common::{Error, Result};
-use sqlshare_engine::faults::{FaultPlan, FaultSite};
+use sqlshare_common::faults::{FaultPlan, FaultSite};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -81,6 +81,7 @@ pub struct Wal {
     crash: Option<CrashPoint>,
     crashed: bool,
     fault: Option<Arc<FaultPlan>>,
+    io: IoCounter,
 }
 
 fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
@@ -100,7 +101,13 @@ impl Wal {
     /// Callers recovering state should run [`Wal::scan`] first; `open`
     /// itself does not validate existing contents.
     pub fn open(path: &Path, policy: FsyncPolicy) -> Result<Wal> {
-        count_io();
+        Wal::open_counted(path, policy, IoCounter::new())
+    }
+
+    /// [`Wal::open`] with a caller-supplied [`IoCounter`], so a service
+    /// can aggregate I/O across all of its stores.
+    pub fn open_counted(path: &Path, policy: FsyncPolicy, io: IoCounter) -> Result<Wal> {
+        io.bump();
         let file = OpenOptions::new()
             .create(true)
             .append(true)
@@ -120,6 +127,7 @@ impl Wal {
             crash: None,
             crashed: false,
             fault: None,
+            io,
         })
     }
 
@@ -127,6 +135,11 @@ impl Wal {
     /// first torn or corrupt record so subsequent appends extend a clean
     /// log. A missing file scans as empty.
     pub fn scan(path: &Path) -> Result<WalScan> {
+        Wal::scan_counted(path, &IoCounter::new())
+    }
+
+    /// [`Wal::scan`] recording its filesystem operations against `io`.
+    pub fn scan_counted(path: &Path, io: &IoCounter) -> Result<WalScan> {
         if !path.exists() {
             return Ok(WalScan {
                 records: Vec::new(),
@@ -134,7 +147,7 @@ impl Wal {
                 truncated_bytes: 0,
             });
         }
-        count_io();
+        io.bump();
         let mut bytes = Vec::new();
         File::open(path)
             .and_then(|mut f| f.read_to_end(&mut bytes))
@@ -158,7 +171,7 @@ impl Wal {
 
         let truncated_bytes = (bytes.len() - pos) as u64;
         if truncated_bytes > 0 {
-            count_io();
+            io.bump();
             OpenOptions::new()
                 .write(true)
                 .open(path)
@@ -187,7 +200,7 @@ impl Wal {
         if let Some(cp) = self.crash {
             if self.appended == cp.after_records {
                 self.crashed = true;
-                count_io();
+                self.io.bump();
                 match cp.torn_bytes {
                     Some(n) => {
                         // Die mid-write: only a prefix of the frame
@@ -214,14 +227,14 @@ impl Wal {
         if let Err(e) = self.fault_check(FaultSite::WalAppend) {
             // Model a short write: leave a deterministic torn prefix,
             // then repair so the rejected mutation leaves no trace.
-            count_io();
+            self.io.bump();
             let n = HEADER_LEN.min(buf.len());
             let _ = self.file.write_all(&buf[..n]);
             self.repair()?;
             return Err(e);
         }
 
-        count_io();
+        self.io.bump();
         if let Err(e) = self.file.write_all(&buf) {
             let err = io_err("write", &self.path, e);
             self.repair()?;
@@ -240,7 +253,7 @@ impl Wal {
                 self.repair()?;
                 return Err(e);
             }
-            count_io();
+            self.io.bump();
             if let Err(e) = self.file.sync_data() {
                 let err = io_err("fsync", &self.path, e);
                 self.repair()?;
@@ -262,7 +275,7 @@ impl Wal {
         if self.crashed {
             return Err(Error::Internal("simulated crash: wal is dead".into()));
         }
-        count_io();
+        self.io.bump();
         self.file
             .sync_data()
             .map_err(|e| io_err("fsync", &self.path, e))?;
@@ -276,7 +289,7 @@ impl Wal {
         if self.crashed {
             return Err(Error::Internal("simulated crash: wal is dead".into()));
         }
-        count_io();
+        self.io.bump();
         self.file
             .set_len(0)
             .and_then(|()| self.file.sync_data())
@@ -327,7 +340,7 @@ impl Wal {
     /// Restore the file to the last acknowledged offset after a failed
     /// append.
     fn repair(&mut self) -> Result<()> {
-        count_io();
+        self.io.bump();
         self.file
             .set_len(self.offset)
             .map_err(|e| io_err("repair", &self.path, e))

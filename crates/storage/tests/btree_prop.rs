@@ -1,0 +1,184 @@
+//! Property tests for the page-backed B-tree against a `BTreeMap` oracle.
+//!
+//! Random insert/delete/range-scan interleavings are replayed against
+//! `std::collections::BTreeMap`, which pins the contract the engine's
+//! secondary indexes rely on: range scans return values in key order,
+//! duplicates come back in insertion order, and deletes remove exactly
+//! one entry. Keys are padded so every case splits leaves (and most
+//! split internal nodes too) — the interesting paths, not the
+//! single-leaf fast path.
+
+use proptest::prelude::*;
+use sqlshare_storage::buffer_pool::BufferPool;
+use sqlshare_storage::btree::BTree;
+use sqlshare_storage::{FsyncPolicy, IoCounter};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fresh tree in a per-test temp directory, with a pool big enough to
+/// hold everything (residency pressure is the buffer pool's own test).
+fn fresh_tree(tag: &str) -> (BTree, PathBuf) {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sqlshare-btree-prop-{}-{}-{}",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let pool = Arc::new(BufferPool::new(8 << 20, FsyncPolicy::Off));
+    let tree = BTree::create(pool, &dir.join("idx.btr"), IoCounter::new()).unwrap();
+    (tree, dir)
+}
+
+/// Pad a small key id so leaf cells are ~160 bytes: ~45 entries per 8 KiB
+/// page, forcing splits after a few dozen inserts.
+fn key(id: u16) -> Vec<u8> {
+    let mut k = vec![b'k'; 150];
+    k.extend_from_slice(&id.to_be_bytes());
+    k
+}
+
+/// One scripted operation over both the tree and the oracle.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16),
+    Delete(u16),
+    Range(u16, u16),
+}
+
+fn op_strategy(universe: u16) -> BoxedStrategy<Op> {
+    proptest::one_of_weighted(vec![
+        (3, (0..universe).prop_map(Op::Insert).boxed()),
+        (1, (0..universe).prop_map(Op::Delete).boxed()),
+        (
+            1,
+            (0..universe, 0..universe)
+                .prop_map(|(a, b)| Op::Range(a.min(b), a.max(b)))
+                .boxed(),
+        ),
+    ])
+}
+
+/// Oracle range scan: values in key order, insertion order within a key.
+fn oracle_range(oracle: &BTreeMap<Vec<u8>, Vec<u64>>, lo: &[u8], hi: &[u8]) -> Vec<u64> {
+    oracle
+        .range::<[u8], _>((Bound::Included(lo), Bound::Included(hi)))
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interleaved inserts, deletes, and range scans agree with the
+    /// oracle at every step; duplicates allowed.
+    #[test]
+    fn btree_matches_btreemap_oracle(
+        ops in proptest::collection::vec(op_strategy(40), 50..400),
+    ) {
+        let (mut tree, dir) = fresh_tree("oracle");
+        let mut oracle: BTreeMap<Vec<u8>, Vec<u64>> = BTreeMap::new();
+        let mut next_val = 0u64;
+        let mut total = 0u64;
+
+        for op in &ops {
+            match op {
+                Op::Insert(id) => {
+                    let k = key(*id);
+                    tree.insert(&k, next_val).unwrap();
+                    oracle.entry(k).or_default().push(next_val);
+                    next_val += 1;
+                    total += 1;
+                }
+                Op::Delete(id) => {
+                    let k = key(*id);
+                    let removed = tree.delete(&k).unwrap();
+                    prop_assert_eq!(
+                        removed,
+                        oracle.contains_key(&k),
+                        "delete({}) disagreed with oracle",
+                        id
+                    );
+                    if removed {
+                        total -= 1;
+                        // Delete removes the earliest-inserted duplicate.
+                        let vs = oracle.get_mut(&k).unwrap();
+                        vs.remove(0);
+                        if vs.is_empty() {
+                            oracle.remove(&k);
+                        }
+                        let after = tree
+                            .range(Bound::Included(&k), Bound::Included(&k))
+                            .unwrap();
+                        let expect: Vec<u64> =
+                            oracle.get(&k).cloned().unwrap_or_default();
+                        prop_assert_eq!(after, expect, "post-delete({}) scan", id);
+                    }
+                }
+                Op::Range(lo, hi) => {
+                    let (klo, khi) = (key(*lo), key(*hi));
+                    let got = tree
+                        .range(Bound::Included(&klo), Bound::Included(&khi))
+                        .unwrap();
+                    let expect = oracle_range(&oracle, &klo, &khi);
+                    prop_assert_eq!(&got, &expect, "range {}..={}: got {:?} expect {:?}", lo, hi, &got, &expect);
+                }
+            }
+            prop_assert_eq!(tree.entries(), total);
+        }
+
+        // Final full scan: everything, in key order.
+        let all = tree.range(Bound::Unbounded, Bound::Unbounded).unwrap();
+        let expect: Vec<u64> = oracle.values().flat_map(|vs| vs.iter().copied()).collect();
+        prop_assert_eq!(all, expect);
+
+        // Enough churn that the tree actually split beyond its root leaf.
+        if total > 60 {
+            prop_assert!(tree.page_count() > 2, "no splits: {} pages", tree.page_count());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Exclusive/unbounded bound combinations agree with the oracle.
+    #[test]
+    fn btree_range_bounds_match_oracle(
+        ids in proptest::collection::vec(0u16..60, 80..200),
+        lo in 0u16..60,
+        hi in 0u16..60,
+        lo_excl in any::<bool>(),
+        hi_excl in any::<bool>(),
+    ) {
+        let (mut tree, dir) = fresh_tree("bounds");
+        let mut oracle: BTreeMap<Vec<u8>, Vec<u64>> = BTreeMap::new();
+        for (v, id) in ids.iter().enumerate() {
+            let k = key(*id);
+            tree.insert(&k, v as u64).unwrap();
+            oracle.entry(k).or_default().push(v as u64);
+        }
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        // `BTreeMap::range` panics on an equal, doubly-excluded range.
+        let hi_excl = hi_excl && !(lo == hi && lo_excl);
+        let (klo, khi) = (key(lo), key(hi));
+        let lb = if lo_excl { Bound::Excluded(klo.as_slice()) } else { Bound::Included(klo.as_slice()) };
+        let ub = if hi_excl { Bound::Excluded(khi.as_slice()) } else { Bound::Included(khi.as_slice()) };
+        let got = tree.range(lb, ub).unwrap();
+        let expect: Vec<u64> = oracle
+            .range::<[u8], _>((lb, ub))
+            .flat_map(|(_, vs)| vs.iter().copied())
+            .collect();
+        prop_assert_eq!(got, expect);
+
+        // Half-open from each side.
+        let below = tree.range(Bound::Unbounded, ub).unwrap();
+        let expect_below: Vec<u64> = oracle
+            .range::<[u8], _>((Bound::Unbounded, ub))
+            .flat_map(|(_, vs)| vs.iter().copied())
+            .collect();
+        prop_assert_eq!(below, expect_below);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -284,6 +284,7 @@ mod tests {
             queue_wait_micros: 0,
             cache_hit: false,
             degraded_retry: degraded,
+            spill_bytes: 0,
             plan_json: None,
             tables: vec![],
             datasets: vec![],
