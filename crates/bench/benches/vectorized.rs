@@ -1,0 +1,149 @@
+//! Vectorized-vs-row executor benchmarks over a memory-resident fact
+//! table, serial (DOP 1) so the comparison isolates the execution model
+//! rather than morsel scheduling.
+//!
+//! Criterion groups report wall clock per query shape and engine; on
+//! top of that the run writes `BENCH_vectorized.json` at the workspace
+//! root with p50 latencies for both engines and the speedup per shape.
+//! The headline number is the scan-filter-aggregate p50 ratio, the
+//! shape the tentpole acceptance bar pins at >= 5x.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlshare_common::json::Json;
+use sqlshare_engine::{DataType, Engine, Schema, Table, Value};
+use std::time::Instant;
+
+const ROWS: i64 = 100_000;
+
+/// The query shapes under test. Scan-filter-aggregate is the headline;
+/// the grouped aggregate and hash join shapes show the batch kernels
+/// compose through the rest of the operator tree.
+const QUERIES: [(&str, &str); 3] = [
+    (
+        "scan_filter_agg",
+        "SELECT COUNT(*) AS n, SUM(v) AS s, AVG(v) AS a FROM facts \
+         WHERE v > 12.0 AND g % 7 < 3",
+    ),
+    (
+        "grouped_agg",
+        "SELECT g % 64 AS b, COUNT(*) AS n, SUM(v) AS s FROM facts \
+         WHERE v > 4.0 GROUP BY g % 64",
+    ),
+    (
+        "hash_join_agg",
+        "SELECT COUNT(*) AS n, SUM(f.v) AS s \
+         FROM facts AS f JOIN dim AS d ON f.g = d.k WHERE d.k % 2 = 0",
+    ),
+];
+
+/// A memory-resident engine with a ~100k-row fact table (including a
+/// Text pad column so rows are not trivially narrow) and a small
+/// dimension table, pinned serial with the result cache off so every
+/// repetition re-executes the plan.
+fn bench_engine(vectorized: bool) -> Engine {
+    let mut e = Engine::new();
+    e.set_storage(None);
+    e.set_max_dop(1);
+    e.disable_cache();
+    e.set_vectorized(vectorized);
+    e.create_table(Table::new(
+        "facts",
+        Schema::from_pairs([
+            ("k", DataType::Int),
+            ("g", DataType::Int),
+            ("v", DataType::Float),
+            ("pad", DataType::Text),
+        ]),
+        (0..ROWS)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 8000),
+                    Value::Float((i % 977) as f64 * 0.25),
+                    Value::Text(format!("pad-{i:0>24}")),
+                ]
+            })
+            .collect(),
+    ))
+    .unwrap();
+    e.create_table(Table::new(
+        "dim",
+        Schema::from_pairs([("k", DataType::Int), ("name", DataType::Text)]),
+        (0..8000)
+            .map(|i| vec![Value::Int(i), Value::Text(format!("name-{i:0>16}"))])
+            .collect(),
+    ))
+    .unwrap();
+    e
+}
+
+fn p50(mut micros: Vec<u64>) -> f64 {
+    micros.sort_unstable();
+    micros[micros.len() / 2] as f64 / 1000.0
+}
+
+fn measured_p50_ms(e: &Engine, sql: &str, reps: usize) -> f64 {
+    // One warm-up execution outside the sample (first run pays plan
+    // compilation and the columnar-batch build).
+    e.run(sql).unwrap();
+    let times: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            e.run(sql).unwrap();
+            t.elapsed().as_micros() as u64
+        })
+        .collect();
+    p50(times)
+}
+
+fn bench_vectorized(c: &mut Criterion) {
+    // Criterion view: one group per query shape, engine as parameter.
+    for (name, sql) in QUERIES {
+        let mut group = c.benchmark_group(format!("vectorized/{name}"));
+        for (label, on) in [("row", false), ("vectorized", true)] {
+            let e = bench_engine(on);
+            group.bench_with_input(BenchmarkId::from_parameter(label), &on, |b, _| {
+                b.iter(|| e.run(sql).unwrap())
+            });
+        }
+        group.finish();
+    }
+
+    // Report view: p50 per engine per shape, written to
+    // BENCH_vectorized.json.
+    let row = bench_engine(false);
+    let vec = bench_engine(true);
+    let mut shapes = Vec::new();
+    for (name, sql) in QUERIES {
+        // Answers must agree before timings mean anything.
+        assert_eq!(
+            row.run(sql).unwrap().rows,
+            vec.run(sql).unwrap().rows,
+            "row and vectorized engines disagree on {name}"
+        );
+        let row_ms = measured_p50_ms(&row, sql, 15);
+        let vec_ms = measured_p50_ms(&vec, sql, 15);
+        shapes.push(Json::object([
+            ("query", Json::String(name.into())),
+            ("sql", Json::String(sql.into())),
+            ("rowP50Ms", Json::Number(row_ms)),
+            ("vectorizedP50Ms", Json::Number(vec_ms)),
+            ("speedup", Json::Number(row_ms / vec_ms.max(0.001))),
+        ]));
+    }
+
+    let json = Json::object([
+        ("experiment", Json::String("vectorized".into())),
+        ("rows", Json::Number(ROWS as f64)),
+        ("dop", Json::Number(1.0)),
+        ("queries", Json::Array(shapes)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_vectorized.json");
+    match std::fs::write(path, json.to_pretty_string()) {
+        Ok(()) => eprintln!("Wrote BENCH_vectorized.json."),
+        Err(e) => eprintln!("Could not write BENCH_vectorized.json: {e}."),
+    }
+}
+
+criterion_group!(benches, bench_vectorized);
+criterion_main!(benches);

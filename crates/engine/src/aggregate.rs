@@ -169,6 +169,16 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Bulk-count `n` non-null feeds. Exactly equivalent to `n` calls
+    /// to [`push`](Self::push) with any non-null value on a non-DISTINCT
+    /// COUNT accumulator, whose push does nothing but increment the
+    /// counter — the vectorized executor's fast path for `COUNT(*)` and
+    /// `COUNT(col)` over a column's valid positions.
+    pub(crate) fn add_count(&mut self, n: i64) {
+        debug_assert!(matches!(self.func, AggFunc::Count) && !self.distinct);
+        self.count += n;
+    }
+
     /// Fold another accumulator of the same function into this one.
     /// Used by the parallel executor's pre-aggregation: each worker
     /// accumulates its morsels locally and partials are merged serially.

@@ -57,6 +57,9 @@ pub struct PlanKey {
     pub max_dop: usize,
     pub threshold_bits: u64,
     pub current_date: i32,
+    /// The executor the plan was annotated for (`batchMode` marks differ
+    /// between the vectorized engine and the row oracle).
+    pub vectorized: bool,
 }
 
 /// Key of a cached result: the plan fingerprint, the normalized SQL (kept

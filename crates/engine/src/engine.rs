@@ -48,6 +48,19 @@ fn exec_threads_from_env() -> usize {
         .unwrap_or_else(exec::hardware_threads)
 }
 
+/// Whether queries run on the vectorized engine ([`crate::vexec`]).
+/// Defaults to on; `SQLSHARE_VECTORIZED=0` (or `false`/`off`) selects
+/// the row-at-a-time interpreter, which stays alive as the correctness
+/// oracle the differential suites compare against.
+fn vectorized_from_env() -> bool {
+    !std::env::var("SQLSHARE_VECTORIZED")
+        .map(|v| {
+            let v = v.trim().to_ascii_lowercase();
+            v == "0" || v == "false" || v == "off"
+        })
+        .unwrap_or(false)
+}
+
 /// Run `f`, converting any panic it leaks into [`Error::Internal`] — the
 /// containment barrier that turns one query's bug (or injected chaos
 /// panic) into a per-query failure instead of a process abort.
@@ -103,6 +116,10 @@ pub struct Engine {
     /// OS worker-thread cap for parallel regions (the physical side of
     /// DOP); carried on every [`ExecGuard`] this engine creates.
     exec_threads: usize,
+    /// Whether queries execute on the vectorized engine
+    /// ([`crate::vexec`]); off selects the row interpreter
+    /// ([`crate::exec`]), the correctness oracle.
+    vectorized: bool,
     /// The multi-level cache, shared across clones of this engine (the
     /// service's worker snapshots populate and consult the same cache).
     cache: Arc<QueryCache>,
@@ -173,6 +190,7 @@ impl Engine {
             max_dop: max_dop_from_env(),
             parallel_threshold: crate::cost::PARALLELISM_COST_THRESHOLD,
             exec_threads: exec_threads_from_env(),
+            vectorized: vectorized_from_env(),
             cache: Arc::new(QueryCache::from_env()),
             query_mem_bytes: memory::mem_limit_from_env("SQLSHARE_QUERY_MEM_MB")
                 .unwrap_or(memory::UNLIMITED),
@@ -195,6 +213,27 @@ impl Engine {
     /// single-core hosts without touching process-global state).
     pub fn set_exec_threads(&mut self, threads: usize) {
         self.exec_threads = threads.max(1);
+    }
+
+    /// Select the vectorized engine (`true`, the default) or the
+    /// row-at-a-time oracle (`false`) — the programmatic form of
+    /// `SQLSHARE_VECTORIZED`.
+    pub fn set_vectorized(&mut self, on: bool) {
+        self.vectorized = on;
+    }
+
+    /// Whether this engine executes queries on the vectorized engine.
+    pub fn vectorized(&self) -> bool {
+        self.vectorized
+    }
+
+    /// Run a plan on whichever executor this engine is configured for.
+    fn execute_plan(&self, plan: &PhysicalPlan, guard: &ExecGuard) -> Result<Vec<Row>> {
+        if self.vectorized {
+            crate::vexec::execute(plan, &self.catalog, &self.ctx, guard)
+        } else {
+            exec::execute(plan, &self.catalog, &self.ctx, guard)
+        }
     }
 
     /// An [`ExecGuard`] carrying this engine's worker-thread cap, a
@@ -374,7 +413,11 @@ impl Engine {
         let logical = optimize(logical);
         let plan =
             contain(|| plan_physical_with(&logical, &self.catalog, &self.ctx, &self.guard(None)))?;
-        Ok(parallelize(plan, self.max_dop, self.parallel_threshold))
+        let mut plan = parallelize(plan, self.max_dop, self.parallel_threshold);
+        if self.vectorized {
+            crate::vexec::annotate_batch_mode(&mut plan);
+        }
+        Ok(plan)
     }
 
     /// The degree of parallelism the optimizer would run `sql` at — the
@@ -444,7 +487,7 @@ impl Engine {
         let prepared =
             contain(|| serial.prepare_cold(sql, cache::normalize_sql(sql), &guard, false))?;
         let rows = contain(|| {
-            let rows = exec::execute(&prepared.plan, &serial.catalog, &serial.ctx, &guard)?;
+            let rows = serial.execute_plan(&prepared.plan, &guard)?;
             guard.charge(cache::rows_bytes(&rows))?;
             Ok(rows)
         })?;
@@ -476,6 +519,7 @@ impl Engine {
             max_dop: self.max_dop,
             threshold_bits: self.parallel_threshold.to_bits(),
             current_date: self.ctx.current_date,
+            vectorized: self.vectorized,
         }
     }
 
@@ -529,7 +573,10 @@ impl Engine {
         let schema = logical.schema().clone();
         let logical = optimize(logical);
         let plan = plan_physical_with(&logical, &self.catalog, &self.ctx, guard)?;
-        let plan = parallelize(plan, self.max_dop, self.parallel_threshold);
+        let mut plan = parallelize(plan, self.max_dop, self.parallel_threshold);
+        if self.vectorized {
+            crate::vexec::annotate_batch_mode(&mut plan);
+        }
         let fingerprint = cache::fingerprint(
             &normalized_sql,
             self.max_dop,
@@ -572,7 +619,7 @@ impl Engine {
             });
         }
         let rows = contain(|| {
-            let rows = exec::execute(&prepared.plan, &self.catalog, &self.ctx, guard)?;
+            let rows = self.execute_plan(&prepared.plan, guard)?;
             // Result assembly: the gathered output is the query's last
             // allocation; charge it before it can reach the cache.
             guard.charge(cache::rows_bytes(&rows))?;

@@ -411,21 +411,7 @@ pub fn execute(
         }
         PhysOp::HashSetOp { op } => {
             let (l, r) = two_children(plan, catalog, ctx, guard)?;
-            let mut right_set: Vec<Row> = r;
-            right_set.sort_by(cmp_rows);
-            let contains = |row: &Row| {
-                right_set
-                    .binary_search_by(|probe| cmp_rows(probe, row))
-                    .is_ok()
-            };
-            let mut left: Vec<Row> = l;
-            left.sort_by(cmp_rows);
-            left.dedup_by(|a, b| cmp_rows(a, b).is_eq());
-            Ok(match op {
-                SetOp::Intersect => left.into_iter().filter(|r| contains(r)).collect(),
-                SetOp::Except => left.into_iter().filter(|r| !contains(r)).collect(),
-                SetOp::Union => unreachable!("UNION is planned as Concatenation"),
-            })
+            hash_set_op(l, r, *op)
         }
         PhysOp::Gather { dop } => crate::parallel::execute_gather(plan, *dop, catalog, ctx, guard),
         PhysOp::Repartition { .. } => {
@@ -479,8 +465,26 @@ pub(crate) fn null_row(width: usize) -> Row {
     vec![Value::Null; width]
 }
 
+pub(crate) fn hash_set_op(l: Vec<Row>, r: Vec<Row>, op: SetOp) -> Result<Vec<Row>> {
+    let mut right_set: Vec<Row> = r;
+    right_set.sort_by(cmp_rows);
+    let contains = |row: &Row| {
+        right_set
+            .binary_search_by(|probe| cmp_rows(probe, row))
+            .is_ok()
+    };
+    let mut left: Vec<Row> = l;
+    left.sort_by(cmp_rows);
+    left.dedup_by(|a, b| cmp_rows(a, b).is_eq());
+    Ok(match op {
+        SetOp::Intersect => left.into_iter().filter(|r| contains(r)).collect(),
+        SetOp::Except => left.into_iter().filter(|r| !contains(r)).collect(),
+        SetOp::Union => unreachable!("UNION is planned as Concatenation"),
+    })
+}
+
 #[allow(clippy::too_many_arguments)]
-fn nested_loops(
+pub(crate) fn nested_loops(
     left: Vec<Row>,
     right: Vec<Row>,
     kind: JoinKind,
@@ -548,7 +552,7 @@ pub(crate) fn join_key(values: &[Value]) -> Option<String> {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn hash_join(
+pub(crate) fn hash_join(
     left: Vec<Row>,
     right: Vec<Row>,
     kind: JoinKind,
@@ -639,7 +643,7 @@ fn hash_join(
     Ok(out)
 }
 
-fn aggregate(
+pub(crate) fn aggregate(
     input: Vec<Row>,
     group: &[BoundExpr],
     aggs: &[crate::aggregate::AggCall],
@@ -713,7 +717,7 @@ pub(crate) fn feed(
     Ok(())
 }
 
-fn sort_rows(
+pub(crate) fn sort_rows(
     input: Vec<Row>,
     keys: &[SortKey],
     ctx: &EvalContext,

@@ -47,6 +47,9 @@ fn node_to_json(plan: &PhysicalPlan) -> Json {
     if matches!(plan.op, crate::physical::PhysOp::CachedScan { .. }) {
         obj.insert("cached", Json::Bool(true));
     }
+    if plan.batch_mode {
+        obj.insert("batchMode", Json::Bool(true));
+    }
     if !plan.filters.is_empty() {
         obj.insert(
             "filters",
@@ -120,6 +123,7 @@ mod tests {
             expr_ops: vec![],
             columns: vec![("incomes".into(), "income".into())],
             degree_of_parallelism: None,
+            batch_mode: false,
             children: vec![],
         }
     }

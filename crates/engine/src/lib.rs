@@ -57,6 +57,8 @@ pub mod schema;
 pub mod spill;
 pub mod table;
 pub mod value;
+pub mod vector;
+pub mod vexec;
 pub mod window;
 
 pub use cache::{CacheStats, QueryCache};

@@ -556,6 +556,7 @@ fn exchange(
         expr_ops: Vec::new(),
         columns: Vec::new(),
         degree_of_parallelism: Some(dop),
+        batch_mode: false,
         children: vec![child],
     }
 }

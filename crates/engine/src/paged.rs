@@ -502,6 +502,29 @@ impl PagedTable {
         self.scan_range(0..self.row_count)
     }
 
+    /// Decode the whole table straight into a column batch, page by
+    /// page through the buffer pool (no intermediate `Vec<Row>` of the
+    /// full table). `width` comes from the schema — the heap does not
+    /// record column count, and empty tables still need it.
+    pub fn scan_columnar(&self, width: usize) -> Result<crate::vector::Batch> {
+        let mut builders: Vec<crate::vector::ColumnBuilder> =
+            (0..width).map(|_| crate::vector::ColumnBuilder::new()).collect();
+        for pg in 0..self.page_offsets.len() {
+            for row in self.decode_page(pg)? {
+                for (b, v) in builders.iter_mut().zip(row.iter()) {
+                    b.push(v);
+                }
+            }
+        }
+        Ok(crate::vector::Batch::new(
+            builders
+                .into_iter()
+                .map(|b| crate::vector::Col::new(b.finish()))
+                .collect(),
+            self.row_count,
+        ))
+    }
+
     /// Whether an order-safe secondary index exists to serve these
     /// bounds on `col` — the planner's gate for emitting an
     /// `Index Seek` (the executor re-checks through

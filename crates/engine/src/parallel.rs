@@ -29,6 +29,7 @@ use crate::functions::EvalContext;
 use crate::physical::{PhysOp, PhysicalPlan};
 use crate::table::cmp_rows;
 use crate::value::{Row, Value};
+use crate::vector::Batch;
 use sqlshare_common::{Error, Result};
 use sqlshare_sql::ast::JoinKind;
 use std::borrow::Cow;
@@ -51,13 +52,44 @@ pub fn execute_gather(
     ctx: &EvalContext,
     guard: &ExecGuard,
 ) -> Result<Vec<Row>> {
+    gather_inner(plan, dop, catalog, ctx, guard, false)
+}
+
+/// [`execute_gather`] for the vectorized engine: the same morsel
+/// pipeline, except the serial fallback and the join build run on
+/// [`crate::vexec`], and a region over an in-memory source carries a
+/// column-batch view — morsels evaluate their seek residual and leading
+/// filters as kernels over batch slices, bailing to the row path (which
+/// stays authoritative for errors) whenever a kernel cannot run.
+pub(crate) fn execute_gather_vectorized(
+    plan: &PhysicalPlan,
+    dop: usize,
+    catalog: &Catalog,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<Vec<Row>> {
+    gather_inner(plan, dop, catalog, ctx, guard, true)
+}
+
+fn gather_inner(
+    plan: &PhysicalPlan,
+    dop: usize,
+    catalog: &Catalog,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+    vectorized: bool,
+) -> Result<Vec<Row>> {
     let child = exec::data_child(plan)?;
     let dop = dop.max(1);
-    let Some(region) = compile(child, catalog)? else {
-        return exec::execute(child, catalog, ctx, guard);
+    let Some(region) = compile(child, catalog, vectorized)? else {
+        return if vectorized {
+            crate::vexec::execute(child, catalog, ctx, guard)
+        } else {
+            exec::execute(child, catalog, ctx, guard)
+        };
     };
     let join = match region.probe_spec() {
-        Some(spec) => Some(build_join(spec, dop, catalog, ctx, guard)?),
+        Some(spec) => Some(build_join(spec, dop, catalog, ctx, guard, vectorized)?),
         None => None,
     };
     match &region.agg {
@@ -98,6 +130,11 @@ struct Source<'a> {
     rows: Cow<'a, [Row]>,
     /// Seek residual predicate, applied before everything else.
     residual: Option<&'a BoundExpr>,
+    /// Column-vector view of `rows` (same rows, same order), present
+    /// only under the vectorized engine for in-memory backings. Morsel
+    /// workers slice it to run filter kernels without touching row
+    /// storage; `None` keeps the plain row path.
+    batch: Option<Batch>,
 }
 
 enum Op<'a> {
@@ -149,7 +186,11 @@ impl<'a> Region<'a> {
 /// input continues the chain down to a Scan or Seek. Mirrored by
 /// `optimizer::parallel_region_shape`, but execution never trusts that —
 /// anything unrecognized returns `None` and runs serially.
-fn compile<'a>(plan: &'a PhysicalPlan, catalog: &'a Catalog) -> Result<Option<Region<'a>>> {
+fn compile<'a>(
+    plan: &'a PhysicalPlan,
+    catalog: &'a Catalog,
+    vectorized: bool,
+) -> Result<Option<Region<'a>>> {
     let mut agg = None;
     let mut node = plan;
     if let PhysOp::Aggregate { group, aggs, .. } = &node.op {
@@ -218,10 +259,20 @@ fn compile<'a>(plan: &'a PhysicalPlan, catalog: &'a Catalog) -> Result<Option<Re
                 node = &node.children[0];
             }
             PhysOp::Scan { table } => {
-                let rows = catalog.table(table)?.scan()?;
+                let t = catalog.table(table)?;
+                let batch = if vectorized && t.paged().is_none() {
+                    Some((*t.columnar()?).clone())
+                } else {
+                    None
+                };
+                let rows = t.scan()?;
                 ops.reverse();
                 return Ok(Some(Region {
-                    source: Source { rows, residual: None },
+                    source: Source {
+                        rows,
+                        residual: None,
+                        batch,
+                    },
                     ops,
                     agg,
                 }));
@@ -232,14 +283,20 @@ fn compile<'a>(plan: &'a PhysicalPlan, catalog: &'a Catalog) -> Result<Option<Re
                 upper,
                 residual,
             } => {
-                let rows = catalog
-                    .table(table)?
-                    .seek_leading(exec::as_ref_bound(lower), exec::as_ref_bound(upper))?;
+                let t = catalog.table(table)?;
+                let lo = exec::as_ref_bound(lower);
+                let hi = exec::as_ref_bound(upper);
+                let batch = match (vectorized, t.seek_bounds(lo, hi)) {
+                    (true, Some(range)) => Some(t.columnar()?.slice(range)),
+                    _ => None,
+                };
+                let rows = t.seek_leading(lo, hi)?;
                 ops.reverse();
                 return Ok(Some(Region {
                     source: Source {
                         rows,
                         residual: residual.as_ref(),
+                        batch,
                     },
                     ops,
                     agg,
@@ -277,6 +334,7 @@ fn compile<'a>(plan: &'a PhysicalPlan, catalog: &'a Catalog) -> Result<Option<Re
                     source: Source {
                         rows,
                         residual: Some(predicate),
+                        batch: None,
                     },
                     ops,
                     agg,
@@ -453,23 +511,35 @@ fn process_morsel<'a>(
     while matches!(region.ops.get(lead), Some(Op::Filter(_))) {
         lead += 1;
     }
-    let mut survivors: Vec<&'a Row> = Vec::with_capacity(range.len());
-    'rows: for row in &region.source.rows[range] {
-        guard.tick(1)?;
-        if let Some(p) = region.source.residual {
-            if !eval_predicate(p, row, ctx)? {
-                continue;
-            }
+    let survivors: Vec<&'a Row> = match batch_survivors(region, lead, &range) {
+        Some(keep) => {
+            // Vectorized fast path: every filter stage ran as a kernel
+            // over the batch slice, so the kept rows are exactly the
+            // row path's survivors. One tick covers the morsel.
+            guard.tick(range.len() as u64)?;
+            keep.into_iter().map(|i| &region.source.rows[i]).collect()
         }
-        for op in &region.ops[..lead] {
-            if let Op::Filter(p) = op {
-                if !eval_predicate(p, row, ctx)? {
-                    continue 'rows;
+        None => {
+            let mut survivors: Vec<&'a Row> = Vec::with_capacity(range.len());
+            'rows: for row in &region.source.rows[range] {
+                guard.tick(1)?;
+                if let Some(p) = region.source.residual {
+                    if !eval_predicate(p, row, ctx)? {
+                        continue;
+                    }
                 }
+                for op in &region.ops[..lead] {
+                    if let Op::Filter(p) = op {
+                        if !eval_predicate(p, row, ctx)? {
+                            continue 'rows;
+                        }
+                    }
+                }
+                survivors.push(row);
             }
+            survivors
         }
-        survivors.push(row);
-    }
+    };
     let owned = match region.ops.get(lead) {
         None => return Ok(MorselRows::Borrowed(survivors)),
         Some(Op::Filter(_)) => unreachable!("leading filters consumed above"),
@@ -499,6 +569,39 @@ fn process_morsel<'a>(
     // holds owned output until the gather drains it.
     guard.charge_rows(&rows)?;
     Ok(MorselRows::Owned(rows))
+}
+
+/// Evaluate the seek residual plus the region's leading filters as
+/// vectorized kernels over a slice of the source batch, returning the
+/// surviving *global* row indexes. `None` falls back to the row path —
+/// which stays authoritative — for any of: no batch (row engine, paged
+/// or index-seek source), an unsupported expression shape, a row-level
+/// kernel error, or a valid non-boolean predicate value.
+fn batch_survivors(region: &Region, lead: usize, range: &Range<usize>) -> Option<Vec<usize>> {
+    let batch = region.source.batch.as_ref()?;
+    let slice = batch.slice(range.clone());
+    let mut keep = vec![true; slice.len];
+    let preds = region
+        .source
+        .residual
+        .into_iter()
+        .chain(region.ops[..lead].iter().map(|op| match op {
+            Op::Filter(p) => *p,
+            _ => unreachable!("leading ops are filters"),
+        }));
+    for p in preds {
+        let sel = crate::vexec::kernel_select(p, &slice)?;
+        for (k, s) in keep.iter_mut().zip(sel) {
+            *k &= s;
+        }
+    }
+    Some(
+        keep.iter()
+            .enumerate()
+            .filter(|(_, k)| **k)
+            .map(|(i, _)| range.start + i)
+            .collect(),
+    )
 }
 
 fn apply_ops(
@@ -607,9 +710,14 @@ fn build_join(
     catalog: &Catalog,
     ctx: &EvalContext,
     guard: &ExecGuard,
+    vectorized: bool,
 ) -> Result<JoinState> {
     guard.fault(FaultSite::JoinBuild)?;
-    let rows = exec::execute(spec.build, catalog, ctx, guard)?;
+    let rows = if vectorized {
+        crate::vexec::execute(spec.build, catalog, ctx, guard)?
+    } else {
+        exec::execute(spec.build, catalog, ctx, guard)?
+    };
     // The build table pins the whole right side (rows + partition maps)
     // for the probe's lifetime.
     guard.charge_rows(&rows)?;

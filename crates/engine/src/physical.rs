@@ -146,6 +146,9 @@ pub struct PhysicalPlan {
     /// Degree of parallelism, on `Parallelism` exchange operators only
     /// (the SHOWPLAN property the paper's extractor reads).
     pub degree_of_parallelism: Option<usize>,
+    /// Whether the vectorized engine executes this operator in batch
+    /// mode (EXPLAIN `batchMode: true`).
+    pub batch_mode: bool,
     pub children: Vec<PhysicalPlan>,
 }
 
@@ -161,6 +164,7 @@ impl PhysicalPlan {
             expr_ops: Vec::new(),
             columns: Vec::new(),
             degree_of_parallelism: None,
+            batch_mode: false,
             children: Vec::new(),
         }
     }

@@ -17,11 +17,12 @@
 use crate::paged::{PagedTable, StorageLayer};
 use crate::schema::Schema;
 use crate::value::{Row, Value};
+use crate::vector::Batch;
 use sqlshare_common::Result;
 use std::borrow::Cow;
 use std::cmp::Ordering;
-use std::ops::Bound;
-use std::sync::Arc;
+use std::ops::{Bound, Range};
+use std::sync::{Arc, OnceLock};
 
 #[derive(Debug, Clone)]
 enum Backing {
@@ -35,6 +36,11 @@ pub struct Table {
     pub name: String,
     pub schema: Schema,
     backing: Backing,
+    /// Lazily built columnar view of an in-memory backing, shared
+    /// across clones (tables are immutable after load). Paged backings
+    /// never cache here — a resident full-table batch would defeat the
+    /// buffer pool's memory bound.
+    columnar: Arc<OnceLock<Arc<Batch>>>,
 }
 
 impl Table {
@@ -46,6 +52,7 @@ impl Table {
             name: name.into(),
             schema,
             backing: Backing::Mem(rows),
+            columnar: Arc::new(OnceLock::new()),
         }
     }
 
@@ -64,6 +71,7 @@ impl Table {
             name,
             schema,
             backing: Backing::Paged(Arc::new(paged)),
+            columnar: Arc::new(OnceLock::new()),
         })
     }
 
@@ -83,6 +91,7 @@ impl Table {
             name: self.name,
             schema: self.schema,
             backing: Backing::Paged(Arc::new(paged)),
+            columnar: Arc::new(OnceLock::new()),
         })
     }
 
@@ -140,38 +149,67 @@ impl Table {
         upper: Bound<&Value>,
     ) -> Result<Cow<'_, [Row]>> {
         match &self.backing {
-            Backing::Mem(rows) => {
-                if rows.is_empty() {
-                    return Ok(Cow::Borrowed(&[]));
-                }
-                let start = match lower {
-                    Bound::Unbounded => 0,
-                    Bound::Included(v) => {
-                        rows.partition_point(|row| row[0].total_cmp(v) == Ordering::Less)
-                    }
-                    Bound::Excluded(v) => {
-                        rows.partition_point(|row| row[0].total_cmp(v) != Ordering::Greater)
-                    }
-                };
-                let end = match upper {
-                    Bound::Unbounded => rows.len(),
-                    Bound::Included(v) => {
-                        rows.partition_point(|row| row[0].total_cmp(v) != Ordering::Greater)
-                    }
-                    Bound::Excluded(v) => {
-                        rows.partition_point(|row| row[0].total_cmp(v) == Ordering::Less)
-                    }
-                };
-                Ok(if start >= end {
-                    Cow::Borrowed(&[][..])
-                } else {
-                    Cow::Borrowed(&rows[start..end])
-                })
-            }
+            Backing::Mem(rows) => Ok(match self.seek_bounds(lower, upper) {
+                Some(range) if !range.is_empty() => Cow::Borrowed(&rows[range]),
+                _ => Cow::Borrowed(&[][..]),
+            }),
             Backing::Paged(p) => {
                 let range = p.seek_range(lower, upper)?;
                 Ok(Cow::Owned(p.scan_range(range)?))
             }
+        }
+    }
+
+    /// The clustered ordinal range a leading-column seek covers, for
+    /// the in-memory backing only (`None` for paged tables — they
+    /// resolve bounds through [`PagedTable::seek_range`]). An empty
+    /// range means no matches.
+    pub(crate) fn seek_bounds(
+        &self,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<Range<usize>> {
+        let Backing::Mem(rows) = &self.backing else {
+            return None;
+        };
+        if rows.is_empty() {
+            return Some(0..0);
+        }
+        let start = match lower {
+            Bound::Unbounded => 0,
+            Bound::Included(v) => {
+                rows.partition_point(|row| row[0].total_cmp(v) == Ordering::Less)
+            }
+            Bound::Excluded(v) => {
+                rows.partition_point(|row| row[0].total_cmp(v) != Ordering::Greater)
+            }
+        };
+        let end = match upper {
+            Bound::Unbounded => rows.len(),
+            Bound::Included(v) => {
+                rows.partition_point(|row| row[0].total_cmp(v) != Ordering::Greater)
+            }
+            Bound::Excluded(v) => {
+                rows.partition_point(|row| row[0].total_cmp(v) == Ordering::Less)
+            }
+        };
+        Some(if start >= end { 0..0 } else { start..end })
+    }
+
+    /// The table as a column batch. In-memory backings build it once
+    /// and cache it (shared across clones); paged backings decode a
+    /// fresh batch per call, page at a time, so resident memory stays
+    /// bounded by the buffer pool.
+    pub fn columnar(&self) -> Result<Arc<Batch>> {
+        match &self.backing {
+            Backing::Mem(rows) => {
+                if let Some(batch) = self.columnar.get() {
+                    return Ok(Arc::clone(batch));
+                }
+                let batch = Arc::new(Batch::from_rows(rows, self.schema.len()));
+                Ok(Arc::clone(self.columnar.get_or_init(|| batch)))
+            }
+            Backing::Paged(p) => Ok(Arc::new(p.scan_columnar(self.schema.len())?)),
         }
     }
 }

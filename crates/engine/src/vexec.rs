@@ -1,0 +1,1510 @@
+//! The vectorized executor: batch-at-a-time evaluation of physical
+//! plans over typed column vectors ([`crate::vector`]).
+//!
+//! This engine is selected by default (`SQLSHARE_VECTORIZED=0` falls
+//! back to the row interpreter in [`crate::exec`], which stays alive as
+//! the correctness oracle). The contract with the oracle is strict:
+//! **byte-identical rows and identical first errors** on every query.
+//!
+//! The mechanism that makes that tractable is *replay-on-kernel-error*:
+//! expression kernels ([`eval_kernel`]) compile a supported subset of
+//! [`BoundExpr`] into tight per-type loops over column slices, and
+//! return `None` both for unsupported expressions and whenever a loop
+//! hits a row-level error (division by zero, overflow, NaN comparison,
+//! truth coercion of a non-boolean). The caller then *replays* the
+//! expression row-at-a-time through `BoundExpr::eval` — the oracle's
+//! own code — which reproduces the oracle's exact first error, in the
+//! oracle's exact evaluation order (including `AND`/`OR`
+//! short-circuiting, which column-at-a-time evaluation cannot honor
+//! when the skipped side would error). A kernel that *succeeds* is
+//! guaranteed to produce exactly the values the oracle would, so
+//! downstream error positions (e.g. "not a boolean" in a filter) are
+//! also exact.
+//!
+//! Operators that buffer (hash join build, grouped aggregation) charge
+//! the memory governor the same byte counts as the row engine
+//! ([`crate::vector::batch_rows_bytes`] replicates
+//! [`values_bytes`] per row), hit the same fault-injection
+//! sites in the same order, and fall back to the same spill paths.
+
+use crate::aggregate::{AggCall, AggFunc, Accumulator};
+use crate::catalog::Catalog;
+use crate::exec::{self, ExecGuard};
+use crate::expr::{eval_predicate, BoundExpr};
+use crate::faults::FaultSite;
+use crate::functions::EvalContext;
+use crate::memory::values_bytes;
+use crate::physical::{PhysOp, PhysicalPlan};
+use crate::table::cmp_rows;
+use crate::value::{Row, Value};
+use crate::vector::{batch_rows_bytes, batch_size, Batch, Bitmap, Col, ColumnBuilder, ColumnData, ColumnVec};
+use sqlshare_common::{Error, Result};
+use sqlshare_sql::ast::{BinaryOp, JoinKind};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Execute a physical plan to completion on the vectorized engine.
+pub fn execute(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<Vec<Row>> {
+    Ok(exec_node(plan, catalog, ctx, guard)?.into_rows())
+}
+
+/// Intermediate operator output: column batches while the pipeline
+/// stays vectorized, rows once an operator materializes.
+pub(crate) enum Out {
+    Batch(Batch),
+    Rows(Vec<Row>),
+}
+
+impl Out {
+    fn len(&self) -> usize {
+        match self {
+            Out::Batch(b) => b.len,
+            Out::Rows(r) => r.len(),
+        }
+    }
+
+    fn into_rows(self) -> Vec<Row> {
+        match self {
+            Out::Batch(b) => b.to_rows(),
+            Out::Rows(r) => r,
+        }
+    }
+
+    fn into_batch(self) -> Batch {
+        match self {
+            Out::Batch(b) => b,
+            Out::Rows(r) => {
+                let width = r.first().map(Row::len).unwrap_or(0);
+                Batch::from_rows(&r, width)
+            }
+        }
+    }
+}
+
+fn child(plan: &PhysicalPlan, catalog: &Catalog, ctx: &EvalContext, guard: &ExecGuard) -> Result<Out> {
+    exec_node(exec::data_child(plan)?, catalog, ctx, guard)
+}
+
+fn exec_node(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<Out> {
+    match &plan.op {
+        PhysOp::ConstantScan => Ok(Out::Rows(vec![Vec::new()])),
+        PhysOp::Scan { table } => {
+            guard.fault(FaultSite::Scan)?;
+            let batch = catalog.table(table)?.columnar()?;
+            guard.tick(batch.len as u64)?;
+            Ok(Out::Batch((*batch).clone()))
+        }
+        PhysOp::CachedScan { rows, .. } => {
+            guard.tick(rows.len() as u64)?;
+            let width = rows.first().map(Row::len).unwrap_or(0);
+            Ok(Out::Batch(Batch::from_rows(rows, width)))
+        }
+        PhysOp::Seek {
+            table,
+            lower,
+            upper,
+            residual,
+        } => {
+            guard.fault(FaultSite::Scan)?;
+            let t = catalog.table(table)?;
+            let lo = exec::as_ref_bound(lower);
+            let hi = exec::as_ref_bound(upper);
+            let batch = match t.seek_bounds(lo, hi) {
+                Some(range) => t.columnar()?.slice(range),
+                None => {
+                    let p = t.paged().expect("non-mem backing is paged");
+                    let rows = p.scan_range(p.seek_range(lo, hi)?)?;
+                    Batch::from_rows(&rows, t.schema.len())
+                }
+            };
+            guard.tick(batch.len as u64)?;
+            match residual {
+                None => Ok(Out::Batch(batch)),
+                Some(pred) => {
+                    let sel = eval_filter(pred, &batch, ctx)?;
+                    Ok(Out::Batch(batch.gather(&sel)))
+                }
+            }
+        }
+        PhysOp::IndexSeek {
+            table,
+            column,
+            lower,
+            upper,
+            predicate,
+        } => {
+            guard.fault(FaultSite::Scan)?;
+            let t = catalog.table(table)?;
+            let candidates = match t.paged() {
+                Some(p) => p.secondary_candidates(
+                    *column,
+                    exec::as_ref_bound(lower),
+                    exec::as_ref_bound(upper),
+                )?,
+                None => None,
+            };
+            let batch = match candidates {
+                Some(ordinals) => {
+                    let rows = t
+                        .paged()
+                        .expect("candidates imply paged backing")
+                        .fetch_rows(&ordinals)?;
+                    Batch::from_rows(&rows, t.schema.len())
+                }
+                None => (*t.columnar()?).clone(),
+            };
+            guard.tick(batch.len as u64)?;
+            let sel = eval_filter(predicate, &batch, ctx)?;
+            Ok(Out::Batch(batch.gather(&sel)))
+        }
+        PhysOp::Filter { predicate } => {
+            let input = child(plan, catalog, ctx, guard)?.into_batch();
+            guard.tick(input.len as u64)?;
+            let sel = eval_filter(predicate, &input, ctx)?;
+            Ok(Out::Batch(input.gather(&sel)))
+        }
+        PhysOp::Compute { exprs } => {
+            let input = child(plan, catalog, ctx, guard)?.into_batch();
+            guard.tick(input.len as u64)?;
+            let mut cols = Vec::with_capacity(exprs.len());
+            // The oracle evaluates row-major (for each row, each
+            // expression left to right), so its first error is the
+            // lexicographic minimum over (row, expression index).
+            let mut first: Option<(usize, usize, Error)> = None;
+            for (k, e) in exprs.iter().enumerate() {
+                match eval_col(e, &input, ctx) {
+                    Ok(c) => cols.push(c),
+                    Err((row, err)) => {
+                        if first.as_ref().map(|(fr, fk, _)| (row, k) < (*fr, *fk)).unwrap_or(true) {
+                            first = Some((row, k, err));
+                        }
+                    }
+                }
+            }
+            if let Some((_, _, e)) = first {
+                return Err(e);
+            }
+            let len = input.len;
+            Ok(Out::Batch(Batch::new(cols, len)))
+        }
+        PhysOp::Top { quantity, percent } => {
+            let out = child(plan, catalog, ctx, guard)?;
+            let len = out.len();
+            let n = if *percent {
+                ((len as f64) * (*quantity as f64) / 100.0).ceil() as usize
+            } else {
+                *quantity as usize
+            };
+            Ok(match out {
+                Out::Batch(b) => Out::Batch(b.slice(0..n.min(len))),
+                Out::Rows(mut r) => {
+                    r.truncate(n);
+                    Out::Rows(r)
+                }
+            })
+        }
+        PhysOp::Aggregate { group, aggs, .. } => {
+            // A row-shaped child (join output, sort, set op) feeds the
+            // row engine's own aggregate directly: re-encoding wide
+            // rows into columns just to decode them again would cost
+            // more than the batch kernels save, and calling the oracle
+            // is byte-identical by construction.
+            match child(plan, catalog, ctx, guard)? {
+                Out::Rows(rows) => Ok(Out::Rows(exec::aggregate(rows, group, aggs, ctx, guard)?)),
+                Out::Batch(input) => Ok(Out::Rows(aggregate_batch(input, group, aggs, ctx, guard)?)),
+            }
+        }
+        PhysOp::HashJoin {
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            left_width,
+            right_width,
+        } => {
+            let (l, r) = two_children(plan, catalog, ctx, guard)?;
+            hash_join_batch(
+                l,
+                r,
+                *kind,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                *left_width,
+                *right_width,
+                ctx,
+                guard,
+            )
+        }
+        PhysOp::MergeJoin {
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            // Same as the row engine: executed as an inner hash join.
+            let (l, r) = two_children(plan, catalog, ctx, guard)?;
+            let (lw, rw) = (l.width(), r.width());
+            hash_join_batch(
+                l,
+                r,
+                JoinKind::Inner,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                lw,
+                rw,
+                ctx,
+                guard,
+            )
+        }
+        PhysOp::NestedLoops {
+            kind,
+            on,
+            left_width,
+            right_width,
+        } => {
+            let (l, r) = two_rows(plan, catalog, ctx, guard)?;
+            Ok(Out::Rows(exec::nested_loops(
+                l,
+                r,
+                *kind,
+                on.as_ref(),
+                *left_width,
+                *right_width,
+                ctx,
+                guard,
+            )?))
+        }
+        PhysOp::Sort { keys } => {
+            let input = child(plan, catalog, ctx, guard)?.into_rows();
+            Ok(Out::Rows(exec::sort_rows(input, keys, ctx, guard)?))
+        }
+        PhysOp::DistinctSort => {
+            let mut input = child(plan, catalog, ctx, guard)?.into_rows();
+            guard.tick(input.len() as u64)?;
+            input.sort_by(cmp_rows);
+            input.dedup_by(|a, b| cmp_rows(a, b).is_eq());
+            Ok(Out::Rows(input))
+        }
+        PhysOp::Concatenation => {
+            let (mut l, r) = two_rows(plan, catalog, ctx, guard)?;
+            l.extend(r);
+            Ok(Out::Rows(l))
+        }
+        PhysOp::HashSetOp { op } => {
+            let (l, r) = two_rows(plan, catalog, ctx, guard)?;
+            Ok(Out::Rows(exec::hash_set_op(l, r, *op)?))
+        }
+        PhysOp::Segment => child(plan, catalog, ctx, guard),
+        PhysOp::SequenceProject { calls } => {
+            let input = child(plan, catalog, ctx, guard)?.into_rows();
+            guard.tick(input.len() as u64)?;
+            Ok(Out::Rows(crate::window::compute_windows(input, calls, ctx)?))
+        }
+        PhysOp::Gather { dop } => Ok(Out::Rows(crate::parallel::execute_gather_vectorized(
+            plan, *dop, catalog, ctx, guard,
+        )?)),
+        PhysOp::Repartition { .. } => child(plan, catalog, ctx, guard),
+    }
+}
+
+fn two_children(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<(Batch, Batch)> {
+    if plan.children.len() < 2 {
+        return Err(Error::Execution(
+            "internal: binary operator missing inputs".into(),
+        ));
+    }
+    let l = exec_node(&plan.children[0], catalog, ctx, guard)?.into_batch();
+    let r = exec_node(&plan.children[1], catalog, ctx, guard)?.into_batch();
+    Ok((l, r))
+}
+
+fn two_rows(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<(Vec<Row>, Vec<Row>)> {
+    if plan.children.len() < 2 {
+        return Err(Error::Execution(
+            "internal: binary operator missing inputs".into(),
+        ));
+    }
+    let l = exec_node(&plan.children[0], catalog, ctx, guard)?.into_rows();
+    let r = exec_node(&plan.children[1], catalog, ctx, guard)?.into_rows();
+    Ok((l, r))
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation: kernels + replay
+// ---------------------------------------------------------------------------
+
+/// Sparse scratch row for replaying expressions through the oracle's
+/// `BoundExpr::eval`: only the referenced column slots are filled.
+struct ScratchRow {
+    row: Row,
+    idxs: Vec<usize>,
+}
+
+impl ScratchRow {
+    fn new(expr: &BoundExpr, batch: &Batch) -> Self {
+        let mut idxs = Vec::new();
+        expr.column_indexes(&mut idxs);
+        idxs.sort_unstable();
+        idxs.dedup();
+        idxs.retain(|&i| i < batch.width());
+        ScratchRow {
+            row: vec![Value::Null; batch.width()],
+            idxs,
+        }
+    }
+
+    #[inline]
+    fn load(&mut self, batch: &Batch, i: usize) {
+        for &c in &self.idxs {
+            self.row[c] = batch.cols[c].value(i);
+        }
+    }
+}
+
+/// Evaluate an expression over a batch: kernel when possible, replayed
+/// row-at-a-time otherwise. On error, returns the oracle's first error
+/// and its row position.
+pub(crate) fn eval_col(
+    expr: &BoundExpr,
+    batch: &Batch,
+    ctx: &EvalContext,
+) -> std::result::Result<Col, (usize, Error)> {
+    if let Some(col) = eval_kernel(expr, batch) {
+        return Ok(col);
+    }
+    let mut scratch = ScratchRow::new(expr, batch);
+    let mut b = ColumnBuilder::new();
+    for i in 0..batch.len {
+        scratch.load(batch, i);
+        match expr.eval(&scratch.row, ctx) {
+            Ok(v) => b.push(&v),
+            Err(e) => return Err((i, e)),
+        }
+    }
+    Ok(Col::new(b.finish()))
+}
+
+/// Like [`eval_col`], but returns the per-row value prefix computed
+/// before the first error, so callers that interleave other per-row
+/// work (aggregate pushes) can reproduce the oracle's error order.
+/// A column's oracle values up to (not including) the first erroring
+/// row, plus that error at its exact position.
+type Partial = (Vec<Value>, Option<(usize, Error)>);
+
+fn eval_col_partial(
+    expr: &BoundExpr,
+    batch: &Batch,
+    ctx: &EvalContext,
+) -> (Vec<Value>, Option<(usize, Error)>) {
+    if let Some(col) = eval_kernel(expr, batch) {
+        return ((0..batch.len).map(|i| col.value(i)).collect(), None);
+    }
+    let mut scratch = ScratchRow::new(expr, batch);
+    let mut vals = Vec::with_capacity(batch.len);
+    for i in 0..batch.len {
+        scratch.load(batch, i);
+        match expr.eval(&scratch.row, ctx) {
+            Ok(v) => vals.push(v),
+            Err(e) => return (vals, Some((i, e))),
+        }
+    }
+    (vals, None)
+}
+
+/// Evaluate a predicate over a batch into a selection vector of
+/// surviving row positions, reproducing the oracle's first error
+/// (whether an evaluation error or a truth-coercion error).
+pub(crate) fn eval_filter(expr: &BoundExpr, batch: &Batch, ctx: &EvalContext) -> Result<Vec<u32>> {
+    let bs = batch_size();
+    let mut sel = Vec::new();
+    let mut scratch: Option<ScratchRow> = None;
+    let mut start = 0usize;
+    while start < batch.len {
+        let end = (start + bs).min(batch.len);
+        let chunk = batch.slice(start..end);
+        match eval_kernel(expr, &chunk) {
+            Some(col) => truth_select(&col, chunk.len, start, &mut sel)?,
+            None => {
+                // Replay the chunk row-at-a-time, interleaving
+                // evaluation and truth coercion exactly like the
+                // oracle's per-row `eval_predicate` loop.
+                let scratch = scratch.get_or_insert_with(|| ScratchRow::new(expr, batch));
+                for i in start..end {
+                    scratch.load(batch, i);
+                    if crate::expr::truth(&expr.eval(&scratch.row, ctx)?)?.unwrap_or(false) {
+                        sel.push(i as u32);
+                    }
+                }
+            }
+        }
+        start = end;
+    }
+    Ok(sel)
+}
+
+/// Kernel-evaluate a predicate over a batch into per-row keep flags
+/// (`Some(true)` truth only — NULL and false both drop the row). `None`
+/// sends the caller to its row path: unsupported expression shape, a
+/// row-level kernel error, or a valid non-boolean value (which the
+/// oracle reports as an error).
+pub(crate) fn kernel_select(expr: &BoundExpr, batch: &Batch) -> Option<Vec<bool>> {
+    let col = eval_kernel(expr, batch)?;
+    let tri = truth_col(&col, batch.len)?;
+    Some(tri.into_iter().map(|t| t == Some(true)).collect())
+}
+
+/// Map a kernel-produced predicate column to selected positions,
+/// erroring on the first *valid* non-boolean value (the kernel's values
+/// are exactly the oracle's, so position and message match).
+fn truth_select(col: &Col, len: usize, base: usize, sel: &mut Vec<u32>) -> Result<()> {
+    match &col.vec.data {
+        ColumnData::Bool(v) => {
+            for i in 0..len {
+                if col.is_valid(i) && v[col.off + i] {
+                    sel.push((base + i) as u32);
+                }
+            }
+        }
+        ColumnData::Int(v) => {
+            for i in 0..len {
+                if col.is_valid(i) && v[col.off + i] != 0 {
+                    sel.push((base + i) as u32);
+                }
+            }
+        }
+        _ => {
+            for i in 0..len {
+                if !col.is_valid(i) {
+                    continue;
+                }
+                match col.value(i) {
+                    Value::Bool(b) => {
+                        if b {
+                            sel.push((base + i) as u32);
+                        }
+                    }
+                    Value::Int(x) => {
+                        if x != 0 {
+                            sel.push((base + i) as u32);
+                        }
+                    }
+                    other => {
+                        return Err(Error::Execution(format!(
+                            "'{}' is not a boolean",
+                            other.to_text()
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Compile-and-run an expression kernel over a batch. `None` means
+/// "fall back to replay": either the expression shape is unsupported
+/// or a row-level error occurred mid-loop (the replay reproduces the
+/// oracle's exact error — or its absence, when the error was a phantom
+/// of non-short-circuited `AND`/`OR` evaluation).
+fn eval_kernel(expr: &BoundExpr, batch: &Batch) -> Option<Col> {
+    let n = batch.len;
+    match expr {
+        BoundExpr::Column(i) => batch.cols.get(*i).cloned(),
+        BoundExpr::Literal(v) => Some(Col::broadcast(v, n)),
+        BoundExpr::Neg(e) => neg_kernel(&eval_kernel(e, batch)?, n),
+        BoundExpr::Not(e) => {
+            let t = truth_col(&eval_kernel(e, batch)?, n)?;
+            Some(tri_to_col(t.into_iter().map(|b| b.map(|x| !x)).collect()))
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            let c = eval_kernel(expr, batch)?;
+            let out: Vec<bool> = (0..n).map(|i| c.is_valid(i) == *negated).collect();
+            Some(Col::new(ColumnVec {
+                data: ColumnData::Bool(out),
+                validity: None,
+            }))
+        }
+        BoundExpr::Binary { left, op, right } => {
+            use BinaryOp::*;
+            match op {
+                And | Or => {
+                    // Evaluated non-progressively over the full batch;
+                    // the oracle short-circuits (skipping errors on the
+                    // unevaluated side), so any kernel abort here may be
+                    // a phantom — the replay is authoritative.
+                    let lt = truth_col(&eval_kernel(left, batch)?, n)?;
+                    let rt = truth_col(&eval_kernel(right, batch)?, n)?;
+                    let tri = lt
+                        .into_iter()
+                        .zip(rt)
+                        .map(|(a, b)| match op {
+                            And => match (a, b) {
+                                (Some(false), _) | (_, Some(false)) => Some(false),
+                                (Some(true), Some(true)) => Some(true),
+                                _ => None,
+                            },
+                            _ => match (a, b) {
+                                (Some(true), _) | (_, Some(true)) => Some(true),
+                                (Some(false), Some(false)) => Some(false),
+                                _ => None,
+                            },
+                        })
+                        .collect();
+                    Some(tri_to_col(tri))
+                }
+                Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+                    let l = eval_kernel(left, batch)?;
+                    let r = eval_kernel(right, batch)?;
+                    cmp_kernel(*op, &l, &r, n)
+                }
+                Add | Sub | Mul | Div | Mod => {
+                    let l = eval_kernel(left, batch)?;
+                    let r = eval_kernel(right, batch)?;
+                    arith_kernel(*op, &l, &r, n)
+                }
+                Concat => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Three-valued truth view of a column. `None` aborts the kernel: some
+/// valid value is not boolean-coercible (the oracle would error there
+/// unless short-circuited away — replay decides).
+fn truth_col(col: &Col, n: usize) -> Option<Vec<Option<bool>>> {
+    let mut out = Vec::with_capacity(n);
+    match &col.vec.data {
+        ColumnData::Bool(v) => {
+            for i in 0..n {
+                out.push(col.is_valid(i).then(|| v[col.off + i]));
+            }
+        }
+        ColumnData::Int(v) => {
+            for i in 0..n {
+                out.push(col.is_valid(i).then(|| v[col.off + i] != 0));
+            }
+        }
+        _ => {
+            for i in 0..n {
+                if !col.is_valid(i) {
+                    out.push(None);
+                    continue;
+                }
+                match col.value(i) {
+                    Value::Bool(b) => out.push(Some(b)),
+                    Value::Int(x) => out.push(Some(x != 0)),
+                    _ => return None,
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Pack a three-valued boolean vector into a `Bool` column.
+fn tri_to_col(tri: Vec<Option<bool>>) -> Col {
+    let n = tri.len();
+    let any_null = tri.iter().any(Option::is_none);
+    let mut data = Vec::with_capacity(n);
+    let validity = if any_null {
+        let mut bm = Bitmap::new_null(n);
+        for (i, t) in tri.iter().enumerate() {
+            match t {
+                Some(b) => {
+                    bm.set(i, true);
+                    data.push(*b);
+                }
+                None => data.push(false),
+            }
+        }
+        Some(bm)
+    } else {
+        data.extend(tri.into_iter().map(|t| t.expect("no nulls")));
+        None
+    };
+    Col::new(ColumnVec {
+        data: ColumnData::Bool(data),
+        validity,
+    })
+}
+
+fn neg_kernel(c: &Col, n: usize) -> Option<Col> {
+    let validity = one_validity(c, n);
+    match &c.vec.data {
+        ColumnData::Int(v) => {
+            let data = (0..n)
+                .map(|i| if c.is_valid(i) { -v[c.off + i] } else { 0 })
+                .collect();
+            Some(Col::new(ColumnVec {
+                data: ColumnData::Int(data),
+                validity,
+            }))
+        }
+        ColumnData::Float(v) => {
+            let data = (0..n)
+                .map(|i| if c.is_valid(i) { -v[c.off + i] } else { 0.0 })
+                .collect();
+            Some(Col::new(ColumnVec {
+                data: ColumnData::Float(data),
+                validity,
+            }))
+        }
+        _ => None,
+    }
+}
+
+fn one_validity(c: &Col, n: usize) -> Option<Bitmap> {
+    c.vec.validity.as_ref()?;
+    let mut bm = Bitmap::new_null(n);
+    for i in 0..n {
+        bm.set(i, c.is_valid(i));
+    }
+    Some(bm)
+}
+
+fn combined_validity(l: &Col, r: &Col, n: usize) -> Option<Bitmap> {
+    if l.vec.validity.is_none() && r.vec.validity.is_none() {
+        return None;
+    }
+    let mut bm = Bitmap::new_null(n);
+    for i in 0..n {
+        bm.set(i, l.is_valid(i) && r.is_valid(i));
+    }
+    Some(bm)
+}
+
+/// Numeric column view: both int and float read as their exact `f64`
+/// image, matching the oracle's mixed-numeric arithmetic/comparison.
+enum NumSlice<'a> {
+    I(&'a [i64]),
+    F(&'a [f64]),
+}
+
+impl NumSlice<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            NumSlice::I(v) => v[i] as f64,
+            NumSlice::F(v) => v[i],
+        }
+    }
+}
+
+fn num_slice(c: &Col) -> Option<NumSlice<'_>> {
+    match &c.vec.data {
+        ColumnData::Int(v) => Some(NumSlice::I(v)),
+        ColumnData::Float(v) => Some(NumSlice::F(v)),
+        _ => None,
+    }
+}
+
+fn arith_kernel(op: BinaryOp, l: &Col, r: &Col, n: usize) -> Option<Col> {
+    use BinaryOp::*;
+    let validity = combined_validity(l, r, n);
+    let valid = |i: usize| l.is_valid(i) && r.is_valid(i);
+    match (&l.vec.data, &r.vec.data) {
+        (ColumnData::Int(a), ColumnData::Int(b)) => {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                if !valid(i) {
+                    out.push(0);
+                    continue;
+                }
+                let (x, y) = (a[l.off + i], b[r.off + i]);
+                out.push(match op {
+                    Add => x.checked_add(y)?,
+                    Sub => x.checked_sub(y)?,
+                    Mul => x.checked_mul(y)?,
+                    Div => {
+                        if y == 0 {
+                            return None;
+                        }
+                        x / y
+                    }
+                    Mod => {
+                        if y == 0 {
+                            return None;
+                        }
+                        x % y
+                    }
+                    _ => return None,
+                });
+            }
+            Some(Col::new(ColumnVec {
+                data: ColumnData::Int(out),
+                validity,
+            }))
+        }
+        (ColumnData::Date(a), ColumnData::Int(b)) if matches!(op, Add | Sub) => {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                if !valid(i) {
+                    out.push(0);
+                    continue;
+                }
+                let (d, m) = (a[l.off + i], b[r.off + i] as i32);
+                out.push(if matches!(op, Add) { d + m } else { d - m });
+            }
+            Some(Col::new(ColumnVec {
+                data: ColumnData::Date(out),
+                validity,
+            }))
+        }
+        (ColumnData::Date(a), ColumnData::Date(b)) if matches!(op, Sub) => {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                if !valid(i) {
+                    out.push(0);
+                    continue;
+                }
+                out.push(i64::from(a[l.off + i]) - i64::from(b[r.off + i]));
+            }
+            Some(Col::new(ColumnVec {
+                data: ColumnData::Int(out),
+                validity,
+            }))
+        }
+        _ => {
+            // Mixed numeric (at least one float side): f64 arithmetic,
+            // like the oracle's cast-to-Float path. Anything else
+            // (text concat via `+`, invalid date ops) replays.
+            let a = num_slice(l)?;
+            let b = num_slice(r)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                if !valid(i) {
+                    out.push(0.0);
+                    continue;
+                }
+                let (x, y) = (a.get(l.off + i), b.get(r.off + i));
+                out.push(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => {
+                        if y == 0.0 {
+                            return None;
+                        }
+                        x / y
+                    }
+                    Mod => {
+                        if y == 0.0 {
+                            return None;
+                        }
+                        x % y
+                    }
+                    _ => return None,
+                });
+            }
+            Some(Col::new(ColumnVec {
+                data: ColumnData::Float(out),
+                validity,
+            }))
+        }
+    }
+}
+
+fn ord_to_bool(op: BinaryOp, ord: Ordering) -> bool {
+    use BinaryOp::*;
+    match op {
+        Eq => ord == Ordering::Equal,
+        NotEq => ord != Ordering::Equal,
+        Lt => ord == Ordering::Less,
+        LtEq => ord != Ordering::Greater,
+        Gt => ord == Ordering::Greater,
+        GtEq => ord != Ordering::Less,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+fn cmp_kernel(op: BinaryOp, l: &Col, r: &Col, n: usize) -> Option<Col> {
+    let validity = combined_validity(l, r, n);
+    let valid = |i: usize| l.is_valid(i) && r.is_valid(i);
+    let mut out = Vec::with_capacity(n);
+    match (&l.vec.data, &r.vec.data) {
+        // Int × Int compares exactly (the oracle's `sql_cmp` uses
+        // `i64::cmp` for this pair, not the f64 image).
+        (ColumnData::Int(a), ColumnData::Int(b)) => {
+            for i in 0..n {
+                out.push(valid(i) && ord_to_bool(op, a[l.off + i].cmp(&b[r.off + i])));
+            }
+        }
+        (ColumnData::Text { codes: ca, dict: da }, ColumnData::Text { codes: cb, dict: db }) => {
+            for i in 0..n {
+                out.push(
+                    valid(i)
+                        && ord_to_bool(
+                            op,
+                            da[ca[l.off + i] as usize].as_str().cmp(db[cb[r.off + i] as usize].as_str()),
+                        ),
+                );
+            }
+        }
+        (ColumnData::Date(a), ColumnData::Date(b)) => {
+            for i in 0..n {
+                out.push(valid(i) && ord_to_bool(op, a[l.off + i].cmp(&b[r.off + i])));
+            }
+        }
+        (ColumnData::Bool(a), ColumnData::Bool(b)) => {
+            for i in 0..n {
+                out.push(valid(i) && ord_to_bool(op, a[l.off + i].cmp(&b[r.off + i])));
+            }
+        }
+        _ => {
+            // Mixed numeric via f64 `partial_cmp`; NaN has no ordering
+            // under `sql_cmp`, which is an error in the oracle — abort
+            // to replay. Cross-group pairs (text coercions) replay too.
+            let a = num_slice(l)?;
+            let b = num_slice(r)?;
+            for i in 0..n {
+                if !valid(i) {
+                    out.push(false);
+                    continue;
+                }
+                let ord = a.get(l.off + i).partial_cmp(&b.get(r.off + i))?;
+                out.push(ord_to_bool(op, ord));
+            }
+        }
+    }
+    Some(Col::new(ColumnVec {
+        data: ColumnData::Bool(out),
+        validity,
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Batch operators: aggregate + hash join
+// ---------------------------------------------------------------------------
+
+/// Key tuples for every row below the first evaluation error, plus that
+/// error. The oracle evaluates keys row-major, so the first error is
+/// the lexicographic minimum over (row, key index).
+fn eval_keys(keys: &[BoundExpr], batch: &Batch, ctx: &EvalContext) -> (Vec<Row>, Option<Error>) {
+    let mut parts: Vec<Partial> =
+        keys.iter().map(|k| eval_col_partial(k, batch, ctx)).collect();
+    let mut best: Option<(usize, usize)> = None;
+    for (ki, (_, err)) in parts.iter().enumerate() {
+        if let Some((row, _)) = err {
+            if best.map(|(br, bk)| (*row, ki) < (br, bk)).unwrap_or(true) {
+                best = Some((*row, ki));
+            }
+        }
+    }
+    let limit = best.map(|(r, _)| r).unwrap_or(batch.len);
+    let tuples = (0..limit)
+        .map(|i| parts.iter().map(|(vals, _)| vals[i].clone()).collect())
+        .collect();
+    let err = best.map(|(_, ki)| parts[ki].1.take().expect("error recorded").1);
+    (tuples, err)
+}
+
+/// The aggregate argument at `pos` for accumulator `ai`, or the
+/// oracle's evaluation error if it occurred exactly there.
+fn agg_arg(
+    partials: &mut [Partial],
+    ai: usize,
+    pos: usize,
+    has_arg: bool,
+) -> Result<Value> {
+    if !has_arg {
+        return Ok(Value::Int(1)); // COUNT(*)
+    }
+    let (vals, err) = &mut partials[ai];
+    if let Some((ep, _)) = err {
+        if *ep == pos {
+            return Err(err.take().expect("error recorded").1);
+        }
+    }
+    Ok(vals[pos].clone())
+}
+
+/// Non-null positions of the column's first `n` rows.
+fn valid_count(c: &Col, n: usize) -> usize {
+    match &c.vec.validity {
+        None => n,
+        Some(_) => (0..n).filter(|&i| c.is_valid(i)).count(),
+    }
+}
+
+/// Scalar-aggregate fast path: every aggregate feeds straight off a
+/// kernel-evaluated typed column (or bulk-counts rows), bypassing the
+/// exact path's per-row `Value` materialization. Only shapes whose
+/// feeds cannot error are eligible — kernel success already guarantees
+/// oracle-identical cell values, `COUNT` ignores its input beyond
+/// null-ness, and [`Accumulator::push`] is infallible for `Int`/`Float`
+/// (integer SUM wraps rather than erroring) — so bailing to the exact
+/// path (`None`) covers everything else: DISTINCT, text/mixed numeric
+/// feeds (parse errors), and expressions the kernels cannot compile.
+fn scalar_aggregate_fast(input: &Batch, aggs: &[AggCall]) -> Option<Row> {
+    let n = input.len;
+    let mut cols: Vec<Option<Col>> = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        if a.distinct {
+            return None;
+        }
+        match &a.arg {
+            // A missing argument behaves as a non-null `1` per row; only
+            // COUNT reduces that to a bulk count (the planner never
+            // produces other argument-less calls, but the exact path
+            // defines their semantics).
+            None if !matches!(a.func, AggFunc::Count) => return None,
+            None => cols.push(None), // COUNT(*)
+            Some(e) => {
+                let c = eval_kernel(e, input)?;
+                match &c.vec.data {
+                    ColumnData::Int(_) | ColumnData::Float(_) => {}
+                    // COUNT only looks at null-ness, which the validity
+                    // bitmap decides for every layout.
+                    _ if matches!(a.func, AggFunc::Count) => {}
+                    _ => return None,
+                }
+                cols.push(Some(c));
+            }
+        }
+    }
+    let mut out = Row::with_capacity(aggs.len());
+    for (a, col) in aggs.iter().zip(cols) {
+        let mut acc = Accumulator::new(a.func, false);
+        match col {
+            None => acc.add_count(n as i64),
+            Some(c) if matches!(a.func, AggFunc::Count) => {
+                acc.add_count(valid_count(&c, n) as i64);
+            }
+            Some(c) => match &c.vec.data {
+                ColumnData::Int(vals) => {
+                    for (i, &x) in vals[c.off..c.off + n].iter().enumerate() {
+                        if c.is_valid(i) {
+                            acc.push(&Value::Int(x)).expect("Int feed cannot fail");
+                        }
+                    }
+                }
+                ColumnData::Float(vals) => {
+                    for (i, &x) in vals[c.off..c.off + n].iter().enumerate() {
+                        if c.is_valid(i) {
+                            acc.push(&Value::Float(x)).expect("Float feed cannot fail");
+                        }
+                    }
+                }
+                _ => unreachable!("non-numeric layouts bail above"),
+            },
+        }
+        out.push(acc.finish());
+    }
+    Some(out)
+}
+
+fn aggregate_batch(
+    input: Batch,
+    group: &[BoundExpr],
+    aggs: &[AggCall],
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<Vec<Row>> {
+    let n = input.len;
+    if group.is_empty() {
+        // Scalar aggregate: one output row, even on empty input.
+        guard.tick(n as u64)?;
+        if let Some(row) = scalar_aggregate_fast(&input, aggs) {
+            return Ok(vec![row]);
+        }
+        let mut partials: Vec<Partial> = aggs
+            .iter()
+            .map(|a| match &a.arg {
+                Some(e) => eval_col_partial(e, &input, ctx),
+                None => (Vec::new(), None),
+            })
+            .collect();
+        let mut accs: Vec<Accumulator> = aggs
+            .iter()
+            .map(|a| Accumulator::new(a.func, a.distinct))
+            .collect();
+        for pos in 0..n {
+            for (ai, call) in aggs.iter().enumerate() {
+                let v = agg_arg(&mut partials, ai, pos, call.arg.is_some())?;
+                accs[ai].push(&v)?;
+            }
+        }
+        return Ok(vec![accs.iter().map(Accumulator::finish).collect()]);
+    }
+    guard.fault(FaultSite::AggMerge)?;
+    guard.tick(n as u64)?;
+    // Group keys, column-at-a-time; errors mirror the oracle's
+    // row-major order and surface before the governor charge.
+    let (keys, err) = eval_keys(group, &input, ctx);
+    if let Some(e) = err {
+        return Err(e);
+    }
+    let key_bytes: usize = keys.iter().map(|k| values_bytes(k)).sum();
+    guard.charge(key_bytes)?;
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| cmp_rows(&keys[a as usize], &keys[b as usize]));
+    let sorted = input.gather(&order);
+    // Aggregate arguments evaluate over the *sorted* batch, matching
+    // the oracle's sort-then-feed order (its feed errors occur in
+    // sorted position order).
+    let mut partials: Vec<Partial> = aggs
+        .iter()
+        .map(|a| match &a.arg {
+            Some(e) => eval_col_partial(e, &sorted, ctx),
+            None => (Vec::new(), None),
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && cmp_rows(&keys[order[j] as usize], &keys[order[i] as usize]).is_eq() {
+            j += 1;
+        }
+        let mut accs: Vec<Accumulator> = aggs
+            .iter()
+            .map(|a| Accumulator::new(a.func, a.distinct))
+            .collect();
+        for pos in i..j {
+            for (ai, call) in aggs.iter().enumerate() {
+                let v = agg_arg(&mut partials, ai, pos, call.arg.is_some())?;
+                accs[ai].push(&v)?;
+            }
+        }
+        let mut out_row = keys[order[i] as usize].clone();
+        out_row.extend(accs.iter().map(Accumulator::finish));
+        out.push(out_row);
+        i = j;
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hash_join_batch(
+    left: Batch,
+    right: Batch,
+    kind: JoinKind,
+    left_keys: &[BoundExpr],
+    right_keys: &[BoundExpr],
+    residual: Option<&BoundExpr>,
+    left_width: usize,
+    right_width: usize,
+    ctx: &EvalContext,
+    guard: &ExecGuard,
+) -> Result<Out> {
+    guard.fault(FaultSite::JoinBuild)?;
+    // Charge the build side exactly as the row engine would for the
+    // materialized rows; over budget with storage attached, fall back
+    // to the same Grace hash join.
+    let build_bytes = batch_rows_bytes(&right);
+    if let Err(e) = guard.charge(build_bytes) {
+        let spillable = matches!(e, Error::ResourceExhausted(_)) && guard.storage().is_some();
+        if !spillable {
+            return Err(e);
+        }
+        guard.memory().release(build_bytes);
+        let layer = Arc::clone(guard.storage().expect("checked above"));
+        return Ok(Out::Rows(crate::spill::grace_hash_join(
+            left.to_rows(),
+            right.to_rows(),
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            left_width,
+            right_width,
+            ctx,
+            guard,
+            &layer,
+        )?));
+    }
+    let nr = right.len;
+    guard.tick(nr as u64)?;
+    let (right_key_vals, rerr) = eval_keys(right_keys, &right, ctx);
+    if let Some(e) = rerr {
+        return Err(e);
+    }
+    let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+    for (ri, key) in right_key_vals.iter().enumerate() {
+        if let Some(key) = exec::join_key(key) {
+            table.entry(key).or_default().push(ri);
+        }
+    }
+    guard.fault(FaultSite::JoinProbe)?;
+    let nl = left.len;
+    guard.tick(nl as u64)?;
+    // A left-key error at row L must not preempt a residual error at an
+    // earlier probe row: probe the pre-error prefix first, then raise.
+    let (left_key_vals, lerr) = eval_keys(left_keys, &left, ctx);
+
+    // Late materialization for the common shape — inner equi-join, no
+    // residual: record matched (probe, build) index pairs and gather
+    // both sides' columns once at the end. Text columns gather as
+    // dictionary codes, so no row (and no string) is materialized; the
+    // output stays a batch for the consumer (an aggregate feeds its
+    // kernels straight off the gathered columns). Row order is the
+    // probe order, exactly as the materializing path below emits it.
+    if matches!(kind, JoinKind::Inner) && residual.is_none() {
+        let mut lsel: Vec<u32> = Vec::new();
+        let mut rsel: Vec<u32> = Vec::new();
+        for (li, key) in left_key_vals.iter().enumerate() {
+            if let Some(key) = exec::join_key(key) {
+                if let Some(candidates) = table.get(&key) {
+                    guard.tick(candidates.len() as u64)?;
+                    for &ri in candidates {
+                        lsel.push(li as u32);
+                        rsel.push(ri as u32);
+                    }
+                }
+            }
+        }
+        if let Some(e) = lerr {
+            return Err(e);
+        }
+        let len = lsel.len();
+        let mut cols = left.gather(&lsel).cols;
+        cols.extend(right.gather(&rsel).cols);
+        return Ok(Out::Batch(Batch::new(cols, len)));
+    }
+
+    let mut out = Vec::new();
+    let mut right_matched = vec![false; nr];
+    for (li, key) in left_key_vals.iter().enumerate() {
+        let mut matched = false;
+        if let Some(key) = exec::join_key(key) {
+            if let Some(candidates) = table.get(&key) {
+                guard.tick(candidates.len() as u64)?;
+                for &ri in candidates {
+                    let mut combined = left.row(li);
+                    combined.extend(right.row(ri));
+                    let ok = match residual {
+                        None => true,
+                        Some(p) => eval_predicate(p, &combined, ctx)?,
+                    };
+                    if ok {
+                        matched = true;
+                        right_matched[ri] = true;
+                        out.push(combined);
+                    }
+                }
+            }
+        }
+        if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
+            let mut padded = left.row(li);
+            padded.extend(exec::null_row(right_width));
+            out.push(padded);
+        }
+    }
+    if let Some(e) = lerr {
+        return Err(e);
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, matched) in right_matched.iter().enumerate() {
+            if !matched {
+                let mut padded = exec::null_row(left_width);
+                padded.extend(right.row(ri));
+                out.push(padded);
+            }
+        }
+    }
+    Ok(Out::Rows(out))
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN annotation
+// ---------------------------------------------------------------------------
+
+/// Mark the operators the vectorized engine executes in batch mode
+/// (`batchMode: true` in EXPLAIN). Inside a parallel region only the
+/// morsel pipeline's leading scan/filter stages run on column slices;
+/// serial subtrees vectorize the full operator set.
+pub fn annotate_batch_mode(plan: &mut PhysicalPlan) {
+    annotate(plan, false);
+}
+
+fn annotate(plan: &mut PhysicalPlan, under_gather: bool) {
+    let in_gather = under_gather || matches!(plan.op, PhysOp::Gather { .. });
+    plan.batch_mode = if under_gather {
+        matches!(
+            plan.op,
+            PhysOp::Scan { .. } | PhysOp::Seek { .. } | PhysOp::IndexSeek { .. } | PhysOp::Filter { .. }
+        )
+    } else {
+        matches!(
+            plan.op,
+            PhysOp::Scan { .. }
+                | PhysOp::CachedScan { .. }
+                | PhysOp::Seek { .. }
+                | PhysOp::IndexSeek { .. }
+                | PhysOp::Filter { .. }
+                | PhysOp::Compute { .. }
+                | PhysOp::Aggregate { .. }
+                | PhysOp::Top { .. }
+                | PhysOp::HashJoin { .. }
+                | PhysOp::MergeJoin { .. }
+        )
+    };
+    for c in &mut plan.children {
+        annotate(c, in_gather);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Randomized null-bitmap kernel oracle: batches of typed columns
+    //! with nulls are pushed through the filter / comparison /
+    //! arithmetic / aggregation kernels and compared against naive
+    //! per-row [`BoundExpr::eval`] — the row engine's own code — cell
+    //! by cell and error by error. The generators deliberately mix
+    //! numeric type groups (`Int` × `Float` columns, NaN literals,
+    //! numeric and non-numeric text) to cover the seams between
+    //! `Value::total_cmp` (the builder/sort order, NaN-last) and
+    //! `sql_cmp` (the comparison kernels' semantics, where NaN has no
+    //! order and cross-group pairs coerce through text).
+
+    use super::*;
+    use crate::aggregate::AggFunc;
+    use proptest::prelude::*;
+
+    /// Deterministic xorshift so every case derives from one seed the
+    /// proptest harness prints on failure.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x.max(1);
+            x
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// A literal drawn from every type group, including the edge values
+    /// the kernels special-case: NaN (no `sql_cmp` order), near-MAX
+    /// ints (checked-arithmetic overflow), numeric text (aggregate
+    /// parsing, text coercion in comparisons), and empty text.
+    fn gen_value(r: &mut Rng) -> Value {
+        match r.below(12) {
+            0 => Value::Null,
+            1 => Value::Bool(r.below(2) == 1),
+            2..=4 => Value::Int(r.below(21) as i64 - 10),
+            5 => Value::Int(i64::MAX - r.below(3) as i64),
+            6 | 7 => Value::Float((r.below(41) as f64 - 20.0) / 4.0),
+            8 => Value::Float(f64::NAN),
+            9 => Value::Date(r.below(2000) as i32),
+            10 => Value::Text(format!("{}", r.below(30))),
+            _ => Value::Text(["a", "b", "zz", ""][r.below(4) as usize].into()),
+        }
+    }
+
+    /// One cell of a column with the given flavor (typed columns hit
+    /// the tight per-type loops; the mixed flavor forces the
+    /// `ColumnData::Mixed` fallback) with a ~1-in-5 null rate.
+    fn gen_cell(flavor: u8, r: &mut Rng) -> Value {
+        if r.below(5) == 0 {
+            return Value::Null;
+        }
+        match flavor % 6 {
+            0 => Value::Int(r.below(13) as i64 - 6),
+            1 => {
+                if r.below(10) == 0 {
+                    Value::Float(f64::NAN)
+                } else {
+                    Value::Float((r.below(25) as f64 - 12.0) / 2.0)
+                }
+            }
+            2 => Value::Text(["x", "y", "7", "-3", ""][r.below(5) as usize].into()),
+            3 => Value::Date(r.below(300) as i32),
+            4 => Value::Bool(r.below(2) == 1),
+            _ => gen_value(r),
+        }
+    }
+
+    fn gen_batch(r: &mut Rng) -> Batch {
+        let width = 1 + r.below(3) as usize;
+        let n = r.below(40) as usize;
+        let flavors: Vec<u8> = (0..width).map(|_| r.below(6) as u8).collect();
+        let rows: Vec<Row> = (0..n)
+            .map(|_| flavors.iter().map(|&f| gen_cell(f, r)).collect())
+            .collect();
+        Batch::from_rows(&rows, width)
+    }
+
+    /// A random expression over the batch's columns. Covers every
+    /// kernel shape (column, literal, Neg/Not/IsNull, AND/OR,
+    /// comparisons, arithmetic, Concat) plus the occasional
+    /// out-of-range column index (both engines must report it
+    /// identically) — anything the kernels cannot compile exercises
+    /// the replay path instead.
+    fn gen_expr(r: &mut Rng, width: usize, depth: u32) -> BoundExpr {
+        use sqlshare_sql::ast::BinaryOp::*;
+        if depth == 0 || r.below(3) == 0 {
+            return if r.below(2) == 0 {
+                // 1-in-16 out-of-range index.
+                let i = if r.below(16) == 0 { width + 3 } else { r.below(width as u64) as usize };
+                BoundExpr::Column(i)
+            } else {
+                BoundExpr::Literal(gen_value(r))
+            };
+        }
+        match r.below(10) {
+            0 => BoundExpr::Neg(Box::new(gen_expr(r, width, depth - 1))),
+            1 => BoundExpr::Not(Box::new(gen_expr(r, width, depth - 1))),
+            2 => BoundExpr::IsNull {
+                expr: Box::new(gen_expr(r, width, depth - 1)),
+                negated: r.below(2) == 1,
+            },
+            _ => {
+                let op = [
+                    And, Or, Eq, NotEq, Lt, LtEq, Gt, GtEq, Add, Sub, Mul, Div, Mod, Concat,
+                ][r.below(14) as usize];
+                BoundExpr::Binary {
+                    left: Box::new(gen_expr(r, width, depth - 1)),
+                    op,
+                    right: Box::new(gen_expr(r, width, depth - 1)),
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(400))]
+
+        #[test]
+        fn eval_col_matches_row_oracle(seed in proptest::any::<u64>()) {
+            let mut r = Rng(seed | 1);
+            let ctx = EvalContext::default();
+            let batch = gen_batch(&mut r);
+            let expr = gen_expr(&mut r, batch.width(), 3);
+            let mut oracle_vals = Vec::new();
+            let mut oracle_err: Option<(usize, Error)> = None;
+            for i in 0..batch.len {
+                match expr.eval(&batch.row(i), &ctx) {
+                    Ok(v) => oracle_vals.push(v),
+                    Err(e) => {
+                        oracle_err = Some((i, e));
+                        break;
+                    }
+                }
+            }
+            match (eval_col(&expr, &batch, &ctx), oracle_err) {
+                (Ok(col), None) => {
+                    for (i, want) in oracle_vals.iter().enumerate() {
+                        prop_assert_eq!(&col.value(i), want, "cell {} of {:?}", i, expr);
+                    }
+                }
+                (Err((row, err)), Some((orow, oerr))) => {
+                    prop_assert_eq!(row, orow, "error row for {:?}", expr);
+                    prop_assert_eq!(err, oerr, "error for {:?}", expr);
+                }
+                (got, want) => {
+                    return Err(TestCaseError::fail(format!(
+                        "outcome mismatch for {expr:?}: kernel {:?} vs oracle {want:?}",
+                        got.map(|_| "rows")
+                    )));
+                }
+            }
+        }
+
+        #[test]
+        fn eval_filter_matches_row_oracle(seed in proptest::any::<u64>()) {
+            let mut r = Rng(seed | 1);
+            let ctx = EvalContext::default();
+            let batch = gen_batch(&mut r);
+            let expr = gen_expr(&mut r, batch.width(), 3);
+            // The oracle interleaves evaluation and truth coercion per
+            // row, exactly like `exec`'s filter loop.
+            let mut oracle_sel: Vec<u32> = Vec::new();
+            let mut oracle_err: Option<Error> = None;
+            for i in 0..batch.len {
+                match expr.eval(&batch.row(i), &ctx).and_then(|v| crate::expr::truth(&v)) {
+                    Ok(t) => {
+                        if t.unwrap_or(false) {
+                            oracle_sel.push(i as u32);
+                        }
+                    }
+                    Err(e) => {
+                        oracle_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            match (eval_filter(&expr, &batch, &ctx), oracle_err) {
+                (Ok(sel), None) => prop_assert_eq!(sel, oracle_sel, "selection for {:?}", expr),
+                (Err(err), Some(oerr)) => prop_assert_eq!(err, oerr, "error for {:?}", expr),
+                (got, want) => {
+                    return Err(TestCaseError::fail(format!(
+                        "outcome mismatch for {expr:?}: kernel {got:?} vs oracle {want:?}"
+                    )));
+                }
+            }
+        }
+
+        #[test]
+        fn aggregate_matches_row_oracle(seed in proptest::any::<u64>()) {
+            let mut r = Rng(seed | 1);
+            let ctx = EvalContext::default();
+            let batch = gen_batch(&mut r);
+            let width = batch.width();
+            let group: Vec<BoundExpr> = (0..r.below(3))
+                .map(|_| gen_expr(&mut r, width, 1))
+                .collect();
+            let funcs = [
+                AggFunc::Count,
+                AggFunc::Sum,
+                AggFunc::Avg,
+                AggFunc::Min,
+                AggFunc::Max,
+                AggFunc::Stdev,
+                AggFunc::Var,
+            ];
+            let aggs: Vec<AggCall> = (0..1 + r.below(3))
+                .map(|_| AggCall {
+                    func: funcs[r.below(7) as usize],
+                    arg: if r.below(5) == 0 {
+                        None
+                    } else {
+                        Some(gen_expr(&mut r, width, 2))
+                    },
+                    distinct: r.below(4) == 0,
+                })
+                .collect();
+            let guard = ExecGuard::unbounded();
+            let got = aggregate_batch(batch.clone(), &group, &aggs, &ctx, &guard);
+            let want = exec::aggregate(batch.to_rows(), &group, &aggs, &ctx, &guard);
+            match (got, want) {
+                (Ok(g), Ok(w)) => prop_assert_eq!(g, w, "groups for {:?} / {:?}", group, aggs),
+                (Err(ge), Err(we)) => prop_assert_eq!(ge, we, "error for {:?} / {:?}", group, aggs),
+                (g, w) => {
+                    return Err(TestCaseError::fail(format!(
+                        "outcome mismatch for {group:?} / {aggs:?}: batch {g:?} vs rows {w:?}"
+                    )));
+                }
+            }
+        }
+    }
+}

@@ -3,9 +3,16 @@
 //! Each fixture pins the full Listing-1 JSON plan for one planning
 //! shape, including the `Parallelism (Gather Streams)` /
 //! `Parallelism (Repartition Streams)` exchange operators and their
-//! `degreeOfParallelism` property (SQL Server SHOWPLAN names). The
-//! snapshot is compared byte for byte; set `UPDATE_GOLDEN=1` to
-//! regenerate after an intentional planner change.
+//! `degreeOfParallelism` property (SQL Server SHOWPLAN names), plus the
+//! `batchMode` marks the vectorized engine annotates. The snapshot is
+//! compared byte for byte; set `UPDATE_GOLDEN=1` to regenerate after an
+//! intentional planner change.
+//!
+//! The `*_row.json` twins pin the same plans with the vectorized engine
+//! off; they are byte-for-byte copies of the pre-vectorization goldens,
+//! so `row_mode_plans_unchanged_from_seed` proves `batchMode` (and
+//! nothing else) is the only planner-output difference the vectorized
+//! engine introduces.
 
 use sqlshare_engine::explain::plan_to_json;
 use sqlshare_engine::{DataType, Engine, Schema, Table, Value};
@@ -19,6 +26,10 @@ fn fixture_engine() -> Engine {
     // snapshots fix the planner's shape for memory-resident tables, and
     // paged backings add Index Seek alternatives with their own golden.
     e.set_storage(None);
+    // Pin the executor regardless of `SQLSHARE_VECTORIZED`: the main
+    // snapshots fix the vectorized engine's batchMode marks, and the
+    // `*_row.json` twins re-pin to the row engine explicitly.
+    e.set_vectorized(true);
     e.create_table(Table::new(
         "orders",
         Schema::from_pairs([
@@ -85,6 +96,45 @@ fn walk(json: &sqlshare_common::json::Json, out: &mut Vec<sqlshare_common::json:
     }
 }
 
+fn batch_mode_of(node: &sqlshare_common::json::Json) -> Option<bool> {
+    match node.get("batchMode") {
+        Some(sqlshare_common::json::Json::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+/// `batchMode` marks under the vectorized engine: present on at least
+/// one data operator, never on an exchange.
+fn assert_batch_mode_marks(json: &sqlshare_common::json::Json) {
+    let mut nodes = Vec::new();
+    walk(json, &mut nodes);
+    assert!(
+        nodes.iter().any(|n| batch_mode_of(n) == Some(true)),
+        "vectorized plan carries no batchMode mark"
+    );
+    for n in &nodes {
+        let op = n.get("physicalOp").and_then(|o| o.as_str()).unwrap_or("");
+        if op.starts_with("Parallelism") {
+            assert!(
+                n.get("batchMode").is_none(),
+                "exchange operator {op} must not carry batchMode"
+            );
+        }
+    }
+}
+
+fn assert_no_batch_mode(json: &sqlshare_common::json::Json) {
+    let mut nodes = Vec::new();
+    walk(json, &mut nodes);
+    for n in &nodes {
+        assert!(
+            n.get("batchMode").is_none(),
+            "row-engine plan leaks batchMode on {:?}",
+            n.get("physicalOp")
+        );
+    }
+}
+
 #[test]
 fn parallel_join_plan_snapshot() {
     let mut e = fixture_engine();
@@ -99,6 +149,7 @@ fn parallel_join_plan_snapshot() {
     // Structural guarantees on top of the byte-exact snapshot: a Gather
     // exchange at the root region and a Repartition exchange feeding the
     // join's build side, both carrying the degree of parallelism.
+    assert_batch_mode_marks(&json);
     let mut nodes = Vec::new();
     walk(&json, &mut nodes);
     let ops: Vec<&str> = nodes
@@ -134,6 +185,7 @@ fn parallel_aggregate_plan_snapshot() {
         "SELECT cust, COUNT(*) AS n, SUM(amount) AS total FROM orders WHERE amount > 5.0 GROUP BY cust",
         &e,
     );
+    assert_batch_mode_marks(&json);
     let mut nodes = Vec::new();
     walk(&json, &mut nodes);
     let gather = nodes
@@ -168,13 +220,18 @@ fn index_seek_plan_snapshot() {
         "SELECT id FROM orders WHERE amount > 10.0",
         &e,
     );
+    assert_batch_mode_marks(&json);
     let mut nodes = Vec::new();
     walk(&json, &mut nodes);
-    let ops: Vec<&str> = nodes
+    let seek = nodes
         .iter()
-        .filter_map(|n| n.get("physicalOp").and_then(|o| o.as_str()))
-        .collect();
-    assert!(ops.contains(&"Index Seek"), "ops: {ops:?}");
+        .find(|n| n.get("physicalOp").and_then(|o| o.as_str()) == Some("Index Seek"))
+        .unwrap_or_else(|| panic!("plan has no Index Seek"));
+    assert_eq!(
+        batch_mode_of(seek),
+        Some(true),
+        "serial Index Seek decodes straight into batches"
+    );
 }
 
 #[test]
@@ -198,5 +255,48 @@ fn serial_fallback_plan_snapshot() {
             n.get("degreeOfParallelism").is_none(),
             "serial plan node {op} carries degreeOfParallelism"
         );
+        // A fully serial subtree vectorizes every operator here.
+        assert_eq!(
+            batch_mode_of(n),
+            Some(true),
+            "serial vectorized plan node {op} must run in batch mode"
+        );
     }
+}
+
+/// Regression: with the vectorized engine off, planner output is
+/// byte-identical to the pre-vectorization seed snapshots (the
+/// `*_row.json` files are verbatim copies of those goldens) — no
+/// `batchMode` key, no other drift.
+#[test]
+fn row_mode_plans_unchanged_from_seed() {
+    let join_sql = "SELECT o.id, c.name FROM orders AS o JOIN customers AS c ON o.cust = c.cid WHERE o.amount > 10.0";
+    let agg_sql = "SELECT cust, COUNT(*) AS n, SUM(amount) AS total FROM orders WHERE amount > 5.0 GROUP BY cust";
+
+    let mut e = fixture_engine();
+    e.set_vectorized(false);
+    e.set_max_dop(4);
+    e.set_parallelism_cost_threshold(0.0);
+    assert_no_batch_mode(&assert_golden("parallel_join_row", join_sql, &e));
+    assert_no_batch_mode(&assert_golden("parallel_aggregate_row", agg_sql, &e));
+
+    let mut e = fixture_engine();
+    e.set_vectorized(false);
+    let layer = sqlshare_engine::StorageLayer::temp(4 << 20).unwrap();
+    e.set_storage(Some(layer));
+    let orders = e.catalog().table("orders").unwrap().clone();
+    e.drop_relation("orders");
+    e.create_table(orders).unwrap();
+    e.set_max_dop(1);
+    assert_no_batch_mode(&assert_golden(
+        "index_seek_row",
+        "SELECT id FROM orders WHERE amount > 10.0",
+        &e,
+    ));
+
+    let mut e = fixture_engine();
+    e.set_vectorized(false);
+    e.set_max_dop(1);
+    e.set_parallelism_cost_threshold(0.0);
+    assert_no_batch_mode(&assert_golden("serial_fallback_row", agg_sql, &e));
 }

@@ -1,0 +1,350 @@
+//! Row-vs-vectorized differential harness.
+//!
+//! The vectorized columnar engine (`SQLSHARE_VECTORIZED`, on by
+//! default) is proven against the row-at-a-time interpreter, which
+//! stays alive as the correctness oracle. Every query the workload
+//! generators produce — the SQLShare corpus of hand-written queries and
+//! the SDSS template corpus — is replayed against both engines:
+//!
+//! - at `DOP = 1` the two engines must agree **byte for byte**: exact
+//!   rows in exact order (the vectorized kernels reproduce the oracle's
+//!   arithmetic exactly, replaying row-at-a-time whenever they cannot),
+//!   and failing queries must fail with the *identical* error;
+//! - at `DOP = 4` (every eligible plan forced parallel) rows are
+//!   compared with the same float tolerance the serial-vs-parallel
+//!   harness uses, since morsel merge order may differ, and errors must
+//!   agree by kind;
+//! - dedicated legs compose the vectorized engine with paged storage
+//!   (`SQLSHARE_PAGED=1` equivalent: pages decode straight into column
+//!   batches) and with the result cache disabled
+//!   (`SQLSHARE_RESULT_CACHE_MB=0` equivalent), byte-identical at
+//!   DOP 1 in both.
+
+use sqlshare_engine::{DataType, Engine, Schema, StorageLayer, Table, Value};
+use sqlshare_sql::parser::parse_query;
+use sqlshare_wlgen::{sdss, sqlshare as wl, GeneratorConfig};
+
+/// Relative tolerance for float cells at DOP > 1 (morsel merge order).
+const FLOAT_RTOL: f64 = 1e-9;
+
+fn floats_close(a: f64, b: f64) -> bool {
+    if a == b || (a.is_nan() && b.is_nan()) {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    (a - b).abs() <= FLOAT_RTOL * scale.max(1.0)
+}
+
+fn values_match(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => floats_close(*x, *y),
+        _ => a == b,
+    }
+}
+
+fn rows_match(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| values_match(x, y))
+}
+
+/// Total order over values for bag comparison (same as the parallel
+/// harness: exact key cells pin row positions before float cells can
+/// differ).
+fn cmp_value(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    use Value::*;
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Null => 0,
+            Bool(_) => 1,
+            Int(_) | Float(_) => 2,
+            Date(_) => 3,
+            Text(_) => 4,
+        }
+    }
+    match (a, b) {
+        (Null, Null) => Ordering::Equal,
+        (Bool(x), Bool(y)) => x.cmp(y),
+        (Int(x), Int(y)) => x.cmp(y),
+        (Float(x), Float(y)) => x.total_cmp(y),
+        (Int(x), Float(y)) => (*x as f64).total_cmp(y),
+        (Float(x), Int(y)) => x.total_cmp(&(*y as f64)),
+        (Date(x), Date(y)) => x.cmp(y),
+        (Text(x), Text(y)) => x.cmp(y),
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+fn cmp_row(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = cmp_value(x, y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+fn has_order_by(sql: &str) -> bool {
+    parse_query(sql).map(|q| !q.order_by.is_empty()).unwrap_or(false)
+}
+
+struct Tally {
+    compared_serial: usize,
+    compared_parallel: usize,
+    errored: usize,
+}
+
+/// Replay every logged query from `corpus_name` on the row oracle and
+/// the vectorized engine, at DOP 1 (byte-identical) and forced DOP 4
+/// (float-tolerant).
+fn run_corpus(corpus_name: &str, corpus: sqlshare_wlgen::sqlshare::GeneratedCorpus) -> Tally {
+    let configure = |dop: usize, vectorized: bool| -> Engine {
+        let mut e = corpus.service.engine().clone();
+        e.set_max_dop(dop);
+        e.set_vectorized(vectorized);
+        if dop > 1 {
+            e.set_parallelism_cost_threshold(0.0);
+        }
+        // Cold execution on every replica: engine clones share the
+        // service's cache, and a result stored by one engine must not
+        // be served as the other's output. This also makes the whole
+        // harness a `SQLSHARE_RESULT_CACHE_MB=0` composition leg.
+        e.disable_cache();
+        e
+    };
+    let row1 = configure(1, false);
+    let vec1 = configure(1, true);
+    let row4 = configure(4, false);
+    let vec4 = configure(4, true);
+
+    let mut tally = Tally {
+        compared_serial: 0,
+        compared_parallel: 0,
+        errored: 0,
+    };
+
+    let entries: Vec<(String, String)> = corpus
+        .service
+        .log()
+        .entries()
+        .iter()
+        .map(|e| (e.user.clone(), e.sql.clone()))
+        .collect();
+    assert!(
+        !entries.is_empty(),
+        "{corpus_name}: generator produced an empty query log"
+    );
+
+    for (user, sql) in &entries {
+        let canonical = match corpus.service.canonicalize(user, sql) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+
+        // DOP 1: the strict leg. Same rows, same order, same bytes —
+        // and on failure the *same* error, not merely the same kind.
+        match (row1.run(&canonical), vec1.run(&canonical)) {
+            (Ok(r), Ok(v)) => {
+                assert_eq!(
+                    r.rows, v.rows,
+                    "{corpus_name}: DOP-1 rows diverged for {canonical}"
+                );
+                tally.compared_serial += 1;
+            }
+            (Err(re), Err(ve)) => {
+                assert_eq!(
+                    re, ve,
+                    "{corpus_name}: DOP-1 error diverged for {canonical}"
+                );
+                tally.errored += 1;
+            }
+            (Ok(_), Err(ve)) => {
+                panic!("{corpus_name}: vectorized-only failure for {canonical}: {ve}")
+            }
+            (Err(re), Ok(_)) => {
+                panic!("{corpus_name}: row-only failure for {canonical}: {re}")
+            }
+        }
+
+        // Forced DOP 4: float-tolerant (morsel merge order), bag
+        // compare unless the query pins its order.
+        match (row4.run(&canonical), vec4.run(&canonical)) {
+            (Ok(r), Ok(v)) => {
+                assert_eq!(
+                    r.rows.len(),
+                    v.rows.len(),
+                    "{corpus_name}: DOP-4 row count diverged for {canonical}"
+                );
+                let (mut rrows, mut vrows) = (r.rows, v.rows);
+                if !has_order_by(&canonical) {
+                    rrows.sort_by(|a, b| cmp_row(a, b));
+                    vrows.sort_by(|a, b| cmp_row(a, b));
+                }
+                for (i, (rr, vr)) in rrows.iter().zip(&vrows).enumerate() {
+                    assert!(
+                        rows_match(rr, vr),
+                        "{corpus_name}: DOP-4 row {i} diverged for {canonical}\n  \
+                         row:        {rr:?}\n  vectorized: {vr:?}"
+                    );
+                }
+                tally.compared_parallel += 1;
+            }
+            (Err(re), Err(ve)) => {
+                assert_eq!(
+                    re.kind(),
+                    ve.kind(),
+                    "{corpus_name}: DOP-4 error kind diverged for {canonical}\n  \
+                     row:        {re}\n  vectorized: {ve}"
+                );
+            }
+            (Ok(_), Err(ve)) => {
+                panic!("{corpus_name}: DOP-4 vectorized-only failure for {canonical}: {ve}")
+            }
+            (Err(re), Ok(_)) => {
+                panic!("{corpus_name}: DOP-4 row-only failure for {canonical}: {re}")
+            }
+        }
+    }
+
+    assert!(
+        tally.compared_serial > 0 && tally.compared_parallel > 0,
+        "{corpus_name}: no successful queries were compared"
+    );
+    tally
+}
+
+#[test]
+fn sqlshare_corpus_row_vs_vectorized() {
+    run_corpus("sqlshare", wl::generate(&GeneratorConfig::dev()));
+}
+
+#[test]
+fn sdss_corpus_row_vs_vectorized() {
+    run_corpus("sdss", sdss::generate(&GeneratorConfig::dev()));
+}
+
+// ---------------------------------------------------------------------------
+// Composition legs: paged storage and a zero-budget result cache
+// ---------------------------------------------------------------------------
+
+/// Queries covering every vectorized source and operator shape the
+/// paged path can produce: full scans, leading-key seeks, secondary
+/// index seeks, filters over every column type, computes, scalar and
+/// grouped aggregates, joins, TOP, set ops, and window functions.
+const FIXTURE_QUERIES: &[&str] = &[
+    "SELECT * FROM events",
+    "SELECT id, score * 2 FROM events WHERE id >= 120 AND id < 700",
+    "SELECT id FROM events WHERE score > 40.0",
+    "SELECT tag, COUNT(*), SUM(score), MIN(score), MAX(score) FROM events GROUP BY tag",
+    "SELECT COUNT(*), AVG(score) FROM events WHERE flag = 1",
+    "SELECT e.id, d.label FROM events AS e JOIN dims AS d ON e.tag = d.tag WHERE e.score < 30.0",
+    "SELECT e.id, d.label FROM events AS e LEFT JOIN dims AS d ON e.tag = d.tag AND d.tag <> 'tag3'",
+    "SELECT TOP 7 id, score FROM events ORDER BY score DESC, id",
+    "SELECT tag FROM events WHERE flag = 1 UNION SELECT tag FROM dims",
+    "SELECT id, SUM(score) OVER (PARTITION BY tag ORDER BY id) FROM events WHERE id < 200",
+    "SELECT id, score / (id % 5) FROM events WHERE id < 50",
+    "SELECT CASE WHEN score > 50.0 THEN 'hi' ELSE 'lo' END, COUNT(*) FROM events GROUP BY 1",
+];
+
+fn fixture_tables(e: &mut Engine) {
+    e.create_table(Table::new(
+        "events",
+        Schema::from_pairs([
+            ("id", DataType::Int),
+            ("tag", DataType::Text),
+            ("score", DataType::Float),
+            ("flag", DataType::Int),
+        ]),
+        (0..900)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    if i % 13 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Text(format!("tag{}", i % 7))
+                    },
+                    if i % 11 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float((i % 89) as f64 * 0.75)
+                    },
+                    Value::Int(i % 2),
+                ]
+            })
+            .collect(),
+    ))
+    .unwrap();
+    e.create_table(Table::new(
+        "dims",
+        Schema::from_pairs([("tag", DataType::Text), ("label", DataType::Text)]),
+        (0..7)
+            .map(|i| vec![Value::Text(format!("tag{i}")), Value::Text(format!("label-{i}"))])
+            .collect(),
+    ))
+    .unwrap();
+}
+
+/// Run the fixture queries on a row and a vectorized engine built by
+/// `mk` and demand byte-identical DOP-1 output.
+fn assert_fixture_identical(mk: impl Fn(bool) -> Engine) {
+    let row = mk(false);
+    let vec = mk(true);
+    for sql in FIXTURE_QUERIES {
+        match (row.run(sql), vec.run(sql)) {
+            (Ok(r), Ok(v)) => assert_eq!(r.rows, v.rows, "rows diverged for {sql}"),
+            (Err(re), Err(ve)) => assert_eq!(re, ve, "error diverged for {sql}"),
+            (Ok(_), Err(ve)) => panic!("vectorized-only failure for {sql}: {ve}"),
+            (Err(re), Ok(_)) => panic!("row-only failure for {sql}: {re}"),
+        }
+    }
+}
+
+#[test]
+fn paged_backing_is_byte_identical_at_dop1() {
+    // `SQLSHARE_PAGED=1` composition: tables live as slotted pages
+    // behind the buffer pool and scans decode pages into batches.
+    assert_fixture_identical(|vectorized| {
+        let mut e = Engine::new();
+        e.set_storage(Some(StorageLayer::temp(4 << 20).unwrap()));
+        e.set_max_dop(1);
+        e.set_vectorized(vectorized);
+        e.disable_cache();
+        fixture_tables(&mut e);
+        e
+    });
+}
+
+#[test]
+fn zero_result_cache_is_byte_identical_at_dop1() {
+    // `SQLSHARE_RESULT_CACHE_MB=0` composition: plans cache but results
+    // never do, so every run re-executes.
+    assert_fixture_identical(|vectorized| {
+        let mut e = Engine::new();
+        e.set_storage(None);
+        e.set_max_dop(1);
+        e.set_vectorized(vectorized);
+        e.set_cache_config(0, 3);
+        fixture_tables(&mut e);
+        e
+    });
+}
+
+#[test]
+fn memory_backed_fixture_is_byte_identical_across_dop() {
+    // The same fixture over in-memory tables, serial and forced
+    // parallel: the morsel batch fast path must not change survivors.
+    for dop in [1, 4] {
+        assert_fixture_identical(|vectorized| {
+            let mut e = Engine::new();
+            e.set_storage(None);
+            e.set_max_dop(dop);
+            e.set_exec_threads(4);
+            e.set_parallelism_cost_threshold(0.0);
+            e.set_vectorized(vectorized);
+            e.disable_cache();
+            fixture_tables(&mut e);
+            e
+        });
+    }
+}
