@@ -30,7 +30,7 @@ fn service() -> SqlShare {
 }
 
 fn bench_preview(c: &mut Criterion) {
-    let mut s = service();
+    let s = service();
     let wrapper = DatasetName::new("ada", "big");
     let summary = DatasetName::new("ada", "big_summary");
 

@@ -5,6 +5,7 @@
 //! assert the reproduced *shapes* (who wins, by roughly what factor).
 
 pub mod experiments;
+pub mod replay;
 pub mod reports;
 
 use sqlshare_wlgen::sqlshare::GeneratedCorpus;

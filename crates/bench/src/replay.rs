@@ -1,0 +1,495 @@
+//! SkyServer-style HTTP load replay (Singh & Gray, MSR TR-2006-190:
+//! the SkyServer traffic study this descends from sustained ~7M
+//! queries/month at peak — a front end is only "production" if you can
+//! measure it under offered load).
+//!
+//! The harness replays a repetition-weighted, mixed read/write/submit
+//! request stream derived from a wlgen corpus against any HTTP endpoint
+//! speaking the SQLShare REST interface, at stepped offered
+//! concurrency, and reports achieved QPS, latency percentiles, and
+//! status-class counts. `benches/throughput.rs` drives it against both
+//! the blocking demo loop and the non-blocking server and writes
+//! `BENCH_throughput.json`; `tests/http_throughput.rs` runs a small
+//! smoke of the same harness in CI.
+
+use sqlshare_common::json::Json;
+use sqlshare_core::SqlShare;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One replayable request.
+#[derive(Debug, Clone)]
+pub enum ReplayOp {
+    Get(String),
+    /// Path + JSON body.
+    Post(String, String),
+}
+
+/// A minimal keep-alive HTTP/1.1 client: one connection, pipelining
+/// unused (request/response lockstep), chunked and Content-Length
+/// framed responses both understood, transparent reconnect when the
+/// server closes (the blocking baseline closes after every response —
+/// the reconnect counter is part of the measurement).
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<BufReader<TcpStream>>,
+    pub reconnects: u64,
+    pub bytes_read: u64,
+}
+
+/// A decoded response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub body: Vec<u8>,
+    /// Parsed `Retry-After` header, when the server sent one (it does
+    /// on every 429/503).
+    pub retry_after: Option<u64>,
+}
+
+impl HttpClient {
+    pub fn new(addr: SocketAddr) -> HttpClient {
+        HttpClient {
+            addr,
+            stream: None,
+            reconnects: 0,
+            bytes_read: 0,
+        }
+    }
+
+    fn ensure_connected(&mut self) -> io::Result<()> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(BufReader::new(stream));
+            self.reconnects += 1;
+        }
+        Ok(())
+    }
+
+    /// Issue one request, reconnecting (once) if a reused connection
+    /// turns out to be dead.
+    pub fn request(&mut self, op: &ReplayOp) -> io::Result<HttpResponse> {
+        let had_stream = self.stream.is_some();
+        match self.try_request(op) {
+            Ok(r) => Ok(r),
+            Err(e) if had_stream => {
+                // Keep-alive connection died under us (idle reap,
+                // server restart): one fresh attempt.
+                let _ = e;
+                self.stream = None;
+                self.try_request(op)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(&mut self, op: &ReplayOp) -> io::Result<HttpResponse> {
+        self.ensure_connected()?;
+        let reader = self.stream.as_mut().expect("just connected");
+        let raw = match op {
+            ReplayOp::Get(path) => {
+                format!("GET {path} HTTP/1.1\r\nhost: bench\r\n\r\n").into_bytes()
+            }
+            ReplayOp::Post(path, body) => format!(
+                "POST {path} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .into_bytes(),
+        };
+        reader.get_mut().write_all(&raw)?;
+
+        // Status line.
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        self.bytes_read += line.len() as u64;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or(io::ErrorKind::InvalidData)?;
+
+        // Headers.
+        let mut content_length: Option<usize> = None;
+        let mut chunked = false;
+        let mut close = false;
+        let mut retry_after = None;
+        loop {
+            let mut header = String::new();
+            if reader.read_line(&mut header)? == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            self.bytes_read += header.len() as u64;
+            let header = header.trim();
+            if header.is_empty() {
+                break;
+            }
+            let lower = header.to_ascii_lowercase();
+            if let Some(v) = lower.strip_prefix("content-length:") {
+                content_length = v.trim().parse().ok();
+            } else if lower.starts_with("transfer-encoding:") && lower.contains("chunked") {
+                chunked = true;
+            } else if lower.starts_with("connection:") && lower.contains("close") {
+                close = true;
+            } else if let Some(v) = lower.strip_prefix("retry-after:") {
+                retry_after = v.trim().parse().ok();
+            }
+        }
+
+        // Body.
+        let mut body = Vec::new();
+        if chunked {
+            loop {
+                let mut size_line = String::new();
+                if reader.read_line(&mut size_line)? == 0 {
+                    return Err(io::ErrorKind::UnexpectedEof.into());
+                }
+                self.bytes_read += size_line.len() as u64;
+                let size = usize::from_str_radix(size_line.trim(), 16)
+                    .map_err(|_| io::ErrorKind::InvalidData)?;
+                let mut chunk = vec![0u8; size + 2]; // data + CRLF
+                reader.read_exact(&mut chunk)?;
+                self.bytes_read += chunk.len() as u64;
+                if size == 0 {
+                    break;
+                }
+                chunk.truncate(size);
+                body.extend_from_slice(&chunk);
+            }
+        } else if let Some(n) = content_length {
+            body.resize(n, 0);
+            reader.read_exact(&mut body)?;
+            self.bytes_read += n as u64;
+        }
+
+        if close {
+            self.stream = None;
+        }
+        Ok(HttpResponse {
+            status,
+            body,
+            retry_after,
+        })
+    }
+}
+
+/// Deterministic xorshift64* — the workload must be reproducible and
+/// the harness keeps zero dependencies, shims included.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Mix ratios for [`build_workload`], in percent of total requests.
+#[derive(Debug, Clone, Copy)]
+pub struct MixSpec {
+    /// `POST /api/queries` submissions (repetition-weighted SQL).
+    pub submit_pct: usize,
+    /// Catalog mutations (`POST .../permissions` visibility toggles).
+    pub mutate_pct: usize,
+    /// Full-CSV downloads (large streamed bodies).
+    pub download_pct: usize,
+}
+
+impl MixSpec {
+    /// The read-heavy keep-alive mix the acceptance bar is measured on.
+    pub fn read_heavy() -> MixSpec {
+        MixSpec {
+            submit_pct: 10,
+            mutate_pct: 3,
+            download_pct: 2,
+        }
+    }
+
+    /// Pure reads — for asserting a clean server emits no 429s at all.
+    pub fn read_only() -> MixSpec {
+        MixSpec {
+            submit_pct: 0,
+            mutate_pct: 0,
+            download_pct: 0,
+        }
+    }
+}
+
+/// Derive a replay stream from a corpus service: previews and listings
+/// over its real datasets, query submissions re-running its query log
+/// weighted by how often each SQL text actually repeated (the paper's
+/// workloads are heavy-tailed — replay should be too), visibility
+/// toggles as the mutation traffic, and occasional full downloads.
+pub fn build_workload(service: &SqlShare, total: usize, mix: MixSpec, seed: u64) -> Vec<ReplayOp> {
+    let mut rng = XorShift::new(seed);
+
+    // Datasets the replay may touch, keyed so preview/download always
+    // pass the owner as the acting user (never a 403).
+    let datasets: Vec<(String, String)> = service
+        .datasets()
+        .map(|d| (d.name.owner.clone(), d.name.name.clone()))
+        .collect();
+    assert!(!datasets.is_empty(), "corpus has no datasets to replay");
+
+    // Repetition-weighted submission pool: each successful log entry
+    // contributes one ticket, so SQL that ran 40 times in the corpus is
+    // 40x as likely to be replayed — and lands in the result cache.
+    let log = service.log();
+    let mut sql_weight: HashMap<(String, String), usize> = HashMap::new();
+    for entry in log.entries().iter().filter(|e| e.outcome.is_success()) {
+        *sql_weight
+            .entry((entry.user.clone(), entry.sql.clone()))
+            .or_insert(0) += 1;
+    }
+    drop(log);
+    let mut submit_pool: Vec<(String, String, usize)> = sql_weight
+        .into_iter()
+        .map(|((user, sql), w)| (user, sql, w))
+        .collect();
+    submit_pool.sort(); // deterministic order before weighted sampling
+    let total_weight: usize = submit_pool.iter().map(|(_, _, w)| w).sum();
+
+    let pick_submit = |rng: &mut XorShift| -> ReplayOp {
+        let mut ticket = rng.below(total_weight.max(1));
+        for (user, sql, w) in &submit_pool {
+            if ticket < *w {
+                let body = Json::object([
+                    ("user", Json::str(user.clone())),
+                    ("sql", Json::str(sql.clone())),
+                ]);
+                return ReplayOp::Post("/api/queries".into(), body.to_string());
+            }
+            ticket -= w;
+        }
+        ReplayOp::Get("/api/ready".into())
+    };
+
+    let mut ops = Vec::with_capacity(total);
+    for _ in 0..total {
+        let roll = rng.below(100);
+        let op = if roll < mix.submit_pct && total_weight > 0 {
+            pick_submit(&mut rng)
+        } else if roll < mix.submit_pct + mix.mutate_pct {
+            let (owner, name) = &datasets[rng.below(datasets.len())];
+            let body = Json::object([
+                ("user", Json::str(owner.clone())),
+                ("visibility", Json::str("public")),
+            ]);
+            ReplayOp::Post(
+                format!("/api/datasets/{owner}/{name}/permissions"),
+                body.to_string(),
+            )
+        } else if roll < mix.submit_pct + mix.mutate_pct + mix.download_pct {
+            let (owner, name) = &datasets[rng.below(datasets.len())];
+            ReplayOp::Get(format!("/api/datasets/{owner}/{name}/download?user={owner}"))
+        } else {
+            // Read rotation: listings, previews, service stats.
+            match rng.below(5) {
+                0 => ReplayOp::Get("/api/datasets".into()),
+                1 => ReplayOp::Get("/api/cache".into()),
+                2 => ReplayOp::Get("/api/scheduler".into()),
+                _ => {
+                    let (owner, name) = &datasets[rng.below(datasets.len())];
+                    ReplayOp::Get(format!("/api/datasets/{owner}/{name}?user={owner}"))
+                }
+            }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// What one offered-concurrency step measured.
+#[derive(Debug, Clone)]
+pub struct StepStats {
+    pub offered: usize,
+    pub requests: u64,
+    pub elapsed_secs: f64,
+    pub qps: f64,
+    pub p50_micros: u64,
+    pub p99_micros: u64,
+    pub count_2xx: u64,
+    pub count_429: u64,
+    pub count_other_4xx: u64,
+    pub count_5xx: u64,
+    pub io_errors: u64,
+    pub reconnects: u64,
+    pub bytes_read: u64,
+}
+
+impl StepStats {
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("offered_concurrency", Json::num(self.offered as f64)),
+            ("requests", Json::num(self.requests as f64)),
+            ("elapsed_secs", Json::num(self.elapsed_secs)),
+            ("qps", Json::num(self.qps)),
+            ("p50_micros", Json::num(self.p50_micros as f64)),
+            ("p99_micros", Json::num(self.p99_micros as f64)),
+            ("status_2xx", Json::num(self.count_2xx as f64)),
+            ("status_429", Json::num(self.count_429 as f64)),
+            ("status_other_4xx", Json::num(self.count_other_4xx as f64)),
+            ("status_5xx", Json::num(self.count_5xx as f64)),
+            ("io_errors", Json::num(self.io_errors as f64)),
+            ("reconnects", Json::num(self.reconnects as f64)),
+            ("bytes_read", Json::num(self.bytes_read as f64)),
+        ])
+    }
+}
+
+/// Replay `ops` against `addr` from `concurrency` client threads, each
+/// issuing `requests_per_client` requests round-robin from a staggered
+/// starting offset. Latency is measured per request, wall-to-wall.
+pub fn run_step(
+    addr: SocketAddr,
+    ops: &[ReplayOp],
+    concurrency: usize,
+    requests_per_client: usize,
+) -> StepStats {
+    assert!(!ops.is_empty());
+    let started = Instant::now();
+    let results: Vec<(Vec<u64>, [u64; 5], u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = HttpClient::new(addr);
+                    let mut latencies = Vec::with_capacity(requests_per_client);
+                    // [2xx, 429, other 4xx, 5xx, io_error]
+                    let mut counts = [0u64; 5];
+                    let start = (i * ops.len()) / concurrency.max(1);
+                    for k in 0..requests_per_client {
+                        let op = &ops[(start + k) % ops.len()];
+                        let t0 = Instant::now();
+                        match client.request(op) {
+                            Ok(resp) => {
+                                latencies.push(t0.elapsed().as_micros() as u64);
+                                match resp.status {
+                                    200..=299 => counts[0] += 1,
+                                    429 => counts[1] += 1,
+                                    400..=499 => counts[2] += 1,
+                                    _ => counts[3] += 1,
+                                }
+                            }
+                            Err(_) => {
+                                counts[4] += 1;
+                                client.stream = None;
+                            }
+                        }
+                    }
+                    (latencies, counts, client.reconnects, client.bytes_read)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut counts = [0u64; 5];
+    let mut reconnects = 0;
+    let mut bytes_read = 0;
+    for (lats, c, rc, br) in results {
+        latencies.extend(lats);
+        for (total, part) in counts.iter_mut().zip(c) {
+            *total += part;
+        }
+        reconnects += rc;
+        bytes_read += br;
+    }
+    latencies.sort_unstable();
+    let requests = (concurrency * requests_per_client) as u64;
+    StepStats {
+        offered: concurrency,
+        requests,
+        elapsed_secs: elapsed,
+        qps: requests as f64 / elapsed.max(1e-9),
+        p50_micros: percentile(&latencies, 0.50),
+        p99_micros: percentile(&latencies, 0.99),
+        count_2xx: counts[0],
+        count_429: counts[1],
+        count_other_4xx: counts[2],
+        count_5xx: counts[3],
+        io_errors: counts[4],
+        reconnects,
+        bytes_read,
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&[7], 0.5), 7);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn workload_mix_respects_ratios_and_is_deterministic() {
+        let mut service = SqlShare::new();
+        service.register_user("ada", "a@uw.edu").unwrap();
+        service
+            .upload("ada", "tides", "a,b\n1,2\n3,4\n", &Default::default())
+            .unwrap();
+        service.run_query("ada", "SELECT a FROM ada.tides").unwrap();
+        service.run_query("ada", "SELECT a FROM ada.tides").unwrap();
+
+        let mix = MixSpec::read_heavy();
+        let ops = build_workload(&service, 1000, mix, 7);
+        let ops2 = build_workload(&service, 1000, mix, 7);
+        assert_eq!(ops.len(), 1000);
+        let render = |ops: &[ReplayOp]| -> Vec<String> {
+            ops.iter()
+                .map(|op| match op {
+                    ReplayOp::Get(p) => format!("GET {p}"),
+                    ReplayOp::Post(p, b) => format!("POST {p} {b}"),
+                })
+                .collect()
+        };
+        assert_eq!(render(&ops), render(&ops2), "workload must be deterministic");
+
+        let submits = ops
+            .iter()
+            .filter(|op| matches!(op, ReplayOp::Post(p, _) if p == "/api/queries"))
+            .count();
+        assert!(
+            (50..=160).contains(&submits),
+            "~10% submissions expected, got {submits}"
+        );
+        let read_only = build_workload(&service, 500, MixSpec::read_only(), 7);
+        assert!(read_only
+            .iter()
+            .all(|op| matches!(op, ReplayOp::Get(_))));
+    }
+}

@@ -143,9 +143,33 @@ pub fn status_for_kind(kind: &str) -> u16 {
     }
 }
 
-/// Dispatch a request against the service.
+/// Does this route mutate the catalog? Mutations (user registration,
+/// uploads, view DDL, appends, permission and visibility changes,
+/// deletes) go through the journal-before-apply path and need
+/// exclusive (`&mut`) access via [`dispatch`]. Everything else —
+/// **including query submission and cancellation** — runs through
+/// [`dispatch_read`] under shared `&` access, so a front end can hold a
+/// read lock for the hot paths and reserve the write lock for the
+/// routes this returns `true` for. `tests/rest_dispatch.rs` audits that
+/// the split agrees with what [`dispatch_read`] actually handles.
+pub fn is_mutation(method: Method, path: &str) -> bool {
+    let (path, _) = split_query(path);
+    let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
+    matches!(
+        (method, segments.as_slice()),
+        (Method::Post, ["api", "users"])
+            | (Method::Post, ["api", "datasets"])
+            | (Method::Delete, ["api", "datasets", _, _])
+            | (Method::Post, ["api", "views"])
+            | (Method::Post, ["api", "datasets", _, _, "append"])
+            | (Method::Post, ["api", "datasets", _, _, "permissions"])
+    )
+}
+
+/// Dispatch a request against the service, mutations included. Routes
+/// that only need shared access are delegated to [`dispatch_read`].
 pub fn dispatch(service: &mut SqlShare, request: &Request) -> Response {
-    let (path, query_user) = split_query(&request.path);
+    let (path, _) = split_query(&request.path);
     let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
     // While crash recovery is replaying the WAL the catalog is
     // incomplete; only the readiness probe answers.
@@ -153,30 +177,6 @@ pub fn dispatch(service: &mut SqlShare, request: &Request) -> Response {
         return Response::error(503, "service is recovering; try again shortly");
     }
     match (request.method, segments.as_slice()) {
-        (Method::Get, ["api", "ready"]) => {
-            if service.is_recovering() {
-                return Response {
-                    status: 503,
-                    body: Json::object([("ready", Json::Bool(false))]),
-                };
-            }
-            let mut pairs = vec![("ready", Json::Bool(true))];
-            if let Some(r) = service.recovery_report() {
-                pairs.push((
-                    "recovery",
-                    Json::object([
-                        ("snapshotLsn", Json::num(r.snapshot_lsn as f64)),
-                        ("replayedRecords", Json::num(r.replayed_records as f64)),
-                        ("skippedRecords", Json::num(r.skipped_records as f64)),
-                        ("failedRecords", Json::num(r.failed_records as f64)),
-                        ("truncatedWalBytes", Json::num(r.truncated_wal_bytes as f64)),
-                        ("lastLsn", Json::num(r.last_lsn as f64)),
-                        ("querylogEntries", Json::num(r.querylog_entries as f64)),
-                    ]),
-                ));
-            }
-            Response::ok(Json::object(pairs))
-        }
         (Method::Post, ["api", "users"]) => {
             let (Some(username), Some(email)) = (
                 str_field(&request.body, "username"),
@@ -218,73 +218,6 @@ pub fn dispatch(service: &mut SqlShare, request: &Request) -> Response {
                     ),
                     ("paddedRows", Json::num(report.padded_rows as f64)),
                 ])),
-                Err(e) => Response::from_err(&e),
-            }
-        }
-        (Method::Get, ["api", "datasets"]) => {
-            let list: Vec<Json> = service
-                .datasets()
-                .map(|d| {
-                    Json::object([
-                        ("name", Json::str(d.name.flat())),
-                        ("owner", Json::str(d.name.owner.clone())),
-                        ("derived", Json::Bool(d.is_derived())),
-                    ])
-                })
-                .collect();
-            Response::ok(Json::Array(list))
-        }
-        (Method::Get, ["api", "datasets", owner, name]) => {
-            let Some(user) = query_user else {
-                return Response::error(400, "a ?user= query parameter is required");
-            };
-            let dn = DatasetName::new(*owner, *name);
-            match service.preview(&user, &dn) {
-                Ok(preview) => {
-                    let ds = service.dataset(&dn).expect("preview implies dataset");
-                    let columns: Vec<Json> = preview
-                        .schema
-                        .columns
-                        .iter()
-                        .map(|c| {
-                            Json::object([
-                                ("name", Json::str(c.name.clone())),
-                                ("type", Json::str(c.ty.sql_name())),
-                            ])
-                        })
-                        .collect();
-                    let rows: Vec<Json> = preview
-                        .rows
-                        .iter()
-                        .map(|r| {
-                            Json::Array(r.iter().map(|v| Json::str(v.to_text())).collect())
-                        })
-                        .collect();
-                    Response::ok(Json::object([
-                        ("name", Json::str(dn.flat())),
-                        ("sql", Json::str(ds.sql.clone())),
-                        ("description", Json::str(ds.metadata.description.clone())),
-                        (
-                            "tags",
-                            Json::Array(
-                                ds.metadata.tags.iter().map(|t| Json::str(t.clone())).collect(),
-                            ),
-                        ),
-                        ("columns", Json::Array(columns)),
-                        ("preview", Json::Array(rows)),
-                        ("truncated", Json::Bool(preview.truncated)),
-                    ]))
-                }
-                Err(e) => Response::from_err(&e),
-            }
-        }
-        (Method::Get, ["api", "datasets", owner, name, "download"]) => {
-            let Some(user) = query_user else {
-                return Response::error(400, "a ?user= query parameter is required");
-            };
-            let dn = DatasetName::new(*owner, *name);
-            match service.download(&user, &dn) {
-                Ok(csv) => Response::ok(Json::object([("csv", Json::str(csv))])),
                 Err(e) => Response::from_err(&e),
             }
         }
@@ -364,6 +297,121 @@ pub fn dispatch(service: &mut SqlShare, request: &Request) -> Response {
             let dn = DatasetName::new(*owner, *name);
             match service.set_visibility(&user, &dn, visibility) {
                 Ok(()) => Response::ok(Json::object([("updated", Json::Bool(true))])),
+                Err(e) => Response::from_err(&e),
+            }
+        }
+        _ => dispatch_read(service, request),
+    }
+}
+
+/// Dispatch a request that needs only shared (`&`) access: every read
+/// endpoint plus query submission and cancellation, whose interior
+/// locking lets them run concurrently. A mutation route landing here
+/// (the caller should have consulted [`is_mutation`]) is answered with
+/// a 500 rather than silently misrouted.
+pub fn dispatch_read(service: &SqlShare, request: &Request) -> Response {
+    let (path, query_user) = split_query(&request.path);
+    let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
+    // While crash recovery is replaying the WAL the catalog is
+    // incomplete; only the readiness probe answers.
+    if service.is_recovering() && segments.as_slice() != ["api", "ready"] {
+        return Response::error(503, "service is recovering; try again shortly");
+    }
+    if is_mutation(request.method, &request.path) {
+        return Response::error(
+            500,
+            "mutation route dispatched without write access (server bug)",
+        );
+    }
+    match (request.method, segments.as_slice()) {
+        (Method::Get, ["api", "ready"]) => {
+            if service.is_recovering() {
+                return Response {
+                    status: 503,
+                    body: Json::object([("ready", Json::Bool(false))]),
+                };
+            }
+            let mut pairs = vec![("ready", Json::Bool(true))];
+            if let Some(r) = service.recovery_report() {
+                pairs.push((
+                    "recovery",
+                    Json::object([
+                        ("snapshotLsn", Json::num(r.snapshot_lsn as f64)),
+                        ("replayedRecords", Json::num(r.replayed_records as f64)),
+                        ("skippedRecords", Json::num(r.skipped_records as f64)),
+                        ("failedRecords", Json::num(r.failed_records as f64)),
+                        ("truncatedWalBytes", Json::num(r.truncated_wal_bytes as f64)),
+                        ("lastLsn", Json::num(r.last_lsn as f64)),
+                        ("querylogEntries", Json::num(r.querylog_entries as f64)),
+                    ]),
+                ));
+            }
+            Response::ok(Json::object(pairs))
+        }
+        (Method::Get, ["api", "datasets"]) => {
+            let list: Vec<Json> = service
+                .datasets()
+                .map(|d| {
+                    Json::object([
+                        ("name", Json::str(d.name.flat())),
+                        ("owner", Json::str(d.name.owner.clone())),
+                        ("derived", Json::Bool(d.is_derived())),
+                    ])
+                })
+                .collect();
+            Response::ok(Json::Array(list))
+        }
+        (Method::Get, ["api", "datasets", owner, name]) => {
+            let Some(user) = query_user else {
+                return Response::error(400, "a ?user= query parameter is required");
+            };
+            let dn = DatasetName::new(*owner, *name);
+            match service.preview(&user, &dn) {
+                Ok(preview) => {
+                    let ds = service.dataset(&dn).expect("preview implies dataset");
+                    let columns: Vec<Json> = preview
+                        .schema
+                        .columns
+                        .iter()
+                        .map(|c| {
+                            Json::object([
+                                ("name", Json::str(c.name.clone())),
+                                ("type", Json::str(c.ty.sql_name())),
+                            ])
+                        })
+                        .collect();
+                    let rows: Vec<Json> = preview
+                        .rows
+                        .iter()
+                        .map(|r| {
+                            Json::Array(r.iter().map(|v| Json::str(v.to_text())).collect())
+                        })
+                        .collect();
+                    Response::ok(Json::object([
+                        ("name", Json::str(dn.flat())),
+                        ("sql", Json::str(ds.sql.clone())),
+                        ("description", Json::str(ds.metadata.description.clone())),
+                        (
+                            "tags",
+                            Json::Array(
+                                ds.metadata.tags.iter().map(|t| Json::str(t.clone())).collect(),
+                            ),
+                        ),
+                        ("columns", Json::Array(columns)),
+                        ("preview", Json::Array(rows)),
+                        ("truncated", Json::Bool(preview.truncated)),
+                    ]))
+                }
+                Err(e) => Response::from_err(&e),
+            }
+        }
+        (Method::Get, ["api", "datasets", owner, name, "download"]) => {
+            let Some(user) = query_user else {
+                return Response::error(400, "a ?user= query parameter is required");
+            };
+            let dn = DatasetName::new(*owner, *name);
+            match service.download(&user, &dn) {
+                Ok(csv) => Response::ok(Json::object([("csv", Json::str(csv))])),
                 Err(e) => Response::from_err(&e),
             }
         }

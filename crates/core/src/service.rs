@@ -189,23 +189,34 @@ fn push_log(
 }
 
 /// The SQLShare platform.
+///
+/// Read paths — previews, downloads, status polls, stats, and crucially
+/// **query submission** — take `&self`: the pieces they mutate (job
+/// table, clock, job-id counter, snapshot cache, log, tenant counters,
+/// scheduler queues) all carry their own synchronization. Only the
+/// journal-before-apply mutation path (uploads, view DDL, permissions,
+/// deletes) needs `&mut self`, so a front end can serve the hot paths
+/// through a shared read lock and reserve exclusivity for mutations.
 #[derive(Debug, Default)]
 pub struct SqlShare {
     engine: Engine,
     /// Cached immutable engine snapshot handed to scheduler workers;
     /// invalidated by any catalog mutation. Queries running on a stale
     /// snapshot simply see the pre-DDL catalog (snapshot isolation).
-    snapshot: Option<Arc<Engine>>,
+    /// Interior-locked so concurrent submitters can share one clone.
+    snapshot: Mutex<Option<Arc<Engine>>>,
     datasets: BTreeMap<String, Dataset>,
     visibility: HashMap<String, Visibility>,
     users: BTreeMap<String, User>,
     staging: Staging,
     log: LogHandle,
-    clock: SimClock,
+    /// Simulated clock; interior-locked because every query tick moves
+    /// it, and queries run concurrently under `&self`.
+    clock: Mutex<SimClock>,
     quota: Quota,
     scheduler: Scheduler,
     jobs: Arc<JobTable>,
-    next_job_id: u64,
+    next_job_id: std::sync::atomic::AtomicU64,
     /// Deadline applied to submitted queries with no explicit deadline.
     default_deadline: Option<Duration>,
     /// Result-cache hits/misses per tenant (lowercased username).
@@ -342,6 +353,17 @@ impl SqlShare {
 
     // ---- users and time -------------------------------------------------
 
+    /// Lock the simulated clock (poison-recovering: the clock is a pair
+    /// of integers, valid at every statement boundary).
+    fn clock(&self) -> MutexGuard<'_, SimClock> {
+        self.clock.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Produce the next event timestamp.
+    fn tick(&self) -> SimInstant {
+        self.clock().tick()
+    }
+
     /// Register a user account.
     pub fn register_user(&mut self, username: &str, email: &str) -> Result<()> {
         validate_username(username)?;
@@ -385,7 +407,7 @@ impl SqlShare {
 
     /// Current simulated day.
     pub fn today(&self) -> i32 {
-        self.clock.day
+        self.clock().day
     }
 
     fn require_user(&self, username: &str) -> Result<()> {
@@ -422,8 +444,8 @@ impl SqlShare {
         let base_key = base_table_key(&name);
         let (table, report) = self.staging.ingest(stage_id, &base_key, options)?;
 
-        let saved_clock = self.clock;
-        let created = self.clock.tick();
+        let saved_clock = *self.clock();
+        let created = self.tick();
         let report = self
             .commit_with(
                 Mutation::Upload {
@@ -436,7 +458,7 @@ impl SqlShare {
                 Some((table, report)),
             )
             .inspect_err(|_| {
-                self.clock = saved_clock;
+                *self.clock() = saved_clock;
             })?
             .expect("upload apply returns its ingest report");
         Ok((name, report))
@@ -465,8 +487,8 @@ impl SqlShare {
         }
         let canonical = stripped.to_string();
 
-        let saved_clock = self.clock;
-        let created = self.clock.tick();
+        let saved_clock = *self.clock();
+        let created = self.tick();
         self.commit(Mutation::SaveDataset {
             user: user.to_string(),
             dataset: dataset.to_string(),
@@ -475,7 +497,7 @@ impl SqlShare {
             created,
         })
         .inspect_err(|_| {
-            self.clock = saved_clock;
+            *self.clock() = saved_clock;
         })?;
         Ok(name)
     }
@@ -549,8 +571,8 @@ impl SqlShare {
         let source_sql = self.dataset_required(source)?.sql.clone();
         let output = self.engine.run(&source_sql)?;
 
-        let saved_clock = self.clock;
-        let created = self.clock.tick();
+        let saved_clock = *self.clock();
+        let created = self.tick();
         self.commit(Mutation::Materialize {
             source: self.dataset_required(source)?.name.clone(),
             name: name.clone(),
@@ -559,7 +581,7 @@ impl SqlShare {
             created,
         })
         .inspect_err(|_| {
-            self.clock = saved_clock;
+            *self.clock() = saved_clock;
         })?;
         Ok(name)
     }
@@ -638,7 +660,7 @@ impl SqlShare {
 
     /// Download a dataset's full contents as CSV — this *does* run the
     /// query (§3.3).
-    pub fn download(&mut self, user: &str, name: &DatasetName) -> Result<String> {
+    pub fn download(&self, user: &str, name: &DatasetName) -> Result<String> {
         let sql = format!("SELECT * FROM {}", name.sql_ref());
         let result = self.run_query(user, &sql)?;
         let mut out = String::new();
@@ -668,9 +690,9 @@ impl SqlShare {
 
     /// Run a query synchronously, enforcing permissions and logging the
     /// attempt (success or failure) to the research corpus.
-    pub fn run_query(&mut self, user: &str, sql: &str) -> Result<QueryResult> {
+    pub fn run_query(&self, user: &str, sql: &str) -> Result<QueryResult> {
         self.require_user(user)?;
-        let at = self.clock.tick();
+        let at = self.tick();
         let mut degraded = false;
         match self.run_query_inner(user, sql, &mut degraded) {
             Ok((result, datasets, tables)) => {
@@ -723,7 +745,7 @@ impl SqlShare {
     }
 
     fn run_query_inner(
-        &mut self,
+        &self,
         user: &str,
         sql: &str,
         degraded: &mut bool,
@@ -768,7 +790,7 @@ impl SqlShare {
     /// scheduler's per-tenant queue and runs on a worker thread against
     /// an immutable engine snapshot; admission control rejects with
     /// [`Error::Overloaded`] when the user's queue is full.
-    pub fn submit_query(&mut self, user: &str, sql: &str) -> Result<u64> {
+    pub fn submit_query(&self, user: &str, sql: &str) -> Result<u64> {
         self.submit_query_with_deadline(user, sql, None)
     }
 
@@ -776,15 +798,17 @@ impl SqlShare {
     /// (covering queue wait and execution). When the deadline fires the
     /// query unwinds cooperatively and the job ends `TimedOut`.
     pub fn submit_query_with_deadline(
-        &mut self,
+        &self,
         user: &str,
         sql: &str,
         deadline: Option<Duration>,
     ) -> Result<u64> {
         self.require_user(user)?;
-        let at = self.clock.tick();
-        self.next_job_id += 1;
-        let id = self.next_job_id;
+        let at = self.tick();
+        let id = self
+            .next_job_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
 
         // Preflight while we hold the service: parse, qualify against
         // the current catalog, and check permissions. Failures become
@@ -1228,22 +1252,20 @@ impl SqlShare {
 
     /// The immutable engine snapshot workers execute against, rebuilt
     /// lazily after catalog mutations.
-    fn engine_snapshot(&mut self) -> Arc<Engine> {
-        if self.snapshot.is_none() {
-            self.snapshot = Some(Arc::new(self.engine.clone()));
-        }
-        self.snapshot.as_ref().expect("just set").clone()
+    fn engine_snapshot(&self) -> Arc<Engine> {
+        let mut slot = self.snapshot.lock().unwrap_or_else(|e| e.into_inner());
+        slot.get_or_insert_with(|| Arc::new(self.engine.clone())).clone()
     }
 
     fn invalidate_snapshot(&mut self) {
-        self.snapshot = None;
+        *self.snapshot.lock().unwrap_or_else(|e| e.into_inner()) = None;
     }
 
     /// Run a parameterized query macro (§5.2's proposed convenience):
     /// `$name` placeholders — table positions included — are substituted
     /// from `bindings` before normal execution and logging.
     pub fn run_macro(
-        &mut self,
+        &self,
         user: &str,
         body: &str,
         bindings: &crate::macros::MacroBindings,
@@ -1256,7 +1278,7 @@ impl SqlShare {
     /// patterns (§5.3's proposed syntax), expanded against `dataset`'s
     /// current schema.
     pub fn run_with_column_patterns(
-        &mut self,
+        &self,
         user: &str,
         sql: &str,
         dataset: &DatasetName,
@@ -1408,7 +1430,7 @@ impl SqlShare {
                 Ok(None)
             }
             Mutation::AdvanceDays { days } => {
-                self.clock.advance_days(*days);
+                self.clock().advance_days(*days);
                 Ok(None)
             }
             Mutation::Upload {
@@ -1563,9 +1585,10 @@ impl SqlShare {
     /// recovered clock issues the same timestamps the crashed process
     /// would have.
     fn sync_clock(&mut self, created: SimInstant) {
-        if (self.clock.day, self.clock.sequence) <= (created.day, created.sequence) {
-            self.clock.day = created.day;
-            self.clock.sequence = created.sequence + 1;
+        let mut clock = self.clock();
+        if (clock.day, clock.sequence) <= (created.day, created.sequence) {
+            clock.day = created.day;
+            clock.sequence = created.sequence + 1;
         }
     }
 
@@ -1594,6 +1617,10 @@ impl SqlShare {
     }
 
     fn snapshot_payload(&self) -> Json {
+        // Copy the clock out before building the document: two
+        // `self.clock()` calls in one expression would hold the first
+        // guard across the second lock and self-deadlock.
+        let clock = *self.clock();
         Json::object([
             (
                 "lsn",
@@ -1602,8 +1629,8 @@ impl SqlShare {
             (
                 "clock",
                 Json::object([
-                    ("day", Json::Number(self.clock.day as f64)),
-                    ("seq", Json::Number(self.clock.sequence as f64)),
+                    ("day", Json::Number(clock.day as f64)),
+                    ("seq", Json::Number(clock.sequence as f64)),
                 ]),
             ),
             ("state", self.durable_state_json(true)),
@@ -1714,8 +1741,11 @@ impl SqlShare {
     fn restore_snapshot(&mut self, doc: &Json) -> Result<()> {
         let clock = persist::field(doc, "clock")?;
         let at = persist::instant_from_json(clock)?;
-        self.clock.day = at.day;
-        self.clock.sequence = at.sequence;
+        {
+            let mut clock = self.clock();
+            clock.day = at.day;
+            clock.sequence = at.sequence;
+        }
         self.restore_state(persist::field(doc, "state")?)
     }
 

@@ -36,7 +36,7 @@ fn cross(owner_prefix: &str) -> String {
 /// or `Running` immediately after submission.
 #[test]
 fn slow_query_is_observed_in_flight() {
-    let mut s = service_with_nums(SchedulerConfig::default(), 60);
+    let s = service_with_nums(SchedulerConfig::default(), 60);
     let id = s.submit_query("ada", &cross("")).unwrap();
     let status = s.query_status(id).unwrap();
     assert!(
@@ -157,7 +157,7 @@ fn light_tenant_is_not_starved_behind_heavy_one() {
 /// hanging, and its results surface as a timeout error.
 #[test]
 fn deadline_expired_query_times_out() {
-    let mut s = service_with_nums(SchedulerConfig::default(), 120);
+    let s = service_with_nums(SchedulerConfig::default(), 120);
     let id = s
         .submit_query_with_deadline("ada", &cross(""), Some(Duration::from_millis(10)))
         .unwrap();
@@ -177,7 +177,7 @@ fn deadline_expired_query_times_out() {
 /// straight to `Cancelled` and the engine is never invoked.
 #[test]
 fn cancelled_queued_query_never_executes() {
-    let mut s = service_with_nums(
+    let s = service_with_nums(
         SchedulerConfig { workers: 1, start_paused: true, ..Default::default() },
         5,
     );
@@ -219,7 +219,7 @@ fn cancel_requires_ownership_or_admin() {
 /// gets `Error::Overloaded`, and the rejection is logged.
 #[test]
 fn overloaded_tenant_is_rejected() {
-    let mut s = service_with_nums(
+    let s = service_with_nums(
         SchedulerConfig {
             workers: 1,
             queue_capacity: 2,
@@ -448,7 +448,7 @@ fn worker_panic_at_dop4_fails_one_job_and_service_survives() {
 /// Queue-wait and execution time are split in the query log.
 #[test]
 fn query_log_records_queue_wait_split() {
-    let mut s = service_with_nums(
+    let s = service_with_nums(
         SchedulerConfig { workers: 1, start_paused: true, ..Default::default() },
         5,
     );

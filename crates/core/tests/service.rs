@@ -31,7 +31,7 @@ fn upload_creates_dataset_with_preview() {
 
 #[test]
 fn owner_queries_with_short_names() {
-    let mut s = service_with_ada();
+    let s = service_with_ada();
     let out = s
         .run_query("ada", "SELECT COUNT(*) FROM sensors WHERE depth > 5.0")
         .unwrap();
@@ -224,7 +224,7 @@ fn only_owner_may_share_delete_or_edit() {
 #[test]
 fn async_query_handles() {
     use std::time::Duration;
-    let mut s = service_with_ada();
+    let s = service_with_ada();
     let id = s.submit_query("ada", "SELECT COUNT(*) FROM sensors").unwrap();
     // submit_query no longer blocks: poll until the job lands.
     let status = s.wait_for_job(id, Duration::from_secs(10)).unwrap();
@@ -245,7 +245,7 @@ fn async_query_handles() {
 
 #[test]
 fn download_produces_csv() {
-    let mut s = service_with_ada();
+    let s = service_with_ada();
     let csv = s
         .download("ada", &DatasetName::new("ada", "sensors"))
         .unwrap();
@@ -283,7 +283,7 @@ fn headerless_upload_and_rename_in_sql() {
 
 #[test]
 fn query_log_records_everything() {
-    let mut s = service_with_ada();
+    let s = service_with_ada();
     s.run_query("ada", "SELECT * FROM sensors").unwrap();
     let _ = s.run_query("ada", "SELECT * FROM nope");
     let log = s.log();

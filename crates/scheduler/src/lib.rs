@@ -164,6 +164,40 @@ pub struct JobContext {
     pub queue_wait: Duration,
 }
 
+/// A point-in-time view of scheduler pressure, exposed so the HTTP
+/// front end can shed load *before* queues collapse: when
+/// [`LoadSnapshot::saturated`] the right client-facing answer is
+/// `429` with a [`LoadSnapshot::retry_after`] hint, not a deeper queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadSnapshot {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Total worker slots (DOP-weighted capacity).
+    pub slot_capacity: usize,
+    /// Slots currently held by running jobs.
+    pub running_slots: usize,
+    /// Jobs queued (not yet running) across all tenants.
+    pub queued: usize,
+    /// Per-tenant queue capacity (admission control's rejection bound).
+    pub queue_capacity: usize,
+}
+
+impl LoadSnapshot {
+    /// Every slot busy *and* work already waiting: new work can only
+    /// deepen queues.
+    pub fn saturated(&self) -> bool {
+        self.running_slots >= self.slot_capacity && self.queued > 0
+    }
+
+    /// A coarse client back-off hint in whole seconds, scaled to how
+    /// many queued jobs each worker must drain first; clamped to
+    /// `1..=30` so a burst never tells clients to go away for minutes.
+    pub fn retry_after_secs(&self) -> u64 {
+        let backlog_per_worker = self.queued.div_ceil(self.workers.max(1));
+        (backlog_per_worker as u64).clamp(1, 30)
+    }
+}
+
 /// Handle returned by [`Scheduler::submit`].
 #[derive(Debug, Clone)]
 pub struct JobTicket {
@@ -429,6 +463,21 @@ impl Scheduler {
     pub fn free_slots(&self) -> usize {
         let state = self.lock();
         self.shared.config.slots.saturating_sub(state.running_slots)
+    }
+
+    /// One-lock snapshot of scheduler pressure — the overload signal a
+    /// front end turns into `429 Too Many Requests` + `Retry-After`.
+    /// Cheaper than [`Scheduler::stats`] (no per-tenant map walk beyond
+    /// summing queue lengths) so it can run on every admission decision.
+    pub fn load(&self) -> LoadSnapshot {
+        let state = self.lock();
+        LoadSnapshot {
+            workers: self.shared.config.workers,
+            slot_capacity: self.shared.config.slots,
+            running_slots: state.running_slots,
+            queued: state.tenants.values().map(|t| t.queue.len()).sum(),
+            queue_capacity: self.shared.config.queue_capacity,
+        }
     }
 
     /// Queued (not yet running) jobs for a tenant.

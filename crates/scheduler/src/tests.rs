@@ -609,3 +609,39 @@ fn job_reports_attribute_failure_class_and_degraded_retries() {
     assert_eq!(lena.failed_internal, 0);
     assert_eq!(lena.degraded_retries, 1);
 }
+
+#[test]
+fn load_snapshot_tracks_queue_pressure_and_backoff() {
+    let sched = single_worker_paused();
+    let idle = sched.load();
+    assert_eq!(idle.queued, 0);
+    assert!(!idle.saturated());
+    assert_eq!(idle.retry_after_secs(), 1, "empty backlog still hints >= 1s");
+
+    for _ in 0..5 {
+        sched
+            .submit("ada", SubmitOptions::default(), |_| JobDisposition::Completed)
+            .unwrap();
+    }
+    let queued = sched.load();
+    assert_eq!(queued.queued, 5);
+    assert_eq!(queued.workers, 1);
+    assert_eq!(queued.retry_after_secs(), 5, "5 queued / 1 worker = 5s hint");
+
+    sched.resume();
+    assert!(sched.wait_idle(Duration::from_secs(5)));
+    assert_eq!(sched.load().queued, 0);
+}
+
+#[test]
+fn load_snapshot_backoff_is_clamped() {
+    let snap = LoadSnapshot {
+        workers: 1,
+        slot_capacity: 1,
+        running_slots: 1,
+        queued: 10_000,
+        queue_capacity: 64,
+    };
+    assert!(snap.saturated());
+    assert_eq!(snap.retry_after_secs(), 30);
+}

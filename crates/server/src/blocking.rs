@@ -1,0 +1,159 @@
+//! The original demo front end, preserved as the benchmark baseline: a
+//! blocking HTTP/1.0-style loop that spawns a thread per connection,
+//! serves exactly one request on it, and serializes every dispatch —
+//! reads included — on a single global `Mutex<SqlShare>`.
+//!
+//! `BENCH_throughput.json` replays the same workload against this and
+//! against [`crate::Server`]; the gap is the whole point of the server
+//! crate. Two demo bugs are fixed even here so the comparison measures
+//! architecture, not correctness: oversized bodies get `413` instead of
+//! being silently truncated to a 4 MiB prefix, and a malformed
+//! `Content-Length` gets `400` instead of being read as zero. Payloads
+//! go on the wire as compact JSON, same as the non-blocking server.
+
+use sqlshare_common::json::{self, Json};
+use sqlshare_core::rest::{dispatch, Method, Request};
+use sqlshare_core::SqlShare;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::reason_phrase;
+
+/// A running blocking server; dropping the handle leaks the accept
+/// thread, so call [`BlockingServer::shutdown`].
+pub struct BlockingServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl BlockingServer {
+    /// Bind `addr` (port 0 picks a free port) and serve until shutdown.
+    pub fn start(
+        service: Arc<Mutex<SqlShare>>,
+        addr: &str,
+        max_body: usize,
+    ) -> std::io::Result<BlockingServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Nonblocking accept + short sleep lets shutdown() take effect
+        // without a sentinel connection.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let service = Arc::clone(&service);
+                        std::thread::spawn(move || {
+                            let _ = stream.set_nonblocking(false);
+                            let _ = handle(stream, &service, max_body);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(BlockingServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop. Connections already
+    /// handed to handler threads finish on their own.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Serve one request, blocking-style, then close — the demo's original
+/// shape (`connection: close` on every response).
+fn handle(mut stream: TcpStream, service: &Mutex<SqlShare>, max_body: usize) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => return respond(&mut stream, 400, &Json::str("bad request line")),
+    };
+
+    // Headers: we only need Content-Length.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = match v.parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    return respond(&mut stream, 400, &Json::str("malformed Content-Length"))
+                }
+            };
+        }
+    }
+    if content_length > max_body {
+        return respond(
+            &mut stream,
+            413,
+            &Json::str("request body exceeds the configured size limit"),
+        );
+    }
+    let mut body_bytes = vec![0u8; content_length];
+    reader.read_exact(&mut body_bytes)?;
+    let body = if body_bytes.is_empty() {
+        Json::Null
+    } else {
+        match json::parse(&String::from_utf8_lossy(&body_bytes)) {
+            Ok(j) => j,
+            Err(e) => {
+                return respond(&mut stream, 400, &Json::str(format!("bad JSON body: {e}")))
+            }
+        }
+    };
+
+    let Some(method) = Method::parse(&method) else {
+        return respond(&mut stream, 405, &Json::str("unsupported method"));
+    };
+    let response = dispatch(
+        &mut service.lock().unwrap_or_else(|e| e.into_inner()),
+        &Request { method, path, body },
+    );
+    respond(&mut stream, response.status, &response.body)
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
+    let payload = body.to_string();
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n{payload}",
+        reason_phrase(status),
+        payload.len()
+    )
+}

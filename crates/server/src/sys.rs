@@ -1,0 +1,178 @@
+//! Direct `extern "C"` bindings for the handful of Linux syscalls the
+//! readiness loop needs: `epoll` for readiness notification and
+//! `eventfd` for cross-thread wakeups. The workspace vendors no
+//! external crates, so this is the whole FFI surface — everything else
+//! goes through `std::net`.
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+
+// Event masks (linux/eventpoll.h).
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Wake only one of the epoll instances a level-triggered fd is
+/// registered with — the no-thundering-herd accept mode (kernel 4.5+).
+pub const EPOLLEXCLUSIVE: u32 = 1 << 28;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// `struct epoll_event`. x86-64 is the one Linux ABI where it is
+/// packed; everywhere else it has natural alignment.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int)
+        -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+/// An epoll instance. Registration uses the fd itself as the event
+/// token (`data = fd as u64`), which is unambiguous because each fd is
+/// registered with exactly one instance.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: c_int,
+}
+
+impl Epoll {
+    pub fn new() -> io::Result<Epoll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: i32, events: u32) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: fd as u64,
+        };
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub fn add(&self, fd: i32, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events)
+    }
+
+    /// Add with [`EPOLLEXCLUSIVE`], falling back to a plain add on
+    /// kernels that reject the flag (pre-4.5): correctness is the same,
+    /// the herd just thunders.
+    pub fn add_exclusive(&self, fd: i32, events: u32) -> io::Result<()> {
+        match self.ctl(EPOLL_CTL_ADD, fd, events | EPOLLEXCLUSIVE) {
+            Ok(()) => Ok(()),
+            Err(_) => self.ctl(EPOLL_CTL_ADD, fd, events),
+        }
+    }
+
+    pub fn modify(&self, fd: i32, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events)
+    }
+
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0)
+    }
+
+    /// Wait up to `timeout_ms` (`-1` = forever). Returns the filled
+    /// prefix of `events`. EINTR reads as an empty wake-up.
+    pub fn wait<'a>(
+        &self,
+        events: &'a mut [EpollEvent],
+        timeout_ms: i32,
+    ) -> io::Result<&'a [EpollEvent]> {
+        let n = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len() as c_int,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(&events[..0]);
+            }
+            return Err(err);
+        }
+        Ok(&events[..n as usize])
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A nonblocking eventfd used to kick an event loop out of
+/// `epoll_wait` — completions posting from worker threads and the
+/// shutdown signal both write here.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: c_int,
+}
+
+impl EventFd {
+    pub fn new() -> io::Result<EventFd> {
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EventFd { fd })
+    }
+
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Post one wake-up. Best effort: a full counter (u64::MAX - 1
+    /// pending wake-ups) means the loop is already drowning in signals.
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Drain all pending wake-ups.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        unsafe { read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}

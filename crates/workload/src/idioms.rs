@@ -220,7 +220,7 @@ mod tests {
 
     #[test]
     fn features_counted() {
-        let mut s = service();
+        let s = service();
         s.run_query("ada", "SELECT TOP 1 k FROM raw ORDER BY k DESC").unwrap();
         s.run_query("ada", "SELECT k FROM raw").unwrap();
         let corpus = extract_corpus(s.log().entries());
@@ -233,7 +233,7 @@ mod tests {
 
     #[test]
     fn sharing_stats_computed() {
-        let mut s = service();
+        let s = service();
         // bob queries ada's public view.
         s.run_query("bob", "SELECT * FROM ada.clean").unwrap();
         s.run_query("ada", "SELECT * FROM raw").unwrap();

@@ -208,7 +208,7 @@ mod tests {
 
     #[test]
     fn repeated_scans_are_reusable() {
-        let mut s = service();
+        let s = service();
         s.run_query("u", "SELECT k, v FROM t WHERE w = 2").unwrap();
         s.run_query("u", "SELECT k, v FROM t WHERE w = 2 AND v > 10").unwrap();
         let corpus = extract_corpus(s.log().entries());
@@ -224,7 +224,7 @@ mod tests {
 
     #[test]
     fn identical_plan_after_dedup_not_double_counted() {
-        let mut s = service();
+        let s = service();
         s.run_query("u", "SELECT k FROM t WHERE w = 2").unwrap();
         s.run_query("u", "SELECT k FROM t WHERE w = 2").unwrap();
         let corpus = extract_corpus(s.log().entries());
@@ -236,7 +236,7 @@ mod tests {
 
     #[test]
     fn identical_subtree_in_a_bigger_query_reuses() {
-        let mut s = service();
+        let s = service();
         s.run_query("u", "SELECT w, COUNT(*) AS n FROM t WHERE k > 10 GROUP BY w")
             .unwrap();
         // Different query string, but it contains the exact same
@@ -253,7 +253,7 @@ mod tests {
 
     #[test]
     fn constant_variants_do_not_reuse() {
-        let mut s = service();
+        let s = service();
         s.run_query("u", "SELECT w, COUNT(*) AS n FROM t WHERE k > 10 GROUP BY w")
             .unwrap();
         s.run_query("u", "SELECT w, COUNT(*) AS n FROM t WHERE k > 25 GROUP BY w")
@@ -267,7 +267,7 @@ mod tests {
 
     #[test]
     fn diverse_queries_reuse_little() {
-        let mut s = service();
+        let s = service();
         s.run_query("u", "SELECT COUNT(*) FROM t GROUP BY w").unwrap();
         s.run_query("u", "SELECT TOP 3 k FROM t ORDER BY v DESC").unwrap();
         let corpus = extract_corpus(s.log().entries());

@@ -1,9 +1,9 @@
-//! A dependency-free HTTP server exposing the SQLShare REST interface
-//! (§3.3/§3.4 of the paper: "the front-end UI is in no way a privileged
-//! application; it operates the REST interface like any other client").
+//! The SQLShare HTTP front end (§3.3/§3.4 of the paper: "the front-end
+//! UI is in no way a privileged application; it operates the REST
+//! interface like any other client").
 //!
 //! ```sh
-//! cargo run --example rest_server
+//! cargo run --release --example rest_server
 //! # in another terminal:
 //! curl -s -X POST localhost:7878/api/users \
 //!   -d '{"username":"ada","email":"ada@uw.edu"}'
@@ -14,8 +14,14 @@
 //! curl -s localhost:7878/api/queries/1/results
 //! ```
 //!
-//! The server handles one request per connection (HTTP/1.0 style) on a
-//! small thread pool — plenty for a demo, zero dependencies.
+//! This runs the non-blocking `sqlshare-server` front end: epoll
+//! readiness loops, HTTP/1.1 keep-alive + pipelining, chunked streaming
+//! of large result sets, and admission control that degrades to
+//! 429 + `Retry-After` under overload. Tune it with
+//! `SQLSHARE_HTTP_THREADS`, `SQLSHARE_HTTP_WORKERS`,
+//! `SQLSHARE_MAX_CONNS`, `SQLSHARE_MAX_INFLIGHT`, and
+//! `SQLSHARE_MAX_BODY_MB`. Pass `--blocking` to run the original
+//! thread-per-connection demo loop instead (the benchmark baseline).
 //!
 //! Set `SQLSHARE_DATA_DIR=/some/path` to run durably: mutations are
 //! journaled to a write-ahead log and the catalog is recovered from the
@@ -23,21 +29,20 @@
 //! `SQLSHARE_SNAPSHOT_EVERY` tune the policy). Without it the service
 //! is ephemeral, exactly as before.
 
-use std::sync::Mutex;
-use sqlshare_common::json::{self, Json};
-use sqlshare_core::rest::{dispatch, Method, Request};
 use sqlshare_core::SqlShare;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
+use sqlshare_server::{blocking::BlockingServer, HttpConfig, Server};
+use std::sync::{Arc, Mutex};
 
 fn main() -> std::io::Result<()> {
-    let addr = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
-    let listener = TcpListener::bind(&addr)?;
-    println!("SQLShare REST listening on http://{addr}");
-    println!("try: curl -s http://{addr}/api/datasets");
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut use_blocking = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--blocking" {
+            use_blocking = true;
+        } else {
+            addr = arg;
+        }
+    }
 
     let service = match SqlShare::from_env() {
         Ok(s) => {
@@ -54,89 +59,33 @@ fn main() -> std::io::Result<()> {
             std::process::exit(1);
         }
     };
-    let service = Arc::new(Mutex::new(service));
-    for stream in listener.incoming() {
-        let Ok(stream) = stream else { continue };
-        let service = Arc::clone(&service);
-        std::thread::spawn(move || {
-            if let Err(e) = handle(stream, &service) {
-                eprintln!("connection error: {e}");
-            }
-        });
-    }
-    Ok(())
-}
 
-fn handle(mut stream: TcpStream, service: &Mutex<SqlShare>) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    let mut parts = request_line.split_whitespace();
-    let (method, path) = match (parts.next(), parts.next()) {
-        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
-        _ => return respond(&mut stream, 400, &Json::str("bad request line")),
-    };
-
-    // Headers: we only need Content-Length.
-    let mut content_length = 0usize;
-    loop {
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
-        let line = line.trim();
-        if line.is_empty() {
-            break;
-        }
-        if let Some(v) = line
-            .to_ascii_lowercase()
-            .strip_prefix("content-length:")
-            .map(str::trim)
-        {
-            content_length = v.parse().unwrap_or(0);
+    if use_blocking {
+        let config = HttpConfig::from_env();
+        let server =
+            BlockingServer::start(Arc::new(Mutex::new(service)), &addr, config.max_body)?;
+        println!(
+            "SQLShare REST (blocking demo loop) listening on http://{}",
+            server.addr()
+        );
+        // The demo baseline has no signal handling; park forever.
+        loop {
+            std::thread::park();
         }
     }
-    let mut body_bytes = vec![0u8; content_length.min(4 * 1024 * 1024)];
-    reader.read_exact(&mut body_bytes)?;
-    let body = if body_bytes.is_empty() {
-        Json::Null
-    } else {
-        match json::parse(&String::from_utf8_lossy(&body_bytes)) {
-            Ok(j) => j,
-            Err(e) => {
-                return respond(&mut stream, 400, &Json::str(format!("bad JSON body: {e}")))
-            }
-        }
-    };
 
-    let Some(method) = Method::parse(&method) else {
-        return respond(&mut stream, 405, &Json::str("unsupported method"));
-    };
-    let response = dispatch(
-        &mut service.lock().unwrap_or_else(|e| e.into_inner()),
-        &Request { method, path, body },
+    let config = HttpConfig::from_env();
+    let server = Server::start(service, &addr, config.clone())?;
+    println!("SQLShare REST listening on http://{}", server.addr());
+    println!(
+        "  {} event loops, {} workers, {} max connections, {} MiB body cap",
+        config.threads,
+        config.workers,
+        config.max_conns,
+        config.max_body / (1024 * 1024)
     );
-    respond(&mut stream, response.status, &response.body)
-}
-
-fn respond(stream: &mut TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
-    let payload = body.to_pretty_string();
-    let reason = match status {
-        200 => "OK",
-        201 => "Created",
-        400 => "Bad Request",
-        403 => "Forbidden",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        409 => "Conflict",
-        422 => "Unprocessable Entity",
-        429 => "Too Many Requests",
-        503 => "Service Unavailable",
-        504 => "Gateway Timeout",
-        _ => "Internal Server Error",
-    };
-    write!(
-        stream,
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\n\
-         content-length: {}\r\nconnection: close\r\n\r\n{payload}",
-        payload.len()
-    )
+    println!("try: curl -s http://{}/api/datasets", server.addr());
+    loop {
+        std::thread::park();
+    }
 }

@@ -273,3 +273,71 @@ fn every_error_kind_maps_to_a_deliberate_status() {
         );
     }
 }
+
+/// The lock-split audit promised by `rest::is_mutation`'s docs: the
+/// routing predicate and what `dispatch_read` actually handles must
+/// agree, in both directions, over the whole route surface.
+#[test]
+fn is_mutation_split_agrees_with_dispatch_read() {
+    use sqlshare_core::rest::{dispatch_read, is_mutation, Method};
+
+    let mut s = SqlShare::new();
+    dispatch(&mut s, &post("/api/users", &[("username", "ada"), ("email", "a@uw.edu")]));
+    let r = dispatch(
+        &mut s,
+        &post(
+            "/api/datasets",
+            &[("user", "ada"), ("name", "tides"), ("content", "a,b\n1,2\n")],
+        ),
+    );
+    assert_eq!(r.status, 201);
+
+    // Every route the demo servers can reach, one probe each.
+    let probes: Vec<(Method, String)> = vec![
+        (Method::Get, "/api/ready".into()),
+        (Method::Get, "/api/datasets".into()),
+        (Method::Get, "/api/datasets/ada/tides?user=ada".into()),
+        (Method::Get, "/api/datasets/ada/tides/download?user=ada".into()),
+        (Method::Get, "/api/cache".into()),
+        (Method::Get, "/api/scheduler".into()),
+        (Method::Post, "/api/queries".into()),
+        (Method::Post, "/api/users".into()),
+        (Method::Post, "/api/datasets".into()),
+        (Method::Post, "/api/views".into()),
+        (Method::Post, "/api/datasets/ada/tides/append".into()),
+        (Method::Post, "/api/datasets/ada/tides/permissions".into()),
+        (Method::Delete, "/api/datasets/ada/tides".into()),
+    ];
+    for (method, path) in &probes {
+        let request = match method {
+            Method::Get => Request::get(path.clone()),
+            _ => Request {
+                method: *method,
+                path: path.clone(),
+                body: Json::Null,
+            },
+        };
+        let read_status = dispatch_read(&s, &request).status;
+        if is_mutation(*method, path) {
+            // Misrouting a mutation to the read path must be a loud
+            // 500, never a silent no-op or a confusing client error.
+            assert_eq!(
+                read_status, 500,
+                "{method:?} {path}: is_mutation says write, dispatch_read must refuse"
+            );
+        } else {
+            assert_ne!(
+                read_status, 500,
+                "{method:?} {path}: is_mutation says read, dispatch_read must handle it"
+            );
+        }
+    }
+
+    // The predicate ignores query strings: routing must not change
+    // because a client tacked on parameters.
+    assert!(is_mutation(Method::Post, "/api/views?foo=1"));
+    assert!(!is_mutation(Method::Post, "/api/queries?foo=1"));
+    // Submission and cancellation are deliberately on the read path.
+    assert!(!is_mutation(Method::Post, "/api/queries"));
+    assert!(!is_mutation(Method::Post, "/api/queries/7/cancel"));
+}
