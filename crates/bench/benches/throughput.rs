@@ -15,7 +15,9 @@
 //!   payload encoding on a large result set (the demo used to
 //!   pretty-print every response on the wire).
 
-use sqlshare_bench::replay::{build_workload, run_step, MixSpec, ReplayOp, StepStats};
+use sqlshare_bench::replay::{
+    build_workload, run_step, run_step_with, MixSpec, ReplayOp, RetryPolicy, StepStats,
+};
 use sqlshare_common::json::Json;
 use sqlshare_core::rest::{dispatch_read, Request};
 use sqlshare_core::SqlShare;
@@ -112,12 +114,21 @@ fn main() {
     let ops_overload = build_workload(&service, 4096, MixSpec::read_heavy(), SEED);
     let overload_server = Server::start(service, "127.0.0.1:0", overload_config)
         .expect("bind overload server");
-    let at_capacity = run_step(overload_server.addr(), &ops_overload, capacity, REQUESTS_PER_CLIENT);
-    let at_twice = run_step(
+    // RetryPolicy::none(): the shed count is the measurement here, so
+    // the client must not soak 429s up in Retry-After backoff retries.
+    let at_capacity = run_step_with(
+        overload_server.addr(),
+        &ops_overload,
+        capacity,
+        REQUESTS_PER_CLIENT,
+        RetryPolicy::none(),
+    );
+    let at_twice = run_step_with(
         overload_server.addr(),
         &ops_overload,
         capacity * 2,
         REQUESTS_PER_CLIENT,
+        RetryPolicy::none(),
     );
     eprintln!(
         "  capacity: p99 {}us, 429s {}; 2x: p99 {}us, 429s {}, 5xx {}",

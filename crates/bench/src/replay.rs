@@ -12,7 +12,7 @@
 //! `BENCH_throughput.json`; `tests/http_throughput.rs` runs a small
 //! smoke of the same harness in CI.
 
-use sqlshare_common::json::Json;
+use sqlshare_common::json::{self, Json};
 use sqlshare_core::SqlShare;
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -178,6 +178,152 @@ impl HttpClient {
     }
 }
 
+/// A replay client that follows the primary across failover: it sends
+/// to one node until that node dies (connection error) or refuses
+/// writes (503 — a standby's `read-only` rejection frames as 503 +
+/// `Retry-After`), then probes every configured endpoint's
+/// `GET /api/ready` for `role == "primary"` and retries there. Probing
+/// repeats for `probe_rounds` rounds because promotion takes a lease
+/// lapse to trigger — the cluster legitimately has no primary for a
+/// few heartbeats.
+pub struct FailoverClient {
+    endpoints: Vec<SocketAddr>,
+    active: usize,
+    client: HttpClient,
+    rng: XorShift,
+    /// Times the client switched to a different node.
+    pub failovers: u64,
+    /// Reconnects/bytes accumulated across discarded clients.
+    pub reconnects: u64,
+    pub bytes_read: u64,
+    /// Probe rounds before giving up on finding a primary.
+    pub probe_rounds: usize,
+    /// Pause between probe rounds (jittered ±50%).
+    pub probe_pause: Duration,
+}
+
+impl FailoverClient {
+    pub fn new(endpoints: Vec<SocketAddr>) -> FailoverClient {
+        assert!(!endpoints.is_empty(), "need at least one endpoint");
+        FailoverClient {
+            client: HttpClient::new(endpoints[0]),
+            endpoints,
+            active: 0,
+            rng: XorShift::new(0xFA11_0E4D),
+            failovers: 0,
+            reconnects: 0,
+            bytes_read: 0,
+            probe_rounds: 120,
+            probe_pause: Duration::from_millis(50),
+        }
+    }
+
+    /// The node requests currently go to.
+    pub fn active_addr(&self) -> SocketAddr {
+        self.endpoints[self.active]
+    }
+
+    fn probe_role(addr: SocketAddr) -> Option<String> {
+        let mut probe = HttpClient::new(addr);
+        let resp = probe.request(&ReplayOp::Get("/api/ready".into())).ok()?;
+        let doc = json::parse(&String::from_utf8_lossy(&resp.body)).ok()?;
+        Some(doc.get("role")?.as_str()?.to_string())
+    }
+
+    fn switch_to(&mut self, idx: usize) {
+        self.reconnects += self.client.reconnects;
+        self.bytes_read += self.client.bytes_read;
+        if idx != self.active {
+            self.failovers += 1;
+        }
+        self.active = idx;
+        self.client = HttpClient::new(self.endpoints[idx]);
+    }
+
+    /// Issue one request, retargeting to whichever node reports itself
+    /// primary when the active one is gone or read-only.
+    pub fn request(&mut self, op: &ReplayOp) -> io::Result<HttpResponse> {
+        let mut last: io::Result<HttpResponse> = self.client.request(op);
+        for _ in 0..self.probe_rounds {
+            match &last {
+                Ok(resp) if resp.status != 503 => return last,
+                _ => {}
+            }
+            if let Some(idx) = (0..self.endpoints.len())
+                .find(|&i| Self::probe_role(self.endpoints[i]).as_deref() == Some("primary"))
+            {
+                let moved = idx != self.active;
+                self.switch_to(idx);
+                last = self.client.request(op);
+                if moved {
+                    continue; // judge the retry on the new node
+                }
+            }
+            let base = self.probe_pause.as_millis().max(2) as u64;
+            let jitter = base / 2 + self.rng.below(base as usize / 2 + 1) as u64;
+            std::thread::sleep(Duration::from_millis(jitter));
+        }
+        last
+    }
+}
+
+/// How a replay client reacts to a shed (`429`/`503` + `Retry-After`).
+///
+/// The server's hint is honored with capped exponential backoff: the
+/// first retry sleeps roughly the hinted duration (clamped to `cap`),
+/// each subsequent retry doubles it (still clamped), and a
+/// deterministic jitter in [50%, 100%] of the computed delay keeps
+/// staggered clients from re-converging on the same instant.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Backoff-and-retry attempts per request before the shed is
+    /// reported as the final status.
+    pub max_retries: u32,
+    /// Ceiling on any single backoff sleep (the hint is in whole
+    /// seconds; a benchmark cannot sleep that long per shed).
+    pub cap: Duration,
+}
+
+impl RetryPolicy {
+    /// Honor `Retry-After` (the default): up to 3 retries, 100 ms cap.
+    pub fn obedient() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            cap: Duration::from_millis(100),
+        }
+    }
+
+    /// Never back off — report every shed as its final status. This is
+    /// what the overload benches use so shed counts stay a direct
+    /// measure of admission control.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            cap: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::obedient()
+    }
+}
+
+/// Backoff before retry number `attempt` (0-based) given the server's
+/// `Retry-After` hint in seconds. Deterministic given the rng state.
+fn backoff_delay(hint_secs: u64, attempt: u32, policy: RetryPolicy, rng: &mut XorShift) -> Duration {
+    let cap_ms = policy.cap.as_millis() as u64;
+    if cap_ms == 0 {
+        return Duration::ZERO;
+    }
+    let hint_ms = hint_secs.saturating_mul(1000).clamp(1, cap_ms);
+    let exp_ms = hint_ms.saturating_mul(1 << attempt.min(10)).min(cap_ms);
+    let half = (exp_ms / 2).max(1);
+    let jittered = half + rng.below(half as usize + 1) as u64;
+    Duration::from_millis(jittered)
+}
+
 /// Deterministic xorshift64* — the workload must be reproducible and
 /// the harness keeps zero dependencies, shims included.
 struct XorShift(u64);
@@ -332,6 +478,12 @@ pub struct StepStats {
     pub io_errors: u64,
     pub reconnects: u64,
     pub bytes_read: u64,
+    /// Shed responses observed (429/503 carrying `Retry-After`),
+    /// whether or not a retry followed. Distinct from `count_429`,
+    /// which only counts requests whose *final* status was 429.
+    pub sheds: u64,
+    /// Backoff-and-retry attempts made after sheds.
+    pub retries: u64,
 }
 
 impl StepStats {
@@ -350,50 +502,100 @@ impl StepStats {
             ("io_errors", Json::num(self.io_errors as f64)),
             ("reconnects", Json::num(self.reconnects as f64)),
             ("bytes_read", Json::num(self.bytes_read as f64)),
+            ("sheds", Json::num(self.sheds as f64)),
+            ("retries", Json::num(self.retries as f64)),
         ])
     }
 }
 
 /// Replay `ops` against `addr` from `concurrency` client threads, each
 /// issuing `requests_per_client` requests round-robin from a staggered
-/// starting offset. Latency is measured per request, wall-to-wall.
+/// starting offset, honoring `Retry-After` with the default
+/// [`RetryPolicy`]. Latency is measured per attempt, wall-to-wall
+/// (backoff sleeps are excluded — they are deliberate idleness, not
+/// server time).
 pub fn run_step(
     addr: SocketAddr,
     ops: &[ReplayOp],
     concurrency: usize,
     requests_per_client: usize,
 ) -> StepStats {
+    run_step_with(addr, ops, concurrency, requests_per_client, RetryPolicy::default())
+}
+
+/// Per-client replay tallies: latencies (µs), status counts
+/// `[2xx, 429, other 4xx, 5xx, io_error]`, reconnects, bytes read,
+/// sheds, retries.
+type ClientTallies = (Vec<u64>, [u64; 5], u64, u64, u64, u64);
+
+/// [`run_step`] with an explicit shed-retry policy.
+pub fn run_step_with(
+    addr: SocketAddr,
+    ops: &[ReplayOp],
+    concurrency: usize,
+    requests_per_client: usize,
+    policy: RetryPolicy,
+) -> StepStats {
     assert!(!ops.is_empty());
     let started = Instant::now();
-    let results: Vec<(Vec<u64>, [u64; 5], u64, u64)> = std::thread::scope(|scope| {
+    let results: Vec<ClientTallies> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..concurrency)
             .map(|i| {
                 scope.spawn(move || {
                     let mut client = HttpClient::new(addr);
+                    let mut rng =
+                        XorShift::new(0xB0FF ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                     let mut latencies = Vec::with_capacity(requests_per_client);
                     // [2xx, 429, other 4xx, 5xx, io_error]
                     let mut counts = [0u64; 5];
+                    let mut sheds = 0u64;
+                    let mut retries = 0u64;
                     let start = (i * ops.len()) / concurrency.max(1);
                     for k in 0..requests_per_client {
                         let op = &ops[(start + k) % ops.len()];
-                        let t0 = Instant::now();
-                        match client.request(op) {
-                            Ok(resp) => {
-                                latencies.push(t0.elapsed().as_micros() as u64);
-                                match resp.status {
-                                    200..=299 => counts[0] += 1,
-                                    429 => counts[1] += 1,
-                                    400..=499 => counts[2] += 1,
-                                    _ => counts[3] += 1,
+                        let mut attempt = 0u32;
+                        loop {
+                            let t0 = Instant::now();
+                            match client.request(op) {
+                                Ok(resp) => {
+                                    let shed = matches!(resp.status, 429 | 503);
+                                    if shed {
+                                        if let Some(hint) = resp.retry_after {
+                                            sheds += 1;
+                                            if attempt < policy.max_retries {
+                                                retries += 1;
+                                                std::thread::sleep(backoff_delay(
+                                                    hint, attempt, policy, &mut rng,
+                                                ));
+                                                attempt += 1;
+                                                continue;
+                                            }
+                                        }
+                                    }
+                                    latencies.push(t0.elapsed().as_micros() as u64);
+                                    match resp.status {
+                                        200..=299 => counts[0] += 1,
+                                        429 => counts[1] += 1,
+                                        400..=499 => counts[2] += 1,
+                                        _ => counts[3] += 1,
+                                    }
+                                }
+                                Err(_) => {
+                                    counts[4] += 1;
+                                    client.stream = None;
                                 }
                             }
-                            Err(_) => {
-                                counts[4] += 1;
-                                client.stream = None;
-                            }
+                            break;
                         }
                     }
-                    (latencies, counts, client.reconnects, client.bytes_read)
+                    (
+                        latencies,
+                        counts,
+                        client.reconnects,
+                        client.bytes_read,
+                        sheds,
+                        retries,
+                    )
                 })
             })
             .collect();
@@ -405,13 +607,17 @@ pub fn run_step(
     let mut counts = [0u64; 5];
     let mut reconnects = 0;
     let mut bytes_read = 0;
-    for (lats, c, rc, br) in results {
+    let mut sheds = 0;
+    let mut retries = 0;
+    for (lats, c, rc, br, sh, rt) in results {
         latencies.extend(lats);
         for (total, part) in counts.iter_mut().zip(c) {
             *total += part;
         }
         reconnects += rc;
         bytes_read += br;
+        sheds += sh;
+        retries += rt;
     }
     latencies.sort_unstable();
     let requests = (concurrency * requests_per_client) as u64;
@@ -429,6 +635,8 @@ pub fn run_step(
         io_errors: counts[4],
         reconnects,
         bytes_read,
+        sheds,
+        retries,
     }
 }
 

@@ -50,6 +50,10 @@ pub enum Error {
     /// The query exceeded its memory budget (`SQLSHARE_QUERY_MEM_MB`) or
     /// the engine-wide memory pool.
     ResourceExhausted(String),
+    /// The node cannot accept writes: it is a replication standby (or a
+    /// fenced ex-primary). Reads still work; mutations should be retried
+    /// against the current primary.
+    ReadOnly(String),
 }
 
 impl Error {
@@ -71,6 +75,7 @@ impl Error {
             Error::Cancelled(_) => "cancelled",
             Error::Internal(_) => "internal",
             Error::ResourceExhausted(_) => "resource",
+            Error::ReadOnly(_) => "read-only",
         }
     }
 
@@ -105,7 +110,8 @@ impl Error {
             | Error::Timeout(m)
             | Error::Cancelled(m)
             | Error::Internal(m)
-            | Error::ResourceExhausted(m) => m,
+            | Error::ResourceExhausted(m)
+            | Error::ReadOnly(m) => m,
         }
     }
 }
@@ -148,6 +154,7 @@ mod tests {
             Error::Cancelled(String::new()),
             Error::Internal(String::new()),
             Error::ResourceExhausted(String::new()),
+            Error::ReadOnly(String::new()),
         ];
         let mut kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

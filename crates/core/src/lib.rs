@@ -29,6 +29,7 @@ pub mod macros;
 pub mod permissions;
 pub mod persist;
 pub mod querylog;
+pub mod repl;
 pub mod rest;
 pub mod service;
 
@@ -38,6 +39,7 @@ pub use dataset::{Dataset, DatasetKind, DatasetName, Metadata, Preview};
 pub use permissions::Visibility;
 pub use persist::{DurableOptions, RecoveryReport};
 pub use querylog::{Outcome, QueryLog, QueryLogEntry};
+pub use repl::{AckGate, AckMode, ReplConfig, Role};
 pub use service::{JobStatus, QueryJob, QueryResult, SqlShare};
 pub use sqlshare_scheduler::{SchedulerConfig, SchedulerStats, TenantStats};
-pub use sqlshare_storage::{CrashPoint, FsyncPolicy};
+pub use sqlshare_storage::{read_tail, CrashPoint, FsyncPolicy, TailRead};

@@ -119,7 +119,9 @@ pub struct RecoveryReport {
 pub(crate) struct DurableStore {
     wal: Wal,
     snapshots: SnapshotStore,
+    epoch_file: PathBuf,
     last_lsn: u64,
+    epoch: u64,
     records_since_snapshot: u64,
     snapshot_every: u64,
 }
@@ -133,13 +135,30 @@ impl DurableStore {
         dir.join("querylog.jsonl")
     }
 
+    pub(crate) fn epoch_path(dir: &Path) -> PathBuf {
+        dir.join("lease.epoch")
+    }
+
+    /// Highest lease epoch this node has durably observed. The WAL also
+    /// carries epochs, but a freshly promoted primary may crash before
+    /// journaling anything at its new epoch — the meta file keeps the
+    /// fence across that restart.
+    pub(crate) fn load_epoch(dir: &Path) -> u64 {
+        std::fs::read_to_string(Self::epoch_path(dir))
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0)
+    }
+
     /// Open the WAL for appending. Run recovery (scan + replay) first;
     /// `last_lsn` must be the highest LSN recovery applied.
     pub(crate) fn open(options: &DurableOptions, last_lsn: u64) -> Result<DurableStore> {
         Ok(DurableStore {
             wal: Wal::open(&Self::wal_path(&options.dir), options.fsync)?,
             snapshots: SnapshotStore::new(&options.dir),
+            epoch_file: Self::epoch_path(&options.dir),
             last_lsn,
+            epoch: 0,
             records_since_snapshot: 0,
             snapshot_every: options.snapshot_every.max(1),
         })
@@ -149,15 +168,51 @@ impl DurableStore {
     /// configured fsync policy and its LSN is committed.
     pub(crate) fn journal(&mut self, m: &Mutation) -> Result<u64> {
         let lsn = self.last_lsn + 1;
-        let record = m.to_json(lsn).to_string();
+        let record = m.to_json(lsn, self.epoch).to_string();
         self.wal.append(record.as_bytes())?;
         self.last_lsn = lsn;
         self.records_since_snapshot += 1;
         Ok(lsn)
     }
 
+    /// Journal a record replicated from a primary, preserving the
+    /// primary's LSN and lease epoch so the standby's WAL replays to
+    /// byte-identical state. Replication delivers records in order, so
+    /// the LSN simply becomes the new high-water mark.
+    pub(crate) fn journal_replicated(
+        &mut self,
+        lsn: u64,
+        epoch: u64,
+        m: &Mutation,
+    ) -> Result<()> {
+        let record = m.to_json(lsn, epoch).to_string();
+        self.wal.append(record.as_bytes())?;
+        self.last_lsn = lsn;
+        self.records_since_snapshot += 1;
+        Ok(())
+    }
+
     pub(crate) fn last_lsn(&self) -> u64 {
         self.last_lsn
+    }
+
+    /// Reset the durable high-water mark after a snapshot install
+    /// (standby catch-up jumps the LSN forward).
+    pub(crate) fn set_last_lsn(&mut self, lsn: u64) {
+        self.last_lsn = lsn;
+    }
+
+    /// Set the lease epoch stamped on every subsequently journaled
+    /// record (bumped on promotion, adopted from records on standby).
+    /// Epoch advances are mirrored to the meta file so the fence
+    /// survives a restart even before anything is journaled at the new
+    /// epoch; best-effort, since recovery also re-derives the epoch
+    /// from the WAL and snapshots.
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        if epoch > self.epoch {
+            let _ = std::fs::write(&self.epoch_file, epoch.to_string());
+        }
+        self.epoch = epoch;
     }
 
     pub(crate) fn wants_snapshot(&self) -> bool {
@@ -263,9 +318,14 @@ pub(crate) enum Mutation {
 }
 
 impl Mutation {
-    pub(crate) fn to_json(&self, lsn: u64) -> Json {
+    pub(crate) fn to_json(&self, lsn: u64, epoch: u64) -> Json {
         let mut o = JsonObject::new();
         o.insert("lsn", Json::Number(lsn as f64));
+        if epoch > 0 {
+            // Epoch 0 is elided so single-node WALs keep their original
+            // byte format (and old WALs decode as epoch 0).
+            o.insert("epoch", Json::Number(epoch as f64));
+        }
         match self {
             Mutation::RegisterUser { username, email } => {
                 o.insert("op", Json::str("register-user"));
@@ -353,6 +413,12 @@ impl Mutation {
             }
         }
         Json::Object(o)
+    }
+
+    /// Lease epoch carried by a journaled record. Records written before
+    /// replication existed (or by an epoch-0 primary) have none.
+    pub(crate) fn epoch_of(j: &Json) -> u64 {
+        u64_of(j, "epoch").unwrap_or(0)
     }
 
     pub(crate) fn from_json(j: &Json) -> Result<(u64, Mutation)> {
@@ -856,12 +922,28 @@ mod tests {
         ];
         for (i, m) in ms.iter().enumerate() {
             let lsn = (i + 1) as u64;
-            let text = m.to_json(lsn).to_string();
+            let epoch = (i as u64) % 3; // exercise elided epoch 0 too
+            let text = m.to_json(lsn, epoch).to_string();
             let reparsed = sqlshare_common::json::parse(&text).expect("valid json");
             let (got_lsn, back) = Mutation::from_json(&reparsed).expect("decodes");
             assert_eq!(got_lsn, lsn);
+            assert_eq!(Mutation::epoch_of(&reparsed), epoch);
             assert_eq!(format!("{m:?}"), format!("{back:?}"));
         }
+    }
+
+    #[test]
+    fn epoch_zero_keeps_the_pre_replication_record_format() {
+        let m = Mutation::RegisterUser {
+            username: "ada".into(),
+            email: "ada@uw.edu".into(),
+        };
+        let text = m.to_json(4, 0).to_string();
+        assert!(!text.contains("epoch"), "{text}");
+        let reparsed = sqlshare_common::json::parse(&text).unwrap();
+        assert_eq!(Mutation::epoch_of(&reparsed), 0);
+        let stamped = m.to_json(4, 2).to_string();
+        assert!(stamped.contains("\"epoch\""), "{stamped}");
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Replication roles, ack modes, and configuration.
+//!
+//! SQLShare replicates by streaming the primary's WAL — the
+//! self-contained [`Mutation`](crate::persist) journal — to standbys,
+//! which apply each record through the same LSN-idempotent path startup
+//! recovery uses. This module holds the pieces that are pure state or
+//! configuration; the service-side hooks (`apply_replicated`,
+//! `promote`, `demote`, ack gating in `commit`) live on
+//! [`SqlShare`](crate::SqlShare), and the transport (HTTP pull +
+//! heartbeat) lives in `sqlshare-server`.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a node is allowed to do with writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Role {
+    /// Accepts mutations, stamps them with its lease epoch, serves its
+    /// WAL to standbys. Every node starts here unless configured as a
+    /// standby.
+    #[default]
+    Primary,
+    /// Applies replicated records, serves the read-only route set, and
+    /// answers mutations with a typed `read-only` rejection (503 over
+    /// REST). Promoted to primary when the lease lapses.
+    Standby,
+}
+
+impl Role {
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Standby => "standby",
+        }
+    }
+}
+
+/// When a mutation is acknowledged to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckMode {
+    /// Acknowledged once journaled locally; standbys catch up behind
+    /// the ack. Primary loss can lose the un-replicated tail.
+    #[default]
+    Async,
+    /// Acknowledged only after the configured number of standbys
+    /// confirm the LSN. An acknowledged write survives primary loss.
+    Quorum,
+}
+
+impl AckMode {
+    /// Parse `SQLSHARE_REPL_ACK` (`quorum` or `async`; default async).
+    pub fn from_env() -> AckMode {
+        match std::env::var("SQLSHARE_REPL_ACK").as_deref() {
+            Ok("quorum") => AckMode::Quorum,
+            _ => AckMode::Async,
+        }
+    }
+}
+
+/// Everything the `SQLSHARE_REPL_*` knobs configure.
+#[derive(Debug, Clone)]
+pub struct ReplConfig {
+    /// Address of the primary to follow (`SQLSHARE_REPL_PRIMARY`).
+    /// Set ⇒ this node boots as a standby.
+    pub primary: Option<String>,
+    /// Ack mode (`SQLSHARE_REPL_ACK`).
+    pub ack: AckMode,
+    /// Standby confirmations required per LSN in quorum mode
+    /// (`SQLSHARE_REPL_QUORUM`, default 1).
+    pub quorum: usize,
+    /// How long a quorum-mode commit waits for confirmations before
+    /// returning a timeout to the client
+    /// (`SQLSHARE_REPL_ACK_TIMEOUT_MS`, default 2000).
+    pub ack_timeout: Duration,
+    /// Standby poll cadence; each successful poll renews the primary's
+    /// lease (`SQLSHARE_REPL_HEARTBEAT_MS`, default 500).
+    pub heartbeat: Duration,
+    /// Consecutive failed polls after which a standby considers the
+    /// lease lapsed and promotes itself
+    /// (`SQLSHARE_REPL_LEASE_MISSES`, default 3).
+    pub lease_misses: u32,
+}
+
+impl Default for ReplConfig {
+    fn default() -> Self {
+        ReplConfig {
+            primary: None,
+            ack: AckMode::Async,
+            quorum: 1,
+            ack_timeout: Duration::from_millis(2000),
+            heartbeat: Duration::from_millis(500),
+            lease_misses: 3,
+        }
+    }
+}
+
+impl ReplConfig {
+    pub fn from_env() -> ReplConfig {
+        let d = ReplConfig::default();
+        let ms = |key: &str, dflt: Duration| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&v| v > 0)
+                .map(Duration::from_millis)
+                .unwrap_or(dflt)
+        };
+        ReplConfig {
+            primary: std::env::var("SQLSHARE_REPL_PRIMARY")
+                .ok()
+                .filter(|s| !s.is_empty()),
+            ack: AckMode::from_env(),
+            quorum: std::env::var("SQLSHARE_REPL_QUORUM")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or(d.quorum),
+            ack_timeout: ms("SQLSHARE_REPL_ACK_TIMEOUT_MS", d.ack_timeout),
+            heartbeat: ms("SQLSHARE_REPL_HEARTBEAT_MS", d.heartbeat),
+            lease_misses: std::env::var("SQLSHARE_REPL_LEASE_MISSES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or(d.lease_misses),
+        }
+    }
+}
+
+/// Commit-time replication gate: `wait(lsn)` blocks until the quorum
+/// has confirmed `lsn` (true) or the ack timeout lapses (false). The
+/// server installs one backed by its ack hub when quorum mode is on;
+/// without a gate commits acknowledge as soon as they journal.
+#[derive(Clone)]
+pub struct AckGate(Arc<dyn Fn(u64) -> bool + Send + Sync>);
+
+impl AckGate {
+    pub fn new(f: impl Fn(u64) -> bool + Send + Sync + 'static) -> AckGate {
+        AckGate(Arc::new(f))
+    }
+
+    pub fn wait(&self, lsn: u64) -> bool {
+        (self.0)(lsn)
+    }
+}
+
+impl fmt::Debug for AckGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("AckGate(..)")
+    }
+}
+
+/// Per-node replication state carried by the service.
+#[derive(Debug, Default)]
+pub(crate) struct ReplState {
+    pub role: Role,
+    /// Current lease epoch: bumped on promotion, adopted from records
+    /// on standby, stamped on every journaled mutation for fencing.
+    pub epoch: u64,
+    /// Applied-LSN mirror for ephemeral nodes (durable nodes read the
+    /// store's high-water mark instead).
+    pub applied_lsn: u64,
+    /// Newest primary LSN a standby has seen advertised; lag =
+    /// hint − local last LSN.
+    pub primary_lsn_hint: u64,
+    /// Commit-time quorum gate, installed by the server.
+    pub ack_gate: Option<AckGate>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_single_node_friendly() {
+        let c = ReplConfig::default();
+        assert_eq!(c.ack, AckMode::Async);
+        assert!(c.primary.is_none());
+        assert_eq!(Role::default(), Role::Primary);
+        assert_eq!(Role::Standby.name(), "standby");
+    }
+
+    #[test]
+    fn ack_gate_calls_through() {
+        let gate = AckGate::new(|lsn| lsn <= 5);
+        assert!(gate.wait(5));
+        assert!(!gate.wait(6));
+        assert_eq!(format!("{gate:?}"), "AckGate(..)");
+    }
+}

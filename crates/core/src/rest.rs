@@ -138,6 +138,11 @@ pub fn status_for_kind(kind: &str) -> u16 {
         "cancelled" => 409,
         "execution" => 422,
         "quota" | "overloaded" | "resource" => 429,
+        // A standby (or fenced ex-primary) refusing a write is the
+        // service being temporarily unable to take mutations at this
+        // node — retryable against the promoted primary, so 503 with
+        // the server layer's `Retry-After`, not a generic 500.
+        "read-only" => 503,
         "internal" => 500,
         _ => 500,
     }
@@ -175,6 +180,17 @@ pub fn dispatch(service: &mut SqlShare, request: &Request) -> Response {
     // incomplete; only the readiness probe answers.
     if service.is_recovering() && segments.as_slice() != ["api", "ready"] {
         return Response::error(503, "service is recovering; try again shortly");
+    }
+    // A standby refuses mutations *before* validating them: a lagging
+    // replica would otherwise answer with misleading validation errors
+    // about state it simply has not replicated yet. The typed error
+    // frames as 503 + Retry-After, so obedient clients back off and
+    // retry against the promoted primary.
+    if service.role() == crate::repl::Role::Standby && is_mutation(request.method, &request.path)
+    {
+        return Response::from_err(&sqlshare_common::Error::ReadOnly(
+            "node is a replication standby; send writes to the primary".into(),
+        ));
     }
     match (request.method, segments.as_slice()) {
         (Method::Post, ["api", "users"]) => {
@@ -328,10 +344,22 @@ pub fn dispatch_read(service: &SqlShare, request: &Request) -> Response {
             if service.is_recovering() {
                 return Response {
                     status: 503,
-                    body: Json::object([("ready", Json::Bool(false))]),
+                    body: Json::object([
+                        ("ready", Json::Bool(false)),
+                        ("role", Json::str("recovering")),
+                    ]),
                 };
             }
-            let mut pairs = vec![("ready", Json::Bool(true))];
+            // Standbys are "ready" while lagged: they serve the
+            // read-only route set the whole time; `lagLsns` is how far
+            // behind the primary their applied state is.
+            let mut pairs = vec![
+                ("ready", Json::Bool(true)),
+                ("role", Json::str(service.role().name())),
+                ("epoch", Json::num(service.epoch() as f64)),
+                ("lastLsn", Json::num(service.last_lsn() as f64)),
+                ("lagLsns", Json::num(service.replication_lag() as f64)),
+            ];
             if let Some(r) = service.recovery_report() {
                 pairs.push((
                     "recovery",

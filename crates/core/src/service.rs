@@ -14,6 +14,7 @@ use crate::dataset::{Dataset, DatasetKind, DatasetName, Metadata, Preview, PREVI
 use crate::permissions::{check_access, DatasetGraph, Visibility};
 use crate::persist::{self, DurableOptions, DurableStore, Mutation, RecoveryReport};
 use crate::querylog::{Outcome, QueryLog, QueryLogEntry};
+use crate::repl::{AckGate, ReplState, Role};
 use sqlshare_common::json::{self, Json, JsonObject};
 use sqlshare_common::{CancelReason, CancellationToken, Error, Result};
 use sqlshare_engine::{Engine, FaultSite, Row, Schema, Table};
@@ -229,6 +230,11 @@ pub struct SqlShare {
     recovering: bool,
     /// What the last recovery found, for observability.
     recovery: Option<RecoveryReport>,
+    /// Replication role, lease epoch, lag hint, and commit ack gate.
+    repl: ReplState,
+    /// Data directory in durable mode, kept so replication can serve
+    /// the live WAL file without going through the store.
+    data_dir: Option<std::path::PathBuf>,
 }
 
 impl SqlShare {
@@ -288,11 +294,18 @@ impl SqlShare {
             let parsed = std::str::from_utf8(record)
                 .map_err(|_| ())
                 .and_then(|text| json::parse(text).map_err(|_| ()))
-                .and_then(|doc| Mutation::from_json(&doc).map_err(|_| ()));
-            let Ok((lsn, m)) = parsed else {
+                .and_then(|doc| {
+                    let epoch = Mutation::epoch_of(&doc);
+                    Mutation::from_json(&doc).map(|(lsn, m)| (lsn, epoch, m)).map_err(|_| ())
+                });
+            let Ok((lsn, epoch, m)) = parsed else {
                 report.failed_records += 1;
                 continue;
             };
+            // A restarted node resumes in the highest lease epoch it
+            // ever journaled under, so a deposed primary stays fenced
+            // across its own restart.
+            svc.repl.epoch = svc.repl.epoch.max(epoch);
             if lsn <= applied_lsn {
                 report.skipped_records += 1;
                 continue;
@@ -333,7 +346,15 @@ impl SqlShare {
         }
 
         // 4. Go live: open the WAL and query-log sink for appending.
-        svc.store = Some(DurableStore::open(&options, applied_lsn)?);
+        // The lease-epoch meta file may outrun the journaled epochs: a
+        // promotion that crashed before journaling anything still
+        // fences the old lease after restart.
+        svc.repl.epoch = svc.repl.epoch.max(DurableStore::load_epoch(&options.dir));
+        let mut store = DurableStore::open(&options, applied_lsn)?;
+        store.set_epoch(svc.repl.epoch);
+        svc.repl.applied_lsn = applied_lsn;
+        svc.data_dir = Some(options.dir.clone());
+        svc.store = Some(store);
         *svc.log.sink.lock().unwrap_or_else(|e| e.into_inner()) =
             Some(JsonlAppender::open(&querylog_path, options.fsync)?);
         svc.recovering = false;
@@ -1390,13 +1411,34 @@ impl SqlShare {
         m: Mutation,
         prebuilt: Option<(Table, IngestReport)>,
     ) -> Result<Option<IngestReport>> {
+        if self.repl.role == Role::Standby {
+            return Err(Error::ReadOnly(
+                "node is a replication standby; send writes to the primary".into(),
+            ));
+        }
+        let mut lsn = 0u64;
         if let Some(store) = &mut self.store {
-            store.journal(&m)?;
+            lsn = store.journal(&m)?;
         }
         let report = self.apply_mutation(&m, prebuilt)?;
+        self.repl.applied_lsn = self.repl.applied_lsn.max(lsn);
         self.refresh_previews();
         self.invalidate_snapshot();
         self.maybe_snapshot();
+        // Quorum ack: the mutation is journaled and applied locally
+        // either way; without standby confirmation the client gets a
+        // timeout instead of an ack, so "acknowledged" still implies
+        // "replicated".
+        if lsn > 0 {
+            if let Some(gate) = self.repl.ack_gate.clone() {
+                if !gate.wait(lsn) {
+                    return Err(Error::Timeout(format!(
+                        "mutation journaled at lsn {lsn} but the standby quorum \
+                         did not confirm it in time; it may or may not survive failover"
+                    )));
+                }
+            }
+        }
         Ok(report)
     }
 
@@ -1626,6 +1668,7 @@ impl SqlShare {
                 "lsn",
                 Json::Number(self.store.as_ref().map_or(0, DurableStore::last_lsn) as f64),
             ),
+            ("epoch", Json::Number(self.repl.epoch as f64)),
             (
                 "clock",
                 Json::object([
@@ -1746,6 +1789,8 @@ impl SqlShare {
             clock.day = at.day;
             clock.sequence = at.sequence;
         }
+        // Snapshots written before replication carry no epoch.
+        self.repl.epoch = self.repl.epoch.max(Mutation::epoch_of(doc));
         self.restore_state(persist::field(doc, "state")?)
     }
 
@@ -1857,6 +1902,182 @@ impl SqlShare {
     /// make this the only reliable crash signal for chaos harnesses.
     pub fn storage_crashed(&self) -> bool {
         self.store.as_ref().is_some_and(DurableStore::crashed)
+    }
+
+    // ---- replication ---------------------------------------------------
+
+    /// This node's replication role. Every node is a primary until it
+    /// is demoted (configured to follow someone) or promoted back.
+    pub fn role(&self) -> Role {
+        self.repl.role
+    }
+
+    /// Current lease epoch: stamped on every journaled record so a
+    /// deposed primary's stale writes are recognizable and fenced.
+    pub fn epoch(&self) -> u64 {
+        self.repl.epoch
+    }
+
+    /// Highest LSN in durable state (journaled locally or applied from
+    /// replication). 0 for a fresh ephemeral service.
+    pub fn last_lsn(&self) -> u64 {
+        self.store
+            .as_ref()
+            .map_or(self.repl.applied_lsn, DurableStore::last_lsn)
+    }
+
+    /// Path of the live WAL file, for replication streaming. `None` in
+    /// ephemeral mode.
+    pub fn wal_path(&self) -> Option<std::path::PathBuf> {
+        self.data_dir.as_deref().map(DurableStore::wal_path)
+    }
+
+    /// Become the primary: bump the lease epoch so everything journaled
+    /// from here on supersedes the deposed primary's lease, and drop
+    /// any ack gate (a freshly promoted primary has no confirmed
+    /// standbys yet). Returns the new epoch.
+    pub fn promote(&mut self) -> u64 {
+        self.repl.role = Role::Primary;
+        self.repl.epoch += 1;
+        if let Some(store) = &mut self.store {
+            store.set_epoch(self.repl.epoch);
+        }
+        self.repl.ack_gate = None;
+        self.repl.epoch
+    }
+
+    /// Become (or stay) a standby, adopting `epoch` if it is newer than
+    /// ours. A returned ex-primary is demoted with the cluster's
+    /// current epoch, which fences its stale lease: it now rejects
+    /// client writes and its old-epoch records are refused by
+    /// [`apply_replicated`](Self::apply_replicated) everywhere.
+    pub fn demote(&mut self, epoch: u64) {
+        self.repl.role = Role::Standby;
+        self.repl.epoch = self.repl.epoch.max(epoch);
+        if let Some(store) = &mut self.store {
+            store.set_epoch(self.repl.epoch);
+        }
+    }
+
+    /// Install the commit-time quorum gate (server-owned; `None` turns
+    /// quorum waiting off).
+    pub fn set_ack_gate(&mut self, gate: Option<AckGate>) {
+        self.repl.ack_gate = gate;
+    }
+
+    /// Record the newest LSN the primary has advertised, for lag
+    /// accounting on standbys.
+    pub fn note_primary_lsn(&mut self, lsn: u64) {
+        self.repl.primary_lsn_hint = self.repl.primary_lsn_hint.max(lsn);
+    }
+
+    /// How many LSNs this node trails the primary it follows (0 on a
+    /// primary, or when fully caught up).
+    pub fn replication_lag(&self) -> u64 {
+        self.repl.primary_lsn_hint.saturating_sub(self.last_lsn())
+    }
+
+    /// Apply one replicated WAL record (the parsed JSON payload the
+    /// primary journaled). The record is re-journaled locally under the
+    /// primary's LSN and epoch, then applied through the same path
+    /// recovery replays — replication correctness *is* the recovery
+    /// path. Records at or below our LSN are skipped (idempotent
+    /// redelivery); records from a lease older than ours are refused
+    /// (fencing). Returns whether the record advanced local state.
+    pub fn apply_replicated(&mut self, doc: &Json) -> Result<bool> {
+        let epoch = Mutation::epoch_of(doc);
+        if epoch < self.repl.epoch {
+            return Err(Error::ReadOnly(format!(
+                "fenced replicated record: lease epoch {epoch} predates current epoch {}",
+                self.repl.epoch
+            )));
+        }
+        let (lsn, m) = Mutation::from_json(doc)?;
+        if lsn <= self.last_lsn() {
+            return Ok(false);
+        }
+        self.repl.epoch = epoch;
+        if let Some(store) = &mut self.store {
+            store.set_epoch(epoch);
+            store.journal_replicated(lsn, epoch, &m)?;
+        }
+        self.apply_mutation(&m, None)?;
+        self.repl.applied_lsn = lsn;
+        self.refresh_previews();
+        self.invalidate_snapshot();
+        self.maybe_snapshot();
+        Ok(true)
+    }
+
+    /// Where the durable query-log sink lives (`None` in ephemeral
+    /// mode) — the second file replication streams, because the log is
+    /// durable acknowledged state too (it is the paper's research
+    /// corpus) and recovery reads it back.
+    pub fn querylog_path(&self) -> Option<std::path::PathBuf> {
+        self.data_dir.as_deref().map(DurableStore::querylog_path)
+    }
+
+    /// Apply one replicated query-log entry — the query-log analogue of
+    /// [`apply_replicated`](Self::apply_replicated), idempotent by
+    /// entry id. The entry is mirrored to this node's own sink (so it
+    /// survives recovery and can be served onward) and its timestamp
+    /// fast-forwards the clock: queries tick the simulated clock on the
+    /// primary, and a promoted standby must issue timestamps from where
+    /// the primary left off, not from its last replicated *mutation*.
+    pub fn apply_replicated_query_entry(&mut self, doc: &Json) -> Result<bool> {
+        let entry = QueryLogEntry::from_json(doc)
+            .map_err(|e| Error::Request(format!("bad replicated query-log entry: {e}")))?;
+        let at = entry.at;
+        {
+            let mut entries = self.log.entries.lock().unwrap_or_else(|e| e.into_inner());
+            if entry.id as usize <= entries.len() {
+                return Ok(false);
+            }
+            let line = entry.to_json();
+            entries.push(entry);
+            drop(entries);
+            let mut sink = self.log.sink.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(appender) = sink.as_mut() {
+                let _ = appender.append(&line);
+            }
+        }
+        self.sync_clock(at);
+        Ok(true)
+    }
+
+    /// The document a standby needs to catch up when the WAL it was
+    /// streaming has been truncated by a snapshot: same shape the
+    /// snapshot store persists (`lsn`, `epoch`, `clock`, `state`).
+    pub fn replication_snapshot(&self) -> Json {
+        self.snapshot_payload()
+    }
+
+    /// Replace this node's state with a primary's snapshot document and
+    /// resume streaming from there. Existing catalog state is dropped —
+    /// the snapshot is authoritative. In durable mode the installed
+    /// state is immediately snapshotted locally so a crash right after
+    /// catch-up recovers to it. Returns the snapshot's LSN.
+    pub fn install_replica_snapshot(&mut self, doc: &Json) -> Result<u64> {
+        let lsn = persist::u64_of(doc, "lsn")?;
+        self.engine = Engine::default();
+        self.datasets.clear();
+        self.visibility.clear();
+        self.users.clear();
+        self.restore_snapshot(doc)?;
+        self.repl.applied_lsn = lsn;
+        self.refresh_previews();
+        self.invalidate_snapshot();
+        if let Some(store) = &mut self.store {
+            store.set_last_lsn(lsn);
+            store.set_epoch(self.repl.epoch);
+        }
+        if self.store.is_some() {
+            let payload = self.snapshot_payload().to_string();
+            if let Some(store) = &mut self.store {
+                store.take_snapshot(&payload)?;
+            }
+        }
+        Ok(lsn)
     }
 
     // ---- internals -----------------------------------------------------

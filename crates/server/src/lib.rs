@@ -29,17 +29,20 @@
 pub mod blocking;
 pub mod conn;
 pub mod http;
+pub mod repl;
 pub mod sys;
 
 use conn::{Conn, ConnEvent, FlushState, Payload};
 use http::ParsedRequest;
+pub use repl::ReplHub;
 use sqlshare_common::json::{self, Json};
 use sqlshare_core::rest::{self, Method, Request};
-use sqlshare_core::SqlShare;
+use sqlshare_core::{AckGate, AckMode, ReplConfig, SqlShare};
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::os::fd::AsRawFd;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -66,6 +69,9 @@ pub struct HttpConfig {
     pub idle_timeout: Duration,
     /// How long shutdown waits for in-flight work to drain.
     pub drain_deadline: Duration,
+    /// Replication knobs (`SQLSHARE_REPL_*`): follow-the-primary
+    /// standby mode, ack mode, quorum size, heartbeat/lease timing.
+    pub repl: ReplConfig,
 }
 
 impl Default for HttpConfig {
@@ -79,6 +85,7 @@ impl Default for HttpConfig {
             max_body: 4 * 1024 * 1024,
             idle_timeout: Duration::from_secs(60),
             drain_deadline: Duration::from_secs(5),
+            repl: ReplConfig::default(),
         }
     }
 }
@@ -107,6 +114,7 @@ impl HttpConfig {
         if let Some(n) = read("SQLSHARE_MAX_BODY_MB") {
             c.max_body = n.max(1) * 1024 * 1024;
         }
+        c.repl = ReplConfig::from_env();
         c
     }
 }
@@ -198,18 +206,32 @@ impl WorkQueue {
 }
 
 /// State shared by every loop and worker.
-struct Shared {
-    service: RwLock<SqlShare>,
+pub(crate) struct Shared {
+    pub(crate) service: RwLock<SqlShare>,
     listener: TcpListener,
-    config: HttpConfig,
+    pub(crate) config: HttpConfig,
     stats: ServerStats,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     conn_count: AtomicUsize,
     /// Dispatches queued or executing, server-wide (the admission cap).
     in_flight: AtomicUsize,
     generation: AtomicU64,
     mailboxes: Vec<LoopMailbox>,
     queue: WorkQueue,
+    /// Standby-ack bookkeeping for quorum commits. Acks are recorded
+    /// without the service lock so a commit waiting inside the write
+    /// lock can always be unblocked.
+    pub(crate) repl_hub: Arc<ReplHub>,
+    /// WAL file served to standbys, captured at start so the streaming
+    /// endpoint never needs the service lock. `None` in ephemeral mode.
+    wal_path: Option<PathBuf>,
+    /// Query-log sink served to standbys the same lock-free way: the
+    /// log is durable acknowledged state too, and its timestamps drive
+    /// the clock a promoted standby inherits.
+    querylog_path: Option<PathBuf>,
+    /// Lock-free mirror of the service's lease epoch for the streaming
+    /// endpoint (updated on promote/demote and by the standby driver).
+    pub(crate) repl_epoch: AtomicU64,
 }
 
 /// A running server. Bind with [`Server::start`], stop with
@@ -221,12 +243,17 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     loop_threads: Vec<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
+    repl_threads: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind `addr` (port 0 picks a free port), take ownership of the
     /// service, and serve until [`ServerHandle::shutdown`].
-    pub fn start(service: SqlShare, addr: &str, config: HttpConfig) -> io::Result<ServerHandle> {
+    pub fn start(
+        mut service: SqlShare,
+        addr: &str,
+        config: HttpConfig,
+    ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -237,6 +264,26 @@ impl Server {
                 completions: Mutex::new(Vec::new()),
             });
         }
+
+        // Replication wiring. A node configured with a primary boots as
+        // a standby (read-only, polling that primary); otherwise, in
+        // quorum mode, commits gate on the ack hub before acknowledging.
+        let repl_hub = Arc::new(ReplHub::default());
+        let is_standby = config.repl.primary.is_some();
+        if is_standby {
+            service.demote(0);
+        } else if config.repl.ack == AckMode::Quorum {
+            let hub = Arc::clone(&repl_hub);
+            let quorum = config.repl.quorum;
+            let ack_timeout = config.repl.ack_timeout;
+            service.set_ack_gate(Some(AckGate::new(move |lsn| {
+                hub.wait_for(lsn, quorum, ack_timeout)
+            })));
+        }
+        let wal_path = service.wal_path();
+        let querylog_path = service.querylog_path();
+        let epoch = service.epoch();
+
         let shared = Arc::new(Shared {
             service: RwLock::new(service),
             listener,
@@ -251,6 +298,10 @@ impl Server {
                 jobs: Mutex::new(VecDeque::new()),
                 ready: Condvar::new(),
             },
+            repl_hub,
+            wal_path,
+            querylog_path,
+            repl_epoch: AtomicU64::new(epoch),
         });
 
         let mut loop_threads = Vec::with_capacity(config.threads);
@@ -275,11 +326,22 @@ impl Server {
                     .spawn(move || worker_loop(&shared))?,
             );
         }
+        let mut repl_threads = Vec::new();
+        if let Some(primary) = config.repl.primary.clone() {
+            let shared = Arc::clone(&shared);
+            let self_id = addr.to_string();
+            repl_threads.push(
+                std::thread::Builder::new()
+                    .name("repl-standby".into())
+                    .spawn(move || repl::standby_loop(shared, primary, self_id))?,
+            );
+        }
         Ok(ServerHandle {
             addr,
             shared,
             loop_threads,
             worker_threads,
+            repl_threads,
         })
     }
 }
@@ -299,12 +361,21 @@ impl ServerHandle {
         f(&self.shared.service.read().unwrap_or_else(|e| e.into_inner()))
     }
 
+    /// The standby-ack hub (quorum bookkeeping), for observability and
+    /// test assertions.
+    pub fn repl_hub(&self) -> &ReplHub {
+        &self.shared.repl_hub
+    }
+
     /// Stop accepting, drain in-flight requests (bounded by the drain
     /// deadline), and join every thread.
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         for mb in &self.shared.mailboxes {
             mb.wake.signal();
+        }
+        for t in self.repl_threads {
+            let _ = t.join();
         }
         for t in self.loop_threads {
             let _ = t.join();
@@ -527,6 +598,46 @@ fn offer_request(idx: usize, shared: &Shared, conn: &mut Conn, fd: i32, request:
     if conn.close_after_flush {
         return;
     }
+    // Standby acks are absorbed on the event loop itself: no worker, no
+    // service lock. A quorum commit blocks *inside* the write lock
+    // waiting for acks, so if acks queued behind mutations on the
+    // worker pool the system would stall for the full ack timeout.
+    // (Only when no dispatch is in flight — pipelined responses must
+    // stay ordered; the fallthrough worker path handles acks too.)
+    if request.method == "POST"
+        && request.path == "/api/repl/ack"
+        && !conn.dispatch_in_flight
+        && conn.pending.is_empty()
+    {
+        let parsed = json::parse(&String::from_utf8_lossy(&request.body)).ok();
+        let ack = parsed.as_ref().and_then(|doc| {
+            let who = doc.get("standby")?.as_str()?;
+            let lsn = doc.get("lsn")?.as_f64()?;
+            Some((who.to_string(), lsn as u64))
+        });
+        let (status, body) = match ack {
+            Some((who, lsn)) => {
+                shared.repl_hub.record_ack(&who, lsn);
+                (200, Json::object([("acked", Json::Bool(true))]))
+            }
+            None => (
+                400,
+                Json::object([("error", Json::str("ack needs 'standby' and 'lsn'"))]),
+            ),
+        };
+        shared.stats.count_status(status);
+        conn.enqueue(Payload::response(
+            status,
+            body.to_string().into_bytes(),
+            request.keep_alive,
+            request.http11,
+            None,
+        ));
+        if !request.keep_alive {
+            conn.close_after_flush = true;
+        }
+        return;
+    }
     if conn.dispatch_in_flight {
         conn.pending.push_back(request);
         return;
@@ -727,6 +838,16 @@ fn execute(shared: &Shared, request: ParsedRequest) -> (Payload, bool) {
         body,
     };
 
+    // Replication control plane, handled ahead of the REST dispatch.
+    // The WAL stream reads the journal file directly and the ack sink
+    // touches only the hub, so neither can deadlock against a quorum
+    // commit holding the write lock.
+    if req.path.starts_with("/api/repl/") {
+        let (status, body) = execute_repl(shared, method, &req.path, &req.body);
+        let retry_after = (status == 503).then_some(1);
+        return frame(status, body, retry_after);
+    }
+
     // The lock split: mutations serialize on the write lock (they
     // journal before applying); everything else — submission included —
     // shares the read lock and runs concurrently.
@@ -748,6 +869,164 @@ fn execute(shared: &Shared, request: ParsedRequest) -> (Payload, bool) {
         _ => None,
     };
     frame(response.status, response.body, retry_after)
+}
+
+/// The `/api/repl/*` control plane: WAL tail streaming, standby acks,
+/// snapshot catch-up, and promote/demote. Returns (status, body).
+fn execute_repl(shared: &Shared, method: Method, path: &str, body: &Json) -> (u16, Json) {
+    let err = |status: u16, message: &str| {
+        (status, Json::object([("error", Json::str(message.to_string()))]))
+    };
+    let (route, query) = match path.split_once('?') {
+        Some((r, q)) => (r, q),
+        None => (path, ""),
+    };
+    match (method, route) {
+        // Lock-free by design: reads the journal file itself. Records
+        // journaled by a commit that is still blocked waiting for its
+        // quorum are already visible here — that is what lets the
+        // standby confirm them and unblock the commit.
+        (Method::Get, "/api/repl/wal") => {
+            let Some(wal_path) = shared.wal_path.as_deref() else {
+                return err(404, "replication requires durable mode (no data directory)");
+            };
+            let from = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("from="))
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            let tail = match sqlshare_core::read_tail(wal_path, from) {
+                Ok(t) => t,
+                Err(e) => return err(500, &format!("wal read failed: {e}")),
+            };
+            let mut records = Vec::new();
+            let mut end = from;
+            let mut last_lsn = 0u64;
+            for payload in tail.records.iter().take(repl::WAL_BATCH_LIMIT) {
+                let Ok(doc) = std::str::from_utf8(payload)
+                    .map_err(|_| ())
+                    .and_then(|text| json::parse(text).map_err(|_| ()))
+                else {
+                    break; // stop at a malformed record; offset stays before it
+                };
+                end += (12 + payload.len()) as u64;
+                if let Some(lsn) = doc.get("lsn").and_then(Json::as_f64) {
+                    last_lsn = lsn as u64;
+                }
+                records.push(doc);
+            }
+            (
+                200,
+                Json::object([
+                    ("records", Json::Array(records)),
+                    ("end", Json::num(end as f64)),
+                    ("reset", Json::Bool(tail.reset)),
+                    (
+                        "epoch",
+                        Json::num(shared.repl_epoch.load(Ordering::Relaxed) as f64),
+                    ),
+                    ("lastLsn", Json::num(last_lsn as f64)),
+                ]),
+            )
+        }
+        // Query-log tail, served the same lock-free way. The file is
+        // append-only JSONL: ship complete lines from the follower's
+        // byte offset, stopping cleanly at a mid-write tail.
+        (Method::Get, "/api/repl/querylog") => {
+            let Some(path) = shared.querylog_path.as_deref() else {
+                return err(404, "replication requires durable mode (no data directory)");
+            };
+            let from = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("from="))
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            let bytes = std::fs::read(path).unwrap_or_default();
+            if (bytes.len() as u64) < from {
+                // The sink never shrinks in normal operation; a shorter
+                // file means the follower's cursor is from another life.
+                return (
+                    200,
+                    Json::object([
+                        ("entries", Json::Array(Vec::new())),
+                        ("end", Json::num(0.0)),
+                        ("reset", Json::Bool(true)),
+                    ]),
+                );
+            }
+            let mut end = from as usize;
+            let mut entries = Vec::new();
+            while entries.len() < repl::WAL_BATCH_LIMIT {
+                let Some(nl) = bytes[end..].iter().position(|&b| b == b'\n') else {
+                    break; // incomplete final line: the next poll gets it
+                };
+                let parsed = std::str::from_utf8(&bytes[end..end + nl])
+                    .ok()
+                    .and_then(|text| json::parse(text.trim()).ok());
+                let Some(doc) = parsed else {
+                    break; // stop at a malformed line; offset stays before it
+                };
+                end += nl + 1;
+                entries.push(doc);
+            }
+            (
+                200,
+                Json::object([
+                    ("entries", Json::Array(entries)),
+                    ("end", Json::num(end as f64)),
+                    ("reset", Json::Bool(false)),
+                ]),
+            )
+        }
+        // Worker-pool fallback for acks that arrive on a pipelined
+        // connection (the event-loop fast path skips those).
+        (Method::Post, "/api/repl/ack") => {
+            let ack = (|| {
+                let who = body.get("standby")?.as_str()?;
+                let lsn = body.get("lsn")?.as_f64()?;
+                Some((who.to_string(), lsn as u64))
+            })();
+            match ack {
+                Some((who, lsn)) => {
+                    shared.repl_hub.record_ack(&who, lsn);
+                    (200, Json::object([("acked", Json::Bool(true))]))
+                }
+                None => err(400, "ack needs 'standby' and 'lsn'"),
+            }
+        }
+        (Method::Get, "/api/repl/snapshot") => {
+            let service = shared.service.read().unwrap_or_else(|e| e.into_inner());
+            (200, service.replication_snapshot())
+        }
+        (Method::Post, "/api/repl/promote") => {
+            let mut service = shared.service.write().unwrap_or_else(|e| e.into_inner());
+            let epoch = service.promote();
+            shared.repl_epoch.store(epoch, Ordering::Relaxed);
+            (
+                200,
+                Json::object([
+                    ("role", Json::str("primary")),
+                    ("epoch", Json::num(epoch as f64)),
+                ]),
+            )
+        }
+        // Fence a deposed primary: adopt the cluster's current epoch
+        // and stop taking writes.
+        (Method::Post, "/api/repl/demote") => {
+            let epoch = body.get("epoch").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            let mut service = shared.service.write().unwrap_or_else(|e| e.into_inner());
+            service.demote(epoch);
+            shared.repl_epoch.store(service.epoch(), Ordering::Relaxed);
+            (
+                200,
+                Json::object([
+                    ("role", Json::str("standby")),
+                    ("epoch", Json::num(service.epoch() as f64)),
+                ]),
+            )
+        }
+        _ => err(404, "unknown replication route"),
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@ pub mod jsonl;
 pub mod page;
 pub mod pagefile;
 pub mod snapshot;
+pub mod stream;
 pub mod wal;
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -57,6 +58,7 @@ pub use jsonl::JsonlAppender;
 pub use page::{Page, PAGE_SIZE};
 pub use pagefile::PageFile;
 pub use snapshot::SnapshotStore;
+pub use stream::{read_tail, TailRead};
 pub use wal::{CrashPoint, Wal, WalScan};
 
 /// A shareable count of filesystem operations. Every store in this

@@ -1,0 +1,919 @@
+//! Kill-the-primary chaos differential for WAL replication.
+//!
+//! The replication promise (DESIGN.md §4.7): a standby applies the
+//! primary's WAL records through the same LSN-idempotent path crash
+//! recovery uses, a quorum-acked mutation survives primary loss, and a
+//! promotion fences the deposed primary behind a bumped lease epoch.
+//! This suite checks the promise against a never-killed oracle:
+//!
+//! - a randomized mutation workload built from both wlgen corpora runs
+//!   on a primary/standby pair; the primary is killed at ≥ 50 random
+//!   points, *including mid-ack* (some of a batch replicated, the rest
+//!   journaled on the primary only);
+//! - at every kill the promoted standby must hold exactly the acked
+//!   prefix: its WAL records are byte-identical to the primary's, its
+//!   state digest equals the digest recorded when that prefix was
+//!   acked, and un-acked mutations are cleanly absent (or, on the dead
+//!   primary's own disk, cleanly applied — never torn);
+//! - the un-acked tail is retried on the survivor; after the retries
+//!   the survivor must be byte-identical to the oracle again;
+//! - a deposed primary is fenced: the promoted node refuses its
+//!   old-epoch records and the deposed node, once demoted, rejects
+//!   writes with the typed `read-only` error;
+//! - over HTTP the same story holds end to end: quorum-acked uploads,
+//!   lease-lapse self-promotion, client failover, zero acked-write
+//!   loss.
+//!
+//! The seed comes from `SQLSHARE_REPL_SEED` (the CI failover leg pins
+//! one) or a fixed in-code default.
+
+use sqlshare_common::json::{self, Json};
+use sqlshare_core::{
+    read_tail, AckGate, AckMode, DatasetName, DurableOptions, FsyncPolicy, Metadata, SqlShare,
+    Visibility,
+};
+use sqlshare_ingest::IngestOptions;
+use sqlshare_sql::rewrite::AppendMode;
+use sqlshare_wlgen::{sdss, sqlshare as wl, GeneratorConfig};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------
+// Deterministic RNG (splitmix64), seed, temp dirs — the recovery
+// suite's idiom.
+// ---------------------------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 0
+    }
+}
+
+fn workload_seed() -> u64 {
+    std::env::var("SQLSHARE_REPL_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0x0FA1_70E4)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sqlshare-failover-{}-{}-{}",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable_options(dir: &std::path::Path, snapshot_every: u64) -> DurableOptions {
+    DurableOptions::new(dir)
+        .fsync(FsyncPolicy::from_env())
+        .snapshot_every(snapshot_every)
+}
+
+// ---------------------------------------------------------------------
+// The mutation script — identical machinery to the recovery suite, so
+// replication is exercised by the same realistic corpus-derived ops.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    RegisterUser { user: String, email: String },
+    RegisterUdf { name: String },
+    AdvanceDays { days: i32 },
+    Upload { user: String, dataset: String, csv: String },
+    SaveView { user: String, dataset: String, sql: String },
+    Append { user: String, existing: DatasetName, new: DatasetName },
+    Materialize { user: String, source: DatasetName, name: String },
+    Delete { user: String, name: DatasetName },
+    SetVisibility { user: String, name: DatasetName, vis: Visibility },
+    SetMetadata { user: String, name: DatasetName, desc: String },
+    MintDoi { user: String, name: DatasetName },
+    Query { user: String, sql: String },
+}
+
+fn apply(s: &mut SqlShare, op: &Op) -> Result<(), String> {
+    let kind = |e: sqlshare_common::Error| e.kind().to_string();
+    match op {
+        Op::RegisterUser { user, email } => s.register_user(user, email).map_err(kind),
+        Op::RegisterUdf { name } => {
+            s.register_udf(name);
+            Ok(())
+        }
+        Op::AdvanceDays { days } => {
+            s.advance_days(*days);
+            Ok(())
+        }
+        Op::Upload { user, dataset, csv } => s
+            .upload(user, dataset, csv, &IngestOptions::default())
+            .map(|_| ())
+            .map_err(kind),
+        Op::SaveView { user, dataset, sql } => s
+            .save_dataset(user, dataset, sql, Metadata::default())
+            .map(|_| ())
+            .map_err(kind),
+        Op::Append { user, existing, new } => {
+            s.append(user, existing, new, AppendMode::UnionAll).map_err(kind)
+        }
+        Op::Materialize { user, source, name } => {
+            s.materialize(user, source, name).map(|_| ()).map_err(kind)
+        }
+        Op::Delete { user, name } => s.delete_dataset(user, name).map_err(kind),
+        Op::SetVisibility { user, name, vis } => {
+            s.set_visibility(user, name, vis.clone()).map_err(kind)
+        }
+        Op::SetMetadata { user, name, desc } => s
+            .set_metadata(
+                user,
+                name,
+                Metadata {
+                    description: desc.clone(),
+                    tags: vec!["chaos".into()],
+                },
+            )
+            .map_err(kind),
+        Op::MintDoi { user, name } => s.mint_doi(user, name).map(|_| ()).map_err(kind),
+        Op::Query { user, sql } => s.run_query(user, sql).map(|_| ()).map_err(kind),
+    }
+}
+
+fn table_to_csv(t: &sqlshare_engine::Table) -> Option<String> {
+    const MAX_ROWS: usize = 120;
+    if t.schema.is_empty() || t.row_count() == 0 {
+        return None;
+    }
+    let unquotable = |s: &str| s.contains([',', '"', '\n', '\r']);
+    let mut out = String::new();
+    for (i, c) in t.schema.columns.iter().enumerate() {
+        if c.name.is_empty() || unquotable(&c.name) {
+            return None;
+        }
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&c.name);
+    }
+    out.push('\n');
+    for row in t.rows().iter().take(MAX_ROWS) {
+        for (i, v) in row.iter().enumerate() {
+            let text = v.to_text();
+            if unquotable(&text) {
+                return None;
+            }
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&text);
+        }
+        out.push('\n');
+    }
+    Some(out)
+}
+
+fn corpus_ops(corpus: &wl::GeneratedCorpus, rng: &mut Rng, tag: &str, ops: &mut Vec<Op>) {
+    const MAX_UPLOADS: usize = 9;
+    const MAX_VIEWS: usize = 9;
+    const MAX_QUERIES: usize = 8;
+
+    let mut udfs: Vec<String> = corpus
+        .service
+        .engine()
+        .catalog()
+        .udfs()
+        .map(str::to_string)
+        .collect();
+    udfs.sort();
+    for name in udfs {
+        ops.push(Op::RegisterUdf { name });
+    }
+
+    let mut datasets: Vec<_> = corpus.service.datasets().collect();
+    datasets.sort_by_key(|d| (d.created.day, d.created.sequence, d.name.key()));
+
+    let mut creations: Vec<(Op, DatasetName)> = Vec::new();
+    let mut uploads = 0;
+    let mut views = 0;
+    for ds in &datasets {
+        if let Some(base_key) = &ds.base_table {
+            if uploads >= MAX_UPLOADS {
+                continue;
+            }
+            let Ok(table) = corpus.service.engine().catalog().table(base_key) else {
+                continue;
+            };
+            let Some(csv) = table_to_csv(table) else {
+                continue;
+            };
+            uploads += 1;
+            creations.push((
+                Op::Upload {
+                    user: ds.name.owner.clone(),
+                    dataset: ds.name.name.clone(),
+                    csv,
+                },
+                ds.name.clone(),
+            ));
+        } else {
+            if views >= MAX_VIEWS {
+                continue;
+            }
+            views += 1;
+            creations.push((
+                Op::SaveView {
+                    user: ds.name.owner.clone(),
+                    dataset: ds.name.name.clone(),
+                    sql: ds.sql.clone(),
+                },
+                ds.name.clone(),
+            ));
+        }
+    }
+
+    let mut seen_users = HashSet::new();
+    for (_, name) in &creations {
+        if seen_users.insert(name.owner.to_lowercase()) {
+            let email = corpus
+                .service
+                .user(&name.owner)
+                .map(|u| u.email.clone())
+                .unwrap_or_else(|| format!("{}@example.org", name.owner));
+            ops.push(Op::RegisterUser {
+                user: name.owner.clone(),
+                email,
+            });
+        }
+    }
+
+    let planned: HashSet<String> = creations.iter().map(|(_, n)| n.key()).collect();
+    let mut queries = Vec::new();
+    let mut uncovered = Vec::new();
+    {
+        let log = corpus.service.log();
+        for e in log.entries() {
+            if e.sql.len() > 400 || !seen_users.contains(&e.user.to_lowercase()) {
+                continue;
+            }
+            let covered =
+                !e.datasets.is_empty() && e.datasets.iter().all(|k| planned.contains(k));
+            let bucket = if covered { &mut queries } else { &mut uncovered };
+            if bucket.len() < MAX_QUERIES {
+                bucket.push(Op::Query {
+                    user: e.user.clone(),
+                    sql: e.sql.clone(),
+                });
+            }
+        }
+    }
+    queries.extend(uncovered);
+    queries.truncate(MAX_QUERIES);
+    let mut queries = queries.into_iter();
+
+    let users: Vec<String> = seen_users.iter().cloned().collect();
+    let mut live: Vec<DatasetName> = Vec::new();
+    let mut snaps: Vec<DatasetName> = Vec::new();
+    let mut counter = 0usize;
+    for (op, name) in creations {
+        let user = name.owner.clone();
+        ops.push(op);
+        ops.push(Op::SetVisibility {
+            user: user.clone(),
+            name: name.clone(),
+            vis: Visibility::Public,
+        });
+        live.push(name);
+
+        if rng.below(3) == 0 {
+            if let Some(q) = queries.next() {
+                ops.push(q);
+            }
+        }
+        if rng.below(5) < 2 {
+            counter += 1;
+            let target = live[rng.below(live.len())].clone();
+            let owner = target.owner.clone();
+            match rng.below(8) {
+                0 => ops.push(Op::AdvanceDays {
+                    days: 1 + rng.below(15) as i32,
+                }),
+                1 => ops.push(Op::SetMetadata {
+                    user: owner,
+                    name: target,
+                    desc: format!("chaos edit {counter}"),
+                }),
+                2 => {
+                    let vis = if rng.flag() {
+                        Visibility::Public
+                    } else {
+                        Visibility::Shared(vec![users[rng.below(users.len())].clone()])
+                    };
+                    ops.push(Op::SetVisibility {
+                        user: owner,
+                        name: target,
+                        vis,
+                    });
+                }
+                3 => {
+                    let snap = DatasetName::new(&owner, format!("{tag}_snap_{counter}"));
+                    ops.push(Op::Materialize {
+                        user: owner,
+                        source: target,
+                        name: snap.name.clone(),
+                    });
+                    snaps.push(snap.clone());
+                    live.push(snap);
+                }
+                4 => {
+                    let other = live[rng.below(live.len())].clone();
+                    if other.owner.eq_ignore_ascii_case(&owner) {
+                        ops.push(Op::Append {
+                            user: owner,
+                            existing: target,
+                            new: other,
+                        });
+                    }
+                }
+                5 => ops.push(Op::MintDoi {
+                    user: owner,
+                    name: target,
+                }),
+                6 => {
+                    if !snaps.is_empty() {
+                        let victim = snaps.swap_remove(rng.below(snaps.len()));
+                        live.retain(|n| n != &victim);
+                        ops.push(Op::Delete {
+                            user: victim.owner.clone(),
+                            name: victim,
+                        });
+                    }
+                }
+                _ => ops.push(Op::RegisterUser {
+                    user: format!("{tag}_chaos{counter}"),
+                    email: format!("{tag}{counter}@chaos.test"),
+                }),
+            }
+        }
+    }
+    ops.extend(queries);
+}
+
+fn script() -> &'static [Op] {
+    static SCRIPT: OnceLock<Vec<Op>> = OnceLock::new();
+    SCRIPT.get_or_init(|| {
+        let mut rng = Rng(workload_seed());
+        let config = GeneratorConfig::dev();
+        let mut ops = Vec::new();
+        corpus_ops(&wl::generate(&config), &mut rng, "sq", &mut ops);
+        corpus_ops(&sdss::generate(&config), &mut rng, "sd", &mut ops);
+        ops
+    })
+}
+
+/// Serial plans on every node: parallel aggregate merge order can
+/// legally perturb float bits, and replication compares digests.
+fn pin_serial(s: &mut SqlShare) {
+    s.set_parallelism(1, f64::MAX);
+}
+
+// ---------------------------------------------------------------------
+// Replication plumbing for the in-process pair: stream the primary's
+// WAL file through `read_tail` (the server's serving path) and apply
+// each record through `apply_replicated` (the recovery path).
+// ---------------------------------------------------------------------
+
+fn record_lsn(payload: &[u8]) -> u64 {
+    json::parse(&String::from_utf8_lossy(payload))
+        .ok()
+        .and_then(|doc| doc.get("lsn").and_then(Json::as_f64))
+        .unwrap_or(0.0) as u64
+}
+
+/// Feed WAL records with `lsn <= max_lsn` from `wal` (starting at byte
+/// `from`) into `standby`. Returns the new byte offset and the raw
+/// record payloads that were fed.
+fn replicate_upto(
+    wal: &std::path::Path,
+    from: u64,
+    standby: &mut SqlShare,
+    max_lsn: u64,
+) -> (u64, Vec<Vec<u8>>) {
+    let tail = read_tail(wal, from).expect("read primary wal tail");
+    assert!(!tail.reset, "primary WAL shrank unexpectedly");
+    let mut offset = from;
+    let mut fed = Vec::new();
+    for payload in tail.records {
+        if record_lsn(&payload) > max_lsn {
+            break;
+        }
+        let doc = json::parse(&String::from_utf8_lossy(&payload)).expect("valid record json");
+        standby
+            .apply_replicated(&doc)
+            .expect("standby refused a current-epoch record");
+        offset += 12 + payload.len() as u64;
+        fed.push(payload);
+    }
+    (offset, fed)
+}
+
+/// Replay the primary's query-log file (complete lines in `0..to`)
+/// into the standby — `apply_replicated_query_entry` is idempotent by
+/// entry id, so replaying from 0 every time is safe. The log must
+/// replicate too: it is durable acknowledged state (the paper's
+/// research corpus), and query executions tick the simulated clock, so
+/// a promoted standby that missed them would stamp different
+/// timestamps than the primary lineage.
+fn replicate_log_upto(path: &std::path::Path, to: u64, standby: &mut SqlShare) {
+    let bytes = std::fs::read(path).unwrap_or_default();
+    let to = (to as usize).min(bytes.len());
+    let mut pos = 0usize;
+    while pos < to {
+        let Some(nl) = bytes[pos..to].iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let line = std::str::from_utf8(&bytes[pos..pos + nl]).expect("utf8 query-log line");
+        let doc = json::parse(line.trim()).expect("valid query-log json");
+        standby
+            .apply_replicated_query_entry(&doc)
+            .expect("standby refused a query-log entry");
+        pos += nl + 1;
+    }
+}
+
+fn file_len(path: &std::path::Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+/// The byte-identity audit: the standby's own WAL from `from` onward
+/// must hold exactly the payloads the primary shipped, byte for byte —
+/// re-journaling through `journal_replicated` is canonical.
+fn assert_byte_identical(standby_wal: &std::path::Path, from: u64, shipped: &[Vec<u8>]) -> u64 {
+    let tail = read_tail(standby_wal, from).expect("read standby wal tail");
+    assert!(!tail.reset);
+    assert_eq!(
+        tail.records.len(),
+        shipped.len(),
+        "standby journaled a different record count than was shipped"
+    );
+    for (i, (got, want)) in tail.records.iter().zip(shipped).enumerate() {
+        assert_eq!(
+            got, want,
+            "shipped record {i} is not byte-identical on the standby"
+        );
+    }
+    tail.end_offset
+}
+
+// ---------------------------------------------------------------------
+// 1. The tentpole: ≥ 50 randomized kill-primary points, mid-ack
+//    included, with zero acknowledged-write loss and clean fencing.
+// ---------------------------------------------------------------------
+
+#[test]
+fn kill_primary_at_fifty_random_points_loses_no_acked_mutation() {
+    const ROUNDS: usize = 50;
+    let mut rng = Rng(workload_seed() ^ 0xFA11_0E4D);
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let fresh_dir = |dirs: &mut Vec<PathBuf>, tag: &str| {
+        let d = temp_dir(tag);
+        dirs.push(d.clone());
+        d
+    };
+
+    let mut oracle = SqlShare::new();
+    pin_serial(&mut oracle);
+    let primary_dir = fresh_dir(&mut dirs, "p0");
+    let mut primary =
+        SqlShare::open(durable_options(&primary_dir, u64::MAX)).expect("open primary");
+    pin_serial(&mut primary);
+    let standby_dir = fresh_dir(&mut dirs, "s0");
+    let mut standby =
+        SqlShare::open(durable_options(&standby_dir, u64::MAX)).expect("open standby");
+    pin_serial(&mut standby);
+    standby.demote(0);
+
+    let mut primary_dir = primary_dir;
+    let mut standby_dir = standby_dir;
+    // Byte offset of the standby's replication cursor into the
+    // primary's WAL, and into its own WAL (for the byte-identity audit).
+    let mut repl_offset: u64 = 0;
+    let mut standby_wal_end: u64 = 0;
+
+    let script = script();
+    let mut next_op = 0usize;
+    let mut round_digest = primary.durable_digest();
+    let mut round_qlog = file_len(&primary.querylog_path().expect("durable primary"));
+    let (mut midack_kills, mut fence_checks, mut fresh_syncs) = (0u32, 0u32, 0u32);
+
+    for round in 0..ROUNDS {
+        // --- run a batch of ops on the primary (and the oracle) -------
+        let qlog = primary.querylog_path().expect("durable primary");
+        let batch_len = 1 + rng.below(3);
+        // (op index, outcome, lsn after, digest after, query-log bytes after)
+        let mut batch = Vec::new();
+        for _ in 0..batch_len {
+            let op = &script[next_op % script.len()];
+            let want = apply(&mut oracle, op);
+            let got = apply(&mut primary, op);
+            assert_eq!(got, want, "round {round}: op {next_op} diverged: {op:?}");
+            batch.push((
+                next_op,
+                want,
+                primary.last_lsn(),
+                primary.durable_digest(),
+                file_len(&qlog),
+            ));
+            next_op += 1;
+        }
+        assert_eq!(
+            batch.last().unwrap().3,
+            oracle.durable_digest(),
+            "round {round}: primary diverged from oracle before the kill"
+        );
+
+        // --- replicate an acked prefix: k < batch_len is a mid-ack
+        //     kill (the tail is journaled on the primary only) ---------
+        let k = rng.below(batch_len + 1);
+        if k < batch_len {
+            midack_kills += 1;
+        }
+        let (ack_lsn, ack_digest, ack_qlog) = if k == 0 {
+            (standby.last_lsn(), round_digest, round_qlog)
+        } else {
+            (batch[k - 1].2, batch[k - 1].3, batch[k - 1].4)
+        };
+        let wal = primary.wal_path().expect("durable primary");
+        let (new_offset, shipped) = replicate_upto(&wal, repl_offset, &mut standby, ack_lsn);
+        repl_offset = new_offset;
+        // The query log rides along to the same acked boundary: its
+        // entries are durable acknowledged state, and their timestamps
+        // drive the simulated clock the next mutation will stamp.
+        replicate_log_upto(&qlog, ack_qlog, &mut standby);
+        // The poll response carries the primary's lease epoch; the
+        // standby adopts it even when no shipped record does, so its
+        // promotion always fences the node it was following.
+        standby.demote(primary.epoch());
+        let standby_wal = standby.wal_path().expect("durable standby");
+        standby_wal_end = assert_byte_identical(&standby_wal, standby_wal_end, &shipped);
+        assert_eq!(standby.last_lsn(), ack_lsn, "round {round}: ack cursor");
+        assert_eq!(
+            standby.durable_digest(),
+            ack_digest,
+            "round {round}: standby state is not the acked prefix"
+        );
+        // Lag accounting, as /api/ready reports it.
+        let tip = batch.last().unwrap().2;
+        standby.note_primary_lsn(tip);
+        assert_eq!(standby.replication_lag(), tip - ack_lsn, "round {round}");
+
+        // --- kill the primary, promote the standby --------------------
+        let dead_epoch = primary.epoch();
+        drop(primary);
+        let dead_dir = primary_dir.clone();
+        let new_epoch = standby.promote();
+        assert!(
+            new_epoch > dead_epoch,
+            "round {round}: promotion must bump the lease epoch"
+        );
+
+        if round % 7 == 3 {
+            fence_checks += 1;
+            // The promoted node refuses the dead primary's un-acked
+            // records: they carry a deposed epoch.
+            let dead_tail = read_tail(&wal, repl_offset).expect("dead primary wal");
+            if let Some(stale) = dead_tail.records.first() {
+                let doc = json::parse(&String::from_utf8_lossy(stale)).unwrap();
+                let err = standby.apply_replicated(&doc).unwrap_err();
+                assert_eq!(err.kind(), "read-only", "round {round}: {err}");
+            }
+            // The deposed primary's disk holds the un-acked tail
+            // cleanly applied — never torn — and once demoted the node
+            // rejects writes with the typed error.
+            let mut deposed = SqlShare::open(durable_options(&dead_dir, u64::MAX))
+                .expect("reopen deposed primary");
+            pin_serial(&mut deposed);
+            assert_eq!(
+                deposed.durable_digest(),
+                batch.last().unwrap().3,
+                "round {round}: deposed primary's un-acked tail was torn"
+            );
+            deposed.demote(new_epoch);
+            let err = apply(
+                &mut deposed,
+                &Op::RegisterUser {
+                    user: format!("fenced_{round}"),
+                    email: "f@x.test".into(),
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, "read-only", "round {round}: fenced write");
+        }
+
+        // --- the survivor is the new primary; the driver retries the
+        //     un-acked tail (never acknowledged, so retry is safe) -----
+        for (op_idx, want, _, _, _) in &batch[k..] {
+            let op = &script[op_idx % script.len()];
+            let got = apply(&mut standby, op);
+            assert_eq!(&got, want, "round {round}: retried op {op_idx} diverged");
+        }
+        assert_eq!(
+            standby.durable_digest(),
+            oracle.durable_digest(),
+            "round {round}: survivor diverged from oracle after retries"
+        );
+        // The research corpus survives the failover intact: the
+        // survivor's query log holds exactly the oracle's entries.
+        assert_eq!(
+            standby.log().len(),
+            oracle.log().len(),
+            "round {round}: survivor lost query-log entries across the failover"
+        );
+
+        // --- attach a standby to the new primary ----------------------
+        let survivor_wal_end = standby_wal_end;
+        primary = standby;
+        primary_dir = standby_dir.clone();
+        let survivor_qlog = primary.querylog_path().unwrap();
+        if round % 5 == 0 {
+            // A brand-new standby syncs the full history from offset 0.
+            fresh_syncs += 1;
+            standby_dir = fresh_dir(&mut dirs, "fresh");
+            standby =
+                SqlShare::open(durable_options(&standby_dir, u64::MAX)).expect("open standby");
+            pin_serial(&mut standby);
+            standby.demote(0);
+            let wal = primary.wal_path().unwrap();
+            let (off, shipped) = replicate_upto(&wal, 0, &mut standby, u64::MAX);
+            repl_offset = off;
+            replicate_log_upto(&survivor_qlog, file_len(&survivor_qlog), &mut standby);
+            standby.demote(primary.epoch());
+            let standby_wal = standby.wal_path().unwrap();
+            standby_wal_end = assert_byte_identical(&standby_wal, 0, &shipped);
+        } else {
+            // Recycle the dead primary's disk: truncate its WAL — and
+            // its query log — at the acked boundary (exactly what it
+            // had confirmed shipping) and recover it — recovery and
+            // replication are the same path, so it must come back as
+            // the acked prefix.
+            let dead_wal = dead_dir.join("wal.log");
+            let bytes = std::fs::read(&dead_wal).unwrap();
+            std::fs::write(&dead_wal, &bytes[..repl_offset as usize]).unwrap();
+            let dead_qlog = dead_dir.join("querylog.jsonl");
+            let qbytes = std::fs::read(&dead_qlog).unwrap_or_default();
+            let cut = (ack_qlog as usize).min(qbytes.len());
+            std::fs::write(&dead_qlog, &qbytes[..cut]).unwrap();
+            standby_dir = dead_dir;
+            standby = SqlShare::open(durable_options(&standby_dir, u64::MAX))
+                .expect("recover recycled standby");
+            pin_serial(&mut standby);
+            standby.demote(0);
+            assert_eq!(
+                standby.last_lsn(),
+                ack_lsn,
+                "round {round}: recycled standby recovered past the ack boundary"
+            );
+            assert_eq!(
+                standby.durable_digest(),
+                ack_digest,
+                "round {round}: recovery disagreed with replication on the acked prefix"
+            );
+            // Its own WAL is the primary's first `repl_offset` bytes.
+            standby_wal_end = repl_offset;
+            // Catch up over the records it missed (the retried tail and
+            // everything the old standby had journaled past its state).
+            let wal = primary.wal_path().unwrap();
+            let (off, shipped) =
+                replicate_upto(&wal, survivor_wal_end, &mut standby, u64::MAX);
+            repl_offset = off;
+            // Query-log catch-up replays from 0 — applies are idempotent
+            // by entry id, so the already-recovered prefix is skipped.
+            replicate_log_upto(&survivor_qlog, file_len(&survivor_qlog), &mut standby);
+            standby.demote(primary.epoch());
+            // The catch-up records land byte-identically too.
+            let standby_wal = standby.wal_path().unwrap();
+            standby_wal_end = assert_byte_identical(&standby_wal, standby_wal_end, &shipped);
+        }
+        assert_eq!(
+            standby.durable_digest(),
+            primary.durable_digest(),
+            "round {round}: standby not in sync at round end"
+        );
+        assert_eq!(
+            standby.log().len(),
+            primary.log().len(),
+            "round {round}: standby query log not in sync at round end"
+        );
+        round_digest = primary.durable_digest();
+        round_qlog = file_len(&primary.querylog_path().unwrap());
+    }
+
+    assert!(midack_kills >= 10, "only {midack_kills} mid-ack kills");
+    assert!(fence_checks >= 5, "only {fence_checks} fence checks");
+    assert!(fresh_syncs >= 5, "only {fresh_syncs} fresh-standby syncs");
+    assert!(
+        next_op >= ROUNDS,
+        "workload too small: {next_op} ops over {ROUNDS} rounds"
+    );
+
+    // The surviving lineage is byte-reproducible from disk alone.
+    assert_eq!(primary.durable_digest(), oracle.durable_digest());
+    let final_epoch = primary.epoch();
+    drop(primary);
+    let reopened = SqlShare::open(durable_options(&primary_dir, u64::MAX)).expect("reopen");
+    assert_eq!(reopened.durable_digest(), oracle.durable_digest());
+    assert_eq!(
+        reopened.epoch(),
+        final_epoch,
+        "the lease epoch must survive recovery (fencing across restart)"
+    );
+    for d in dirs {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Snapshot catch-up: a standby whose cursor outlives the primary's
+//    WAL (reset by a snapshot) reseeds from the replication snapshot
+//    and resumes from offset 0.
+// ---------------------------------------------------------------------
+
+#[test]
+fn standby_reseeds_from_snapshot_after_primary_wal_reset() {
+    let p_dir = temp_dir("snapshot-p");
+    let s_dir = temp_dir("snapshot-s");
+    // Aggressive snapshot cadence: the primary's WAL resets mid-run.
+    let mut primary = SqlShare::open(durable_options(&p_dir, 3)).expect("open primary");
+    let mut standby = SqlShare::open(durable_options(&s_dir, u64::MAX)).expect("open standby");
+    pin_serial(&mut primary);
+    pin_serial(&mut standby);
+    standby.demote(0);
+
+    primary.register_user("ada", "ada@uw.edu").unwrap();
+    let wal = primary.wal_path().unwrap();
+    let (mut offset, _) = replicate_upto(&wal, 0, &mut standby, u64::MAX);
+    assert_eq!(standby.last_lsn(), primary.last_lsn());
+
+    // Enough mutations to cross the snapshot cadence at least twice.
+    for i in 0..8 {
+        primary
+            .upload("ada", &format!("t{i}"), "a,b\n1,2\n", &IngestOptions::default())
+            .unwrap();
+    }
+    // The WAL was reset behind the standby's cursor.
+    let tail = read_tail(&wal, offset).expect("tail");
+    assert!(tail.reset, "snapshot cadence never reset the WAL");
+
+    // The standby reseeds from the replication snapshot, then resumes
+    // streaming from offset 0 — the server's NeedSnapshot path.
+    let snap = primary.replication_snapshot();
+    let installed_lsn = standby.install_replica_snapshot(&snap).expect("install");
+    let (new_offset, _) = replicate_upto(&wal, 0, &mut standby, u64::MAX);
+    offset = new_offset;
+    assert!(offset > 0 || installed_lsn == primary.last_lsn());
+    assert_eq!(standby.last_lsn(), primary.last_lsn());
+    assert_eq!(standby.durable_digest(), primary.durable_digest());
+
+    // And the reseeded standby can be promoted and serve writes.
+    standby.promote();
+    standby
+        .upload("ada", "after", "x\n9\n", &IngestOptions::default())
+        .unwrap();
+    let _ = std::fs::remove_dir_all(&p_dir);
+    let _ = std::fs::remove_dir_all(&s_dir);
+}
+
+// ---------------------------------------------------------------------
+// 3. Quorum-ack semantics at the service layer: a failed gate returns
+//    the typed timeout, but the mutation is journaled — durable, never
+//    torn — exactly the "acknowledged vs. survived" line DESIGN draws.
+// ---------------------------------------------------------------------
+
+#[test]
+fn quorum_gate_timeout_leaves_the_mutation_durable_but_unacked() {
+    let dir = temp_dir("gate");
+    let options = durable_options(&dir, u64::MAX);
+    let mut s = SqlShare::open(options.clone()).expect("open");
+    s.register_user("ada", "ada@uw.edu").unwrap();
+
+    // A quorum that never confirms: commits time out *after* journaling.
+    s.set_ack_gate(Some(AckGate::new(|_| false)));
+    let err = s
+        .upload("ada", "t", "a\n1\n", &IngestOptions::default())
+        .unwrap_err();
+    assert_eq!(err.kind(), "timeout", "{err}");
+    let lsn_after = s.last_lsn();
+    let digest = s.durable_digest();
+    drop(s);
+
+    // The journaled-but-unacked mutation survives recovery cleanly.
+    let reopened = SqlShare::open(options).expect("recovery");
+    assert_eq!(reopened.last_lsn(), lsn_after);
+    assert_eq!(reopened.durable_digest(), digest);
+    assert!(reopened.dataset(&DatasetName::new("ada", "t")).is_some());
+
+    // A confirming quorum acks normally.
+    let mut s = reopened;
+    s.set_ack_gate(Some(AckGate::new(|_| true)));
+    s.upload("ada", "t2", "a\n2\n", &IngestOptions::default())
+        .unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// 4. The full stack over HTTP: quorum acks, lease-lapse promotion,
+//    client failover, read-only rejection with Retry-After.
+// ---------------------------------------------------------------------
+
+#[test]
+fn http_pair_fails_over_with_zero_acked_write_loss() {
+    use sqlshare_bench::replay::{FailoverClient, HttpClient, ReplayOp};
+    use sqlshare_server::{HttpConfig, Server};
+    use std::time::Duration;
+
+    let p_dir = temp_dir("http-p");
+    let s_dir = temp_dir("http-s");
+    let heartbeat = Duration::from_millis(20);
+
+    let mut primary_svc = SqlShare::open(durable_options(&p_dir, u64::MAX)).unwrap();
+    primary_svc.register_user("ada", "ada@uw.edu").unwrap();
+    let mut primary_cfg = HttpConfig::default();
+    primary_cfg.repl.ack = AckMode::Quorum;
+    primary_cfg.repl.quorum = 1;
+    primary_cfg.repl.ack_timeout = Duration::from_secs(10);
+    primary_cfg.repl.heartbeat = heartbeat;
+    let primary = Server::start(primary_svc, "127.0.0.1:0", primary_cfg).expect("bind primary");
+
+    let standby_svc = SqlShare::open(durable_options(&s_dir, u64::MAX)).unwrap();
+    let mut standby_cfg = HttpConfig::default();
+    standby_cfg.repl.primary = Some(primary.addr().to_string());
+    standby_cfg.repl.heartbeat = heartbeat;
+    standby_cfg.repl.lease_misses = 3;
+    let standby = Server::start(standby_svc, "127.0.0.1:0", standby_cfg).expect("bind standby");
+
+    // A standby rejects mutations as 503 with a Retry-After hint and
+    // reports its role and lag on the readiness probe.
+    let mut direct = HttpClient::new(standby.addr());
+    let resp = direct
+        .request(&ReplayOp::Post(
+            "/api/datasets".into(),
+            r#"{"user":"ada","name":"nope","content":"a\n1\n"}"#.into(),
+        ))
+        .unwrap();
+    assert_eq!(resp.status, 503, "standby accepted a write");
+    assert!(resp.retry_after.is_some(), "503 without Retry-After");
+    let ready = direct.request(&ReplayOp::Get("/api/ready".into())).unwrap();
+    let doc = json::parse(&String::from_utf8_lossy(&ready.body)).unwrap();
+    assert_eq!(doc.get("role").and_then(Json::as_str), Some("standby"));
+    assert!(doc.get("lagLsns").is_some(), "readiness lacks lag");
+
+    // Quorum-acked uploads through the failover client; kill the
+    // primary halfway.
+    let mut client = FailoverClient::new(vec![primary.addr(), standby.addr()]);
+    let mut acked = Vec::new();
+    let mut primary = Some(primary);
+    for i in 0..10 {
+        if i == 5 {
+            primary.take().unwrap().shutdown();
+        }
+        let body =
+            format!(r#"{{"user":"ada","name":"d{i}","content":"a,b\n{i},{i}\n"}}"#);
+        let resp = client
+            .request(&ReplayOp::Post("/api/datasets".into(), body))
+            .unwrap_or_else(|e| panic!("upload d{i} failed: {e}"));
+        assert!(resp.status < 300, "upload d{i}: status {}", resp.status);
+        acked.push(format!("d{i}"));
+    }
+    assert!(client.failovers >= 1, "client never failed over");
+
+    // Every acked upload is on the survivor, which now reports primary.
+    for name in &acked {
+        let resp = client
+            .request(&ReplayOp::Get(format!("/api/datasets/ada/{name}?user=ada")))
+            .unwrap();
+        assert_eq!(resp.status, 200, "acked upload {name} lost in failover");
+    }
+    let ready = client.request(&ReplayOp::Get("/api/ready".into())).unwrap();
+    let doc = json::parse(&String::from_utf8_lossy(&ready.body)).unwrap();
+    assert_eq!(doc.get("role").and_then(Json::as_str), Some("primary"));
+
+    standby.shutdown();
+    let _ = std::fs::remove_dir_all(&p_dir);
+    let _ = std::fs::remove_dir_all(&s_dir);
+}

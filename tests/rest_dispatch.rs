@@ -259,6 +259,11 @@ fn every_error_kind_maps_to_a_deliberate_status() {
         (Error::ResourceExhausted(String::new()), 429),
         // Contained panics are genuine server faults.
         (Error::Internal(String::new()), 500),
+        // A standby (or fenced ex-primary) refusing a write is
+        // retryable service unavailability, not a client mistake: 503
+        // plus Retry-After steers the client to back off and re-probe
+        // for the current primary.
+        (Error::ReadOnly(String::new()), 503),
     ];
     let mut kinds: Vec<&str> = table.iter().map(|(e, _)| e.kind()).collect();
     kinds.sort_unstable();
