@@ -39,7 +39,7 @@ pub use dataset::{Dataset, DatasetKind, DatasetName, Metadata, Preview};
 pub use permissions::Visibility;
 pub use persist::{DurableOptions, RecoveryReport};
 pub use querylog::{Outcome, QueryLog, QueryLogEntry};
-pub use repl::{AckGate, AckMode, ReplConfig, Role};
+pub use repl::{AckGate, AckMode, ReplApply, ReplConfig, Role};
 pub use service::{JobStatus, QueryJob, QueryResult, SqlShare};
 pub use sqlshare_scheduler::{SchedulerConfig, SchedulerStats, TenantStats};
-pub use sqlshare_storage::{read_tail, CrashPoint, FsyncPolicy, TailRead};
+pub use sqlshare_storage::{read_tail, wal_generation, CrashPoint, FsyncPolicy, TailRead};

@@ -150,6 +150,24 @@ impl fmt::Debug for AckGate {
     }
 }
 
+/// What [`SqlShare::apply_replicated`](crate::SqlShare) did with one
+/// upstream WAL record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplApply {
+    /// New record: journaled and applied locally.
+    Applied,
+    /// Already have this LSN at the same (or newer) epoch — idempotent
+    /// redelivery, safely skipped.
+    Duplicate,
+    /// The local WAL tail and the upstream history disagree: either the
+    /// upstream record's LSN is already occupied locally by a record
+    /// from an *older* epoch (a deposed primary rejoining with writes
+    /// the new primary never saw), or the record would leave an LSN gap.
+    /// The local tail cannot be reconciled record-by-record; the caller
+    /// must reseed from a primary snapshot.
+    Diverged,
+}
+
 /// Per-node replication state carried by the service.
 #[derive(Debug, Default)]
 pub(crate) struct ReplState {
@@ -157,12 +175,22 @@ pub(crate) struct ReplState {
     /// Current lease epoch: bumped on promotion, adopted from records
     /// on standby, stamped on every journaled mutation for fencing.
     pub epoch: u64,
+    /// Epoch of the record at the local last LSN (the WAL tail). Lags
+    /// `epoch` when a promotion or adoption has happened but nothing
+    /// has been journaled since; `apply_replicated` compares it against
+    /// incoming records to detect a divergent tail.
+    pub tail_epoch: u64,
     /// Applied-LSN mirror for ephemeral nodes (durable nodes read the
     /// store's high-water mark instead).
     pub applied_lsn: u64,
     /// Newest primary LSN a standby has seen advertised; lag =
     /// hint − local last LSN.
     pub primary_lsn_hint: u64,
+    /// Highest replicated query-log entry id applied locally. Entry ids
+    /// are assigned by the primary, so after a reseed or rejoin they
+    /// need not align with the local vector length — dedup compares
+    /// against this high-water mark, not `entries.len()`.
+    pub applied_query_id: u64,
     /// Commit-time quorum gate, installed by the server.
     pub ack_gate: Option<AckGate>,
 }

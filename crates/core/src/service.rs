@@ -14,7 +14,7 @@ use crate::dataset::{Dataset, DatasetKind, DatasetName, Metadata, Preview, PREVI
 use crate::permissions::{check_access, DatasetGraph, Visibility};
 use crate::persist::{self, DurableOptions, DurableStore, Mutation, RecoveryReport};
 use crate::querylog::{Outcome, QueryLog, QueryLogEntry};
-use crate::repl::{AckGate, ReplState, Role};
+use crate::repl::{AckGate, ReplApply, ReplState, Role};
 use sqlshare_common::json::{self, Json, JsonObject};
 use sqlshare_common::{CancelReason, CancellationToken, Error, Result};
 use sqlshare_engine::{Engine, FaultSite, Row, Schema, Table};
@@ -304,8 +304,11 @@ impl SqlShare {
             };
             // A restarted node resumes in the highest lease epoch it
             // ever journaled under, so a deposed primary stays fenced
-            // across its own restart.
+            // across its own restart. The tail epoch tracks the epoch
+            // of whatever record ends up at the last LSN — including
+            // skipped ones, which still occupy their LSN on disk.
             svc.repl.epoch = svc.repl.epoch.max(epoch);
+            svc.repl.tail_epoch = epoch;
             if lsn <= applied_lsn {
                 report.skipped_records += 1;
                 continue;
@@ -336,6 +339,7 @@ impl SqlShare {
                     if newest_logged.is_none_or(|at| (at.day, at.sequence) < (entry.at.day, entry.at.sequence)) {
                         newest_logged = Some(entry.at);
                     }
+                    svc.repl.applied_query_id = svc.repl.applied_query_id.max(entry.id);
                     log.push(entry);
                     report.querylog_entries += 1;
                 }
@@ -1419,6 +1423,7 @@ impl SqlShare {
         let mut lsn = 0u64;
         if let Some(store) = &mut self.store {
             lsn = store.journal(&m)?;
+            self.repl.tail_epoch = self.repl.epoch;
         }
         let report = self.apply_mutation(&m, prebuilt)?;
         self.repl.applied_lsn = self.repl.applied_lsn.max(lsn);
@@ -1789,8 +1794,12 @@ impl SqlShare {
             clock.day = at.day;
             clock.sequence = at.sequence;
         }
-        // Snapshots written before replication carry no epoch.
-        self.repl.epoch = self.repl.epoch.max(Mutation::epoch_of(doc));
+        // Snapshots written before replication carry no epoch. The
+        // snapshot *is* the WAL tail until something is journaled, so
+        // its epoch seeds the tail epoch too.
+        let epoch = Mutation::epoch_of(doc);
+        self.repl.epoch = self.repl.epoch.max(epoch);
+        self.repl.tail_epoch = self.repl.tail_epoch.max(epoch);
         self.restore_state(persist::field(doc, "state")?)
     }
 
@@ -1981,20 +1990,44 @@ impl SqlShare {
     /// primary journaled). The record is re-journaled locally under the
     /// primary's LSN and epoch, then applied through the same path
     /// recovery replays — replication correctness *is* the recovery
-    /// path. Records at or below our LSN are skipped (idempotent
-    /// redelivery); records from a lease older than ours are refused
-    /// (fencing). Returns whether the record advanced local state.
-    pub fn apply_replicated(&mut self, doc: &Json) -> Result<bool> {
+    /// path.
+    ///
+    /// Outcomes, checked in order:
+    ///
+    /// * `lsn <= last_lsn` with the record's epoch at or below our tail
+    ///   epoch ⇒ [`ReplApply::Duplicate`] — idempotent redelivery of
+    ///   history we already hold.
+    /// * `lsn <= last_lsn` with a *newer* epoch ⇒ [`ReplApply::Diverged`]
+    ///   — our record at that LSN belongs to an older lease the upstream
+    ///   never saw (a deposed primary's un-replicated tail). Skipping it
+    ///   as a duplicate would silently keep divergent state *and* ack an
+    ///   LSN we never applied from the new history, so the caller must
+    ///   reseed from a snapshot.
+    /// * `lsn > last_lsn + 1` ⇒ [`ReplApply::Diverged`] — the record
+    ///   would leave a gap (e.g. the upstream WAL was truncated and
+    ///   regrew past our offset); replaying it out of order is unsound.
+    /// * An epoch older than ours ⇒ `Err(ReadOnly)` — fencing: a deposed
+    ///   primary's stale lease cannot extend our history.
+    /// * Otherwise the record is journaled and applied:
+    ///   [`ReplApply::Applied`].
+    pub fn apply_replicated(&mut self, doc: &Json) -> Result<ReplApply> {
         let epoch = Mutation::epoch_of(doc);
+        let (lsn, m) = Mutation::from_json(doc)?;
+        let last = self.last_lsn();
+        if lsn <= last {
+            if epoch > self.repl.tail_epoch {
+                return Ok(ReplApply::Diverged);
+            }
+            return Ok(ReplApply::Duplicate);
+        }
+        if lsn > last + 1 {
+            return Ok(ReplApply::Diverged);
+        }
         if epoch < self.repl.epoch {
             return Err(Error::ReadOnly(format!(
                 "fenced replicated record: lease epoch {epoch} predates current epoch {}",
                 self.repl.epoch
             )));
-        }
-        let (lsn, m) = Mutation::from_json(doc)?;
-        if lsn <= self.last_lsn() {
-            return Ok(false);
         }
         self.repl.epoch = epoch;
         if let Some(store) = &mut self.store {
@@ -2003,10 +2036,11 @@ impl SqlShare {
         }
         self.apply_mutation(&m, None)?;
         self.repl.applied_lsn = lsn;
+        self.repl.tail_epoch = epoch;
         self.refresh_previews();
         self.invalidate_snapshot();
         self.maybe_snapshot();
-        Ok(true)
+        Ok(ReplApply::Applied)
     }
 
     /// Where the durable query-log sink lives (`None` in ephemeral
@@ -2030,9 +2064,19 @@ impl SqlShare {
         let at = entry.at;
         {
             let mut entries = self.log.entries.lock().unwrap_or_else(|e| e.into_inner());
-            if entry.id as usize <= entries.len() {
+            // Dedup against the highest id actually applied, not the
+            // local vector length: ids are assigned upstream, and after
+            // a snapshot reseed or an ex-primary rejoin the local count
+            // no longer aligns with them.
+            let high = entries
+                .entries()
+                .last()
+                .map_or(0, |e| e.id)
+                .max(self.repl.applied_query_id);
+            if entry.id <= high {
                 return Ok(false);
             }
+            self.repl.applied_query_id = entry.id;
             let line = entry.to_json();
             entries.push(entry);
             drop(entries);
@@ -2064,6 +2108,10 @@ impl SqlShare {
         self.visibility.clear();
         self.users.clear();
         self.restore_snapshot(doc)?;
+        // The snapshot is authoritative: local history (including any
+        // divergent tail that forced this reseed) is gone, so the tail
+        // epoch is exactly the snapshot's.
+        self.repl.tail_epoch = Mutation::epoch_of(doc);
         self.repl.applied_lsn = lsn;
         self.refresh_previews();
         self.invalidate_snapshot();

@@ -37,7 +37,7 @@ use http::ParsedRequest;
 pub use repl::ReplHub;
 use sqlshare_common::json::{self, Json};
 use sqlshare_core::rest::{self, Method, Request};
-use sqlshare_core::{AckGate, AckMode, ReplConfig, SqlShare};
+use sqlshare_core::{AckMode, ReplConfig, Role, SqlShare};
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
@@ -266,19 +266,15 @@ impl Server {
         }
 
         // Replication wiring. A node configured with a primary boots as
-        // a standby (read-only, polling that primary); otherwise, in
-        // quorum mode, commits gate on the ack hub before acknowledging.
+        // a standby (read-only, polling that primary). In quorum mode
+        // the *server* waits on the ack hub after a mutation commits —
+        // outside the service write lock (see `execute`), so a slow
+        // standby delays only the unacked client, never readers. No
+        // commit-time ack gate is installed in the service.
         let repl_hub = Arc::new(ReplHub::default());
         let is_standby = config.repl.primary.is_some();
         if is_standby {
             service.demote(0);
-        } else if config.repl.ack == AckMode::Quorum {
-            let hub = Arc::clone(&repl_hub);
-            let quorum = config.repl.quorum;
-            let ack_timeout = config.repl.ack_timeout;
-            service.set_ack_gate(Some(AckGate::new(move |lsn| {
-                hub.wait_for(lsn, quorum, ack_timeout)
-            })));
         }
         let wal_path = service.wal_path();
         let querylog_path = service.querylog_path();
@@ -851,13 +847,50 @@ fn execute(shared: &Shared, request: ParsedRequest) -> (Payload, bool) {
     // The lock split: mutations serialize on the write lock (they
     // journal before applying); everything else — submission included —
     // shares the read lock and runs concurrently.
-    let response = if rest::is_mutation(method, &req.path) {
-        let mut service = shared.service.write().unwrap_or_else(|e| e.into_inner());
-        rest::dispatch(&mut service, &req)
+    let mut response;
+    if rest::is_mutation(method, &req.path) {
+        let journaled = {
+            let mut service = shared.service.write().unwrap_or_else(|e| e.into_inner());
+            let before = service.last_lsn();
+            response = rest::dispatch(&mut service, &req);
+            let after = service.last_lsn();
+            (after > before).then_some(after)
+        };
+        // Quorum ack, waited *after* the write lock is released: the
+        // mutation is durable and applied either way, and the lock-free
+        // repl endpoints plus this ordering mean a slow standby delays
+        // only this one unacked client — readers and other requests
+        // keep flowing. Without confirmation the client gets a timeout
+        // instead of an ack, so "acknowledged" still implies
+        // "replicated".
+        if let Some(lsn) = journaled {
+            if shared.config.repl.ack == AckMode::Quorum
+                && response.status < 300
+                && !shared.repl_hub.wait_for(
+                    lsn,
+                    shared.config.repl.quorum,
+                    shared.config.repl.ack_timeout,
+                )
+            {
+                response = rest::Response {
+                    status: 504,
+                    body: Json::object([
+                        (
+                            "error",
+                            Json::str(format!(
+                                "mutation journaled at lsn {lsn} but the standby quorum \
+                                 did not confirm it in time; it may or may not survive failover"
+                            )),
+                        ),
+                        ("kind", Json::str("timeout")),
+                    ]),
+                };
+            }
+        }
     } else {
         let service = shared.service.read().unwrap_or_else(|e| e.into_inner());
-        rest::dispatch_read(&service, &req)
-    };
+        response = rest::dispatch_read(&service, &req);
+    }
 
     // Overload answers carry a back-off hint scaled to queue depth.
     let retry_after = match response.status {
@@ -895,6 +928,12 @@ fn execute_repl(shared: &Shared, method: Method, path: &str, body: &Json) -> (u1
                 .find_map(|kv| kv.strip_prefix("from="))
                 .and_then(|v| v.parse::<u64>().ok())
                 .unwrap_or(0);
+            // Generation before content: if a snapshot resets the WAL
+            // between the two reads, the follower sees fresh bytes
+            // under the *old* generation and reseeds on its next poll —
+            // the reverse order could stamp dead history with the new
+            // generation and stall the stream.
+            let wal_generation = sqlshare_core::wal_generation(wal_path);
             let tail = match sqlshare_core::read_tail(wal_path, from) {
                 Ok(t) => t,
                 Err(e) => return err(500, &format!("wal read failed: {e}")),
@@ -921,6 +960,7 @@ fn execute_repl(shared: &Shared, method: Method, path: &str, body: &Json) -> (u1
                     ("records", Json::Array(records)),
                     ("end", Json::num(end as f64)),
                     ("reset", Json::Bool(tail.reset)),
+                    ("generation", Json::num(wal_generation as f64)),
                     (
                         "epoch",
                         Json::num(shared.repl_epoch.load(Ordering::Relaxed) as f64),
@@ -1011,10 +1051,31 @@ fn execute_repl(shared: &Shared, method: Method, path: &str, body: &Json) -> (u1
             )
         }
         // Fence a deposed primary: adopt the cluster's current epoch
-        // and stop taking writes.
+        // and stop taking writes. A *primary* steps down only for a
+        // strictly newer lease — proof the demoter won (or learned of)
+        // a promotion this node has not seen. Anything else is rejected:
+        // an unauthenticated equal-or-stale epoch must not be able to
+        // depose a healthy primary and leave the cluster writeless.
         (Method::Post, "/api/repl/demote") => {
             let epoch = body.get("epoch").and_then(Json::as_f64).unwrap_or(0.0) as u64;
             let mut service = shared.service.write().unwrap_or_else(|e| e.into_inner());
+            if service.role() == Role::Primary && epoch <= service.epoch() {
+                return (
+                    409,
+                    Json::object([
+                        (
+                            "error",
+                            Json::str(format!(
+                                "demote refused: epoch {epoch} does not supersede \
+                                 this primary's lease epoch {}",
+                                service.epoch()
+                            )),
+                        ),
+                        ("role", Json::str("primary")),
+                        ("epoch", Json::num(service.epoch() as f64)),
+                    ]),
+                );
+            }
             service.demote(epoch);
             shared.repl_epoch.store(service.epoch(), Ordering::Relaxed);
             (

@@ -12,7 +12,7 @@
 
 use crate::Shared;
 use sqlshare_common::json::{self, Json};
-use sqlshare_core::Role;
+use sqlshare_core::{ReplApply, Role};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -149,7 +149,7 @@ fn decode_chunked(mut rest: &str) -> String {
 pub(crate) fn standby_loop(shared: Arc<Shared>, primary: String, self_id: String) {
     let cfg = shared.config.repl.clone();
     let io_timeout = cfg.heartbeat.max(Duration::from_millis(100));
-    let mut offset: u64 = 0;
+    let mut cursor = Cursor::default();
     let mut log_cursor: u64 = 0;
     let mut misses: u32 = 0;
     while !shared.shutdown.load(Ordering::SeqCst) {
@@ -162,15 +162,14 @@ pub(crate) fn standby_loop(shared: Arc<Shared>, primary: String, self_id: String
         {
             return; // promoted (possibly via the REST endpoint)
         }
-        match poll_once(&shared, &primary, &self_id, offset, io_timeout) {
-            Ok(PollOutcome::Applied { new_offset, full }) => {
-                offset = new_offset;
+        match poll_once(&shared, &primary, &self_id, &mut cursor, io_timeout) {
+            Ok(PollOutcome::Applied { full }) => {
                 misses = 0;
                 // The query log rides along: best-effort (it is not
                 // ack-gated), but a promoted standby then carries the
                 // corpus and the clock position the primary had.
-                if let Ok(cursor) = poll_querylog(&shared, &primary, log_cursor, io_timeout) {
-                    log_cursor = cursor;
+                if let Ok(c) = poll_querylog(&shared, &primary, log_cursor, io_timeout) {
+                    log_cursor = c;
                 }
                 if full {
                     continue; // more waiting — skip the heartbeat sleep
@@ -179,8 +178,19 @@ pub(crate) fn standby_loop(shared: Arc<Shared>, primary: String, self_id: String
             Ok(PollOutcome::NeedSnapshot) => {
                 misses = 0;
                 match catch_up_from_snapshot(&shared, &primary, io_timeout) {
-                    Ok(()) => {
-                        offset = 0;
+                    Ok(lsn) => {
+                        // The reseed discarded any local (possibly
+                        // divergent) tail: the stream restarts from the
+                        // head of the primary's current WAL file, and
+                        // only the snapshot's LSN is verified upstream
+                        // history — ack it so quorum commits at or
+                        // below it unblock.
+                        cursor = Cursor {
+                            offset: 0,
+                            generation: None,
+                            verified: lsn,
+                        };
+                        send_ack(&primary, &self_id, lsn, io_timeout);
                         continue;
                     }
                     Err(e) => eprintln!("standby: snapshot catch-up failed: {e}"),
@@ -196,6 +206,14 @@ pub(crate) fn standby_loop(shared: Arc<Shared>, primary: String, self_id: String
                     .epoch();
                 let body = Json::object([("epoch", Json::num(epoch as f64))]).to_string();
                 let _ = http_call(&primary, "POST", "/api/repl/demote", Some(&body), io_timeout);
+                misses = 0;
+            }
+            Ok(PollOutcome::Stalled) => {
+                // A record failed to apply for a local, non-fencing
+                // reason (e.g. a storage error). The primary is alive —
+                // this must not count toward the lease, and it is no
+                // grounds to demote anyone. Retry the same batch next
+                // heartbeat.
                 misses = 0;
             }
             Err(_) => {
@@ -219,24 +237,56 @@ pub(crate) fn standby_loop(shared: Arc<Shared>, primary: String, self_id: String
     }
 }
 
+/// Where the standby stands in the primary's WAL stream.
+#[derive(Debug, Default)]
+struct Cursor {
+    /// Byte offset of the next poll.
+    offset: u64,
+    /// WAL reset generation the offset belongs to; `None` until the
+    /// first poll (or after a reseed) adopts the upstream's value. A
+    /// mismatch on a later poll means the file was truncated and
+    /// regrown behind us — the offset points into dead history even if
+    /// the file is long enough to read.
+    generation: Option<u64>,
+    /// Highest LSN verified against upstream history: the max record
+    /// LSN received from the primary and either applied or already
+    /// present locally. This — never the local last LSN — is what gets
+    /// acked, so a rejoined node with a longer (divergent) local WAL
+    /// cannot vouch for writes it never saw.
+    verified: u64,
+}
+
 enum PollOutcome {
-    Applied { new_offset: u64, full: bool },
+    Applied { full: bool },
     NeedSnapshot,
     UpstreamStale,
+    Stalled,
+}
+
+fn send_ack(primary: &str, self_id: &str, lsn: u64, timeout: Duration) {
+    if lsn == 0 {
+        return;
+    }
+    let ack = Json::object([
+        ("standby", Json::str(self_id.to_string())),
+        ("lsn", Json::num(lsn as f64)),
+    ])
+    .to_string();
+    let _ = http_call(primary, "POST", "/api/repl/ack", Some(&ack), timeout);
 }
 
 fn poll_once(
     shared: &Shared,
     primary: &str,
     self_id: &str,
-    offset: u64,
+    cursor: &mut Cursor,
     timeout: Duration,
 ) -> io::Result<PollOutcome> {
     let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
     let (status, body) = http_call(
         primary,
         "GET",
-        &format!("/api/repl/wal?from={offset}"),
+        &format!("/api/repl/wal?from={}", cursor.offset),
         None,
         timeout,
     )?;
@@ -246,11 +296,17 @@ fn poll_once(
     let doc = json::parse(&body).map_err(|e| bad(&e.to_string()))?;
     let upstream_epoch = doc.get("epoch").and_then(Json::as_f64).unwrap_or(0.0) as u64;
     let last_lsn = doc.get("lastLsn").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let generation = doc.get("generation").and_then(Json::as_f64).unwrap_or(0.0) as u64;
     if doc.get("reset").and_then(|j| match j {
         Json::Bool(b) => Some(*b),
         _ => None,
     }) == Some(true)
     {
+        return Ok(PollOutcome::NeedSnapshot);
+    }
+    if cursor.generation.is_some_and(|g| g != generation) {
+        // Truncate-and-regrow within one heartbeat: the length check on
+        // the primary cannot see it, but the generation counter can.
         return Ok(PollOutcome::NeedSnapshot);
     }
     let records = doc
@@ -262,39 +318,57 @@ fn poll_once(
         .and_then(Json::as_f64)
         .ok_or_else(|| bad("missing end"))? as u64;
 
-    let applied_lsn = {
+    let mut verified = cursor.verified;
+    let full = records.len() >= WAL_BATCH_LIMIT;
+    {
         let mut service = shared.service.write().unwrap_or_else(|e| e.into_inner());
         if upstream_epoch < service.epoch() {
             return Ok(PollOutcome::UpstreamStale);
         }
         for record in records {
-            if let Err(e) = service.apply_replicated(record) {
-                eprintln!("standby: refusing replicated record: {e}");
-                return Ok(PollOutcome::UpstreamStale);
+            let lsn = record.get("lsn").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            match service.apply_replicated(record) {
+                Ok(ReplApply::Applied | ReplApply::Duplicate) => {
+                    verified = verified.max(lsn);
+                }
+                Ok(ReplApply::Diverged) => {
+                    eprintln!(
+                        "standby: local WAL tail diverges from upstream at lsn {lsn}; \
+                         reseeding from snapshot"
+                    );
+                    return Ok(PollOutcome::NeedSnapshot);
+                }
+                Err(e) if e.kind() == "read-only" => {
+                    // Fencing: the record carries a lease older than
+                    // ours, so the node we polled is a deposed primary.
+                    eprintln!("standby: refusing replicated record: {e}");
+                    return Ok(PollOutcome::UpstreamStale);
+                }
+                Err(e) => {
+                    eprintln!("standby: failed to apply replicated record: {e}");
+                    return Ok(PollOutcome::Stalled);
+                }
             }
         }
         // Adopt the primary's lease epoch even when no record carries
         // it yet: if this standby promotes before the primary journals
         // anything at its current epoch, the promotion must still fence
         // the old primary (`demote` takes the max, so this never moves
-        // the epoch backwards).
-        service.demote(upstream_epoch);
+        // the epoch backwards). Skipped while a multi-batch catch-up is
+        // in flight — adopting a newer epoch before the older-epoch
+        // batches behind it have been applied would fence our own
+        // stream.
+        if !full {
+            service.demote(upstream_epoch);
+        }
         service.note_primary_lsn(last_lsn);
         shared.repl_epoch.store(service.epoch(), Ordering::Relaxed);
-        service.last_lsn()
-    };
-    if applied_lsn > 0 {
-        let ack = Json::object([
-            ("standby", Json::str(self_id.to_string())),
-            ("lsn", Json::num(applied_lsn as f64)),
-        ])
-        .to_string();
-        let _ = http_call(primary, "POST", "/api/repl/ack", Some(&ack), timeout);
     }
-    Ok(PollOutcome::Applied {
-        new_offset,
-        full: records.len() >= WAL_BATCH_LIMIT,
-    })
+    cursor.offset = new_offset;
+    cursor.generation = Some(generation);
+    cursor.verified = verified;
+    send_ack(primary, self_id, verified, timeout);
+    Ok(PollOutcome::Applied { full })
 }
 
 /// Pull the primary's query-log tail and apply each entry. Returns the
@@ -337,11 +411,12 @@ fn poll_querylog(
     Ok(end)
 }
 
+/// Fetch and install the primary's snapshot; returns the installed LSN.
 fn catch_up_from_snapshot(
     shared: &Shared,
     primary: &str,
     timeout: Duration,
-) -> io::Result<()> {
+) -> io::Result<u64> {
     let bad = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
     let (status, body) = http_call(primary, "GET", "/api/repl/snapshot", None, timeout)?;
     if status != 200 {
@@ -351,7 +426,6 @@ fn catch_up_from_snapshot(
     let mut service = shared.service.write().unwrap_or_else(|e| e.into_inner());
     service
         .install_replica_snapshot(&doc)
-        .map(|_| ())
         .map_err(|e| bad(e.to_string()))
 }
 

@@ -59,7 +59,7 @@ pub use page::{Page, PAGE_SIZE};
 pub use pagefile::PageFile;
 pub use snapshot::SnapshotStore;
 pub use stream::{read_tail, TailRead};
-pub use wal::{CrashPoint, Wal, WalScan};
+pub use wal::{wal_generation, CrashPoint, Wal, WalScan};
 
 /// A shareable count of filesystem operations. Every store in this
 /// crate (WAL, snapshot store, JSONL appender, page file) owns one;

@@ -78,10 +78,29 @@ pub struct Wal {
     appended: u64,
     /// Appends since the last fsync (batch policy bookkeeping).
     since_sync: u64,
+    /// Reset counter, persisted in a sidecar file. Replication followers
+    /// compare it across polls: a changed generation means [`Wal::reset`]
+    /// ran and their byte offset points into a *different* file's
+    /// history, even if the file has since regrown past that offset.
+    generation: u64,
     crash: Option<CrashPoint>,
     crashed: bool,
     fault: Option<Arc<FaultPlan>>,
     io: IoCounter,
+}
+
+fn gen_path(path: &Path) -> PathBuf {
+    path.with_extension("gen")
+}
+
+/// Read the WAL's persisted reset generation without opening the log —
+/// lock-free, for replication endpoints serving the file directly. A
+/// missing sidecar (pre-replication WAL, or never reset) reads as 0.
+pub fn wal_generation(path: &Path) -> u64 {
+    std::fs::read_to_string(gen_path(path))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
@@ -124,6 +143,7 @@ impl Wal {
             offset,
             appended: 0,
             since_sync: 0,
+            generation: wal_generation(path),
             crash: None,
             crashed: false,
             fault: None,
@@ -284,16 +304,23 @@ impl Wal {
     }
 
     /// Truncate the log to empty — called after a snapshot has made its
-    /// history redundant.
+    /// history redundant. Bumps and persists the reset generation
+    /// *before* the truncation so a follower can never observe new-file
+    /// bytes under the old generation number.
     pub fn reset(&mut self) -> Result<()> {
         if self.crashed {
             return Err(Error::Internal("simulated crash: wal is dead".into()));
         }
+        let next = self.generation + 1;
+        let gen = gen_path(&self.path);
+        self.io.bump();
+        std::fs::write(&gen, format!("{next}\n")).map_err(|e| io_err("write", &gen, e))?;
         self.io.bump();
         self.file
             .set_len(0)
             .and_then(|()| self.file.sync_data())
             .map_err(|e| io_err("reset", &self.path, e))?;
+        self.generation = next;
         self.offset = 0;
         self.since_sync = 0;
         Ok(())
@@ -302,6 +329,12 @@ impl Wal {
     /// Current validated end-of-file offset.
     pub fn offset(&self) -> u64 {
         self.offset
+    }
+
+    /// Reset generation: how many times [`Wal::reset`] has truncated
+    /// this log over its lifetime (persisted across reopens).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Successful appends since this handle was opened.
@@ -512,6 +545,26 @@ mod tests {
         drop(wal);
         let scan = Wal::scan(&path).unwrap();
         assert_eq!(scan.records, vec![b"three".to_vec()]);
+    }
+
+    #[test]
+    fn reset_bumps_the_persisted_generation() {
+        let path = temp_wal("generation");
+        let mut wal = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        assert_eq!(wal.generation(), 0);
+        assert_eq!(wal_generation(&path), 0, "no sidecar reads as zero");
+        wal.append(b"one").unwrap();
+        wal.reset().unwrap();
+        assert_eq!(wal.generation(), 1);
+        assert_eq!(wal_generation(&path), 1);
+        wal.reset().unwrap();
+        drop(wal);
+        // The counter survives reopen — a restarted primary must not
+        // reuse a generation its followers have already seen.
+        let wal = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        assert_eq!(wal.generation(), 2);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("gen"));
     }
 
     #[test]

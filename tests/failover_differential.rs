@@ -29,8 +29,8 @@
 
 use sqlshare_common::json::{self, Json};
 use sqlshare_core::{
-    read_tail, AckGate, AckMode, DatasetName, DurableOptions, FsyncPolicy, Metadata, SqlShare,
-    Visibility,
+    read_tail, AckGate, AckMode, DatasetName, DurableOptions, FsyncPolicy, Metadata, ReplApply,
+    SqlShare, Visibility,
 };
 use sqlshare_ingest::IngestOptions;
 use sqlshare_sql::rewrite::AppendMode;
@@ -424,9 +424,14 @@ fn replicate_upto(
             break;
         }
         let doc = json::parse(&String::from_utf8_lossy(&payload)).expect("valid record json");
-        standby
+        let outcome = standby
             .apply_replicated(&doc)
             .expect("standby refused a current-epoch record");
+        assert_ne!(
+            outcome,
+            ReplApply::Diverged,
+            "standby flagged divergence on a linear history"
+        );
         offset += 12 + payload.len() as u64;
         fed.push(payload);
     }
@@ -837,6 +842,244 @@ fn quorum_gate_timeout_leaves_the_mutation_durable_but_unacked() {
 }
 
 // ---------------------------------------------------------------------
+// 2b. Divergent-tail rejoin: a deposed primary whose WAL holds records
+//     the new lineage never saw must not pass them off as already-
+//     replicated history. The epoch-aware duplicate check flags the
+//     first new-lineage record landing on an occupied LSN as Diverged,
+//     and the reseed brings the rejoined node onto the new history.
+// ---------------------------------------------------------------------
+
+#[test]
+fn deposed_primary_with_divergent_tail_reseeds_instead_of_skipping() {
+    let a_dir = temp_dir("diverge-a");
+    let b_dir = temp_dir("diverge-b");
+    let mut a = SqlShare::open(durable_options(&a_dir, u64::MAX)).expect("open a");
+    let mut b = SqlShare::open(durable_options(&b_dir, u64::MAX)).expect("open b");
+    pin_serial(&mut a);
+    pin_serial(&mut b);
+    b.demote(0);
+
+    // Shared history: lsn 1..=2 on both nodes.
+    a.register_user("ada", "ada@uw.edu").unwrap();
+    a.upload("ada", "base", "a\n1\n", &IngestOptions::default())
+        .unwrap();
+    let a_wal = a.wal_path().unwrap();
+    replicate_upto(&a_wal, 0, &mut b, u64::MAX);
+    let fork_lsn = b.last_lsn();
+
+    // A journals lsn 3..=4 that never replicate (async tail), then dies.
+    a.upload("ada", "lost1", "x\n1\n", &IngestOptions::default())
+        .unwrap();
+    a.upload("ada", "lost2", "x\n2\n", &IngestOptions::default())
+        .unwrap();
+    assert_eq!(a.last_lsn(), fork_lsn + 2);
+
+    // B promotes and writes its own lsn 3..=4 — a different history.
+    b.promote();
+    b.upload("ada", "won1", "y\n1\n", &IngestOptions::default())
+        .unwrap();
+    b.upload("ada", "won2", "y\n2\n", &IngestOptions::default())
+        .unwrap();
+    assert_eq!(b.last_lsn(), a.last_lsn(), "same LSNs, different records");
+    assert_ne!(a.durable_digest(), b.durable_digest());
+
+    // A rejoins as a standby and streams B's WAL from offset 0. The
+    // shared prefix is an idempotent duplicate; the first new-epoch
+    // record at an occupied LSN must come back Diverged — never a
+    // silent skip that would let A ack history it does not hold.
+    a.demote(b.epoch());
+    let b_wal = b.wal_path().unwrap();
+    let tail = read_tail(&b_wal, 0).expect("b wal");
+    let mut saw_diverged = false;
+    for payload in &tail.records {
+        let doc = json::parse(&String::from_utf8_lossy(payload)).unwrap();
+        let lsn = doc.get("lsn").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        match a.apply_replicated(&doc).expect("apply") {
+            ReplApply::Duplicate => {
+                assert!(lsn <= fork_lsn, "post-fork record skipped as duplicate")
+            }
+            ReplApply::Diverged => {
+                assert!(lsn > fork_lsn, "shared prefix flagged divergent");
+                saw_diverged = true;
+                break;
+            }
+            ReplApply::Applied => panic!("occupied lsn {lsn} applied over divergent state"),
+        }
+    }
+    assert!(saw_diverged, "divergent tail was never detected");
+    assert_ne!(a.durable_digest(), b.durable_digest(), "still divergent");
+
+    // The reseed (the server's NeedSnapshot path) resolves it.
+    let lsn = a
+        .install_replica_snapshot(&b.replication_snapshot())
+        .expect("reseed");
+    assert_eq!(lsn, b.last_lsn());
+    assert_eq!(a.durable_digest(), b.durable_digest());
+
+    // And the stream resumes cleanly past the reseed point.
+    b.upload("ada", "after", "z\n1\n", &IngestOptions::default())
+        .unwrap();
+    let tail = read_tail(&b_wal, 0).expect("b wal");
+    for payload in &tail.records {
+        let doc = json::parse(&String::from_utf8_lossy(payload)).unwrap();
+        assert_ne!(
+            a.apply_replicated(&doc).expect("resume"),
+            ReplApply::Diverged,
+            "reseeded standby re-flagged divergence"
+        );
+    }
+    assert_eq!(a.durable_digest(), b.durable_digest());
+    let _ = std::fs::remove_dir_all(&a_dir);
+    let _ = std::fs::remove_dir_all(&b_dir);
+}
+
+// ---------------------------------------------------------------------
+// 2c. Gap detection: a record that would skip LSNs (the upstream WAL
+//     truncated and regrew behind the follower's offset) is Diverged,
+//     not applied out of order.
+// ---------------------------------------------------------------------
+
+#[test]
+fn lsn_gap_in_the_stream_forces_a_reseed() {
+    let p_dir = temp_dir("gap-p");
+    let s_dir = temp_dir("gap-s");
+    let mut primary = SqlShare::open(durable_options(&p_dir, u64::MAX)).expect("open primary");
+    let mut standby = SqlShare::open(durable_options(&s_dir, u64::MAX)).expect("open standby");
+    pin_serial(&mut primary);
+    pin_serial(&mut standby);
+    standby.demote(0);
+
+    primary.register_user("ada", "ada@uw.edu").unwrap();
+    primary
+        .upload("ada", "one", "a\n1\n", &IngestOptions::default())
+        .unwrap();
+    primary
+        .upload("ada", "two", "a\n2\n", &IngestOptions::default())
+        .unwrap();
+    let wal = primary.wal_path().unwrap();
+    let tail = read_tail(&wal, 0).expect("wal");
+    // Feed record 1, then record 3 — record 2 "vanished with a reset".
+    let first = json::parse(&String::from_utf8_lossy(&tail.records[0])).unwrap();
+    let third = json::parse(&String::from_utf8_lossy(&tail.records[2])).unwrap();
+    assert_eq!(
+        standby.apply_replicated(&first).unwrap(),
+        ReplApply::Applied
+    );
+    assert_eq!(
+        standby.apply_replicated(&third).unwrap(),
+        ReplApply::Diverged,
+        "a gapped record must trigger a reseed, not an out-of-order apply"
+    );
+    assert_eq!(standby.last_lsn(), 1, "the gapped record must not journal");
+    let _ = std::fs::remove_dir_all(&p_dir);
+    let _ = std::fs::remove_dir_all(&s_dir);
+}
+
+// ---------------------------------------------------------------------
+// 2d. The truncate-and-regrow race the length heuristic cannot see:
+//     after a reset the WAL regrows past the follower's offset within
+//     one poll interval. read_tail reports nothing amiss — only the
+//     persisted generation counter exposes the reset.
+// ---------------------------------------------------------------------
+
+#[test]
+fn wal_generation_exposes_truncate_and_regrow_behind_a_follower() {
+    use sqlshare_core::wal_generation;
+    let dir = temp_dir("regrow");
+    // Cadence 2: every other mutation snapshots and resets the WAL.
+    let mut primary = SqlShare::open(durable_options(&dir, 2)).expect("open");
+    pin_serial(&mut primary);
+    primary.register_user("ada", "ada@uw.edu").unwrap();
+    let wal = primary.wal_path().unwrap();
+    let offset = read_tail(&wal, 0).expect("tail").end_offset;
+    let gen_before = wal_generation(&wal);
+
+    // Reset, then regrow well past the follower's offset: many records
+    // with long payloads land after the truncation.
+    for i in 0..6 {
+        let mut content = String::from("a,b,c,d\n");
+        for row in 0..25 {
+            content.push_str(&format!("{i},{row},{row},{row}\n"));
+        }
+        primary
+            .upload("ada", &format!("wide{i}"), &content, &IngestOptions::default())
+            .unwrap();
+    }
+    let len = std::fs::metadata(&wal).unwrap().len();
+    assert!(
+        len > offset,
+        "scenario needs the regrown WAL ({len}B) past the old offset ({offset}B)"
+    );
+    let tail = read_tail(&wal, offset).expect("tail");
+    assert!(
+        !tail.reset,
+        "the length heuristic sees nothing wrong — that is the trap"
+    );
+    assert_ne!(
+        wal_generation(&wal),
+        gen_before,
+        "the generation counter must expose the reset the length check missed"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// 3b. Replicated query-log dedup is by entry id, not local count: after
+//     a reseed a standby's local entry count no longer matches the
+//     upstream's id sequence, and redelivery must still be idempotent.
+// ---------------------------------------------------------------------
+
+#[test]
+fn replicated_query_entries_dedup_by_id_not_local_count() {
+    let p_dir = temp_dir("qdedup-p");
+    let s_dir = temp_dir("qdedup-s");
+    let mut primary = SqlShare::open(durable_options(&p_dir, u64::MAX)).expect("open primary");
+    let mut standby = SqlShare::open(durable_options(&s_dir, u64::MAX)).expect("open standby");
+    pin_serial(&mut primary);
+    pin_serial(&mut standby);
+    standby.demote(0);
+
+    primary.register_user("ada", "ada@uw.edu").unwrap();
+    primary
+        .upload("ada", "t", "a\n1\n", &IngestOptions::default())
+        .unwrap();
+    for _ in 0..4 {
+        primary.run_query("ada", "SELECT a FROM t").unwrap();
+    }
+    let qlog = primary.querylog_path().unwrap();
+    let lines: Vec<String> = String::from_utf8(std::fs::read(&qlog).unwrap())
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert!(lines.len() >= 4);
+
+    // A reseeded standby starts mid-stream: it receives entries whose
+    // upstream ids exceed its local (empty) log.
+    let feed = |standby: &mut SqlShare, lines: &[String]| {
+        for line in lines {
+            let doc = json::parse(line).unwrap();
+            standby.apply_replicated_query_entry(&doc).unwrap();
+        }
+    };
+    feed(&mut standby, &lines[2..]);
+    let after_first = standby.log().len();
+    assert_eq!(after_first, lines.len() - 2);
+
+    // Redelivery of the same tail (a poll retry after a dropped ack)
+    // must be a no-op — counting-based dedup would duplicate every
+    // entry whose id exceeds the local length.
+    feed(&mut standby, &lines[2..]);
+    assert_eq!(
+        standby.log().len(),
+        after_first,
+        "redelivered query-log entries were duplicated"
+    );
+    let _ = std::fs::remove_dir_all(&p_dir);
+    let _ = std::fs::remove_dir_all(&s_dir);
+}
+
+// ---------------------------------------------------------------------
 // 4. The full stack over HTTP: quorum acks, lease-lapse promotion,
 //    client failover, read-only rejection with Retry-After.
 // ---------------------------------------------------------------------
@@ -916,4 +1159,142 @@ fn http_pair_fails_over_with_zero_acked_write_loss() {
     standby.shutdown();
     let _ = std::fs::remove_dir_all(&p_dir);
     let _ = std::fs::remove_dir_all(&s_dir);
+}
+
+// ---------------------------------------------------------------------
+// 5. Demote is fenced: a healthy primary steps down only for a strictly
+//    newer lease epoch. Equal or stale epochs — anyone can POST them —
+//    must not be able to leave the cluster writeless.
+// ---------------------------------------------------------------------
+
+#[test]
+fn demote_endpoint_refuses_epochs_that_do_not_supersede_the_lease() {
+    use sqlshare_bench::replay::{HttpClient, ReplayOp};
+    use sqlshare_server::{HttpConfig, Server};
+
+    let dir = temp_dir("demote");
+    let mut svc = SqlShare::open(durable_options(&dir, u64::MAX)).unwrap();
+    svc.register_user("ada", "ada@uw.edu").unwrap();
+    let server = Server::start(svc, "127.0.0.1:0", HttpConfig::default()).expect("bind");
+    let mut client = HttpClient::new(server.addr());
+    let role = |client: &mut HttpClient| {
+        let ready = client.request(&ReplayOp::Get("/api/ready".into())).unwrap();
+        let doc = json::parse(&String::from_utf8_lossy(&ready.body)).unwrap();
+        doc.get("role").and_then(Json::as_str).unwrap().to_string()
+    };
+    let demote = |client: &mut HttpClient, epoch: u64| {
+        client
+            .request(&ReplayOp::Post(
+                "/api/repl/demote".into(),
+                format!(r#"{{"epoch":{epoch}}}"#),
+            ))
+            .unwrap()
+            .status
+    };
+
+    // Bump the lease so stale != 0 is also covered.
+    let resp = client
+        .request(&ReplayOp::Post("/api/repl/promote".into(), "{}".into()))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(role(&mut client), "primary");
+
+    assert_eq!(demote(&mut client, 0), 409, "epoch 0 deposed a primary");
+    assert_eq!(demote(&mut client, 1), 409, "equal epoch deposed a primary");
+    assert_eq!(role(&mut client), "primary");
+    // Writes still flow after the refused demotions.
+    let up = client
+        .request(&ReplayOp::Post(
+            "/api/datasets".into(),
+            r#"{"user":"ada","name":"still","content":"a\n1\n"}"#.into(),
+        ))
+        .unwrap();
+    assert!(up.status < 300, "refused demote broke the primary");
+
+    // A strictly newer lease is proof of a promotion elsewhere: obey it.
+    assert_eq!(demote(&mut client, 2), 200);
+    assert_eq!(role(&mut client), "standby");
+    // A standby adopts epochs freely (it takes the max; no-op is fine).
+    assert_eq!(demote(&mut client, 1), 200);
+
+    // The WAL poll response now carries the reset generation.
+    let wal = client
+        .request(&ReplayOp::Get("/api/repl/wal?from=0".into()))
+        .unwrap();
+    let doc = json::parse(&String::from_utf8_lossy(&wal.body)).unwrap();
+    assert!(
+        doc.get("generation").and_then(Json::as_f64).is_some(),
+        "wal poll response lacks the generation counter"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// 6. The quorum wait happens outside the service write lock: while a
+//    mutation is parked waiting for standby confirmations, reads keep
+//    answering. (Before the fix the commit blocked inside the lock and
+//    froze every reader for the full ack timeout.)
+// ---------------------------------------------------------------------
+
+#[test]
+fn quorum_wait_does_not_hold_the_write_lock() {
+    use sqlshare_bench::replay::{HttpClient, ReplayOp};
+    use sqlshare_server::{HttpConfig, Server};
+    use std::time::{Duration, Instant};
+
+    let dir = temp_dir("quorum-lock");
+    let mut svc = SqlShare::open(durable_options(&dir, u64::MAX)).unwrap();
+    svc.register_user("ada", "ada@uw.edu").unwrap();
+    let mut cfg = HttpConfig::default();
+    cfg.repl.ack = AckMode::Quorum;
+    cfg.repl.quorum = 1;
+    cfg.repl.ack_timeout = Duration::from_secs(4);
+    // No standby ever acks: every mutation parks for the full timeout.
+    let server = Server::start(svc, "127.0.0.1:0", cfg).expect("bind");
+    let addr = server.addr();
+
+    let writer = std::thread::spawn(move || {
+        let mut client = HttpClient::new(addr);
+        let started = Instant::now();
+        let resp = client
+            .request(&ReplayOp::Post(
+                "/api/datasets".into(),
+                r#"{"user":"ada","name":"parked","content":"a\n1\n"}"#.into(),
+            ))
+            .unwrap();
+        (resp, started.elapsed())
+    });
+
+    // Give the writer time to journal and park in the quorum wait, then
+    // read while it is parked.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut client = HttpClient::new(addr);
+    let started = Instant::now();
+    let ready = client.request(&ReplayOp::Get("/api/ready".into())).unwrap();
+    let read_latency = started.elapsed();
+    assert_eq!(ready.status, 200);
+
+    let (resp, write_latency) = writer.join().unwrap();
+    assert!(
+        write_latency >= Duration::from_secs(3),
+        "writer was not parked ({write_latency:?}); the scenario did not exercise the wait"
+    );
+    assert!(
+        read_latency < Duration::from_secs(2),
+        "a read stalled {read_latency:?} behind a parked quorum commit"
+    );
+    // The unconfirmed mutation reports the typed timeout, and it is
+    // journaled: durable but unacked, exactly the DESIGN §4.7 line.
+    assert_eq!(resp.status, 504, "body: {}", String::from_utf8_lossy(&resp.body));
+    let doc = json::parse(&String::from_utf8_lossy(&resp.body)).unwrap();
+    assert_eq!(doc.get("kind").and_then(Json::as_str), Some("timeout"));
+    let got = client
+        .request(&ReplayOp::Get("/api/datasets/ada/parked?user=ada".into()))
+        .unwrap();
+    assert_eq!(got.status, 200, "timed-out mutation is still durable state");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
