@@ -54,6 +54,11 @@ pub enum Error {
     /// fenced ex-primary). Reads still work; mutations should be retried
     /// against the current primary.
     ReadOnly(String),
+    /// At-rest corruption was detected (checksum mismatch, structural
+    /// invariant violation). The owning object is quarantined while a
+    /// repair runs; callers should retry after a short delay — the REST
+    /// layer maps this to 503 with Retry-After, never a generic 500.
+    Corrupt(String),
 }
 
 impl Error {
@@ -76,6 +81,7 @@ impl Error {
             Error::Internal(_) => "internal",
             Error::ResourceExhausted(_) => "resource",
             Error::ReadOnly(_) => "read-only",
+            Error::Corrupt(_) => "corrupt",
         }
     }
 
@@ -111,7 +117,8 @@ impl Error {
             | Error::Cancelled(m)
             | Error::Internal(m)
             | Error::ResourceExhausted(m)
-            | Error::ReadOnly(m) => m,
+            | Error::ReadOnly(m)
+            | Error::Corrupt(m) => m,
         }
     }
 }
@@ -155,6 +162,7 @@ mod tests {
             Error::Internal(String::new()),
             Error::ResourceExhausted(String::new()),
             Error::ReadOnly(String::new()),
+            Error::Corrupt(String::new()),
         ];
         let mut kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

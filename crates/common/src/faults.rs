@@ -53,6 +53,16 @@ pub enum FaultSite {
     /// Catalog snapshot write. Failure skips the snapshot (and the WAL
     /// truncation that would follow it); the WAL keeps full history.
     SnapshotWrite,
+    /// Page read from a page file (heap or B-tree). Bit-rot injection
+    /// here flips a seeded bit in the page image before checksum
+    /// verification, modeling at-rest media decay.
+    PageRead,
+    /// WAL scan at recovery/replication time. Bit-rot injection flips a
+    /// seeded bit in the scanned image, modeling interior WAL rot.
+    WalScan,
+    /// Snapshot candidate load. Bit-rot injection flips a seeded bit in
+    /// the snapshot bytes, modeling a decayed snapshot file.
+    SnapshotLoad,
 }
 
 impl FaultSite {
@@ -67,6 +77,9 @@ impl FaultSite {
             FaultSite::WalAppend => "wal-append",
             FaultSite::WalFsync => "wal-fsync",
             FaultSite::SnapshotWrite => "snapshot-write",
+            FaultSite::PageRead => "page-read",
+            FaultSite::WalScan => "wal-scan",
+            FaultSite::SnapshotLoad => "snapshot-load",
         }
     }
 
@@ -81,6 +94,9 @@ impl FaultSite {
             FaultSite::WalAppend => 7,
             FaultSite::WalFsync => 8,
             FaultSite::SnapshotWrite => 9,
+            FaultSite::PageRead => 10,
+            FaultSite::WalScan => 11,
+            FaultSite::SnapshotLoad => 12,
         }
     }
 }
@@ -99,6 +115,10 @@ pub struct FaultPlan {
     seed: u64,
     /// Injection probability per check, in parts per million.
     rate_ppm: u64,
+    /// Bit-rot probability per at-rest read, in parts per million.
+    /// Separate from `rate_ppm` so `SQLSHARE_FAULTS` chaos runs keep
+    /// their historical behavior unless rot is asked for explicitly.
+    rot_ppm: u64,
     draws: AtomicU64,
     /// Deterministic override: always inject one specific fault at one
     /// site and nothing anywhere else. Regression-test hook —
@@ -112,6 +132,7 @@ enum ForcedFault {
     Panic,
     Exhausted,
     Fail,
+    Rot,
 }
 
 impl FaultPlan {
@@ -119,8 +140,29 @@ impl FaultPlan {
         FaultPlan {
             seed,
             rate_ppm: ((rate.clamp(0.0, 1.0)) * 1_000_000.0) as u64,
+            rot_ppm: 0,
             draws: AtomicU64::new(0),
             forced: None,
+        }
+    }
+
+    /// Enable seeded bit-rot at the at-rest sites ([`FaultSite::PageRead`],
+    /// [`FaultSite::WalScan`], [`FaultSite::SnapshotLoad`]) with the given
+    /// per-read probability. Rot draws come from the same counter-indexed
+    /// stream as fault draws, so a rot schedule is a pure function of the
+    /// seed.
+    pub fn with_rot(mut self, rate: f64) -> Self {
+        self.rot_ppm = ((rate.clamp(0.0, 1.0)) * 1_000_000.0) as u64;
+        self
+    }
+
+    /// A plan that flips one seeded bit on *every* rot check at `site`
+    /// and nothing anywhere else — the deterministic worst case for
+    /// corruption-detection tests.
+    pub fn rot_at(site: FaultSite) -> Self {
+        FaultPlan {
+            forced: Some((site, ForcedFault::Rot)),
+            ..FaultPlan::new(0, 0.0)
         }
     }
 
@@ -179,6 +221,8 @@ impl FaultPlan {
                 return Ok(());
             }
             match kind {
+                // Rot plans only act through `rot()`.
+                ForcedFault::Rot => return Ok(()),
                 ForcedFault::Panic => panic!("{INJECTED_PANIC}{}", site.name()),
                 ForcedFault::Exhausted => {
                     return Err(Error::ResourceExhausted(format!(
@@ -215,6 +259,47 @@ impl FaultPlan {
                 Ok(())
             }
         }
+    }
+
+    /// Draw once for an at-rest read of `buf` at `site`: usually a
+    /// no-op, sometimes (per the rot rate, or always under a
+    /// [`FaultPlan::rot_at`] plan) flips one seeded bit in `buf` before
+    /// the caller verifies its checksum. Returns the flipped bit offset.
+    ///
+    /// The flip happens in the *read* image, never the file, so rot is
+    /// repeatable per draw stream without physically damaging state the
+    /// repair ladder would then have to rebuild mid-test.
+    pub fn rot(&self, site: FaultSite, buf: &mut [u8]) -> Option<usize> {
+        if buf.is_empty() {
+            return None;
+        }
+        let h = match self.forced {
+            Some((forced_site, ForcedFault::Rot)) => {
+                if forced_site != site {
+                    return None;
+                }
+                mix(
+                    self.seed,
+                    site.index(),
+                    self.draws.fetch_add(1, Ordering::Relaxed),
+                )
+            }
+            Some(_) => return None,
+            None => {
+                if self.rot_ppm == 0 {
+                    return None;
+                }
+                let draw = self.draws.fetch_add(1, Ordering::Relaxed);
+                let h = mix(self.seed, site.index(), draw);
+                if h % 1_000_000 >= self.rot_ppm {
+                    return None;
+                }
+                h
+            }
+        };
+        let bit = (h >> 20) as usize % (buf.len() * 8);
+        buf[bit / 8] ^= 1 << (bit % 8);
+        Some(bit)
     }
 
     /// Draws made so far (test observability).
@@ -320,6 +405,9 @@ mod tests {
             FaultSite::WalAppend,
             FaultSite::WalFsync,
             FaultSite::SnapshotWrite,
+            FaultSite::PageRead,
+            FaultSite::WalScan,
+            FaultSite::SnapshotLoad,
         ];
         let mut names: Vec<&str> = sites.iter().map(|s| s.name()).collect();
         names.sort_unstable();
@@ -339,6 +427,44 @@ mod tests {
         let err = p.check(FaultSite::WalAppend).unwrap_err();
         assert_eq!(err.kind(), "execution");
         assert!(err.message().contains("injected fault at wal-append"));
+    }
+
+    #[test]
+    fn rot_plans_flip_exactly_one_bit_only_at_their_site() {
+        let p = FaultPlan::rot_at(FaultSite::PageRead);
+        let clean = vec![0xAAu8; 64];
+
+        let mut buf = clean.clone();
+        assert!(p.rot(FaultSite::WalScan, &mut buf).is_none());
+        assert!(p.rot(FaultSite::SnapshotLoad, &mut buf).is_none());
+        assert_eq!(buf, clean, "rot fired at a foreign site");
+        p.check(FaultSite::PageRead).unwrap();
+
+        let bit = p.rot(FaultSite::PageRead, &mut buf).expect("forced rot");
+        let differing: u32 = clean
+            .iter()
+            .zip(&buf)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(differing, 1, "exactly one bit must flip");
+        assert_eq!(buf[bit / 8] ^ clean[bit / 8], 1 << (bit % 8));
+
+        // Same seed, same draw index, same flip.
+        let q = FaultPlan::rot_at(FaultSite::PageRead);
+        let mut other = clean.clone();
+        let _ = q.rot(FaultSite::WalScan, &mut other);
+        let _ = q.rot(FaultSite::SnapshotLoad, &mut other);
+        let _ = q.check(FaultSite::PageRead);
+        assert_eq!(q.rot(FaultSite::PageRead, &mut other), Some(bit));
+
+        // Seeded plans honor the separate rot rate.
+        let seeded = FaultPlan::new(7, 0.0).with_rot(1.0);
+        let mut buf = clean.clone();
+        assert!(seeded.rot(FaultSite::WalScan, &mut buf).is_some());
+        let silent = FaultPlan::new(7, 0.5);
+        let mut buf = clean.clone();
+        assert!(silent.rot(FaultSite::WalScan, &mut buf).is_none());
+        assert_eq!(buf, clean, "fault-only plans must never rot");
     }
 
     #[test]

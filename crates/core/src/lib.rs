@@ -25,6 +25,7 @@
 pub mod accounts;
 pub mod clock;
 pub mod dataset;
+pub mod integrity;
 pub mod macros;
 pub mod permissions;
 pub mod persist;
@@ -36,10 +37,14 @@ pub mod service;
 pub use accounts::{Quota, User};
 pub use clock::{SimClock, SimInstant};
 pub use dataset::{Dataset, DatasetKind, DatasetName, Metadata, Preview};
+pub use integrity::{IntegrityHub, Quarantined, Repair};
 pub use permissions::Visibility;
 pub use persist::{DurableOptions, RecoveryReport};
 pub use querylog::{Outcome, QueryLog, QueryLogEntry};
 pub use repl::{AckGate, AckMode, ReplApply, ReplConfig, Role};
 pub use service::{JobStatus, QueryJob, QueryResult, SqlShare};
 pub use sqlshare_scheduler::{SchedulerConfig, SchedulerStats, TenantStats};
-pub use sqlshare_storage::{read_tail, wal_generation, CrashPoint, FsyncPolicy, TailRead};
+pub use sqlshare_storage::{
+    read_tail, wal_generation, CrashPoint, FsyncPolicy, IoCounter, ScrubConfig, ScrubFinding,
+    ScrubStatus, Scrubber, TailRead,
+};

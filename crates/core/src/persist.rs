@@ -112,6 +112,9 @@ pub struct RecoveryReport {
     pub querylog_entries: u64,
     /// Bytes discarded from the query log's torn tail.
     pub querylog_truncated_bytes: u64,
+    /// Snapshot candidates newer than the one used that were skipped as
+    /// corrupt or unparseable — at-rest rot surfaced at boot.
+    pub snapshot_candidates_skipped: u64,
 }
 
 /// The open durable storage behind a service: WAL + snapshots.

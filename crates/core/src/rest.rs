@@ -143,6 +143,11 @@ pub fn status_for_kind(kind: &str) -> u16 {
         // node — retryable against the promoted primary, so 503 with
         // the server layer's `Retry-After`, not a generic 500.
         "read-only" => 503,
+        // At-rest corruption: the touched object is quarantined while
+        // the repair ladder runs, so the failure is retryable — 503
+        // with `Retry-After`, never a generic 500. Objects outside the
+        // quarantine keep serving normally.
+        "corrupt" => 503,
         "internal" => 500,
         _ => 500,
     }
@@ -359,6 +364,9 @@ pub fn dispatch_read(service: &SqlShare, request: &Request) -> Response {
                 ("epoch", Json::num(service.epoch() as f64)),
                 ("lastLsn", Json::num(service.last_lsn() as f64)),
                 ("lagLsns", Json::num(service.replication_lag() as f64)),
+                // Degraded = ready but with quarantined objects: reads
+                // and writes outside the quarantine serve normally.
+                ("degraded", Json::Bool(service.is_degraded())),
             ];
             if let Some(r) = service.recovery_report() {
                 pairs.push((
@@ -369,6 +377,10 @@ pub fn dispatch_read(service: &SqlShare, request: &Request) -> Response {
                         ("skippedRecords", Json::num(r.skipped_records as f64)),
                         ("failedRecords", Json::num(r.failed_records as f64)),
                         ("truncatedWalBytes", Json::num(r.truncated_wal_bytes as f64)),
+                        (
+                            "skippedSnapshotCandidates",
+                            Json::num(r.snapshot_candidates_skipped as f64),
+                        ),
                         ("lastLsn", Json::num(r.last_lsn as f64)),
                         ("querylogEntries", Json::num(r.querylog_entries as f64)),
                     ]),
@@ -376,6 +388,7 @@ pub fn dispatch_read(service: &SqlShare, request: &Request) -> Response {
             }
             Response::ok(Json::object(pairs))
         }
+        (Method::Get, ["api", "integrity"]) => Response::ok(service.integrity().report()),
         (Method::Get, ["api", "datasets"]) => {
             let list: Vec<Json> = service
                 .datasets()

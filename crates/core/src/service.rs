@@ -11,6 +11,7 @@
 use crate::accounts::{validate_username, Quota, User};
 use crate::clock::{SimClock, SimInstant};
 use crate::dataset::{Dataset, DatasetKind, DatasetName, Metadata, Preview, PREVIEW_ROWS};
+use crate::integrity::{IntegrityHub, Repair};
 use crate::permissions::{check_access, DatasetGraph, Visibility};
 use crate::persist::{self, DurableOptions, DurableStore, Mutation, RecoveryReport};
 use crate::querylog::{Outcome, QueryLog, QueryLogEntry};
@@ -20,7 +21,7 @@ use sqlshare_common::{CancelReason, CancellationToken, Error, Result};
 use sqlshare_engine::{Engine, FaultSite, Row, Schema, Table};
 use sqlshare_ingest::staging::Staging;
 use sqlshare_ingest::{ingest_text, IngestOptions, IngestReport};
-use sqlshare_storage::{jsonl, CrashPoint, JsonlAppender, SnapshotStore, Wal};
+use sqlshare_storage::{jsonl, read_tail, CrashPoint, JsonlAppender, SnapshotStore, Wal};
 use sqlshare_scheduler::{
     FailureClass, JobDisposition, JobReport, Scheduler, SchedulerConfig, SchedulerStats,
     SubmitOptions,
@@ -235,6 +236,9 @@ pub struct SqlShare {
     /// Data directory in durable mode, kept so replication can serve
     /// the live WAL file without going through the store.
     data_dir: Option<std::path::PathBuf>,
+    /// Quarantine registry and repair counters, `Arc`-shared so the
+    /// server's scrub thread can record findings under a read lock.
+    integrity: Arc<IntegrityHub>,
 }
 
 impl SqlShare {
@@ -274,13 +278,14 @@ impl SqlShare {
         //    the store; an older snapshot just means a longer replay).
         let snapshots = SnapshotStore::new(&options.dir);
         let mut applied_lsn = 0u64;
-        if let Some((lsn, payload)) = snapshots.load_latest()? {
+        let loaded = snapshots.load_latest_counted()?;
+        report.snapshot_candidates_skipped = loaded.skipped_candidates;
+        if let Some((lsn, payload)) = loaded.latest {
             let doc = json::parse(&payload)?;
             svc.restore_snapshot(&doc)?;
             applied_lsn = lsn;
             report.snapshot_lsn = lsn;
         }
-
         // 2. WAL tail. The scan already truncated any torn/corrupt
         //    suffix; each surviving record is replayed through the same
         //    apply path live mutations use. Records at or below the
@@ -313,11 +318,46 @@ impl SqlShare {
                 report.skipped_records += 1;
                 continue;
             }
+            // LSNs are contiguous within one lineage, so the first
+            // replayed record landing past `applied_lsn + 1` proves the
+            // WAL was reset by a snapshot that no longer loads (rotted
+            // or deleted). The missing prefix is on no surviving
+            // medium; refuse rather than replay onto the wrong base.
+            if report.replayed_records == 0 && report.failed_records == 0
+                && lsn > applied_lsn + 1
+            {
+                return Err(Error::Corrupt(format!(
+                    "WAL resumes at lsn {lsn} but recovery only reaches lsn {applied_lsn}: \
+                     the snapshot covering lsns {}..={} is gone — restore it from a \
+                     replica before restarting",
+                    applied_lsn + 1,
+                    lsn - 1
+                )));
+            }
             match svc.apply_mutation(&m, None) {
                 Ok(_) => report.replayed_records += 1,
                 Err(_) => report.failed_records += 1,
             }
             applied_lsn = lsn;
+        }
+        // A corrupt snapshot candidate newer than everything recovery
+        // reached means the mutations up to its LSN are on no surviving
+        // medium (the install that wrote it also reset the WAL): refuse
+        // rather than boot a state that silently lost acknowledged
+        // writes. A skipped candidate the WAL replays *past* — e.g. a
+        // write torn before the reset — is harmless: state is complete
+        // and the skip is merely counted in the report.
+        if loaded.max_skipped_lsn > applied_lsn {
+            return Err(Error::Corrupt(format!(
+                "snapshot-{}.json is corrupt and recovery only reaches lsn {}; \
+                 no surviving snapshot or WAL record covers the gap — restore the \
+                 file from a replica, or delete it to explicitly accept losing \
+                 lsns {}..={}",
+                loaded.max_skipped_lsn,
+                applied_lsn,
+                applied_lsn + 1,
+                loaded.max_skipped_lsn
+            )));
         }
         svc.refresh_previews();
         svc.invalidate_snapshot();
@@ -1255,10 +1295,272 @@ impl SqlShare {
         // Storage shares the engine's plan (and its draw counter), so
         // one seeded plan covers query and durability fault sites alike.
         let shared = self.engine.fault_plan().cloned();
+        // Bit-rot sites ride the same plan: page files created from now
+        // on apply it to every read image.
+        if let (Some(layer), Some(plan)) = (self.engine.storage(), &shared) {
+            layer.set_rot_plan(Arc::clone(plan));
+        }
         if let Some(store) = &mut self.store {
             store.set_fault_plan(shared);
         }
         self.invalidate_snapshot();
+    }
+
+    // ---- at-rest integrity ---------------------------------------------
+
+    /// The shared quarantine registry and repair counters behind
+    /// `GET /api/integrity`.
+    pub fn integrity(&self) -> &Arc<IntegrityHub> {
+        &self.integrity
+    }
+
+    /// Whether the node is serving degraded: at least one object is
+    /// quarantined for corruption. Everything else keeps serving.
+    pub fn is_degraded(&self) -> bool {
+        self.integrity.degraded()
+    }
+
+    /// Map an on-disk page file back to the base table it backs, if
+    /// any (scrub findings name files, quarantine names tables).
+    pub fn table_for_file(&self, path: &std::path::Path) -> Option<String> {
+        for t in self.engine.catalog().tables() {
+            if let Some(paged) = t.paged() {
+                if paged.backing_files().iter().any(|(_, f)| f == path) {
+                    return Some(t.name.clone());
+                }
+            }
+        }
+        None
+    }
+
+    /// Quarantine the table owning `path` because of a scrub finding.
+    /// Returns the table name, or `None` when no table owns the file
+    /// (WAL, snapshot, and query-log findings have their own handling;
+    /// spill files are transient).
+    pub fn quarantine_file_finding(&self, path: &std::path::Path, detail: &str) -> Option<String> {
+        let table = self.table_for_file(path)?;
+        self.integrity.quarantine(&table, detail);
+        Some(table)
+    }
+
+    /// Sweep every paged table for buffer-pool poison verdicts —
+    /// query-time corruption detections — and quarantine the owners.
+    /// Returns newly quarantined table names.
+    pub fn quarantine_poisoned(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for t in self.engine.catalog().tables() {
+            let Some(paged) = t.paged() else { continue };
+            for (file, pages) in paged.poisoned() {
+                let what = match file {
+                    None => "heap".to_string(),
+                    Some(col) => format!("secondary index on column {col}"),
+                };
+                let detail = format!("{what}: checksum-failed pages {pages:?}");
+                if self.integrity.quarantine(&t.name, detail) {
+                    out.push(t.name.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Run the local rungs of the repair ladder over every quarantined
+    /// object, cheapest first: rebuild from the intact local heap
+    /// (index rot), then re-materialize from local snapshot + WAL
+    /// records (heap rot). Objects neither rung can fix stay
+    /// quarantined with [`Repair::NeedsReplica`] — the server's scrub
+    /// thread (or a test harness) then fetches replacement pages from a
+    /// replica via [`SqlShare::install_replica_page`].
+    pub fn repair_quarantined(&mut self) -> Vec<(String, Repair)> {
+        let names: Vec<String> = self
+            .integrity
+            .quarantined()
+            .into_iter()
+            .map(|q| q.table)
+            .collect();
+        let mut out = Vec::new();
+        for name in names {
+            let repair = self.repair_table(&name);
+            self.integrity.record_repair(&repair);
+            if !matches!(repair, Repair::NeedsReplica(_)) {
+                self.integrity.unquarantine(&name);
+            }
+            out.push((name, repair));
+        }
+        if !out.is_empty() {
+            self.invalidate_snapshot();
+        }
+        out
+    }
+
+    fn repair_table(&mut self, name: &str) -> Repair {
+        match self.engine.rebuild_table_from_heap(name) {
+            Ok(true) => Repair::RebuiltFromHeap,
+            Ok(false) => Repair::Vacuous,
+            Err(heap_err) => match self.rematerialize_table(name) {
+                Ok(true) => Repair::Rematerialized,
+                Ok(false) => Repair::NeedsReplica(heap_err.to_string()),
+                Err(e) => Repair::NeedsReplica(format!(
+                    "{heap_err}; rematerialization failed: {e}"
+                )),
+            },
+        }
+    }
+
+    /// Rung 2: rebuild one base table from local durable state — the
+    /// latest snapshot's embedded rows, brought forward by any later
+    /// WAL `upload` / `materialize` / `delete` records naming the same
+    /// object, in journal order. Returns `Ok(false)` when no local
+    /// durable source mentions the table (ephemeral mode, or the rot
+    /// predates every surviving snapshot).
+    fn rematerialize_table(&mut self, name: &str) -> Result<bool> {
+        let Some(dir) = self.data_dir.clone() else {
+            return Ok(false);
+        };
+        let mut candidate: Option<Table> = None;
+        let mut mentioned = false;
+        let loaded = SnapshotStore::new(&dir).load_latest_counted()?;
+        // A corrupt candidate newer than the loadable snapshot means the
+        // WAL was reset past it: local durable state cannot prove what
+        // this table held at the tip, so escalate to the replica rung
+        // instead of rebuilding a possibly stale generation.
+        if loaded.max_skipped_lsn > loaded.latest.as_ref().map_or(0, |(lsn, _)| *lsn) {
+            return Ok(false);
+        }
+        if let Some((_, payload)) = loaded.latest {
+            let doc = json::parse(&payload)?;
+            let state = persist::field(&doc, "state")?;
+            if let Some(tables) = persist::field(state, "tables")?.as_array() {
+                for t in tables {
+                    let table = persist::table_from_json(t)?;
+                    if table.name.eq_ignore_ascii_case(name) {
+                        candidate = Some(table);
+                        mentioned = true;
+                    }
+                }
+            }
+        }
+        let wal_path = DurableStore::wal_path(&dir);
+        if wal_path.exists() {
+            // Non-mutating tail read: the WAL is live and owned by the
+            // store; repair must not truncate anything.
+            let tail = read_tail(&wal_path, 0)
+                .map_err(|e| Error::Internal(format!("repair: wal read failed: {e}")))?;
+            for payload in &tail.records {
+                let Ok(text) = std::str::from_utf8(payload) else { break };
+                let Ok(doc) = json::parse(text) else { break };
+                let Ok((_, m)) = Mutation::from_json(&doc) else { break };
+                match m {
+                    Mutation::Upload {
+                        user,
+                        dataset,
+                        content,
+                        options,
+                        ..
+                    } => {
+                        let key = base_table_key(&DatasetName::new(user, dataset));
+                        if key.eq_ignore_ascii_case(name) {
+                            let (table, _) = ingest_text(&key, &content, &options)?;
+                            candidate = Some(table);
+                            mentioned = true;
+                        }
+                    }
+                    Mutation::Materialize {
+                        name: ds,
+                        schema,
+                        rows,
+                        ..
+                    } => {
+                        let key = base_table_key(&ds);
+                        if key.eq_ignore_ascii_case(name) {
+                            candidate = Some(Table::new(&key, schema, rows));
+                            mentioned = true;
+                        }
+                    }
+                    Mutation::Delete { name: ds }
+                        if base_table_key(&ds).eq_ignore_ascii_case(name) =>
+                    {
+                        candidate = None;
+                        mentioned = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !mentioned {
+            return Ok(false);
+        }
+        self.engine.drop_relation(name);
+        if let Some(table) = candidate {
+            self.engine.create_table(table)?;
+        }
+        Ok(true)
+    }
+
+    /// Serve the raw sealed bytes of one backing page of a base table —
+    /// the serving side of repair-from-replica (`GET /api/repl/page`).
+    /// `file` is `None` for the heap, `Some(col)` for a secondary
+    /// index. Page files are byte-deterministic across replicas, so the
+    /// image is the exact replacement a corrupted peer needs; the
+    /// fetcher still checksum-verifies before installing.
+    pub fn replication_page(&self, table: &str, file: Option<usize>, no: u32) -> Result<Vec<u8>> {
+        let t = self.engine.catalog().table(table)?;
+        let Some(paged) = t.paged() else {
+            return Err(Error::Request(format!(
+                "table '{table}' has no paged backing to serve pages from"
+            )));
+        };
+        paged.read_raw_page(file, no)
+    }
+
+    /// Install a replacement page image fetched from a replica. The
+    /// image must pass checksum verification before it touches the
+    /// file. Returns `true` when the table has no poisoned pages left —
+    /// the quarantine lifts and the repair is counted.
+    pub fn install_replica_page(
+        &mut self,
+        table: &str,
+        file: Option<usize>,
+        no: u32,
+        bytes: &[u8],
+    ) -> Result<bool> {
+        let name = {
+            let t = self.engine.catalog().table(table)?;
+            let Some(paged) = t.paged() else {
+                return Err(Error::Request(format!(
+                    "table '{table}' has no paged backing to repair"
+                )));
+            };
+            paged.install_page(file, no, bytes)?;
+            if !paged.poisoned().is_empty() {
+                return Ok(false);
+            }
+            t.name.clone()
+        };
+        self.integrity.record_replica_repair();
+        self.integrity.unquarantine(&name);
+        self.invalidate_snapshot();
+        Ok(true)
+    }
+
+    /// Poisoned pages of one table's backing files — the fetch list for
+    /// repair-from-replica. Empty for unknown or memory-backed tables.
+    pub fn poisoned_pages(&self, table: &str) -> Vec<(Option<usize>, Vec<u32>)> {
+        self.engine
+            .catalog()
+            .table(table)
+            .ok()
+            .and_then(|t| t.paged())
+            .map(|p| p.poisoned())
+            .unwrap_or_default()
+    }
+
+    /// Row count of a base table, if it exists — the cheap identity
+    /// check a repairing node runs against a peer's answer before
+    /// installing fetched pages (a lagging replica serving a different
+    /// table generation would pass page checksums but fail this).
+    pub fn table_row_count(&self, table: &str) -> Option<usize> {
+        self.engine.catalog().table(table).ok().map(Table::row_count)
     }
 
     /// Resolve a user's query to the catalog-canonical SQL the engine

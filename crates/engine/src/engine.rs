@@ -393,6 +393,30 @@ impl Engine {
         removed
     }
 
+    /// Rebuild a paged base table from its own heap file — the cheapest
+    /// rung of the corruption-repair ladder. Reads every row through
+    /// the heap alone (secondary indexes are not consulted), then drops
+    /// and re-creates the table, which rewrites the heap *and* rebuilds
+    /// every secondary index into fresh files; the old files (poisoned
+    /// pages included) are deleted when the old backing drops. Returns
+    /// `Ok(false)` when the name is not a paged base table, and the
+    /// underlying `Corrupt` error when the heap itself has a bad page —
+    /// the caller then falls through to the next repair rung.
+    pub fn rebuild_table_from_heap(&mut self, name: &str) -> Result<bool> {
+        let (name, schema, rows) = {
+            let Ok(table) = self.catalog.table(name) else {
+                return Ok(false);
+            };
+            let Some(paged) = table.paged() else {
+                return Ok(false); // in-memory backing cannot rot
+            };
+            (table.name.clone(), table.schema.clone(), paged.scan_all()?)
+        };
+        self.drop_relation(&name);
+        self.create_table(Table::new(&name, schema, rows))?;
+        Ok(true)
+    }
+
     // ---- queries -------------------------------------------------------
 
     /// Validate a query without executing it; returns its output schema.

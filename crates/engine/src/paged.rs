@@ -35,8 +35,9 @@
 
 use crate::memory::parse_mb;
 use crate::value::{Row, Value};
+use sqlshare_common::faults::FaultPlan;
 use sqlshare_common::{Error, Result};
-use sqlshare_storage::{BTree, BufferPool, FsyncPolicy, HeapFile, IoCounter, PoolStats};
+use sqlshare_storage::{BTree, BufferPool, FsyncPolicy, HeapFile, IoCounter, PoolStats, PAGE_SIZE};
 use std::cmp::Ordering;
 use std::ops::{Bound, Range};
 use std::path::{Path, PathBuf};
@@ -211,6 +212,9 @@ pub struct StorageLayer {
     io: IoCounter,
     next_id: AtomicU64,
     spill_bytes: AtomicU64,
+    /// Bit-rot plan propagated to every page file created after it is
+    /// set (chaos tests flip seeded bits in read images).
+    rot: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl StorageLayer {
@@ -226,6 +230,7 @@ impl StorageLayer {
             io: IoCounter::new(),
             next_id: AtomicU64::new(0),
             spill_bytes: AtomicU64::new(0),
+            rot: Mutex::new(None),
         }))
     }
 
@@ -260,6 +265,21 @@ impl StorageLayer {
         &self.pool
     }
 
+    /// Directory holding this layer's page files (scrub root).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Attach a bit-rot plan applied to every page file created from
+    /// now on. Chaos tests set this before tables are built.
+    pub fn set_rot_plan(&self, plan: Arc<FaultPlan>) {
+        *self.rot.lock().unwrap_or_else(|e| e.into_inner()) = Some(plan);
+    }
+
+    fn rot_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.rot.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
     }
@@ -291,12 +311,22 @@ impl StorageLayer {
 
     /// A fresh heap file under this layer's directory and pool.
     pub fn create_heap(&self, stem: &str) -> Result<HeapFile> {
-        HeapFile::create(Arc::clone(&self.pool), &self.file_path(stem, "heap"), self.io.clone())
+        let heap =
+            HeapFile::create(Arc::clone(&self.pool), &self.file_path(stem, "heap"), self.io.clone())?;
+        if let Some(plan) = self.rot_plan() {
+            heap.set_rot_plan(plan);
+        }
+        Ok(heap)
     }
 
     /// A fresh B-tree under this layer's directory and pool.
     pub fn create_tree(&self, stem: &str) -> Result<BTree> {
-        BTree::create(Arc::clone(&self.pool), &self.file_path(stem, "btree"), self.io.clone())
+        let tree =
+            BTree::create(Arc::clone(&self.pool), &self.file_path(stem, "btree"), self.io.clone())?;
+        if let Some(plan) = self.rot_plan() {
+            tree.set_rot_plan(plan);
+        }
+        Ok(tree)
     }
 }
 
@@ -432,6 +462,89 @@ impl PagedTable {
 
     pub fn layer(&self) -> &Arc<StorageLayer> {
         &self.layer
+    }
+
+    /// Files backing this table: `(index_column, path)` where `None` is
+    /// the heap and `Some(col)` a secondary index. The scrubber and the
+    /// repair ladder use this to map an on-disk finding back to its
+    /// owning table.
+    pub fn backing_files(&self) -> Vec<(Option<usize>, PathBuf)> {
+        let mut files = vec![(None, self.heap.path().to_path_buf())];
+        for (col, idx) in self.indexes.iter().enumerate() {
+            if let Some(idx) = idx {
+                files.push((Some(col), idx.tree.path().to_path_buf()));
+            }
+        }
+        files
+    }
+
+    /// Pages negative-cached as corrupt, per backing file. Empty means
+    /// no read of this table has hit rot (the scrubber may still know
+    /// more — it reads pages the working set never touches).
+    pub fn poisoned(&self) -> Vec<(Option<usize>, Vec<u32>)> {
+        let mut out = Vec::new();
+        let heap = self.heap.poisoned_pages();
+        if !heap.is_empty() {
+            out.push((None, heap));
+        }
+        for (col, idx) in self.indexes.iter().enumerate() {
+            if let Some(idx) = idx {
+                let pages = idx.tree.poisoned_pages();
+                if !pages.is_empty() {
+                    out.push((Some(col), pages));
+                }
+            }
+        }
+        out
+    }
+
+    /// Read the raw sealed bytes of physical page `no` straight off
+    /// disk, bypassing the buffer pool — the serving side of
+    /// repair-from-replica. Page files are byte-deterministic across
+    /// replicas (single-pass build from byte-identical replicated rows),
+    /// so a healthy peer's image is the correct replacement.
+    pub fn read_raw_page(&self, file: Option<usize>, no: u32) -> Result<Vec<u8>> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let path = self.backing_path(file)?;
+        self.layer.io.bump();
+        let mut f = std::fs::File::open(&path)
+            .map_err(|e| Error::Internal(format!("paged: open {}: {e}", path.display())))?;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        f.seek(SeekFrom::Start(no as u64 * PAGE_SIZE as u64))
+            .and_then(|_| f.read_exact(&mut buf))
+            .map_err(|e| {
+                Error::Internal(format!("paged: read page {no} of {}: {e}", path.display()))
+            })?;
+        Ok(buf)
+    }
+
+    /// Install a replacement page image fetched from a replica. The
+    /// image is checksum-verified before it touches the file; the pool's
+    /// poison verdict clears only on success.
+    pub fn install_page(&self, file: Option<usize>, no: u32, bytes: &[u8]) -> Result<()> {
+        let image: [u8; PAGE_SIZE] = bytes.try_into().map_err(|_| {
+            Error::Corrupt(format!(
+                "replacement page image is {} bytes, expected {PAGE_SIZE}",
+                bytes.len()
+            ))
+        })?;
+        match file {
+            None => self.heap.install_page(no, image),
+            Some(col) => match self.indexes.get(col).and_then(Option::as_ref) {
+                Some(idx) => idx.tree.install_page(no, image),
+                None => Err(Error::Internal(format!("no secondary index on column {col}"))),
+            },
+        }
+    }
+
+    fn backing_path(&self, file: Option<usize>) -> Result<PathBuf> {
+        match file {
+            None => Ok(self.heap.path().to_path_buf()),
+            Some(col) => match self.indexes.get(col).and_then(Option::as_ref) {
+                Some(idx) => Ok(idx.tree.path().to_path_buf()),
+                None => Err(Error::Internal(format!("no secondary index on column {col}"))),
+            },
+        }
     }
 
     /// Decode every row of data page `idx`, in clustered order.

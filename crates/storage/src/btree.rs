@@ -130,9 +130,42 @@ impl Node {
                 }
                 Ok(Node::Internal { keys, children })
             }
-            kind => Err(Error::Internal(format!("btree: bad node kind {kind}"))),
+            kind => Err(Error::Corrupt(format!("btree: bad node kind {kind}"))),
         }
     }
+}
+
+/// Structural audit of one raw B-tree node page image — the scrubber's
+/// file-direct probe (no buffer-pool traffic, so the working set is
+/// untouched). Verifies what a single node can prove about itself:
+/// a valid kind byte, keys in sorted order, and sibling / child page
+/// numbers inside the file. Cross-node invariants (separator bounds,
+/// leaf-chain connectivity) need the root and live in
+/// [`BTree::verify_structure`].
+pub fn audit_node_page(page: &Page, page_count: u32) -> Result<()> {
+    let node = Node::decode(page)?;
+    let corrupt = |what: String| Err(Error::Corrupt(format!("btree node: {what}")));
+    match node {
+        Node::Leaf { keys, right, .. } => {
+            if keys.windows(2).any(|w| w[0] > w[1]) {
+                return corrupt("leaf keys out of order".into());
+            }
+            if let Some(r) = right {
+                if r >= page_count {
+                    return corrupt(format!("right sibling {r} beyond {page_count} pages"));
+                }
+            }
+        }
+        Node::Internal { keys, children } => {
+            if keys.windows(2).any(|w| w[0] > w[1]) {
+                return corrupt("separator keys out of order".into());
+            }
+            if let Some(&c) = children.iter().find(|&&c| c >= page_count) {
+                return corrupt(format!("child {c} beyond {page_count} pages"));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn leaf_header(right: Option<u32>) -> [u8; 8] {
@@ -179,6 +212,37 @@ impl BTree {
 
     pub fn page_count(&self) -> u32 {
         self.file.page_count()
+    }
+
+    /// Filesystem path of the backing page file.
+    pub fn path(&self) -> &Path {
+        self.file.path()
+    }
+
+    /// Attach a bit-rot plan checked on every page read.
+    pub fn set_rot_plan(&self, plan: Arc<sqlshare_common::faults::FaultPlan>) {
+        self.file.set_rot_plan(plan);
+    }
+
+    /// Physical pages currently negative-cached as corrupt by the pool.
+    pub fn poisoned_pages(&self) -> Vec<u32> {
+        self.pool.poisoned_pages(self.file_id)
+    }
+
+    /// Install a verified replacement image for physical page `no` (see
+    /// [`crate::heap::HeapFile::install_page`]): checksum first, write
+    /// second, clear the pool's poison verdict last.
+    pub fn install_page(&self, no: u32, bytes: [u8; crate::page::PAGE_SIZE]) -> Result<()> {
+        let page = Page::from_bytes(bytes);
+        if !page.verify() {
+            return Err(Error::Corrupt(format!(
+                "replacement image for page {no} of {} fails its checksum; refusing to install",
+                self.file.path().display()
+            )));
+        }
+        self.file.write_page(no, &page)?;
+        self.pool.clear_poison(self.file_id, no);
+        Ok(())
     }
 
     fn read(&self, no: u32) -> Result<Node> {
@@ -366,7 +430,7 @@ impl BTree {
         let mut out = Vec::new();
         loop {
             let Node::Leaf { keys, vals, right } = self.read(no)? else {
-                return Err(Error::Internal("btree: leaf chain hit an internal node".into()));
+                return Err(Error::Corrupt("btree: leaf chain hit an internal node".into()));
             };
             for (k, v) in keys.iter().zip(&vals) {
                 if !upper_ok(k) {
@@ -386,6 +450,104 @@ impl BTree {
     /// Write all dirty index pages back to disk.
     pub fn flush(&self) -> Result<()> {
         self.pool.flush_file(self.file_id)
+    }
+
+    /// Full structural audit from the root: every reachable node
+    /// decodes, keys are sorted within and across nodes (separator
+    /// bounds hold), all leaves sit at one depth, and the leaf sibling
+    /// chain links them left-to-right exactly. Returns the entry count
+    /// so callers can cross-check it against [`BTree::entries`]. Any
+    /// violation is a typed `Error::Corrupt`.
+    pub fn verify_structure(&self) -> Result<u64> {
+        let mut leaves: Vec<(u32, Option<u32>)> = Vec::new();
+        let mut leaf_depth = None;
+        let mut entries = 0u64;
+        self.verify_rec(self.root, None, None, 0, &mut leaf_depth, &mut leaves, &mut entries)?;
+        for w in leaves.windows(2) {
+            if w[0].1 != Some(w[1].0) {
+                return Err(self.corrupt(format!(
+                    "leaf chain broken: page {} links to {:?}, in-order successor is {}",
+                    w[0].0, w[0].1, w[1].0
+                )));
+            }
+        }
+        if let Some(&(last, right)) = leaves.last() {
+            if right.is_some() {
+                return Err(self.corrupt(format!(
+                    "rightmost leaf {last} has a dangling sibling {right:?}"
+                )));
+            }
+        }
+        Ok(entries)
+    }
+
+    fn corrupt(&self, what: String) -> Error {
+        Error::Corrupt(format!("btree {}: {what}", self.file.path().display()))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn verify_rec(
+        &self,
+        no: u32,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        depth: usize,
+        leaf_depth: &mut Option<usize>,
+        leaves: &mut Vec<(u32, Option<u32>)>,
+        entries: &mut u64,
+    ) -> Result<()> {
+        match self.read(no)? {
+            Node::Leaf { keys, vals: _, right } => {
+                match *leaf_depth {
+                    Some(d) if d != depth => {
+                        return Err(self.corrupt(format!(
+                            "leaf {no} at depth {depth}, expected {d}"
+                        )));
+                    }
+                    None => *leaf_depth = Some(depth),
+                    _ => {}
+                }
+                if keys.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(self.corrupt(format!("leaf {no} keys out of order")));
+                }
+                // Separator bounds are inclusive on both sides:
+                // duplicate runs legally straddle a split.
+                if lo.is_some_and(|lo| keys.first().is_some_and(|k| k.as_slice() < lo)) {
+                    return Err(self.corrupt(format!("leaf {no} underruns its separator")));
+                }
+                if hi.is_some_and(|hi| keys.last().is_some_and(|k| k.as_slice() > hi)) {
+                    return Err(self.corrupt(format!("leaf {no} overruns its separator")));
+                }
+                if right.is_some_and(|r| r >= self.file.page_count()) {
+                    return Err(self.corrupt(format!("leaf {no} sibling out of range")));
+                }
+                *entries += keys.len() as u64;
+                leaves.push((no, right));
+                Ok(())
+            }
+            Node::Internal { keys, children } => {
+                if keys.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(self.corrupt(format!("internal {no} separators out of order")));
+                }
+                for (i, &child) in children.iter().enumerate() {
+                    if child >= self.file.page_count() {
+                        return Err(self.corrupt(format!("internal {no} child out of range")));
+                    }
+                    let child_lo = if i == 0 { lo } else { Some(keys[i - 1].as_slice()) };
+                    let child_hi = keys.get(i).map(Vec::as_slice).or(hi);
+                    self.verify_rec(
+                        child,
+                        child_lo,
+                        child_hi,
+                        depth + 1,
+                        leaf_depth,
+                        leaves,
+                        entries,
+                    )?;
+                }
+                Ok(())
+            }
+        }
     }
 }
 
@@ -498,6 +660,66 @@ mod tests {
         let got = got.unwrap();
         assert_eq!(got.len(), 100);
         assert_eq!(all(&t).len(), n as usize);
+    }
+
+    #[test]
+    fn verify_structure_accepts_real_trees_and_counts_entries() {
+        let mut t = tree("verify", PAGE_SIZE * 64);
+        assert_eq!(t.verify_structure().unwrap(), 0, "empty tree verifies");
+        let n = 3000u64;
+        for i in (0..n).rev() {
+            let key = format!("key-{i:08}-{}", "p".repeat(48));
+            t.insert(key.as_bytes(), i).unwrap();
+        }
+        assert_eq!(t.verify_structure().unwrap(), n);
+        for i in 0..50u64 {
+            let key = format!("key-{i:08}-{}", "p".repeat(48));
+            t.delete(key.as_bytes()).unwrap();
+        }
+        assert_eq!(t.verify_structure().unwrap(), n - 50);
+        assert_eq!(t.verify_structure().unwrap(), t.entries());
+    }
+
+    #[test]
+    fn audit_node_page_flags_structural_damage() {
+        // Hand-build damaged node images that pass the page checksum:
+        // only the structural audit can catch them.
+        let good_leaf = Node::Leaf {
+            keys: vec![b"aa".to_vec(), b"bb".to_vec()],
+            vals: vec![1, 2],
+            right: None,
+        };
+        audit_node_page(&good_leaf.encode(), 4).unwrap();
+
+        let unsorted = Node::Leaf {
+            keys: vec![b"zz".to_vec(), b"aa".to_vec()],
+            vals: vec![1, 2],
+            right: None,
+        };
+        let err = audit_node_page(&unsorted.encode(), 4).unwrap_err();
+        assert_eq!(err.kind(), "corrupt");
+        assert!(err.message().contains("out of order"), "{err}");
+
+        let dangling = Node::Leaf {
+            keys: vec![b"aa".to_vec()],
+            vals: vec![1],
+            right: Some(99),
+        };
+        let err = audit_node_page(&dangling.encode(), 4).unwrap_err();
+        assert!(err.message().contains("sibling"), "{err}");
+
+        let wild_child = Node::Internal {
+            keys: vec![b"mm".to_vec()],
+            children: vec![1, 77],
+        };
+        let err = audit_node_page(&wild_child.encode(), 4).unwrap_err();
+        assert!(err.message().contains("child"), "{err}");
+
+        let mut bad_kind = Page::new();
+        bad_kind.set_user_header([7, 0, 0, 0, 0, 0, 0, 0]);
+        let err = audit_node_page(&bad_kind, 4).unwrap_err();
+        assert_eq!(err.kind(), "corrupt");
+        assert!(err.message().contains("bad node kind"), "{err}");
     }
 
     #[test]

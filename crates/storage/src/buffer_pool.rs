@@ -30,7 +30,7 @@
 use crate::page::Page;
 use crate::pagefile::PageFile;
 use crate::FsyncPolicy;
-use sqlshare_common::Result;
+use sqlshare_common::{Error, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -50,6 +50,8 @@ pub struct PoolStats {
     pub evictions: u64,
     /// Dirty pages written back (eviction, flush, or pass-through).
     pub writebacks: u64,
+    /// Pages currently negative-cached as corrupt (quarantined reads).
+    pub poisoned_pages: u64,
 }
 
 impl PoolStats {
@@ -79,6 +81,12 @@ struct Inner {
     /// Clock ring of frame keys; `hand` indexes into it.
     ring: Vec<(u64, u32)>,
     hand: usize,
+    /// Negative cache: pages whose last read failed checksum
+    /// verification. A poisoned page fails fast with the cached error
+    /// instead of re-reading known-bad bytes from disk on every probe;
+    /// the entry clears on rewrite ([`BufferPool::put`]) or explicit
+    /// repair ([`BufferPool::clear_poison`]).
+    poisoned: HashMap<(u64, u32), Error>,
 }
 
 /// The shared, bounded page cache.
@@ -125,7 +133,27 @@ impl BufferPool {
         inner.files.remove(&file);
         inner.frames.retain(|k, _| k.0 != file);
         inner.ring.retain(|k| k.0 != file);
+        inner.poisoned.retain(|k, _| k.0 != file);
         inner.hand = 0;
+    }
+
+    /// Forget a cached corruption verdict (the page was repaired on
+    /// disk); the next fetch re-reads and re-verifies it.
+    pub fn clear_poison(&self, file: u64, no: u32) {
+        self.inner.lock().unwrap().poisoned.remove(&(file, no));
+    }
+
+    /// Keys of every currently poisoned page of `file`.
+    pub fn poisoned_pages(&self, file: u64) -> Vec<u32> {
+        let inner = self.inner.lock().unwrap();
+        let mut nos: Vec<u32> = inner
+            .poisoned
+            .keys()
+            .filter(|k| k.0 == file)
+            .map(|k| k.1)
+            .collect();
+        nos.sort_unstable();
+        nos
     }
 
     /// Fetch a page, reading through on a miss. The returned `Arc` pins
@@ -137,11 +165,23 @@ impl BufferPool {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(&frame.page));
         }
+        if let Some(err) = inner.poisoned.get(&(file, no)) {
+            // Known-bad page: fail fast, no disk I/O.
+            return Err(err.clone());
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let pf = Arc::clone(inner.files.get(&file).ok_or_else(|| {
             sqlshare_common::Error::Internal(format!("buffer pool: unknown file {file}"))
         })?);
-        let page = Arc::new(pf.read_page(no)?);
+        let page = match pf.read_page(no) {
+            Ok(p) => Arc::new(p),
+            Err(e) => {
+                if e.kind() == "corrupt" {
+                    inner.poisoned.insert((file, no), e.clone());
+                }
+                return Err(e);
+            }
+        };
         if self.admit(&mut inner) {
             inner.frames.insert(
                 (file, no),
@@ -161,6 +201,8 @@ impl BufferPool {
     /// pinned frames it is written through immediately.
     pub fn put(&self, file: u64, no: u32, page: Arc<Page>) -> Result<()> {
         let mut inner = self.inner.lock().unwrap();
+        // A freshly built image supersedes any cached corruption verdict.
+        inner.poisoned.remove(&(file, no));
         if let Some(frame) = inner.frames.get_mut(&(file, no)) {
             frame.page = page;
             frame.referenced = true;
@@ -272,6 +314,7 @@ impl BufferPool {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             writebacks: self.writebacks.load(Ordering::Relaxed),
+            poisoned_pages: inner.poisoned.len() as u64,
         }
     }
 }
@@ -391,6 +434,53 @@ mod tests {
         // Bypass the pool: the bytes must be on disk.
         assert_eq!(pf.read_page(no).unwrap().cell(0), &[7u8; 32]);
         assert!(pool.stats().writebacks >= 1);
+    }
+
+    #[test]
+    fn corrupt_page_is_negative_cached_until_repair() {
+        let path = temp_file("poison");
+        let io = IoCounter::new();
+        let pool = BufferPool::new(PAGE_SIZE * 16, FsyncPolicy::Off);
+        let pf = Arc::new(PageFile::create(&path, io.clone()).unwrap());
+        let fid = pool.register(Arc::clone(&pf));
+        let no = pf.allocate();
+        pool.put(fid, no, page_with(5)).unwrap();
+        pool.flush_file(fid).unwrap();
+        pool.drop_file(fid);
+        let fid = pool.register(Arc::clone(&pf));
+
+        // Rot a byte on disk, then fetch: the first probe reads disk and
+        // poisons; later probes fail fast with zero additional I/O.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[PAGE_SIZE - 1] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = pool.fetch(fid, no).unwrap_err();
+        assert_eq!(err.kind(), "corrupt");
+        assert_eq!(pool.stats().poisoned_pages, 1);
+        assert_eq!(pool.poisoned_pages(fid), vec![no]);
+        let io_after_first = io.get();
+        for _ in 0..5 {
+            let again = pool.fetch(fid, no).unwrap_err();
+            assert_eq!(again.kind(), "corrupt");
+        }
+        assert_eq!(io.get(), io_after_first, "poisoned probes must not hit disk");
+
+        // Repair the bytes on disk, clear the poison: reads work again.
+        bytes[PAGE_SIZE - 1] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        pool.clear_poison(fid, no);
+        assert_eq!(pool.stats().poisoned_pages, 0);
+        assert_eq!(pool.fetch(fid, no).unwrap().cell(0), &[5u8; 32]);
+
+        // put() also clears: a rebuilt page image supersedes the verdict.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[PAGE_SIZE - 1] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        pool.drop_file(fid);
+        let fid = pool.register(Arc::clone(&pf));
+        assert!(pool.fetch(fid, no).is_err());
+        pool.put(fid, no, page_with(6)).unwrap();
+        assert_eq!(pool.fetch(fid, no).unwrap().cell(0), &[6u8; 32]);
     }
 
     #[test]

@@ -138,6 +138,44 @@ impl HeapFile {
         self.data_pages.len()
     }
 
+    /// Filesystem path of the backing page file.
+    pub fn path(&self) -> &Path {
+        self.file.path()
+    }
+
+    /// Physical pages allocated in the backing file (data + overflow).
+    pub fn page_count(&self) -> u32 {
+        self.file.page_count()
+    }
+
+    /// Attach a bit-rot plan checked on every page read.
+    pub fn set_rot_plan(&self, plan: Arc<sqlshare_common::faults::FaultPlan>) {
+        self.file.set_rot_plan(plan);
+    }
+
+    /// Physical pages currently negative-cached as corrupt by the pool.
+    pub fn poisoned_pages(&self) -> Vec<u32> {
+        self.pool.poisoned_pages(self.file_id)
+    }
+
+    /// Install a verified replacement image for physical page `no` — the
+    /// repair path for bytes fetched from a replica. The image must pass
+    /// checksum verification *before* it touches the file; on success the
+    /// pool's poison verdict is cleared so the next fetch re-reads the
+    /// repaired page from disk.
+    pub fn install_page(&self, no: u32, bytes: [u8; crate::page::PAGE_SIZE]) -> Result<()> {
+        let page = Page::from_bytes(bytes);
+        if !page.verify() {
+            return Err(Error::Corrupt(format!(
+                "replacement image for page {no} of {} fails its checksum; refusing to install",
+                self.file.path().display()
+            )));
+        }
+        self.file.write_page(no, &page)?;
+        self.pool.clear_poison(self.file_id, no);
+        Ok(())
+    }
+
     /// Records on each data page, in page order.
     pub fn page_record_counts(&self) -> &[u32] {
         &self.counts

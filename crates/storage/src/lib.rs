@@ -44,6 +44,7 @@ pub mod heap;
 pub mod jsonl;
 pub mod page;
 pub mod pagefile;
+pub mod scrub;
 pub mod snapshot;
 pub mod stream;
 pub mod wal;
@@ -51,15 +52,16 @@ pub mod wal;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-pub use btree::BTree;
+pub use btree::{audit_node_page, BTree};
 pub use buffer_pool::{BufferPool, PoolStats};
 pub use heap::HeapFile;
 pub use jsonl::JsonlAppender;
 pub use page::{Page, PAGE_SIZE};
 pub use pagefile::PageFile;
-pub use snapshot::SnapshotStore;
+pub use scrub::{ScrubConfig, ScrubFinding, ScrubStatus, Scrubber};
+pub use snapshot::{SnapshotLoad, SnapshotStore};
 pub use stream::{read_tail, TailRead};
-pub use wal::{wal_generation, CrashPoint, Wal, WalScan};
+pub use wal::{wal_generation, CrashPoint, Wal, WalAudit, WalScan};
 
 /// A shareable count of filesystem operations. Every store in this
 /// crate (WAL, snapshot store, JSONL appender, page file) owns one;

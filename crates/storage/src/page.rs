@@ -6,7 +6,9 @@
 //! ```text
 //! bytes 0..2    slot count (u16 LE)
 //! bytes 2..4    cell-area start offset (u16 LE; cells grow downward)
-//! bytes 4..12   fnv64 checksum over bytes 12..8192 (u64 LE)
+//! bytes 4..12   fnv64 checksum over bytes 12..8192 then 0..4 (u64 LE),
+//!               so every byte outside the checksum field itself is
+//!               covered — a single flipped bit anywhere is detectable
 //! bytes 12..20  user header (8 bytes, layer-specific: B-tree node kind,
 //!               sibling / leftmost-child pointers)
 //! bytes 20..    slot array, 4 bytes per slot (u16 offset, u16 length)
@@ -140,9 +142,22 @@ impl Page {
         self.buf[12..20].copy_from_slice(&h);
     }
 
+    /// Checksum over everything but the checksum field: FNV-1a over the
+    /// payload (bytes 12..), continued over the slot-count / cell-start
+    /// header (bytes 0..4). Leaving the header out would make a flipped
+    /// header bit silent corruption — wrong cells decoded, no error.
+    fn sum(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = fnv64(&self.buf[12..]);
+        for &b in &self.buf[..CHECKSUM_RANGE.start] {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
     /// Stamp the checksum (done by the page file just before writing).
     pub fn seal(&mut self) {
-        let sum = fnv64(&self.buf[12..]);
+        let sum = self.sum();
         self.buf[CHECKSUM_RANGE].copy_from_slice(&sum.to_le_bytes());
     }
 
@@ -150,7 +165,7 @@ impl Page {
     /// page is torn or corrupt.
     pub fn verify(&self) -> bool {
         let stored = u64::from_le_bytes(self.buf[CHECKSUM_RANGE].try_into().unwrap());
-        stored == fnv64(&self.buf[12..])
+        stored == self.sum()
     }
 }
 
@@ -201,6 +216,30 @@ mod tests {
         let mut bytes = *p.as_bytes();
         bytes[PAGE_SIZE - 3] ^= 0xFF; // flip a payload byte
         assert!(!Page::from_bytes(bytes).verify());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // The detection promise behind quarantine: no single flipped bit
+        // anywhere in the 8 KiB image survives verify() — including the
+        // slot-count / cell-start header and the checksum field itself.
+        let mut p = Page::new();
+        p.push(b"row one").unwrap();
+        p.push(&[0u8; 64]).unwrap();
+        p.set_user_header([1, 0, 0, 0, 9, 9, 9, 9]);
+        p.seal();
+        assert!(p.verify());
+        let sealed = *p.as_bytes();
+        for byte in 0..PAGE_SIZE {
+            // One flip per byte keeps the test fast; bit position varies
+            // with the byte index so all eight lanes get exercised.
+            let mut bytes = sealed;
+            bytes[byte] ^= 1 << (byte % 8);
+            assert!(
+                !Page::from_bytes(bytes).verify(),
+                "flip at byte {byte} went undetected"
+            );
+        }
     }
 
     #[test]

@@ -14,12 +14,13 @@
 
 use crate::page::{Page, PAGE_SIZE};
 use crate::IoCounter;
+use sqlshare_common::faults::{FaultPlan, FaultSite};
 use sqlshare_common::{Error, Result};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// An open, growable file of [`PAGE_SIZE`] pages.
 #[derive(Debug)]
@@ -28,6 +29,9 @@ pub struct PageFile {
     file: Mutex<File>,
     pages: AtomicU32,
     io: IoCounter,
+    /// Optional bit-rot plan: its `PageRead` site may flip a seeded bit
+    /// in the read image (never the file) before verification.
+    rot: OnceLock<Arc<FaultPlan>>,
 }
 
 fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
@@ -50,11 +54,17 @@ impl PageFile {
             file: Mutex::new(file),
             pages: AtomicU32::new(0),
             io,
+            rot: OnceLock::new(),
         })
     }
 
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Attach a bit-rot plan checked on every [`PageFile::read_page`].
+    pub fn set_rot_plan(&self, plan: Arc<FaultPlan>) {
+        let _ = self.rot.set(plan);
     }
 
     /// Pages allocated so far.
@@ -91,9 +101,12 @@ impl PageFile {
                 .and_then(|_| f.read_exact(&mut bytes))
                 .map_err(|e| io_err("read", &self.path, e))?;
         }
+        if let Some(plan) = self.rot.get() {
+            plan.rot(FaultSite::PageRead, &mut bytes);
+        }
         let page = Page::from_bytes(bytes);
         if !page.verify() {
-            return Err(Error::Internal(format!(
+            return Err(Error::Corrupt(format!(
                 "pagefile torn or corrupt page {no} in {}",
                 self.path.display()
             )));
@@ -166,7 +179,26 @@ mod tests {
         bytes[n - 1] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
         let err = pf.read_page(no).unwrap_err();
+        assert_eq!(err.kind(), "corrupt");
         assert!(err.message().contains("torn or corrupt"), "{err}");
+    }
+
+    #[test]
+    fn rot_plan_corrupts_the_read_image_not_the_file() {
+        let path = temp_path("rot");
+        let pf = PageFile::create(&path, IoCounter::new()).unwrap();
+        let no = pf.allocate();
+        let mut p = Page::new();
+        p.push(b"pristine").unwrap();
+        pf.write_page(no, &p).unwrap();
+        pf.set_rot_plan(Arc::new(FaultPlan::rot_at(FaultSite::PageRead)));
+        let err = pf.read_page(no).unwrap_err();
+        assert_eq!(err.kind(), "corrupt", "{err}");
+        // The file itself is untouched: the raw on-disk image still verifies.
+        let bytes = std::fs::read(&path).unwrap();
+        let page = Page::from_bytes(bytes[..PAGE_SIZE].try_into().unwrap());
+        assert!(page.verify());
+        assert_eq!(page.cell(0), b"pristine");
     }
 
     #[test]

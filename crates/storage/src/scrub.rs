@@ -1,0 +1,582 @@
+//! Background integrity scrubber: budgeted sweeps over at-rest files.
+//!
+//! A long-lived data service accumulates bit-rot faster than queries
+//! notice it — a cold page can sit unread for months while its bits
+//! decay. The scrubber walks every durable file family on a cadence
+//! (`SQLSHARE_SCRUB_EVERY_MS`) under an I/O budget per tick
+//! (`SQLSHARE_SCRUB_IO_BUDGET`, in 8 KiB units), so detection latency
+//! is bounded without stealing the foreground's disk bandwidth:
+//!
+//! * **heap / B-tree page files** — per-page checksum verification via
+//!   [`Page::verify`]; B-tree nodes additionally get the single-node
+//!   structural audit ([`crate::btree::audit_node_page`]: valid kind,
+//!   sorted keys).
+//! * **`wal.log`** — frame-by-frame checksum walk via [`Wal::verify`],
+//!   flagging interior corruption (valid frames after a break) and
+//!   leaving torn tails to the recovery scan.
+//! * **`snapshot-<lsn>.json`** — trailer checksum + JSON parse.
+//! * **`querylog.jsonl`** — every complete line must reparse.
+//!
+//! All reads go straight to the files, never through the buffer pool,
+//! so a scrub pass cannot evict the working set. Reads race foreground
+//! writers by design; a checksum failure is re-read once before it
+//! becomes a finding, which settles the benign torn-read race (the
+//! service re-verifies through its own read path before quarantining
+//! anyway). The scrubber detects and reports — containment and repair
+//! are the service's job.
+
+use crate::btree::audit_node_page;
+use crate::page::{Page, PAGE_SIZE};
+use crate::wal::Wal;
+use crate::IoCounter;
+use sqlshare_common::json;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Scrub cadence knobs, from `SQLSHARE_SCRUB_EVERY_MS` /
+/// `SQLSHARE_SCRUB_IO_BUDGET`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubConfig {
+    /// Milliseconds between ticks; 0 disables the background thread.
+    pub every_ms: u64,
+    /// 8 KiB read units per tick.
+    pub io_budget: u64,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig {
+            every_ms: 1000,
+            io_budget: 256,
+        }
+    }
+}
+
+impl ScrubConfig {
+    pub fn from_env() -> ScrubConfig {
+        let parse = |var: &str| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        };
+        let d = ScrubConfig::default();
+        ScrubConfig {
+            every_ms: parse("SQLSHARE_SCRUB_EVERY_MS").unwrap_or(d.every_ms),
+            io_budget: parse("SQLSHARE_SCRUB_IO_BUDGET").unwrap_or(d.io_budget).max(1),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.every_ms > 0
+    }
+}
+
+/// Cumulative scrub counters, published via `GET /api/integrity`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubStatus {
+    /// Ticks run.
+    pub ticks: u64,
+    /// Complete sweeps over every registered file.
+    pub passes: u64,
+    /// 8 KiB read units consumed.
+    pub units: u64,
+    /// Heap / B-tree pages checksum-verified.
+    pub pages: u64,
+    /// WAL frames validated.
+    pub wal_frames: u64,
+    /// Snapshot candidates verified.
+    pub snapshots: u64,
+    /// Query-log lines reparsed.
+    pub querylog_lines: u64,
+    /// Corruption findings reported (cumulative, repeats included —
+    /// a bad page is re-found every pass until repaired).
+    pub findings: u64,
+}
+
+/// One detected corruption: which file, which page (for page files),
+/// and what failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubFinding {
+    pub path: PathBuf,
+    /// Page number within a `.heap` / `.btree` file; `None` for
+    /// whole-file families (WAL, snapshot, query log).
+    pub page: Option<u32>,
+    pub detail: String,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    roots: Vec<PathBuf>,
+    /// Resume point: the next file (by path) and page to scrub.
+    cursor: Option<(PathBuf, u32)>,
+    status: ScrubStatus,
+}
+
+/// The scrubber: a set of directory roots, a persistent cursor, and a
+/// per-tick budget. Thread-safe; the server drives [`Scrubber::tick`]
+/// from a background thread and the service maps findings to objects.
+#[derive(Debug)]
+pub struct Scrubber {
+    budget: u64,
+    io: IoCounter,
+    inner: Mutex<Inner>,
+}
+
+/// Outcome of scrubbing (part of) one file.
+struct FileScrub {
+    units: u64,
+    /// `Some(next_page)` when the budget ran out mid-file.
+    resume: Option<u32>,
+    findings: Vec<ScrubFinding>,
+}
+
+fn is_page_file(name: &str) -> bool {
+    name.ends_with(".heap") || name.ends_with(".btree") || name.ends_with(".pages")
+}
+
+fn is_scrubbable(name: &str) -> bool {
+    name == "wal.log"
+        || name == "querylog.jsonl"
+        || (name.starts_with("snapshot-") && name.ends_with(".json"))
+        || is_page_file(name)
+}
+
+fn file_units(len: u64) -> u64 {
+    (len.div_ceil(PAGE_SIZE as u64)).max(1)
+}
+
+impl Scrubber {
+    pub fn new(config: ScrubConfig, io: IoCounter) -> Scrubber {
+        Scrubber {
+            budget: config.io_budget.max(1),
+            io,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Register a directory to sweep (the durable data dir, the paged
+    /// storage dir). Idempotent.
+    pub fn add_root(&self, dir: &Path) {
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.roots.iter().any(|r| r == dir) {
+            inner.roots.push(dir.to_path_buf());
+        }
+    }
+
+    /// Counter snapshot for `/api/integrity`.
+    pub fn status(&self) -> ScrubStatus {
+        self.inner.lock().unwrap().status
+    }
+
+    /// Run one budgeted increment of the sweep and return any new
+    /// findings. A tick advances the cursor by at most `io_budget`
+    /// 8 KiB units; reaching the end of the file list completes a pass
+    /// and the next tick starts over.
+    pub fn tick(&self) -> Vec<ScrubFinding> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.status.ticks += 1;
+        let files = self.listing(&inner.roots);
+        if files.is_empty() {
+            inner.status.passes += 1;
+            return Vec::new();
+        }
+
+        // Resume after the cursor; a vanished file resumes at its
+        // successor (files are sorted, so position is stable enough).
+        let (mut idx, mut page) = match &inner.cursor {
+            None => (0, 0u32),
+            Some((path, page)) => match files.iter().position(|f| f >= path) {
+                Some(i) if &files[i] == path => (i, *page),
+                Some(i) => (i, 0),
+                None => (files.len(), 0),
+            },
+        };
+
+        let mut remaining = self.budget;
+        let mut findings = Vec::new();
+        let mut status = inner.status;
+        loop {
+            if idx >= files.len() {
+                status.passes += 1;
+                inner.cursor = None;
+                break;
+            }
+            let scrub = self.scrub_file(&files[idx], page, remaining, &mut status);
+            status.units += scrub.units;
+            status.findings += scrub.findings.len() as u64;
+            findings.extend(scrub.findings);
+            remaining = remaining.saturating_sub(scrub.units);
+            if let Some(next_page) = scrub.resume {
+                inner.cursor = Some((files[idx].clone(), next_page));
+                break;
+            }
+            idx += 1;
+            page = 0;
+            if remaining == 0 {
+                inner.cursor = files.get(idx).map(|f| (f.clone(), 0));
+                if inner.cursor.is_none() {
+                    status.passes += 1;
+                }
+                break;
+            }
+        }
+        inner.status = status;
+        findings
+    }
+
+    /// Run full passes until one completes with no budget interruption
+    /// state left — test/repair convenience that scrubs everything now.
+    pub fn full_pass(&self) -> Vec<ScrubFinding> {
+        let passes_before = self.status().passes;
+        let mut findings = Vec::new();
+        while self.status().passes == passes_before {
+            findings.extend(self.tick());
+        }
+        findings
+    }
+
+    fn listing(&self, roots: &[PathBuf]) -> Vec<PathBuf> {
+        let mut files = Vec::new();
+        for root in roots {
+            let Ok(entries) = std::fs::read_dir(root) else {
+                continue;
+            };
+            self.io.bump();
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if is_scrubbable(name) {
+                    files.push(entry.path());
+                }
+            }
+        }
+        files.sort_unstable();
+        files.dedup();
+        files
+    }
+
+    fn scrub_file(
+        &self,
+        path: &Path,
+        from_page: u32,
+        budget: u64,
+        status: &mut ScrubStatus,
+    ) -> FileScrub {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if is_page_file(name) {
+            return self.scrub_pages(path, from_page, budget, name.ends_with(".btree"), status);
+        }
+        let mut findings = Vec::new();
+        let finding = |detail: String| ScrubFinding {
+            path: path.to_path_buf(),
+            page: None,
+            detail,
+        };
+        let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        if name == "wal.log" {
+            match Wal::verify(path, &self.io) {
+                Ok(audit) => {
+                    status.wal_frames += audit.frames;
+                    if audit.interior_corrupt {
+                        findings.push(finding(format!(
+                            "interior WAL corruption after byte {}",
+                            audit.valid_bytes
+                        )));
+                    }
+                }
+                Err(e) => findings.push(finding(e.to_string())),
+            }
+        } else if name == "querylog.jsonl" {
+            self.io.bump();
+            let bytes = std::fs::read(path).unwrap_or_default();
+            let mut pos = 0usize;
+            while let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') {
+                let line = &bytes[pos..pos + nl];
+                status.querylog_lines += 1;
+                let ok = std::str::from_utf8(line)
+                    .is_ok_and(|l| l.trim().is_empty() || json::parse(l.trim()).is_ok());
+                if !ok {
+                    findings.push(finding(format!(
+                        "query-log line at byte {pos} fails to reparse"
+                    )));
+                }
+                pos += nl + 1;
+            }
+            // An unterminated final line is a torn append, not rot.
+        } else {
+            // snapshot-<lsn>.json
+            self.io.bump();
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    status.snapshots += 1;
+                    if !crate::snapshot::verify_payload(&text) {
+                        findings.push(finding("snapshot fails checksum or parse".into()));
+                    }
+                }
+                Err(e) => findings.push(finding(format!("snapshot unreadable: {e}"))),
+            }
+        }
+        FileScrub {
+            units: file_units(len),
+            resume: None,
+            findings,
+        }
+    }
+
+    /// Page-structured files: verify `budget` pages starting at
+    /// `from_page`, re-reading once on failure to settle racing writers.
+    fn scrub_pages(
+        &self,
+        path: &Path,
+        from_page: u32,
+        budget: u64,
+        btree: bool,
+        status: &mut ScrubStatus,
+    ) -> FileScrub {
+        let mut findings = Vec::new();
+        let Ok(mut file) = std::fs::File::open(path) else {
+            // Vanished between listing and open (dropped table) — fine.
+            return FileScrub {
+                units: 1,
+                resume: None,
+                findings,
+            };
+        };
+        self.io.bump();
+        let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+        let pages = (len / PAGE_SIZE as u64) as u32;
+        let mut units = 0u64;
+        let mut no = from_page;
+        while no < pages {
+            if units >= budget {
+                return FileScrub {
+                    units,
+                    resume: Some(no),
+                    findings,
+                };
+            }
+            units += 1;
+            let mut verdict = self.read_and_verify(&mut file, no, btree);
+            if verdict.is_some() {
+                // Re-read once: a concurrent write-back can present a
+                // benign torn image to a raw reader.
+                verdict = self.read_and_verify(&mut file, no, btree);
+            }
+            status.pages += 1;
+            if let Some(detail) = verdict {
+                findings.push(ScrubFinding {
+                    path: path.to_path_buf(),
+                    page: Some(no),
+                    detail,
+                });
+            }
+            no += 1;
+        }
+        FileScrub {
+            units: units.max(1),
+            resume: None,
+            findings,
+        }
+    }
+
+    /// `None` = page OK (or legitimately blank); `Some(detail)` = bad.
+    fn read_and_verify(&self, file: &mut std::fs::File, no: u32, btree: bool) -> Option<String> {
+        use std::io::{Read, Seek, SeekFrom};
+        self.io.bump();
+        let mut bytes = [0u8; PAGE_SIZE];
+        if let Err(e) = file
+            .seek(SeekFrom::Start(no as u64 * PAGE_SIZE as u64))
+            .and_then(|_| file.read_exact(&mut bytes))
+        {
+            return Some(format!("page {no} unreadable: {e}"));
+        }
+        if bytes.iter().all(|&b| b == 0) {
+            // Allocated but never written (a hole) — nothing to verify.
+            return None;
+        }
+        let page = Page::from_bytes(bytes);
+        if !page.verify() {
+            return Some(format!("page {no} fails checksum"));
+        }
+        if btree {
+            // Out-of-range child/sibling checks need the *live* page
+            // count (on-disk length can trail allocation), so the raw
+            // audit only enforces node-local invariants: pass u32::MAX
+            // to neutralize the range checks.
+            if let Err(e) = audit_node_page(&page, u32::MAX) {
+                return Some(format!("page {no}: {}", e.message()));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagefile::PageFile;
+    use crate::snapshot::SnapshotStore;
+    use crate::FsyncPolicy;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sqlshare-scrub-{}-{}-{}",
+            std::process::id(),
+            tag,
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn scrubber(dir: &Path, budget: u64) -> Scrubber {
+        let s = Scrubber::new(
+            ScrubConfig {
+                every_ms: 1,
+                io_budget: budget,
+            },
+            IoCounter::new(),
+        );
+        s.add_root(dir);
+        s
+    }
+
+    #[test]
+    fn clean_directory_scrubs_with_no_findings() {
+        let dir = temp_dir("clean");
+        let mut wal = Wal::open(&dir.join("wal.log"), FsyncPolicy::Off).unwrap();
+        wal.append(br#"{"lsn":1}"#).unwrap();
+        wal.append(br#"{"lsn":2}"#).unwrap();
+        SnapshotStore::new(&dir).write(2, r#"{"v":2}"#).unwrap();
+        std::fs::write(dir.join("querylog.jsonl"), "{\"q\":1}\n{\"q\":2}\n").unwrap();
+        let pf = PageFile::create(&dir.join("t-1.heap"), IoCounter::new()).unwrap();
+        let no = pf.allocate();
+        let mut p = Page::new();
+        p.push(b"row").unwrap();
+        pf.write_page(no, &p).unwrap();
+
+        let s = scrubber(&dir, 1024);
+        assert!(s.full_pass().is_empty());
+        let st = s.status();
+        assert_eq!(st.passes, 1);
+        assert_eq!(st.wal_frames, 2);
+        assert_eq!(st.snapshots, 1);
+        assert_eq!(st.querylog_lines, 2);
+        assert_eq!(st.pages, 1);
+        assert_eq!(st.findings, 0);
+    }
+
+    #[test]
+    fn each_family_yields_a_finding_when_rotted() {
+        let dir = temp_dir("rot");
+        // WAL with interior corruption: flip a byte in record 1 of 2.
+        let wal_path = dir.join("wal.log");
+        let mut wal = Wal::open(&wal_path, FsyncPolicy::Off).unwrap();
+        wal.append(br#"{"lsn":1,"pad":"xxxxxxxxxxxxxxxx"}"#).unwrap();
+        let boundary = wal.offset();
+        wal.append(br#"{"lsn":2}"#).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        bytes[20] ^= 0x10; // inside record 1's payload
+        std::fs::write(&wal_path, &bytes).unwrap();
+        assert!(boundary > 20);
+
+        // Snapshot with a flipped digit (parses, fails the trailer sum).
+        let store = SnapshotStore::new(&dir);
+        store.write(7, r#"{"v":7}"#).unwrap();
+        let snap_path = dir.join("snapshot-7.json");
+        let mut bytes = std::fs::read(&snap_path).unwrap();
+        bytes[5] ^= 0x01;
+        std::fs::write(&snap_path, &bytes).unwrap();
+
+        // Query log with a rotted interior line.
+        std::fs::write(dir.join("querylog.jsonl"), "{\"q\":1}\n{\"q:2}\n{\"q\":3}\n").unwrap();
+
+        // Heap page with a flipped bit.
+        let heap_path = dir.join("t-1.heap");
+        let pf = PageFile::create(&heap_path, IoCounter::new()).unwrap();
+        let no = pf.allocate();
+        let mut p = Page::new();
+        p.push(b"row").unwrap();
+        pf.write_page(no, &p).unwrap();
+        drop(pf);
+        let mut bytes = std::fs::read(&heap_path).unwrap();
+        bytes[100] ^= 0x04;
+        std::fs::write(&heap_path, &bytes).unwrap();
+
+        // B-tree page that passes its checksum but is structurally bad.
+        let tree_path = dir.join("t-2.btree");
+        let pf = PageFile::create(&tree_path, IoCounter::new()).unwrap();
+        let no = pf.allocate();
+        let mut bad = Page::new();
+        bad.set_user_header([9, 0, 0, 0, 0, 0, 0, 0]); // kind 9
+        bad.push(b"x").unwrap();
+        pf.write_page(no, &bad).unwrap();
+        drop(pf);
+
+        let s = scrubber(&dir, 4096);
+        let findings = s.full_pass();
+        let family = |suffix: &str| {
+            findings
+                .iter()
+                .filter(|f| f.path.to_string_lossy().ends_with(suffix))
+                .count()
+        };
+        assert_eq!(family("wal.log"), 1, "{findings:?}");
+        assert_eq!(family("snapshot-7.json"), 1, "{findings:?}");
+        assert_eq!(family("querylog.jsonl"), 1, "{findings:?}");
+        assert_eq!(family("t-1.heap"), 1, "{findings:?}");
+        assert_eq!(family("t-2.btree"), 1, "{findings:?}");
+        assert!(findings
+            .iter()
+            .any(|f| f.path.ends_with("wal.log") && f.detail.contains("interior")));
+        assert_eq!(s.status().findings, findings.len() as u64);
+    }
+
+    #[test]
+    fn io_budget_splits_a_sweep_across_ticks() {
+        let dir = temp_dir("budget");
+        let pf = PageFile::create(&dir.join("big-1.heap"), IoCounter::new()).unwrap();
+        for i in 0..32 {
+            let no = pf.allocate();
+            let mut p = Page::new();
+            p.push(&[i as u8; 16]).unwrap();
+            pf.write_page(no, &p).unwrap();
+        }
+        drop(pf);
+        let s = scrubber(&dir, 4);
+        let mut ticks = 0;
+        while s.status().passes == 0 {
+            assert!(s.tick().is_empty());
+            ticks += 1;
+            assert!(ticks < 100, "sweep never completed");
+        }
+        assert!(ticks >= 8, "32 pages at 4 units/tick needs ≥ 8 ticks, took {ticks}");
+        assert_eq!(s.status().pages, 32);
+    }
+
+    #[test]
+    fn scrub_reads_bypass_any_budgeted_pool() {
+        // The promise is architectural: the scrubber takes no
+        // BufferPool at all, so it *cannot* evict the working set. This
+        // test pins the weaker observable: scrubbing is pure reads — the
+        // scrubbed files' bytes are unchanged afterwards.
+        let dir = temp_dir("readonly");
+        let mut wal = Wal::open(&dir.join("wal.log"), FsyncPolicy::Off).unwrap();
+        wal.append(br#"{"lsn":1}"#).unwrap();
+        drop(wal);
+        SnapshotStore::new(&dir).write(1, r#"{"v":1}"#).unwrap();
+        let before: Vec<(PathBuf, Vec<u8>)> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| (e.path(), std::fs::read(e.path()).unwrap()))
+            .collect();
+        let s = scrubber(&dir, 64);
+        s.full_pass();
+        for (path, bytes) in before {
+            assert_eq!(std::fs::read(&path).unwrap(), bytes, "{path:?} mutated");
+        }
+    }
+}

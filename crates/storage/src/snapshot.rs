@@ -18,6 +18,7 @@
 //! an older snapshot) instead of breaking it.
 
 use crate::IoCounter;
+use sqlshare_common::hash::fnv64;
 use sqlshare_common::{json, Error, Result};
 use sqlshare_common::faults::{FaultPlan, FaultSite};
 use std::fs::{self, File};
@@ -43,6 +44,55 @@ fn parse_name(name: &str) -> Option<u64> {
         .strip_suffix(".json")?
         .parse()
         .ok()
+}
+
+/// Result of [`SnapshotStore::load_latest_counted`]: the newest usable
+/// snapshot plus how many newer candidates had to be skipped as corrupt
+/// or unparseable. A nonzero count is at-rest rot worth surfacing in
+/// boot logs and the recovery report, not a silent fallback.
+#[derive(Debug)]
+pub struct SnapshotLoad {
+    /// The newest parseable snapshot, as `(lsn, payload)`.
+    pub latest: Option<(u64, String)>,
+    /// Newer candidates skipped because they failed to read or parse.
+    pub skipped_candidates: u64,
+    /// Highest LSN among the skipped candidates (0 when none). The LSN
+    /// comes from the file *name*, which survives content rot — so a
+    /// caller can tell whether the lineage advanced past the snapshot
+    /// it ended up loading. That matters because a snapshot install
+    /// resets the WAL: falling back behind a newer-but-corrupt
+    /// candidate means the WAL no longer covers the gap, and recovery
+    /// must refuse rather than silently lose acknowledged writes.
+    pub max_skipped_lsn: u64,
+}
+
+/// Checksum trailer appended after the JSON payload. JSON alone cannot
+/// detect every flipped bit (a rotted digit still parses), so writes
+/// stamp an fnv64 over the payload and loads verify it. Files without a
+/// trailer (pre-integrity snapshots) fall back to parse-only checking.
+const SUM_MARKER: &str = "\n#fnv64=";
+
+/// Split `payload + trailer` back apart. `Some(Err(()))` means the
+/// trailer is present but damaged or mismatched — corrupt, not legacy.
+fn check_trailer(text: &str) -> Option<std::result::Result<&str, ()>> {
+    let idx = text.rfind(SUM_MARKER)?;
+    let payload = &text[..idx];
+    let sum = text[idx + SUM_MARKER.len()..].trim();
+    Some(match u64::from_str_radix(sum, 16) {
+        Ok(sum) if sum == fnv64(payload.as_bytes()) => Ok(payload),
+        _ => Err(()),
+    })
+}
+
+/// Whether a snapshot file's full contents verify: the trailer checksum
+/// must match when present, and the payload must parse as JSON. Used by
+/// the scrubber, which reads candidate files straight off disk.
+pub fn verify_payload(text: &str) -> bool {
+    match check_trailer(text) {
+        Some(Ok(payload)) => json::parse(payload.trim()).is_ok(),
+        Some(Err(())) => false,
+        None => json::parse(text.trim()).is_ok(),
+    }
 }
 
 impl SnapshotStore {
@@ -84,7 +134,9 @@ impl SnapshotStore {
         let finished = self.path_for(lsn);
         self.io.bump();
         let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        let sum = fnv64(payload.as_bytes());
         f.write_all(payload.as_bytes())
+            .and_then(|()| f.write_all(format!("{SUM_MARKER}{sum:016x}\n").as_bytes()))
             .and_then(|()| f.sync_all())
             .map_err(|e| io_err("write", &tmp, e))?;
         drop(f);
@@ -104,19 +156,56 @@ impl SnapshotStore {
     /// `(lsn, payload)`. Unparseable candidates are skipped (fallback to
     /// older snapshots); `.tmp` leftovers are never considered.
     pub fn load_latest(&self) -> Result<Option<(u64, String)>> {
+        Ok(self.load_latest_counted()?.latest)
+    }
+
+    /// [`SnapshotStore::load_latest`] that also counts the corrupt or
+    /// unparseable candidates skipped on the way to a usable snapshot.
+    /// An attached fault plan's `SnapshotLoad` rot site may flip a
+    /// seeded bit in each candidate's read image before parsing.
+    pub fn load_latest_counted(&self) -> Result<SnapshotLoad> {
         let mut lsns = self.list()?;
         lsns.sort_unstable_by(|a, b| b.cmp(a));
+        let mut skipped = 0u64;
+        let mut max_skipped = 0u64;
         for lsn in lsns {
             let path = self.path_for(lsn);
             self.io.bump();
-            let Ok(payload) = fs::read_to_string(&path) else {
-                continue;
-            };
-            if json::parse(&payload).is_ok() {
-                return Ok(Some((lsn, payload)));
+            let usable = (|| {
+                let Ok(mut payload) = fs::read(&path) else {
+                    return None;
+                };
+                if let Some(plan) = &self.fault {
+                    plan.rot(FaultSite::SnapshotLoad, &mut payload);
+                }
+                let text = String::from_utf8(payload).ok()?;
+                let payload = match check_trailer(&text) {
+                    Some(Ok(payload)) => payload.to_string(),
+                    Some(Err(())) => return None,
+                    // Legacy trailer-less file: parse is the only check.
+                    None => text,
+                };
+                json::parse(&payload).ok().map(|_| payload)
+            })();
+            match usable {
+                Some(payload) => {
+                    return Ok(SnapshotLoad {
+                        latest: Some((lsn, payload)),
+                        skipped_candidates: skipped,
+                        max_skipped_lsn: max_skipped,
+                    });
+                }
+                None => {
+                    skipped += 1;
+                    max_skipped = max_skipped.max(lsn);
+                }
             }
         }
-        Ok(None)
+        Ok(SnapshotLoad {
+            latest: None,
+            skipped_candidates: skipped,
+            max_skipped_lsn: max_skipped,
+        })
     }
 
     /// Delete all but the newest `keep` snapshots, plus any stray
@@ -196,6 +285,62 @@ mod tests {
         let (lsn, payload) = store.load_latest().unwrap().unwrap();
         assert_eq!(lsn, 2);
         assert_eq!(payload, r#"{"v":2}"#);
+        // The skip is counted, not silent.
+        let load = store.load_latest_counted().unwrap();
+        assert_eq!(load.skipped_candidates, 1);
+        assert_eq!(load.latest.unwrap().0, 2);
+        fs::write(dir.join("snapshot-8.json"), [0xFFu8, 0xFE]).unwrap();
+        assert_eq!(store.load_latest_counted().unwrap().skipped_candidates, 2);
+    }
+
+    #[test]
+    fn snapshot_load_rot_site_degrades_to_older_snapshot() {
+        let dir = temp_dir("rot");
+        let mut store = SnapshotStore::new(&dir);
+        store.write(1, r#"{"v":1}"#).unwrap();
+        store.write(2, r#"{"v":2}"#).unwrap();
+        store.set_fault_plan(Some(Arc::new(FaultPlan::rot_at(FaultSite::SnapshotLoad))));
+        // Every candidate read rots one bit. The invariant under rot is
+        // "never wrong data": a returned payload must be byte-identical
+        // to something that was actually written (detection skipped past
+        // anything the flip damaged — at worst the flip landed in
+        // ignorable trailer whitespace).
+        let load = store.load_latest_counted().unwrap();
+        if let Some((lsn, payload)) = &load.latest {
+            assert_eq!(*payload, format!(r#"{{"v":{lsn}}}"#), "rot fed wrong data");
+        }
+        // The files themselves are untouched: a clean store still loads.
+        store.set_fault_plan(None);
+        let clean = store.load_latest_counted().unwrap();
+        assert_eq!(clean.skipped_candidates, 0);
+        assert_eq!(clean.latest.unwrap(), (2, r#"{"v":2}"#.to_string()));
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_a_snapshot_file_is_never_wrong_data() {
+        // The trailer checksum closes the JSON blind spot (a rotted
+        // digit still parses): for every possible single-bit flip the
+        // store either skips the file or returns the exact payload.
+        let dir = temp_dir("flip");
+        let store = SnapshotStore::new(&dir);
+        let payload = r#"{"v":123456789,"tag":"integrity"}"#;
+        store.write(5, payload).unwrap();
+        let path = dir.join("snapshot-5.json");
+        let sealed = fs::read(&path).unwrap();
+        for bit in 0..sealed.len() * 8 {
+            let mut bytes = sealed.clone();
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            fs::write(&path, &bytes).unwrap();
+            let load = store.load_latest_counted().unwrap();
+            match load.latest {
+                None => assert_eq!(load.skipped_candidates, 1, "bit {bit}"),
+                Some((lsn, got)) => {
+                    assert_eq!((lsn, got.as_str()), (5, payload), "bit {bit} fed wrong data");
+                }
+            }
+        }
+        fs::write(&path, &sealed).unwrap();
+        assert_eq!(store.load_latest().unwrap().unwrap().1, payload);
     }
 
     #[test]

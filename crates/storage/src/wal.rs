@@ -23,6 +23,14 @@
 //!   it keeps every record whose length and checksum validate,
 //!   truncates the file at the first torn or corrupt one, and replay
 //!   upstream is idempotent by LSN.
+//! * **Interior bit-rot** (at-rest media decay, not a crash): a record
+//!   in the *middle* of the log fails its checksum but valid frames
+//!   follow it. Truncating here would silently discard acknowledged
+//!   records, so [`Wal::scan`] resynchronizes past the bad frame and,
+//!   if it finds any later valid frame, refuses with a typed
+//!   `Error::Corrupt` and leaves the file untouched for
+//!   repair-from-replica. [`Wal::verify`] runs the same analysis
+//!   without ever writing — the background scrubber's probe.
 
 use crate::{FsyncPolicy, IoCounter};
 use sqlshare_common::hash::fnv64;
@@ -64,6 +72,20 @@ pub struct WalScan {
     pub valid_bytes: u64,
     /// Bytes discarded from the torn/corrupt tail (0 for a clean log).
     pub truncated_bytes: u64,
+}
+
+/// Result of a read-only WAL integrity probe ([`Wal::verify`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalAudit {
+    /// Records whose length and checksum validate, from the front.
+    pub frames: u64,
+    /// Byte length of that valid prefix.
+    pub valid_bytes: u64,
+    /// Bytes after the valid prefix (0 for a clean log).
+    pub tail_bytes: u64,
+    /// True when a valid frame follows the break — interior bit-rot,
+    /// which [`Wal::scan`] refuses to truncate.
+    pub interior_corrupt: bool,
 }
 
 /// An open write-ahead log.
@@ -115,6 +137,41 @@ fn frame(payload: &[u8]) -> Vec<u8> {
     buf
 }
 
+/// Is there a complete, checksum-valid frame starting at `pos`?
+fn valid_frame_at(bytes: &[u8], pos: usize) -> bool {
+    if bytes.len() - pos < HEADER_LEN {
+        return false;
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+    if len > MAX_RECORD || bytes.len() - pos - HEADER_LEN < len {
+        return false;
+    }
+    let sum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+    fnv64(&bytes[pos + HEADER_LEN..pos + HEADER_LEN + len]) == sum
+}
+
+/// Parse the valid frame prefix: every record whose length and checksum
+/// validate, plus the byte offset where validation stopped.
+fn parse_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while valid_frame_at(bytes, pos) {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        records.push(bytes[pos + HEADER_LEN..pos + HEADER_LEN + len].to_vec());
+        pos += HEADER_LEN + len;
+    }
+    (records, pos)
+}
+
+/// After a validation break at `from`, look for any later offset where a
+/// complete valid frame resumes. `Some(offset)` means the break is
+/// interior corruption (acknowledged records live past it), not a torn
+/// tail. A false sync inside a record's payload is astronomically
+/// unlikely: the candidate's own 64-bit checksum must validate.
+fn resync(bytes: &[u8], from: usize) -> Option<usize> {
+    (from + 1..bytes.len()).find(|&pos| valid_frame_at(bytes, pos))
+}
+
 impl Wal {
     /// Open (creating if absent) the log at `path` for appending.
     /// Callers recovering state should run [`Wal::scan`] first; `open`
@@ -153,13 +210,28 @@ impl Wal {
 
     /// Read every valid record from `path`, truncating the file at the
     /// first torn or corrupt record so subsequent appends extend a clean
-    /// log. A missing file scans as empty.
+    /// log. A missing file scans as empty. If a *valid* frame follows
+    /// the break — interior bit-rot, not a torn tail — the scan refuses
+    /// with `Error::Corrupt` and leaves the file untouched: truncating
+    /// would silently drop acknowledged records that a replica (or the
+    /// file itself, once repaired) still holds.
     pub fn scan(path: &Path) -> Result<WalScan> {
         Wal::scan_counted(path, &IoCounter::new())
     }
 
     /// [`Wal::scan`] recording its filesystem operations against `io`.
     pub fn scan_counted(path: &Path, io: &IoCounter) -> Result<WalScan> {
+        Wal::scan_with_plan(path, io, None)
+    }
+
+    /// [`Wal::scan_counted`] with an optional fault plan whose
+    /// `WalScan` rot site may flip a seeded bit in the read image
+    /// (never the file) before validation.
+    pub fn scan_with_plan(
+        path: &Path,
+        io: &IoCounter,
+        plan: Option<&FaultPlan>,
+    ) -> Result<WalScan> {
         if !path.exists() {
             return Ok(WalScan {
                 records: Vec::new(),
@@ -172,21 +244,17 @@ impl Wal {
         File::open(path)
             .and_then(|mut f| f.read_to_end(&mut bytes))
             .map_err(|e| io_err("read", path, e))?;
+        if let Some(plan) = plan {
+            plan.rot(FaultSite::WalScan, &mut bytes);
+        }
 
-        let mut records = Vec::new();
-        let mut pos = 0usize;
-        while bytes.len() - pos >= HEADER_LEN {
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-            let sum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
-            if len > MAX_RECORD || bytes.len() - pos - HEADER_LEN < len {
-                break; // torn or absurd length — stop at the last good record
-            }
-            let payload = &bytes[pos + HEADER_LEN..pos + HEADER_LEN + len];
-            if fnv64(payload) != sum {
-                break; // corrupt payload
-            }
-            records.push(payload.to_vec());
-            pos += HEADER_LEN + len;
+        let (records, pos) = parse_frames(&bytes);
+        if let Some(at) = resync(&bytes, pos) {
+            return Err(Error::Corrupt(format!(
+                "wal {}: interior corruption at byte {pos} (valid frame resumes at byte \
+                 {at}); refusing to truncate acknowledged records — repair from a replica",
+                path.display()
+            )));
         }
 
         let truncated_bytes = (bytes.len() - pos) as u64;
@@ -202,6 +270,31 @@ impl Wal {
             records,
             valid_bytes: pos as u64,
             truncated_bytes,
+        })
+    }
+
+    /// Read-only integrity probe: validate every frame without ever
+    /// truncating or rewriting — the background scrubber's WAL check.
+    pub fn verify(path: &Path, io: &IoCounter) -> Result<WalAudit> {
+        if !path.exists() {
+            return Ok(WalAudit {
+                frames: 0,
+                valid_bytes: 0,
+                tail_bytes: 0,
+                interior_corrupt: false,
+            });
+        }
+        io.bump();
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| io_err("read", path, e))?;
+        let (records, pos) = parse_frames(&bytes);
+        Ok(WalAudit {
+            frames: records.len() as u64,
+            valid_bytes: pos as u64,
+            tail_bytes: (bytes.len() - pos) as u64,
+            interior_corrupt: resync(&bytes, pos).is_some(),
         })
     }
 

@@ -51,6 +51,14 @@ fn main() -> std::io::Result<()> {
                     "recovered durable state: snapshot lsn {}, {} replayed, {} truncated bytes",
                     report.snapshot_lsn, report.replayed_records, report.truncated_wal_bytes
                 );
+                if report.snapshot_candidates_skipped > 0 {
+                    eprintln!(
+                        "warning: {} corrupt snapshot candidate(s) skipped during recovery \
+                         (the WAL still covered the gap; state is complete) — \
+                         restore or remove them before they are the only copy",
+                        report.snapshot_candidates_skipped
+                    );
+                }
             }
             s
         }

@@ -264,6 +264,11 @@ fn every_error_kind_maps_to_a_deliberate_status() {
         // plus Retry-After steers the client to back off and re-probe
         // for the current primary.
         (Error::ReadOnly(String::new()), 503),
+        // At-rest corruption quarantines the touched object while the
+        // repair ladder runs — retryable (503 + Retry-After), and
+        // deliberately NOT a generic 500: every other dataset still
+        // serves, and the failure clears once repair completes.
+        (Error::Corrupt(String::new()), 503),
     ];
     let mut kinds: Vec<&str> = table.iter().map(|(e, _)| e.kind()).collect();
     kinds.sort_unstable();
